@@ -1,0 +1,126 @@
+//! E7 — per-operation latency microbenches (supporting evidence for the
+//! figure throughput curves): read fast path, read switch path, and write
+//! latency by register size, for every algorithm.
+//!
+//! `cargo bench -p arc-bench --bench ops`
+
+use arc_register::ArcRegister;
+use baseline_registers::{LockRegister, PetersonRegister, RfRegister, SeqlockRegister};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const SIZES: &[usize] = &[4 << 10, 32 << 10, 128 << 10];
+
+/// ARC read with an unchanged value: the no-RMW fast path (R2).
+fn read_fast_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_fast_path");
+    for &size in SIZES {
+        g.throughput(Throughput::Bytes(size as u64));
+        let reg = ArcRegister::builder(2, size).initial(&vec![7u8; size]).build().unwrap();
+        let mut r = reg.reader().unwrap();
+        let _ = r.read(); // acquire once; every following read is fast
+        g.bench_with_input(BenchmarkId::new("arc", size), &size, |b, _| {
+            b.iter(|| black_box(r.read().len()));
+        });
+
+        let rf = RfRegister::new(2, size, &vec![7u8; size]).unwrap();
+        let mut rr = rf.reader().unwrap();
+        g.bench_with_input(BenchmarkId::new("rf", size), &size, |b, _| {
+            b.iter(|| black_box(rr.read().len()));
+        });
+
+        let pet = PetersonRegister::new(2, size, &vec![7u8; size]).unwrap();
+        let mut pr = pet.reader().unwrap();
+        g.bench_with_input(BenchmarkId::new("peterson", size), &size, |b, _| {
+            b.iter(|| black_box(pr.read().len()));
+        });
+
+        let lock = LockRegister::new(size, &vec![7u8; size]).unwrap();
+        let mut lr = lock.reader();
+        g.bench_with_input(BenchmarkId::new("lock", size), &size, |b, _| {
+            b.iter(|| lr.read_with_lock(|v| black_box(v.len())));
+        });
+
+        let seq = SeqlockRegister::new(size, &vec![7u8; size]).unwrap();
+        let mut sr = seq.reader();
+        g.bench_with_input(BenchmarkId::new("seqlock", size), &size, |b, _| {
+            b.iter(|| black_box(sr.read().len()));
+        });
+    }
+    g.finish();
+}
+
+/// ARC read immediately after a write: the slow path (R3+R4, two RMWs).
+fn read_switch_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_switch_path");
+    for &size in &[4 << 10, 128 << 10] {
+        let value = vec![3u8; size];
+        let reg = ArcRegister::builder(2, size).initial(&value).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        g.bench_with_input(BenchmarkId::new("arc", size), &size, |b, _| {
+            b.iter_batched(
+                || w.write(&value), // force the next read to switch slots
+                |_| black_box(r.read().len()),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+/// Write latency (one copy + publication) by size and algorithm.
+fn write_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write");
+    for &size in SIZES {
+        g.throughput(Throughput::Bytes(size as u64));
+        let value = vec![9u8; size];
+
+        let reg = ArcRegister::builder(2, size).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        g.bench_with_input(BenchmarkId::new("arc", size), &size, |b, _| {
+            b.iter(|| w.write(black_box(&value)));
+        });
+
+        let rf = RfRegister::new(2, size, b"").unwrap();
+        let mut rw = rf.writer().unwrap();
+        g.bench_with_input(BenchmarkId::new("rf", size), &size, |b, _| {
+            b.iter(|| rw.write(black_box(&value)));
+        });
+
+        let pet = PetersonRegister::new(2, size, b"").unwrap();
+        let mut pw = pet.writer().unwrap();
+        g.bench_with_input(BenchmarkId::new("peterson", size), &size, |b, _| {
+            b.iter(|| pw.write(black_box(&value)));
+        });
+
+        let lock = LockRegister::new(size, b"").unwrap();
+        let mut lw = lock.writer().unwrap();
+        g.bench_with_input(BenchmarkId::new("lock", size), &size, |b, _| {
+            b.iter(|| lw.write(black_box(&value)));
+        });
+
+        let seq = SeqlockRegister::new(size, b"").unwrap();
+        let mut sw = seq.writer().unwrap();
+        g.bench_with_input(BenchmarkId::new("seqlock", size), &size, |b, _| {
+            b.iter(|| sw.write(black_box(&value)));
+        });
+    }
+    g.finish();
+}
+
+/// ARC in-place write (`write_with`) vs staging-buffer write: the zero-copy
+/// producer API.
+fn write_in_place(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_in_place");
+    let size = 32 << 10;
+    let reg = ArcRegister::builder(2, size).build().unwrap();
+    let mut w = reg.writer().unwrap();
+    g.bench_function("arc/write_with", |b| {
+        b.iter(|| w.write_with(size, |buf| buf[0] = black_box(1)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, read_fast_path, read_switch_path, write_latency, write_in_place);
+criterion_main!(benches);

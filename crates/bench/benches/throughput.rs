@@ -1,0 +1,49 @@
+//! Contended-throughput bench: Criterion view of the Figure-1 hold-model
+//! workload at a fixed mid-size configuration (1 writer + 3 readers, 4 KB),
+//! using `iter_custom` to convert measured window throughput into
+//! per-operation time Criterion can track across code changes.
+//!
+//! The full figure sweeps live in the `fig1`/`fig2`/`fig3` binaries; this
+//! bench exists so `cargo bench` regression-tracks the contended hot path.
+
+use arc_register::ArcFamily;
+use baseline_registers::{LockFamily, PetersonFamily, RfFamily, SeqlockFamily};
+use criterion::{criterion_group, criterion_main, Criterion};
+use register_common::RegisterFamily;
+use std::time::Duration;
+use workload_harness::{run_register, RunConfig, WorkloadMode};
+
+fn measure<F: RegisterFamily>(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contended_hold_4kb");
+    g.sample_size(10);
+    g.bench_function(F::NAME, |b| {
+        b.iter_custom(|iters| {
+            // One driver window gives a mean per-op time; scale to `iters`.
+            let cfg = RunConfig {
+                threads: 4,
+                value_size: 4 << 10,
+                duration: Duration::from_millis(100),
+                runs: 1,
+                mode: WorkloadMode::Hold,
+                steal: None,
+                stack_size: 1 << 20,
+            };
+            let res = run_register::<F>(&cfg);
+            let total_ops = res.reads[0] + res.writes[0];
+            let per_op = cfg.duration.as_secs_f64() / total_ops.max(1) as f64;
+            Duration::from_secs_f64(per_op * iters as f64)
+        });
+    });
+    g.finish();
+}
+
+fn contended(c: &mut Criterion) {
+    measure::<ArcFamily>(c);
+    measure::<RfFamily>(c);
+    measure::<PetersonFamily>(c);
+    measure::<LockFamily>(c);
+    measure::<SeqlockFamily>(c);
+}
+
+criterion_group!(benches, contended);
+criterion_main!(benches);

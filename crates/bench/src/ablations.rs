@@ -1,0 +1,110 @@
+//! Ablation variants of ARC exposed as [`RegisterFamily`]s, so the sweep
+//! machinery can compare them directly (experiment E6).
+//!
+//! * [`ArcNoFastPath`] — every read pays the RMW (RF-style), isolating the
+//!   benefit of the paper's R2 fast path.
+//! * [`ArcNoHint`] — writer always scans for free slots (§3.4 disabled),
+//!   isolating the amortized-O(1) write claim.
+//! * [`ArcTightSlots`] — only 3 slots regardless of N (below the N+2
+//!   bound), demonstrating the wait-freedom loss the bound prevents.
+
+use arc_register::{ArcReader, ArcRegister, ArcWriter};
+use register_common::traits::{BuildError, RegisterFamily, RegisterSpec};
+
+fn build_with(
+    spec: RegisterSpec,
+    initial: &[u8],
+    f: impl FnOnce(arc_register::ArcBuilder) -> arc_register::ArcBuilder,
+) -> Result<(ArcWriter, Vec<ArcReader>), BuildError> {
+    let readers = u32::try_from(spec.readers).map_err(|_| BuildError::TooManyReaders {
+        requested: spec.readers,
+        limit: u32::MAX as usize,
+    })?;
+    let builder = f(ArcRegister::builder(readers, spec.capacity).initial(initial));
+    let reg = builder.build()?;
+    let writer = reg.writer().expect("fresh register");
+    let handles = (0..spec.readers).map(|_| reg.reader().expect("within cap")).collect();
+    Ok((writer, handles))
+}
+
+/// ARC with the R2 no-RMW fast path disabled.
+pub struct ArcNoFastPath;
+
+impl RegisterFamily for ArcNoFastPath {
+    type Writer = ArcWriter;
+    type Reader = ArcReader;
+    const NAME: &'static str = "arc-nofp";
+
+    fn build(
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError> {
+        build_with(spec, initial, |b| b.fast_path(false))
+    }
+}
+
+/// ARC with the §3.4 free-slot hint disabled.
+pub struct ArcNoHint;
+
+impl RegisterFamily for ArcNoHint {
+    type Writer = ArcWriter;
+    type Reader = ArcReader;
+    const NAME: &'static str = "arc-nohint";
+
+    fn build(
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError> {
+        build_with(spec, initial, |b| b.hint(false))
+    }
+}
+
+/// ARC squeezed to 3 slots (below the N+2 bound): the writer can be forced
+/// to wait for readers — wait-freedom forfeited by construction.
+pub struct ArcTightSlots;
+
+impl RegisterFamily for ArcTightSlots {
+    type Writer = ArcWriter;
+    type Reader = ArcReader;
+    const NAME: &'static str = "arc-3slots";
+
+    fn wait_free_reads() -> bool {
+        true // reads stay wait-free; *writes* lose the guarantee
+    }
+
+    fn build(
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError> {
+        build_with(spec, initial, |b| b.slots(3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use register_common::{ReadHandle, WriteHandle};
+
+    #[test]
+    fn variants_build_and_roundtrip() {
+        fn probe<F: RegisterFamily>() {
+            let (mut w, mut rs) = F::build(RegisterSpec::new(2, 128), b"seed").unwrap();
+            w.write(b"value");
+            for r in rs.iter_mut() {
+                r.read_with(|v| assert_eq!(v, b"value"));
+            }
+        }
+        probe::<ArcNoFastPath>();
+        probe::<ArcNoHint>();
+        probe::<ArcTightSlots>();
+    }
+
+    #[test]
+    fn no_fast_path_never_reports_fast() {
+        let (mut w, mut rs) = ArcNoFastPath::build(RegisterSpec::new(1, 64), b"x").unwrap();
+        w.write(b"y");
+        let r = &mut rs[0];
+        let _ = r.read();
+        assert!(!r.read().fast(), "fast path must be disabled");
+    }
+}

@@ -1,0 +1,59 @@
+//! **E6 — design-choice ablations** for the claims DESIGN.md calls out:
+//!
+//! 1. *Fast path* (§3.3/R2): ARC vs ARC-without-fast-path — quantifies the
+//!    RMW the fast path avoids on read-dominated workloads.
+//! 2. *Free-slot hint* (§3.4): ARC vs ARC-without-hint — the hint is what
+//!    makes writes amortized O(1) instead of O(N) scans.
+//! 3. *Slot budget*: ARC with only 3 slots (below the N+2 bound) — writer
+//!    wait-freedom is forfeited; throughput shows the price of waiting for
+//!    readers to move on.
+//!
+//! ```text
+//! ARC_BENCH_PROFILE=quick|standard|full cargo run -p arc-bench --release --bin ablation
+//! ```
+
+use arc_bench::ablations::{ArcNoFastPath, ArcNoHint, ArcTightSlots};
+use arc_bench::{out_dir, BenchProfile};
+use arc_register::ArcFamily;
+use workload_harness::{run_register, write_csv, RunConfig, Table, WorkloadMode};
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    let cores = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let threads = profile.thin(&[2, 4, 8, cores.min(16), cores]);
+    let size = 4 << 10;
+    println!("# E6 — ARC ablations (hold model, {size} B values)");
+    println!("# profile={profile:?}, threads={threads:?}\n");
+
+    let mut table = Table::new(vec!["variant", "threads", "mops", "std"]);
+    for &t in &threads {
+        let cfg = RunConfig {
+            threads: t,
+            value_size: size,
+            duration: profile.duration(),
+            runs: profile.runs(),
+            mode: WorkloadMode::Hold,
+            steal: None,
+            stack_size: 1 << 20,
+        };
+        let variants: Vec<(&str, workload_harness::RunResult)> = vec![
+            ("arc", run_register::<ArcFamily>(&cfg)),
+            ("arc-nofp", run_register::<ArcNoFastPath>(&cfg)),
+            ("arc-nohint", run_register::<ArcNoHint>(&cfg)),
+            ("arc-3slots", run_register::<ArcTightSlots>(&cfg)),
+        ];
+        for (name, res) in variants {
+            println!("  {name:>11} t={t:<5} {:>10.2} Mops/s", res.mops());
+            table.row(vec![
+                name.to_string(),
+                t.to_string(),
+                format!("{:.3}", res.mops()),
+                format!("{:.3}", res.throughput.std_dev()),
+            ]);
+        }
+    }
+    println!("\n{}", table.render());
+    let path = out_dir().join("ablation.csv");
+    write_csv(&table, &path).expect("write CSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,45 @@
+//! **Figure 1**: throughput vs thread count on the physical machine, for
+//! register sizes 4 KB / 32 KB / 128 KB and algorithms ARC, RF, Peterson,
+//! Lock (Hold-model workload: dummy ops, maximal contention).
+//!
+//! ```text
+//! ARC_BENCH_PROFILE=quick|standard|full cargo run -p arc-bench --release --bin fig1
+//! ```
+//!
+//! Paper shape to reproduce: ARC and RF above Peterson and Lock everywhere;
+//! ARC overtakes RF as threads or size grow (fast path avoids per-read
+//! RMWs once writes can't keep every read "fresh").
+
+use arc_bench::{figure_sizes, out_dir, sweep_algos, thread_counts, BenchProfile, SweepSpec};
+use workload_harness::{write_csv, RunConfig, WorkloadMode};
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    let max_threads = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let threads = profile.thin(&thread_counts(max_threads));
+    println!("# Figure 1 — throughput vs threads (physical machine)");
+    println!("# profile={profile:?}, threads={threads:?}\n");
+
+    for size in figure_sizes(profile) {
+        println!("## register size {} KB", size >> 10);
+        let spec = SweepSpec {
+            algos: vec!["arc", "rf", "peterson", "lock"],
+            threads: threads.clone(),
+            size,
+            base: RunConfig {
+                threads: 2,
+                value_size: size,
+                duration: profile.duration(),
+                runs: profile.runs(),
+                mode: WorkloadMode::Hold,
+                steal: None,
+                stack_size: 1 << 20,
+            },
+        };
+        let table = sweep_algos(&spec);
+        println!("{}", table.render());
+        let path = out_dir().join(format!("fig1_{}kb.csv", size >> 10));
+        write_csv(&table, &path).expect("write CSV");
+        println!("wrote {}\n", path.display());
+    }
+}

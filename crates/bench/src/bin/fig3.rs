@@ -1,0 +1,50 @@
+//! **Figure 3**: throughput at massively oversubscribed thread counts
+//! (1000–4000 threads time-shared on the physical cores), log-scale in the
+//! paper. RF is excluded — it cannot host more than 58 readers, exactly as
+//! in the paper ("RF could not be tested").
+//!
+//! ```text
+//! ARC_BENCH_PROFILE=quick|standard|full cargo run -p arc-bench --release --bin fig3
+//! ```
+//!
+//! Paper shape to reproduce: ARC and Lock flat as threads grow (ARC orders
+//! of magnitude higher); Peterson collapses with size (copy-based reads
+//! butcher locality under time-sharing).
+
+use arc_bench::{figure_sizes, out_dir, sweep_algos, BenchProfile, SweepSpec};
+use workload_harness::{write_csv, RunConfig, WorkloadMode};
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    let threads: Vec<usize> = match profile {
+        BenchProfile::Quick => vec![1000, 2000],
+        _ => vec![1000, 1500, 2000, 2500, 3000, 3500, 4000],
+    };
+    println!("# Figure 3 — massively oversubscribed thread counts (log scale)");
+    println!("# profile={profile:?}, threads={threads:?}\n");
+
+    for size in figure_sizes(profile) {
+        println!("## register size {} KB", size >> 10);
+        let spec = SweepSpec {
+            algos: vec!["arc", "peterson", "lock"],
+            threads: threads.clone(),
+            size,
+            base: RunConfig {
+                threads: 2,
+                value_size: size,
+                duration: profile.duration(),
+                runs: profile.runs().min(3), // spawning 4000 threads is the cost
+                mode: WorkloadMode::Hold,
+                steal: None,
+                // 4000 threads × default 8 MB stacks would exhaust memory;
+                // 256 KB suffices for these workers.
+                stack_size: 256 << 10,
+            },
+        };
+        let table = sweep_algos(&spec);
+        println!("{}", table.render());
+        let path = out_dir().join(format!("fig3_{}kb.csv", size >> 10));
+        write_csv(&table, &path).expect("write CSV");
+        println!("wrote {}\n", path.display());
+    }
+}

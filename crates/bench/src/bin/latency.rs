@@ -1,0 +1,140 @@
+//! **E9 (extension)** — read-latency distributions: the tail story behind
+//! wait-freedom.
+//!
+//! ```text
+//! ARC_BENCH_PROFILE=quick|standard|full cargo run -p arc-bench --release --bin latency
+//! ```
+//!
+//! The paper's figures report throughput; the *mechanism* behind Figure 2
+//! is the tail. A wait-free read finishes in a bounded number of its own
+//! steps, so its p99.9 sits within a small factor of its p50 even while
+//! cores are being stolen. A blocking read's tail is the scheduler's
+//! preemption quantum (milliseconds) the moment a writer holding the lock
+//! is stalled; an optimistic (seqlock) read's tail is its retry loop.
+//!
+//! One reader thread samples every read with `Instant`; a full-speed
+//! writer plus (optionally) steal injection provide the interference. The
+//! sampling overhead (~20 ns/`Instant::now` pair) applies identically to
+//! every algorithm.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use arc_bench::{out_dir, BenchProfile};
+use register_common::{ReadHandle, RegisterFamily, RegisterSpec, WriteHandle};
+use workload_harness::{write_csv, LatencyHistogram, StealConfig, StealInjector, Table};
+
+use arc_register::ArcFamily;
+use baseline_registers::{LockFamily, PetersonFamily, RfFamily, SeqlockFamily};
+
+fn measure<F: RegisterFamily>(
+    size: usize,
+    profile: BenchProfile,
+    steal: Option<StealConfig>,
+) -> LatencyHistogram {
+    let initial = vec![0u8; size];
+    let (mut writer, mut readers) = F::build(RegisterSpec::new(2, size), &initial).unwrap();
+    let sampled = readers.pop().expect("two readers built");
+    let _idle_reader = readers.pop();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(3));
+    let injector = steal.map(StealInjector::start);
+
+    // Full-speed writer: worst-case interference for the sampled reader.
+    let writer_thread = {
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            let buf = vec![1u8; size];
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                writer.write(&buf);
+            }
+        })
+    };
+
+    // Sampled reader.
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let mut reader = sampled;
+        std::thread::spawn(move || {
+            let mut hist = LatencyHistogram::new();
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
+                reader.read_with(|v| std::hint::black_box(v.len()));
+                hist.record(t0.elapsed().as_nanos() as u64);
+            }
+            hist
+        })
+    };
+
+    barrier.wait();
+    std::thread::sleep(profile.duration().max(std::time::Duration::from_millis(300)));
+    stop.store(true, Ordering::Relaxed);
+    writer_thread.join().expect("writer panicked");
+    let hist = sampler.join().expect("sampler panicked");
+    if let Some(inj) = injector {
+        inj.stop();
+    }
+    hist
+}
+
+fn report<F: RegisterFamily>(
+    size: usize,
+    profile: BenchProfile,
+    steal: Option<StealConfig>,
+    regime: &str,
+    table: &mut Table,
+) {
+    let h = measure::<F>(size, profile, steal);
+    let (p50, p90, p99, p999, max) = h.summary();
+    println!(
+        "  {:>9} {regime:>6}  n={:>9}  p50={p50:>7} p90={p90:>7} p99={p99:>8} p99.9={p999:>9} max={max:>11} ns",
+        F::NAME,
+        h.count()
+    );
+    table.row(vec![
+        F::NAME.to_string(),
+        regime.to_string(),
+        size.to_string(),
+        h.count().to_string(),
+        p50.to_string(),
+        p90.to_string(),
+        p99.to_string(),
+        p999.to_string(),
+        max.to_string(),
+    ]);
+}
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let size = 4 << 10;
+    let steal = StealConfig {
+        stealers: cores,
+        burst: std::time::Duration::from_millis(3),
+        idle: std::time::Duration::from_millis(1),
+        seed: 0xE9,
+    };
+    println!("# E9 — read latency distributions under a full-speed writer ({size} B)");
+    println!("# quiet = no interference; steal = {} stealers, 3 ms bursts\n", steal.stealers);
+
+    let mut table = Table::new(vec![
+        "algo", "regime", "size", "samples", "p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns",
+    ]);
+    for (regime, inj) in [("quiet", None), ("steal", Some(steal))] {
+        report::<ArcFamily>(size, profile, inj, regime, &mut table);
+        report::<RfFamily>(size, profile, inj, regime, &mut table);
+        report::<PetersonFamily>(size, profile, inj, regime, &mut table);
+        report::<LockFamily>(size, profile, inj, regime, &mut table);
+        report::<SeqlockFamily>(size, profile, inj, regime, &mut table);
+        println!();
+    }
+    let path = out_dir().join("latency.csv");
+    write_csv(&table, &path).expect("write CSV");
+    println!("wrote {}", path.display());
+}

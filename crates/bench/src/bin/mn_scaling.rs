@@ -1,0 +1,95 @@
+//! **E8 (extension)** — (M,N) register scaling: throughput as the writer
+//! count M grows, at fixed reader count.
+//!
+//! ```text
+//! ARC_BENCH_PROFILE=quick|standard|full cargo run -p arc-bench --release --bin mn_scaling
+//! ```
+//!
+//! Expected shape: reads cost O(M) sub-reads (mostly fast-path, so the
+//! slope is gentle); writes cost O(M) collects + 1 publish. Total
+//! throughput degrades roughly linearly in M — the price of multi-writer
+//! atomicity without locks, and still wait-free end to end.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use arc_bench::{out_dir, BenchProfile};
+use mn_register::MnRegister;
+use workload_harness::{write_csv, Table};
+
+fn run_point(writers: usize, readers: usize, size: usize, profile: BenchProfile) -> (f64, f64) {
+    let initial = vec![0u8; size];
+    let reg = MnRegister::new(writers, readers, size, &initial).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(writers + readers + 1));
+    let mut handles = Vec::new();
+
+    for _ in 0..writers {
+        let mut w = reg.writer().unwrap();
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let buf = vec![7u8; size];
+            barrier.wait();
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                w.write(&buf);
+                ops += 1;
+            }
+            (ops, 0u64)
+        }));
+    }
+    for _ in 0..readers {
+        let mut r = reg.reader().unwrap();
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                r.read_with(|v, _ts| std::hint::black_box(v.len()));
+                ops += 1;
+            }
+            (0u64, ops)
+        }));
+    }
+
+    barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(profile.duration());
+    stop.store(true, Ordering::Relaxed);
+    let mut writes = 0u64;
+    let mut reads = 0u64;
+    for h in handles {
+        let (w, r) = h.join().unwrap();
+        writes += w;
+        reads += r;
+    }
+    let secs = started.elapsed().as_secs_f64();
+    (reads as f64 / secs / 1e6, writes as f64 / secs / 1e6)
+}
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    let cores = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let readers = (cores / 2).clamp(2, 8);
+    let size = 4 << 10;
+    let writer_counts = profile.thin(&[1usize, 2, 4, 8]);
+    println!("# E8 — (M,N) register scaling with writer count (N={readers}, {size} B)\n");
+
+    let mut table = Table::new(vec!["writers", "readers", "read_mops", "write_mops"]);
+    for &m in &writer_counts {
+        let (rd, wr) = run_point(m, readers, size, profile);
+        println!("  M={m:<3} reads {rd:>9.2} Mops/s   writes {wr:>9.3} Mops/s");
+        table.row(vec![
+            m.to_string(),
+            readers.to_string(),
+            format!("{rd:.3}"),
+            format!("{wr:.3}"),
+        ]);
+    }
+    let path = out_dir().join("mn_scaling.csv");
+    write_csv(&table, &path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

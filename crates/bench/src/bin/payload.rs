@@ -1,0 +1,47 @@
+//! **E4 — the §5 second experiment set**: operations with *actual
+//! processing* — "a write actually generates some data, and a read scans
+//! the whole content of the retrieved buffer", studying the effect of
+//! operation latency.
+//!
+//! ```text
+//! ARC_BENCH_PROFILE=quick|standard|full cargo run -p arc-bench --release --bin payload
+//! ```
+//!
+//! Expected shape: absolute throughput drops for everyone (ops now cost
+//! O(size)); the gap between ARC/RF and the copy-based Peterson narrows
+//! less than the raw figures suggest because the scan dominates — but
+//! Peterson still pays its extra copies on top of the scan.
+
+use arc_bench::{figure_sizes, out_dir, sweep_algos, thread_counts, BenchProfile, SweepSpec};
+use workload_harness::{write_csv, RunConfig, WorkloadMode};
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    let max_threads = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let threads = profile.thin(&thread_counts(max_threads));
+    println!("# Payload experiment — write generates, read scans (processing mode)");
+    println!("# profile={profile:?}, threads={threads:?}\n");
+
+    for size in figure_sizes(profile) {
+        println!("## register size {} KB", size >> 10);
+        let spec = SweepSpec {
+            algos: vec!["arc", "rf", "peterson", "lock"],
+            threads: threads.clone(),
+            size,
+            base: RunConfig {
+                threads: 2,
+                value_size: size,
+                duration: profile.duration(),
+                runs: profile.runs(),
+                mode: WorkloadMode::Processing,
+                steal: None,
+                stack_size: 1 << 20,
+            },
+        };
+        let table = sweep_algos(&spec);
+        println!("{}", table.render());
+        let path = out_dir().join(format!("payload_{}kb.csv", size >> 10));
+        write_csv(&table, &path).expect("write CSV");
+        println!("wrote {}\n", path.display());
+    }
+}

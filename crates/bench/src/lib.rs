@@ -1,0 +1,24 @@
+//! Shared machinery for the figure-regeneration binaries.
+//!
+//! Every binary reads the `ARC_BENCH_PROFILE` environment variable
+//! (`quick` | `standard` | `full`, default `standard`) so the same targets
+//! serve CI smoke runs and real measurement sessions, and writes CSVs under
+//! `ARC_BENCH_OUT` (default `./results`).
+//!
+//! | binary | regenerates | paper artifact |
+//! |--------|-------------|----------------|
+//! | `fig1` | throughput vs threads, physical machine | Figure 1 (a–c) |
+//! | `fig2` | + CPU-steal injection ("virtualized")   | Figure 2 (a–c) |
+//! | `fig3` | 1000–4000 threads, log scale            | Figure 3 (a–c) |
+//! | `payload` | processing workload                  | §5 second experiment set |
+//! | `rmw_counts` | RMW instructions per op (needs `--features metrics`) | §5 RMW-avoidance claim |
+//! | `ablation` | fast-path / hint / slot-count ablations | §3.4, E6 |
+
+#![deny(missing_docs)]
+
+pub mod ablations;
+pub mod profile;
+pub mod sweep;
+
+pub use profile::{out_dir, BenchProfile};
+pub use sweep::{figure_sizes, sweep_algos, thread_counts, SweepSpec};

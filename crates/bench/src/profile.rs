@@ -1,0 +1,80 @@
+//! Bench profiles: how long and how often to measure.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Measurement effort level, from `ARC_BENCH_PROFILE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchProfile {
+    /// CI smoke: tiny sweeps, 1 run, ~100 ms windows.
+    Quick,
+    /// Default: full sweeps, 3 runs, 400 ms windows.
+    Standard,
+    /// Paper-like: full sweeps, 10 runs, 1 s windows (the paper used ≥2×10⁶
+    /// ops per run, 10 runs per point).
+    Full,
+}
+
+impl BenchProfile {
+    /// Read from the environment (`quick`/`standard`/`full`).
+    pub fn from_env() -> Self {
+        match std::env::var("ARC_BENCH_PROFILE").as_deref() {
+            Ok("quick") => BenchProfile::Quick,
+            Ok("full") => BenchProfile::Full,
+            _ => BenchProfile::Standard,
+        }
+    }
+
+    /// Measured window per run.
+    pub fn duration(self) -> Duration {
+        match self {
+            BenchProfile::Quick => Duration::from_millis(100),
+            BenchProfile::Standard => Duration::from_millis(400),
+            BenchProfile::Full => Duration::from_secs(1),
+        }
+    }
+
+    /// Runs per point (paper: 10).
+    pub fn runs(self) -> usize {
+        match self {
+            BenchProfile::Quick => 1,
+            BenchProfile::Standard => 3,
+            BenchProfile::Full => 10,
+        }
+    }
+
+    /// Scale a sweep: quick mode keeps only first, middle and last points.
+    pub fn thin<T: Copy>(self, points: &[T]) -> Vec<T> {
+        match self {
+            BenchProfile::Quick if points.len() > 3 => {
+                vec![points[0], points[points.len() / 2], points[points.len() - 1]]
+            }
+            _ => points.to_vec(),
+        }
+    }
+}
+
+/// Output directory for CSVs (`ARC_BENCH_OUT`, default `./results`).
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("ARC_BENCH_OUT").map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_scale_with_profile() {
+        assert!(BenchProfile::Quick.duration() < BenchProfile::Standard.duration());
+        assert!(BenchProfile::Standard.duration() < BenchProfile::Full.duration());
+        assert_eq!(BenchProfile::Full.runs(), 10);
+    }
+
+    #[test]
+    fn thin_keeps_endpoints() {
+        let pts = [1, 2, 3, 4, 5, 6];
+        let t = BenchProfile::Quick.thin(&pts);
+        assert_eq!(t, vec![1, 4, 6]);
+        assert_eq!(BenchProfile::Standard.thin(&pts), pts.to_vec());
+    }
+}

@@ -1,0 +1,158 @@
+//! Generic thread-count sweeps over the register families.
+
+use arc_register::ArcFamily;
+use baseline_registers::{LockFamily, PetersonFamily, RfFamily, SeqlockFamily, RF_MAX_READERS};
+
+use workload_harness::{run_register, RunConfig, Table};
+
+use crate::profile::BenchProfile;
+
+/// The register sizes of Figures 1–3: 4 KB, 32 KB, 128 KB.
+pub fn figure_sizes(profile: BenchProfile) -> Vec<usize> {
+    match profile {
+        BenchProfile::Quick => vec![4 << 10, 32 << 10],
+        _ => vec![4 << 10, 32 << 10, 128 << 10],
+    }
+}
+
+/// Thread counts for the Figure-1/2 x-axis: 2..=`max`, paper-style spacing.
+pub fn thread_counts(max: usize) -> Vec<usize> {
+    let mut v = vec![2, 4];
+    let mut t = 8;
+    while t < max {
+        v.push(t);
+        t += 4;
+    }
+    v.push(max);
+    v.dedup();
+    v.retain(|&t| t <= max);
+    v
+}
+
+/// One figure sweep: which algorithms, thread counts, and workload tweaks.
+pub struct SweepSpec {
+    /// Algorithm names to include (subset of
+    /// `["arc", "rf", "peterson", "lock", "seqlock"]`).
+    pub algos: Vec<&'static str>,
+    /// Thread counts (1 writer + t−1 readers each).
+    pub threads: Vec<usize>,
+    /// Value size in bytes.
+    pub size: usize,
+    /// Base run configuration (duration/runs/mode/steal/stack).
+    pub base: RunConfig,
+}
+
+/// Run `spec` for every algorithm × thread count; returns a table with
+/// columns `algo, threads, size, mops, std, reads, writes`.
+///
+/// Algorithms whose structural limits exclude a point are skipped with a
+/// note — the paper does the same ("RF could not be tested" beyond 58
+/// readers).
+pub fn sweep_algos(spec: &SweepSpec) -> Table {
+    let mut table = Table::new(vec![
+        "algo", "threads", "size", "mops", "std", "reads", "writes",
+    ]);
+    for &threads in &spec.threads {
+        for algo in &spec.algos {
+            let readers = threads - 1;
+            if *algo == "rf" && readers > RF_MAX_READERS {
+                eprintln!("  rf skipped at {threads} threads (>{RF_MAX_READERS} readers)");
+                continue;
+            }
+            let mut cfg = spec.base.clone();
+            cfg.threads = threads;
+            cfg.value_size = spec.size;
+            let res = match *algo {
+                "arc" => run_register::<ArcFamily>(&cfg),
+                "rf" => run_register::<RfFamily>(&cfg),
+                "peterson" => run_register::<PetersonFamily>(&cfg),
+                "lock" => run_register::<LockFamily>(&cfg),
+                "seqlock" => run_register::<SeqlockFamily>(&cfg),
+                other => panic!("unknown algorithm {other}"),
+            };
+            let reads: u64 = res.reads.iter().sum();
+            let writes: u64 = res.writes.iter().sum();
+            eprintln!(
+                "  {algo:>8} t={threads:<5} size={:<7} {:>10.2} Mops/s",
+                spec.size,
+                res.mops()
+            );
+            table.row(vec![
+                algo.to_string(),
+                threads.to_string(),
+                spec.size.to_string(),
+                format!("{:.3}", res.mops()),
+                format!("{:.3}", res.throughput.std_dev()),
+                reads.to_string(),
+                writes.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use workload_harness::WorkloadMode;
+
+    #[test]
+    fn thread_counts_shape() {
+        let t = thread_counts(24);
+        assert_eq!(t.first(), Some(&2));
+        assert_eq!(t.last(), Some(&24));
+        assert!(t.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn thread_counts_small_max() {
+        assert_eq!(thread_counts(4), vec![2, 4]);
+    }
+
+    #[test]
+    fn sizes_per_profile() {
+        assert_eq!(figure_sizes(BenchProfile::Full).len(), 3);
+        assert_eq!(figure_sizes(BenchProfile::Quick).len(), 2);
+    }
+
+    #[test]
+    fn tiny_sweep_produces_rows() {
+        let spec = SweepSpec {
+            algos: vec!["arc", "rf", "peterson", "lock", "seqlock"],
+            threads: vec![2],
+            size: 1024,
+            base: RunConfig {
+                threads: 2,
+                value_size: 1024,
+                duration: Duration::from_millis(20),
+                runs: 1,
+                mode: WorkloadMode::Hold,
+                steal: None,
+                stack_size: 1 << 20,
+            },
+        };
+        let t = sweep_algos(&spec);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn rf_skipped_beyond_cap() {
+        let spec = SweepSpec {
+            algos: vec!["rf"],
+            threads: vec![60],
+            size: 256,
+            base: RunConfig {
+                threads: 60,
+                value_size: 256,
+                duration: Duration::from_millis(10),
+                runs: 1,
+                mode: WorkloadMode::Hold,
+                steal: None,
+                stack_size: 1 << 20,
+            },
+        };
+        let t = sweep_algos(&spec);
+        assert!(t.is_empty(), "rf must be skipped at 59 readers");
+    }
+}

@@ -1,0 +1,28 @@
+//! Cache-line padding.
+//!
+//! The ARC paper stresses that "cache-unaligned data structures" amplify the
+//! cost of synchronization steps (§2). Every hot shared word in this
+//! workspace (`current`, per-slot counters, per-reader flags, lock words) is
+//! wrapped in [`CachePadded`] so that two independently-contended words never
+//! share a cache line (no false sharing).
+
+pub use crossbeam_utils::CachePadded;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_words_do_not_share_lines() {
+        // CachePadded aligns to the platform's assumed cache-line size
+        // (128 B on modern x86_64 to cover adjacent-line prefetching).
+        assert!(std::mem::align_of::<CachePadded<u64>>() >= 64);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 64);
+    }
+
+    #[test]
+    fn padded_derefs_to_inner() {
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+    }
+}

@@ -1,0 +1,297 @@
+//! Stamped, self-verifying payloads.
+//!
+//! Register correctness tests need to answer two questions about every value
+//! a read returns:
+//!
+//! 1. **Which write produced it?** — needed to feed the linearizability
+//!    checker (a value is identified by the writer's sequence number).
+//! 2. **Is it torn?** — a multi-word register bug manifests as a value whose
+//!    bytes come from two different writes.
+//!
+//! A stamped payload encodes the sequence number redundantly in *every*
+//! 8-byte word, so a torn value is detected no matter which subset of words
+//! was overwritten, and additionally carries the value length and an XOR
+//! checksum:
+//!
+//! ```text
+//! word 0 : seq
+//! word 1 : total payload length in bytes
+//! word i : seq ^ (MIX * i)          (for 2 <= i < n)
+//! trailing bytes (len % 8): low bytes of seq
+//!
+//! Every word binds `seq` independently (a plain XOR checksum would let the
+//! per-word seq contributions cancel, so a spliced trailer could verify).
+//! ```
+//!
+//! Words are encoded little-endian through byte slices, so buffers need no
+//! alignment.
+
+use std::fmt;
+
+/// Minimum length (bytes) of a stampable payload: seq + len + one pattern word.
+pub const MIN_PAYLOAD_LEN: usize = 24;
+
+/// Multiplier decorrelating the per-word patterns (odd 64-bit constant from
+/// splitmix64).
+const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Why a payload failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadError {
+    /// The payload is shorter than [`MIN_PAYLOAD_LEN`].
+    TooShort {
+        /// Observed length.
+        len: usize,
+    },
+    /// The length word does not match the slice length: the reader observed
+    /// a value with the wrong extent (e.g. stale size metadata).
+    LengthMismatch {
+        /// Length recorded inside the payload.
+        recorded: u64,
+        /// Actual slice length.
+        actual: usize,
+    },
+    /// A pattern word disagrees with the sequence word: bytes from two
+    /// different writes were mixed (torn read).
+    Torn {
+        /// Index of the first inconsistent word.
+        word: usize,
+        /// Value that word should have had for the header's seq.
+        expected: u64,
+        /// Value actually found.
+        found: u64,
+    },
+    /// A trailing byte (len % 8 tail) disagrees with the sequence word.
+    TornTail {
+        /// Offset of the inconsistent trailing byte.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for PayloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PayloadError::TooShort { len } => {
+                write!(f, "payload of {len} bytes is shorter than {MIN_PAYLOAD_LEN}")
+            }
+            PayloadError::LengthMismatch { recorded, actual } => {
+                write!(f, "payload records length {recorded} but slice has {actual} bytes")
+            }
+            PayloadError::Torn { word, expected, found } => write!(
+                f,
+                "torn read: word {word} is {found:#x}, expected {expected:#x}"
+            ),
+            PayloadError::TornTail { offset } => {
+                write!(f, "torn read in trailing bytes at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PayloadError {}
+
+#[inline]
+fn word_at(buf: &[u8], i: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&buf[i * 8..i * 8 + 8]);
+    u64::from_le_bytes(w)
+}
+
+#[inline]
+fn set_word(buf: &mut [u8], i: usize, v: u64) {
+    buf[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Expected value of pattern word `i` for sequence number `seq`.
+#[inline]
+pub fn pattern_word(seq: u64, i: usize) -> u64 {
+    seq ^ MIX.wrapping_mul(i as u64)
+}
+
+/// Fill `buf` with the stamped pattern for write number `seq`.
+///
+/// # Panics
+///
+/// Panics if `buf.len() < MIN_PAYLOAD_LEN`.
+pub fn stamp(buf: &mut [u8], seq: u64) {
+    assert!(
+        buf.len() >= MIN_PAYLOAD_LEN,
+        "stamped payloads need at least {MIN_PAYLOAD_LEN} bytes, got {}",
+        buf.len()
+    );
+    let len = buf.len();
+    let words = len / 8;
+    set_word(buf, 0, seq);
+    set_word(buf, 1, len as u64);
+    for i in 2..words {
+        set_word(buf, i, pattern_word(seq, i));
+    }
+    // Trailing bytes carry the low bytes of seq, repeated.
+    let seq_bytes = seq.to_le_bytes();
+    for (k, b) in buf[words * 8..].iter_mut().enumerate() {
+        *b = seq_bytes[k % 8];
+    }
+}
+
+/// Verify a stamped payload, returning the embedded sequence number.
+pub fn verify(buf: &[u8]) -> Result<u64, PayloadError> {
+    if buf.len() < MIN_PAYLOAD_LEN {
+        return Err(PayloadError::TooShort { len: buf.len() });
+    }
+    let len = buf.len();
+    let words = len / 8;
+    let seq = word_at(buf, 0);
+    let recorded = word_at(buf, 1);
+    if recorded != len as u64 {
+        return Err(PayloadError::LengthMismatch { recorded, actual: len });
+    }
+    for i in 2..words {
+        let found = word_at(buf, i);
+        let expected = pattern_word(seq, i);
+        if found != expected {
+            return Err(PayloadError::Torn { word: i, expected, found });
+        }
+    }
+    let seq_bytes = seq.to_le_bytes();
+    for (k, b) in buf[words * 8..].iter().enumerate() {
+        if *b != seq_bytes[k % 8] {
+            return Err(PayloadError::TornTail { offset: words * 8 + k });
+        }
+    }
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_word_multiple() {
+        let mut buf = vec![0u8; 64];
+        stamp(&mut buf, 42);
+        assert_eq!(verify(&buf), Ok(42));
+    }
+
+    #[test]
+    fn roundtrip_with_tail() {
+        for extra in 1..8 {
+            let mut buf = vec![0u8; 64 + extra];
+            stamp(&mut buf, 7_000_000_000);
+            assert_eq!(verify(&buf), Ok(7_000_000_000), "tail of {extra} bytes");
+        }
+    }
+
+    #[test]
+    fn roundtrip_minimum_size() {
+        let mut buf = vec![0u8; MIN_PAYLOAD_LEN];
+        stamp(&mut buf, u64::MAX);
+        assert_eq!(verify(&buf), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn roundtrip_seq_zero() {
+        let mut buf = vec![0u8; 40];
+        stamp(&mut buf, 0);
+        assert_eq!(verify(&buf), Ok(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn stamp_panics_on_tiny_buffer() {
+        let mut buf = vec![0u8; MIN_PAYLOAD_LEN - 1];
+        stamp(&mut buf, 1);
+    }
+
+    #[test]
+    fn verify_rejects_tiny_buffer() {
+        assert_eq!(verify(&[0u8; 8]), Err(PayloadError::TooShort { len: 8 }));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_length_slice() {
+        let mut buf = vec![0u8; 64];
+        stamp(&mut buf, 3);
+        // Truncating the slice changes its length vs the recorded one.
+        let trunc = &buf[..56];
+        assert!(matches!(verify(trunc), Err(PayloadError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_torn_word() {
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        stamp(&mut a, 10);
+        stamp(&mut b, 11);
+        // Simulate a tear: first half from write 10, second half from write 11.
+        let mut torn = a.clone();
+        torn[32..].copy_from_slice(&b[32..]);
+        match verify(&torn) {
+            Err(PayloadError::Torn { word, .. }) => assert!(word >= 4),
+            other => panic!("expected Torn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_single_flipped_bit_in_pattern() {
+        let mut buf = vec![0u8; 64];
+        stamp(&mut buf, 99);
+        buf[20] ^= 0x40;
+        assert!(verify(&buf).is_err());
+    }
+
+    #[test]
+    fn detects_flipped_bit_in_last_word() {
+        let mut buf = vec![0u8; 64];
+        stamp(&mut buf, 99);
+        let last = buf.len() - 3;
+        buf[last] ^= 1;
+        assert!(matches!(verify(&buf), Err(PayloadError::Torn { word: 7, .. })));
+    }
+
+    #[test]
+    fn spliced_trailer_from_other_seq_is_detected() {
+        // Regression: with an XOR checksum, seq contributions cancel when the
+        // pattern-word count is even, so a trailer spliced from another write
+        // verified. Every word now binds seq independently.
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        stamp(&mut a, 0);
+        stamp(&mut b, 1);
+        let mut torn = a.clone();
+        torn[24..].copy_from_slice(&b[24..]);
+        assert!(verify(&torn).is_err());
+    }
+
+    #[test]
+    fn detects_torn_tail() {
+        let mut buf = vec![0u8; 67];
+        stamp(&mut buf, 5);
+        buf[65] ^= 0xFF;
+        assert!(matches!(verify(&buf), Err(PayloadError::TornTail { offset: 65 })));
+    }
+
+    #[test]
+    fn detects_seq_word_swap() {
+        // Replacing only the seq word must break every pattern word.
+        let mut buf = vec![0u8; 64];
+        stamp(&mut buf, 1234);
+        set_word(&mut buf, 0, 1235);
+        assert!(matches!(verify(&buf), Err(PayloadError::Torn { word: 2, .. })));
+    }
+
+    #[test]
+    fn distinct_seqs_give_distinct_payloads() {
+        let mut a = vec![0u8; 48];
+        let mut b = vec![0u8; 48];
+        stamp(&mut a, 1);
+        stamp(&mut b, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pattern_words_differ_across_indices() {
+        let w2 = pattern_word(77, 2);
+        let w3 = pattern_word(77, 3);
+        assert_ne!(w2, w3);
+    }
+}

@@ -1,0 +1,230 @@
+//! The generic (1,N) register interface.
+//!
+//! The ARC paper compares four algorithms (ARC, RF, Peterson, lock-based)
+//! under identical workloads. To write the workloads, conformance tests and
+//! benches once, every implementation exposes the same shape:
+//!
+//! * a **build** step that creates the shared object and splits it into one
+//!   [`WriteHandle`] and up to `spec.readers` [`ReadHandle`]s;
+//! * `write(&mut self, &[u8])` on the writer;
+//! * `read_with(&mut self, f)` on readers, which runs `f` over the current
+//!   snapshot. Algorithms that can expose the slot in place (ARC, RF, lock)
+//!   call `f` on the shared buffer directly; copy-based algorithms
+//!   (Peterson, seqlock) call `f` on their private copy — the asymmetry is
+//!   intrinsic to the algorithms and is exactly what the paper measures.
+
+use std::fmt;
+
+/// Construction parameters common to all register families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterSpec {
+    /// Maximum number of concurrent readers (the paper's `N`).
+    pub readers: usize,
+    /// Maximum payload size in bytes the register must be able to hold.
+    pub capacity: usize,
+}
+
+impl RegisterSpec {
+    /// Convenience constructor.
+    pub const fn new(readers: usize, capacity: usize) -> Self {
+        Self { readers, capacity }
+    }
+}
+
+/// Errors raised when building a register for a given [`RegisterSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The algorithm cannot host this many readers (e.g. RF caps at 58).
+    TooManyReaders {
+        /// Readers requested by the spec.
+        requested: usize,
+        /// Hard limit of the algorithm.
+        limit: usize,
+    },
+    /// The initial value exceeds the requested capacity.
+    InitialTooLarge {
+        /// Length of the provided initial value.
+        len: usize,
+        /// Capacity from the spec.
+        capacity: usize,
+    },
+    /// A capacity of zero bytes was requested.
+    ZeroCapacity,
+    /// Zero readers were requested.
+    ZeroReaders,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::TooManyReaders { requested, limit } => {
+                write!(f, "requested {requested} readers but algorithm supports at most {limit}")
+            }
+            BuildError::InitialTooLarge { len, capacity } => {
+                write!(f, "initial value of {len} bytes exceeds capacity {capacity}")
+            }
+            BuildError::ZeroCapacity => write!(f, "register capacity must be non-zero"),
+            BuildError::ZeroReaders => write!(f, "register must admit at least one reader"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The single writer's handle. Exactly one exists per register instance.
+pub trait WriteHandle: Send + 'static {
+    /// Store a new register value. Wait-free for the wait-free algorithms.
+    ///
+    /// `value.len()` may differ between calls (the paper supports writes of
+    /// different sizes) but must not exceed the build-time capacity.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `value.len()` exceeds the capacity; this is
+    /// a programming error, not a runtime condition.
+    fn write(&mut self, value: &[u8]);
+}
+
+/// A reader's handle. Up to `spec.readers` exist per register instance.
+pub trait ReadHandle: Send + 'static {
+    /// Run `f` over the most recent register snapshot and return its result.
+    ///
+    /// The slice passed to `f` is the full value written by the write this
+    /// read is linearized after (same length as that write's `value`).
+    fn read_with<R, F: FnOnce(&[u8]) -> R>(&mut self, f: F) -> R;
+
+    /// Copy the current snapshot into `out`, returning the value length.
+    ///
+    /// Default implementation goes through [`ReadHandle::read_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the current value.
+    fn read_into(&mut self, out: &mut [u8]) -> usize {
+        self.read_with(|v| {
+            out[..v.len()].copy_from_slice(v);
+            v.len()
+        })
+    }
+}
+
+/// A family of (1,N) register algorithms: the type-level entry point used by
+/// the conformance suite and the figure benches.
+pub trait RegisterFamily: 'static {
+    /// Writer handle type.
+    type Writer: WriteHandle;
+    /// Reader handle type.
+    type Reader: ReadHandle;
+
+    /// Short name used in bench output rows ("arc", "rf", "peterson", ...).
+    const NAME: &'static str;
+
+    /// Hard reader-count limit of the algorithm, if any.
+    ///
+    /// RF returns `Some(58)` (6 index bits + 58 presence bits in a 64-bit
+    /// word); the others return `None`.
+    fn reader_limit() -> Option<usize> {
+        None
+    }
+
+    /// Whether reads are wait-free (true for ARC/RF/Peterson, false for the
+    /// lock-based and seqlock baselines).
+    fn wait_free_reads() -> bool {
+        true
+    }
+
+    /// Build a register initialized to `initial` and split it into handles.
+    fn build(
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError>;
+}
+
+/// Validate a spec against an optional per-algorithm reader limit.
+///
+/// Shared by every implementation's `build`.
+pub fn validate_spec(
+    spec: RegisterSpec,
+    initial: &[u8],
+    limit: Option<usize>,
+) -> Result<(), BuildError> {
+    if spec.capacity == 0 {
+        return Err(BuildError::ZeroCapacity);
+    }
+    if spec.readers == 0 {
+        return Err(BuildError::ZeroReaders);
+    }
+    if let Some(limit) = limit {
+        if spec.readers > limit {
+            return Err(BuildError::TooManyReaders { requested: spec.readers, limit });
+        }
+    }
+    if initial.len() > spec.capacity {
+        return Err(BuildError::InitialTooLarge { len: initial.len(), capacity: spec.capacity });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrip() {
+        let s = RegisterSpec::new(8, 4096);
+        assert_eq!(s.readers, 8);
+        assert_eq!(s.capacity, 4096);
+    }
+
+    #[test]
+    fn validate_accepts_sane_spec() {
+        assert!(validate_spec(RegisterSpec::new(4, 128), &[0u8; 64], None).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_capacity() {
+        assert_eq!(
+            validate_spec(RegisterSpec::new(4, 0), &[], None),
+            Err(BuildError::ZeroCapacity)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_readers() {
+        assert_eq!(
+            validate_spec(RegisterSpec::new(0, 16), &[], None),
+            Err(BuildError::ZeroReaders)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_oversized_initial() {
+        assert_eq!(
+            validate_spec(RegisterSpec::new(1, 16), &[0u8; 17], None),
+            Err(BuildError::InitialTooLarge { len: 17, capacity: 16 })
+        );
+    }
+
+    #[test]
+    fn validate_enforces_reader_limit() {
+        assert_eq!(
+            validate_spec(RegisterSpec::new(59, 16), &[], Some(58)),
+            Err(BuildError::TooManyReaders { requested: 59, limit: 58 })
+        );
+        assert!(validate_spec(RegisterSpec::new(58, 16), &[], Some(58)).is_ok());
+    }
+
+    #[test]
+    fn build_error_display_is_informative() {
+        let msgs = [
+            BuildError::TooManyReaders { requested: 99, limit: 58 }.to_string(),
+            BuildError::InitialTooLarge { len: 5, capacity: 4 }.to_string(),
+            BuildError::ZeroCapacity.to_string(),
+            BuildError::ZeroReaders.to_string(),
+        ];
+        assert!(msgs[0].contains("99") && msgs[0].contains("58"));
+        assert!(msgs[1].contains('5') && msgs[1].contains('4'));
+        assert!(msgs[2].contains("capacity"));
+        assert!(msgs[3].contains("reader"));
+    }
+}

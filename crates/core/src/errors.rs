@@ -1,0 +1,50 @@
+//! Error types for register construction and handle acquisition.
+
+use std::fmt;
+
+/// Errors returned when acquiring reader/writer handles at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandleError {
+    /// A writer handle already exists; ARC is a (1,N) register.
+    WriterAlreadyClaimed,
+    /// The configured maximum number of live readers is reached.
+    ReadersExhausted {
+        /// The configured cap.
+        max_readers: u32,
+    },
+    /// More reader handles were created between two writes than the
+    /// presence counter can account for (only reachable by joining ~2^32
+    /// readers without a single intervening write).
+    ChurnExhausted,
+}
+
+impl fmt::Display for HandleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandleError::WriterAlreadyClaimed => {
+                write!(f, "the (1,N) register's single writer handle is already claimed")
+            }
+            HandleError::ReadersExhausted { max_readers } => {
+                write!(f, "all {max_readers} reader handles are in use")
+            }
+            HandleError::ChurnExhausted => write!(
+                f,
+                "reader-handle churn exceeded the per-generation presence-counter budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HandleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(HandleError::WriterAlreadyClaimed.to_string().contains("writer"));
+        assert!(HandleError::ReadersExhausted { max_readers: 4 }.to_string().contains('4'));
+        assert!(HandleError::ChurnExhausted.to_string().contains("churn"));
+    }
+}

@@ -1,0 +1,98 @@
+//! [`RegisterFamily`] adapter so the conformance suite and figure benches
+//! can drive ARC through the same interface as the baselines.
+
+use register_common::traits::{
+    BuildError, ReadHandle, RegisterFamily, RegisterSpec, WriteHandle,
+};
+
+use crate::current::MAX_READERS;
+use crate::register::{ArcReader, ArcRegister, ArcWriter};
+
+/// Type-level handle for the ARC algorithm.
+pub struct ArcFamily;
+
+impl RegisterFamily for ArcFamily {
+    type Writer = ArcWriter;
+    type Reader = ArcReader;
+
+    const NAME: &'static str = "arc";
+
+    fn reader_limit() -> Option<usize> {
+        Some(MAX_READERS as usize) // 2^32 − 2: effectively unbounded
+    }
+
+    fn build(
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError> {
+        let readers = u32::try_from(spec.readers)
+            .ok()
+            .filter(|&r| r <= MAX_READERS)
+            .ok_or(BuildError::TooManyReaders {
+                requested: spec.readers,
+                limit: MAX_READERS as usize,
+            })?;
+        let reg = ArcRegister::builder(readers, spec.capacity).initial(initial).build()?;
+        let writer = reg.writer().expect("fresh register has no writer");
+        let readers = (0..spec.readers)
+            .map(|_| reg.reader().expect("within the configured reader cap"))
+            .collect();
+        Ok((writer, readers))
+    }
+}
+
+impl WriteHandle for ArcWriter {
+    #[inline]
+    fn write(&mut self, value: &[u8]) {
+        ArcWriter::write(self, value);
+    }
+}
+
+impl ReadHandle for ArcReader {
+    #[inline]
+    fn read_with<R, F: FnOnce(&[u8]) -> R>(&mut self, f: F) -> R {
+        f(&self.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_builds_and_operates() {
+        let (mut w, mut readers) =
+            ArcFamily::build(RegisterSpec::new(3, 128), b"seed").unwrap();
+        assert_eq!(readers.len(), 3);
+        for r in readers.iter_mut() {
+            r.read_with(|v| assert_eq!(v, b"seed"));
+        }
+        WriteHandle::write(&mut w, b"updated");
+        for r in readers.iter_mut() {
+            r.read_with(|v| assert_eq!(v, b"updated"));
+        }
+    }
+
+    #[test]
+    fn family_metadata() {
+        assert_eq!(ArcFamily::NAME, "arc");
+        assert!(ArcFamily::reader_limit().unwrap() > 1_000_000);
+        assert!(ArcFamily::wait_free_reads());
+    }
+
+    #[test]
+    fn family_rejects_bad_spec() {
+        assert!(ArcFamily::build(RegisterSpec::new(0, 128), b"").is_err());
+        assert!(ArcFamily::build(RegisterSpec::new(1, 0), b"").is_err());
+    }
+
+    #[test]
+    fn read_into_default_impl() {
+        let (mut w, mut readers) = ArcFamily::build(RegisterSpec::new(1, 64), b"abc").unwrap();
+        WriteHandle::write(&mut w, b"hello world");
+        let mut out = [0u8; 64];
+        // Disambiguate from ArcReader's inherent Vec-based read_into.
+        let n = ReadHandle::read_into(&mut readers[0], &mut out);
+        assert_eq!(&out[..n], b"hello world");
+    }
+}

@@ -1,0 +1,83 @@
+//! # Anonymous Readers Counting (ARC)
+//!
+//! A **wait-free multi-word atomic (1,N) register** for large-scale data
+//! sharing on multi-core machines — a from-scratch Rust implementation of:
+//!
+//! > M. Ianni, A. Pellegrini, F. Quaglia. *A Wait-free Multi-word Atomic
+//! > (1,N) Register for Large-scale Data Sharing on Multi-core Machines.*
+//! > IEEE CLUSTER 2017 (arXiv:1707.07478).
+//!
+//! One writer and up to **2³² − 2** concurrent readers share a value of
+//! arbitrary (bounded) size with *linearizable* semantics and *wait-free*
+//! progress for every operation:
+//!
+//! * **reads are O(1), zero-copy, and RMW-free** when the value hasn't
+//!   changed since the reader's last read (the R2 fast path);
+//! * **writes are amortized O(1)** with exactly one copy of the new value
+//!   (no intermediate copies), using the classical minimum of `N + 2`
+//!   buffers;
+//! * no operation ever blocks, retries, or fails — resilience that matters
+//!   on oversubscribed and virtualized hosts where a preempted lock holder
+//!   would otherwise stall everyone (the paper's Figures 2–3).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use arc_register::ArcRegister;
+//!
+//! let reg = ArcRegister::builder(8, 4096).initial(b"v0").build().unwrap();
+//! let mut writer = reg.writer().unwrap();
+//! let mut reader = reg.reader().unwrap();
+//!
+//! writer.write(b"fresh value");
+//! let snap = reader.read();            // zero-copy, wait-free
+//! assert_eq!(&*snap, b"fresh value");
+//! ```
+//!
+//! For sharing typed values instead of bytes, see [`TypedArc`].
+//!
+//! ## How it works
+//!
+//! The whole coordination state is a single 64-bit word
+//! `current = (slot index << 32) | standing-reader counter`. A reader's
+//! `fetch_add(current, 1)` atomically learns the freshest slot *and*
+//! registers an anonymous presence unit on exactly that slot; the writer's
+//! `swap` publishes a new slot and *freezes* the displaced counter into the
+//! old slot's bookkeeping. A slot is reused only when every frozen unit has
+//! been matched by a reader release — so readers are never torn, and nobody
+//! ever waits. See [`raw`] for the protocol and the paper's Algorithms 1–3.
+//!
+//! ## Crate layout
+//!
+//! * [`register`] — [`ArcRegister`]: byte-payload register (the paper's).
+//! * [`typed`] — [`TypedArc`]: the same protocol carrying any `T`.
+//! * [`raw`] — the slot/counter protocol, payload-agnostic.
+//! * [`current`] — the packed synchronization word.
+//! * [`family`] — adapter to the cross-algorithm bench/test interface.
+//!
+//! ## Memory-model note
+//!
+//! The paper assumes TSO. This implementation is expressed in C11 atomics:
+//! all `current` operations are `SeqCst`, slot releases/acquires pair
+//! `Release`/`Acquire`. The R1 fast-path load additionally relies on
+//! per-location coherence delivering the latest store — guaranteed by every
+//! ISA the paper targets (x86-TSO, ARMv8 OMCA); see DESIGN.md §3.1.
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod current;
+pub mod errors;
+pub mod family;
+pub mod raw;
+pub mod register;
+pub mod typed;
+
+pub use errors::HandleError;
+pub use family::ArcFamily;
+pub use raw::{RawArc, RawOptions, ReadOutcome};
+pub use register::{ArcBuilder, ArcReader, ArcRegister, ArcWriter, Snapshot};
+pub use typed::{TypedArc, TypedReader, TypedWriter};
+
+/// The maximum number of concurrent readers: 2³² − 2 (the paper's headline).
+pub const MAX_READERS: u32 = current::MAX_READERS;

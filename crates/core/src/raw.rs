@@ -1,0 +1,798 @@
+//! The ARC protocol over slot metadata — Algorithms 1–3 of the paper.
+//!
+//! This layer implements the *coordination* part of ARC (who may read or
+//! write which slot, and when), independent of what the slots store. The
+//! byte register ([`crate::register`]) and the typed register
+//! ([`crate::typed`]) both drive this state machine and attach their own
+//! payload storage.
+//!
+//! # Protocol summary
+//!
+//! * `current: AtomicU64` packs `(index, counter)` — see [`crate::current`].
+//! * Each of the `n_slots` (normally `N + 2`) slots carries two counters:
+//!   `r_start` (presence units *frozen* into the slot when the writer moved
+//!   `current` away from it — W3) and `r_end` (units released by readers
+//!   that switched away from it — R3). `r_start == r_end` ⟺ no standing
+//!   reader, slot reusable.
+//! * **Read** (Algorithm 2): if the reader's `last_index` still matches
+//!   `current.index` (plain load — R1), the pinned slot is still the most
+//!   recent: return it with **zero RMW** (R2). Otherwise release the old
+//!   slot (`r_end += 1` — R3), then `fetch_add(current, 1)` (R4), which
+//!   atomically learns the new index and registers an anonymous presence
+//!   unit on it (R5).
+//! * **Write** (Algorithm 3): pick a free slot `≠ last_slot` (W1), fill it
+//!   (caller's job, between [`RawArc::select_slot`] and
+//!   [`RawArc::publish`]), `swap` it into `current` with a zeroed counter
+//!   (W2), and freeze the swapped-out counter into the old slot's `r_start`
+//!   (W3).
+//!
+//! # Why the fast path is safe (the linchpin)
+//!
+//! If `last_index == current.index`, the reader still holds an unreleased
+//! presence unit on that slot (it releases only when switching). A slot
+//! with an outstanding unit satisfies `r_start > r_end` once frozen, or is
+//! the current slot itself — in both cases the writer will not select it
+//! (W1). For `index` to return to `last_index` after moving away, the slot
+//! would have to be *re-published*, which requires it to be selected, which
+//! requires this very reader to have released it — a contradiction. Hence
+//! a fast-path hit always refers to the same publication the reader is
+//! already pinned to.
+//!
+//! # Memory ordering
+//!
+//! * Everything on `current` is `SeqCst` (plain `mov` for the R1 load on
+//!   x86; the RMWs are locked instructions anyway). See DESIGN.md §3.1 for
+//!   the per-location-coherence caveat on R1.
+//! * Reader release `r_end.fetch_add(1, Release)` pairs with the writer's
+//!   `Acquire` load in the free-slot check, ordering the reader's payload
+//!   loads before the writer's next payload stores to that slot.
+//! * The writer's payload stores happen-before the `SeqCst` swap (W2),
+//!   which pairs with the readers' `SeqCst` `fetch_add` (R4).
+//!
+//! # Accounting invariant (Lemma 4.1 survives lazy registration)
+//!
+//! Every live reader handle holds at most one outstanding presence unit
+//! (none before its first read). A switch releases exactly one unit and
+//! acquires exactly one. Therefore at most `live_readers` units are
+//! outstanding, spread over at most `live_readers` non-current slots, so
+//! among `N + 2` slots at least one non-current slot is free — the writer's
+//! W1 scan terminates within one sweep.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use register_common::pad::CachePadded;
+#[cfg(feature = "metrics")]
+use register_common::OpMetrics;
+
+use crate::current::{counter_of, index_of, Current, MAX_READERS};
+use crate::errors::HandleError;
+
+/// Sentinel for "no hint posted".
+const NO_HINT: usize = usize::MAX;
+
+/// Per-slot coordination metadata.
+///
+/// One cache line per slot: `r_end` is hammered by readers releasing the
+/// slot, and must not false-share with *other* slots' counters.
+#[derive(Debug)]
+struct SlotMeta {
+    /// Presence units frozen into the slot by the writer (W3). Written only
+    /// by the writer; read by the writer (W1) and by readers posting hints.
+    r_start: AtomicU32,
+    /// Presence units released by readers that switched away (R3).
+    r_end: AtomicU32,
+}
+
+/// Runtime-tunable protocol options (ablation switches for the E6 bench).
+#[derive(Debug, Clone, Copy)]
+pub struct RawOptions {
+    /// Enable the §3.4 reader-posted free-slot hint.
+    pub hint: bool,
+    /// Enable the R1/R2 no-RMW fast path. Disabling it makes every read pay
+    /// the RF-style RMW — the ablation that isolates the paper's central
+    /// optimization.
+    pub fast_path: bool,
+}
+
+impl Default for RawOptions {
+    fn default() -> Self {
+        Self { hint: true, fast_path: true }
+    }
+}
+
+/// The ARC coordination state machine.
+#[derive(Debug)]
+pub struct RawArc {
+    /// The packed `(index, counter)` synchronization word.
+    current: CachePadded<AtomicU64>,
+    /// §3.4 free-slot hint posted by readers (NO_HINT when empty).
+    hint: CachePadded<AtomicUsize>,
+    /// Per-slot counters.
+    meta: Box<[CachePadded<SlotMeta>]>,
+    /// Live reader handles.
+    live_readers: CachePadded<AtomicU32>,
+    /// Reader handles created since the last write (churn guard).
+    gen_joins: CachePadded<AtomicU32>,
+    /// Whether the unique writer handle is claimed.
+    writer_claimed: AtomicBool,
+    /// Reader cap `N`.
+    max_readers: u32,
+    opts: RawOptions,
+    /// Operation counters for experiment E5/E6.
+    #[cfg(feature = "metrics")]
+    pub metrics: OpMetrics,
+}
+
+/// Reader-side per-handle state: the slot pinned by the previous read.
+///
+/// `None` until the handle's first read (lazy acquisition; DESIGN.md §3.2).
+#[derive(Debug)]
+pub struct RawReader {
+    last_index: Option<u32>,
+}
+
+impl RawReader {
+    /// Slot this reader currently pins, if any.
+    pub fn pinned_slot(&self) -> Option<usize> {
+        self.last_index.map(|i| i as usize)
+    }
+}
+
+/// Writer-side per-handle state.
+#[derive(Debug)]
+pub struct RawWriter {
+    /// Slot used by the last write — always equals `current.index`.
+    last_slot: usize,
+    /// Rotating start position for the W1 scan.
+    search_pos: usize,
+}
+
+impl RawWriter {
+    /// The slot holding the currently-published value.
+    pub fn last_slot(&self) -> usize {
+        self.last_slot
+    }
+}
+
+/// Outcome of [`RawArc::read_acquire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Slot the caller may now read until its next `read_acquire`/leave.
+    pub slot: usize,
+    /// True if the no-RMW fast path was taken (R2).
+    pub fast: bool,
+}
+
+impl RawArc {
+    /// Create the coordination state for up to `max_readers` readers over
+    /// `n_slots` slots, with the published value initially in slot 0
+    /// (Algorithm 1).
+    ///
+    /// `n_slots` is `max_readers + 2` for the wait-free guarantee; the
+    /// constructor accepts any `n_slots >= 3` so the slot-count ablation can
+    /// probe what happens below the `N + 2` lower bound (the writer then
+    /// spins in W1 — documented loss of wait-freedom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_readers` is 0 or exceeds [`MAX_READERS`], or if
+    /// `n_slots < 3` or `n_slots > u32::MAX as usize`.
+    pub fn new(max_readers: u32, n_slots: usize, opts: RawOptions) -> Self {
+        assert!(max_readers >= 1, "ARC needs at least one reader");
+        assert!(
+            max_readers <= MAX_READERS,
+            "ARC admits at most 2^32 - 2 readers, got {max_readers}"
+        );
+        assert!(n_slots >= 3, "ARC needs at least 3 slots (got {n_slots})");
+        assert!(n_slots <= u32::MAX as usize, "slot index must fit 32 bits");
+        let meta = (0..n_slots)
+            .map(|_| {
+                CachePadded::new(SlotMeta {
+                    r_start: AtomicU32::new(0),
+                    r_end: AtomicU32::new(0),
+                })
+            })
+            .collect();
+        Self {
+            // I1 (adapted): index 0 published, zero standing readers; reader
+            // handles acquire their first unit lazily (DESIGN.md §3.2).
+            current: CachePadded::new(AtomicU64::new(Current::fresh(0))),
+            hint: CachePadded::new(AtomicUsize::new(NO_HINT)),
+            meta,
+            live_readers: CachePadded::new(AtomicU32::new(0)),
+            gen_joins: CachePadded::new(AtomicU32::new(0)),
+            writer_claimed: AtomicBool::new(false),
+            max_readers,
+            opts,
+            #[cfg(feature = "metrics")]
+            metrics: OpMetrics::new(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn n_slots(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Configured reader cap.
+    pub fn max_readers(&self) -> u32 {
+        self.max_readers
+    }
+
+    /// Live reader handles right now.
+    pub fn live_readers(&self) -> u32 {
+        self.live_readers.load(Ordering::SeqCst)
+    }
+
+    /// The currently published slot index (diagnostic snapshot).
+    pub fn current_index(&self) -> usize {
+        index_of(self.current.load(Ordering::SeqCst)) as usize
+    }
+
+    /// The standing-reader counter of the current publication (diagnostic).
+    pub fn current_counter(&self) -> u32 {
+        counter_of(self.current.load(Ordering::SeqCst))
+    }
+
+    // ------------------------------------------------------------------
+    // Reader side
+    // ------------------------------------------------------------------
+
+    /// Register a reader handle (bounded by `max_readers`).
+    pub fn reader_join(&self) -> Result<RawReader, HandleError> {
+        let live = self.live_readers.fetch_add(1, Ordering::SeqCst);
+        if live >= self.max_readers {
+            self.live_readers.fetch_sub(1, Ordering::SeqCst);
+            return Err(HandleError::ReadersExhausted { max_readers: self.max_readers });
+        }
+        // Churn guard: per write generation, presence-counter growth is one
+        // unit per handle that performs a fetch_add; bound the number of
+        // handles created per generation so the counter can never carry
+        // into the index field (see crate::current).
+        let budget = MAX_READERS - self.max_readers;
+        let joins = self.gen_joins.fetch_add(1, Ordering::SeqCst);
+        if joins >= budget {
+            // Saturate rather than wrap; the handle is refused.
+            self.gen_joins.fetch_sub(1, Ordering::SeqCst);
+            self.live_readers.fetch_sub(1, Ordering::SeqCst);
+            return Err(HandleError::ChurnExhausted);
+        }
+        Ok(RawReader { last_index: None })
+    }
+
+    /// Perform the coordination part of a read (Algorithm 2), returning the
+    /// slot the caller may read.
+    ///
+    /// The returned slot remains valid (never rewritten) until the next
+    /// `read_acquire` or [`RawArc::reader_leave`] with the same handle.
+    #[inline]
+    pub fn read_acquire(&self, rd: &mut RawReader) -> ReadOutcome {
+        #[cfg(feature = "metrics")]
+        OpMetrics::bump(&self.metrics.reads, 1);
+
+        if self.opts.fast_path {
+            let raw = self.current.load(Ordering::SeqCst); // R1
+            let index = index_of(raw);
+            if rd.last_index == Some(index) {
+                // R2: the pinned slot is still the most recent publication.
+                #[cfg(feature = "metrics")]
+                OpMetrics::bump(&self.metrics.fast_reads, 1);
+                return ReadOutcome { slot: index as usize, fast: true };
+            }
+        }
+        // Slow path: release the previously pinned slot (R3) ...
+        if let Some(old) = rd.last_index {
+            self.release_unit(old as usize);
+            #[cfg(feature = "metrics")]
+            OpMetrics::bump(&self.metrics.read_rmws, 1);
+        }
+        // ... then atomically fetch the up-to-date index while registering
+        // an anonymous presence unit on it (R4/R5).
+        let raw = self.current.fetch_add(1, Ordering::SeqCst);
+        #[cfg(feature = "metrics")]
+        OpMetrics::bump(&self.metrics.read_rmws, 1);
+        let index = index_of(raw);
+        debug_assert!(
+            counter_of(raw) < u32::MAX,
+            "presence counter about to carry into the index field"
+        );
+        rd.last_index = Some(index);
+        ReadOutcome { slot: index as usize, fast: false }
+    }
+
+    /// Release a presence unit on `slot` (R3), optionally posting the §3.4
+    /// free-slot hint.
+    #[inline]
+    fn release_unit(&self, slot: usize) {
+        let prev = self.meta[slot].r_end.fetch_add(1, Ordering::Release);
+        if self.opts.hint {
+            // §3.4: if this release made the slot free, propose it to the
+            // writer. r_start is only meaningful once frozen; a stale read
+            // here merely suppresses or misposts a hint, and the writer
+            // re-validates before trusting it.
+            let r_start = self.meta[slot].r_start.load(Ordering::Acquire);
+            if prev.wrapping_add(1) == r_start {
+                self.hint.store(slot, Ordering::Release);
+            }
+        }
+    }
+
+    /// Deregister a reader handle, releasing its outstanding unit (if any).
+    pub fn reader_leave(&self, mut rd: RawReader) {
+        if let Some(old) = rd.last_index.take() {
+            self.release_unit(old as usize);
+        }
+        self.live_readers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    // ------------------------------------------------------------------
+    // Writer side
+    // ------------------------------------------------------------------
+
+    /// Claim the unique writer handle.
+    pub fn writer_claim(&self) -> Result<RawWriter, HandleError> {
+        if self.writer_claimed.swap(true, Ordering::SeqCst) {
+            return Err(HandleError::WriterAlreadyClaimed);
+        }
+        // Invariant: last_slot always equals current.index between writes,
+        // so a re-claimed writer reconstructs it from `current`.
+        let last_slot = self.current_index();
+        Ok(RawWriter { last_slot, search_pos: (last_slot + 1) % self.meta.len() })
+    }
+
+    /// Release the writer handle so another thread may claim it.
+    pub fn writer_release(&self, _wr: RawWriter) {
+        self.writer_claimed.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether `slot` has no standing readers (`r_start == r_end`).
+    ///
+    /// Only sound for slots other than the current one (whose presence
+    /// units live in `current.counter`, not in `r_start`).
+    #[inline]
+    fn slot_free(&self, slot: usize) -> bool {
+        // Acquire on r_end: the releasing readers' payload loads must
+        // happen-before our upcoming payload stores.
+        let r_end = self.meta[slot].r_end.load(Ordering::Acquire);
+        // r_start is written only by the writer (us): Relaxed suffices.
+        let r_start = self.meta[slot].r_start.load(Ordering::Relaxed);
+        r_start == r_end
+    }
+
+    /// W1: select a free slot different from the last written one.
+    ///
+    /// Amortized O(1): the reader-posted hint is tried first; otherwise a
+    /// rotating scan. With `n_slots >= live_readers + 2` a full sweep always
+    /// finds a slot (Lemma 4.1); below that bound (ablation only) the scan
+    /// retries with backoff, which is where wait-freedom is lost.
+    pub fn select_slot(&self, wr: &mut RawWriter) -> usize {
+        #[cfg(feature = "metrics")]
+        OpMetrics::bump(&self.metrics.writes, 1);
+
+        if self.opts.hint {
+            let h = self.hint.swap(NO_HINT, Ordering::Acquire);
+            #[cfg(feature = "metrics")]
+            OpMetrics::bump(&self.metrics.write_rmws, 1);
+            if h != NO_HINT && h != wr.last_slot && self.slot_free(h) {
+                #[cfg(feature = "metrics")]
+                {
+                    OpMetrics::bump(&self.metrics.hint_hits, 1);
+                    OpMetrics::bump(&self.metrics.slot_probes, 1);
+                }
+                return h;
+            }
+        }
+        let n = self.meta.len();
+        let mut backoff = sync_backoff();
+        loop {
+            for off in 0..n {
+                let s = (wr.search_pos + off) % n;
+                if s == wr.last_slot {
+                    continue;
+                }
+                #[cfg(feature = "metrics")]
+                OpMetrics::bump(&self.metrics.slot_probes, 1);
+                if self.slot_free(s) {
+                    wr.search_pos = (s + 1) % n;
+                    return s;
+                }
+            }
+            // Unreachable with n_slots >= live_readers + 2; reachable in the
+            // under-provisioned ablation, where the writer must wait for a
+            // reader to move on.
+            backoff();
+        }
+    }
+
+    /// W2 + W3: publish `slot` (already filled by the caller) and freeze the
+    /// superseded publication's presence count into its `r_start`.
+    ///
+    /// # Contract
+    ///
+    /// `slot` must come from [`RawArc::select_slot`] on the same handle,
+    /// and the caller must have completed all payload stores to it.
+    pub fn publish(&self, wr: &mut RawWriter, slot: usize) {
+        debug_assert_ne!(slot, wr.last_slot, "W1 forbids reusing the current slot");
+        debug_assert!(self.slot_free(slot), "publishing a slot with standing readers");
+        // Reset the slot's generation counters. Visibility to readers is
+        // carried by the SeqCst swap below (release) paired with their
+        // SeqCst fetch_add (acquire).
+        self.meta[slot].r_start.store(0, Ordering::Relaxed);
+        self.meta[slot].r_end.store(0, Ordering::Relaxed);
+        // Fresh generation: reset the reader-churn budget before exposing
+        // the new publication.
+        self.gen_joins.store(0, Ordering::SeqCst);
+        // W2: publish atomically with a zeroed presence counter.
+        let old = self.current.swap(Current::fresh(slot as u32), Ordering::SeqCst);
+        #[cfg(feature = "metrics")]
+        OpMetrics::bump(&self.metrics.write_rmws, 1);
+        // W3: freeze the superseded slot's presence count. Release pairs
+        // with the Acquire load in readers' hint check.
+        let old_slot = index_of(old) as usize;
+        let old_count = counter_of(old);
+        self.meta[old_slot].r_start.store(old_count, Ordering::Release);
+        // If the frozen count is already matched by releases (or zero), the
+        // old slot is immediately free; let the writer find it fast. This
+        // covers the "never read" case where no reader will ever post it.
+        if self.opts.hint
+            && old_count == self.meta[old_slot].r_end.load(Ordering::Acquire)
+        {
+            self.hint.store(old_slot, Ordering::Release);
+        }
+        wr.last_slot = slot;
+    }
+
+    /// Sum of outstanding presence units across all non-current slots plus
+    /// the current counter (test/diagnostic; racy under concurrency).
+    ///
+    /// In a quiescent state this equals the number of live readers that
+    /// have performed at least one read.
+    pub fn outstanding_units(&self) -> u64 {
+        let cur = self.current.load(Ordering::SeqCst);
+        let cur_idx = index_of(cur) as usize;
+        let mut units = counter_of(cur) as u64;
+        for (i, m) in self.meta.iter().enumerate() {
+            if i == cur_idx {
+                continue;
+            }
+            let rs = m.r_start.load(Ordering::SeqCst) as u64;
+            let re = m.r_end.load(Ordering::SeqCst) as u64;
+            units += rs.saturating_sub(re);
+        }
+        // Correction: the current slot's counter includes units whose
+        // holders already released. Switch-releases never target the
+        // current slot (a reader switches only when the index moved), but
+        // `reader_leave` and fast-path-disabled re-reads do release against
+        // a still-current slot; those releases sit in its r_end until the
+        // freeze reconciles them.
+        units - self.meta[cur_idx].r_end.load(Ordering::SeqCst) as u64
+    }
+}
+
+/// A minimal backoff closure (avoids depending on sync-primitives here).
+fn sync_backoff() -> impl FnMut() {
+    let mut step = 0u32;
+    move || {
+        if step < 10 {
+            for _ in 0..1u32 << step {
+                std::hint::spin_loop();
+            }
+            step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(n: u32) -> RawArc {
+        RawArc::new(n, n as usize + 2, RawOptions::default())
+    }
+
+    #[test]
+    fn init_matches_algorithm_1() {
+        let r = raw(4);
+        assert_eq!(r.n_slots(), 6);
+        assert_eq!(r.current_index(), 0);
+        assert_eq!(r.current_counter(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 slots")]
+    fn rejects_too_few_slots() {
+        RawArc::new(1, 2, RawOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reader")]
+    fn rejects_zero_readers() {
+        RawArc::new(0, 3, RawOptions::default());
+    }
+
+    #[test]
+    fn first_read_acquires_current_slot() {
+        let r = raw(2);
+        let mut rd = r.reader_join().unwrap();
+        let out = r.read_acquire(&mut rd);
+        assert_eq!(out, ReadOutcome { slot: 0, fast: false });
+        assert_eq!(r.current_counter(), 1, "one anonymous unit registered");
+        r.reader_leave(rd);
+    }
+
+    #[test]
+    fn repeat_read_takes_fast_path() {
+        let r = raw(2);
+        let mut rd = r.reader_join().unwrap();
+        let _ = r.read_acquire(&mut rd);
+        let out = r.read_acquire(&mut rd);
+        assert!(out.fast, "unchanged publication must hit R2");
+        assert_eq!(r.current_counter(), 1, "fast path must not add units");
+        r.reader_leave(rd);
+    }
+
+    #[test]
+    fn fast_path_disabled_forces_rmw() {
+        let r = RawArc::new(2, 4, RawOptions { hint: true, fast_path: false });
+        let mut rd = r.reader_join().unwrap();
+        let a = r.read_acquire(&mut rd);
+        let b = r.read_acquire(&mut rd);
+        assert!(!a.fast && !b.fast);
+        // Each slow read re-registers: the counter accumulates one unit per
+        // acquisition; releases accrue in r_end (reconciled at freeze), so
+        // two RMW reads leave counter = 2, r_end[0] = 1, net 1 outstanding.
+        assert_eq!(r.current_counter(), 2);
+        assert_eq!(r.outstanding_units(), 1);
+        r.reader_leave(rd);
+    }
+
+    #[test]
+    fn write_moves_readers_to_new_slot() {
+        let r = raw(2);
+        let mut w = r.writer_claim().unwrap();
+        let mut rd = r.reader_join().unwrap();
+        assert_eq!(r.read_acquire(&mut rd).slot, 0);
+
+        let s = r.select_slot(&mut w);
+        assert_ne!(s, 0, "W1 must avoid the current slot");
+        r.publish(&mut w, s);
+        assert_eq!(r.current_index(), s);
+
+        let out = r.read_acquire(&mut rd);
+        assert_eq!(out.slot, s);
+        assert!(!out.fast);
+        r.reader_leave(rd);
+        r.writer_release(w);
+    }
+
+    #[test]
+    fn freeze_accounts_for_standing_reader() {
+        let r = raw(2);
+        let mut w = r.writer_claim().unwrap();
+        let mut rd = r.reader_join().unwrap();
+        let _ = r.read_acquire(&mut rd); // unit on slot 0
+
+        let s = r.select_slot(&mut w);
+        r.publish(&mut w, s);
+        // Slot 0 was superseded with one standing reader: frozen r_start = 1.
+        assert_eq!(r.meta[0].r_start.load(Ordering::SeqCst), 1);
+        assert_eq!(r.meta[0].r_end.load(Ordering::SeqCst), 0);
+
+        // Reader switches away: releases slot 0.
+        let _ = r.read_acquire(&mut rd);
+        assert_eq!(r.meta[0].r_end.load(Ordering::SeqCst), 1);
+        r.reader_leave(rd);
+        r.writer_release(w);
+    }
+
+    #[test]
+    fn pinned_slot_is_never_selected() {
+        // One reader camping on an old snapshot must keep its slot out of
+        // rotation for arbitrarily many writes.
+        let r = raw(2);
+        let mut w = r.writer_claim().unwrap();
+        let mut rd = r.reader_join().unwrap();
+        let pinned = r.read_acquire(&mut rd).slot;
+        for _ in 0..100 {
+            let s = r.select_slot(&mut w);
+            assert_ne!(s, pinned, "writer selected a slot with a standing reader");
+            r.publish(&mut w, s);
+        }
+        r.reader_leave(rd);
+        r.writer_release(w);
+    }
+
+    #[test]
+    fn camping_reader_slot_is_reclaimed_after_release() {
+        let r = raw(1); // 3 slots
+        let mut w = r.writer_claim().unwrap();
+        let mut rd = r.reader_join().unwrap();
+        let pinned = r.read_acquire(&mut rd).slot;
+        assert_eq!(pinned, 0);
+        // With 3 slots, one pinned and one current, the writer must cycle
+        // the single remaining slot.
+        for _ in 0..10 {
+            let s = r.select_slot(&mut w);
+            assert_ne!(s, 0);
+            r.publish(&mut w, s);
+        }
+        // Reader moves on: slot 0 becomes reusable.
+        let _ = r.read_acquire(&mut rd);
+        let mut seen0 = false;
+        for _ in 0..4 {
+            let s = r.select_slot(&mut w);
+            seen0 |= s == 0;
+            r.publish(&mut w, s);
+        }
+        assert!(seen0, "released slot must re-enter rotation");
+        r.reader_leave(rd);
+        r.writer_release(w);
+    }
+
+    #[test]
+    fn writer_is_unique() {
+        let r = raw(1);
+        let w = r.writer_claim().unwrap();
+        assert_eq!(r.writer_claim().unwrap_err(), HandleError::WriterAlreadyClaimed);
+        r.writer_release(w);
+        let w2 = r.writer_claim().unwrap();
+        r.writer_release(w2);
+    }
+
+    #[test]
+    fn reclaimed_writer_knows_current_slot() {
+        let r = raw(2);
+        let mut w = r.writer_claim().unwrap();
+        let s = r.select_slot(&mut w);
+        r.publish(&mut w, s);
+        r.writer_release(w);
+        let w2 = r.writer_claim().unwrap();
+        assert_eq!(w2.last_slot(), s);
+        r.writer_release(w2);
+    }
+
+    #[test]
+    fn reader_cap_enforced() {
+        let r = raw(2);
+        let a = r.reader_join().unwrap();
+        let b = r.reader_join().unwrap();
+        assert_eq!(
+            r.reader_join().unwrap_err(),
+            HandleError::ReadersExhausted { max_readers: 2 }
+        );
+        r.reader_leave(a);
+        let c = r.reader_join().unwrap();
+        r.reader_leave(b);
+        r.reader_leave(c);
+        assert_eq!(r.live_readers(), 0);
+    }
+
+    #[test]
+    fn leave_releases_outstanding_unit() {
+        let r = raw(2);
+        let mut w = r.writer_claim().unwrap();
+        let mut rd = r.reader_join().unwrap();
+        let _ = r.read_acquire(&mut rd); // unit on slot 0
+        r.reader_leave(rd);
+        // After leave + one write, slot 0 must be free again.
+        let s = r.select_slot(&mut w);
+        r.publish(&mut w, s); // freezes slot 0 with count 1; r_end already 1
+        assert!(r.slot_free(0), "dropped reader's unit must be released");
+        r.writer_release(w);
+    }
+
+    #[test]
+    fn unread_generations_recycle_immediately() {
+        // A written slot never observed by any reader has r_start == r_end
+        // == 0 after freeze: immediately free (paper §3.3, last paragraph).
+        let r = raw(4);
+        let mut w = r.writer_claim().unwrap();
+        for _ in 0..50 {
+            let s = r.select_slot(&mut w);
+            r.publish(&mut w, s);
+        }
+        r.writer_release(w);
+    }
+
+    #[test]
+    fn outstanding_units_track_live_pinned_readers() {
+        let r = raw(3);
+        let mut rds: Vec<_> = (0..3).map(|_| r.reader_join().unwrap()).collect();
+        for rd in rds.iter_mut() {
+            let _ = r.read_acquire(rd);
+        }
+        assert_eq!(r.outstanding_units(), 3);
+        for rd in rds.drain(..) {
+            r.reader_leave(rd);
+        }
+        // All units released; none outstanding (they sit in r_end of slot 0
+        // which is current — the diagnostic subtracts them).
+        assert_eq!(r.outstanding_units(), 0);
+    }
+
+    #[test]
+    fn hint_is_posted_and_consumed() {
+        let r = raw(2);
+        let mut w = r.writer_claim().unwrap();
+        let mut rd = r.reader_join().unwrap();
+        let _ = r.read_acquire(&mut rd); // pin slot 0
+        let s1 = r.select_slot(&mut w);
+        r.publish(&mut w, s1); // slot 0 frozen with 1 standing unit
+        let _ = r.read_acquire(&mut rd); // release slot 0 -> posts hint(0)
+        assert_eq!(r.hint.load(Ordering::SeqCst), 0);
+        let s2 = r.select_slot(&mut w);
+        assert_eq!(s2, 0, "writer must consume the reader-posted hint");
+        assert_eq!(r.hint.load(Ordering::SeqCst), NO_HINT, "hint consumed");
+        r.reader_leave(rd);
+        r.writer_release(w);
+    }
+
+    #[test]
+    fn stale_hint_is_revalidated() {
+        let r = raw(2);
+        let mut w = r.writer_claim().unwrap();
+        // Manually post a bogus hint at the current slot; select_slot must
+        // reject it (hint == last_slot).
+        r.hint.store(0, Ordering::SeqCst);
+        let s = r.select_slot(&mut w);
+        assert_ne!(s, 0);
+        r.publish(&mut w, s);
+        r.writer_release(w);
+    }
+
+    #[test]
+    fn hint_disabled_still_finds_slots() {
+        let r = RawArc::new(2, 4, RawOptions { hint: false, fast_path: true });
+        let mut w = r.writer_claim().unwrap();
+        for _ in 0..20 {
+            let s = r.select_slot(&mut w);
+            r.publish(&mut w, s);
+        }
+        assert_eq!(r.hint.load(Ordering::SeqCst), NO_HINT, "no hints when disabled");
+        r.writer_release(w);
+    }
+
+    #[test]
+    fn churn_guard_refuses_joins_at_budget() {
+        // The per-generation churn budget protects the 32-bit presence
+        // counter from carrying into the index field. Simulate a pathological
+        // generation by pre-loading the join counter to the budget.
+        let r = raw(4);
+        let budget = MAX_READERS - r.max_readers();
+        r.gen_joins.store(budget, Ordering::SeqCst);
+        assert_eq!(r.reader_join().unwrap_err(), HandleError::ChurnExhausted);
+        // A write opens a fresh generation and resets the budget.
+        let mut w = r.writer_claim().unwrap();
+        let s = r.select_slot(&mut w);
+        r.publish(&mut w, s);
+        let rd = r.reader_join().expect("budget reset by the write");
+        r.reader_leave(rd);
+        r.writer_release(w);
+    }
+
+    #[test]
+    fn interleaved_read_write_storm_single_thread() {
+        // Deterministic interleaving mimicking the paper's Figure-1 loop:
+        // every publication must move the reader exactly once, and slot
+        // accounting must stay exact.
+        let r = raw(2);
+        let mut w = r.writer_claim().unwrap();
+        let mut rd = r.reader_join().unwrap();
+        let mut last_slot_seen = r.read_acquire(&mut rd).slot;
+        for i in 0..1000 {
+            let s = r.select_slot(&mut w);
+            r.publish(&mut w, s);
+            let out = r.read_acquire(&mut rd);
+            assert_eq!(out.slot, s, "iteration {i}");
+            assert!(!out.fast);
+            assert_ne!(out.slot, last_slot_seen);
+            last_slot_seen = out.slot;
+            // Exactly one unit outstanding (this reader's).
+            assert_eq!(r.outstanding_units(), 1);
+        }
+        r.reader_leave(rd);
+        r.writer_release(w);
+    }
+}

@@ -1,0 +1,591 @@
+//! The byte-payload ARC register: `ArcRegister`, `ArcWriter`, `ArcReader`.
+//!
+//! This is the user-facing form of the paper's register: values are byte
+//! strings of varying length (up to a fixed capacity), writes copy the new
+//! value into a free slot exactly once, and reads return a **zero-copy**
+//! view into the slot that stays valid until the same handle's next read —
+//! the paper's "a read concludes when the reader reads again" semantics,
+//! enforced at compile time by the borrow checker (`read` takes
+//! `&mut self`, so the returned [`Snapshot`] must be dropped before the
+//! next read).
+//!
+//! # Safety architecture
+//!
+//! Slot payloads live in `UnsafeCell`s; all synchronization is carried by
+//! the [`RawArc`] protocol:
+//!
+//! * the writer mutates a slot only between `select_slot` (which proved
+//!   `r_start == r_end` with an `Acquire` load ordering all previous
+//!   readers' loads before the writer's stores) and `publish`;
+//! * a reader dereferences a slot only while holding an unreleased presence
+//!   unit on it, and its loads happen-after the writer's stores via the
+//!   `SeqCst` swap/fetch_add pair on `current`.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use register_common::traits::{validate_spec, BuildError, RegisterSpec};
+#[cfg(feature = "metrics")]
+use register_common::metrics::MetricsSnapshot;
+
+use crate::current::MAX_READERS;
+use crate::errors::HandleError;
+use crate::raw::{RawArc, RawOptions, RawReader, RawWriter};
+
+/// One payload slot: a fixed-capacity buffer plus the current value length.
+///
+/// Both fields are protocol-protected (see module docs); they carry no
+/// synchronization of their own.
+struct SlotBuf {
+    len: UnsafeCell<usize>,
+    data: UnsafeCell<Box<[u8]>>,
+}
+
+// SAFETY: SlotBuf is shared across threads, but every access is serialized
+// by the RawArc protocol: the writer has exclusive access between
+// select_slot and publish; readers have shared access while pinned, with
+// happens-before edges through `current` / `r_end` (module docs).
+unsafe impl Sync for SlotBuf {}
+unsafe impl Send for SlotBuf {}
+
+/// Builder for [`ArcRegister`].
+#[derive(Debug, Clone)]
+pub struct ArcBuilder {
+    max_readers: u32,
+    capacity: usize,
+    n_slots: Option<usize>,
+    opts: RawOptions,
+    initial: Vec<u8>,
+}
+
+impl ArcBuilder {
+    /// Start building a register for up to `max_readers` concurrent readers
+    /// holding values of up to `capacity` bytes.
+    pub fn new(max_readers: u32, capacity: usize) -> Self {
+        Self {
+            max_readers,
+            capacity,
+            n_slots: None,
+            opts: RawOptions::default(),
+            initial: Vec::new(),
+        }
+    }
+
+    /// Initial register value (Algorithm 1); empty by default.
+    pub fn initial(mut self, value: &[u8]) -> Self {
+        self.initial = value.to_vec();
+        self
+    }
+
+    /// Override the slot count (default `max_readers + 2`, the classical
+    /// lower bound). Fewer slots forfeit writer wait-freedom — ablation use
+    /// only.
+    pub fn slots(mut self, n_slots: usize) -> Self {
+        self.n_slots = Some(n_slots);
+        self
+    }
+
+    /// Enable/disable the §3.4 free-slot hint (default on).
+    pub fn hint(mut self, on: bool) -> Self {
+        self.opts.hint = on;
+        self
+    }
+
+    /// Enable/disable the R2 no-RMW read fast path (default on).
+    pub fn fast_path(mut self, on: bool) -> Self {
+        self.opts.fast_path = on;
+        self
+    }
+
+    /// Build the register.
+    pub fn build(self) -> Result<Arc<ArcRegister>, BuildError> {
+        let spec = RegisterSpec::new(self.max_readers as usize, self.capacity);
+        validate_spec(spec, &self.initial, Some(MAX_READERS as usize))?;
+        let n_slots = self.n_slots.unwrap_or(self.max_readers as usize + 2);
+        let raw = RawArc::new(self.max_readers, n_slots, self.opts);
+        let slots: Box<[SlotBuf]> = (0..n_slots)
+            .map(|_| SlotBuf {
+                len: UnsafeCell::new(0),
+                data: UnsafeCell::new(vec![0u8; self.capacity].into_boxed_slice()),
+            })
+            .collect();
+        // Algorithm 1: the initial value goes to slot 0, which RawArc::new
+        // already published. No reader or writer exists yet, so plain
+        // writes are race-free; the Arc construction below publishes them
+        // to other threads.
+        // SAFETY: exclusive access — the register is not shared yet.
+        unsafe {
+            let buf = &mut *slots[0].data.get();
+            buf[..self.initial.len()].copy_from_slice(&self.initial);
+            *slots[0].len.get() = self.initial.len();
+        }
+        Ok(Arc::new(ArcRegister { raw, slots, capacity: self.capacity }))
+    }
+}
+
+/// A wait-free multi-word atomic (1,N) register over byte payloads.
+///
+/// Create with [`ArcRegister::builder`], then split into one [`ArcWriter`]
+/// (via [`ArcRegister::writer`]) and up to N [`ArcReader`]s (via
+/// [`ArcRegister::reader`]).
+pub struct ArcRegister {
+    raw: RawArc,
+    slots: Box<[SlotBuf]>,
+    capacity: usize,
+}
+
+impl ArcRegister {
+    /// Start building a register.
+    pub fn builder(max_readers: u32, capacity: usize) -> ArcBuilder {
+        ArcBuilder::new(max_readers, capacity)
+    }
+
+    /// Convenience: build with defaults and an initial value.
+    pub fn with_initial(
+        max_readers: u32,
+        capacity: usize,
+        initial: &[u8],
+    ) -> Result<Arc<ArcRegister>, BuildError> {
+        Self::builder(max_readers, capacity).initial(initial).build()
+    }
+
+    /// Maximum payload size in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of buffer slots (normally `N + 2`).
+    pub fn n_slots(&self) -> usize {
+        self.raw.n_slots()
+    }
+
+    /// Configured reader cap `N`.
+    pub fn max_readers(&self) -> u32 {
+        self.raw.max_readers()
+    }
+
+    /// Live reader handles.
+    pub fn live_readers(&self) -> u32 {
+        self.raw.live_readers()
+    }
+
+    /// Claim the unique writer handle.
+    pub fn writer(self: &Arc<Self>) -> Result<ArcWriter, HandleError> {
+        let wr = self.raw.writer_claim()?;
+        Ok(ArcWriter { reg: Arc::clone(self), wr: Some(wr) })
+    }
+
+    /// Register a reader handle (up to `max_readers` concurrently).
+    pub fn reader(self: &Arc<Self>) -> Result<ArcReader, HandleError> {
+        let rd = self.raw.reader_join()?;
+        Ok(ArcReader { reg: Arc::clone(self), rd: Some(rd) })
+    }
+
+    /// Operation metrics (E5/E6), available with the `metrics` feature.
+    #[cfg(feature = "metrics")]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.raw.metrics.snapshot()
+    }
+
+    /// Slice view of a slot's current value.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold read rights on `slot` per the protocol (a standing
+    /// presence unit, or writer exclusivity).
+    #[inline]
+    unsafe fn slot_bytes(&self, slot: usize) -> &[u8] {
+        // SAFETY: per the function contract the slot is stable; `len` was
+        // written before the publication that the caller's unit pins.
+        unsafe {
+            let len = *self.slots[slot].len.get();
+            let buf: &[u8] = &*self.slots[slot].data.get();
+            &buf[..len]
+        }
+    }
+}
+
+impl fmt::Debug for ArcRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArcRegister")
+            .field("capacity", &self.capacity)
+            .field("n_slots", &self.n_slots())
+            .field("max_readers", &self.max_readers())
+            .field("live_readers", &self.live_readers())
+            .finish()
+    }
+}
+
+/// The register's unique writer handle.
+pub struct ArcWriter {
+    reg: Arc<ArcRegister>,
+    wr: Option<RawWriter>,
+}
+
+impl ArcWriter {
+    /// Store a new value (wait-free; one memcpy — Algorithm 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value.len()` exceeds the register capacity.
+    pub fn write(&mut self, value: &[u8]) {
+        assert!(
+            value.len() <= self.reg.capacity,
+            "value of {} bytes exceeds register capacity {}",
+            value.len(),
+            self.reg.capacity
+        );
+        self.write_with(value.len(), |buf| buf.copy_from_slice(value));
+    }
+
+    /// Store a new value by filling the slot buffer in place (avoids the
+    /// caller-side staging copy): `fill` receives exactly `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the register capacity.
+    pub fn write_with(&mut self, len: usize, fill: impl FnOnce(&mut [u8])) {
+        assert!(
+            len <= self.reg.capacity,
+            "value of {len} bytes exceeds register capacity {}",
+            self.reg.capacity
+        );
+        let wr = self.wr.as_mut().expect("writer state present until drop");
+        let slot = self.reg.raw.select_slot(wr); // W1
+        // SAFETY: select_slot grants exclusive access to `slot` until
+        // publish; the Acquire edge on r_end ordered all prior readers'
+        // loads before these stores.
+        unsafe {
+            let buf = &mut *self.reg.slots[slot].data.get();
+            fill(&mut buf[..len]);
+            *self.reg.slots[slot].len.get() = len;
+        }
+        self.reg.raw.publish(wr, slot); // W2 + W3
+    }
+
+    /// The register this writer belongs to.
+    pub fn register(&self) -> &Arc<ArcRegister> {
+        &self.reg
+    }
+
+    /// Slot index of the current publication.
+    pub fn last_slot(&self) -> usize {
+        self.wr.as_ref().expect("writer state present until drop").last_slot()
+    }
+}
+
+impl fmt::Debug for ArcWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArcWriter").field("last_slot", &self.last_slot()).finish()
+    }
+}
+
+impl Drop for ArcWriter {
+    fn drop(&mut self) {
+        if let Some(wr) = self.wr.take() {
+            self.reg.raw.writer_release(wr);
+        }
+    }
+}
+
+/// A reader handle (one per reading thread).
+pub struct ArcReader {
+    reg: Arc<ArcRegister>,
+    rd: Option<RawReader>,
+}
+
+impl ArcReader {
+    /// Read the most recent value (Algorithm 2). Wait-free, zero-copy,
+    /// constant time.
+    ///
+    /// The returned [`Snapshot`] borrows this handle: the slot it views is
+    /// pinned until this handle's **next** `read` (or drop), exactly the
+    /// paper's read-completion semantics.
+    #[inline]
+    pub fn read(&mut self) -> Snapshot<'_> {
+        let rd = self.rd.as_mut().expect("reader state present until drop");
+        let out = self.reg.raw.read_acquire(rd);
+        // SAFETY: read_acquire pinned `out.slot` for this handle; the pin
+        // lasts until the next read_acquire/leave, which require &mut self
+        // and are therefore excluded while the Snapshot's borrow is live.
+        let bytes = unsafe { self.reg.slot_bytes(out.slot) };
+        Snapshot { bytes, slot: out.slot, fast: out.fast }
+    }
+
+    /// Copy the current value into `out` (resizing it), returning its length.
+    pub fn read_into(&mut self, out: &mut Vec<u8>) -> usize {
+        let snap = self.read();
+        out.clear();
+        out.extend_from_slice(&snap);
+        snap.len()
+    }
+
+    /// The register this reader belongs to.
+    pub fn register(&self) -> &Arc<ArcRegister> {
+        &self.reg
+    }
+
+    /// Slot currently pinned by this handle, if it has read at least once.
+    pub fn pinned_slot(&self) -> Option<usize> {
+        self.rd.as_ref().and_then(|r| r.pinned_slot())
+    }
+}
+
+impl fmt::Debug for ArcReader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArcReader").field("pinned_slot", &self.pinned_slot()).finish()
+    }
+}
+
+impl Drop for ArcReader {
+    fn drop(&mut self) {
+        if let Some(rd) = self.rd.take() {
+            self.reg.raw.reader_leave(rd);
+        }
+    }
+}
+
+/// A zero-copy view of the register value returned by [`ArcReader::read`].
+///
+/// Dereferences to `&[u8]`. Also reports which slot served the read and
+/// whether the no-RMW fast path was taken (diagnostics for tests/benches).
+pub struct Snapshot<'a> {
+    bytes: &'a [u8],
+    slot: usize,
+    fast: bool,
+}
+
+impl<'a> Snapshot<'a> {
+    /// The snapshot bytes with the full lifetime of the reader borrow.
+    ///
+    /// The slice outlives the `Snapshot` struct itself (the pin is held by
+    /// the *handle* until its next read, not by this value).
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Slot index that served this read.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Whether the read took the no-RMW fast path (R2).
+    pub fn fast(&self) -> bool {
+        self.fast
+    }
+}
+
+impl Deref for Snapshot<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.bytes
+    }
+}
+
+impl fmt::Debug for Snapshot<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("len", &self.bytes.len())
+            .field("slot", &self.slot)
+            .field("fast", &self.fast)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Arc<ArcRegister> {
+        ArcRegister::builder(4, 64).initial(b"init").build().unwrap()
+    }
+
+    #[test]
+    fn initial_value_is_readable() {
+        let reg = small();
+        let mut r = reg.reader().unwrap();
+        assert_eq!(&*r.read(), b"init");
+    }
+
+    #[test]
+    fn empty_initial_value() {
+        let reg = ArcRegister::builder(1, 16).build().unwrap();
+        let mut r = reg.reader().unwrap();
+        assert_eq!(r.read().len(), 0);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let reg = small();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(b"hello");
+        assert_eq!(&*r.read(), b"hello");
+    }
+
+    #[test]
+    fn variable_sizes_roundtrip() {
+        let reg = small();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        for len in [0usize, 1, 7, 8, 63, 64] {
+            let v: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            w.write(&v);
+            assert_eq!(&*r.read(), &v[..], "len {len}");
+        }
+    }
+
+    #[test]
+    fn snapshot_survives_concurrent_overwrites() {
+        // The paper's pinning guarantee: a standing read keeps its slot
+        // stable across arbitrarily many writes.
+        let reg = small();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(b"stable");
+        let snap = r.read();
+        let bytes = snap.bytes();
+        for i in 0..100u8 {
+            w.write(&[i; 32]);
+        }
+        assert_eq!(bytes, b"stable", "pinned snapshot must not be overwritten");
+        // The next read observes the latest value.
+        assert_eq!(&*r.read(), &[99u8; 32][..]);
+    }
+
+    #[test]
+    fn fast_path_reported() {
+        let reg = small();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        assert!(!r.read().fast(), "first read acquires");
+        assert!(r.read().fast(), "second read with no write is fast");
+        w.write(b"x");
+        assert!(!r.read().fast(), "read after write must switch");
+        assert!(r.read().fast());
+    }
+
+    #[test]
+    fn read_into_copies() {
+        let reg = small();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(b"copy me");
+        let mut out = Vec::new();
+        assert_eq!(r.read_into(&mut out), 7);
+        assert_eq!(out, b"copy me");
+    }
+
+    #[test]
+    fn write_with_fills_in_place() {
+        let reg = small();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write_with(8, |buf| buf.copy_from_slice(b"in-place"));
+        assert_eq!(&*r.read(), b"in-place");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds register capacity")]
+    fn oversized_write_panics() {
+        let reg = small();
+        let mut w = reg.writer().unwrap();
+        w.write(&[0u8; 65]);
+    }
+
+    #[test]
+    fn writer_is_unique_and_reclaimable() {
+        let reg = small();
+        let w = reg.writer().unwrap();
+        assert!(matches!(reg.writer(), Err(HandleError::WriterAlreadyClaimed)));
+        drop(w);
+        let mut w2 = reg.writer().unwrap();
+        w2.write(b"after reclaim");
+        let mut r = reg.reader().unwrap();
+        assert_eq!(&*r.read(), b"after reclaim");
+    }
+
+    #[test]
+    fn reader_cap_and_reuse() {
+        let reg = ArcRegister::builder(2, 16).build().unwrap();
+        let r1 = reg.reader().unwrap();
+        let _r2 = reg.reader().unwrap();
+        assert!(matches!(
+            reg.reader(),
+            Err(HandleError::ReadersExhausted { max_readers: 2 })
+        ));
+        drop(r1);
+        assert!(reg.reader().is_ok());
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(ArcRegister::builder(0, 16).build().is_err());
+        assert!(ArcRegister::builder(1, 0).build().is_err());
+        assert!(ArcRegister::builder(1, 4).initial(&[0; 8]).build().is_err());
+    }
+
+    #[test]
+    fn builder_options_apply() {
+        let reg = ArcRegister::builder(2, 16).slots(8).hint(false).fast_path(false).build().unwrap();
+        assert_eq!(reg.n_slots(), 8);
+        let mut r = reg.reader().unwrap();
+        let _ = r.read();
+        assert!(!r.read().fast(), "fast path disabled");
+    }
+
+    #[test]
+    fn debug_impls() {
+        let reg = small();
+        let w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        let snap = r.read();
+        let s = format!("{reg:?} {w:?} {snap:?}");
+        assert!(s.contains("ArcRegister") && s.contains("Snapshot"));
+    }
+
+    #[test]
+    fn dropping_reader_mid_pin_frees_slot_eventually() {
+        let reg = ArcRegister::builder(1, 16).build().unwrap(); // 3 slots
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        let _ = r.read(); // pin slot 0
+        drop(r); // releases the unit
+        // The writer must be able to cycle through all slots indefinitely.
+        for i in 0..10u8 {
+            w.write(&[i; 4]);
+        }
+    }
+
+    #[test]
+    fn concurrent_smoke() {
+        let reg = ArcRegister::builder(8, 256).initial(&[0; 64]).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mut r = reg.reader().unwrap();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let snap = r.read();
+                    // All bytes of a snapshot must agree (writer writes
+                    // constant-fill payloads).
+                    let first = snap.first().copied().unwrap_or(0);
+                    assert!(snap.iter().all(|&b| b == first), "torn read");
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+        for i in 0..20_000u32 {
+            w.write(&[(i % 251) as u8; 64]);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! A typed ARC register: share any `T: Send + Sync` instead of bytes.
+//!
+//! The paper presents the register over raw buffers; in Rust the same
+//! protocol carries typed values for free — the writer moves a `T` into a
+//! free slot, readers get `&T` views pinned until their next read. This is
+//! the form most applications want (configuration snapshots, routing
+//! tables, market-data books), and it demonstrates that ARC's "no
+//! intermediate copies" property extends to arbitrary data structures.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::errors::HandleError;
+use crate::raw::{RawArc, RawOptions, RawReader, RawWriter};
+
+/// A wait-free atomic (1,N) register holding values of type `T`.
+pub struct TypedArc<T> {
+    raw: RawArc,
+    slots: Box<[UnsafeCell<Option<T>>]>,
+}
+
+// SAFETY: slot access is serialized by the RawArc protocol (exclusive for
+// the writer between select_slot/publish, shared for pinned readers, with
+// happens-before edges through `current`/`r_end`). `T: Send` because values
+// move from the writer thread and drop on it later; `T: Sync` because
+// readers share `&T` across threads.
+unsafe impl<T: Send + Sync> Sync for TypedArc<T> {}
+unsafe impl<T: Send + Sync> Send for TypedArc<T> {}
+
+impl<T: Send + Sync> TypedArc<T> {
+    /// Create a register for up to `max_readers` readers, initialized to
+    /// `initial`.
+    pub fn new(max_readers: u32, initial: T) -> Arc<Self> {
+        Self::with_options(max_readers, initial, RawOptions::default())
+    }
+
+    /// Create with explicit protocol options (ablation switches).
+    pub fn with_options(max_readers: u32, initial: T, opts: RawOptions) -> Arc<Self> {
+        let n_slots = max_readers as usize + 2;
+        let raw = RawArc::new(max_readers, n_slots, opts);
+        let mut slots: Vec<UnsafeCell<Option<T>>> =
+            (0..n_slots).map(|_| UnsafeCell::new(None)).collect();
+        // Algorithm 1: publish the initial value in slot 0 (not shared yet).
+        *slots[0].get_mut() = Some(initial);
+        Arc::new(Self { raw, slots: slots.into_boxed_slice() })
+    }
+
+    /// Claim the unique writer handle.
+    pub fn writer(self: &Arc<Self>) -> Result<TypedWriter<T>, HandleError> {
+        let wr = self.raw.writer_claim()?;
+        Ok(TypedWriter { reg: Arc::clone(self), wr: Some(wr) })
+    }
+
+    /// Register a reader handle.
+    pub fn reader(self: &Arc<Self>) -> Result<TypedReader<T>, HandleError> {
+        let rd = self.raw.reader_join()?;
+        Ok(TypedReader { reg: Arc::clone(self), rd: Some(rd) })
+    }
+
+    /// Reader cap `N`.
+    pub fn max_readers(&self) -> u32 {
+        self.raw.max_readers()
+    }
+}
+
+impl<T> fmt::Debug for TypedArc<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TypedArc").field("n_slots", &self.slots.len()).finish()
+    }
+}
+
+/// The unique writer for a [`TypedArc`].
+pub struct TypedWriter<T: Send + Sync> {
+    reg: Arc<TypedArc<T>>,
+    wr: Option<RawWriter>,
+}
+
+impl<T: Send + Sync> TypedWriter<T> {
+    /// Publish a new value (wait-free; no copy beyond the move of `T`).
+    ///
+    /// Returns the value the new one displaced *from the reused slot* (an
+    /// old, already-superseded snapshot) if one was stored there — callers
+    /// can recycle expensive allocations this way.
+    pub fn write(&mut self, value: T) -> Option<T> {
+        let wr = self.wr.as_mut().expect("writer state present until drop");
+        let slot = self.reg.raw.select_slot(wr);
+        // SAFETY: exclusive slot access between select_slot and publish.
+        let displaced = unsafe { (*self.reg.slots[slot].get()).replace(value) };
+        self.reg.raw.publish(wr, slot);
+        displaced
+    }
+}
+
+impl<T: Send + Sync> Drop for TypedWriter<T> {
+    fn drop(&mut self) {
+        if let Some(wr) = self.wr.take() {
+            self.reg.raw.writer_release(wr);
+        }
+    }
+}
+
+/// A reader handle for a [`TypedArc`].
+pub struct TypedReader<T: Send + Sync> {
+    reg: Arc<TypedArc<T>>,
+    rd: Option<RawReader>,
+}
+
+impl<T: Send + Sync> TypedReader<T> {
+    /// Read the most recent value; the reference is pinned until this
+    /// handle's next `read` (or drop).
+    #[inline]
+    pub fn read(&mut self) -> &T {
+        let rd = self.rd.as_mut().expect("reader state present until drop");
+        let out = self.reg.raw.read_acquire(rd);
+        // SAFETY: the slot is pinned for this handle until the next
+        // read_acquire/leave, both requiring &mut self; the slot holds Some
+        // because every published slot was filled by the writer (or by
+        // construction for slot 0).
+        unsafe {
+            (*self.reg.slots[out.slot].get())
+                .as_ref()
+                .expect("published slot always holds a value")
+        }
+    }
+
+    /// Clone the current value out.
+    pub fn read_cloned(&mut self) -> T
+    where
+        T: Clone,
+    {
+        self.read().clone()
+    }
+}
+
+impl<T: Send + Sync> Drop for TypedReader<T> {
+    fn drop(&mut self) {
+        if let Some(rd) = self.rd.take() {
+            self.reg.raw.reader_leave(rd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Config {
+        version: u64,
+        routes: Vec<String>,
+    }
+
+    #[test]
+    fn initial_value_readable() {
+        let reg = TypedArc::new(2, Config { version: 0, routes: vec![] });
+        let mut r = reg.reader().unwrap();
+        assert_eq!(r.read().version, 0);
+    }
+
+    #[test]
+    fn write_and_read_structs() {
+        let reg = TypedArc::new(2, Config { version: 0, routes: vec![] });
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(Config { version: 1, routes: vec!["a".into(), "b".into()] });
+        let c = r.read();
+        assert_eq!(c.version, 1);
+        assert_eq!(c.routes.len(), 2);
+    }
+
+    #[test]
+    fn pinned_reference_survives_writes() {
+        let reg = TypedArc::new(2, 0u64);
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(7);
+        let v: &u64 = r.read();
+        for i in 8..200 {
+            w.write(i);
+        }
+        assert_eq!(*v, 7, "pinned value must be stable");
+        assert_eq!(*r.read(), 199);
+    }
+
+    #[test]
+    fn displaced_values_are_returned_for_reuse() {
+        let reg = TypedArc::new(1, vec![0u8; 1024]);
+        let mut w = reg.writer().unwrap();
+        let mut displaced = 0;
+        for i in 0..10 {
+            if w.write(vec![i as u8; 1024]).is_some() {
+                displaced += 1;
+            }
+        }
+        // With 3 slots and no readers, reuse must kick in after the first
+        // two writes land in virgin slots.
+        assert!(displaced >= 8, "only {displaced} writes displaced old values");
+    }
+
+    #[test]
+    fn read_cloned() {
+        let reg = TypedArc::new(1, String::from("x"));
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(String::from("owned"));
+        let s: String = r.read_cloned();
+        assert_eq!(s, "owned");
+    }
+
+    #[test]
+    fn values_are_dropped_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        // SAFETY-net test: N writes + initial = N+1 values created; all must
+        // drop exactly once when the register drops.
+        {
+            let reg = TypedArc::new(1, Counted);
+            let mut w = reg.writer().unwrap();
+            for _ in 0..10 {
+                drop(w.write(Counted)); // displaced values drop here
+            }
+            drop(w);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn concurrent_typed_smoke() {
+        let reg = TypedArc::new(4, (0u64, 0u64));
+        let mut w = reg.writer().unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mut r = reg.reader().unwrap();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let (a, b) = *r.read();
+                    assert_eq!(a, b, "typed snapshot must be consistent");
+                }
+            }));
+        }
+        for i in 0..50_000u64 {
+            w.write((i, i));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

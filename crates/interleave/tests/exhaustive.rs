@@ -1,0 +1,173 @@
+//! Exhaustive model-checking of all protocols at multi-reader
+//! configurations — the mechanical counterpart to the paper's §4 proof.
+//!
+//! Each test enumerates *every* sequentially-consistent interleaving of the
+//! configured workload (deduplicated by state, up to ~365k states),
+//! checking torn reads, regularity, new-old inversion, slot exclusion and
+//! writer progress at every step.
+//!
+//! These are **release-gated** (`#[ignore]` in debug builds, like loom
+//! suites): run them with `cargo test -p interleave --release` — debug
+//! builds would spend minutes re-exploring the same state spaces. Small
+//! sanity configurations always run in the crates' unit tests.
+
+use interleave::{
+    explore, random_walks, ArcModel, Defect, ExploreLimits, MnDefect, MnModel, ModelConfig,
+    Outcome, PetersonModel, RfModel,
+};
+
+
+
+fn assert_ok(out: Outcome, what: &str) {
+    match out {
+        Outcome::Ok(r) => {
+            println!(
+                "{what}: {} states, {} transitions, {} terminals",
+                r.states, r.transitions, r.terminals
+            );
+            assert!(r.terminals > 0, "{what}: exploration never reached a terminal state");
+        }
+        Outcome::Violation { message, schedule, .. } => {
+            panic!("{what}: VIOLATION: {message}\nschedule: {schedule:?}");
+        }
+        other => panic!("{what}: exploration did not complete: {other:?}"),
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn arc_two_readers_exhaustive() {
+    let cfg = ModelConfig { readers: 2, writes: 2, reads_each: 2 };
+    assert_ok(
+        explore(ArcModel::new(cfg, Defect::None), ExploreLimits::default()),
+        "ARC 2r/2w/2x",
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn arc_three_writes_exhaustive() {
+    // More writes than slots-minus-one forces slot reuse under standing
+    // readers — the regime where the freeze/release accounting must hold.
+    let cfg = ModelConfig { readers: 1, writes: 4, reads_each: 3 };
+    assert_ok(
+        explore(ArcModel::new(cfg, Defect::None), ExploreLimits::default()),
+        "ARC 1r/4w/3x",
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn arc_two_readers_deep_writes_exhaustive() {
+    let cfg = ModelConfig { readers: 2, writes: 3, reads_each: 2 };
+    assert_ok(
+        explore(ArcModel::new(cfg, Defect::None), ExploreLimits::default()),
+        "ARC 2r/3w/2x",
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn arc_hint_two_readers_exhaustive() {
+    // §3.4 free-slot hint: stale hints must be rendered harmless by the
+    // writer's re-validation, under every interleaving.
+    let cfg = ModelConfig { readers: 2, writes: 3, reads_each: 2 };
+    assert_ok(
+        explore(ArcModel::with_hint(cfg, Defect::None, true), ExploreLimits::default()),
+        "ARC+hint 2r/3w/2x",
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn rf_two_readers_exhaustive() {
+    let cfg = ModelConfig { readers: 2, writes: 2, reads_each: 2 };
+    assert_ok(explore(RfModel::new(cfg), ExploreLimits::default()), "RF 2r/2w/2x");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn rf_buffer_reuse_exhaustive() {
+    let cfg = ModelConfig { readers: 1, writes: 4, reads_each: 3 };
+    assert_ok(explore(RfModel::new(cfg), ExploreLimits::default()), "RF 1r/4w/3x");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn peterson_single_reader_deep_exhaustive() {
+    let cfg = ModelConfig { readers: 1, writes: 3, reads_each: 3 };
+    assert_ok(
+        explore(PetersonModel::new(cfg), ExploreLimits::default()),
+        "Peterson 1r/3w/3x",
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn peterson_two_readers_exhaustive() {
+    let cfg = ModelConfig { readers: 2, writes: 2, reads_each: 2 };
+    assert_ok(
+        explore(PetersonModel::new(cfg), ExploreLimits::default()),
+        "Peterson 2r/2w/2x",
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn randomized_larger_configs() {
+    // Too large to exhaust: hammer with reproducible random schedules.
+    let arc = ArcModel::new(
+        ModelConfig { readers: 3, writes: 6, reads_each: 5 },
+        Defect::None,
+    );
+    assert_ok(
+        random_walks(arc, 20_000, 0xA5C3, ExploreLimits::default()),
+        "ARC 3r/6w/5x randomized",
+    );
+    let pet = PetersonModel::new(ModelConfig { readers: 3, writes: 6, reads_each: 5 });
+    assert_ok(
+        random_walks(pet, 20_000, 0x7E7E, ExploreLimits::default()),
+        "Peterson 3r/6w/5x randomized",
+    );
+    let rf = RfModel::new(ModelConfig { readers: 3, writes: 6, reads_each: 5 });
+    assert_ok(
+        random_walks(rf, 20_000, 0x0F0F, ExploreLimits::default()),
+        "RF 3r/6w/5x randomized",
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn broken_arc_found_by_random_walks_too() {
+    // The defect must also be discoverable without exhaustive search —
+    // evidence the randomized mode has real bug-finding power.
+    let m = ArcModel::new(
+        ModelConfig { readers: 1, writes: 3, reads_each: 2 },
+        Defect::ReleaseEarly,
+    );
+    let out = random_walks(m, 200_000, 0xBAD5EED, ExploreLimits::default());
+    assert!(
+        !out.is_ok(),
+        "random walks should stumble onto the release-early violation"
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn mn_two_writers_two_readers_exhaustive() {
+    let cfg = ModelConfig { readers: 2, writes: 2, reads_each: 2 };
+    assert_ok(
+        explore(MnModel::new(2, cfg, MnDefect::None), ExploreLimits::default()),
+        "MN 2w/2r/2x",
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn mn_three_writers_exhaustive() {
+    let cfg = ModelConfig { readers: 1, writes: 2, reads_each: 2 };
+    assert_ok(
+        explore(MnModel::new(3, cfg, MnDefect::None), ExploreLimits::default()),
+        "MN 3w/1r/2x",
+    );
+}

@@ -1,0 +1,349 @@
+//! The atomicity checker and witness builder.
+//!
+//! For a single-writer register, atomicity (Criterion 1 of the paper) is
+//! checkable exactly:
+//!
+//! * Writes are totally ordered by their sequence numbers, and their
+//!   real-time intervals are disjoint (validated structurally).
+//! * **Regularity**: read `r` returning seq `s` requires
+//!   `low(r) <= s <= high(r)` where `low(r)` is the largest seq whose write
+//!   responded before `r` was invoked (the "last completed write") and
+//!   `high(r)` is the largest seq whose write was invoked before `r`
+//!   responded (a concurrent or earlier write). Returning `< low` is the
+//!   "past" violation; returning `> high` means reading from the future.
+//! * **No new-old inversion**: for reads `r1`, `r2` with
+//!   `r1.responded < r2.invoked`, require `seq(r1) <= seq(r2)`.
+//!
+//! If both hold, an explicit linearization exists (and [`linearize`]
+//! constructs it): place every read of seq `s` between write `s` and write
+//! `s+1`, reads of equal seq ordered by invocation. The checker therefore
+//! *constructively proves* atomicity of the recorded run.
+
+use std::fmt;
+
+use crate::history::{History, ReadRecord};
+
+/// A reference to one operation in a linearization order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpRef {
+    /// The register's initial value (seq 0).
+    Init,
+    /// The write with this sequence number.
+    Write(u64),
+    /// The read at this index in `history.reads`.
+    Read(usize),
+}
+
+/// An atomicity violation found in a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A read returned a value older than the last write that completed
+    /// before the read began (violates regularity / the paper's "No-past").
+    StaleRead {
+        /// The offending read.
+        read: ReadRecord,
+        /// The minimum sequence number it was allowed to return.
+        min_allowed: u64,
+    },
+    /// A read returned a value whose write had not been invoked when the
+    /// read responded (impossible without time travel — indicates recorder
+    /// or register corruption).
+    FutureRead {
+        /// The offending read.
+        read: ReadRecord,
+        /// The maximum sequence number it was allowed to return.
+        max_allowed: u64,
+    },
+    /// Two real-time-ordered reads observed writes in inverse order (the
+    /// paper's "No New-Old inversion" criterion).
+    NewOldInversion {
+        /// The earlier read (which saw the newer value).
+        first: ReadRecord,
+        /// The later read (which saw the older value).
+        second: ReadRecord,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::StaleRead { read, min_allowed } => write!(
+                f,
+                "stale read: reader {} returned seq {} but write {} completed before the read began",
+                read.reader, read.seq, min_allowed
+            ),
+            Violation::FutureRead { read, max_allowed } => write!(
+                f,
+                "future read: reader {} returned seq {} but only {} writes had started",
+                read.reader, read.seq, max_allowed
+            ),
+            Violation::NewOldInversion { first, second } => write!(
+                f,
+                "new-old inversion: reader {} returned seq {} before reader {} returned older seq {}",
+                first.reader, first.seq, second.reader, second.seq
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// For each read, the allowed sequence window `[low, high]`.
+fn read_window(h: &History, r: &ReadRecord) -> (u64, u64) {
+    // Writes are sorted by seq with increasing, disjoint intervals, so both
+    // bounds are binary searches.
+    // low = number of writes with responded < r.invoked.
+    let low = h.writes.partition_point(|w| w.responded < r.invoked) as u64;
+    // high = number of writes with invoked < r.responded.
+    let high = h.writes.partition_point(|w| w.invoked < r.responded) as u64;
+    (low, high)
+}
+
+/// Check regularity only (safe + reads return last-or-concurrent values).
+pub fn check_regular(h: &History) -> Result<(), Violation> {
+    for r in &h.reads {
+        let (low, high) = read_window(h, r);
+        if r.seq < low {
+            return Err(Violation::StaleRead { read: *r, min_allowed: low });
+        }
+        if r.seq > high {
+            return Err(Violation::FutureRead { read: *r, max_allowed: high });
+        }
+    }
+    Ok(())
+}
+
+/// Check full atomicity: regularity + no new-old inversion.
+pub fn check_atomic(h: &History) -> Result<(), Violation> {
+    check_regular(h)?;
+
+    // Sweep reads in invocation order, maintaining the maximum sequence
+    // returned by any read that responded strictly before the current
+    // read's invocation.
+    let mut by_invoked: Vec<&ReadRecord> = h.reads.iter().collect();
+    by_invoked.sort_by_key(|r| r.invoked);
+    let mut by_responded: Vec<&ReadRecord> = h.reads.iter().collect();
+    by_responded.sort_by_key(|r| r.responded);
+
+    let mut done = 0usize; // index into by_responded
+    let mut max_done: Option<&ReadRecord> = None;
+    for r in by_invoked {
+        while done < by_responded.len() && by_responded[done].responded < r.invoked {
+            let cand = by_responded[done];
+            if max_done.is_none_or(|m| cand.seq > m.seq) {
+                max_done = Some(cand);
+            }
+            done += 1;
+        }
+        if let Some(m) = max_done {
+            if m.seq > r.seq {
+                return Err(Violation::NewOldInversion { first: *m, second: *r });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Construct an explicit linearization witness for a valid history.
+///
+/// Returns the total order of operations (initial value, then writes with
+/// their readers interleaved). Errors with the violation if the history is
+/// not atomic.
+pub fn linearize(h: &History) -> Result<Vec<OpRef>, Violation> {
+    check_atomic(h)?;
+    // Group reads by returned seq; stable order within a group: invocation
+    // time (respects real-time order among same-value reads).
+    let mut read_idx: Vec<usize> = (0..h.reads.len()).collect();
+    read_idx.sort_by_key(|&i| (h.reads[i].seq, h.reads[i].invoked));
+    let mut order = Vec::with_capacity(h.len() + 1);
+    order.push(OpRef::Init);
+    let mut it = read_idx.into_iter().peekable();
+    // Reads of seq 0 come right after Init.
+    while let Some(&i) = it.peek() {
+        if h.reads[i].seq == 0 {
+            order.push(OpRef::Read(i));
+            it.next();
+        } else {
+            break;
+        }
+    }
+    for w in &h.writes {
+        order.push(OpRef::Write(w.seq));
+        while let Some(&i) = it.peek() {
+            if h.reads[i].seq == w.seq {
+                order.push(OpRef::Read(i));
+                it.next();
+            } else {
+                break;
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::WriteRecord;
+
+    fn w(seq: u64, i: u64, r: u64) -> WriteRecord {
+        WriteRecord { seq, invoked: i, responded: r }
+    }
+    fn rd(reader: usize, seq: u64, i: u64, r: u64) -> ReadRecord {
+        ReadRecord { reader, seq, invoked: i, responded: r }
+    }
+
+    #[test]
+    fn sequential_history_is_atomic() {
+        // w1 [0,1], read 1 [2,3], w2 [4,5], read 2 [6,7]
+        let h = History::new(
+            vec![w(1, 0, 1), w(2, 4, 5)],
+            vec![rd(0, 1, 2, 3), rd(0, 2, 6, 7)],
+        )
+        .unwrap();
+        assert_eq!(check_atomic(&h), Ok(()));
+    }
+
+    #[test]
+    fn concurrent_read_may_return_either_value() {
+        // read [2,9] overlaps w2 [4,5]: both seq 1 and seq 2 are legal.
+        for seq in [1, 2] {
+            let h = History::new(
+                vec![w(1, 0, 1), w(2, 4, 5)],
+                vec![rd(0, seq, 2, 9)],
+            )
+            .unwrap();
+            assert_eq!(check_atomic(&h), Ok(()), "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn stale_read_detected() {
+        // w2 completed at 5; a read starting at 6 must not return seq 1.
+        let h = History::new(
+            vec![w(1, 0, 1), w(2, 4, 5)],
+            vec![rd(0, 1, 6, 7)],
+        )
+        .unwrap();
+        assert!(matches!(
+            check_atomic(&h),
+            Err(Violation::StaleRead { min_allowed: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn future_read_detected() {
+        // w2 invoked at 4; a read responding at 3 cannot see it.
+        let h = History::new(
+            vec![w(1, 0, 1), w(2, 4, 5)],
+            vec![rd(0, 2, 2, 3)],
+        )
+        .unwrap();
+        assert!(matches!(
+            check_atomic(&h),
+            Err(Violation::FutureRead { max_allowed: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn new_old_inversion_detected() {
+        // Both reads overlap w2 (so regular), but r1 -> r2 in real time
+        // while r1 saw the new value and r2 the old one.
+        let h = History::new(
+            vec![w(1, 0, 1), w(2, 4, 20)],
+            vec![rd(0, 2, 5, 6), rd(1, 1, 7, 8)],
+        )
+        .unwrap();
+        assert_eq!(check_regular(&h), Ok(()), "each read alone is regular");
+        assert!(matches!(check_atomic(&h), Err(Violation::NewOldInversion { .. })));
+    }
+
+    #[test]
+    fn overlapping_reads_may_disagree() {
+        // Same as above but the reads overlap: no real-time order, legal.
+        let h = History::new(
+            vec![w(1, 0, 1), w(2, 4, 20)],
+            vec![rd(0, 2, 5, 8), rd(1, 1, 6, 9)],
+        )
+        .unwrap();
+        assert_eq!(check_atomic(&h), Ok(()));
+    }
+
+    #[test]
+    fn same_reader_inversion_detected() {
+        // Program order of one reader is real-time order too.
+        let h = History::new(
+            vec![w(1, 0, 1), w(2, 4, 20)],
+            vec![rd(0, 2, 5, 6), rd(0, 1, 7, 8)],
+        )
+        .unwrap();
+        assert!(matches!(check_atomic(&h), Err(Violation::NewOldInversion { .. })));
+    }
+
+    #[test]
+    fn initial_value_reads_are_legal_before_first_write() {
+        let h = History::new(
+            vec![w(1, 5, 6)],
+            vec![rd(0, 0, 0, 1), rd(1, 0, 2, 4)],
+        )
+        .unwrap();
+        assert_eq!(check_atomic(&h), Ok(()));
+    }
+
+    #[test]
+    fn initial_value_read_after_write_completes_is_stale() {
+        let h = History::new(vec![w(1, 0, 1)], vec![rd(0, 0, 2, 3)]).unwrap();
+        assert!(matches!(check_atomic(&h), Err(Violation::StaleRead { .. })));
+    }
+
+    #[test]
+    fn empty_history_is_atomic() {
+        let h = History::default();
+        assert_eq!(check_atomic(&h), Ok(()));
+        assert_eq!(linearize(&h).unwrap(), vec![OpRef::Init]);
+    }
+
+    #[test]
+    fn witness_orders_reads_between_writes() {
+        let h = History::new(
+            vec![w(1, 2, 3), w(2, 6, 7)],
+            vec![rd(0, 0, 0, 1), rd(0, 1, 4, 5), rd(1, 2, 8, 9)],
+        )
+        .unwrap();
+        let order = linearize(&h).unwrap();
+        assert_eq!(
+            order,
+            vec![
+                OpRef::Init,
+                OpRef::Read(0),
+                OpRef::Write(1),
+                OpRef::Read(1),
+                OpRef::Write(2),
+                OpRef::Read(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn witness_respects_same_value_read_order() {
+        let h = History::new(
+            vec![w(1, 0, 1)],
+            vec![rd(0, 1, 6, 7), rd(1, 1, 2, 3)],
+        )
+        .unwrap();
+        let order = linearize(&h).unwrap();
+        // Read index 1 (invoked at 2) must precede read index 0 (invoked 6).
+        let p0 = order.iter().position(|o| *o == OpRef::Read(0)).unwrap();
+        let p1 = order.iter().position(|o| *o == OpRef::Read(1)).unwrap();
+        assert!(p1 < p0);
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::StaleRead {
+            read: rd(3, 1, 6, 7),
+            min_allowed: 2,
+        };
+        assert!(v.to_string().contains("stale read"));
+    }
+}

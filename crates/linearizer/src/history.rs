@@ -1,0 +1,216 @@
+//! History data model: timestamped read/write records.
+//!
+//! Values are identified by the writer's **sequence number**: write `k`
+//! stores the value stamped `k` (`register_common::payload::stamp`), and a
+//! read's record carries the sequence number its returned bytes verified
+//! to. Sequence 0 is the register's initial value, treated as a write that
+//! completed before everything else.
+//!
+//! Timestamps are draws from one shared
+//! [`HistoryClock`](register_common::HistoryClock): `invoked` is drawn
+//! immediately before the operation starts, `responded` immediately after
+//! it returns, so `a.responded < b.invoked` is a sound witness that `a`
+//! really preceded `b` in real time.
+
+use std::fmt;
+
+/// One write operation (sequence numbers are dense, starting at 1; seq 0 is
+/// the initial value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// The sequence number this write stamped into the value.
+    pub seq: u64,
+    /// Clock tick drawn before the write started.
+    pub invoked: u64,
+    /// Clock tick drawn after the write returned.
+    pub responded: u64,
+}
+
+/// One read operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRecord {
+    /// Which reader thread performed it.
+    pub reader: usize,
+    /// Sequence number of the value the read returned.
+    pub seq: u64,
+    /// Clock tick drawn before the read started.
+    pub invoked: u64,
+    /// Clock tick drawn after the read returned.
+    pub responded: u64,
+}
+
+/// Structural problems that make a history malformed (as opposed to
+/// non-linearizable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryError {
+    /// An operation's response tick does not exceed its invocation tick.
+    BadInterval {
+        /// Description of the offending op.
+        what: String,
+    },
+    /// Write sequence numbers are not dense and increasing (1, 2, 3, ...).
+    NonSequentialWrites {
+        /// Position of the offending write.
+        at: usize,
+    },
+    /// Two writes overlap in time: the single-writer assumption is broken.
+    OverlappingWrites {
+        /// Sequence of the first write.
+        first: u64,
+        /// Sequence of the second write.
+        second: u64,
+    },
+    /// A read references a sequence number no write produced.
+    UnknownValue {
+        /// The offending read.
+        read: ReadRecord,
+    },
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::BadInterval { what } => write!(f, "bad interval: {what}"),
+            HistoryError::NonSequentialWrites { at } => {
+                write!(f, "write sequence numbers not dense/increasing at position {at}")
+            }
+            HistoryError::OverlappingWrites { first, second } => {
+                write!(f, "writes {first} and {second} overlap (single writer violated)")
+            }
+            HistoryError::UnknownValue { read } => {
+                write!(f, "read returned unknown value seq {}", read.seq)
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+/// A complete recorded execution: all writes (sorted by seq) and all reads.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Writes, seq 1..=n, in order.
+    pub writes: Vec<WriteRecord>,
+    /// Reads, any order.
+    pub reads: Vec<ReadRecord>,
+}
+
+impl History {
+    /// Assemble and structurally validate a history.
+    pub fn new(
+        mut writes: Vec<WriteRecord>,
+        reads: Vec<ReadRecord>,
+    ) -> Result<Self, HistoryError> {
+        writes.sort_by_key(|w| w.seq);
+        for (i, w) in writes.iter().enumerate() {
+            if w.seq != i as u64 + 1 {
+                return Err(HistoryError::NonSequentialWrites { at: i });
+            }
+            if w.invoked >= w.responded {
+                return Err(HistoryError::BadInterval { what: format!("write {}", w.seq) });
+            }
+            if i > 0 && writes[i - 1].responded >= w.invoked {
+                return Err(HistoryError::OverlappingWrites {
+                    first: writes[i - 1].seq,
+                    second: w.seq,
+                });
+            }
+        }
+        let max_seq = writes.len() as u64;
+        for r in &reads {
+            if r.invoked >= r.responded {
+                return Err(HistoryError::BadInterval {
+                    what: format!("read by {} of seq {}", r.reader, r.seq),
+                });
+            }
+            if r.seq > max_seq {
+                return Err(HistoryError::UnknownValue { read: *r });
+            }
+        }
+        Ok(Self { writes, reads })
+    }
+
+    /// Number of operations in the history.
+    pub fn len(&self) -> usize {
+        self.writes.len() + self.reads.len()
+    }
+
+    /// True if the history holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty() && self.reads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(seq: u64, i: u64, r: u64) -> WriteRecord {
+        WriteRecord { seq, invoked: i, responded: r }
+    }
+    fn rd(seq: u64, i: u64, r: u64) -> ReadRecord {
+        ReadRecord { reader: 0, seq, invoked: i, responded: r }
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        let h = History::new(vec![w(1, 0, 1), w(2, 2, 3)], vec![rd(1, 0, 4)]).unwrap();
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn sorts_writes_by_seq() {
+        let h = History::new(vec![w(2, 2, 3), w(1, 0, 1)], vec![]).unwrap();
+        assert_eq!(h.writes[0].seq, 1);
+    }
+
+    #[test]
+    fn rejects_gapped_seqs() {
+        assert_eq!(
+            History::new(vec![w(1, 0, 1), w(3, 2, 3)], vec![]).unwrap_err(),
+            HistoryError::NonSequentialWrites { at: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_overlapping_writes() {
+        assert_eq!(
+            History::new(vec![w(1, 0, 5), w(2, 3, 8)], vec![]).unwrap_err(),
+            HistoryError::OverlappingWrites { first: 1, second: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_intervals() {
+        assert!(matches!(
+            History::new(vec![w(1, 5, 5)], vec![]),
+            Err(HistoryError::BadInterval { .. })
+        ));
+        assert!(matches!(
+            History::new(vec![], vec![rd(0, 7, 7)]),
+            Err(HistoryError::BadInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_values() {
+        assert!(matches!(
+            History::new(vec![w(1, 0, 1)], vec![rd(9, 2, 3)]),
+            Err(HistoryError::UnknownValue { .. })
+        ));
+    }
+
+    #[test]
+    fn initial_value_needs_no_write() {
+        // seq 0 is always legal for reads.
+        let h = History::new(vec![], vec![rd(0, 0, 1)]).unwrap();
+        assert_eq!(h.reads.len(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = HistoryError::OverlappingWrites { first: 1, second: 2 };
+        assert!(e.to_string().contains("overlap"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Linearizability checking for single-writer register histories.
+//!
+//! The ARC paper proves its register *atomic* (Criterion 1: regular + no
+//! new-old inversion). This crate checks those properties mechanically on
+//! recorded executions of the real implementations:
+//!
+//! 1. tests run writer/reader threads against a register, stamping every
+//!    written value with a sequence number and recording every operation's
+//!    invocation/response on a shared logical clock ([`record`]);
+//! 2. the checker ([`check`]) validates the assembled [`History`]:
+//!    * **regularity** — every read returns the last completed write's
+//!      value or one being written concurrently (Lamport / paper §3.1);
+//!    * **no new-old inversion** — reads ordered in real time never
+//!      observe writes out of order (paper Criterion 1);
+//!    * for valid histories it emits a constructive **witness** — an
+//!      explicit linearization order — which is what "atomic" means.
+//!
+//! For a single-writer register this check is exact and runs in
+//! `O(n log n)` (general linearizability checking is NP-complete; the
+//! total order on writes collapses the search).
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod check;
+pub mod history;
+pub mod mw;
+pub mod record;
+
+pub use check::{check_atomic, check_regular, linearize, OpRef, Violation};
+pub use history::{History, HistoryError, ReadRecord, WriteRecord};
+pub use record::{HistoryRecorder, ReadLog, WriteLog};
+
+pub use mw::{check_atomic_mw, MwRead, MwViolation, MwWrite};

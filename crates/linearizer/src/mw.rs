@@ -1,0 +1,394 @@
+//! Atomicity checking for **multi-writer** register histories.
+//!
+//! The workspace's (M,N) register (`mn-register`) builds on ARC using the
+//! classical timestamp construction: every write carries a unique
+//! `(ts, writer)` pair, and the intended linearization order of writes *is*
+//! the lexicographic timestamp order. That candidate order makes exact
+//! checking tractable again (general multi-writer linearizability checking
+//! is NP-complete; a fixed write order reduces it to the single-writer
+//! style sweeps):
+//!
+//! 1. each writer's own operations must be sequential with strictly
+//!    increasing timestamps;
+//! 2. the timestamp order must respect real time *across* writers
+//!    (`w1.responded < w2.invoked ⇒ ts(w1) < ts(w2)`);
+//! 3. every read must return the value of an actual write that was invoked
+//!    before the read responded, ranked no lower than the newest write
+//!    that completed before the read was invoked;
+//! 4. no new-old inversion between real-time-ordered reads (rank sweep).
+//!
+//! With unique per-write values (the stamped payloads provide them), these
+//! conditions are sound and complete for atomicity under the timestamp
+//! witness order.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A write operation in a multi-writer history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MwWrite {
+    /// Which writer performed it.
+    pub writer: usize,
+    /// The unique timestamp `(counter, writer id)` the value carries.
+    pub ts: (u64, u64),
+    /// Invocation tick.
+    pub invoked: u64,
+    /// Response tick.
+    pub responded: u64,
+}
+
+/// A read operation in a multi-writer history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MwRead {
+    /// Which reader performed it.
+    pub reader: usize,
+    /// Timestamp of the value returned (`(0, 0)` = initial value).
+    pub ts: (u64, u64),
+    /// Invocation tick.
+    pub invoked: u64,
+    /// Response tick.
+    pub responded: u64,
+}
+
+/// Violations of multi-writer atomicity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MwViolation {
+    /// One writer's operations overlap or its timestamps regress.
+    WriterNotSequential {
+        /// The offending writer.
+        writer: usize,
+    },
+    /// Timestamp order contradicts real time across writers.
+    TimestampOrderViolation {
+        /// The earlier (completed) write.
+        first: MwWrite,
+        /// The later-invoked write with a smaller timestamp.
+        second: MwWrite,
+    },
+    /// A read returned a timestamp no write produced.
+    UnknownValue {
+        /// The offending read.
+        read: MwRead,
+    },
+    /// A read returned a value older than the newest write completed
+    /// before it began.
+    StaleRead {
+        /// The offending read.
+        read: MwRead,
+        /// Timestamp of the newest completed write at read invocation.
+        min_allowed: (u64, u64),
+    },
+    /// A read returned a value whose write had not been invoked when the
+    /// read responded.
+    FutureRead {
+        /// The offending read.
+        read: MwRead,
+    },
+    /// Two real-time-ordered reads observed writes out of order.
+    NewOldInversion {
+        /// The earlier read (newer value).
+        first: MwRead,
+        /// The later read (older value).
+        second: MwRead,
+    },
+}
+
+impl fmt::Display for MwViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MwViolation::WriterNotSequential { writer } => {
+                write!(f, "writer {writer} issued overlapping or ts-regressing writes")
+            }
+            MwViolation::TimestampOrderViolation { first, second } => write!(
+                f,
+                "write ts {:?} completed before ts {:?} was invoked, but orders disagree",
+                first.ts, second.ts
+            ),
+            MwViolation::UnknownValue { read } => {
+                write!(f, "read returned unknown timestamp {:?}", read.ts)
+            }
+            MwViolation::StaleRead { read, min_allowed } => write!(
+                f,
+                "stale read: returned {:?} though {min_allowed:?} completed before it began",
+                read.ts
+            ),
+            MwViolation::FutureRead { read } => {
+                write!(f, "future read: {:?} not yet invoked at response", read.ts)
+            }
+            MwViolation::NewOldInversion { first, second } => write!(
+                f,
+                "new-old inversion: {:?} (reader {}) then older {:?} (reader {})",
+                first.ts, first.reader, second.ts, second.reader
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MwViolation {}
+
+/// Check a multi-writer history for atomicity under the timestamp witness
+/// order. Timestamp `(0, 0)` denotes the initial value (rank 0).
+pub fn check_atomic_mw(writes: &[MwWrite], reads: &[MwRead]) -> Result<(), MwViolation> {
+    // 1. Per-writer sequentiality + monotone timestamps.
+    let mut by_writer: HashMap<usize, Vec<&MwWrite>> = HashMap::new();
+    for w in writes {
+        by_writer.entry(w.writer).or_default().push(w);
+    }
+    for (writer, mut ops) in by_writer {
+        ops.sort_by_key(|w| w.invoked);
+        for pair in ops.windows(2) {
+            if pair[0].responded >= pair[1].invoked || pair[0].ts >= pair[1].ts {
+                return Err(MwViolation::WriterNotSequential { writer });
+            }
+        }
+    }
+
+    // Rank writes by timestamp; rank 0 is the initial value.
+    let mut by_ts: Vec<&MwWrite> = writes.iter().collect();
+    by_ts.sort_by_key(|w| w.ts);
+    if by_ts.windows(2).any(|p| p[0].ts == p[1].ts) {
+        // Duplicate timestamps make the witness order ambiguous; surface as
+        // a sequentiality problem of the lower writer id.
+        let dup = by_ts.windows(2).find(|p| p[0].ts == p[1].ts).unwrap();
+        return Err(MwViolation::WriterNotSequential { writer: dup[0].writer });
+    }
+    let rank_of: HashMap<(u64, u64), usize> =
+        by_ts.iter().enumerate().map(|(i, w)| (w.ts, i + 1)).collect();
+
+    // 2. Timestamp order consistent with real time: sweep writes by
+    // invocation, tracking the max rank among completed writes.
+    {
+        let mut by_invoked: Vec<&MwWrite> = writes.iter().collect();
+        by_invoked.sort_by_key(|w| w.invoked);
+        let mut by_responded: Vec<&MwWrite> = writes.iter().collect();
+        by_responded.sort_by_key(|w| w.responded);
+        let mut done = 0;
+        let mut max_done: Option<&MwWrite> = None;
+        for w in by_invoked {
+            while done < by_responded.len() && by_responded[done].responded < w.invoked {
+                let cand = by_responded[done];
+                if max_done.is_none_or(|m| cand.ts > m.ts) {
+                    max_done = Some(cand);
+                }
+                done += 1;
+            }
+            if let Some(m) = max_done {
+                if m.ts > w.ts {
+                    return Err(MwViolation::TimestampOrderViolation { first: *m, second: *w });
+                }
+            }
+        }
+    }
+
+    // 3. Per-read window.
+    // Prefix max of rank over writes sorted by response time -> "newest
+    // completed before tick t".
+    let mut resp_sorted: Vec<(u64, usize, (u64, u64))> = writes
+        .iter()
+        .map(|w| (w.responded, rank_of[&w.ts], w.ts))
+        .collect();
+    resp_sorted.sort_unstable();
+    let mut prefix_max: Vec<(u64, usize, (u64, u64))> = Vec::with_capacity(resp_sorted.len());
+    let mut best: (usize, (u64, u64)) = (0, (0, 0));
+    for (t, rank, ts) in resp_sorted {
+        if rank > best.0 {
+            best = (rank, ts);
+        }
+        prefix_max.push((t, best.0, best.1));
+    }
+    let newest_completed_before = |tick: u64| -> (usize, (u64, u64)) {
+        let idx = prefix_max.partition_point(|&(t, _, _)| t < tick);
+        if idx == 0 {
+            (0, (0, 0))
+        } else {
+            let (_, rank, ts) = prefix_max[idx - 1];
+            (rank, ts)
+        }
+    };
+
+    for r in reads {
+        let rank = if r.ts == (0, 0) {
+            0
+        } else {
+            match rank_of.get(&r.ts) {
+                Some(&k) => k,
+                None => return Err(MwViolation::UnknownValue { read: *r }),
+            }
+        };
+        let (low_rank, low_ts) = newest_completed_before(r.invoked);
+        if rank < low_rank {
+            return Err(MwViolation::StaleRead { read: *r, min_allowed: low_ts });
+        }
+        if rank > 0 {
+            let w = by_ts[rank - 1];
+            if w.invoked >= r.responded {
+                return Err(MwViolation::FutureRead { read: *r });
+            }
+        }
+    }
+
+    // 4. Read-read inversion sweep (as in the single-writer checker, over
+    // ranks).
+    let rank_of_read = |r: &MwRead| -> usize {
+        if r.ts == (0, 0) {
+            0
+        } else {
+            rank_of[&r.ts]
+        }
+    };
+    let mut by_invoked: Vec<&MwRead> = reads.iter().collect();
+    by_invoked.sort_by_key(|r| r.invoked);
+    let mut by_responded: Vec<&MwRead> = reads.iter().collect();
+    by_responded.sort_by_key(|r| r.responded);
+    let mut done = 0;
+    let mut max_done: Option<&MwRead> = None;
+    for r in by_invoked {
+        while done < by_responded.len() && by_responded[done].responded < r.invoked {
+            let cand = by_responded[done];
+            if max_done.is_none_or(|m| rank_of_read(cand) > rank_of_read(m)) {
+                max_done = Some(cand);
+            }
+            done += 1;
+        }
+        if let Some(m) = max_done {
+            if rank_of_read(m) > rank_of_read(r) {
+                return Err(MwViolation::NewOldInversion { first: *m, second: *r });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(writer: usize, ts: (u64, u64), i: u64, r: u64) -> MwWrite {
+        MwWrite { writer, ts, invoked: i, responded: r }
+    }
+    fn rd(reader: usize, ts: (u64, u64), i: u64, r: u64) -> MwRead {
+        MwRead { reader, ts, invoked: i, responded: r }
+    }
+
+    #[test]
+    fn sequential_two_writers_ok() {
+        let writes = [w(0, (1, 0), 0, 1), w(1, (2, 1), 2, 3)];
+        let reads = [rd(0, (1, 0), 1, 2), rd(0, (2, 1), 4, 5)];
+        assert_eq!(check_atomic_mw(&writes, &reads), Ok(()));
+    }
+
+    #[test]
+    fn overlapping_writers_tiebreak_ok() {
+        // Two overlapping writes with ts decided by (counter, id): either
+        // read outcome is linearizable.
+        let writes = [w(0, (1, 0), 0, 10), w(1, (1, 1), 0, 10)];
+        for ts in [(1, 0), (1, 1)] {
+            let reads = [rd(0, ts, 11, 12)];
+            // (1,1) is the newest; (1,0) completed at 10 < 11 -> stale.
+            let res = check_atomic_mw(&writes, &reads);
+            if ts == (1, 1) {
+                assert_eq!(res, Ok(()));
+            } else {
+                assert!(matches!(res, Err(MwViolation::StaleRead { .. })));
+            }
+        }
+    }
+
+    #[test]
+    fn writer_overlap_with_itself_rejected() {
+        let writes = [w(0, (1, 0), 0, 5), w(0, (2, 0), 3, 8)];
+        assert!(matches!(
+            check_atomic_mw(&writes, &[]),
+            Err(MwViolation::WriterNotSequential { writer: 0 })
+        ));
+    }
+
+    #[test]
+    fn ts_regression_within_writer_rejected() {
+        let writes = [w(0, (5, 0), 0, 1), w(0, (3, 0), 2, 3)];
+        assert!(matches!(
+            check_atomic_mw(&writes, &[]),
+            Err(MwViolation::WriterNotSequential { writer: 0 })
+        ));
+    }
+
+    #[test]
+    fn cross_writer_ts_inversion_rejected() {
+        // w0 completes with ts (5,0); later w1 invokes with smaller ts.
+        let writes = [w(0, (5, 0), 0, 1), w(1, (2, 1), 2, 3)];
+        assert!(matches!(
+            check_atomic_mw(&writes, &[]),
+            Err(MwViolation::TimestampOrderViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_timestamps_rejected() {
+        let writes = [w(0, (1, 0), 0, 1), w(1, (1, 0), 2, 3)];
+        assert!(matches!(
+            check_atomic_mw(&writes, &[]),
+            Err(MwViolation::WriterNotSequential { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_value_rejected() {
+        let writes = [w(0, (1, 0), 0, 1)];
+        let reads = [rd(0, (9, 9), 2, 3)];
+        assert!(matches!(
+            check_atomic_mw(&writes, &reads),
+            Err(MwViolation::UnknownValue { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_read_rejected() {
+        let writes = [w(0, (1, 0), 0, 1), w(1, (2, 1), 2, 3)];
+        let reads = [rd(0, (1, 0), 4, 5)];
+        assert!(matches!(
+            check_atomic_mw(&writes, &reads),
+            Err(MwViolation::StaleRead { .. })
+        ));
+    }
+
+    #[test]
+    fn future_read_rejected() {
+        let writes = [w(0, (1, 0), 5, 6)];
+        let reads = [rd(0, (1, 0), 0, 1)];
+        assert!(matches!(
+            check_atomic_mw(&writes, &reads),
+            Err(MwViolation::FutureRead { .. })
+        ));
+    }
+
+    #[test]
+    fn initial_value_reads_ok_before_any_write() {
+        let writes = [w(0, (1, 0), 10, 11)];
+        let reads = [rd(0, (0, 0), 0, 1)];
+        assert_eq!(check_atomic_mw(&writes, &reads), Ok(()));
+    }
+
+    #[test]
+    fn read_inversion_rejected() {
+        let writes = [w(0, (1, 0), 0, 1), w(1, (2, 1), 2, 30)];
+        // r1 sees the in-flight (2,1) and completes; r2 starts later and
+        // sees the older (1,0).
+        let reads = [rd(0, (2, 1), 3, 4), rd(1, (1, 0), 5, 6)];
+        assert!(matches!(
+            check_atomic_mw(&writes, &reads),
+            Err(MwViolation::NewOldInversion { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_reads_may_disagree() {
+        let writes = [w(0, (1, 0), 0, 1), w(1, (2, 1), 2, 30)];
+        let reads = [rd(0, (2, 1), 3, 6), rd(1, (1, 0), 4, 7)];
+        assert_eq!(check_atomic_mw(&writes, &reads), Ok(()));
+    }
+
+    #[test]
+    fn empty_history_ok() {
+        assert_eq!(check_atomic_mw(&[], &[]), Ok(()));
+    }
+}

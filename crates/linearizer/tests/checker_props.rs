@@ -1,0 +1,248 @@
+//! Property tests cross-validating the checker against a reference
+//! simulator.
+//!
+//! A *true* atomic register is simulated step by step under arbitrary
+//! interleavings: every operation linearizes at an explicit instant, reads
+//! return exactly the sequence number current at their linearization
+//! point. Histories produced this way are atomic **by construction**, so
+//! `check_atomic` must accept every one of them (no false positives).
+//! Dually, targeted mutations that provably break regularity or introduce a
+//! new-old inversion must always be caught (no false negatives for these
+//! violation classes).
+
+use linearizer::{check_atomic, linearize, History, ReadRecord, Violation, WriteRecord};
+use proptest::prelude::*;
+
+/// Per-op state in the reference simulation: ops advance through
+/// invoke → linearize → respond, one step per schedule slot.
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    Idle,
+    Invoked,
+    Linearized,
+}
+
+struct Sim {
+    tick: u64,
+    seq: u64,
+    writes: Vec<WriteRecord>,
+    reads: Vec<ReadRecord>,
+    // writer state
+    wphase: Phase,
+    winv: u64,
+    wremaining: usize,
+    // reader state
+    rphase: Vec<Phase>,
+    rinv: Vec<u64>,
+    robs: Vec<u64>,
+    rremaining: Vec<usize>,
+}
+
+impl Sim {
+    fn new(n_readers: usize, writes: usize, reads_each: usize) -> Self {
+        Self {
+            tick: 0,
+            seq: 0,
+            writes: Vec::new(),
+            reads: Vec::new(),
+            wphase: Phase::Idle,
+            winv: 0,
+            wremaining: writes,
+            rphase: vec![Phase::Idle; n_readers],
+            rinv: vec![0; n_readers],
+            robs: vec![0; n_readers],
+            rremaining: vec![reads_each; n_readers],
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Advance thread `t` (0 = writer, 1.. = readers) by one step.
+    fn step(&mut self, t: usize) {
+        if t == 0 {
+            match self.wphase {
+                Phase::Idle if self.wremaining > 0 => {
+                    self.winv = self.tick();
+                    self.wphase = Phase::Invoked;
+                }
+                Phase::Invoked => {
+                    self.seq += 1; // linearization point of the write
+                    self.tick();
+                    self.wphase = Phase::Linearized;
+                }
+                Phase::Linearized => {
+                    let responded = self.tick();
+                    self.writes.push(WriteRecord {
+                        seq: self.seq,
+                        invoked: self.winv,
+                        responded,
+                    });
+                    self.wremaining -= 1;
+                    self.wphase = Phase::Idle;
+                }
+                Phase::Idle => {}
+            }
+        } else {
+            let r = t - 1;
+            match self.rphase[r] {
+                Phase::Idle if self.rremaining[r] > 0 => {
+                    self.rinv[r] = self.tick();
+                    self.rphase[r] = Phase::Invoked;
+                }
+                Phase::Invoked => {
+                    self.robs[r] = self.seq; // linearization point of the read
+                    self.tick();
+                    self.rphase[r] = Phase::Linearized;
+                }
+                Phase::Linearized => {
+                    let responded = self.tick();
+                    self.reads.push(ReadRecord {
+                        reader: r,
+                        seq: self.robs[r],
+                        invoked: self.rinv[r],
+                        responded,
+                    });
+                    self.rremaining[r] -= 1;
+                    self.rphase[r] = Phase::Idle;
+                }
+                Phase::Idle => {}
+            }
+        }
+    }
+
+    fn drain(&mut self, threads: usize) {
+        // Finish all in-flight and remaining ops round-robin.
+        for _ in 0..10_000 {
+            let mut busy = false;
+            for t in 0..threads {
+                let open = if t == 0 {
+                    self.wremaining > 0 || self.wphase != Phase::Idle
+                } else {
+                    self.rremaining[t - 1] > 0 || self.rphase[t - 1] != Phase::Idle
+                };
+                if open {
+                    busy = true;
+                    self.step(t);
+                }
+            }
+            if !busy {
+                return;
+            }
+        }
+        unreachable!("drain did not terminate");
+    }
+}
+
+fn simulate(n_readers: usize, writes: usize, reads_each: usize, schedule: &[usize]) -> History {
+    let threads = n_readers + 1;
+    let mut sim = Sim::new(n_readers, writes, reads_each);
+    for &c in schedule {
+        sim.step(c % threads);
+    }
+    sim.drain(threads);
+    History::new(sim.writes, sim.reads).expect("simulator emits well-formed histories")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn reference_simulation_always_passes(
+        n_readers in 1..4usize,
+        writes in 0..8usize,
+        reads_each in 0..6usize,
+        schedule in proptest::collection::vec(0..64usize, 0..200),
+    ) {
+        let h = simulate(n_readers, writes, reads_each, &schedule);
+        prop_assert_eq!(check_atomic(&h), Ok(()));
+        // The witness must exist and contain every operation exactly once.
+        let order = linearize(&h).unwrap();
+        prop_assert_eq!(order.len(), h.len() + 1);
+    }
+
+    #[test]
+    fn stale_mutation_always_caught(
+        n_readers in 1..4usize,
+        writes in 2..8usize,
+        reads_each in 1..6usize,
+        schedule in proptest::collection::vec(0..64usize, 0..200),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut h = simulate(n_readers, writes, reads_each, &schedule);
+        prop_assume!(!h.reads.is_empty());
+        let i = pick.index(h.reads.len());
+        // Make read i stale: return a value strictly older than the last
+        // write completed before it started.
+        let low = h.writes.iter().filter(|w| w.responded < h.reads[i].invoked).count() as u64;
+        prop_assume!(low >= 1);
+        h.reads[i].seq = low - 1;
+        let caught = matches!(check_atomic(&h), Err(Violation::StaleRead { .. }));
+        prop_assert!(caught, "stale mutation not flagged");
+    }
+
+    #[test]
+    fn future_mutation_always_caught(
+        n_readers in 1..4usize,
+        writes in 2..8usize,
+        reads_each in 1..6usize,
+        schedule in proptest::collection::vec(0..64usize, 0..200),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut h = simulate(n_readers, writes, reads_each, &schedule);
+        prop_assume!(!h.reads.is_empty());
+        let i = pick.index(h.reads.len());
+        let high = h.writes.iter().filter(|w| w.invoked < h.reads[i].responded).count() as u64;
+        prop_assume!(high < h.writes.len() as u64);
+        h.reads[i].seq = h.writes.len() as u64; // a real seq, but unreachable
+        let caught = matches!(check_atomic(&h), Err(Violation::FutureRead { .. }));
+        prop_assert!(caught, "future mutation not flagged");
+    }
+
+    #[test]
+    fn inversion_mutation_always_caught(
+        writes in 1..6usize,
+        schedule in proptest::collection::vec(0..64usize, 0..120),
+    ) {
+        // Build a base history, then append a crafted inverted pair around
+        // the last write: r1 (new value) entirely before r2 (old value).
+        let mut h = simulate(2, writes, 2, &schedule);
+        let last = h.writes.last().copied().unwrap();
+        let t0 = h.writes.iter().map(|w| w.responded)
+            .chain(h.reads.iter().map(|r| r.responded))
+            .max().unwrap_or(0) + 1;
+        h.reads.push(ReadRecord { reader: 0, seq: last.seq, invoked: t0, responded: t0 + 1 });
+        // r2 after r1 in real time, returning the previous value. To keep
+        // r2 individually regular it must overlap a write — so give it the
+        // whole tail: it starts after r1 but we pretend the last write is
+        // still in flight by placing a phantom (writes.len()+1)-th write...
+        // Simpler: r2 returns last.seq - 1 while no write is in flight:
+        // that is both stale AND an inversion; check_regular already flags
+        // it, so assert only that *some* violation is raised.
+        h.reads.push(ReadRecord {
+            reader: 1, seq: last.seq - 1, invoked: t0 + 2, responded: t0 + 3,
+        });
+        prop_assert!(check_atomic(&h).is_err());
+    }
+}
+
+/// A hand-built pure inversion (each read individually regular) — the
+/// deterministic companion to the probabilistic tests above.
+#[test]
+fn pure_inversion_is_caught_deterministically() {
+    let h = History::new(
+        vec![
+            WriteRecord { seq: 1, invoked: 0, responded: 1 },
+            WriteRecord { seq: 2, invoked: 10, responded: 100 },
+        ],
+        vec![
+            ReadRecord { reader: 0, seq: 2, invoked: 20, responded: 30 },
+            ReadRecord { reader: 1, seq: 1, invoked: 40, responded: 50 },
+        ],
+    )
+    .unwrap();
+    assert!(linearizer::check_regular(&h).is_ok());
+    assert!(matches!(check_atomic(&h), Err(Violation::NewOldInversion { .. })));
+}

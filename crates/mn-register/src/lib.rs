@@ -1,0 +1,511 @@
+//! A wait-free multi-word atomic **(M,N)** register built from ARC.
+//!
+//! The ARC paper motivates (1,N) registers as "building blocks to realize
+//! more general (M,N) registers" (§1, citing Li–Tromp–Vitányi). This crate
+//! realizes that program with the classical timestamp construction:
+//!
+//! * one ARC (1,N′) sub-register per writer (`N′ = N + M − 1`: the real
+//!   readers plus the other writers, which read timestamps during their
+//!   collect phase);
+//! * **write(v)** by writer `i`: read every other writer's current
+//!   timestamp (wait-free ARC reads — and fast-path cheap when nothing
+//!   changed), pick `ts = max + 1`, and publish `(ts, i, v)` to own
+//!   sub-register (one wait-free ARC write);
+//! * **read()**: read all `M` sub-registers (each a pinned, zero-copy ARC
+//!   snapshot), return the value with the lexicographically largest
+//!   `(ts, writer)` pair.
+//!
+//! # Why this is atomic
+//!
+//! Timestamps order all writes totally (ties broken by writer id). The
+//! order respects real time: a write that completed published its `ts` in
+//! its sub-register, and any later write's collect reads that sub-register
+//! *after* the publish (ARC sub-reads are atomic), so it picks a larger
+//! `ts`. Reads never invert: each sub-register's timestamp is monotone, so
+//! the max over all M is monotone along real time; if read r₁ returned
+//! `ts` and completed before r₂ began, every sub-register r₂ reads is at
+//! least as new as what r₁ saw. The `linearizer::mw` checker validates
+//! exactly these conditions on recorded executions of this implementation.
+//!
+//! # Progress and costs
+//!
+//! Every operation is a bounded number of wait-free ARC operations:
+//! writes cost `M − 1` reads + 1 write (O(M), no retry loops — unlike CAS
+//! ladders), reads cost `M` reads. Space is `M · (N′ + 2)` buffers.
+//!
+//! # Example
+//!
+//! ```
+//! use mn_register::MnRegister;
+//!
+//! let reg = MnRegister::new(2, 4, 1024, b"genesis").unwrap(); // M=2, N=4
+//! let mut w0 = reg.writer().unwrap();
+//! let mut w1 = reg.writer().unwrap();
+//! let mut r = reg.reader().unwrap();
+//!
+//! w0.write(b"from writer 0");
+//! w1.write(b"from writer 1");
+//! r.read_with(|v, ts| {
+//!     assert_eq!(v, b"from writer 1");
+//!     assert_eq!(ts.writer, 1);
+//! });
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use arc_register::{ArcReader, ArcRegister, ArcWriter};
+use register_common::traits::{validate_spec, BuildError, RegisterSpec};
+
+/// Bytes of header prepended to every stored value: `ts` and `writer id`.
+pub const HEADER: usize = 16;
+
+/// A value's unique timestamp: total order = `(counter, writer)`
+/// lexicographic. `(0, _)` stamps sub-register initial values; the true
+/// initial value carries `(1, 0)` so it beats the empty placeholders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp {
+    /// Lamport-style counter (collect max + 1).
+    pub counter: u64,
+    /// Writer id, the tie-breaker.
+    pub writer: u64,
+}
+
+impl Timestamp {
+    fn encode(self, buf: &mut [u8]) {
+        buf[..8].copy_from_slice(&self.counter.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.writer.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        let mut c = [0u8; 8];
+        let mut w = [0u8; 8];
+        c.copy_from_slice(&buf[..8]);
+        w.copy_from_slice(&buf[8..16]);
+        Self { counter: u64::from_le_bytes(c), writer: u64::from_le_bytes(w) }
+    }
+}
+
+/// The shared (M,N) register.
+pub struct MnRegister {
+    subs: Vec<Arc<ArcRegister>>,
+    capacity: usize,
+    n_readers: usize,
+    writer_ids: Mutex<Vec<usize>>,
+    live_readers: AtomicUsize,
+}
+
+impl MnRegister {
+    /// Build an (M,N) register holding values up to `capacity` bytes,
+    /// initialized to `initial` (held by writer 0's sub-register with
+    /// timestamp `(1, 0)`).
+    pub fn new(
+        writers: usize,
+        readers: usize,
+        capacity: usize,
+        initial: &[u8],
+    ) -> Result<Arc<Self>, BuildError> {
+        if writers == 0 {
+            return Err(BuildError::ZeroReaders); // no dedicated variant; degenerate spec
+        }
+        validate_spec(RegisterSpec::new(readers, capacity), initial, None)?;
+        // Each sub-register serves the N real readers plus the other M−1
+        // writers' collect reads.
+        let sub_readers = (readers + writers - 1) as u32;
+        let mut subs = Vec::with_capacity(writers);
+        for id in 0..writers {
+            let mut init = vec![0u8; HEADER + if id == 0 { initial.len() } else { 0 }];
+            let ts = Timestamp {
+                counter: u64::from(id == 0),
+                writer: id as u64,
+            };
+            ts.encode(&mut init);
+            if id == 0 {
+                init[HEADER..].copy_from_slice(initial);
+            }
+            subs.push(
+                ArcRegister::builder(sub_readers.max(1), HEADER + capacity)
+                    .initial(&init)
+                    .build()?,
+            );
+        }
+        Ok(Arc::new(Self {
+            subs,
+            capacity,
+            n_readers: readers,
+            writer_ids: Mutex::new((0..writers).rev().collect()),
+            live_readers: AtomicUsize::new(0),
+        }))
+    }
+
+    /// Number of writers `M`.
+    pub fn writers(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Reader cap `N`.
+    pub fn max_readers(&self) -> usize {
+        self.n_readers
+    }
+
+    /// Payload capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Claim one of the `M` writer handles (each may be claimed once;
+    /// dropping returns it).
+    pub fn writer(self: &Arc<Self>) -> Option<MnWriter> {
+        let id = self.writer_ids.lock().expect("id allocator poisoned").pop()?;
+        // The writer reads every *other* sub-register during collects.
+        let peers = self
+            .subs
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != id)
+            .map(|(_, sub)| sub.reader().expect("sub-register sized for M-1 writer readers"))
+            .collect();
+        let own = self.subs[id].writer().expect("sub-writer claimed once per id");
+        Some(MnWriter { reg: Arc::clone(self), id, own, peers, last_counter: u64::from(id == 0) })
+    }
+
+    /// Register one of the `N` reader handles.
+    pub fn reader(self: &Arc<Self>) -> Option<MnReader> {
+        let live = self.live_readers.fetch_add(1, Ordering::SeqCst);
+        if live >= self.n_readers {
+            self.live_readers.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        let subs = self
+            .subs
+            .iter()
+            .map(|s| s.reader().expect("sub-register sized for N readers"))
+            .collect();
+        Some(MnReader { reg: Arc::clone(self), subs })
+    }
+}
+
+impl fmt::Debug for MnRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MnRegister")
+            .field("writers", &self.writers())
+            .field("max_readers", &self.n_readers)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+/// One of the `M` writer handles.
+pub struct MnWriter {
+    reg: Arc<MnRegister>,
+    id: usize,
+    own: ArcWriter,
+    peers: Vec<ArcReader>,
+    last_counter: u64,
+}
+
+impl MnWriter {
+    /// Store a new value. Wait-free: `M − 1` ARC reads (the timestamp
+    /// collect) + one ARC write. Returns the timestamp assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value.len()` exceeds the capacity.
+    pub fn write(&mut self, value: &[u8]) -> Timestamp {
+        assert!(
+            value.len() <= self.reg.capacity,
+            "value of {} bytes exceeds register capacity {}",
+            value.len(),
+            self.reg.capacity
+        );
+        // Collect: the largest counter visible anywhere (fast-path reads
+        // when peers are quiet).
+        let mut max_counter = self.last_counter;
+        for peer in self.peers.iter_mut() {
+            let snap = peer.read();
+            let ts = Timestamp::decode(&snap);
+            max_counter = max_counter.max(ts.counter);
+        }
+        let ts = Timestamp { counter: max_counter + 1, writer: self.id as u64 };
+        self.last_counter = ts.counter;
+        self.own.write_with(HEADER + value.len(), |buf| {
+            ts.encode(buf);
+            buf[HEADER..].copy_from_slice(value);
+        });
+        ts
+    }
+
+    /// This writer's id (the timestamp tie-breaker).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+impl fmt::Debug for MnWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MnWriter").field("id", &self.id).finish()
+    }
+}
+
+impl Drop for MnWriter {
+    fn drop(&mut self) {
+        self.reg.writer_ids.lock().expect("id allocator poisoned").push(self.id);
+        // `own` (ArcWriter) and `peers` (ArcReaders) release themselves.
+    }
+}
+
+/// One of the `N` reader handles.
+pub struct MnReader {
+    reg: Arc<MnRegister>,
+    subs: Vec<ArcReader>,
+}
+
+impl MnReader {
+    /// Read the newest value: `M` zero-copy ARC reads, return the one with
+    /// the largest timestamp. `f` receives the payload and its timestamp.
+    ///
+    /// All `M` snapshots are pinned simultaneously while `f` runs, so the
+    /// winner is stable; the pins persist (per sub-register) until this
+    /// handle's next read.
+    pub fn read_with<R>(&mut self, f: impl FnOnce(&[u8], Timestamp) -> R) -> R {
+        debug_assert!(!self.subs.is_empty());
+        let mut best_idx = 0;
+        let mut best_ts = Timestamp { counter: 0, writer: 0 };
+        let mut views: Vec<&[u8]> = Vec::with_capacity(self.subs.len());
+        for (i, sub) in self.subs.iter_mut().enumerate() {
+            let snap = sub.read();
+            let bytes = snap.bytes();
+            let ts = Timestamp::decode(bytes);
+            if i == 0 || ts > best_ts {
+                best_ts = ts;
+                best_idx = i;
+            }
+            views.push(bytes);
+        }
+        f(&views[best_idx][HEADER..], best_ts)
+    }
+
+    /// Copy the newest value out, returning it with its timestamp.
+    pub fn read_owned(&mut self) -> (Vec<u8>, Timestamp) {
+        self.read_with(|v, ts| (v.to_vec(), ts))
+    }
+}
+
+impl fmt::Debug for MnReader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MnReader").field("subs", &self.subs.len()).finish()
+    }
+}
+
+impl Drop for MnReader {
+    fn drop(&mut self) {
+        self.reg.live_readers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_value_wins_placeholders() {
+        let reg = MnRegister::new(3, 2, 64, b"genesis").unwrap();
+        let mut r = reg.reader().unwrap();
+        let (v, ts) = r.read_owned();
+        assert_eq!(v, b"genesis");
+        assert_eq!(ts, Timestamp { counter: 1, writer: 0 });
+    }
+
+    #[test]
+    fn empty_initial_value() {
+        let reg = MnRegister::new(2, 1, 16, b"").unwrap();
+        let mut r = reg.reader().unwrap();
+        assert_eq!(r.read_owned().0, b"");
+    }
+
+    #[test]
+    fn last_writer_wins_sequentially() {
+        let reg = MnRegister::new(2, 2, 64, b"init").unwrap();
+        let mut w0 = reg.writer().unwrap();
+        let mut w1 = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+
+        let t0 = w0.write(b"zero");
+        assert_eq!(r.read_owned().0, b"zero");
+        let t1 = w1.write(b"one");
+        assert!(t1 > t0, "later write must carry a larger timestamp");
+        assert_eq!(r.read_owned().0, b"one");
+        let t0b = w0.write(b"zero again");
+        assert!(t0b > t1);
+        assert_eq!(r.read_owned().0, b"zero again");
+    }
+
+    #[test]
+    fn writer_handles_are_finite_and_recycled() {
+        let reg = MnRegister::new(2, 1, 16, b"").unwrap();
+        let a = reg.writer().unwrap();
+        let _b = reg.writer().unwrap();
+        assert!(reg.writer().is_none(), "only M writer handles");
+        let id = a.id();
+        drop(a);
+        assert_eq!(reg.writer().unwrap().id(), id, "id recycled");
+    }
+
+    #[test]
+    fn reader_cap_enforced() {
+        let reg = MnRegister::new(1, 2, 16, b"").unwrap();
+        let _a = reg.reader().unwrap();
+        let b = reg.reader().unwrap();
+        assert!(reg.reader().is_none());
+        drop(b);
+        assert!(reg.reader().is_some());
+    }
+
+    #[test]
+    fn timestamps_are_strictly_increasing_per_interleaving() {
+        let reg = MnRegister::new(3, 1, 32, b"").unwrap();
+        let mut ws: Vec<_> = (0..3).map(|_| reg.writer().unwrap()).collect();
+        let mut last = Timestamp { counter: 0, writer: 0 };
+        for round in 0..50u64 {
+            for w in ws.iter_mut() {
+                let ts = w.write(&round.to_le_bytes());
+                assert!(ts > last, "ts must grow: {last:?} -> {ts:?}");
+                last = ts;
+            }
+        }
+    }
+
+    #[test]
+    fn variable_sizes() {
+        let reg = MnRegister::new(2, 1, 128, b"").unwrap();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        for len in [0usize, 1, 17, 128] {
+            let v = vec![5u8; len];
+            w.write(&v);
+            assert_eq!(r.read_owned().0, v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds register capacity")]
+    fn oversized_write_panics() {
+        let reg = MnRegister::new(1, 1, 8, b"").unwrap();
+        reg.writer().unwrap().write(&[0; 9]);
+    }
+
+    #[test]
+    fn rejects_degenerate_specs() {
+        assert!(MnRegister::new(0, 1, 16, b"").is_err());
+        assert!(MnRegister::new(1, 0, 16, b"").is_err());
+        assert!(MnRegister::new(1, 1, 0, b"").is_err());
+        assert!(MnRegister::new(1, 1, 4, b"too long").is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_smoke() {
+        use std::sync::atomic::AtomicBool;
+        let reg = MnRegister::new(3, 4, 64, &[0; 16]).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let mut w = reg.writer().unwrap();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    w.write(&[(i % 251) as u8; 16]);
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let mut r = reg.reader().unwrap();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut last = Timestamp { counter: 0, writer: 0 };
+                while !stop.load(Ordering::Relaxed) {
+                    r.read_with(|v, ts| {
+                        let first = v.first().copied().unwrap_or(0);
+                        assert!(v.iter().all(|&b| b == first), "torn MN read");
+                        assert!(ts >= last, "per-reader timestamp regression");
+                        last = ts;
+                    });
+                }
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RegisterFamily adapter (M = 1): lets the cross-algorithm conformance
+// and stress suites exercise the composition overhead of MnRegister as a
+// plain (1,N) register.
+// ---------------------------------------------------------------------
+
+/// `MnRegister` with a single writer, adapted to the generic (1,N)
+/// register interface (conformance/stress harness entry point).
+pub struct MnFamily1;
+
+impl register_common::RegisterFamily for MnFamily1 {
+    type Writer = MnWriter;
+    type Reader = MnReader;
+
+    const NAME: &'static str = "mn1";
+
+    fn build(
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError> {
+        let reg = MnRegister::new(1, spec.readers, spec.capacity, initial)?;
+        let writer = reg.writer().expect("fresh register has all writer ids");
+        let readers = (0..spec.readers)
+            .map(|_| reg.reader().expect("within the reader cap"))
+            .collect();
+        Ok((writer, readers))
+    }
+}
+
+impl register_common::WriteHandle for MnWriter {
+    #[inline]
+    fn write(&mut self, value: &[u8]) {
+        let _ = MnWriter::write(self, value);
+    }
+}
+
+impl register_common::ReadHandle for MnReader {
+    #[inline]
+    fn read_with<R, F: FnOnce(&[u8]) -> R>(&mut self, f: F) -> R {
+        MnReader::read_with(self, |v, _ts| f(v))
+    }
+}
+
+#[cfg(test)]
+mod family_tests {
+    use super::*;
+    use register_common::{ReadHandle, RegisterFamily, WriteHandle};
+
+    #[test]
+    fn family_roundtrip() {
+        let (mut w, mut rs) = MnFamily1::build(RegisterSpec::new(3, 64), b"seed").unwrap();
+        WriteHandle::write(&mut w, b"value");
+        for r in rs.iter_mut() {
+            ReadHandle::read_with(r, |v| assert_eq!(v, b"value"));
+        }
+    }
+
+    #[test]
+    fn family_metadata() {
+        assert_eq!(MnFamily1::NAME, "mn1");
+        assert!(MnFamily1::wait_free_reads());
+    }
+}

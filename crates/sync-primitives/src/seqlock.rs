@@ -1,0 +1,150 @@
+//! Sequence-counter core for seqlock-style optimistic reads.
+//!
+//! A seqlock publishes a version counter that is odd while the (single)
+//! writer is mutating and even while the data is stable. Readers sample the
+//! counter, copy the data, and re-sample: if both samples are equal and
+//! even, the copy is consistent; otherwise they retry. Reads are therefore
+//! *lock-free but not wait-free* — a continuously-active writer can starve
+//! a reader indefinitely. The seqlock register baseline uses this to show
+//! what the paper's wait-freedom property buys (Figure 2's steal-time
+//! resilience).
+//!
+//! This module provides only the counter discipline; the data copy lives in
+//! the register that uses it (the bytes must be copied through relaxed
+//! atomics to avoid UB under the racy read).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The version word of a seqlock.
+#[derive(Debug, Default)]
+pub struct SeqCounter {
+    seq: AtomicU64,
+}
+
+impl SeqCounter {
+    /// A new counter in the "stable" (even) state.
+    pub const fn new() -> Self {
+        Self { seq: AtomicU64::new(0) }
+    }
+
+    /// Writer: enter the critical section. Returns the odd in-progress
+    /// version. Single writer only — this is not a mutual-exclusion device.
+    #[inline]
+    pub fn write_begin(&self) -> u64 {
+        let s = self.seq.load(Ordering::Relaxed);
+        debug_assert!(s.is_multiple_of(2), "write_begin while already writing");
+        // Release is not enough for the subsequent data stores on all
+        // platforms; pair the odd store with an Acquire-ish fence by using
+        // SeqCst on both edges (cheap relative to the copy it guards).
+        self.seq.store(s.wrapping_add(1), Ordering::SeqCst);
+        s.wrapping_add(1)
+    }
+
+    /// Writer: leave the critical section, publishing version `begin + 1`.
+    #[inline]
+    pub fn write_end(&self) {
+        let s = self.seq.load(Ordering::Relaxed);
+        debug_assert!(s % 2 == 1, "write_end without write_begin");
+        self.seq.store(s.wrapping_add(1), Ordering::SeqCst);
+    }
+
+    /// Reader: sample the version before copying. Spins past odd versions
+    /// are the caller's policy (it may retry or bail).
+    #[inline]
+    pub fn read_begin(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Reader: validate a copy made after [`SeqCounter::read_begin`]
+    /// returned `begin`. True iff the copy is consistent.
+    #[inline]
+    pub fn read_validate(&self, begin: u64) -> bool {
+        std::sync::atomic::fence(Ordering::SeqCst);
+        begin.is_multiple_of(2) && self.seq.load(Ordering::SeqCst) == begin
+    }
+
+    /// Current raw version (diagnostic).
+    pub fn version(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Cell;
+    use std::sync::Arc;
+
+    #[test]
+    fn versions_alternate_parity() {
+        let c = SeqCounter::new();
+        assert_eq!(c.version(), 0);
+        let v = c.write_begin();
+        assert_eq!(v, 1);
+        assert_eq!(c.version() % 2, 1);
+        c.write_end();
+        assert_eq!(c.version(), 2);
+    }
+
+    #[test]
+    fn read_validate_accepts_quiescent_reads() {
+        let c = SeqCounter::new();
+        let b = c.read_begin();
+        assert!(c.read_validate(b));
+    }
+
+    #[test]
+    fn read_validate_rejects_in_progress_writes() {
+        let c = SeqCounter::new();
+        c.write_begin();
+        let b = c.read_begin();
+        assert!(!c.read_validate(b), "odd version must not validate");
+        c.write_end();
+    }
+
+    #[test]
+    fn read_validate_rejects_interleaved_write() {
+        let c = SeqCounter::new();
+        let b = c.read_begin();
+        c.write_begin();
+        c.write_end();
+        assert!(!c.read_validate(b), "version moved during the read");
+    }
+
+    #[test]
+    fn concurrent_readers_only_accept_consistent_pairs() {
+        let c = Arc::new(SeqCounter::new());
+        let a = Arc::new(Cell::new(0));
+        let b = Arc::new(Cell::new(0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (c, a, b, stop) =
+                (Arc::clone(&c), Arc::clone(&a), Arc::clone(&b), Arc::clone(&stop));
+            handles.push(std::thread::spawn(move || {
+                let mut bad = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let begin = c.read_begin();
+                    if begin % 2 != 0 {
+                        continue;
+                    }
+                    let x = a.load(Ordering::Relaxed);
+                    let y = b.load(Ordering::Relaxed);
+                    if c.read_validate(begin) && x != y {
+                        bad += 1;
+                    }
+                }
+                bad
+            }));
+        }
+        for i in 1..=20_000u64 {
+            c.write_begin();
+            a.store(i, Ordering::Relaxed);
+            b.store(i, Ordering::Relaxed);
+            c.write_end();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let bad: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(bad, 0, "validated reads must be consistent");
+    }
+}

@@ -1,0 +1,157 @@
+//! A fair FIFO ticket spinlock.
+//!
+//! Used by the workload harness for rarely-contended coordination where
+//! fairness under oversubscription matters (thousands of threads, Figure 3):
+//! a ticket lock admits waiters in arrival order, so no thread is starved by
+//! cache-topology luck the way test-and-set locks starve remote cores.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::backoff::Backoff;
+
+/// A fair mutual-exclusion spinlock protecting `T`.
+#[derive(Debug)]
+pub struct TicketLock<T: ?Sized> {
+    next: AtomicU64,
+    serving: AtomicU64,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: standard mutex reasoning — exclusive access enforced by tickets.
+unsafe impl<T: ?Sized + Send> Send for TicketLock<T> {}
+unsafe impl<T: ?Sized + Send> Sync for TicketLock<T> {}
+
+impl<T> TicketLock<T> {
+    /// Create an unlocked lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            next: AtomicU64::new(0),
+            serving: AtomicU64::new(0),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> TicketLock<T> {
+    /// Acquire the lock, spinning in FIFO order.
+    pub fn lock(&self) -> TicketGuard<'_, T> {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = Backoff::new();
+        while self.serving.load(Ordering::Acquire) != ticket {
+            backoff.snooze();
+        }
+        TicketGuard { lock: self }
+    }
+
+    /// Try to acquire without waiting; succeeds only if nobody holds or
+    /// queues for the lock.
+    pub fn try_lock(&self) -> Option<TicketGuard<'_, T>> {
+        let serving = self.serving.load(Ordering::Relaxed);
+        if self
+            .next
+            .compare_exchange(serving, serving + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(TicketGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Number of waiters currently queued (diagnostic, racy).
+    pub fn queue_len(&self) -> u64 {
+        self.next
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.serving.load(Ordering::Relaxed))
+            .saturating_sub(0)
+    }
+}
+
+/// RAII guard for [`TicketLock`].
+pub struct TicketGuard<'a, T: ?Sized> {
+    lock: &'a TicketLock<T>,
+}
+
+impl<T: ?Sized> Deref for TicketGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the ticket discipline grants exclusive access.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for TicketGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive access as above.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for TicketGuard<'_, T> {
+    fn drop(&mut self) {
+        let s = self.lock.serving.load(Ordering::Relaxed);
+        self.lock.serving.store(s.wrapping_add(1), Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_unlock_roundtrip() {
+        let l = TicketLock::new(1u32);
+        {
+            let mut g = l.lock();
+            *g += 1;
+        }
+        assert_eq!(*l.lock(), 2);
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let l = TicketLock::new(());
+        let g = l.lock();
+        assert!(l.try_lock().is_none());
+        drop(g);
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn no_lost_updates_under_contention() {
+        let l = Arc::new(TicketLock::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        *l.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.lock(), 40_000);
+    }
+
+    #[test]
+    fn queue_len_is_zero_when_idle() {
+        let l = TicketLock::new(());
+        assert_eq!(l.queue_len(), 0);
+        let g = l.lock();
+        assert_eq!(l.queue_len(), 1);
+        drop(g);
+        assert_eq!(l.queue_len(), 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Log-bucketed latency histograms for the tail-latency experiment (E9).
+//!
+//! Wait-freedom's observable payoff is the **tail**: every ARC operation
+//! finishes in a bounded number of its own steps, so p99.9 stays near p50
+//! even under CPU steal, while blocking algorithms grow multi-millisecond
+//! tails the moment a lock holder is preempted. Criterion reports means;
+//! quantiles need a histogram.
+//!
+//! Buckets are logarithmic (HDR-style, base-2 with 16 linear sub-buckets
+//! per octave): relative error ≤ 6.25 % across nanoseconds to seconds,
+//! constant memory, O(1) record.
+
+/// Sub-buckets per power of two (16 → ≤ 1/16 relative error).
+const SUB: usize = 16;
+/// Octaves covered: 2^0 .. 2^40 ns (≈ 18 minutes) is plenty.
+const OCTAVES: usize = 40;
+
+/// A fixed-size log-bucketed histogram of `u64` samples (nanoseconds).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    max: u64,
+    min: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; SUB * OCTAVES],
+            count: 0,
+            max: 0,
+            min: u64::MAX,
+            sum: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        let v = value.max(1);
+        let octave = (63 - v.leading_zeros()) as usize;
+        if octave == 0 {
+            // values 1..2 all land in the first bucket
+            return 0;
+        }
+        // Position within the octave, scaled to SUB sub-buckets.
+        let offset = ((v - (1 << octave)) >> (octave.saturating_sub(4))) as usize;
+        (octave.min(OCTAVES - 1)) * SUB + offset.min(SUB - 1)
+    }
+
+    /// Lower bound of a bucket (inverse of `bucket_of`, approximate).
+    fn bucket_floor(idx: usize) -> u64 {
+        let octave = idx / SUB;
+        let offset = (idx % SUB) as u64;
+        if octave == 0 {
+            return 1;
+        }
+        (1u64 << octave) + (offset << octave.saturating_sub(4))
+    }
+
+    /// Record one sample (nanoseconds).
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+        self.sum += value as u128;
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact minimum recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket lower bound; ≤ 6.25 %
+    /// relative error). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The max is exact; report it for the last occupied bucket.
+                return if seen == self.count { self.max.min(Self::bucket_floor(i + 1)) } else { Self::bucket_floor(i) };
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: (p50, p90, p99, p999, max) in nanoseconds.
+    pub fn summary(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.quantile(0.999),
+            self.max(),
+        )
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (p50, p90, p99, p999, max) = self.summary();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("p50", &p50)
+            .field("p90", &p90)
+            .field("p99", &p99)
+            .field("p999", &p999)
+            .field("max", &max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(1000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((937..=1000).contains(&p50), "p50 {p50} should be within 6.25% below 1000");
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..10_000u64 {
+            h.record(v);
+        }
+        let qs: Vec<u64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "quantiles must be monotone: {qs:?}");
+    }
+
+    #[test]
+    fn quantile_accuracy_uniform() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.07, "q{q}: got {got}, expected ~{expect} (err {err:.3})");
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        let _ = h.quantile(0.999);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        a.record(20);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 1_000_000);
+        assert_eq!(a.min(), 10);
+        assert!(a.mean() > 300_000.0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn debug_shows_summary() {
+        let mut h = LatencyHistogram::new();
+        h.record(5);
+        let s = format!("{h:?}");
+        assert!(s.contains("p99"));
+    }
+}

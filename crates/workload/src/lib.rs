@@ -1,0 +1,35 @@
+//! Workload substrate for regenerating the paper's evaluation (§5).
+//!
+//! * [`driver`] — spawns 1 writer + (t−1) reader threads against any
+//!   [`RegisterFamily`](register_common::RegisterFamily), coordinates a
+//!   barrier start, measures a timed window, and aggregates per-thread op
+//!   counts into throughput (the paper's Mops/s metric).
+//! * [`modes`] — the two §5 workloads: the **Hold-model** dummy workload
+//!   (write copies a constant buffer, read only retrieves the snapshot)
+//!   and the **processing** workload (write generates content, read scans
+//!   the retrieved buffer).
+//! * [`steal`] — CPU-steal simulation for the virtualized-platform
+//!   experiment (Figure 2): stealer threads burn cores in random bursts,
+//!   preempting workers at arbitrary points — exactly the mid-critical-
+//!   section stalls hypervisor steal causes (DESIGN.md, substitutions).
+//! * [`stats`] / [`table`] — run statistics (mean/std over repeated runs)
+//!   and aligned-text/CSV reporting.
+//! * [`histogram`] — log-bucketed latency histograms for the tail-latency
+//!   experiment (wait-freedom is a statement about tails, not means).
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod driver;
+pub mod histogram;
+pub mod modes;
+pub mod stats;
+pub mod steal;
+pub mod table;
+
+pub use driver::{run_register, RunConfig, RunResult};
+pub use histogram::LatencyHistogram;
+pub use modes::WorkloadMode;
+pub use stats::Summary;
+pub use steal::{StealConfig, StealInjector};
+pub use table::{write_csv, Table};

@@ -1,0 +1,98 @@
+//! The two workload shapes of the paper's §5.
+
+/// What each operation does besides driving the register algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadMode {
+    /// First experiment set: "read and write operations are actually
+    /// 'dummy' operations which only execute the algorithms — each write
+    /// simply copies a same content to the register, and a read only
+    /// retrieves the pointer to the valid register buffer." Maximal logical
+    /// and physical contention.
+    Hold,
+    /// Second experiment set: "a write actually generates some data, and a
+    /// read scans the whole content of the retrieved buffer" — studies the
+    /// effect of operation latency on the algorithms.
+    Processing,
+}
+
+impl WorkloadMode {
+    /// Name used in bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadMode::Hold => "hold",
+            WorkloadMode::Processing => "processing",
+        }
+    }
+}
+
+/// Generate the content for write number `round` in processing mode.
+///
+/// Cheap but content-dependent: every word differs per round so the write
+/// genuinely produces data (the compiler cannot hoist it).
+pub fn generate(buf: &mut [u8], round: u64) {
+    let seed = round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for (i, chunk) in buf.chunks_mut(8).enumerate() {
+        let w = seed.wrapping_add(i as u64).to_le_bytes();
+        let n = chunk.len();
+        chunk.copy_from_slice(&w[..n]);
+    }
+}
+
+/// Scan a snapshot in processing mode; returns a checksum the driver folds
+/// into a sink so the scan cannot be optimized out.
+pub fn scan(buf: &[u8]) -> u64 {
+    let mut acc = 0u64;
+    let mut chunks = buf.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(c);
+        acc = acc.wrapping_add(u64::from_le_bytes(w));
+    }
+    for &b in chunks.remainder() {
+        acc = acc.wrapping_add(b as u64);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(WorkloadMode::Hold.name(), "hold");
+        assert_eq!(WorkloadMode::Processing.name(), "processing");
+    }
+
+    #[test]
+    fn generate_differs_by_round() {
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        generate(&mut a, 1);
+        generate(&mut b, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generate_fills_odd_lengths() {
+        let mut a = vec![0u8; 13];
+        generate(&mut a, 7);
+        assert!(a.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn scan_covers_all_bytes() {
+        let mut a = vec![0u8; 24];
+        let base = scan(&a);
+        for i in 0..a.len() {
+            a[i] = 1;
+            assert_ne!(scan(&a), base, "byte {i} not scanned");
+            a[i] = 0;
+        }
+    }
+
+    #[test]
+    fn scan_handles_remainder() {
+        assert_eq!(scan(&[1, 2, 3]), 6);
+    }
+}

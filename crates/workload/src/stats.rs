@@ -1,0 +1,94 @@
+//! Run statistics: each figure point is "the average over 10 runs" (§5).
+
+use std::fmt;
+
+/// Summary statistics over repeated runs of one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Individual run values (e.g. Mops/s).
+    pub samples: Vec<f64>,
+}
+
+impl Summary {
+    /// Wrap a set of samples.
+    pub fn new(samples: Vec<f64>) -> Self {
+        Self { samples }
+    }
+
+    /// Arithmetic mean (0 for an empty set).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.samples.iter().map(|s| (s - m) * (s - m)).sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Relative standard deviation in percent (run-to-run noise indicator).
+    pub fn rsd_percent(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            100.0 * self.std_dev() / m
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ±{:.2}", self.mean(), self.std_dev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let s = Summary::new(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.138089935299395).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max() {
+        let s = Summary::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(Summary::new(vec![]).mean(), 0.0);
+        assert_eq!(Summary::new(vec![5.0]).std_dev(), 0.0);
+        assert_eq!(Summary::new(vec![0.0, 0.0]).rsd_percent(), 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Summary::new(vec![1.0, 3.0]);
+        assert_eq!(s.to_string(), "2.00 ±1.41");
+    }
+}

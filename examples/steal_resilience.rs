@@ -1,0 +1,88 @@
+//! Wait-freedom under CPU steal — a miniature of the paper's Figure 2.
+//!
+//! ```text
+//! cargo run --release --example steal_resilience
+//! ```
+//!
+//! Runs the same hold-model workload against the wait-free ARC register
+//! and the blocking spin-rwlock register, twice each: on a quiet machine
+//! and with CPU-steal injection (stealer threads burning cores in bursts,
+//! emulating hypervisor steal on a virtualized host). Prints the retained
+//! throughput; the lock's retention collapses — a stalled lock holder
+//! stalls everyone — while ARC's operations always complete in a bounded
+//! number of their own steps.
+
+use std::time::Duration;
+
+use arc_suite::bench_support::{
+    run_register, RunConfig, StealConfig, WorkloadMode,
+};
+use arc_suite::register::ArcFamily;
+use arc_suite::baselines::{LockFamily, SeqlockFamily};
+use arc_suite::RegisterFamily;
+
+/// Returns (read Mops/s, write Kops/s): reads for raw throughput, writes
+/// for the progress-under-steal story (a blocked writer is the lock
+/// pathology; a starved ARC writer still completes every write it runs).
+fn measure<F: RegisterFamily>(steal: Option<StealConfig>) -> (f64, f64) {
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let cfg = RunConfig {
+        threads: cores,
+        value_size: 8 << 10,
+        duration: Duration::from_millis(400),
+        runs: 3,
+        mode: WorkloadMode::Hold,
+        steal,
+        stack_size: 1 << 20,
+    };
+    let res = run_register::<F>(&cfg);
+    let secs = cfg.duration.as_secs_f64() * cfg.runs as f64;
+    let reads: u64 = res.reads.iter().sum();
+    let writes: u64 = res.writes.iter().sum();
+    (reads as f64 / secs / 1e6, writes as f64 / secs / 1e3)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    // Saturate: one stealer per core with an 80% duty cycle, so workers
+    // and stealers genuinely compete for every core and the scheduler
+    // preempts workers mid-operation (including mid-lock-hold).
+    let steal = StealConfig {
+        stealers: cores,
+        burst: Duration::from_millis(4),
+        idle: Duration::from_millis(1),
+        seed: 0x5EA1,
+    };
+    println!("hold-model workload, {cores} threads, 8 KB values");
+    println!("steal injection: {} stealers, 4 ms bursts / 1 ms idle\n", steal.stealers);
+    println!(
+        "{:>8} {:>13} {:>13} {:>13} {:>13} {:>9}",
+        "algo", "rd quiet M/s", "rd steal M/s", "wr quiet K/s", "wr steal K/s", "wr kept"
+    );
+
+    fn report<F: RegisterFamily>(steal: StealConfig) {
+        let (rq, wq) = measure::<F>(None);
+        let (rs, ws) = measure::<F>(Some(steal));
+        println!(
+            "{:>8} {rq:>13.2} {rs:>13.2} {wq:>13.1} {ws:>13.1} {:>8.1}%",
+            F::NAME,
+            100.0 * ws / wq
+        );
+    }
+    report::<ArcFamily>(steal);
+    report::<SeqlockFamily>(steal);
+    report::<LockFamily>(steal);
+
+    println!("\nReading the table:");
+    println!("  * ARC: reads are orders of magnitude ahead and even *rise* under");
+    println!("    steal (a slowed writer means more no-RMW fast-path hits), and the");
+    println!("    writer keeps most of its quiet rate — every operation finishes in");
+    println!("    a bounded number of its own steps, stolen CPU or not.");
+    println!("  * seqlock: with a hot writer its optimistic readers validate-fail");
+    println!("    almost every attempt — lock-free is not wait-free, and readers");
+    println!("    starve exactly when the data is most interesting.");
+    println!("  * lock (writer-preference rwlock): reads crawl two orders of");
+    println!("    magnitude below ARC at the same thread count, and any preempted");
+    println!("    holder stalls the rest; wait-freedom removes that coupling —");
+    println!("    the paper's Figure-2 finding for virtualized platforms.");
+}

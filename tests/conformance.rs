@@ -1,0 +1,146 @@
+//! Cross-algorithm conformance battery: every register family must satisfy
+//! the same sequential specification and basic concurrent sanity, so the
+//! figure benches compare like with like.
+
+use arc_register::ArcFamily;
+use baseline_registers::{LockFamily, PetersonFamily, RfFamily, SeqlockFamily};
+use register_common::payload::{stamp, verify, MIN_PAYLOAD_LEN};
+use register_common::{ReadHandle, RegisterFamily, RegisterSpec, WriteHandle};
+
+fn sequential_roundtrip<F: RegisterFamily>() {
+    let (mut w, mut readers) = F::build(RegisterSpec::new(3, 256), b"initial").unwrap();
+    for r in readers.iter_mut() {
+        r.read_with(|v| assert_eq!(v, b"initial", "{}: initial value", F::NAME));
+    }
+    for i in 0..100u64 {
+        let val = i.to_le_bytes();
+        w.write(&val);
+        for r in readers.iter_mut() {
+            r.read_with(|v| assert_eq!(v, &val, "{}: write {i}", F::NAME));
+        }
+    }
+}
+
+fn variable_sizes<F: RegisterFamily>() {
+    let (mut w, mut readers) = F::build(RegisterSpec::new(2, 512), &[]).unwrap();
+    for len in [0usize, 1, 7, 8, 9, 100, 511, 512] {
+        let val = vec![(len % 251) as u8; len];
+        w.write(&val);
+        for r in readers.iter_mut() {
+            r.read_with(|v| {
+                assert_eq!(v.len(), len, "{}: length {len}", F::NAME);
+                assert_eq!(v, &val[..], "{}: content at {len}", F::NAME);
+            });
+        }
+    }
+}
+
+fn stamped_payload_cycle<F: RegisterFamily>() {
+    let (mut w, mut readers) = F::build(RegisterSpec::new(2, 1024), &{
+        let mut init = vec![0u8; MIN_PAYLOAD_LEN];
+        stamp(&mut init, 0);
+        init
+    })
+    .unwrap();
+    let mut buf = vec![0u8; 1024];
+    for seq in 1..=50u64 {
+        let size = MIN_PAYLOAD_LEN + (seq as usize * 37) % (1024 - MIN_PAYLOAD_LEN);
+        stamp(&mut buf[..size], seq);
+        w.write(&buf[..size]);
+        for r in readers.iter_mut() {
+            let got = r.read_with(verify).unwrap();
+            assert_eq!(got, seq, "{}: stamped seq", F::NAME);
+        }
+    }
+}
+
+fn read_into_matches_read_with<F: RegisterFamily>() {
+    let (mut w, mut readers) = F::build(RegisterSpec::new(1, 64), b"x").unwrap();
+    w.write(b"read_into test");
+    let r = &mut readers[0];
+    let via_with = r.read_with(|v| v.to_vec());
+    let mut out = [0u8; 64];
+    let n = r.read_into(&mut out);
+    assert_eq!(&out[..n], &via_with[..], "{}", F::NAME);
+}
+
+fn rejects_bad_specs<F: RegisterFamily>() {
+    assert!(F::build(RegisterSpec::new(0, 64), &[]).is_err(), "{}: 0 readers", F::NAME);
+    assert!(F::build(RegisterSpec::new(1, 0), &[]).is_err(), "{}: 0 capacity", F::NAME);
+    assert!(
+        F::build(RegisterSpec::new(1, 4), &[0u8; 8]).is_err(),
+        "{}: oversized initial",
+        F::NAME
+    );
+}
+
+fn concurrent_constant_fill<F: RegisterFamily>() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let (mut w, readers) = F::build(RegisterSpec::new(4, 256), &[0u8; 128]).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for mut r in readers {
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut reads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                r.read_with(|v| {
+                    let first = v.first().copied().unwrap_or(0);
+                    assert!(
+                        v.iter().all(|&b| b == first),
+                        "{}: torn constant-fill read",
+                        F::NAME
+                    );
+                });
+                reads += 1;
+            }
+            reads
+        }));
+    }
+    for i in 0..20_000u32 {
+        w.write(&[(i % 251) as u8; 128]);
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0, "{}: readers made no progress", F::NAME);
+}
+
+macro_rules! conformance {
+    ($mod_name:ident, $family:ty) => {
+        mod $mod_name {
+            use super::*;
+
+            #[test]
+            fn sequential_roundtrip_() {
+                sequential_roundtrip::<$family>();
+            }
+            #[test]
+            fn variable_sizes_() {
+                variable_sizes::<$family>();
+            }
+            #[test]
+            fn stamped_payload_cycle_() {
+                stamped_payload_cycle::<$family>();
+            }
+            #[test]
+            fn read_into_matches_read_with_() {
+                read_into_matches_read_with::<$family>();
+            }
+            #[test]
+            fn rejects_bad_specs_() {
+                rejects_bad_specs::<$family>();
+            }
+            #[test]
+            fn concurrent_constant_fill_() {
+                concurrent_constant_fill::<$family>();
+            }
+        }
+    };
+}
+
+conformance!(arc, ArcFamily);
+conformance!(rf, RfFamily);
+conformance!(peterson, PetersonFamily);
+conformance!(lock, LockFamily);
+conformance!(seqlock, SeqlockFamily);

@@ -1,0 +1,155 @@
+//! Failure injection: correctness must survive hostile scheduling.
+//!
+//! Three interference regimes, each with full payload verification:
+//!
+//! 1. **CPU steal** — stealer threads burn cores in bursts (the Figure-2
+//!    regime);
+//! 2. **oversubscription** — 4× more workers than cores (the Figure-3
+//!    regime, miniature);
+//! 3. **random reader pauses** — readers sleep at random points *between*
+//!    pin and release, maximizing the time slots stay pinned.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use arc_register::ArcFamily;
+use baseline_registers::{PetersonFamily, RfFamily};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use register_common::payload::{stamp, verify};
+use register_common::{ReadHandle, RegisterFamily, RegisterSpec, WriteHandle};
+use workload_harness::{StealConfig, StealInjector};
+
+fn verified_run<F: RegisterFamily>(
+    readers: usize,
+    size: usize,
+    window: Duration,
+    steal: Option<StealConfig>,
+    reader_pause: Option<Duration>,
+    seed: u64,
+) {
+    let mut initial = vec![0u8; size];
+    stamp(&mut initial, 0);
+    let (mut writer, reader_handles) =
+        F::build(RegisterSpec::new(readers, size), &initial).unwrap();
+    let injector = steal.map(StealInjector::start);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(readers + 2));
+    let mut handles = Vec::new();
+
+    for (i, mut reader) in reader_handles.into_iter().enumerate() {
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(i as u64));
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut last = 0u64;
+            let mut reads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let seq = reader.read_with(|v| {
+                    verify(v).unwrap_or_else(|e| panic!("{}: torn under injection: {e}", F::NAME))
+                });
+                assert!(seq >= last, "{}: regression {last} -> {seq}", F::NAME);
+                last = seq;
+                reads += 1;
+                if let Some(pause) = reader_pause {
+                    if rng.random_range(0..100u32) == 0 {
+                        // Sleep while still pinning the snapshot's slot.
+                        std::thread::sleep(pause);
+                    }
+                }
+            }
+            reads
+        }));
+    }
+    {
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut buf = vec![0u8; size];
+            barrier.wait();
+            let mut seq = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                seq += 1;
+                stamp(&mut buf, seq);
+                writer.write(&buf);
+            }
+            seq
+        }));
+    }
+
+    barrier.wait();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let counts: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    if let Some(inj) = injector {
+        inj.stop();
+    }
+    assert!(counts.iter().all(|&c| c > 0), "{}: a worker made no progress", F::NAME);
+}
+
+fn steal_cfg(seed: u64) -> StealConfig {
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    StealConfig {
+        stealers: cores,
+        burst: Duration::from_millis(3),
+        idle: Duration::from_millis(1),
+        seed,
+    }
+}
+
+const WINDOW: Duration = Duration::from_millis(300);
+
+#[test]
+fn arc_correct_under_cpu_steal() {
+    verified_run::<ArcFamily>(6, 4 << 10, WINDOW, Some(steal_cfg(11)), None, 1);
+}
+
+#[test]
+fn rf_correct_under_cpu_steal() {
+    verified_run::<RfFamily>(6, 4 << 10, WINDOW, Some(steal_cfg(13)), None, 2);
+}
+
+#[test]
+fn peterson_correct_under_cpu_steal() {
+    verified_run::<PetersonFamily>(6, 4 << 10, WINDOW, Some(steal_cfg(17)), None, 3);
+}
+
+#[test]
+fn arc_correct_oversubscribed() {
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    verified_run::<ArcFamily>(cores * 4, 1 << 10, WINDOW, None, None, 4);
+}
+
+#[test]
+fn peterson_correct_oversubscribed() {
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    verified_run::<PetersonFamily>(cores * 4, 1 << 10, WINDOW, None, None, 5);
+}
+
+#[test]
+fn arc_correct_with_sleeping_pinned_readers() {
+    // Readers nap while holding snapshots: slots stay pinned across many
+    // write generations; the writer must rotate correctly around them.
+    verified_run::<ArcFamily>(4, 2 << 10, WINDOW, None, Some(Duration::from_millis(5)), 6);
+}
+
+#[test]
+fn rf_correct_with_sleeping_pinned_readers() {
+    verified_run::<RfFamily>(4, 2 << 10, WINDOW, None, Some(Duration::from_millis(5)), 7);
+}
+
+#[test]
+fn arc_correct_under_combined_interference() {
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    verified_run::<ArcFamily>(
+        cores * 2,
+        8 << 10,
+        WINDOW,
+        Some(steal_cfg(19)),
+        Some(Duration::from_millis(2)),
+        8,
+    );
+}

@@ -1,0 +1,148 @@
+//! End-to-end atomicity verification of the (M,N) register: record real
+//! concurrent multi-writer executions and validate them with the
+//! timestamp-order checker (`linearizer::mw`).
+//!
+//! Values are identified by their embedded `(counter, writer)` timestamps;
+//! payloads are additionally stamped so tears are caught independently.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+use linearizer::{check_atomic_mw, MwRead, MwWrite};
+use mn_register::{MnRegister, Timestamp};
+use register_common::payload::{stamp, verify, MIN_PAYLOAD_LEN};
+use register_common::HistoryClock;
+
+fn run_mn(writers: usize, readers: usize, size: usize, window: Duration) {
+    let mut initial = vec![0u8; size];
+    stamp(&mut initial, 0);
+    let reg = MnRegister::new(writers, readers, size, &initial).unwrap();
+    let clock = Arc::new(HistoryClock::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(writers + readers + 1));
+    let writes = Arc::new(Mutex::new(Vec::<MwWrite>::new()));
+    let reads = Arc::new(Mutex::new(Vec::<MwRead>::new()));
+
+    let mut handles = Vec::new();
+    for _ in 0..writers {
+        let mut w = reg.writer().unwrap();
+        let clock = Arc::clone(&clock);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let writes = Arc::clone(&writes);
+        handles.push(std::thread::spawn(move || {
+            let mut buf = vec![0u8; size];
+            let mut log = Vec::new();
+            let mut k = 0u64;
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                k += 1;
+                // Payload stamp: seq unique per writer via (k, writer id)
+                // folded into one u64 (id in the high bits).
+                stamp(&mut buf, (w.id() as u64) << 48 | k);
+                let invoked = clock.tick();
+                let ts = w.write(&buf);
+                let responded = clock.tick();
+                log.push(MwWrite {
+                    writer: w.id(),
+                    ts: (ts.counter, ts.writer),
+                    invoked,
+                    responded,
+                });
+            }
+            writes.lock().unwrap().extend(log);
+        }));
+    }
+    for reader_id in 0..readers {
+        let mut r = reg.reader().unwrap();
+        let clock = Arc::clone(&clock);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let reads = Arc::clone(&reads);
+        handles.push(std::thread::spawn(move || {
+            let mut log = Vec::new();
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let invoked = clock.tick();
+                let ts: Timestamp = r.read_with(|v, ts| {
+                    verify(v).expect("torn MN payload");
+                    ts
+                });
+                let responded = clock.tick();
+                // Map the initial value (1, 0) to the checker's (0, 0)
+                // sentinel? No: the initial value IS a write nobody logged.
+                // Represent it as ts (1,0) and inject a synthetic write
+                // record below instead.
+                log.push(MwRead {
+                    reader: reader_id,
+                    ts: (ts.counter, ts.writer),
+                    invoked,
+                    responded,
+                });
+            }
+            reads.lock().unwrap().extend(log);
+        }));
+    }
+
+    barrier.wait();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut writes = Arc::try_unwrap(writes).unwrap().into_inner().unwrap();
+    let reads = Arc::try_unwrap(reads).unwrap().into_inner().unwrap();
+    // The initial value carries ts (1, 0) and "completed" before every
+    // tick: model it as a synthetic write by a phantom writer that finished
+    // before the run started. (Ticks start at 0, so use the 0..1 window —
+    // every real tick is ≥ 0; shift all real ticks by +2 is unnecessary
+    // because the recorder drew its first tick at 0 only after this write
+    // would have completed; to be exact, shift the synthetic write to
+    // negative-equivalent by giving it the first two ticks drawn *before*
+    // the barrier: simpler, prepend with invoked=0, responded=0 is invalid
+    // (needs invoked < responded), so renumber: all recorded ticks were
+    // drawn starting at 0; add +2 to every recorded tick and give the
+    // synthetic write (0, 1).
+    for w in writes.iter_mut() {
+        w.invoked += 2;
+        w.responded += 2;
+    }
+    let mut reads = reads;
+    for r in reads.iter_mut() {
+        r.invoked += 2;
+        r.responded += 2;
+    }
+    writes.push(MwWrite { writer: 0, ts: (1, 0), invoked: 0, responded: 1 });
+
+    let n_writes = writes.len();
+    let n_reads = reads.len();
+    if let Err(v) = check_atomic_mw(&writes, &reads) {
+        panic!("MN register atomicity violation: {v}");
+    }
+    println!("MN {writers}x{readers}: atomic over {n_writes} writes / {n_reads} reads");
+    assert!(n_writes > 1 && n_reads > 0);
+}
+
+const WINDOW: Duration = Duration::from_millis(250);
+
+#[test]
+fn two_writers_four_readers() {
+    run_mn(2, 4, 256, WINDOW);
+}
+
+#[test]
+fn four_writers_four_readers() {
+    run_mn(4, 4, 256, WINDOW);
+}
+
+#[test]
+fn many_writers_large_values() {
+    run_mn(6, 2, 8 << 10, WINDOW);
+}
+
+#[test]
+fn single_writer_degenerates_to_1n() {
+    run_mn(1, 4, MIN_PAYLOAD_LEN, WINDOW);
+}

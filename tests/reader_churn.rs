@@ -1,0 +1,125 @@
+//! Dynamic reader registration under load — the extension over the paper's
+//! fixed reader set (DESIGN.md §3.2): handles may join and leave at any
+//! time, each join/leave pair conserving exactly one presence unit.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use arc_register::{ArcRegister, HandleError};
+use register_common::payload::{stamp, verify, MIN_PAYLOAD_LEN};
+
+#[test]
+fn churn_while_writing() {
+    let mut initial = vec![0u8; MIN_PAYLOAD_LEN];
+    stamp(&mut initial, 0);
+    let reg = ArcRegister::builder(16, 1024).initial(&initial).build().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let joins = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    // 4 churners: join, read a few times, drop, repeat.
+    for t in 0..4 {
+        let reg = Arc::clone(&reg);
+        let stop = Arc::clone(&stop);
+        let joins = Arc::clone(&joins);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let mut r = match reg.reader() {
+                    Ok(r) => r,
+                    Err(HandleError::ReadersExhausted { .. }) => continue,
+                    Err(e) => panic!("churner {t}: {e}"),
+                };
+                joins.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..10 {
+                    let snap = r.read();
+                    verify(&snap).expect("churn reader saw torn value");
+                }
+                // drop releases the unit
+            }
+        }));
+    }
+    // 4 stable readers.
+    for _ in 0..4 {
+        let mut r = reg.reader().unwrap();
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut last = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = r.read();
+                let seq = verify(&snap).expect("stable reader saw torn value");
+                assert!(seq >= last);
+                last = seq;
+            }
+        }));
+    }
+    // Writer.
+    {
+        let reg = Arc::clone(&reg);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut w = reg.writer().unwrap();
+            let mut buf = vec![0u8; 512];
+            let mut seq = 0;
+            while !stop.load(Ordering::Relaxed) {
+                seq += 1;
+                stamp(&mut buf, seq);
+                w.write(&buf);
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(400));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(joins.load(Ordering::Relaxed) > 100, "churners barely churned");
+    // After all that, the register must be fully quiescent and reusable.
+    assert_eq!(reg.live_readers(), 0);
+    let mut r = reg.reader().unwrap();
+    let _ = r.read();
+}
+
+#[test]
+fn slots_recycle_after_leavers() {
+    // A leaving reader's pinned slot must return to rotation; with N=1
+    // (3 slots) any leak would deadlock the writer within a few writes.
+    let reg = ArcRegister::builder(1, 64).build().unwrap();
+    let mut w = reg.writer().unwrap();
+    for round in 0..1000u64 {
+        let mut r = reg.reader().unwrap();
+        let _ = r.read(); // pin
+        w.write(&round.to_le_bytes());
+        drop(r); // release while pinned to a superseded slot
+        w.write(&round.to_le_bytes());
+    }
+}
+
+#[test]
+fn writer_churn_interleaved_with_reader_churn() {
+    let reg = ArcRegister::builder(4, 64).initial(b"seed").build().unwrap();
+    for round in 0..500u64 {
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(&round.to_le_bytes());
+        assert_eq!(&*r.read(), &round.to_le_bytes());
+        // Both handles drop; the next round re-claims.
+    }
+    assert_eq!(reg.live_readers(), 0);
+}
+
+#[test]
+fn exhaustion_errors_are_clean_and_recoverable() {
+    let reg = ArcRegister::builder(2, 64).build().unwrap();
+    let a = reg.reader().unwrap();
+    let b = reg.reader().unwrap();
+    for _ in 0..10 {
+        assert!(matches!(reg.reader(), Err(HandleError::ReadersExhausted { .. })));
+    }
+    drop(a);
+    let c = reg.reader().unwrap();
+    drop(b);
+    drop(c);
+    assert_eq!(reg.live_readers(), 0);
+}

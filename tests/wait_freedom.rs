@@ -1,0 +1,249 @@
+//! Progress-property tests: the behaviours that *define* this paper.
+//!
+//! Wait-freedom cannot be proven by a finite run, but its characteristic
+//! consequences can be falsified:
+//!
+//! * a reader camping on a snapshot forever must never block the writer
+//!   (ARC/RF) — the lock register provably fails the analogous setup;
+//! * a stalled writer must never block readers;
+//! * ARC/RF/Peterson operations complete a fixed op count in bounded time
+//!   under maximal interference, while the seqlock's readers demonstrably
+//!   burn retries (lock-free ≠ wait-free).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use arc_register::ArcRegister;
+use baseline_registers::{PetersonRegister, RfRegister, SeqlockRegister};
+
+/// A reader that never re-reads pins one slot; the writer must keep
+/// publishing forever regardless (Lemma 4.1: N+2 slots suffice).
+#[test]
+fn arc_writer_progresses_past_camping_readers() {
+    let reg = ArcRegister::builder(4, 1024).initial(&[1; 64]).build().unwrap();
+    let mut w = reg.writer().unwrap();
+    // All four readers camp.
+    let campers: Vec<_> = (0..4)
+        .map(|_| {
+            let mut r = reg.reader().unwrap();
+            let _ = r.read();
+            r
+        })
+        .collect();
+    let start = Instant::now();
+    for i in 0..200_000u64 {
+        w.write(&i.to_le_bytes());
+    }
+    // 200k writes with every reader camping must still be fast (the free
+    // slots just rotate among the two spares).
+    assert!(start.elapsed() < Duration::from_secs(10), "writer throughput collapsed");
+    drop(campers);
+}
+
+#[test]
+fn rf_writer_progresses_past_camping_readers() {
+    let reg = RfRegister::new(4, 1024, &[1; 64]).unwrap();
+    let mut w = reg.writer().unwrap();
+    let campers: Vec<_> = (0..4)
+        .map(|_| {
+            let mut r = reg.reader().unwrap();
+            let _ = r.read();
+            r
+        })
+        .collect();
+    for i in 0..200_000u64 {
+        w.write(&i.to_le_bytes());
+    }
+    drop(campers);
+}
+
+/// A writer that stops mid-stream must never block readers (they keep
+/// re-reading the last published value via the fast path).
+#[test]
+fn arc_readers_progress_with_stalled_writer() {
+    let reg = ArcRegister::builder(4, 256).initial(&[7; 128]).build().unwrap();
+    let mut w = reg.writer().unwrap();
+    w.write(&[9; 128]);
+    // Writer "stalls" (we simply stop calling it — equivalent to preemption
+    // from the readers' perspective).
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let mut r = reg.reader().unwrap();
+        handles.push(std::thread::spawn(move || {
+            let mut fast_hits = 0u64;
+            for _ in 0..1_000_000 {
+                let snap = r.read();
+                assert_eq!(snap.len(), 128);
+                if snap.fast() {
+                    fast_hits += 1;
+                }
+            }
+            fast_hits
+        }));
+    }
+    for h in handles {
+        let fast_hits = h.join().unwrap();
+        assert!(
+            fast_hits >= 999_999,
+            "all but the first read must take the no-RMW fast path, got {fast_hits}"
+        );
+    }
+}
+
+/// Under a full-speed writer, wait-free readers complete a fixed op count
+/// in bounded time; the seqlock's readers record validation failures.
+#[test]
+fn wait_free_reads_complete_under_adversarial_writer() {
+    const READS: u64 = 200_000;
+
+    // ARC
+    {
+        let reg = ArcRegister::builder(2, 4096).initial(&[0; 4096]).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let buf = vec![1u8; 4096];
+                while !stop.load(Ordering::Relaxed) {
+                    w.write(&buf);
+                }
+            })
+        };
+        let mut r = reg.reader().unwrap();
+        let start = Instant::now();
+        for _ in 0..READS {
+            std::hint::black_box(r.read().len());
+        }
+        let elapsed = start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        writer_thread.join().unwrap();
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "ARC reads took {elapsed:?} for {READS} ops under a hot writer"
+        );
+    }
+
+    // Peterson (wait-free, copy-based)
+    {
+        let reg = PetersonRegister::new(2, 4096, &[0; 4096]).unwrap();
+        let mut w = reg.writer().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let buf = vec![1u8; 4096];
+                while !stop.load(Ordering::Relaxed) {
+                    w.write(&buf);
+                }
+            })
+        };
+        let mut r = reg.reader().unwrap();
+        let start = Instant::now();
+        for _ in 0..READS / 10 {
+            std::hint::black_box(r.read().len());
+        }
+        let elapsed = start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        writer_thread.join().unwrap();
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "Peterson reads took {elapsed:?} under a hot writer"
+        );
+    }
+}
+
+/// The seqlock contrast: its readers must observe retries under a hot
+/// writer — the starvation wait-freedom rules out.
+#[test]
+fn seqlock_readers_retry_under_hot_writer() {
+    let reg = SeqlockRegister::new(4096, &[0; 4096]).unwrap();
+    let mut w = reg.writer().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let buf = vec![1u8; 4096];
+            while !stop.load(Ordering::Relaxed) {
+                w.write(&buf);
+            }
+        })
+    };
+    let mut r = reg.reader();
+    let deadline = Instant::now() + Duration::from_millis(300);
+    let mut reads = 0u64;
+    while Instant::now() < deadline {
+        std::hint::black_box(r.read().len());
+        reads += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer_thread.join().unwrap();
+    assert!(reads > 0);
+    assert!(
+        reg.total_retries() > 0,
+        "a full-speed writer must induce seqlock read retries"
+    );
+}
+
+/// ARC reads are constant-time: latency of a read must not depend on the
+/// number of slots/readers configured (O(1) claim, §3.4).
+#[test]
+fn arc_read_cost_independent_of_reader_count() {
+    fn time_reads(n_readers: u32) -> Duration {
+        let reg = ArcRegister::builder(n_readers, 64).initial(&[1; 64]).build().unwrap();
+        let mut r = reg.reader().unwrap();
+        let _ = r.read();
+        let start = Instant::now();
+        for _ in 0..2_000_000 {
+            std::hint::black_box(r.read().len());
+        }
+        start.elapsed()
+    }
+    let small = time_reads(2);
+    let large = time_reads(1024);
+    // Generous 5x bound: catches an accidental O(N) read path while being
+    // robust to machine noise.
+    assert!(
+        large < small * 5 + Duration::from_millis(50),
+        "read latency scales with N: {small:?} (N=2) vs {large:?} (N=1024)"
+    );
+}
+
+/// The writer's amortized O(1) slot search: total write time for K writes
+/// with the hint enabled must not scale with N (the §3.4 claim).
+#[test]
+fn arc_write_cost_amortized_constant_with_hint() {
+    fn time_writes(n_readers: u32) -> Duration {
+        let reg = ArcRegister::builder(n_readers, 64).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        // One active reader keeps presence units moving through slots.
+        let mut r = reg.reader().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let reads = Arc::new(AtomicU64::new(0));
+        let reader_thread = {
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(r.read().len());
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        let start = Instant::now();
+        for i in 0..500_000u64 {
+            w.write(&i.to_le_bytes());
+        }
+        let elapsed = start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        reader_thread.join().unwrap();
+        elapsed
+    }
+    let small = time_writes(2);
+    let large = time_writes(4096); // 4098 slots
+    assert!(
+        large < small * 6 + Duration::from_millis(100),
+        "write cost scales with N despite the hint: {small:?} (N=2) vs {large:?} (N=4096)"
+    );
+}
