@@ -274,9 +274,8 @@ impl RegisterFamily for PetersonFamily {
     ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError> {
         let reg = PetersonRegister::new(spec.readers, spec.capacity, initial)?;
         let writer = reg.writer().expect("fresh register has no writer");
-        let readers = (0..spec.readers)
-            .map(|_| reg.reader().expect("within the reader cap"))
-            .collect();
+        let readers =
+            (0..spec.readers).map(|_| reg.reader().expect("within the reader cap")).collect();
         Ok((writer, readers))
     }
 }
@@ -416,10 +415,7 @@ mod tests {
                 while !stop.load(Ordering::Relaxed) {
                     let v = r.read();
                     let first = v.first().copied().unwrap_or(0);
-                    assert!(
-                        v.iter().all(|&b| b == first),
-                        "torn Peterson read: {v:?}"
-                    );
+                    assert!(v.iter().all(|&b| b == first), "torn Peterson read: {v:?}");
                 }
             }));
         }

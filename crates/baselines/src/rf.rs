@@ -231,10 +231,7 @@ impl RfWriter {
 
         // Publish: new index, cleared mask. SeqCst swap = release for the
         // payload stores, acquire for the mask we fold into the traces.
-        let old = self
-            .reg
-            .word
-            .swap((target as u64) << INDEX_SHIFT, Ordering::SeqCst);
+        let old = self.reg.word.swap((target as u64) << INDEX_SHIFT, Ordering::SeqCst);
         #[cfg(feature = "metrics")]
         OpMetrics::bump(&self.reg.metrics.write_rmws, 1);
 
@@ -335,9 +332,8 @@ impl RegisterFamily for RfFamily {
     ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError> {
         let reg = RfRegister::new(spec.readers, spec.capacity, initial)?;
         let writer = reg.writer().expect("fresh register has no writer");
-        let readers = (0..spec.readers)
-            .map(|_| reg.reader().expect("within the reader cap"))
-            .collect();
+        let readers =
+            (0..spec.readers).map(|_| reg.reader().expect("within the reader cap")).collect();
         Ok((writer, readers))
     }
 }

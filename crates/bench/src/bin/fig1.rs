@@ -10,7 +10,11 @@
 //! ARC overtakes RF as threads or size grow (fast path avoids per-read
 //! RMWs once writes can't keep every read "fresh").
 
-use arc_bench::{figure_sizes, out_dir, sweep_algos, thread_counts, BenchProfile, SweepSpec};
+use arc_bench::json::table_to_json;
+use arc_bench::{
+    figure_sizes, inline_vs_arena, json_dir, merge_section, out_dir, sweep_algos, thread_counts,
+    BenchProfile, Json, SweepSpec,
+};
 use workload_harness::{write_csv, RunConfig, WorkloadMode};
 
 fn main() {
@@ -20,6 +24,7 @@ fn main() {
     println!("# Figure 1 — throughput vs threads (physical machine)");
     println!("# profile={profile:?}, threads={threads:?}\n");
 
+    let mut all_rows = Vec::new();
     for size in figure_sizes(profile) {
         println!("## register size {} KB", size >> 10);
         let spec = SweepSpec {
@@ -41,5 +46,31 @@ fn main() {
         let path = out_dir().join(format!("fig1_{}kb.csv", size >> 10));
         write_csv(&table, &path).expect("write CSV");
         println!("wrote {}\n", path.display());
+        let Json::Arr(rows) = table_to_json(&table) else { unreachable!() };
+        all_rows.extend(rows.into_iter().map(|mut row| {
+            // mops is reads+writes per second in millions; surface the raw
+            // ops/sec field the report schema promises.
+            let mops = row.get("mops").and_then(Json::as_f64).unwrap_or(0.0);
+            row.set("ops_per_sec", Json::num(mops * 1e6));
+            row
+        }));
     }
+
+    // The inline-vs-arena probe: the small-payload placement optimization,
+    // measured at the 48-byte boundary (EXPERIMENTS.md).
+    println!("## inline vs arena (48 B fast-path reads)");
+    let cmp = inline_vs_arena(profile);
+    println!(
+        "  inline {:>8.2} Mops/s   arena {:>8.2} Mops/s   speedup {:.2}x",
+        cmp.inline_mops,
+        cmp.arena_mops,
+        cmp.speedup()
+    );
+
+    let json_path = json_dir().join("BENCH_ops.json");
+    merge_section(&json_path, "arc-bench/ops/v1", "fig1", Json::Arr(all_rows))
+        .expect("write BENCH_ops.json");
+    merge_section(&json_path, "arc-bench/ops/v1", "inline_vs_arena", cmp.to_json())
+        .expect("write BENCH_ops.json");
+    println!("\nmerged fig1 + inline_vs_arena into {}", json_path.display());
 }

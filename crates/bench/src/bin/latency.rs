@@ -21,7 +21,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use arc_bench::{out_dir, BenchProfile};
+use arc_bench::json::table_to_json;
+use arc_bench::{json_dir, merge_section, out_dir, BenchProfile};
 use register_common::{ReadHandle, RegisterFamily, RegisterSpec, WriteHandle};
 use workload_harness::{write_csv, LatencyHistogram, StealConfig, StealInjector, Table};
 
@@ -137,4 +138,9 @@ fn main() {
     let path = out_dir().join("latency.csv");
     write_csv(&table, &path).expect("write CSV");
     println!("wrote {}", path.display());
+
+    let json_path = json_dir().join("BENCH_latency.json");
+    merge_section(&json_path, "arc-bench/latency/v1", "read_latency", table_to_json(&table))
+        .expect("write BENCH_latency.json");
+    println!("merged read_latency into {}", json_path.display());
 }

@@ -14,7 +14,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use arc_bench::{out_dir, BenchProfile};
+use arc_bench::json::table_to_json;
+use arc_bench::{json_dir, merge_section, out_dir, BenchProfile, Json};
 use mn_register::MnRegister;
 use workload_harness::{write_csv, Table};
 
@@ -82,14 +83,24 @@ fn main() {
     for &m in &writer_counts {
         let (rd, wr) = run_point(m, readers, size, profile);
         println!("  M={m:<3} reads {rd:>9.2} Mops/s   writes {wr:>9.3} Mops/s");
-        table.row(vec![
-            m.to_string(),
-            readers.to_string(),
-            format!("{rd:.3}"),
-            format!("{wr:.3}"),
-        ]);
+        table.row(vec![m.to_string(), readers.to_string(), format!("{rd:.3}"), format!("{wr:.3}")]);
     }
     let path = out_dir().join("mn_scaling.csv");
     write_csv(&table, &path).expect("write CSV");
     println!("\nwrote {}", path.display());
+
+    let Json::Arr(rows) = table_to_json(&table) else { unreachable!() };
+    let rows: Vec<Json> = rows
+        .into_iter()
+        .map(|mut row| {
+            let rd = row.get("read_mops").and_then(Json::as_f64).unwrap_or(0.0);
+            let wr = row.get("write_mops").and_then(Json::as_f64).unwrap_or(0.0);
+            row.set("ops_per_sec", Json::num((rd + wr) * 1e6));
+            row
+        })
+        .collect();
+    let json_path = json_dir().join("BENCH_ops.json");
+    merge_section(&json_path, "arc-bench/ops/v1", "mn_scaling", Json::Arr(rows))
+        .expect("write BENCH_ops.json");
+    println!("merged mn_scaling into {}", json_path.display());
 }

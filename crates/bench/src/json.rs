@@ -1,0 +1,516 @@
+//! Dependency-free JSON values for the machine-readable bench reports.
+//!
+//! Every figure binary merges its section into `BENCH_ops.json` /
+//! `BENCH_latency.json` at the repo root so that successive PRs have a
+//! throughput/latency trajectory to compare against (EXPERIMENTS.md
+//! documents the schema). The environment cannot fetch serde, so this
+//! module carries a small value model, serializer and parser — the parser
+//! only needs to read back files this serializer wrote, but it accepts any
+//! well-formed JSON document.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A JSON value. Object keys keep insertion order so reports diff cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (serialized in shortest `{integer, float}` form).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert or replace `key` in an object (panics on non-objects — a
+    /// bench-harness bug, not a runtime condition).
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Json {
+        let Json::Obj(entries) = self else { panic!("Json::set on non-object") };
+        if let Some(e) = entries.iter_mut().find(|(k, _)| k == key) {
+            e.1 = value;
+        } else {
+            entries.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// Fetch `key` from an object, if present.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Build from an integer.
+    pub fn int(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Build from a float, mapping non-finite values to `null`.
+    pub fn num(n: f64) -> Json {
+        if n.is_finite() {
+            Json::Num(n)
+        } else {
+            Json::Null
+        }
+    }
+
+    /// Build from a string.
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Load the object at `path`, or an empty object if the file does not
+    /// exist or does not parse (a corrupt report is rebuilt, not fatal).
+    pub fn load_or_empty(path: &Path) -> Json {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Json::parse(&text).unwrap_or_else(|_| Json::obj()),
+            Err(_) => Json::obj(),
+        }
+    }
+
+    /// Write the rendered document to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    /// Parse exactly four hex digits at the cursor (the body of a `\u`
+    /// escape), advancing past them.
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "bad \\u escape")?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: must combine with a
+                                // following low-surrogate escape into one
+                                // scalar value.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err("unpaired high surrogate".into());
+                                    }
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    s.push(char::from_u32(code).ok_or("bad surrogate pair")?);
+                                } else {
+                                    return Err("unpaired high surrogate".into());
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err("unpaired low surrogate".into());
+                            } else {
+                                s.push(char::from_u32(hi).ok_or("bad \\u escape")?);
+                            }
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                c => {
+                    // Re-decode multi-byte UTF-8 sequences.
+                    if c < 0x80 {
+                        s.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = match c {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let end = (start + width).min(self.bytes.len());
+                        let chunk = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| "invalid UTF-8 in string")?;
+                        s.push_str(chunk);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number {text:?}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                other => return Err(format!("expected , or }} got {other:?}")),
+            }
+        }
+    }
+}
+
+/// Convert a bench [`Table`](workload_harness::Table) into an array of
+/// objects, parsing numeric-looking cells into numbers.
+pub fn table_to_json(table: &workload_harness::Table) -> Json {
+    let header = table.header();
+    Json::Arr(
+        table
+            .rows()
+            .iter()
+            .map(|row| {
+                let mut obj = Json::obj();
+                for (key, cell) in header.iter().zip(row) {
+                    let value = match cell.parse::<f64>() {
+                        Ok(n) if n.is_finite() => Json::Num(n),
+                        _ => Json::Str(cell.clone()),
+                    };
+                    obj.set(key, value);
+                }
+                obj
+            })
+            .collect(),
+    )
+}
+
+/// Merge `section = value` into the JSON object stored at `path` (creating
+/// the file if needed) and stamp the schema marker.
+pub fn merge_section(path: &Path, schema: &str, section: &str, value: Json) -> io::Result<()> {
+    let mut doc = Json::load_or_empty(path);
+    if !matches!(doc, Json::Obj(_)) {
+        doc = Json::obj();
+    }
+    doc.set("schema", Json::str(schema));
+    doc.set(section, value);
+    doc.save(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut j = Json::obj();
+        j.set("name", Json::str("fig1"));
+        j.set("mops", Json::num(12.375));
+        j.set("count", Json::int(42));
+        j.set("flag", Json::Bool(true));
+        j.set("none", Json::Null);
+        j.set(
+            "rows",
+            Json::Arr(vec![Json::int(1), Json::str("two \"quoted\"\n"), Json::num(-0.5)]),
+        );
+        let text = j.render();
+        assert_eq!(Json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut j = Json::obj();
+        j.set("a", Json::int(1));
+        j.set("b", Json::int(2));
+        j.set("a", Json::int(3));
+        assert_eq!(j.get("a").and_then(Json::as_f64), Some(3.0));
+        let Json::Obj(entries) = &j else { unreachable!() };
+        assert_eq!(entries.len(), 2, "replace must not duplicate keys");
+        assert_eq!(entries[0].0, "a", "replace must keep position");
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::int(1_000_000).render(), "1000000\n");
+        assert_eq!(Json::num(2.5).render(), "2.5\n");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::num(f64::NAN), Json::Null);
+        assert_eq!(Json::num(f64::INFINITY), Json::Null);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_combines_surrogate_pairs() {
+        let j = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(j, Json::Str("\u{1F600}".to_string()));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "unpaired high");
+        assert!(Json::parse(r#""\ude00""#).is_err(), "unpaired low");
+        assert!(Json::parse(r#""\ud83dx""#).is_err(), "high + non-escape");
+    }
+
+    #[test]
+    fn parse_accepts_unicode_and_escapes() {
+        let j = Json::parse(r#"{"k": "café — ✓\tend"}"#).unwrap();
+        assert_eq!(j.get("k"), Some(&Json::Str("café — ✓\tend".to_string())));
+    }
+
+    #[test]
+    fn merge_section_accumulates_across_writers() {
+        let dir = std::env::temp_dir().join("arc-bench-json-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("BENCH_ops.json");
+        merge_section(&path, "v1", "fig1", Json::Arr(vec![Json::int(1)])).unwrap();
+        merge_section(&path, "v1", "mn_scaling", Json::Arr(vec![Json::int(2)])).unwrap();
+        // Second fig1 run replaces its own section, keeps the other.
+        merge_section(&path, "v1", "fig1", Json::Arr(vec![Json::int(9)])).unwrap();
+        let doc = Json::load_or_empty(&path);
+        assert_eq!(doc.get("fig1"), Some(&Json::Arr(vec![Json::Num(9.0)])));
+        assert_eq!(doc.get("mn_scaling"), Some(&Json::Arr(vec![Json::Num(2.0)])));
+        assert_eq!(doc.get("schema"), Some(&Json::Str("v1".into())));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -5,6 +5,14 @@
 //! serve CI smoke runs and real measurement sessions, and writes CSVs under
 //! `ARC_BENCH_OUT` (default `./results`).
 //!
+//! In addition to the human-readable CSVs, the `fig1`, `mn_scaling` and
+//! `latency` binaries merge machine-readable sections into
+//! **`BENCH_ops.json`** and **`BENCH_latency.json`** (in
+//! `ARC_BENCH_JSON_DIR`, default the current directory — the repo root
+//! when run via `cargo run`), so every PR leaves a throughput/latency
+//! trajectory behind. EXPERIMENTS.md documents the schema; [`json`] holds
+//! the dependency-free value model.
+//!
 //! | binary | regenerates | paper artifact |
 //! |--------|-------------|----------------|
 //! | `fig1` | throughput vs threads, physical machine | Figure 1 (a–c) |
@@ -17,8 +25,12 @@
 #![deny(missing_docs)]
 
 pub mod ablations;
+pub mod inline_cmp;
+pub mod json;
 pub mod profile;
 pub mod sweep;
 
-pub use profile::{out_dir, BenchProfile};
+pub use inline_cmp::{compare as inline_vs_arena, InlineCmp};
+pub use json::{merge_section, Json};
+pub use profile::{json_dir, out_dir, BenchProfile};
 pub use sweep::{figure_sizes, sweep_algos, thread_counts, SweepSpec};

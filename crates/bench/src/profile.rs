@@ -59,6 +59,12 @@ pub fn out_dir() -> PathBuf {
     std::env::var_os("ARC_BENCH_OUT").map_or_else(|| PathBuf::from("results"), PathBuf::from)
 }
 
+/// Directory for the `BENCH_*.json` reports (`ARC_BENCH_JSON_DIR`, default
+/// the current directory — the repo root when run via `cargo run`).
+pub fn json_dir() -> PathBuf {
+    std::env::var_os("ARC_BENCH_JSON_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

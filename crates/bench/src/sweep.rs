@@ -15,8 +15,11 @@ pub fn figure_sizes(profile: BenchProfile) -> Vec<usize> {
     }
 }
 
-/// Thread counts for the Figure-1/2 x-axis: 2..=`max`, paper-style spacing.
+/// Thread counts for the Figure-1/2 x-axis: 2..=`max`, paper-style
+/// spacing. `max` below 2 is clamped — the driver always needs one writer
+/// plus one reader, even on single-core hosts.
 pub fn thread_counts(max: usize) -> Vec<usize> {
+    let max = max.max(2);
     let mut v = vec![2, 4];
     let mut t = 8;
     while t < max {
@@ -24,8 +27,9 @@ pub fn thread_counts(max: usize) -> Vec<usize> {
         t += 4;
     }
     v.push(max);
-    v.dedup();
     v.retain(|&t| t <= max);
+    v.sort_unstable();
+    v.dedup();
     v
 }
 
@@ -49,9 +53,7 @@ pub struct SweepSpec {
 /// note — the paper does the same ("RF could not be tested" beyond 58
 /// readers).
 pub fn sweep_algos(spec: &SweepSpec) -> Table {
-    let mut table = Table::new(vec![
-        "algo", "threads", "size", "mops", "std", "reads", "writes",
-    ]);
+    let mut table = Table::new(vec!["algo", "threads", "size", "mops", "std", "reads", "writes"]);
     for &threads in &spec.threads {
         for algo in &spec.algos {
             let readers = threads - 1;
@@ -108,6 +110,12 @@ mod tests {
     #[test]
     fn thread_counts_small_max() {
         assert_eq!(thread_counts(4), vec![2, 4]);
+    }
+
+    #[test]
+    fn thread_counts_single_core_clamped() {
+        assert_eq!(thread_counts(1), vec![2]);
+        assert_eq!(thread_counts(0), vec![2]);
     }
 
     #[test]

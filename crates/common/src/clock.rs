@@ -59,9 +59,8 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..8 {
             let c = Arc::clone(&c);
-            handles.push(std::thread::spawn(move || {
-                (0..1000).map(|_| c.tick()).collect::<Vec<_>>()
-            }));
+            handles
+                .push(std::thread::spawn(move || (0..1000).map(|_| c.tick()).collect::<Vec<_>>()));
         }
         let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.sort_unstable();

@@ -29,6 +29,9 @@ pub struct OpMetrics {
     pub slot_probes: AtomicU64,
     /// Writes whose free slot came from the reader-posted hint (§3.4).
     pub hint_hits: AtomicU64,
+    /// Writes whose free slot was served by the writer-local candidate
+    /// ring (lazy reclamation + drained hints) without a fallback scan.
+    pub ring_hits: AtomicU64,
 }
 
 impl OpMetrics {
@@ -42,6 +45,7 @@ impl OpMetrics {
             write_rmws: AtomicU64::new(0),
             slot_probes: AtomicU64::new(0),
             hint_hits: AtomicU64::new(0),
+            ring_hits: AtomicU64::new(0),
         }
     }
 
@@ -61,6 +65,7 @@ impl OpMetrics {
             write_rmws: self.write_rmws.load(Ordering::Relaxed),
             slot_probes: self.slot_probes.load(Ordering::Relaxed),
             hint_hits: self.hint_hits.load(Ordering::Relaxed),
+            ring_hits: self.ring_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -82,6 +87,8 @@ pub struct MetricsSnapshot {
     pub slot_probes: u64,
     /// Writes served by the §3.4 hint.
     pub hint_hits: u64,
+    /// Writes served by the writer-local free-slot ring.
+    pub ring_hits: u64,
 }
 
 impl MetricsSnapshot {
@@ -109,6 +116,16 @@ impl MetricsSnapshot {
             0.0
         } else {
             self.slot_probes as f64 / self.writes as f64
+        }
+    }
+
+    /// Fraction of writes whose free slot came from the writer-local ring
+    /// (no fallback scan needed).
+    pub fn ring_hit_fraction(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.ring_hits as f64 / self.writes as f64
         }
     }
 
@@ -155,9 +172,11 @@ mod tests {
         OpMetrics::bump(&m.write_rmws, 8);
         OpMetrics::bump(&m.slot_probes, 6);
         OpMetrics::bump(&m.hint_hits, 3);
+        OpMetrics::bump(&m.ring_hits, 2);
         let s = m.snapshot();
         assert_eq!(s.rmws_per_write(), 2.0);
         assert_eq!(s.probes_per_write(), 1.5);
         assert_eq!(s.hint_hits, 3);
+        assert_eq!(s.ring_hit_fraction(), 0.5);
     }
 }

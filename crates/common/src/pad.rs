@@ -5,8 +5,61 @@
 //! workspace (`current`, per-slot counters, per-reader flags, lock words) is
 //! wrapped in [`CachePadded`] so that two independently-contended words never
 //! share a cache line (no false sharing).
+//!
+//! Implemented locally (the build environment cannot fetch
+//! `crossbeam-utils`): an aligned wrapper whose alignment covers the
+//! platform's destructive-interference granularity — 128 bytes, which also
+//! covers the adjacent-line prefetcher on modern x86_64 and the 128-byte
+//! lines of Apple/ARM server parts.
 
-pub use crossbeam_utils::CachePadded;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns `T` so it occupies cache line(s) exclusively.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in its own cache line(s).
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwrap, consuming the padding.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -24,5 +77,18 @@ mod tests {
     fn padded_derefs_to_inner() {
         let p = CachePadded::new(7u64);
         assert_eq!(*p, 7);
+    }
+
+    #[test]
+    fn adjacent_array_elements_are_line_separated() {
+        let arr = [CachePadded::new(1u8), CachePadded::new(2u8)];
+        let a = &arr[0] as *const _ as usize;
+        let b = &arr[1] as *const _ as usize;
+        assert!(b - a >= 128, "elements {a:#x}/{b:#x} share a line");
+    }
+
+    #[test]
+    fn into_inner_roundtrips() {
+        assert_eq!(CachePadded::new(42u32).into_inner(), 42);
     }
 }

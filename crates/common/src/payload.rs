@@ -77,10 +77,9 @@ impl fmt::Display for PayloadError {
             PayloadError::LengthMismatch { recorded, actual } => {
                 write!(f, "payload records length {recorded} but slice has {actual} bytes")
             }
-            PayloadError::Torn { word, expected, found } => write!(
-                f,
-                "torn read: word {word} is {found:#x}, expected {expected:#x}"
-            ),
+            PayloadError::Torn { word, expected, found } => {
+                write!(f, "torn read: word {word} is {found:#x}, expected {expected:#x}")
+            }
             PayloadError::TornTail { offset } => {
                 write!(f, "torn read in trailing bytes at offset {offset}")
             }

@@ -27,10 +27,9 @@ impl fmt::Display for HandleError {
             HandleError::ReadersExhausted { max_readers } => {
                 write!(f, "all {max_readers} reader handles are in use")
             }
-            HandleError::ChurnExhausted => write!(
-                f,
-                "reader-handle churn exceeded the per-generation presence-counter budget"
-            ),
+            HandleError::ChurnExhausted => {
+                write!(f, "reader-handle churn exceeded the per-generation presence-counter budget")
+            }
         }
     }
 }

@@ -1,9 +1,7 @@
 //! [`RegisterFamily`] adapter so the conformance suite and figure benches
 //! can drive ARC through the same interface as the baselines.
 
-use register_common::traits::{
-    BuildError, ReadHandle, RegisterFamily, RegisterSpec, WriteHandle,
-};
+use register_common::traits::{BuildError, ReadHandle, RegisterFamily, RegisterSpec, WriteHandle};
 
 use crate::current::MAX_READERS;
 use crate::register::{ArcReader, ArcRegister, ArcWriter};
@@ -25,13 +23,9 @@ impl RegisterFamily for ArcFamily {
         spec: RegisterSpec,
         initial: &[u8],
     ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError> {
-        let readers = u32::try_from(spec.readers)
-            .ok()
-            .filter(|&r| r <= MAX_READERS)
-            .ok_or(BuildError::TooManyReaders {
-                requested: spec.readers,
-                limit: MAX_READERS as usize,
-            })?;
+        let readers = u32::try_from(spec.readers).ok().filter(|&r| r <= MAX_READERS).ok_or(
+            BuildError::TooManyReaders { requested: spec.readers, limit: MAX_READERS as usize },
+        )?;
         let reg = ArcRegister::builder(readers, spec.capacity).initial(initial).build()?;
         let writer = reg.writer().expect("fresh register has no writer");
         let readers = (0..spec.readers)
@@ -61,8 +55,7 @@ mod tests {
 
     #[test]
     fn family_builds_and_operates() {
-        let (mut w, mut readers) =
-            ArcFamily::build(RegisterSpec::new(3, 128), b"seed").unwrap();
+        let (mut w, mut readers) = ArcFamily::build(RegisterSpec::new(3, 128), b"seed").unwrap();
         assert_eq!(readers.len(), 3);
         for r in readers.iter_mut() {
             r.read_with(|v| assert_eq!(v, b"seed"));

@@ -76,7 +76,7 @@ pub mod typed;
 pub use errors::HandleError;
 pub use family::ArcFamily;
 pub use raw::{RawArc, RawOptions, ReadOutcome};
-pub use register::{ArcBuilder, ArcReader, ArcRegister, ArcWriter, Snapshot};
+pub use register::{ArcBuilder, ArcReader, ArcRegister, ArcWriter, Snapshot, INLINE_CAP};
 pub use typed::{TypedArc, TypedReader, TypedWriter};
 
 /// The maximum number of concurrent readers: 2³² − 2 (the paper's headline).

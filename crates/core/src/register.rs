@@ -20,27 +20,50 @@
 //! * a reader dereferences a slot only while holding an unreleased presence
 //!   unit on it, and its loads happen-after the writer's stores via the
 //!   `SeqCst` swap/fetch_add pair on `current`.
+//!
+//! # Payload placement: inline vs arena
+//!
+//! Values of at most [`INLINE_CAP`] bytes are stored **inside the slot
+//! header's own cache line** (the `SlotBuf` below: 8 bytes of length +
+//! 48 inline bytes = 56 ≤ 64), so the R2 fast path touches exactly one
+//! payload line with no pointer chase. Larger values go to a single shared
+//! **byte arena** (`n_slots × capacity`, one region per slot). Placement
+//! is a pure function of the value length — `len <= INLINE_CAP` means
+//! inline — so readers never need a separately-synchronized tag: the `len`
+//! word they already load *is* the tag, written under the same protocol
+//! exclusivity as the bytes themselves.
 
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
 
-use register_common::traits::{validate_spec, BuildError, RegisterSpec};
 #[cfg(feature = "metrics")]
 use register_common::metrics::MetricsSnapshot;
+use register_common::pad::CachePadded;
+use register_common::traits::{validate_spec, BuildError, RegisterSpec};
 
 use crate::current::MAX_READERS;
 use crate::errors::HandleError;
 use crate::raw::{RawArc, RawOptions, RawReader, RawWriter};
 
-/// One payload slot: a fixed-capacity buffer plus the current value length.
+/// Largest payload (bytes) stored inline in the slot header cache line.
 ///
-/// Both fields are protocol-protected (see module docs); they carry no
-/// synchronization of their own.
+/// 48 = 64-byte line − 8-byte length word − 8 bytes of alignment headroom;
+/// together with the length the whole record stays within one line.
+pub const INLINE_CAP: usize = 48;
+
+/// One payload slot: the current value length plus the inline small-value
+/// buffer. Large values live in the register's byte arena instead.
+///
+/// All fields are protocol-protected (see module docs); they carry no
+/// synchronization of their own. Each `SlotBuf` is `CachePadded` by the
+/// register so slots never false-share.
 struct SlotBuf {
+    /// Value length; doubles as the placement tag (`<= INLINE_CAP` ⇒ the
+    /// bytes are in `inline`, otherwise in the arena region of this slot).
     len: UnsafeCell<usize>,
-    data: UnsafeCell<Box<[u8]>>,
+    inline: UnsafeCell<[u8; INLINE_CAP]>,
 }
 
 // SAFETY: SlotBuf is shared across threads, but every access is serialized
@@ -50,6 +73,17 @@ struct SlotBuf {
 unsafe impl Sync for SlotBuf {}
 unsafe impl Send for SlotBuf {}
 
+/// The large-payload byte arena: one `capacity`-sized region per slot.
+///
+/// Empty when every representable value fits inline.
+struct Arena(Box<[UnsafeCell<u8>]>);
+
+// SAFETY: same protocol-serialization argument as SlotBuf — a region is
+// written only by the writer between select_slot and publish, and read only
+// under a standing presence unit.
+unsafe impl Sync for Arena {}
+unsafe impl Send for Arena {}
+
 /// Builder for [`ArcRegister`].
 #[derive(Debug, Clone)]
 pub struct ArcBuilder {
@@ -57,6 +91,7 @@ pub struct ArcBuilder {
     capacity: usize,
     n_slots: Option<usize>,
     opts: RawOptions,
+    inline: bool,
     initial: Vec<u8>,
 }
 
@@ -69,6 +104,7 @@ impl ArcBuilder {
             capacity,
             n_slots: None,
             opts: RawOptions::default(),
+            inline: true,
             initial: Vec::new(),
         }
     }
@@ -99,29 +135,44 @@ impl ArcBuilder {
         self
     }
 
+    /// Enable/disable inline storage of small payloads (default on).
+    ///
+    /// With inlining off every value — however small — lives in the byte
+    /// arena; this exists so the benches can isolate the cost of the extra
+    /// cache line (EXPERIMENTS.md, `inline_vs_arena`).
+    pub fn inline(mut self, on: bool) -> Self {
+        self.inline = on;
+        self
+    }
+
     /// Build the register.
     pub fn build(self) -> Result<Arc<ArcRegister>, BuildError> {
         let spec = RegisterSpec::new(self.max_readers as usize, self.capacity);
         validate_spec(spec, &self.initial, Some(MAX_READERS as usize))?;
         let n_slots = self.n_slots.unwrap_or(self.max_readers as usize + 2);
         let raw = RawArc::new(self.max_readers, n_slots, self.opts);
-        let slots: Box<[SlotBuf]> = (0..n_slots)
-            .map(|_| SlotBuf {
-                len: UnsafeCell::new(0),
-                data: UnsafeCell::new(vec![0u8; self.capacity].into_boxed_slice()),
+        let slots: Box<[CachePadded<SlotBuf>]> = (0..n_slots)
+            .map(|_| {
+                CachePadded::new(SlotBuf {
+                    len: UnsafeCell::new(0),
+                    inline: UnsafeCell::new([0u8; INLINE_CAP]),
+                })
             })
             .collect();
+        // The arena only exists if some representable value needs it.
+        let arena_bytes =
+            if self.inline && self.capacity <= INLINE_CAP { 0 } else { n_slots * self.capacity };
+        let arena = Arena((0..arena_bytes).map(|_| UnsafeCell::new(0u8)).collect());
+        let reg = ArcRegister { raw, slots, arena, capacity: self.capacity, inline: self.inline };
         // Algorithm 1: the initial value goes to slot 0, which RawArc::new
         // already published. No reader or writer exists yet, so plain
         // writes are race-free; the Arc construction below publishes them
         // to other threads.
         // SAFETY: exclusive access — the register is not shared yet.
         unsafe {
-            let buf = &mut *slots[0].data.get();
-            buf[..self.initial.len()].copy_from_slice(&self.initial);
-            *slots[0].len.get() = self.initial.len();
+            reg.fill_slot(0, self.initial.len(), |buf| buf.copy_from_slice(&self.initial));
         }
-        Ok(Arc::new(ArcRegister { raw, slots, capacity: self.capacity }))
+        Ok(Arc::new(reg))
     }
 }
 
@@ -132,8 +183,12 @@ impl ArcBuilder {
 /// [`ArcRegister::reader`]).
 pub struct ArcRegister {
     raw: RawArc,
-    slots: Box<[SlotBuf]>,
+    slots: Box<[CachePadded<SlotBuf>]>,
+    /// Large-payload storage: region `slot * capacity ..` per slot.
+    arena: Arena,
     capacity: usize,
+    /// Whether payloads ≤ [`INLINE_CAP`] are stored in the slot header.
+    inline: bool,
 }
 
 impl ArcRegister {
@@ -154,6 +209,12 @@ impl ArcRegister {
     /// Maximum payload size in bytes.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Whether payloads of at most [`INLINE_CAP`] bytes are stored inline
+    /// in the slot header line (default true; see [`ArcBuilder::inline`]).
+    pub fn inline_enabled(&self) -> bool {
+        self.inline
     }
 
     /// Number of buffer slots (normally `N + 2`).
@@ -189,6 +250,12 @@ impl ArcRegister {
         self.raw.metrics.snapshot()
     }
 
+    /// Whether values of `len` bytes are stored inline in the slot header.
+    #[inline]
+    fn stored_inline(&self, len: usize) -> bool {
+        self.inline && len <= INLINE_CAP
+    }
+
     /// Slice view of a slot's current value.
     ///
     /// # Safety
@@ -198,11 +265,40 @@ impl ArcRegister {
     #[inline]
     unsafe fn slot_bytes(&self, slot: usize) -> &[u8] {
         // SAFETY: per the function contract the slot is stable; `len` was
-        // written before the publication that the caller's unit pins.
+        // written before the publication that the caller's unit pins, and
+        // deterministically selects the same placement the writer used.
         unsafe {
             let len = *self.slots[slot].len.get();
-            let buf: &[u8] = &*self.slots[slot].data.get();
-            &buf[..len]
+            if self.stored_inline(len) {
+                let inline: &[u8; INLINE_CAP] = &*self.slots[slot].inline.get();
+                &inline[..len]
+            } else {
+                let base = self.arena.0.as_ptr().add(slot * self.capacity);
+                std::slice::from_raw_parts(base.cast::<u8>(), len)
+            }
+        }
+    }
+
+    /// Write `len` bytes into `slot` via `fill`, then record the length.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold *exclusive* write rights on `slot` per the protocol
+    /// (between `select_slot` and `publish`, or sole access at build time).
+    #[inline]
+    unsafe fn fill_slot(&self, slot: usize, len: usize, fill: impl FnOnce(&mut [u8])) {
+        // SAFETY: exclusivity per the function contract; placement is the
+        // same pure function of `len` that readers use.
+        unsafe {
+            let dst: &mut [u8] = if self.stored_inline(len) {
+                let inline: &mut [u8; INLINE_CAP] = &mut *self.slots[slot].inline.get();
+                &mut inline[..len]
+            } else {
+                let base = self.arena.0.as_ptr().add(slot * self.capacity);
+                std::slice::from_raw_parts_mut(base.cast::<u8>().cast_mut(), len)
+            };
+            fill(dst);
+            *self.slots[slot].len.get() = len;
         }
     }
 }
@@ -253,14 +349,13 @@ impl ArcWriter {
             self.reg.capacity
         );
         let wr = self.wr.as_mut().expect("writer state present until drop");
-        let slot = self.reg.raw.select_slot(wr); // W1
+        // W1: select a free slot.
+        let slot = self.reg.raw.select_slot(wr);
         // SAFETY: select_slot grants exclusive access to `slot` until
         // publish; the Acquire edge on r_end ordered all prior readers'
         // loads before these stores.
         unsafe {
-            let buf = &mut *self.reg.slots[slot].data.get();
-            fill(&mut buf[..len]);
-            *self.reg.slots[slot].len.get() = len;
+            self.reg.fill_slot(slot, len, fill);
         }
         self.reg.raw.publish(wr, slot); // W2 + W3
     }
@@ -311,7 +406,8 @@ impl ArcReader {
         // lasts until the next read_acquire/leave, which require &mut self
         // and are therefore excluded while the Snapshot's borrow is live.
         let bytes = unsafe { self.reg.slot_bytes(out.slot) };
-        Snapshot { bytes, slot: out.slot, fast: out.fast }
+        let inline = self.reg.stored_inline(bytes.len());
+        Snapshot { bytes, slot: out.slot, fast: out.fast, inline }
     }
 
     /// Copy the current value into `out` (resizing it), returning its length.
@@ -355,6 +451,7 @@ pub struct Snapshot<'a> {
     bytes: &'a [u8],
     slot: usize,
     fast: bool,
+    inline: bool,
 }
 
 impl<'a> Snapshot<'a> {
@@ -374,6 +471,12 @@ impl<'a> Snapshot<'a> {
     /// Whether the read took the no-RMW fast path (R2).
     pub fn fast(&self) -> bool {
         self.fast
+    }
+
+    /// Whether the value was served from the slot-header inline storage
+    /// (single cache line) rather than the byte arena.
+    pub fn inline(&self) -> bool {
+        self.inline
     }
 }
 
@@ -512,10 +615,7 @@ mod tests {
         let reg = ArcRegister::builder(2, 16).build().unwrap();
         let r1 = reg.reader().unwrap();
         let _r2 = reg.reader().unwrap();
-        assert!(matches!(
-            reg.reader(),
-            Err(HandleError::ReadersExhausted { max_readers: 2 })
-        ));
+        assert!(matches!(reg.reader(), Err(HandleError::ReadersExhausted { max_readers: 2 })));
         drop(r1);
         assert!(reg.reader().is_ok());
     }
@@ -529,7 +629,8 @@ mod tests {
 
     #[test]
     fn builder_options_apply() {
-        let reg = ArcRegister::builder(2, 16).slots(8).hint(false).fast_path(false).build().unwrap();
+        let reg =
+            ArcRegister::builder(2, 16).slots(8).hint(false).fast_path(false).build().unwrap();
         assert_eq!(reg.n_slots(), 8);
         let mut r = reg.reader().unwrap();
         let _ = r.read();
@@ -552,10 +653,88 @@ mod tests {
         let mut w = reg.writer().unwrap();
         let mut r = reg.reader().unwrap();
         let _ = r.read(); // pin slot 0
-        drop(r); // releases the unit
-        // The writer must be able to cycle through all slots indefinitely.
+                          // Dropping the reader releases its unit; the writer must then be
+                          // able to cycle through all slots indefinitely.
+        drop(r);
         for i in 0..10u8 {
             w.write(&[i; 4]);
+        }
+    }
+
+    #[test]
+    fn inline_boundary_roundtrips_exactly() {
+        // Placement flips at INLINE_CAP; bytes must round-trip on both
+        // sides of the boundary, and the Snapshot must report where the
+        // value lived.
+        let reg = ArcRegister::builder(2, 256).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        for len in [0, 1, INLINE_CAP - 1, INLINE_CAP, INLINE_CAP + 1, 255, 256] {
+            let v: Vec<u8> = (0..len).map(|i| (i * 7 + len) as u8).collect();
+            w.write(&v);
+            let snap = r.read();
+            assert_eq!(&*snap, &v[..], "len {len}");
+            assert_eq!(snap.inline(), len <= INLINE_CAP, "placement at len {len}");
+        }
+    }
+
+    #[test]
+    fn inline_disabled_forces_arena() {
+        let reg = ArcRegister::builder(2, 64).inline(false).build().unwrap();
+        assert!(!reg.inline_enabled());
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(b"tiny");
+        let snap = r.read();
+        assert_eq!(&*snap, b"tiny");
+        assert!(!snap.inline(), "inline(false) must route through the arena");
+    }
+
+    #[test]
+    fn small_capacity_register_never_allocates_arena() {
+        // capacity <= INLINE_CAP: every value is inline; large writes are
+        // rejected by the capacity check before placement matters.
+        let reg = ArcRegister::builder(4, INLINE_CAP).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(&[9u8; INLINE_CAP]);
+        let snap = r.read();
+        assert_eq!(snap.len(), INLINE_CAP);
+        assert!(snap.inline());
+    }
+
+    #[test]
+    fn inline_values_survive_concurrent_overwrites() {
+        // The pinning guarantee must hold for header-inlined values too:
+        // the writer recycles *other* slots' header lines while this
+        // snapshot stays pinned.
+        let reg = ArcRegister::builder(2, 64).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(b"pinned-inline");
+        let snap = r.read();
+        assert!(snap.inline());
+        let bytes = snap.bytes();
+        for i in 0..100u8 {
+            w.write(&[i; 48]);
+        }
+        assert_eq!(bytes, b"pinned-inline");
+    }
+
+    #[test]
+    fn mixed_inline_and_arena_interleaving() {
+        // Alternate sizes across the boundary so the same slots carry
+        // inline and arena values in successive generations.
+        let reg = ArcRegister::builder(1, 512).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        for round in 0..50usize {
+            let len = if round % 2 == 0 { 8 + round % 40 } else { 64 + round };
+            let v: Vec<u8> = (0..len).map(|i| (i ^ round) as u8).collect();
+            w.write(&v);
+            let snap = r.read();
+            assert_eq!(&*snap, &v[..], "round {round}");
+            assert_eq!(snap.inline(), len <= INLINE_CAP);
         }
     }
 

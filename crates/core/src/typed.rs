@@ -118,9 +118,7 @@ impl<T: Send + Sync> TypedReader<T> {
         // because every published slot was filled by the writer (or by
         // construction for slot 0).
         unsafe {
-            (*self.reg.slots[out.slot].get())
-                .as_ref()
-                .expect("published slot always holds a value")
+            (*self.reg.slots[out.slot].get()).as_ref().expect("published slot always holds a value")
         }
     }
 

@@ -25,6 +25,22 @@
 //! the writer consumes the hint word and *re-validates* the proposed slot
 //! through the normal probe — the property that keeps stale hints safe.
 //!
+//! The **writer free-slot ring** (the implementation's W1 optimization;
+//! `arc_register::raw` module docs) is modeled with
+//! [`ArcModel::with_ring`]: the writer keeps a local FIFO of candidate
+//! slots fed by (a) the drained hint word and (b) lazy reclamation at the
+//! freeze step (the superseded slot is queued when its frozen count is
+//! already matched by releases — the r_end read is folded into the freeze
+//! step exactly as in the implementation). Ring pops are writer-local
+//! (zero shared accesses); each popped candidate is re-validated through
+//! one probe step before use. The safety property the exhaustive runs
+//! prove: **no slot with a standing reader is ever recycled**, because a
+//! ring entry is only a *candidate* — hints can be stale across slot
+//! generations (a delayed reader hint-check can match a *newer* freeze of
+//! the same slot), so a writer that trusted the ring blindly would write
+//! into a pinned slot. [`Defect::RingNoRevalidate`] models exactly that
+//! bug and the explorer catches it (see the tests).
+//!
 //! # The deliberately broken variants
 //!
 //! The [`Defect`] gallery seeds four plausible implementation bugs —
@@ -55,6 +71,11 @@ pub enum Defect {
     /// transiently holds two units, breaking the Σ ≤ N accounting that
     /// Lemma 4.1 needs — surfaces as writer starvation.
     AcquireBeforeRelease,
+    /// Writer trusts free-ring candidates without re-validating
+    /// `r_start == r_end` at pop time (ring mode only). Stale hints can
+    /// straddle slot generations, so this must be caught as an exclusion
+    /// or torn-read violation.
+    RingNoRevalidate,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,14 +91,33 @@ enum WPc {
     Idle,
     /// Consume the §3.4 hint word (hint mode only).
     HintConsume,
+    /// Probe a ring candidate: one shared access re-validating
+    /// `r_start == r_end` (ring mode only).
+    RingValidate {
+        candidate: u8,
+    },
     /// Scanning for a free slot; `probe` = next slot to examine,
     /// `probed` = how many probes this write has made (starvation guard).
-    Probe { probe: u8, probed: u8 },
-    Data0 { chosen: u8 },
-    Data1 { chosen: u8 },
-    Reset { chosen: u8 },
-    Swap { chosen: u8 },
-    Freeze { old_index: u8, old_counter: u8 },
+    Probe {
+        probe: u8,
+        probed: u8,
+    },
+    Data0 {
+        chosen: u8,
+    },
+    Data1 {
+        chosen: u8,
+    },
+    Reset {
+        chosen: u8,
+    },
+    Swap {
+        chosen: u8,
+    },
+    Freeze {
+        old_index: u8,
+        old_counter: u8,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,15 +128,28 @@ enum RPc {
     /// R3: release the previous slot.
     Release,
     /// §3.4: check whether the release freed the slot (load `r_start`).
-    HintCheck { slot: u8, released: u8 },
+    HintCheck {
+        slot: u8,
+        released: u8,
+    },
     /// §3.4: post the freed slot to the hint word.
-    HintPost { slot: u8 },
+    HintPost {
+        slot: u8,
+    },
     /// R4: fetch_add on `current`.
     FetchAdd,
     /// Defective R3-after-R4 ordering (AcquireBeforeRelease only).
-    LateRelease { target: u8, old: u8 },
-    Data0 { target: u8 },
-    Data1 { target: u8, w0: u8 },
+    LateRelease {
+        target: u8,
+        old: u8,
+    },
+    Data0 {
+        target: u8,
+    },
+    Data1 {
+        target: u8,
+        w0: u8,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -114,6 +167,8 @@ pub struct ArcModel {
     defect: Defect,
     /// Model the §3.4 reader-posted free-slot hint.
     hint_enabled: bool,
+    /// Model the writer-local free-slot candidate ring.
+    ring_enabled: bool,
     checker: ObsChecker,
     // shared memory
     cur_index: u8,
@@ -126,6 +181,8 @@ pub struct ArcModel {
     writes_left: u8,
     next_seq: u8,
     last_slot: u8,
+    /// Writer-local candidate FIFO (no shared accesses to push/pop).
+    ring: Vec<u8>,
     // readers
     readers: Vec<ReaderM>,
 }
@@ -140,12 +197,26 @@ impl ArcModel {
     /// Like [`ArcModel::new`] but optionally modeling the §3.4 free-slot
     /// hint (reader posts on release; writer consumes with re-validation).
     pub fn with_hint(cfg: ModelConfig, defect: Defect, hint_enabled: bool) -> Self {
+        Self::with_ring(cfg, defect, hint_enabled, false)
+    }
+
+    /// Full options: the §3.4 hint and the writer-local free-slot ring
+    /// (module docs). Ring mode folds lazy reclamation into the freeze
+    /// step and re-validates every popped candidate — unless the
+    /// [`Defect::RingNoRevalidate`] bug is injected.
+    pub fn with_ring(
+        cfg: ModelConfig,
+        defect: Defect,
+        hint_enabled: bool,
+        ring_enabled: bool,
+    ) -> Self {
         let n_slots = cfg.readers + 2;
         let slots = vec![SlotM { r_start: 0, r_end: 0, w0: 0, w1: 0 }; n_slots];
         Self {
             cfg,
             defect,
             hint_enabled,
+            ring_enabled,
             checker: ObsChecker::default(),
             cur_index: 0,
             cur_counter: 0,
@@ -155,6 +226,7 @@ impl ArcModel {
             writes_left: cfg.writes,
             next_seq: 1,
             last_slot: 0,
+            ring: Vec::new(),
             readers: vec![
                 ReaderM {
                     pc: RPc::Idle,
@@ -167,6 +239,32 @@ impl ArcModel {
         }
     }
 
+    /// Push a candidate into the writer-local ring (bounded by slot count;
+    /// overflow drops the candidate — losing a candidate never loses a
+    /// slot, the fallback scan still finds it).
+    fn ring_push(&mut self, slot: u8) {
+        if self.ring.len() < self.slots.len() {
+            self.ring.push(slot);
+        }
+    }
+
+    /// Pop local ring candidates (zero shared accesses) until one is worth
+    /// a validation probe; fall back to the rotating scan when dry.
+    fn next_candidate_or_probe(&mut self) -> WPc {
+        while !self.ring.is_empty() {
+            let candidate = self.ring.remove(0);
+            if candidate == self.last_slot {
+                continue;
+            }
+            if self.defect == Defect::RingNoRevalidate {
+                // Injected bug: trust the candidate blindly — no probe.
+                return WPc::Data0 { chosen: candidate };
+            }
+            return WPc::RingValidate { candidate };
+        }
+        WPc::Probe { probe: (self.last_slot + 1) % self.slots.len() as u8, probed: 0 }
+    }
+
     fn writer_step(&mut self) -> Result<(), String> {
         match self.wpc {
             WPc::Idle => {
@@ -174,22 +272,51 @@ impl ArcModel {
                 self.checker.on_write_start(self.next_seq);
                 if self.hint_enabled {
                     self.wpc = WPc::HintConsume;
+                } else if self.ring_enabled {
+                    self.wpc = self.next_candidate_or_probe();
                 } else {
-                    self.wpc =
-                        WPc::Probe { probe: (self.last_slot + 1) % self.slots.len() as u8, probed: 0 };
+                    self.wpc = WPc::Probe {
+                        probe: (self.last_slot + 1) % self.slots.len() as u8,
+                        probed: 0,
+                    };
                 }
                 Ok(())
             }
             WPc::HintConsume => {
-                // Swap the hint word; if it proposes a plausible slot, probe
-                // it first (the probe step re-validates r_start == r_end —
-                // the property that keeps stale hints harmless).
+                // Swap the hint word. In ring mode the proposal joins the
+                // local candidate FIFO; otherwise it seeds the probe scan.
+                // Either way the probe/validate step re-validates
+                // r_start == r_end — the property that keeps stale hints
+                // harmless.
                 let h = self.hint.take();
-                let start = match h {
-                    Some(h) if h != self.last_slot => h,
-                    _ => (self.last_slot + 1) % self.slots.len() as u8,
-                };
-                self.wpc = WPc::Probe { probe: start, probed: 0 };
+                if self.ring_enabled {
+                    if let Some(h) = h {
+                        self.ring_push(h);
+                    }
+                    self.wpc = self.next_candidate_or_probe();
+                } else {
+                    let start = match h {
+                        Some(h) if h != self.last_slot => h,
+                        _ => (self.last_slot + 1) % self.slots.len() as u8,
+                    };
+                    self.wpc = WPc::Probe { probe: start, probed: 0 };
+                }
+                Ok(())
+            }
+            WPc::RingValidate { candidate } => {
+                // One shared access: the free check on the candidate.
+                let s = candidate as usize;
+                let free =
+                    candidate != self.last_slot && self.slots[s].r_start == self.slots[s].r_end;
+                if free {
+                    if self.defect == Defect::PublishBeforeCopy {
+                        self.wpc = WPc::Reset { chosen: candidate };
+                    } else {
+                        self.wpc = WPc::Data0 { chosen: candidate };
+                    }
+                } else {
+                    self.wpc = self.next_candidate_or_probe();
+                }
                 Ok(())
             }
             WPc::Probe { probe, probed } => {
@@ -201,8 +328,7 @@ impl ArcModel {
                     );
                 }
                 let s = probe as usize;
-                let free = probe != self.last_slot
-                    && self.slots[s].r_start == self.slots[s].r_end;
+                let free = probe != self.last_slot && self.slots[s].r_start == self.slots[s].r_end;
                 if free {
                     if self.defect == Defect::PublishBeforeCopy {
                         // Broken order: reset + publish first, copy after.
@@ -249,13 +375,18 @@ impl ArcModel {
             WPc::Freeze { old_index, old_counter } => {
                 if self.defect != Defect::NoFreeze {
                     self.slots[old_index as usize].r_start = old_counter;
-                    // The implementation also posts the old slot as a hint
-                    // when already fully released; the consumer re-validates
-                    // either way, so the extra access is folded in here.
-                    if self.hint_enabled
-                        && old_counter == self.slots[old_index as usize].r_end
-                    {
-                        self.hint = Some(old_index);
+                    // Lazy reclamation: when the frozen count is already
+                    // matched by releases the slot is free now. Ring mode
+                    // queues it locally (as the implementation does);
+                    // hint-only mode posts the shared hint word. The
+                    // consumer re-validates either way, so the extra r_end
+                    // access is folded in here.
+                    if old_counter == self.slots[old_index as usize].r_end {
+                        if self.ring_enabled {
+                            self.ring_push(old_index);
+                        } else if self.hint_enabled {
+                            self.hint = Some(old_index);
+                        }
                     }
                 }
                 if self.defect == Defect::PublishBeforeCopy {
@@ -290,7 +421,10 @@ impl ArcModel {
                 // R4 `last_index` is stale and carries no rights, so the
                 // writer reusing that slot is legitimate (found by this
                 // very model checker when the spec was stated too strongly).
-                Defect::None => {
+                // RingNoRevalidate keeps the reader bookkeeping sound, so
+                // the strict witness applies to it too — and is exactly
+                // the check that catches the blind-trust bug.
+                Defect::None | Defect::RingNoRevalidate => {
                     // Post-release, pre-reacquire states (FetchAdd and the
                     // §3.4 hint steps) carry no rights on the stale index.
                     r.last_index == Some(chosen)
@@ -337,7 +471,13 @@ impl ArcModel {
                     // R2 fast path: no RMW, straight to the data.
                     self.readers[r].pc = RPc::Data0 { target: idx };
                 } else if me.last_index.is_some()
-                    && matches!(self.defect, Defect::None | Defect::NoFreeze | Defect::PublishBeforeCopy)
+                    && matches!(
+                        self.defect,
+                        Defect::None
+                            | Defect::NoFreeze
+                            | Defect::PublishBeforeCopy
+                            | Defect::RingNoRevalidate
+                    )
                 {
                     self.readers[r].pc = RPc::Release;
                 } else {
@@ -478,10 +618,7 @@ mod tests {
 
     #[test]
     fn single_reader_single_write_exhaustive() {
-        let m = ArcModel::new(
-            ModelConfig { readers: 1, writes: 1, reads_each: 2 },
-            Defect::None,
-        );
+        let m = ArcModel::new(ModelConfig { readers: 1, writes: 1, reads_each: 2 }, Defect::None);
         let out = explore(m, ExploreLimits::default());
         assert!(out.is_ok(), "violation: {:?}", out.violation());
     }
@@ -498,11 +635,58 @@ mod tests {
     }
 
     #[test]
-    fn no_freeze_defect_is_caught() {
-        let m = ArcModel::new(
+    fn ring_variant_single_reader_exhaustive() {
+        let m = ArcModel::with_ring(
             ModelConfig { readers: 1, writes: 3, reads_each: 2 },
-            Defect::NoFreeze,
+            Defect::None,
+            true,
+            true,
         );
+        let out = explore(m, ExploreLimits::default());
+        assert!(out.is_ok(), "ring violation: {:?}", out.violation());
+    }
+
+    #[test]
+    fn ring_without_hint_exhaustive() {
+        // Lazy reclamation alone feeding the ring. NOTE: the shipped
+        // implementation gates both ring feeds behind the §3.4 hint switch
+        // (RawOptions::hint), so this configuration is a strict
+        // generalization it does not currently expose — kept because it
+        // proves the reclamation feed safe in isolation, independent of
+        // hint traffic.
+        let m = ArcModel::with_ring(
+            ModelConfig { readers: 1, writes: 3, reads_each: 2 },
+            Defect::None,
+            false,
+            true,
+        );
+        let out = explore(m, ExploreLimits::default());
+        assert!(out.is_ok(), "reclaim-only ring violation: {:?}", out.violation());
+    }
+
+    #[test]
+    fn ring_no_revalidate_defect_is_caught() {
+        // A delayed reader hint-check can match a newer freeze of the same
+        // slot, so a blindly-trusted candidate recycles a pinned slot.
+        let m = ArcModel::with_ring(
+            ModelConfig { readers: 2, writes: 4, reads_each: 2 },
+            Defect::RingNoRevalidate,
+            true,
+            true,
+        );
+        let out = explore(m, ExploreLimits::default());
+        assert!(!out.is_ok(), "skipping ring re-validation must be caught");
+        let msg = out.violation().unwrap().to_string();
+        assert!(
+            msg.contains("exclusion") || msg.contains("torn") || msg.contains("regularity"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn no_freeze_defect_is_caught() {
+        let m =
+            ArcModel::new(ModelConfig { readers: 1, writes: 3, reads_each: 2 }, Defect::NoFreeze);
         let out = explore(m, ExploreLimits::default());
         assert!(!out.is_ok(), "skipping W3 must violate exclusion");
     }
@@ -545,10 +729,7 @@ mod tests {
             Defect::ReleaseEarly,
         );
         let out = explore(m, ExploreLimits::default());
-        assert!(
-            !out.is_ok(),
-            "the release-early defect must produce a detectable violation"
-        );
+        assert!(!out.is_ok(), "the release-early defect must produce a detectable violation");
         let msg = out.violation().expect("violation expected").to_string();
         assert!(
             msg.contains("torn") || msg.contains("exclusion") || msg.contains("inversion"),

@@ -39,16 +39,24 @@ type Ts = (u8, u8);
 enum WPc {
     Idle,
     /// Collect step: read peer `peer`'s sub-register timestamp.
-    Collect { peer: u8, max: u8 },
+    Collect {
+        peer: u8,
+        max: u8,
+    },
     /// Publish `(max + 1, id)` to own sub-register.
-    Publish { max: u8 },
+    Publish {
+        max: u8,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum RPc {
     Idle,
     /// Read sub-register `sub`, tracking the best timestamp so far.
-    Scan { sub: u8, best: Ts },
+    Scan {
+        sub: u8,
+        best: Ts,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,8 +143,7 @@ impl MnModel {
                     self.writers[w].pc = WPc::Publish { max: me.local_counter };
                 } else {
                     let first_peer = if w == 0 { 1 } else { 0 };
-                    self.writers[w].pc =
-                        WPc::Collect { peer: first_peer, max: me.local_counter };
+                    self.writers[w].pc = WPc::Collect { peer: first_peer, max: me.local_counter };
                 }
                 Ok(())
             }
@@ -169,8 +176,7 @@ impl MnModel {
                 }
                 self.subs[w] = ts;
                 self.writers[w].local_counter = max + 1;
-                self.started_max_per_writer[w] =
-                    self.started_max_per_writer[w].max(max + 1);
+                self.started_max_per_writer[w] = self.started_max_per_writer[w].max(max + 1);
                 // The write completes at its publish step (the collect adds
                 // no trailing work), so the spec bookkeeping updates here.
                 if ts > self.completed {
@@ -271,11 +277,8 @@ mod tests {
     fn two_writers_small_exhaustive() {
         // Quick sanity config; the large configurations live in
         // tests/exhaustive.rs (release-gated).
-        let m = MnModel::new(
-            2,
-            ModelConfig { readers: 1, writes: 2, reads_each: 2 },
-            MnDefect::None,
-        );
+        let m =
+            MnModel::new(2, ModelConfig { readers: 1, writes: 2, reads_each: 2 }, MnDefect::None);
         let out = explore(m, ExploreLimits::default());
         assert!(out.is_ok(), "violation: {:?}", out.violation());
     }
@@ -293,9 +296,7 @@ mod tests {
         assert!(!out.is_ok(), "skipping the collect must break atomicity");
         let msg = out.violation().unwrap().to_string();
         assert!(
-            msg.contains("regularity")
-                || msg.contains("inversion")
-                || msg.contains("real time"),
+            msg.contains("regularity") || msg.contains("inversion") || msg.contains("real time"),
             "got: {msg}"
         );
     }

@@ -36,15 +36,35 @@ enum WPc {
     Idle,
     /// Read `sw` to find the inactive buffer.
     ReadSw,
-    Data0 { target: u8 },
-    Data1 { target: u8 },
-    Flip { target: u8 },
+    Data0 {
+        target: u8,
+    },
+    Data1 {
+        target: u8,
+    },
+    Flip {
+        target: u8,
+    },
     /// Helping scan, reader `r`: load `reading[r]` and compare.
-    HelpCheck { r: u8 },
-    HelpCopy0 { r: u8, sampled: bool },
-    HelpCopy1 { r: u8, sampled: bool },
-    HelpSel { r: u8, sampled: bool },
-    HelpEq { r: u8, sampled: bool },
+    HelpCheck {
+        r: u8,
+    },
+    HelpCopy0 {
+        r: u8,
+        sampled: bool,
+    },
+    HelpCopy1 {
+        r: u8,
+        sampled: bool,
+    },
+    HelpSel {
+        r: u8,
+        sampled: bool,
+    },
+    HelpEq {
+        r: u8,
+        sampled: bool,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,16 +73,38 @@ enum RPc {
     /// Load `writing[me]`.
     LoadW,
     /// Store `reading[me] = !w`.
-    Announce { w: bool },
+    Announce {
+        w: bool,
+    },
     /// Sample `sw`.
-    SampleSw { ann: bool },
-    Main0 { ann: bool, s1: u8 },
-    Main1 { ann: bool, s1: u8, w0: u8 },
+    SampleSw {
+        ann: bool,
+    },
+    Main0 {
+        ann: bool,
+        s1: u8,
+    },
+    Main1 {
+        ann: bool,
+        s1: u8,
+        w0: u8,
+    },
     /// Post-copy handshake check.
-    Check { ann: bool, w0: u8, w1: u8 },
-    LoadSel { ann: bool },
-    Fall0 { sel: u8 },
-    Fall1 { sel: u8, w0: u8 },
+    Check {
+        ann: bool,
+        w0: u8,
+        w1: u8,
+    },
+    LoadSel {
+        ann: bool,
+    },
+    Fall0 {
+        sel: u8,
+    },
+    Fall1 {
+        sel: u8,
+        w0: u8,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -119,7 +161,11 @@ impl PetersonModel {
             writes_left: cfg.writes,
             next_seq: 1,
             readers: vec![
-                ReaderM { pc: RPc::Idle, reads_left: cfg.reads_each, obs: ReadObs::default() };
+                ReaderM {
+                    pc: RPc::Idle,
+                    reads_left: cfg.reads_each,
+                    obs: ReadObs::default()
+                };
                 cfg.readers
             ],
         }

@@ -30,8 +30,13 @@ enum RPc {
     Idle,
     /// The fetch_or step (sets the bit, learns the index).
     FetchOr,
-    Data0 { target: u8 },
-    Data1 { target: u8, w0: u8 },
+    Data0 {
+        target: u8,
+    },
+    Data1 {
+        target: u8,
+        w0: u8,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -16,8 +16,6 @@ use interleave::{
     Outcome, PetersonModel, RfModel,
 };
 
-
-
 fn assert_ok(out: Outcome, what: &str) {
     match out {
         Outcome::Ok(r) => {
@@ -38,9 +36,33 @@ fn assert_ok(out: Outcome, what: &str) {
 #[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
 fn arc_two_readers_exhaustive() {
     let cfg = ModelConfig { readers: 2, writes: 2, reads_each: 2 };
+    assert_ok(explore(ArcModel::new(cfg, Defect::None), ExploreLimits::default()), "ARC 2r/2w/2x");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn arc_ring_two_readers_exhaustive() {
+    // The writer free-slot ring (hint drained into a local candidate FIFO,
+    // lazy reclamation at freeze, re-validation at pop) with two readers:
+    // every interleaving must preserve "no slot with a standing reader is
+    // ever recycled" — witnessed directly by the model's slot-exclusion
+    // check at each writer data store.
+    let cfg = ModelConfig { readers: 2, writes: 3, reads_each: 2 };
     assert_ok(
-        explore(ArcModel::new(cfg, Defect::None), ExploreLimits::default()),
-        "ARC 2r/2w/2x",
+        explore(ArcModel::with_ring(cfg, Defect::None, true, true), ExploreLimits::default()),
+        "ARC+ring 2r/3w/2x",
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn arc_ring_slot_reuse_exhaustive() {
+    // More writes than slots forces ring-served reuse under a standing
+    // reader — the regime where a stale candidate would be catastrophic.
+    let cfg = ModelConfig { readers: 1, writes: 5, reads_each: 3 };
+    assert_ok(
+        explore(ArcModel::with_ring(cfg, Defect::None, true, true), ExploreLimits::default()),
+        "ARC+ring 1r/5w/3x",
     );
 }
 
@@ -50,20 +72,14 @@ fn arc_three_writes_exhaustive() {
     // More writes than slots-minus-one forces slot reuse under standing
     // readers — the regime where the freeze/release accounting must hold.
     let cfg = ModelConfig { readers: 1, writes: 4, reads_each: 3 };
-    assert_ok(
-        explore(ArcModel::new(cfg, Defect::None), ExploreLimits::default()),
-        "ARC 1r/4w/3x",
-    );
+    assert_ok(explore(ArcModel::new(cfg, Defect::None), ExploreLimits::default()), "ARC 1r/4w/3x");
 }
 
 #[test]
 #[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
 fn arc_two_readers_deep_writes_exhaustive() {
     let cfg = ModelConfig { readers: 2, writes: 3, reads_each: 2 };
-    assert_ok(
-        explore(ArcModel::new(cfg, Defect::None), ExploreLimits::default()),
-        "ARC 2r/3w/2x",
-    );
+    assert_ok(explore(ArcModel::new(cfg, Defect::None), ExploreLimits::default()), "ARC 2r/3w/2x");
 }
 
 #[test]
@@ -96,30 +112,21 @@ fn rf_buffer_reuse_exhaustive() {
 #[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
 fn peterson_single_reader_deep_exhaustive() {
     let cfg = ModelConfig { readers: 1, writes: 3, reads_each: 3 };
-    assert_ok(
-        explore(PetersonModel::new(cfg), ExploreLimits::default()),
-        "Peterson 1r/3w/3x",
-    );
+    assert_ok(explore(PetersonModel::new(cfg), ExploreLimits::default()), "Peterson 1r/3w/3x");
 }
 
 #[test]
 #[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
 fn peterson_two_readers_exhaustive() {
     let cfg = ModelConfig { readers: 2, writes: 2, reads_each: 2 };
-    assert_ok(
-        explore(PetersonModel::new(cfg), ExploreLimits::default()),
-        "Peterson 2r/2w/2x",
-    );
+    assert_ok(explore(PetersonModel::new(cfg), ExploreLimits::default()), "Peterson 2r/2w/2x");
 }
 
 #[test]
 #[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
 fn randomized_larger_configs() {
     // Too large to exhaust: hammer with reproducible random schedules.
-    let arc = ArcModel::new(
-        ModelConfig { readers: 3, writes: 6, reads_each: 5 },
-        Defect::None,
-    );
+    let arc = ArcModel::new(ModelConfig { readers: 3, writes: 6, reads_each: 5 }, Defect::None);
     assert_ok(
         random_walks(arc, 20_000, 0xA5C3, ExploreLimits::default()),
         "ARC 3r/6w/5x randomized",
@@ -130,10 +137,7 @@ fn randomized_larger_configs() {
         "Peterson 3r/6w/5x randomized",
     );
     let rf = RfModel::new(ModelConfig { readers: 3, writes: 6, reads_each: 5 });
-    assert_ok(
-        random_walks(rf, 20_000, 0x0F0F, ExploreLimits::default()),
-        "RF 3r/6w/5x randomized",
-    );
+    assert_ok(random_walks(rf, 20_000, 0x0F0F, ExploreLimits::default()), "RF 3r/6w/5x randomized");
 }
 
 #[test]
@@ -141,15 +145,10 @@ fn randomized_larger_configs() {
 fn broken_arc_found_by_random_walks_too() {
     // The defect must also be discoverable without exhaustive search —
     // evidence the randomized mode has real bug-finding power.
-    let m = ArcModel::new(
-        ModelConfig { readers: 1, writes: 3, reads_each: 2 },
-        Defect::ReleaseEarly,
-    );
+    let m =
+        ArcModel::new(ModelConfig { readers: 1, writes: 3, reads_each: 2 }, Defect::ReleaseEarly);
     let out = random_walks(m, 200_000, 0xBAD5EED, ExploreLimits::default());
-    assert!(
-        !out.is_ok(),
-        "random walks should stumble onto the release-early violation"
-    );
+    assert!(!out.is_ok(), "random walks should stumble onto the release-early violation");
 }
 
 #[test]

@@ -196,11 +196,8 @@ mod tests {
     #[test]
     fn sequential_history_is_atomic() {
         // w1 [0,1], read 1 [2,3], w2 [4,5], read 2 [6,7]
-        let h = History::new(
-            vec![w(1, 0, 1), w(2, 4, 5)],
-            vec![rd(0, 1, 2, 3), rd(0, 2, 6, 7)],
-        )
-        .unwrap();
+        let h = History::new(vec![w(1, 0, 1), w(2, 4, 5)], vec![rd(0, 1, 2, 3), rd(0, 2, 6, 7)])
+            .unwrap();
         assert_eq!(check_atomic(&h), Ok(()));
     }
 
@@ -208,11 +205,7 @@ mod tests {
     fn concurrent_read_may_return_either_value() {
         // read [2,9] overlaps w2 [4,5]: both seq 1 and seq 2 are legal.
         for seq in [1, 2] {
-            let h = History::new(
-                vec![w(1, 0, 1), w(2, 4, 5)],
-                vec![rd(0, seq, 2, 9)],
-            )
-            .unwrap();
+            let h = History::new(vec![w(1, 0, 1), w(2, 4, 5)], vec![rd(0, seq, 2, 9)]).unwrap();
             assert_eq!(check_atomic(&h), Ok(()), "seq {seq}");
         }
     }
@@ -220,40 +213,23 @@ mod tests {
     #[test]
     fn stale_read_detected() {
         // w2 completed at 5; a read starting at 6 must not return seq 1.
-        let h = History::new(
-            vec![w(1, 0, 1), w(2, 4, 5)],
-            vec![rd(0, 1, 6, 7)],
-        )
-        .unwrap();
-        assert!(matches!(
-            check_atomic(&h),
-            Err(Violation::StaleRead { min_allowed: 2, .. })
-        ));
+        let h = History::new(vec![w(1, 0, 1), w(2, 4, 5)], vec![rd(0, 1, 6, 7)]).unwrap();
+        assert!(matches!(check_atomic(&h), Err(Violation::StaleRead { min_allowed: 2, .. })));
     }
 
     #[test]
     fn future_read_detected() {
         // w2 invoked at 4; a read responding at 3 cannot see it.
-        let h = History::new(
-            vec![w(1, 0, 1), w(2, 4, 5)],
-            vec![rd(0, 2, 2, 3)],
-        )
-        .unwrap();
-        assert!(matches!(
-            check_atomic(&h),
-            Err(Violation::FutureRead { max_allowed: 1, .. })
-        ));
+        let h = History::new(vec![w(1, 0, 1), w(2, 4, 5)], vec![rd(0, 2, 2, 3)]).unwrap();
+        assert!(matches!(check_atomic(&h), Err(Violation::FutureRead { max_allowed: 1, .. })));
     }
 
     #[test]
     fn new_old_inversion_detected() {
         // Both reads overlap w2 (so regular), but r1 -> r2 in real time
         // while r1 saw the new value and r2 the old one.
-        let h = History::new(
-            vec![w(1, 0, 1), w(2, 4, 20)],
-            vec![rd(0, 2, 5, 6), rd(1, 1, 7, 8)],
-        )
-        .unwrap();
+        let h = History::new(vec![w(1, 0, 1), w(2, 4, 20)], vec![rd(0, 2, 5, 6), rd(1, 1, 7, 8)])
+            .unwrap();
         assert_eq!(check_regular(&h), Ok(()), "each read alone is regular");
         assert!(matches!(check_atomic(&h), Err(Violation::NewOldInversion { .. })));
     }
@@ -261,32 +237,22 @@ mod tests {
     #[test]
     fn overlapping_reads_may_disagree() {
         // Same as above but the reads overlap: no real-time order, legal.
-        let h = History::new(
-            vec![w(1, 0, 1), w(2, 4, 20)],
-            vec![rd(0, 2, 5, 8), rd(1, 1, 6, 9)],
-        )
-        .unwrap();
+        let h = History::new(vec![w(1, 0, 1), w(2, 4, 20)], vec![rd(0, 2, 5, 8), rd(1, 1, 6, 9)])
+            .unwrap();
         assert_eq!(check_atomic(&h), Ok(()));
     }
 
     #[test]
     fn same_reader_inversion_detected() {
         // Program order of one reader is real-time order too.
-        let h = History::new(
-            vec![w(1, 0, 1), w(2, 4, 20)],
-            vec![rd(0, 2, 5, 6), rd(0, 1, 7, 8)],
-        )
-        .unwrap();
+        let h = History::new(vec![w(1, 0, 1), w(2, 4, 20)], vec![rd(0, 2, 5, 6), rd(0, 1, 7, 8)])
+            .unwrap();
         assert!(matches!(check_atomic(&h), Err(Violation::NewOldInversion { .. })));
     }
 
     #[test]
     fn initial_value_reads_are_legal_before_first_write() {
-        let h = History::new(
-            vec![w(1, 5, 6)],
-            vec![rd(0, 0, 0, 1), rd(1, 0, 2, 4)],
-        )
-        .unwrap();
+        let h = History::new(vec![w(1, 5, 6)], vec![rd(0, 0, 0, 1), rd(1, 0, 2, 4)]).unwrap();
         assert_eq!(check_atomic(&h), Ok(()));
     }
 
@@ -326,11 +292,7 @@ mod tests {
 
     #[test]
     fn witness_respects_same_value_read_order() {
-        let h = History::new(
-            vec![w(1, 0, 1)],
-            vec![rd(0, 1, 6, 7), rd(1, 1, 2, 3)],
-        )
-        .unwrap();
+        let h = History::new(vec![w(1, 0, 1)], vec![rd(0, 1, 6, 7), rd(1, 1, 2, 3)]).unwrap();
         let order = linearize(&h).unwrap();
         // Read index 1 (invoked at 2) must precede read index 0 (invoked 6).
         let p0 = order.iter().position(|o| *o == OpRef::Read(0)).unwrap();
@@ -340,10 +302,7 @@ mod tests {
 
     #[test]
     fn violation_display() {
-        let v = Violation::StaleRead {
-            read: rd(3, 1, 6, 7),
-            min_allowed: 2,
-        };
+        let v = Violation::StaleRead { read: rd(3, 1, 6, 7), min_allowed: 2 };
         assert!(v.to_string().contains("stale read"));
     }
 }

@@ -97,10 +97,7 @@ pub struct History {
 
 impl History {
     /// Assemble and structurally validate a history.
-    pub fn new(
-        mut writes: Vec<WriteRecord>,
-        reads: Vec<ReadRecord>,
-    ) -> Result<Self, HistoryError> {
+    pub fn new(mut writes: Vec<WriteRecord>, reads: Vec<ReadRecord>) -> Result<Self, HistoryError> {
         writes.sort_by_key(|w| w.seq);
         for (i, w) in writes.iter().enumerate() {
             if w.seq != i as u64 + 1 {

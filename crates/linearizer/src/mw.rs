@@ -183,10 +183,8 @@ pub fn check_atomic_mw(writes: &[MwWrite], reads: &[MwRead]) -> Result<(), MwVio
     // 3. Per-read window.
     // Prefix max of rank over writes sorted by response time -> "newest
     // completed before tick t".
-    let mut resp_sorted: Vec<(u64, usize, (u64, u64))> = writes
-        .iter()
-        .map(|w| (w.responded, rank_of[&w.ts], w.ts))
-        .collect();
+    let mut resp_sorted: Vec<(u64, usize, (u64, u64))> =
+        writes.iter().map(|w| (w.responded, rank_of[&w.ts], w.ts)).collect();
     resp_sorted.sort_unstable();
     let mut prefix_max: Vec<(u64, usize, (u64, u64))> = Vec::with_capacity(resp_sorted.len());
     let mut best: (usize, (u64, u64)) = (0, (0, 0));
@@ -335,30 +333,21 @@ mod tests {
     fn unknown_value_rejected() {
         let writes = [w(0, (1, 0), 0, 1)];
         let reads = [rd(0, (9, 9), 2, 3)];
-        assert!(matches!(
-            check_atomic_mw(&writes, &reads),
-            Err(MwViolation::UnknownValue { .. })
-        ));
+        assert!(matches!(check_atomic_mw(&writes, &reads), Err(MwViolation::UnknownValue { .. })));
     }
 
     #[test]
     fn stale_read_rejected() {
         let writes = [w(0, (1, 0), 0, 1), w(1, (2, 1), 2, 3)];
         let reads = [rd(0, (1, 0), 4, 5)];
-        assert!(matches!(
-            check_atomic_mw(&writes, &reads),
-            Err(MwViolation::StaleRead { .. })
-        ));
+        assert!(matches!(check_atomic_mw(&writes, &reads), Err(MwViolation::StaleRead { .. })));
     }
 
     #[test]
     fn future_read_rejected() {
         let writes = [w(0, (1, 0), 5, 6)];
         let reads = [rd(0, (1, 0), 0, 1)];
-        assert!(matches!(
-            check_atomic_mw(&writes, &reads),
-            Err(MwViolation::FutureRead { .. })
-        ));
+        assert!(matches!(check_atomic_mw(&writes, &reads), Err(MwViolation::FutureRead { .. })));
     }
 
     #[test]

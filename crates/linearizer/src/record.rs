@@ -204,8 +204,7 @@ mod tests {
         use std::sync::Mutex;
         let rec = HistoryRecorder::new();
         let mut wlog = rec.write_log();
-        let logs: Vec<Mutex<ReadLog>> =
-            (0..4).map(|i| Mutex::new(rec.read_log(i))).collect();
+        let logs: Vec<Mutex<ReadLog>> = (0..4).map(|i| Mutex::new(rec.read_log(i))).collect();
         std::thread::scope(|s| {
             for log in &logs {
                 s.spawn(move || {

@@ -75,11 +75,7 @@ impl Sim {
                 }
                 Phase::Linearized => {
                     let responded = self.tick();
-                    self.writes.push(WriteRecord {
-                        seq: self.seq,
-                        invoked: self.winv,
-                        responded,
-                    });
+                    self.writes.push(WriteRecord { seq: self.seq, invoked: self.winv, responded });
                     self.wremaining -= 1;
                     self.wphase = Phase::Idle;
                 }

@@ -119,10 +119,7 @@ impl MnRegister {
         let mut subs = Vec::with_capacity(writers);
         for id in 0..writers {
             let mut init = vec![0u8; HEADER + if id == 0 { initial.len() } else { 0 }];
-            let ts = Timestamp {
-                counter: u64::from(id == 0),
-                writer: id as u64,
-            };
+            let ts = Timestamp { counter: u64::from(id == 0), writer: id as u64 };
             ts.encode(&mut init);
             if id == 0 {
                 init[HEADER..].copy_from_slice(initial);
@@ -468,9 +465,8 @@ impl register_common::RegisterFamily for MnFamily1 {
     ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError> {
         let reg = MnRegister::new(1, spec.readers, spec.capacity, initial)?;
         let writer = reg.writer().expect("fresh register has all writer ids");
-        let readers = (0..spec.readers)
-            .map(|_| reg.reader().expect("within the reader cap"))
-            .collect();
+        let readers =
+            (0..spec.readers).map(|_| reg.reader().expect("within the reader cap")).collect();
         Ok((writer, readers))
     }
 }

@@ -111,11 +111,7 @@ impl<T: ?Sized> SpinRwLock<T> {
     /// Try to acquire exclusive access without spinning. Fails if any reader
     /// or writer currently holds the lock.
     pub fn try_write(&self) -> Option<WriteGuard<'_, T>> {
-        if self
-            .state
-            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
-        {
+        if self.state.compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed).is_ok() {
             Some(WriteGuard { lock: self })
         } else {
             None

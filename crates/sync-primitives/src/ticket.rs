@@ -26,11 +26,7 @@ unsafe impl<T: ?Sized + Send> Sync for TicketLock<T> {}
 impl<T> TicketLock<T> {
     /// Create an unlocked lock protecting `value`.
     pub const fn new(value: T) -> Self {
-        Self {
-            next: AtomicU64::new(0),
-            serving: AtomicU64::new(0),
-            data: UnsafeCell::new(value),
-        }
+        Self { next: AtomicU64::new(0), serving: AtomicU64::new(0), data: UnsafeCell::new(value) }
     }
 
     /// Consume the lock, returning the protected value.

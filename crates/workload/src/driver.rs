@@ -83,11 +83,8 @@ pub fn run_register<F: RegisterFamily>(cfg: &RunConfig) -> RunResult {
 
     for _ in 0..cfg.runs {
         let initial = vec![0u8; cfg.value_size];
-        let (writer, readers) = F::build(
-            RegisterSpec::new(n_readers, cfg.value_size),
-            &initial,
-        )
-        .unwrap_or_else(|e| panic!("{} rejected the spec: {e}", F::NAME));
+        let (writer, readers) = F::build(RegisterSpec::new(n_readers, cfg.value_size), &initial)
+            .unwrap_or_else(|e| panic!("{} rejected the spec: {e}", F::NAME));
 
         let stop = Arc::new(AtomicBool::new(false));
         let barrier = Arc::new(Barrier::new(cfg.threads + 1)); // workers + coordinator
@@ -179,11 +176,7 @@ pub fn run_register<F: RegisterFamily>(cfg: &RunConfig) -> RunResult {
         writes_per_run.push(writes);
     }
 
-    RunResult {
-        throughput: Summary::new(throughput),
-        reads: reads_per_run,
-        writes: writes_per_run,
-    }
+    RunResult { throughput: Summary::new(throughput), reads: reads_per_run, writes: writes_per_run }
 }
 
 #[cfg(test)]

@@ -34,13 +34,7 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Self {
-            buckets: vec![0; SUB * OCTAVES],
-            count: 0,
-            max: 0,
-            min: u64::MAX,
-            sum: 0,
-        }
+        Self { buckets: vec![0; SUB * OCTAVES], count: 0, max: 0, min: u64::MAX, sum: 0 }
     }
 
     #[inline]
@@ -127,7 +121,11 @@ impl LatencyHistogram {
             seen += c;
             if seen >= rank {
                 // The max is exact; report it for the last occupied bucket.
-                return if seen == self.count { self.max.min(Self::bucket_floor(i + 1)) } else { Self::bucket_floor(i) };
+                return if seen == self.count {
+                    self.max.min(Self::bucket_floor(i + 1))
+                } else {
+                    Self::bucket_floor(i)
+                };
             }
         }
         self.max
@@ -189,10 +187,8 @@ mod tests {
         for v in 1..10_000u64 {
             h.record(v);
         }
-        let qs: Vec<u64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0]
-            .iter()
-            .map(|&q| h.quantile(q))
-            .collect();
+        let qs: Vec<u64> =
+            [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0].iter().map(|&q| h.quantile(q)).collect();
         assert!(qs.windows(2).all(|w| w[0] <= w[1]), "quantiles must be monotone: {qs:?}");
     }
 

@@ -38,7 +38,9 @@ pub struct StealConfig {
 impl Default for StealConfig {
     fn default() -> Self {
         Self {
-            stealers: std::thread::available_parallelism().map_or(4, |n| n.get() / 2),
+            // At least one stealer even on single-core hosts, where the
+            // halving would otherwise configure a no-op injector.
+            stealers: std::thread::available_parallelism().map_or(4, |n| (n.get() / 2).max(1)),
             burst: Duration::from_millis(2),
             idle: Duration::from_millis(2),
             seed: 0xCAFE,

@@ -34,6 +34,16 @@ impl Table {
         self.rows.len()
     }
 
+    /// Column names.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Data rows (each the same arity as the header).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// True if no data rows were added.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

@@ -44,8 +44,8 @@ fn main() {
             let mut reloads = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 let snap = reader.read();
-                let version = verify(&snap)
-                    .unwrap_or_else(|e| panic!("worker {w}: corrupt config: {e}"));
+                let version =
+                    verify(&snap).unwrap_or_else(|e| panic!("worker {w}: corrupt config: {e}"));
                 if version != last_version {
                     // "apply" the new config
                     last_version = version;
@@ -80,7 +80,8 @@ fn main() {
     for version in 1..=UPDATES {
         // size varies write-to-write: 24 B .. 16 KB
         let size = MIN_PAYLOAD_LEN
-            + (version.wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize) % (MAX_CONFIG - MIN_PAYLOAD_LEN);
+            + (version.wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize)
+                % (MAX_CONFIG - MIN_PAYLOAD_LEN);
         stamp(&mut buf[..size], version);
         writer.write(&buf[..size]);
         if version % 4096 == 0 {

@@ -114,7 +114,10 @@ fn main() {
     stop.store(true, Ordering::Relaxed);
 
     println!("feed handler published {published} books in {RUN:?}\n");
-    println!("{:>4} {:>12} {:>12} {:>10} {:>10}", "strat", "reads", "last_seq", "regressions", "avg_spread");
+    println!(
+        "{:>4} {:>12} {:>12} {:>10} {:>10}",
+        "strat", "reads", "last_seq", "regressions", "avg_spread"
+    );
     for h in strategies {
         let (sid, reads, last_seq, regressions, avg_spread) = h.join().expect("strategy panicked");
         println!("{sid:>4} {reads:>12} {last_seq:>12} {regressions:>10} {avg_spread:>10}");

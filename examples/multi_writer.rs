@@ -25,8 +25,8 @@ const RUN: Duration = Duration::from_millis(600);
 fn main() {
     let mut initial = vec![0u8; MIN_PAYLOAD_LEN];
     stamp(&mut initial, 0);
-    let board = MnRegister::new(AGENTS, DASHBOARDS, STATUS_SIZE, &initial)
-        .expect("valid configuration");
+    let board =
+        MnRegister::new(AGENTS, DASHBOARDS, STATUS_SIZE, &initial).expect("valid configuration");
     println!(
         "status board: {} agents (writers), {} dashboards (readers), {} B statuses",
         board.writers(),
@@ -94,9 +94,7 @@ fn main() {
     println!("\ndashboards:");
     for h in dash_handles {
         let (d, reads, last, sources) = h.join().expect("dashboard panicked");
-        println!(
-            "  dash {d}: {reads} reads, final ts {last:?}, per-agent mix {sources:?}"
-        );
+        println!("  dash {d}: {reads} reads, final ts {last:?}, per-agent mix {sources:?}");
     }
     println!("\nglobal newest timestamp: {newest:?}");
     println!("multi_writer OK — every dashboard saw a monotone, torn-free history");

@@ -15,10 +15,8 @@ fn main() {
     // 1. Build: up to 8 concurrent readers, values up to 4 KB.
     //    The register allocates N + 2 = 10 slots (the classical bound).
     // ---------------------------------------------------------------
-    let reg = ArcRegister::builder(8, 4096)
-        .initial(b"genesis")
-        .build()
-        .expect("valid configuration");
+    let reg =
+        ArcRegister::builder(8, 4096).initial(b"genesis").build().expect("valid configuration");
     println!("register: {} slots for {} readers", reg.n_slots(), reg.max_readers());
 
     // ---------------------------------------------------------------

@@ -14,11 +14,9 @@
 
 use std::time::Duration;
 
-use arc_suite::bench_support::{
-    run_register, RunConfig, StealConfig, WorkloadMode,
-};
-use arc_suite::register::ArcFamily;
 use arc_suite::baselines::{LockFamily, SeqlockFamily};
+use arc_suite::bench_support::{run_register, RunConfig, StealConfig, WorkloadMode};
+use arc_suite::register::ArcFamily;
 use arc_suite::RegisterFamily;
 
 /// Returns (read Mops/s, write Kops/s): reads for raw throughput, writes

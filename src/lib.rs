@@ -34,15 +34,17 @@
 //! DESIGN.md.
 
 pub use arc_register as register;
-pub use mn_register as mn;
 pub use baseline_registers as baselines;
 pub use interleave as modelcheck;
 pub use linearizer as lincheck;
+pub use mn_register as mn;
 pub use register_common as common;
 pub use sync_primitives as sync;
 pub use workload_harness as bench_support;
 
-pub use arc_register::{ArcReader, ArcRegister, ArcWriter, Snapshot, TypedArc, MAX_READERS};
-pub use mn_register::MnRegister;
+pub use arc_register::{
+    ArcReader, ArcRegister, ArcWriter, Snapshot, TypedArc, INLINE_CAP, MAX_READERS,
+};
 pub use baseline_registers::{LockRegister, PetersonRegister, RfRegister, SeqlockRegister};
+pub use mn_register::MnRegister;
 pub use register_common::{ReadHandle, RegisterFamily, RegisterSpec, WriteHandle};

@@ -20,11 +20,7 @@ use register_common::payload::{stamp, verify, MIN_PAYLOAD_LEN};
 use register_common::{ReadHandle, RegisterFamily, RegisterSpec, WriteHandle};
 
 /// Record a concurrent run of `F` and return Ok(()) if atomic.
-fn record_and_check<F: RegisterFamily>(
-    readers: usize,
-    value_size: usize,
-    window: Duration,
-) {
+fn record_and_check<F: RegisterFamily>(readers: usize, value_size: usize, window: Duration) {
     let mut initial = vec![0u8; value_size];
     stamp(&mut initial, 0);
     let (mut writer, reader_handles) =

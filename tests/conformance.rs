@@ -76,28 +76,34 @@ fn rejects_bad_specs<F: RegisterFamily>() {
 
 fn concurrent_constant_fill<F: RegisterFamily>() {
     use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Arc;
+    use std::sync::{Arc, Barrier};
     let (mut w, readers) = F::build(RegisterSpec::new(4, 256), &[0u8; 128]).unwrap();
     let stop = Arc::new(AtomicBool::new(false));
+    // Writer waits for every reader to start: on single-core hosts the
+    // write loop can otherwise finish before a reader is ever scheduled,
+    // making the progress assertion below vacuously fail.
+    let barrier = Arc::new(Barrier::new(readers.len() + 1));
     let mut handles = Vec::new();
     for mut r in readers {
         let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
             let mut reads = 0u64;
-            while !stop.load(Ordering::Relaxed) {
+            barrier.wait();
+            loop {
                 r.read_with(|v| {
                     let first = v.first().copied().unwrap_or(0);
-                    assert!(
-                        v.iter().all(|&b| b == first),
-                        "{}: torn constant-fill read",
-                        F::NAME
-                    );
+                    assert!(v.iter().all(|&b| b == first), "{}: torn constant-fill read", F::NAME);
                 });
                 reads += 1;
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
             }
             reads
         }));
     }
+    barrier.wait();
     for i in 0..20_000u32 {
         w.write(&[(i % 251) as u8; 128]);
     }

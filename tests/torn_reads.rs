@@ -36,11 +36,7 @@ fn hunt<F: RegisterFamily>(readers: usize, size: usize, window: Duration) {
                 });
                 // Per-reader monotonicity (no new-old inversion in program
                 // order) comes free with the stamp.
-                assert!(
-                    seq >= last_seq,
-                    "{}: reader saw seq regress {last_seq} -> {seq}",
-                    F::NAME
-                );
+                assert!(seq >= last_seq, "{}: reader saw seq regress {last_seq} -> {seq}", F::NAME);
                 last_seq = seq;
                 reads_done.fetch_add(1, Ordering::Relaxed);
             }
@@ -103,6 +99,90 @@ hunt_suite!(rf, RfFamily);
 hunt_suite!(peterson, PetersonFamily);
 hunt_suite!(lock, LockFamily);
 hunt_suite!(seqlock, SeqlockFamily);
+
+/// The inline/arena placement boundary (`arc_register::INLINE_CAP`):
+/// contended hunts exactly at, below and above the boundary, plus a writer
+/// that flips placement on every write so the same slots alternate between
+/// header-inline and arena storage under concurrent readers.
+mod arc_inline_boundary {
+    use super::*;
+    use arc_register::{ArcRegister, INLINE_CAP};
+
+    #[test]
+    fn at_boundary() {
+        hunt::<ArcFamily>(4, INLINE_CAP, WINDOW);
+    }
+
+    #[test]
+    fn just_below_boundary() {
+        hunt::<ArcFamily>(4, INLINE_CAP - 1, WINDOW);
+    }
+
+    #[test]
+    fn just_above_boundary() {
+        hunt::<ArcFamily>(4, INLINE_CAP + 1, WINDOW);
+    }
+
+    #[test]
+    fn alternating_placement_under_contention() {
+        let reg = ArcRegister::builder(4, 2 * INLINE_CAP).build().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let barrier = Arc::new(Barrier::new(5));
+        let reads_done = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let mut r = reg.reader().unwrap();
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let reads_done = Arc::clone(&reads_done);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let mut last_seq = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = r.read();
+                    let seq =
+                        verify(&snap).unwrap_or_else(|e| panic!("alternating: torn read: {e}"));
+                    assert_eq!(
+                        snap.inline(),
+                        snap.len() <= INLINE_CAP,
+                        "placement must follow the length"
+                    );
+                    assert!(seq >= last_seq, "seq regressed {last_seq} -> {seq}");
+                    last_seq = seq;
+                    reads_done.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        {
+            let mut w = reg.writer().unwrap();
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let mut seq = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    seq += 1;
+                    // Odd writes inline (48 B), even writes arena (49+ B).
+                    let len = if seq % 2 == 1 {
+                        INLINE_CAP
+                    } else {
+                        INLINE_CAP + 1 + (seq % 47) as usize
+                    };
+                    let mut buf = vec![0u8; len];
+                    stamp(&mut buf, seq);
+                    w.write(&buf);
+                }
+            }));
+        }
+        barrier.wait();
+        std::thread::sleep(WINDOW);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        assert!(reads_done.load(Ordering::Relaxed) > 0, "no reads completed");
+    }
+}
 
 /// ARC with the fast path disabled must be just as torn-free (the ablation
 /// variant ships in benches; its safety is validated here).

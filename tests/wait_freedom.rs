@@ -180,10 +180,7 @@ fn seqlock_readers_retry_under_hot_writer() {
     stop.store(true, Ordering::Relaxed);
     writer_thread.join().unwrap();
     assert!(reads > 0);
-    assert!(
-        reg.total_retries() > 0,
-        "a full-speed writer must induce seqlock read retries"
-    );
+    assert!(reg.total_retries() > 0, "a full-speed writer must induce seqlock read retries");
 }
 
 /// ARC reads are constant-time: latency of a read must not depend on the

@@ -1,0 +1,173 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` cannot be fetched. The workspace only needs deterministic,
+//! seedable pseudo-randomness for workload jitter and test scheduling —
+//! not cryptographic quality — so this shim provides exactly the API
+//! surface the workspace calls, with matching semantics:
+//!
+//! * [`SeedableRng::seed_from_u64`]
+//! * [`rngs::SmallRng`] (xoshiro-class quality via splitmix64-seeded
+//!   xorshift64*)
+//! * [`Rng::random_range`] over integer and float ranges
+//!
+//! Every generator is deterministic for a given seed, which is what the
+//! steal injector and failure-injection tests rely on for reproducibility.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A type that can be created from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types from which a uniform sample can be drawn by an [`Rng`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from `self` using `rng`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open or inclusive; integer or
+    /// `f64`).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xorshift64* over a
+    /// splitmix64-scrambled seed — the same construction `rand`'s
+    /// `SmallRng` family uses for cheap non-crypto streams).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 scramble so that consecutive seeds give
+            // uncorrelated streams.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            Self { state: (z ^ (z >> 31)).max(1) }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000u64), b.random_range(0..1000u64));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same =
+            (0..64).filter(|_| a.random_range(0..u64::MAX) == b.random_range(0..u64::MAX)).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn integer_ranges_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.random_range(10..20u32);
+            assert!((10..20).contains(&v));
+            let w = r.random_range(5..=5u8);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = r.random_range(0.5..1.5f64);
+            assert!((0.5..1.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_covers_span() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..10_000 {
+            let v = r.random_range(0.0..1.0f64);
+            lo |= v < 0.25;
+            hi |= v > 0.75;
+        }
+        assert!(lo && hi, "uniform samples must reach both tails");
+    }
+}
