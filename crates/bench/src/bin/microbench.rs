@@ -1,0 +1,287 @@
+//! **E7** — per-operation microbenchmarks, ported from the old Criterion
+//! benches (`benches/ops.rs`, `benches/throughput.rs`) to the offline
+//! harness: Criterion cannot be fetched in this environment, so the same
+//! measurements run on plain `Instant` timing and merge into
+//! `BENCH_latency.json` where the trajectory is tracked across PRs.
+//!
+//! ```text
+//! ARC_BENCH_PROFILE=quick|standard|full cargo run -p arc-bench --release --bin microbench
+//! ```
+//!
+//! Covered measurements:
+//!
+//! * `read_fast`  — read with an unchanged value (ARC's no-RMW R2 path;
+//!   the baselines' plain read), by algorithm and register size;
+//! * `read_switch` — ARC read immediately after a write (R3+R4, two RMWs);
+//! * `write` — one copy + publication, by algorithm and size;
+//! * `write_in_place` — ARC `write_with` (no staging copy);
+//! * `contended_hold_4kb` — the fixed 1 writer + 3 readers hold-model
+//!   point the old `throughput.rs` tracked, as mean ns/op.
+
+use std::time::{Duration, Instant};
+
+use arc_bench::json::table_to_json;
+use arc_bench::{json_dir, merge_section, out_dir, BenchProfile};
+use arc_register::{ArcFamily, ArcRegister};
+use baseline_registers::{
+    LockFamily, LockRegister, PetersonFamily, PetersonRegister, RfFamily, RfRegister,
+    SeqlockFamily, SeqlockRegister,
+};
+use register_common::RegisterFamily;
+use workload_harness::{run_register, write_csv, RunConfig, Table, WorkloadMode};
+
+const SIZES: &[usize] = &[4 << 10, 32 << 10, 128 << 10];
+
+/// Time `op` in batches until `window` elapses; returns mean ns/op.
+fn time_ns_per_op(window: Duration, mut op: impl FnMut()) -> f64 {
+    // Warm-up pass.
+    for _ in 0..1_000 {
+        op();
+    }
+    let started = Instant::now();
+    let mut ops = 0u64;
+    while started.elapsed() < window {
+        for _ in 0..1_000 {
+            op();
+        }
+        ops += 1_000;
+    }
+    started.elapsed().as_nanos() as f64 / ops as f64
+}
+
+fn record(table: &mut Table, bench: &str, algo: &str, size: usize, ns: f64) {
+    println!("  {bench:<18} {algo:>9} {size:>7} B  {ns:>9.1} ns/op");
+    table.row(vec![bench.to_string(), algo.to_string(), size.to_string(), format!("{ns:.1}")]);
+}
+
+/// Read with an unchanged value: ARC hits R2 (no RMW); baselines do their
+/// natural read.
+fn read_fast(table: &mut Table, window: Duration) {
+    for &size in SIZES {
+        let value = vec![7u8; size];
+
+        let reg = ArcRegister::builder(2, size).initial(&value).build().unwrap();
+        let mut r = reg.reader().unwrap();
+        let _ = r.read(); // acquire once; every following read is fast
+        record(
+            table,
+            "read_fast",
+            "arc",
+            size,
+            time_ns_per_op(window, || {
+                std::hint::black_box(r.read().len());
+            }),
+        );
+
+        let rf = RfRegister::new(2, size, &value).unwrap();
+        let mut rr = rf.reader().unwrap();
+        record(
+            table,
+            "read_fast",
+            "rf",
+            size,
+            time_ns_per_op(window, || {
+                std::hint::black_box(rr.read().len());
+            }),
+        );
+
+        let pet = PetersonRegister::new(2, size, &value).unwrap();
+        let mut pr = pet.reader().unwrap();
+        record(
+            table,
+            "read_fast",
+            "peterson",
+            size,
+            time_ns_per_op(window, || {
+                std::hint::black_box(pr.read().len());
+            }),
+        );
+
+        let lock = LockRegister::new(size, &value).unwrap();
+        let mut lr = lock.reader();
+        record(
+            table,
+            "read_fast",
+            "lock",
+            size,
+            time_ns_per_op(window, || {
+                lr.read_with_lock(|v| std::hint::black_box(v.len()));
+            }),
+        );
+
+        let seq = SeqlockRegister::new(size, &value).unwrap();
+        let mut sr = seq.reader();
+        record(
+            table,
+            "read_fast",
+            "seqlock",
+            size,
+            time_ns_per_op(window, || {
+                std::hint::black_box(sr.read().len());
+            }),
+        );
+    }
+}
+
+/// ARC read immediately after a write: the slow path (R3+R4, two RMWs).
+///
+/// Each read is timed individually (the interleaved write stays outside
+/// the timed span), like the `latency` binary — a subtract-a-calibration
+/// scheme can go negative at large sizes (the write-only loop recycles
+/// slots differently) and would fabricate a 0 ns figure. The ~20 ns
+/// `Instant` pair overhead is part of the reported number.
+fn read_switch(table: &mut Table, window: Duration) {
+    for &size in &[4 << 10, 128 << 10] {
+        let value = vec![3u8; size];
+        let reg = ArcRegister::builder(2, size).initial(&value).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        // Warm-up.
+        for _ in 0..1_000 {
+            w.write(&value);
+            std::hint::black_box(r.read().len());
+        }
+        let started = Instant::now();
+        let mut in_read = Duration::ZERO;
+        let mut ops = 0u64;
+        while started.elapsed() < window {
+            for _ in 0..100 {
+                w.write(&value); // force the next read to switch slots
+                let t0 = Instant::now();
+                std::hint::black_box(r.read().len());
+                in_read += t0.elapsed();
+            }
+            ops += 100;
+        }
+        record(table, "read_switch", "arc", size, in_read.as_nanos() as f64 / ops as f64);
+    }
+}
+
+/// Write latency (one copy + publication) by size and algorithm.
+fn write_latency(table: &mut Table, window: Duration) {
+    for &size in SIZES {
+        let value = vec![9u8; size];
+
+        let reg = ArcRegister::builder(2, size).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        record(
+            table,
+            "write",
+            "arc",
+            size,
+            time_ns_per_op(window, || {
+                w.write(std::hint::black_box(&value));
+            }),
+        );
+
+        let rf = RfRegister::new(2, size, b"").unwrap();
+        let mut rw = rf.writer().unwrap();
+        record(
+            table,
+            "write",
+            "rf",
+            size,
+            time_ns_per_op(window, || {
+                rw.write(std::hint::black_box(&value));
+            }),
+        );
+
+        let pet = PetersonRegister::new(2, size, b"").unwrap();
+        let mut pw = pet.writer().unwrap();
+        record(
+            table,
+            "write",
+            "peterson",
+            size,
+            time_ns_per_op(window, || {
+                pw.write(std::hint::black_box(&value));
+            }),
+        );
+
+        let lock = LockRegister::new(size, b"").unwrap();
+        let mut lw = lock.writer().unwrap();
+        record(
+            table,
+            "write",
+            "lock",
+            size,
+            time_ns_per_op(window, || {
+                lw.write(std::hint::black_box(&value));
+            }),
+        );
+
+        let seq = SeqlockRegister::new(size, b"").unwrap();
+        let mut sw = seq.writer().unwrap();
+        record(
+            table,
+            "write",
+            "seqlock",
+            size,
+            time_ns_per_op(window, || {
+                sw.write(std::hint::black_box(&value));
+            }),
+        );
+    }
+}
+
+/// ARC in-place write (`write_with`): the zero-staging-copy producer API.
+fn write_in_place(table: &mut Table, window: Duration) {
+    let size = 32 << 10;
+    let reg = ArcRegister::builder(2, size).build().unwrap();
+    let mut w = reg.writer().unwrap();
+    record(
+        table,
+        "write_in_place",
+        "arc",
+        size,
+        time_ns_per_op(window, || {
+            w.write_with(size, |buf| buf[0] = std::hint::black_box(1));
+        }),
+    );
+}
+
+/// The old `throughput.rs` regression point: 1 writer + 3 readers,
+/// hold-model, 4 KB — reported as mean ns per completed operation.
+fn contended_hold(table: &mut Table, profile: BenchProfile) {
+    fn measure<F: RegisterFamily>(table: &mut Table, profile: BenchProfile) {
+        let cfg = RunConfig {
+            threads: 4,
+            value_size: 4 << 10,
+            duration: profile.duration(),
+            runs: profile.runs(),
+            mode: WorkloadMode::Hold,
+            steal: None,
+            stack_size: 1 << 20,
+        };
+        let res = run_register::<F>(&cfg);
+        let ns_per_op = if res.mops() > 0.0 { 1e3 / res.mops() } else { 0.0 };
+        record(table, "contended_hold_4kb", F::NAME, 4 << 10, ns_per_op);
+    }
+    measure::<ArcFamily>(table, profile);
+    measure::<RfFamily>(table, profile);
+    measure::<PetersonFamily>(table, profile);
+    measure::<LockFamily>(table, profile);
+    measure::<SeqlockFamily>(table, profile);
+}
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    let window = profile.duration().min(Duration::from_millis(200));
+    println!("# E7 — per-operation microbenches (window {window:?})\n");
+
+    let mut table = Table::new(vec!["bench", "algo", "size", "ns_per_op"]);
+    read_fast(&mut table, window);
+    read_switch(&mut table, window);
+    write_latency(&mut table, window);
+    write_in_place(&mut table, window);
+    contended_hold(&mut table, profile);
+
+    let path = out_dir().join("microbench.csv");
+    write_csv(&table, &path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+
+    let json_path = json_dir().join("BENCH_latency.json");
+    merge_section(&json_path, "arc-bench/latency/v1", "microbench", table_to_json(&table))
+        .expect("write BENCH_latency.json");
+    println!("merged microbench into {}", json_path.display());
+}

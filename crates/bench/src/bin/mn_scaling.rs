@@ -9,6 +9,9 @@
 //! slope is gentle); writes cost O(M) collects + 1 publish. Total
 //! throughput degrades roughly linearly in M — the price of multi-writer
 //! atomicity without locks, and still wait-free end to end.
+//!
+//! Each point runs `profile.runs()` (≥ 3) independent trials; the JSON
+//! section carries the measured mean **and standard deviation** per point.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
@@ -17,9 +20,10 @@ use std::time::Instant;
 use arc_bench::json::table_to_json;
 use arc_bench::{json_dir, merge_section, out_dir, BenchProfile, Json};
 use mn_register::MnRegister;
-use workload_harness::{write_csv, Table};
+use workload_harness::{write_csv, Summary, Table};
 
-fn run_point(writers: usize, readers: usize, size: usize, profile: BenchProfile) -> (f64, f64) {
+/// One timed trial; returns (read Mops/s, write Mops/s).
+fn run_trial(writers: usize, readers: usize, size: usize, profile: BenchProfile) -> (f64, f64) {
     let initial = vec![0u8; size];
     let reg = MnRegister::new(writers, readers, size, &initial).unwrap();
     let stop = Arc::new(AtomicBool::new(false));
@@ -71,6 +75,24 @@ fn run_point(writers: usize, readers: usize, size: usize, profile: BenchProfile)
     (reads as f64 / secs / 1e6, writes as f64 / secs / 1e6)
 }
 
+/// All trials of one point: per-class summaries over `profile.runs()` runs.
+fn run_point(
+    writers: usize,
+    readers: usize,
+    size: usize,
+    profile: BenchProfile,
+) -> (Summary, Summary) {
+    let trials = profile.runs().max(3);
+    let mut rd = Vec::with_capacity(trials);
+    let mut wr = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let (r, w) = run_trial(writers, readers, size, profile);
+        rd.push(r);
+        wr.push(w);
+    }
+    (Summary::new(rd), Summary::new(wr))
+}
+
 fn main() {
     let profile = BenchProfile::from_env();
     let cores = std::thread::available_parallelism().map_or(8, |n| n.get());
@@ -79,11 +101,33 @@ fn main() {
     let writer_counts = profile.thin(&[1usize, 2, 4, 8]);
     println!("# E8 — (M,N) register scaling with writer count (N={readers}, {size} B)\n");
 
-    let mut table = Table::new(vec!["writers", "readers", "read_mops", "write_mops"]);
+    let mut table = Table::new(vec![
+        "writers",
+        "readers",
+        "trials",
+        "read_mops",
+        "read_std",
+        "write_mops",
+        "write_std",
+    ]);
     for &m in &writer_counts {
         let (rd, wr) = run_point(m, readers, size, profile);
-        println!("  M={m:<3} reads {rd:>9.2} Mops/s   writes {wr:>9.3} Mops/s");
-        table.row(vec![m.to_string(), readers.to_string(), format!("{rd:.3}"), format!("{wr:.3}")]);
+        println!(
+            "  M={m:<3} reads {:>9.2} ±{:.2} Mops/s   writes {:>9.3} ±{:.3} Mops/s",
+            rd.mean(),
+            rd.std_dev(),
+            wr.mean(),
+            wr.std_dev()
+        );
+        table.row(vec![
+            m.to_string(),
+            readers.to_string(),
+            rd.samples.len().to_string(),
+            format!("{:.3}", rd.mean()),
+            format!("{:.3}", rd.std_dev()),
+            format!("{:.3}", wr.mean()),
+            format!("{:.3}", wr.std_dev()),
+        ]);
     }
     let path = out_dir().join("mn_scaling.csv");
     write_csv(&table, &path).expect("write CSV");
@@ -95,7 +139,12 @@ fn main() {
         .map(|mut row| {
             let rd = row.get("read_mops").and_then(Json::as_f64).unwrap_or(0.0);
             let wr = row.get("write_mops").and_then(Json::as_f64).unwrap_or(0.0);
+            let rd_std = row.get("read_std").and_then(Json::as_f64).unwrap_or(0.0);
+            let wr_std = row.get("write_std").and_then(Json::as_f64).unwrap_or(0.0);
             row.set("ops_per_sec", Json::num((rd + wr) * 1e6));
+            // Independent-class deviations add in quadrature for the
+            // combined ops/sec figure.
+            row.set("std", Json::num((rd_std * rd_std + wr_std * wr_std).sqrt() * 1e6));
             row
         })
         .collect();

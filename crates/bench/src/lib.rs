@@ -21,6 +21,12 @@
 //! | `payload` | processing workload                  | §5 second experiment set |
 //! | `rmw_counts` | RMW instructions per op (needs `--features metrics`) | §5 RMW-avoidance claim |
 //! | `ablation` | fast-path / hint / slot-count ablations | §3.4, E6 |
+//! | `microbench` | per-op latencies + contended point (ex-Criterion) | E7 |
+//! | `group_scaling` | slab group vs independent registers at 10k–1M | E10 (extension) |
+//!
+//! The committed `BENCH_*.json` files are schema-checked by
+//! `tests/json_schema.rs`, so a bench refactor cannot silently drop a
+//! trajectory section.
 
 #![deny(missing_docs)]
 

@@ -6,7 +6,10 @@ use std::time::Duration;
 /// Measurement effort level, from `ARC_BENCH_PROFILE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BenchProfile {
-    /// CI smoke: tiny sweeps, 1 run, ~100 ms windows.
+    /// CI smoke: tiny sweeps, 3 runs, ~60 ms windows. Three runs even
+    /// here: every JSON row carries a *real* standard deviation — a
+    /// single-run `"std": 0` is a fabricated error bar, not a measured
+    /// one.
     Quick,
     /// Default: full sweeps, 3 runs, 400 ms windows.
     Standard,
@@ -28,16 +31,17 @@ impl BenchProfile {
     /// Measured window per run.
     pub fn duration(self) -> Duration {
         match self {
-            BenchProfile::Quick => Duration::from_millis(100),
+            BenchProfile::Quick => Duration::from_millis(60),
             BenchProfile::Standard => Duration::from_millis(400),
             BenchProfile::Full => Duration::from_secs(1),
         }
     }
 
-    /// Runs per point (paper: 10).
+    /// Runs per point (paper: 10; never fewer than 3 so standard
+    /// deviations are measured, not fabricated).
     pub fn runs(self) -> usize {
         match self {
-            BenchProfile::Quick => 1,
+            BenchProfile::Quick => 3,
             BenchProfile::Standard => 3,
             BenchProfile::Full => 10,
         }
@@ -74,6 +78,15 @@ mod tests {
         assert!(BenchProfile::Quick.duration() < BenchProfile::Standard.duration());
         assert!(BenchProfile::Standard.duration() < BenchProfile::Full.duration());
         assert_eq!(BenchProfile::Full.runs(), 10);
+    }
+
+    #[test]
+    fn every_profile_measures_a_real_std() {
+        // A std_dev needs at least two samples; below three the error bar
+        // is too noisy to mean anything — enforce the floor everywhere.
+        for p in [BenchProfile::Quick, BenchProfile::Standard, BenchProfile::Full] {
+            assert!(p.runs() >= 3, "{p:?} must run >= 3 trials per point");
+        }
     }
 
     #[test]

@@ -32,4 +32,7 @@ pub mod traits;
 pub use clock::HistoryClock;
 pub use metrics::OpMetrics;
 pub use payload::{stamp, verify, PayloadError, MIN_PAYLOAD_LEN};
-pub use traits::{ReadHandle, RegisterFamily, RegisterSpec, WriteHandle};
+pub use traits::{
+    ReadHandle, RegisterFamily, RegisterSpec, TableFamily, TableReadHandle, TableWriteHandle,
+    WriteHandle,
+};

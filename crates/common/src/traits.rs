@@ -52,6 +52,8 @@ pub enum BuildError {
     ZeroCapacity,
     /// Zero readers were requested.
     ZeroReaders,
+    /// A register group/table of zero registers was requested.
+    ZeroRegisters,
 }
 
 impl fmt::Display for BuildError {
@@ -65,6 +67,9 @@ impl fmt::Display for BuildError {
             }
             BuildError::ZeroCapacity => write!(f, "register capacity must be non-zero"),
             BuildError::ZeroReaders => write!(f, "register must admit at least one reader"),
+            BuildError::ZeroRegisters => {
+                write!(f, "register group must hold at least one register")
+            }
         }
     }
 }
@@ -138,6 +143,77 @@ pub trait RegisterFamily: 'static {
         spec: RegisterSpec,
         initial: &[u8],
     ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError>;
+}
+
+/// The writer side of a table of `(1,N)` registers (one writer role per
+/// register, all held by this handle).
+pub trait TableWriteHandle: Send + 'static {
+    /// Store a new value into register `k`. Wait-free per register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or the value exceeds the capacity.
+    fn write(&mut self, k: usize, value: &[u8]);
+
+    /// Apply a batch of `(register, value)` writes in one pass.
+    ///
+    /// Each write linearizes individually; implementations may amortize
+    /// bookkeeping across the batch but must not change semantics.
+    fn write_batch(&mut self, ops: &[(usize, &[u8])]) {
+        for &(k, value) in ops {
+            self.write(k, value);
+        }
+    }
+}
+
+/// A reader's view over a whole table of `(1,N)` registers (counts as one
+/// reader handle on every register).
+pub trait TableReadHandle: Send + 'static {
+    /// Run `f` over the most recent snapshot of register `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    fn read_with<R, F: FnOnce(&[u8]) -> R>(&mut self, k: usize, f: F) -> R;
+
+    /// Read many registers in one pass, invoking `f(k, value)` per key.
+    ///
+    /// Implementations may reorder the visits (e.g. sort keys for
+    /// sequential memory traversal); every key is visited exactly once
+    /// per occurrence.
+    fn read_many<F: FnMut(usize, &[u8])>(&mut self, keys: &[usize], mut f: F) {
+        for &k in keys {
+            self.read_with(k, |v| f(k, v));
+        }
+    }
+}
+
+/// A family of multi-register table layouts driven by the multi-register
+/// workloads (`workload_harness::multi`) and the `group_scaling` bench.
+pub trait TableFamily: 'static {
+    /// The whole-table writer handle.
+    type Writer: TableWriteHandle;
+    /// A whole-table reader handle.
+    type Reader: TableReadHandle;
+
+    /// Short name used in bench output rows ("arc-group", "arc-indep").
+    const NAME: &'static str;
+
+    /// Build a table of `registers` registers, each to `spec` (readers =
+    /// concurrent reader handles per register, which must cover the
+    /// `readers` handles returned here), all initialized to `initial`.
+    fn build(
+        registers: usize,
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError>;
+
+    /// Total heap bytes the table owns (payloads + coordination state),
+    /// for the bytes-per-register density comparison. `None` when the
+    /// layout cannot account for itself.
+    fn heap_bytes(_writer: &Self::Writer) -> Option<usize> {
+        None
+    }
 }
 
 /// Validate a spec against an optional per-algorithm reader limit.

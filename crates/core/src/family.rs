@@ -1,9 +1,18 @@
 //! [`RegisterFamily`] adapter so the conformance suite and figure benches
-//! can drive ARC through the same interface as the baselines.
+//! can drive ARC through the same interface as the baselines, plus the
+//! [`TableFamily`] adapters for multi-register workloads: the slab-backed
+//! [`ArcGroup`] and the baseline it is measured against (the same K
+//! registers as independent boxed [`ArcRegister`]s).
 
-use register_common::traits::{BuildError, ReadHandle, RegisterFamily, RegisterSpec, WriteHandle};
+use std::sync::Arc;
+
+use register_common::traits::{
+    BuildError, ReadHandle, RegisterFamily, RegisterSpec, TableFamily, TableReadHandle,
+    TableWriteHandle, WriteHandle,
+};
 
 use crate::current::MAX_READERS;
+use crate::group::{ArcGroup, GroupReaderSet, GroupWriterSet};
 use crate::register::{ArcReader, ArcRegister, ArcWriter};
 
 /// Type-level handle for the ARC algorithm.
@@ -49,6 +58,138 @@ impl ReadHandle for ArcReader {
     }
 }
 
+// ---------------------------------------------------------------------
+// Table families (multi-register workloads)
+// ---------------------------------------------------------------------
+
+/// Type-level handle for the slab-backed [`ArcGroup`] table layout.
+pub struct GroupTableFamily;
+
+impl TableWriteHandle for GroupWriterSet {
+    #[inline]
+    fn write(&mut self, k: usize, value: &[u8]) {
+        GroupWriterSet::write(self, k, value);
+    }
+
+    #[inline]
+    fn write_batch(&mut self, ops: &[(usize, &[u8])]) {
+        GroupWriterSet::write_batch(self, ops);
+    }
+}
+
+impl TableReadHandle for GroupReaderSet {
+    #[inline]
+    fn read_with<R, F: FnOnce(&[u8]) -> R>(&mut self, k: usize, f: F) -> R {
+        f(&self.read(k))
+    }
+
+    #[inline]
+    fn read_many<F: FnMut(usize, &[u8])>(&mut self, keys: &[usize], f: F) {
+        GroupReaderSet::read_many(self, keys, f);
+    }
+}
+
+impl TableFamily for GroupTableFamily {
+    type Writer = GroupWriterSet;
+    type Reader = GroupReaderSet;
+
+    const NAME: &'static str = "arc-group";
+
+    fn build(
+        registers: usize,
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError> {
+        let readers = u32::try_from(spec.readers).ok().filter(|&r| r <= MAX_READERS).ok_or(
+            BuildError::TooManyReaders { requested: spec.readers, limit: MAX_READERS as usize },
+        )?;
+        let group =
+            ArcGroup::builder(registers, readers, spec.capacity).initial(initial).build()?;
+        let writer = group.writer_set().expect("fresh group has no writer");
+        let readers = (0..spec.readers)
+            .map(|_| group.reader_set().expect("within the configured reader cap"))
+            .collect();
+        Ok((writer, readers))
+    }
+
+    fn heap_bytes(writer: &Self::Writer) -> Option<usize> {
+        Some(writer.group().heap_bytes())
+    }
+}
+
+/// The density/locality baseline: the same K registers, each its own
+/// boxed [`ArcRegister`] with the padded single-register layout.
+pub struct IndependentTableFamily;
+
+/// Writer side of [`IndependentTableFamily`]: one [`ArcWriter`] per
+/// register.
+pub struct IndependentTableWriter {
+    writers: Vec<ArcWriter>,
+}
+
+/// Reader side of [`IndependentTableFamily`]: one [`ArcReader`] per
+/// register.
+pub struct IndependentTableReader {
+    readers: Vec<ArcReader>,
+}
+
+impl TableWriteHandle for IndependentTableWriter {
+    #[inline]
+    fn write(&mut self, k: usize, value: &[u8]) {
+        self.writers[k].write(value);
+    }
+}
+
+impl TableReadHandle for IndependentTableReader {
+    #[inline]
+    fn read_with<R, F: FnOnce(&[u8]) -> R>(&mut self, k: usize, f: F) -> R {
+        f(&self.readers[k].read())
+    }
+}
+
+impl TableFamily for IndependentTableFamily {
+    type Writer = IndependentTableWriter;
+    type Reader = IndependentTableReader;
+
+    const NAME: &'static str = "arc-indep";
+
+    fn build(
+        registers: usize,
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError> {
+        if registers == 0 {
+            return Err(BuildError::ZeroRegisters);
+        }
+        let readers = u32::try_from(spec.readers).ok().filter(|&r| r <= MAX_READERS).ok_or(
+            BuildError::TooManyReaders { requested: spec.readers, limit: MAX_READERS as usize },
+        )?;
+        let regs: Vec<Arc<ArcRegister>> = (0..registers)
+            .map(|_| ArcRegister::builder(readers, spec.capacity).initial(initial).build())
+            .collect::<Result<_, _>>()?;
+        let writers =
+            regs.iter().map(|r| r.writer().expect("fresh register has no writer")).collect();
+        let reader_sets = (0..spec.readers)
+            .map(|_| IndependentTableReader {
+                readers: regs
+                    .iter()
+                    .map(|r| r.reader().expect("within the configured reader cap"))
+                    .collect(),
+            })
+            .collect();
+        Ok((IndependentTableWriter { writers }, reader_sets))
+    }
+
+    fn heap_bytes(writer: &Self::Writer) -> Option<usize> {
+        // Count each register's own heap plus the Vec-of-handles and
+        // Arc control blocks this layout additionally drags in.
+        let regs: usize = writer.writers.iter().map(|w| w.register().heap_bytes()).sum();
+        let handles = writer.writers.len()
+            * (std::mem::size_of::<ArcWriter>() + 2 * std::mem::size_of::<usize>());
+        Some(regs + handles)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,12 +221,58 @@ mod tests {
     }
 
     #[test]
+    fn group_table_family_roundtrip() {
+        let (mut w, mut readers) =
+            GroupTableFamily::build(8, RegisterSpec::new(2, 64), b"seed").unwrap();
+        assert_eq!(readers.len(), 2);
+        for r in readers.iter_mut() {
+            r.read_with(3, |v| assert_eq!(v, b"seed"));
+        }
+        w.write_batch(&[(1, b"one".as_slice()), (3, b"three".as_slice())]);
+        let mut seen = Vec::new();
+        readers[0].read_many(&[3, 1], |k, v| seen.push((k, v.to_vec())));
+        assert_eq!(seen, vec![(1, b"one".to_vec()), (3, b"three".to_vec())]);
+        assert!(GroupTableFamily::heap_bytes(&w).unwrap() > 0);
+    }
+
+    #[test]
+    fn independent_table_family_roundtrip() {
+        let (mut w, mut readers) =
+            IndependentTableFamily::build(4, RegisterSpec::new(1, 64), b"seed").unwrap();
+        w.write(2, b"two");
+        readers[0].read_with(2, |v| assert_eq!(v, b"two"));
+        readers[0].read_with(0, |v| assert_eq!(v, b"seed"));
+        // Default read_many visits in input order.
+        let mut seen = Vec::new();
+        readers[0].read_many(&[2, 0], |k, _| seen.push(k));
+        assert_eq!(seen, vec![2, 0]);
+    }
+
+    #[test]
+    fn table_families_reject_bad_specs() {
+        assert!(GroupTableFamily::build(0, RegisterSpec::new(1, 16), b"").is_err());
+        assert!(IndependentTableFamily::build(0, RegisterSpec::new(1, 16), b"").is_err());
+        assert!(GroupTableFamily::build(2, RegisterSpec::new(0, 16), b"").is_err());
+        assert!(IndependentTableFamily::build(2, RegisterSpec::new(1, 0), b"").is_err());
+    }
+
+    #[test]
+    fn group_table_is_denser_than_independent() {
+        let (gw, _gr) = GroupTableFamily::build(256, RegisterSpec::new(1, 48), b"x").unwrap();
+        let (iw, _ir) = IndependentTableFamily::build(256, RegisterSpec::new(1, 48), b"x").unwrap();
+        let g = GroupTableFamily::heap_bytes(&gw).unwrap();
+        let i = IndependentTableFamily::heap_bytes(&iw).unwrap();
+        assert!(i >= 4 * g, "independent {i} B vs group {g} B: expected ≥ 4x density win");
+    }
+
+    #[test]
     fn read_into_default_impl() {
         let (mut w, mut readers) = ArcFamily::build(RegisterSpec::new(1, 64), b"abc").unwrap();
         WriteHandle::write(&mut w, b"hello world");
         let mut out = [0u8; 64];
-        // Disambiguate from ArcReader's inherent Vec-based read_into.
-        let n = ReadHandle::read_into(&mut readers[0], &mut out);
+        // Resolves straight to the trait method: the inherent Vec-based
+        // copy is named `read_to_vec`, so nothing shadows `read_into`.
+        let n = readers[0].read_into(&mut out);
         assert_eq!(&out[..n], b"hello world");
     }
 }

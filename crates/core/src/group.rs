@@ -1,0 +1,1338 @@
+//! Slab-backed register groups: K ARC registers from three allocations.
+//!
+//! A standalone [`ArcRegister`](crate::ArcRegister) optimizes for the
+//! latency of *one* hot register: every contended word sits alone in a
+//! `CachePadded` cache line, and each register costs several separate heap
+//! allocations (~1.5 KB for a small-payload, single-reader register before
+//! allocator overhead). A table of a **million** small registers — the
+//! "large-scale data sharing" in the paper's title — inverts the trade:
+//! per-register footprint and placement dominate, and a million scattered
+//! boxed allocations are memory-bloated, allocation-heavy and
+//! cache-hostile.
+//!
+//! [`ArcGroup`] builds K registers in one shot from a single slab:
+//!
+//! ```text
+//! headers : [RegHeader; K]              one 64 B line per register
+//! slots   : [PackedSlot; K * n_slots]   one 64 B line per slot
+//! arena   : [u8; K * n_slots * capacity]   only when capacity > INLINE_CAP
+//! ```
+//!
+//! * **`RegHeader`** packs a register's hot coordination words (`current`,
+//!   hint, reader bookkeeping, writer claim) into one 64-byte-aligned
+//!   line, so neighboring registers' hot headers never false-share.
+//! * **`PackedSlot`** fuses the slot's protocol counters (`r_start` /
+//!   `r_end`) with its length word and the [`INLINE_CAP`]-byte inline
+//!   value buffer into exactly one cache line: a fast-path read touches
+//!   the header line plus one slot line, and a small-payload register
+//!   costs `64 + n_slots × 64` bytes — `O(n_slots × INLINE_CAP)`, an
+//!   order of magnitude below the padded standalone layout.
+//! * The optional **arena** gives each `(register, slot)` pair a disjoint
+//!   `capacity`-byte region, exactly like the standalone register's arena.
+//!
+//! # Same protocol, same proof
+//!
+//! The group runs the *identical* wait-free state machine as the
+//! standalone register: every operation goes through the storage-generic
+//! protocol functions of [`crate::raw`], with [`GroupCells`] merely
+//! translating `(register, slot)` to a slab position. Register `k` only
+//! ever touches header `k`, slots `k*n_slots .. (k+1)*n_slots` and arena
+//! bytes `k*n_slots*capacity .. (k+1)*n_slots*capacity` — the disjointness
+//! of those ranges (module [`layout`], property-tested in
+//! `tests/group_props.rs`, model-checked in `interleave::group_model`) is
+//! what makes the single-register safety argument compose: no register's
+//! writer can recycle a slot pinned by another register's reader, because
+//! it cannot even *name* another register's slots.
+//!
+//! The packing does give up two paddings the standalone register pays for:
+//! a register's slot *counters* share their slot's payload line (a reader
+//! releasing slot A may ping a line another reader of slot A still loads
+//! from), and a register's header words share one line (readers' R4 RMWs
+//! and the writer's W2 swap contend on it). Both are *within* one
+//! register — the contention domain the protocol already bounds — and are
+//! the price of density; cross-register traffic shares nothing.
+//!
+//! # Batched operation
+//!
+//! [`GroupWriterSet`] holds the writer role of every register with a
+//! 16-byte packed writer state per register (a million standalone
+//! [`RawWriter`](crate::raw::RawWriter)s would re-introduce a heap ring
+//! allocation each): [`GroupWriterSet::write_batch`] streams a batch of
+//! `(register, value)` pairs through W1–W3 with the per-register candidate
+//! caches staying warm across batches. [`GroupReaderSet`] joins every
+//! register once and [`GroupReaderSet::read_many`] sorts the requested
+//! keys so the slab is traversed in address order — sequential prefetch
+//! instead of pointer chasing.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[cfg(feature = "metrics")]
+use register_common::metrics::MetricsSnapshot;
+use register_common::traits::{validate_spec, BuildError, RegisterSpec};
+#[cfg(feature = "metrics")]
+use register_common::OpMetrics;
+
+use crate::current::{Current, MAX_READERS};
+use crate::errors::HandleError;
+use crate::raw::{
+    outstanding_units_on, publish_on, read_acquire_on, reader_join_on, reader_leave_on,
+    select_slot_on, writer_claim_on, writer_release_on, ArcCells, ArcWriterMem, RawOptions,
+    RawReader, NO_HINT,
+};
+use crate::register::{Arena, Snapshot, INLINE_CAP};
+
+pub mod layout {
+    //! Pure slab offset arithmetic, factored out so the property tests can
+    //! check disjointness over the whole parameter space without building
+    //! slabs. Every accessor of [`super::ArcGroup`] goes through these.
+
+    use std::ops::Range;
+
+    /// Global index of `slot` of register `k` in the packed slot array.
+    #[inline]
+    pub const fn slot_index(k: usize, n_slots: usize, slot: usize) -> usize {
+        k * n_slots + slot
+    }
+
+    /// The half-open range of global slot indices owned by register `k`.
+    #[inline]
+    pub const fn slot_range(k: usize, n_slots: usize) -> Range<usize> {
+        k * n_slots..(k + 1) * n_slots
+    }
+
+    /// Byte offset of `(k, slot)`'s region in the shared arena.
+    #[inline]
+    pub const fn arena_offset(k: usize, n_slots: usize, capacity: usize, slot: usize) -> usize {
+        slot_index(k, n_slots, slot) * capacity
+    }
+
+    /// The half-open range of arena bytes owned by register `k`.
+    #[inline]
+    pub const fn arena_range(k: usize, n_slots: usize, capacity: usize) -> Range<usize> {
+        arena_offset(k, n_slots, capacity, 0)..arena_offset(k + 1, n_slots, capacity, 0)
+    }
+}
+
+/// One register's hot coordination words, packed into a single
+/// 64-byte-aligned line so neighboring registers never false-share.
+#[repr(align(64))]
+struct RegHeader {
+    /// The packed `(index, counter)` synchronization word.
+    current: AtomicU64,
+    /// §3.4 free-slot hint ([`NO_HINT`] when empty).
+    hint: AtomicUsize,
+    /// Live reader handles of this register.
+    live_readers: AtomicU32,
+    /// Reader handles created since the last write (churn guard).
+    gen_joins: AtomicU32,
+    /// Whether the register's unique writer role is claimed.
+    writer_claimed: AtomicBool,
+}
+
+impl RegHeader {
+    fn new() -> Self {
+        Self {
+            current: AtomicU64::new(Current::fresh(0)),
+            hint: AtomicUsize::new(NO_HINT),
+            live_readers: AtomicU32::new(0),
+            gen_joins: AtomicU32::new(0),
+            writer_claimed: AtomicBool::new(false),
+        }
+    }
+}
+
+/// One slot of the slab: protocol counters + length + inline value buffer
+/// fused into exactly one cache line.
+///
+/// `len` and `inline` are protocol-protected plain memory (same argument
+/// as the standalone register's `SlotBuf`); the counters are the slot's
+/// [`crate::raw`] metadata.
+#[repr(C, align(64))]
+struct PackedSlot {
+    r_start: AtomicU32,
+    r_end: AtomicU32,
+    /// Value length; doubles as the placement tag (`<= INLINE_CAP` ⇒ the
+    /// bytes are in `inline`, otherwise in the arena region of this slot).
+    len: UnsafeCell<usize>,
+    inline: UnsafeCell<[u8; INLINE_CAP]>,
+}
+
+// The slab density claim of the module docs: counters (8) + len (8) +
+// inline (INLINE_CAP = 48) fill one 64-byte line with no padding.
+const _: () = assert!(std::mem::size_of::<PackedSlot>() == 64);
+const _: () = assert!(std::mem::size_of::<RegHeader>() == 64);
+
+impl PackedSlot {
+    fn new() -> Self {
+        Self {
+            r_start: AtomicU32::new(0),
+            r_end: AtomicU32::new(0),
+            len: UnsafeCell::new(0),
+            inline: UnsafeCell::new([0u8; INLINE_CAP]),
+        }
+    }
+}
+
+// SAFETY: the UnsafeCell fields are accessed under the RawArc protocol
+// exactly like the standalone register's SlotBuf — writer-exclusive
+// between select_slot and publish, shared under a standing presence unit
+// otherwise (module docs).
+unsafe impl Sync for PackedSlot {}
+unsafe impl Send for PackedSlot {}
+
+/// View of one register's protocol words inside the slab: the
+/// [`ArcCells`] implementation that lets the group reuse the single
+/// register's wait-free protocol unchanged.
+///
+/// Constructed only by [`ArcGroup::cells`] with an in-range `k`, so the
+/// header reference is resolved once and the slot accessors can skip the
+/// per-access bounds check — on the R2 fast path (a handful of ns) that
+/// check is measurable against the standalone register.
+struct GroupCells<'a> {
+    g: &'a ArcGroup,
+    /// This register's header line.
+    header: &'a RegHeader,
+    /// This register's slot run: `slots[k * n_slots ..][.. n_slots]`.
+    slots: &'a [PackedSlot],
+}
+
+impl<'a> GroupCells<'a> {
+    /// # Safety-relevant invariant
+    ///
+    /// `slot < n_slots` at every call site: protocol slot indices come
+    /// from `current` (only ever published in-range), from the W1 scan
+    /// (`0..n_slots`), or from candidates re-validated against
+    /// `n_slots` before probing.
+    #[inline]
+    fn slot(&self, slot: usize) -> &'a PackedSlot {
+        debug_assert!(slot < self.slots.len());
+        // SAFETY: the invariant above; slots.len() == n_slots.
+        unsafe { self.slots.get_unchecked(slot) }
+    }
+}
+
+impl ArcCells for GroupCells<'_> {
+    #[inline]
+    fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+    #[inline]
+    fn current_word(&self) -> &AtomicU64 {
+        &self.header.current
+    }
+    #[inline]
+    fn hint_word(&self) -> &AtomicUsize {
+        &self.header.hint
+    }
+    #[inline]
+    fn r_start(&self, slot: usize) -> &AtomicU32 {
+        &self.slot(slot).r_start
+    }
+    #[inline]
+    fn r_end(&self, slot: usize) -> &AtomicU32 {
+        &self.slot(slot).r_end
+    }
+    #[inline]
+    fn live_readers_word(&self) -> &AtomicU32 {
+        &self.header.live_readers
+    }
+    #[inline]
+    fn gen_joins_word(&self) -> &AtomicU32 {
+        &self.header.gen_joins
+    }
+    #[inline]
+    fn writer_claimed_word(&self) -> &AtomicBool {
+        &self.header.writer_claimed
+    }
+    #[inline]
+    fn max_readers(&self) -> u32 {
+        self.g.max_readers
+    }
+    #[inline]
+    fn opts(&self) -> RawOptions {
+        self.g.opts
+    }
+    #[cfg(feature = "metrics")]
+    #[inline]
+    fn metrics(&self) -> &OpMetrics {
+        &self.g.metrics
+    }
+}
+
+/// Packed per-register writer memory for [`GroupWriterSet`]: 16 bytes
+/// instead of a heap-backed candidate ring per register.
+///
+/// The candidate cache is two entries deep — enough for the steady-state
+/// feed (one lazily-reclaimed slot per write) plus one drained hint.
+/// Overflow drops the candidate, which is sound: entries are re-validated
+/// at pop, and a dropped slot resurfaces via the fallback scan.
+#[derive(Debug, Clone, Copy)]
+struct PackedWriterMem {
+    last_slot: u32,
+    search_pos: u32,
+    /// Candidate slots (`NO_CAND` = empty); bit 31 tags hint origin.
+    cand: [u32; 2],
+}
+
+/// Empty-candidate sentinel (slot indices are bounded by `n_slots`, which
+/// the builder caps well below 2^31).
+const NO_CAND: u32 = u32::MAX;
+/// Tag bit recording that a candidate came from the §3.4 shared hint.
+const CAND_HINT_BIT: u32 = 1 << 31;
+
+impl PackedWriterMem {
+    fn new(last_slot: usize, n_slots: usize) -> Self {
+        Self {
+            last_slot: last_slot as u32,
+            search_pos: ((last_slot + 1) % n_slots) as u32,
+            cand: [NO_CAND; 2],
+        }
+    }
+}
+
+impl ArcWriterMem for PackedWriterMem {
+    #[inline]
+    fn last_slot(&self) -> usize {
+        self.last_slot as usize
+    }
+    #[inline]
+    fn set_last_slot(&mut self, slot: usize) {
+        self.last_slot = slot as u32;
+    }
+    #[inline]
+    fn search_pos(&self) -> usize {
+        self.search_pos as usize
+    }
+    #[inline]
+    fn set_search_pos(&mut self, pos: usize) {
+        self.search_pos = pos as u32;
+    }
+    #[inline]
+    fn push_candidate(&mut self, slot: u32, from_hint: bool) {
+        let tagged = slot | if from_hint { CAND_HINT_BIT } else { 0 };
+        for c in self.cand.iter_mut() {
+            if *c == NO_CAND {
+                *c = tagged;
+                return;
+            }
+        }
+        // Full: drop (candidates are lossy by contract).
+    }
+    #[inline]
+    fn pop_candidate(&mut self) -> Option<(u32, bool)> {
+        let head = self.cand[0];
+        if head == NO_CAND {
+            return None;
+        }
+        self.cand[0] = self.cand[1];
+        self.cand[1] = NO_CAND;
+        Some((head & !CAND_HINT_BIT, head & CAND_HINT_BIT != 0))
+    }
+}
+
+/// Builder for [`ArcGroup`].
+#[derive(Debug, Clone)]
+pub struct GroupBuilder {
+    registers: usize,
+    max_readers: u32,
+    capacity: usize,
+    n_slots: Option<usize>,
+    opts: RawOptions,
+    inline: bool,
+    initial: Vec<u8>,
+}
+
+impl GroupBuilder {
+    /// Start building a group of `registers` registers, each admitting up
+    /// to `max_readers` concurrent readers and values of up to `capacity`
+    /// bytes.
+    pub fn new(registers: usize, max_readers: u32, capacity: usize) -> Self {
+        Self {
+            registers,
+            max_readers,
+            capacity,
+            n_slots: None,
+            opts: RawOptions::default(),
+            inline: true,
+            initial: Vec::new(),
+        }
+    }
+
+    /// Initial value of every register (Algorithm 1); empty by default.
+    pub fn initial(mut self, value: &[u8]) -> Self {
+        self.initial = value.to_vec();
+        self
+    }
+
+    /// Override the per-register slot count (default `max_readers + 2`).
+    /// Fewer slots forfeit writer wait-freedom — ablation use only.
+    pub fn slots(mut self, n_slots: usize) -> Self {
+        self.n_slots = Some(n_slots);
+        self
+    }
+
+    /// Enable/disable the §3.4 free-slot hint (default on).
+    pub fn hint(mut self, on: bool) -> Self {
+        self.opts.hint = on;
+        self
+    }
+
+    /// Enable/disable the R2 no-RMW read fast path (default on).
+    pub fn fast_path(mut self, on: bool) -> Self {
+        self.opts.fast_path = on;
+        self
+    }
+
+    /// Enable/disable inline storage of small payloads (default on).
+    pub fn inline(mut self, on: bool) -> Self {
+        self.inline = on;
+        self
+    }
+
+    /// Build the group (three allocations regardless of K).
+    pub fn build(self) -> Result<Arc<ArcGroup>, BuildError> {
+        if self.registers == 0 {
+            return Err(BuildError::ZeroRegisters);
+        }
+        let spec = RegisterSpec::new(self.max_readers as usize, self.capacity);
+        validate_spec(spec, &self.initial, Some(MAX_READERS as usize))?;
+        let n_slots = self.n_slots.unwrap_or(self.max_readers as usize + 2);
+        assert!(n_slots >= 3, "ARC needs at least 3 slots (got {n_slots})");
+        assert!(n_slots < CAND_HINT_BIT as usize, "slot index must fit 31 bits");
+        let total_slots =
+            self.registers.checked_mul(n_slots).expect("group slot count overflows usize");
+        let headers: Box<[RegHeader]> = (0..self.registers).map(|_| RegHeader::new()).collect();
+        let slots: Box<[PackedSlot]> = (0..total_slots).map(|_| PackedSlot::new()).collect();
+        let arena_bytes = if self.inline && self.capacity <= INLINE_CAP {
+            0
+        } else {
+            total_slots.checked_mul(self.capacity).expect("group arena size overflows usize")
+        };
+        let arena = Arena::zeroed(arena_bytes);
+        let group = ArcGroup {
+            headers,
+            slots,
+            arena,
+            registers: self.registers,
+            n_slots,
+            capacity: self.capacity,
+            max_readers: self.max_readers,
+            opts: self.opts,
+            inline: self.inline,
+            #[cfg(feature = "metrics")]
+            metrics: OpMetrics::new(),
+        };
+        // Algorithm 1 per register: the initial value goes to slot 0,
+        // which every header already publishes. No handle exists yet, so
+        // plain writes are race-free; the Arc construction publishes them.
+        if !self.initial.is_empty() {
+            for k in 0..self.registers {
+                // SAFETY: exclusive access — the group is not shared yet.
+                unsafe {
+                    group.fill_slot(k, 0, self.initial.len(), |buf| {
+                        buf.copy_from_slice(&self.initial)
+                    });
+                }
+            }
+        }
+        Ok(Arc::new(group))
+    }
+}
+
+/// K wait-free (1,N) registers sharing one slab (module docs).
+///
+/// Create with [`ArcGroup::builder`]; hand out per-register
+/// [`GroupWriter`]/[`GroupReader`] handles, or whole-group
+/// [`GroupWriterSet`]/[`GroupReaderSet`] handles for batched access.
+pub struct ArcGroup {
+    headers: Box<[RegHeader]>,
+    slots: Box<[PackedSlot]>,
+    /// Large-payload storage: region `(k * n_slots + slot) * capacity ..`.
+    arena: Arena,
+    registers: usize,
+    n_slots: usize,
+    capacity: usize,
+    max_readers: u32,
+    opts: RawOptions,
+    inline: bool,
+    /// Group-wide operation counters (E5/E6), `metrics` feature only.
+    #[cfg(feature = "metrics")]
+    metrics: OpMetrics,
+}
+
+impl ArcGroup {
+    /// Start building a group.
+    pub fn builder(registers: usize, max_readers: u32, capacity: usize) -> GroupBuilder {
+        GroupBuilder::new(registers, max_readers, capacity)
+    }
+
+    /// Number of registers in the group.
+    pub fn registers(&self) -> usize {
+        self.registers
+    }
+
+    /// Slots per register (normally `max_readers + 2`).
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Maximum payload size in bytes per register.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Configured per-register reader cap `N`.
+    pub fn max_readers(&self) -> u32 {
+        self.max_readers
+    }
+
+    /// Whether payloads of at most [`INLINE_CAP`] bytes live in the slot
+    /// line (default true; see [`GroupBuilder::inline`]).
+    pub fn inline_enabled(&self) -> bool {
+        self.inline
+    }
+
+    /// Live reader handles of register `k`.
+    pub fn live_readers(&self, k: usize) -> u32 {
+        self.check_index(k);
+        self.headers[k].live_readers.load(Ordering::Relaxed)
+    }
+
+    /// Outstanding presence units of register `k` (diagnostic; racy under
+    /// concurrency, exact when quiescent).
+    pub fn outstanding_units(&self, k: usize) -> u64 {
+        self.check_index(k);
+        outstanding_units_on(&self.cells(k))
+    }
+
+    /// Bytes of heap the whole group owns (headers + slots + arena +
+    /// struct). Divide by [`ArcGroup::registers`] for the per-register
+    /// footprint the `group_scaling` bench reports.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.headers.len() * std::mem::size_of::<RegHeader>()
+            + self.slots.len() * std::mem::size_of::<PackedSlot>()
+            + self.arena.len()
+    }
+
+    /// Claim the unique writer handle of register `k`.
+    pub fn writer(self: &Arc<Self>, k: usize) -> Result<GroupWriter, HandleError> {
+        self.check_index(k);
+        let last_slot = writer_claim_on(&self.cells(k))?;
+        Ok(GroupWriter {
+            group: Arc::clone(self),
+            k,
+            mem: PackedWriterMem::new(last_slot, self.n_slots),
+        })
+    }
+
+    /// Register a reader handle on register `k` (up to `max_readers`
+    /// concurrently per register).
+    pub fn reader(self: &Arc<Self>, k: usize) -> Result<GroupReader, HandleError> {
+        self.check_index(k);
+        let rd = reader_join_on(&self.cells(k))?;
+        Ok(GroupReader { group: Arc::clone(self), k, rd: Some(rd) })
+    }
+
+    /// Claim the writer role of **every** register, for batched writes.
+    ///
+    /// Fails with [`HandleError::WriterAlreadyClaimed`] (claiming nothing)
+    /// if any register's writer is already out.
+    pub fn writer_set(self: &Arc<Self>) -> Result<GroupWriterSet, HandleError> {
+        let mut mems = Vec::with_capacity(self.registers);
+        for k in 0..self.registers {
+            match writer_claim_on(&self.cells(k)) {
+                Ok(last_slot) => mems.push(PackedWriterMem::new(last_slot, self.n_slots)),
+                Err(e) => {
+                    // Roll back the claims made so far.
+                    for j in 0..k {
+                        writer_release_on(&self.cells(j));
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(GroupWriterSet { group: Arc::clone(self), mems })
+    }
+
+    /// Join **every** register as one reader, for batched reads.
+    ///
+    /// Counts as one of each register's `max_readers` reader handles;
+    /// fails (joining nothing) if any register is at its cap.
+    pub fn reader_set(self: &Arc<Self>) -> Result<GroupReaderSet, HandleError> {
+        let mut rds = Vec::with_capacity(self.registers);
+        for k in 0..self.registers {
+            match reader_join_on(&self.cells(k)) {
+                Ok(rd) => rds.push(rd),
+                Err(e) => {
+                    for (j, rd) in rds.into_iter().enumerate() {
+                        reader_leave_on(&self.cells(j), rd);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(GroupReaderSet { group: Arc::clone(self), rds, scratch: Vec::new() })
+    }
+
+    /// Group-wide operation metrics, available with the `metrics` feature.
+    #[cfg(feature = "metrics")]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    #[inline]
+    fn check_index(&self, k: usize) {
+        assert!(
+            k < self.registers,
+            "register index {k} out of range (group of {})",
+            self.registers
+        );
+    }
+
+    /// Resolve register `k`'s cells view.
+    ///
+    /// Callers guarantee `k < registers` — every handle checks its index
+    /// at creation and carries it immutably. Resolving the header and the
+    /// slot run without per-call bounds checks is what keeps the group's
+    /// R2 fast path within the standalone register's envelope (the
+    /// `fast_path_parity` probe of the `group_scaling` bench).
+    #[inline]
+    fn cells(&self, k: usize) -> GroupCells<'_> {
+        debug_assert!(k < self.registers);
+        let base = layout::slot_index(k, self.n_slots, 0);
+        // SAFETY: k < registers, so header index k and the slot run
+        // [base, base + n_slots) are in range (layout::slot_range is
+        // within bounds for every k < registers by construction).
+        unsafe {
+            GroupCells {
+                g: self,
+                header: self.headers.get_unchecked(k),
+                slots: std::slice::from_raw_parts(self.slots.as_ptr().add(base), self.n_slots),
+            }
+        }
+    }
+
+    /// Whether values of `len` bytes are stored in the slot line.
+    #[inline]
+    fn stored_inline(&self, len: usize) -> bool {
+        self.inline && len <= INLINE_CAP
+    }
+
+    /// Slice view of the value in `cell` (= slot `slot` of register `k`,
+    /// already resolved by the caller's [`GroupCells`]).
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold read rights on `(k, slot)` per the protocol (a
+    /// standing presence unit, or writer exclusivity), and `cell` must be
+    /// that slot's cell.
+    #[inline]
+    unsafe fn slot_bytes_in(&self, cell: &PackedSlot, k: usize, slot: usize) -> &[u8] {
+        // SAFETY: per the function contract the slot is stable; `len` was
+        // written before the publication the caller's unit pins, and
+        // deterministically selects the same placement the writer used.
+        unsafe {
+            let len = *cell.len.get();
+            if self.stored_inline(len) {
+                let inline: &[u8; INLINE_CAP] = &*cell.inline.get();
+                &inline[..len]
+            } else {
+                let base = self.arena.base().add(layout::arena_offset(
+                    k,
+                    self.n_slots,
+                    self.capacity,
+                    slot,
+                ));
+                std::slice::from_raw_parts(base.cast::<u8>(), len)
+            }
+        }
+    }
+
+    /// Write `len` bytes into `cell` (= slot `slot` of register `k`) via
+    /// `fill`, then record the length.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold *exclusive* write rights on `(k, slot)` per the
+    /// protocol (between `select_slot` and `publish`, or sole access at
+    /// build time), and `cell` must be that slot's cell.
+    #[inline]
+    unsafe fn fill_slot_in(
+        &self,
+        cell: &PackedSlot,
+        k: usize,
+        slot: usize,
+        len: usize,
+        fill: impl FnOnce(&mut [u8]),
+    ) {
+        // SAFETY: exclusivity per the function contract; placement is the
+        // same pure function of `len` that readers use.
+        unsafe {
+            let dst: &mut [u8] = if self.stored_inline(len) {
+                let inline: &mut [u8; INLINE_CAP] = &mut *cell.inline.get();
+                &mut inline[..len]
+            } else {
+                let base = self.arena.base().add(layout::arena_offset(
+                    k,
+                    self.n_slots,
+                    self.capacity,
+                    slot,
+                ));
+                std::slice::from_raw_parts_mut(base.cast::<u8>().cast_mut(), len)
+            };
+            fill(dst);
+            *cell.len.get() = len;
+        }
+    }
+
+    /// Build-time variant of [`ArcGroup::fill_slot_in`] with checked
+    /// indexing (cold path).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`ArcGroup::fill_slot_in`].
+    unsafe fn fill_slot(&self, k: usize, slot: usize, len: usize, fill: impl FnOnce(&mut [u8])) {
+        let cell = &self.slots[layout::slot_index(k, self.n_slots, slot)];
+        // SAFETY: forwarded contract.
+        unsafe { self.fill_slot_in(cell, k, slot, len, fill) }
+    }
+
+    /// One write against register `k` using writer memory `mem`
+    /// (W1 + copy + W2/W3); shared by all writer handle types.
+    fn write_one(
+        &self,
+        k: usize,
+        mem: &mut PackedWriterMem,
+        len: usize,
+        fill: impl FnOnce(&mut [u8]),
+    ) {
+        assert!(
+            len <= self.capacity,
+            "value of {len} bytes exceeds register capacity {}",
+            self.capacity
+        );
+        let cells = self.cells(k);
+        let slot = select_slot_on(&cells, mem);
+        // SAFETY: select_slot grants exclusive access to `(k, slot)` until
+        // publish; the Acquire edge on r_end ordered all prior readers'
+        // loads before these stores.
+        unsafe {
+            self.fill_slot_in(cells.slot(slot), k, slot, len, fill);
+        }
+        publish_on(&cells, mem, slot);
+    }
+}
+
+impl fmt::Debug for ArcGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArcGroup")
+            .field("registers", &self.registers)
+            .field("n_slots", &self.n_slots)
+            .field("capacity", &self.capacity)
+            .field("max_readers", &self.max_readers)
+            .field("heap_bytes", &self.heap_bytes())
+            .finish()
+    }
+}
+
+/// The unique writer handle of one register of a group.
+pub struct GroupWriter {
+    group: Arc<ArcGroup>,
+    k: usize,
+    mem: PackedWriterMem,
+}
+
+impl GroupWriter {
+    /// Store a new value into this register (wait-free; one memcpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value.len()` exceeds the group capacity.
+    pub fn write(&mut self, value: &[u8]) {
+        self.group.write_one(self.k, &mut self.mem, value.len(), |buf| buf.copy_from_slice(value));
+    }
+
+    /// Store a new value by filling the slot buffer in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the group capacity.
+    pub fn write_with(&mut self, len: usize, fill: impl FnOnce(&mut [u8])) {
+        self.group.write_one(self.k, &mut self.mem, len, fill);
+    }
+
+    /// Index of the register this writer owns.
+    pub fn index(&self) -> usize {
+        self.k
+    }
+
+    /// The group this writer belongs to.
+    pub fn group(&self) -> &Arc<ArcGroup> {
+        &self.group
+    }
+}
+
+impl fmt::Debug for GroupWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupWriter").field("k", &self.k).finish()
+    }
+}
+
+impl Drop for GroupWriter {
+    fn drop(&mut self) {
+        writer_release_on(&self.group.cells(self.k));
+    }
+}
+
+/// A reader handle on one register of a group.
+pub struct GroupReader {
+    group: Arc<ArcGroup>,
+    k: usize,
+    rd: Option<RawReader>,
+}
+
+impl GroupReader {
+    /// Read the most recent value of this register (Algorithm 2).
+    /// Wait-free, zero-copy; the snapshot's slot stays pinned until this
+    /// handle's next `read` (or drop).
+    #[inline]
+    pub fn read(&mut self) -> Snapshot<'_> {
+        let rd = self.rd.as_mut().expect("reader state present until drop");
+        let cells = self.group.cells(self.k);
+        let out = read_acquire_on(&cells, rd);
+        // SAFETY: read_acquire pinned `(k, out.slot)` for this handle; the
+        // pin lasts until the next acquire/leave, which require &mut self
+        // and are excluded while the Snapshot's borrow is live.
+        let bytes = unsafe { self.group.slot_bytes_in(cells.slot(out.slot), self.k, out.slot) };
+        let inline = self.group.stored_inline(bytes.len());
+        Snapshot::assemble(bytes, out.slot, out.fast, inline)
+    }
+
+    /// Index of the register this reader observes.
+    pub fn index(&self) -> usize {
+        self.k
+    }
+
+    /// The group this reader belongs to.
+    pub fn group(&self) -> &Arc<ArcGroup> {
+        &self.group
+    }
+}
+
+impl fmt::Debug for GroupReader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupReader").field("k", &self.k).finish()
+    }
+}
+
+impl Drop for GroupReader {
+    fn drop(&mut self) {
+        if let Some(rd) = self.rd.take() {
+            reader_leave_on(&self.group.cells(self.k), rd);
+        }
+    }
+}
+
+/// The writer role of **every** register of a group, for batched writes.
+///
+/// Holds 16 bytes of packed writer memory per register; the per-register
+/// candidate caches persist across batches, so steady-state slot selection
+/// stays O(1) without any per-register heap state.
+pub struct GroupWriterSet {
+    group: Arc<ArcGroup>,
+    mems: Vec<PackedWriterMem>,
+}
+
+impl GroupWriterSet {
+    /// Store a new value into register `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or `value.len()` exceeds the capacity.
+    #[inline]
+    pub fn write(&mut self, k: usize, value: &[u8]) {
+        self.group.check_index(k);
+        self.group.write_one(k, &mut self.mems[k], value.len(), |buf| buf.copy_from_slice(value));
+    }
+
+    /// Store a new value into register `k` by filling the slot in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or `len` exceeds the capacity.
+    pub fn write_with(&mut self, k: usize, len: usize, fill: impl FnOnce(&mut [u8])) {
+        self.group.check_index(k);
+        self.group.write_one(k, &mut self.mems[k], len, fill);
+    }
+
+    /// Apply a batch of `(register, value)` writes in one pass.
+    ///
+    /// Each write is individually wait-free and linearizable exactly as a
+    /// single-register write; the batch amortizes the handle bookkeeping
+    /// (one claim for the whole set, candidate caches warm across the
+    /// pass) rather than changing semantics — a reader may observe any
+    /// prefix-consistent subset of the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or any value exceeds capacity.
+    pub fn write_batch(&mut self, ops: &[(usize, &[u8])]) {
+        for &(k, value) in ops {
+            self.write(k, value);
+        }
+    }
+
+    /// The group this writer set belongs to.
+    pub fn group(&self) -> &Arc<ArcGroup> {
+        &self.group
+    }
+}
+
+impl fmt::Debug for GroupWriterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupWriterSet").field("registers", &self.mems.len()).finish()
+    }
+}
+
+impl Drop for GroupWriterSet {
+    fn drop(&mut self) {
+        for k in 0..self.mems.len() {
+            writer_release_on(&self.group.cells(k));
+        }
+    }
+}
+
+/// One reader over **every** register of a group, for batched reads.
+pub struct GroupReaderSet {
+    group: Arc<ArcGroup>,
+    rds: Vec<RawReader>,
+    /// Reusable key buffer for [`GroupReaderSet::read_many`].
+    scratch: Vec<u32>,
+}
+
+impl GroupReaderSet {
+    /// Read the most recent value of register `k` (wait-free, zero-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn read(&mut self, k: usize) -> Snapshot<'_> {
+        self.group.check_index(k);
+        let cells = self.group.cells(k);
+        let out = read_acquire_on(&cells, &mut self.rds[k]);
+        // SAFETY: as in GroupReader::read — the pin on `(k, out.slot)`
+        // lasts until this set's next acquire on register k, which
+        // requires &mut self.
+        let bytes = unsafe { self.group.slot_bytes_in(cells.slot(out.slot), k, out.slot) };
+        let inline = self.group.stored_inline(bytes.len());
+        Snapshot::assemble(bytes, out.slot, out.fast, inline)
+    }
+
+    /// Read many registers in one pass, invoking `f(k, value)` for each
+    /// requested key.
+    ///
+    /// Keys are visited in **ascending register order** (not input order):
+    /// the keys are sorted into a reusable scratch buffer so the slab is
+    /// traversed sequentially — at 100k+ registers this turns random
+    /// pointer-chasing into prefetch-friendly streaming. Duplicate keys
+    /// are read once per occurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is out of range.
+    pub fn read_many(&mut self, keys: &[usize], mut f: impl FnMut(usize, &[u8])) {
+        self.scratch.clear();
+        self.scratch.reserve(keys.len());
+        for &k in keys {
+            self.group.check_index(k);
+            self.scratch.push(k as u32);
+        }
+        self.scratch.sort_unstable();
+        // The scratch buffer is disjoint from rds/group borrows below;
+        // take it out to appease the borrow checker without reallocating.
+        let scratch = std::mem::take(&mut self.scratch);
+        for &k32 in &scratch {
+            let k = k32 as usize;
+            let cells = self.group.cells(k);
+            let out = read_acquire_on(&cells, &mut self.rds[k]);
+            // SAFETY: pin discipline as in `read`; a duplicate key's later
+            // acquire only releases the pin after the earlier callback
+            // returned.
+            let bytes = unsafe { self.group.slot_bytes_in(cells.slot(out.slot), k, out.slot) };
+            f(k, bytes);
+        }
+        self.scratch = scratch;
+    }
+
+    /// The group this reader set belongs to.
+    pub fn group(&self) -> &Arc<ArcGroup> {
+        &self.group
+    }
+}
+
+impl fmt::Debug for GroupReaderSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupReaderSet").field("registers", &self.rds.len()).finish()
+    }
+}
+
+impl Drop for GroupReaderSet {
+    fn drop(&mut self) {
+        for (k, rd) in self.rds.drain(..).enumerate() {
+            reader_leave_on(&self.group.cells(k), rd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(k: usize) -> Arc<ArcGroup> {
+        ArcGroup::builder(k, 2, 64).initial(b"init").build().unwrap()
+    }
+
+    #[test]
+    fn build_and_read_initial() {
+        let g = small(8);
+        assert_eq!(g.registers(), 8);
+        assert_eq!(g.n_slots(), 4);
+        for k in 0..8 {
+            let mut r = g.reader(k).unwrap();
+            assert_eq!(&*r.read(), b"init");
+        }
+    }
+
+    #[test]
+    fn zero_registers_rejected() {
+        assert!(matches!(ArcGroup::builder(0, 1, 16).build(), Err(BuildError::ZeroRegisters)));
+    }
+
+    #[test]
+    fn builder_validates_like_single_register() {
+        assert!(ArcGroup::builder(4, 0, 16).build().is_err());
+        assert!(ArcGroup::builder(4, 1, 0).build().is_err());
+        assert!(ArcGroup::builder(4, 1, 4).initial(&[0; 8]).build().is_err());
+    }
+
+    #[test]
+    fn per_register_write_read_roundtrip() {
+        let g = small(4);
+        let mut writers: Vec<_> = (0..4).map(|k| g.writer(k).unwrap()).collect();
+        let mut readers: Vec<_> = (0..4).map(|k| g.reader(k).unwrap()).collect();
+        for (k, w) in writers.iter_mut().enumerate() {
+            w.write(format!("value-{k}").as_bytes());
+        }
+        for (k, r) in readers.iter_mut().enumerate() {
+            assert_eq!(&*r.read(), format!("value-{k}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn neighboring_registers_do_not_interfere() {
+        // A pinned snapshot on register 0 must survive arbitrarily many
+        // writes to every other register (the slab non-interference the
+        // interleave group model proves exhaustively).
+        let g = small(3);
+        let mut w1 = g.writer(1).unwrap();
+        let mut w2 = g.writer(2).unwrap();
+        let mut r0 = g.reader(0).unwrap();
+        let snap = r0.read();
+        let bytes = snap.bytes();
+        for i in 0..200u8 {
+            w1.write(&[i; 48]);
+            w2.write(&[i ^ 0xFF; 64]);
+        }
+        assert_eq!(bytes, b"init", "cross-register write corrupted a pinned snapshot");
+    }
+
+    #[test]
+    fn writer_role_is_unique_per_register() {
+        let g = small(2);
+        let w0 = g.writer(0).unwrap();
+        assert!(matches!(g.writer(0), Err(HandleError::WriterAlreadyClaimed)));
+        let _w1 = g.writer(1).expect("other registers unaffected");
+        drop(w0);
+        let _w0b = g.writer(0).expect("role reclaimable after drop");
+    }
+
+    #[test]
+    fn reader_cap_is_per_register() {
+        let g = small(2);
+        let _a = g.reader(0).unwrap();
+        let _b = g.reader(0).unwrap();
+        assert!(matches!(g.reader(0), Err(HandleError::ReadersExhausted { max_readers: 2 })));
+        let _c = g.reader(1).expect("other register has its own cap");
+    }
+
+    #[test]
+    fn writer_set_claims_all_and_rolls_back() {
+        let g = small(3);
+        let w1 = g.writer(1).unwrap();
+        assert!(matches!(g.writer_set(), Err(HandleError::WriterAlreadyClaimed)));
+        // The failed claim must have rolled back register 0's claim.
+        let w0 = g.writer(0).expect("rollback released register 0");
+        drop(w0);
+        drop(w1);
+        let _set = g.writer_set().expect("all writers free now");
+        assert!(matches!(g.writer(2), Err(HandleError::WriterAlreadyClaimed)));
+    }
+
+    #[test]
+    fn write_batch_applies_all_ops() {
+        let g = small(10);
+        let mut set = g.writer_set().unwrap();
+        let values: Vec<Vec<u8>> = (0..10u8).map(|k| vec![k; 8 + k as usize]).collect();
+        let ops: Vec<(usize, &[u8])> =
+            values.iter().enumerate().map(|(k, v)| (k, v.as_slice())).collect();
+        set.write_batch(&ops);
+        let mut readers = g.reader_set().unwrap();
+        for (k, v) in values.iter().enumerate() {
+            assert_eq!(&*readers.read(k), v.as_slice());
+        }
+    }
+
+    #[test]
+    fn repeated_batches_keep_candidate_caches_warm() {
+        let g = small(4);
+        let mut set = g.writer_set().unwrap();
+        for round in 0..100u8 {
+            let v = [round; 16];
+            let ops: Vec<(usize, &[u8])> = (0..4).map(|k| (k, &v[..])).collect();
+            set.write_batch(&ops);
+        }
+        let mut readers = g.reader_set().unwrap();
+        for k in 0..4 {
+            assert_eq!(&*readers.read(k), &[99u8; 16][..]);
+        }
+    }
+
+    #[test]
+    fn read_many_visits_sorted_and_complete() {
+        let g = small(16);
+        let mut set = g.writer_set().unwrap();
+        for k in 0..16 {
+            set.write(k, &[k as u8; 4]);
+        }
+        let mut readers = g.reader_set().unwrap();
+        let keys = [9usize, 3, 14, 3, 0];
+        let mut seen = Vec::new();
+        readers.read_many(&keys, |k, v| {
+            assert_eq!(v, &[k as u8; 4]);
+            seen.push(k);
+        });
+        assert_eq!(seen, vec![0, 3, 3, 9, 14], "ascending order, duplicates preserved");
+    }
+
+    #[test]
+    fn read_many_hits_fast_path_on_repeat() {
+        let g = small(8);
+        let mut readers = g.reader_set().unwrap();
+        let keys: Vec<usize> = (0..8).collect();
+        readers.read_many(&keys, |_, _| {});
+        // Second pass with no writes: every read must be an R2 hit.
+        for k in 0..8 {
+            assert!(readers.read(k).fast(), "register {k} missed the fast path");
+        }
+    }
+
+    #[test]
+    fn snapshot_pin_survives_intervening_set_reads() {
+        let g = small(4);
+        let mut set = g.writer_set().unwrap();
+        set.write(2, b"pin-me");
+        let mut readers = g.reader_set().unwrap();
+        let bytes = readers.read(2).bytes();
+        // Writes to register 2 move it to fresh slots; the old pin holds
+        // until THIS set re-reads register 2.
+        for i in 0..50u8 {
+            set.write(2, &[i; 32]);
+        }
+        assert_eq!(bytes, b"pin-me");
+        assert_eq!(&*readers.read(2), &[49u8; 32][..]);
+    }
+
+    #[test]
+    fn arena_payloads_roundtrip() {
+        let g = ArcGroup::builder(6, 1, 256).build().unwrap();
+        let mut set = g.writer_set().unwrap();
+        let mut readers = g.reader_set().unwrap();
+        for k in 0..6 {
+            let v: Vec<u8> = (0..200).map(|i| (i ^ k) as u8).collect();
+            set.write(k, &v);
+            let snap = readers.read(k);
+            assert_eq!(&*snap, &v[..], "register {k}");
+            assert!(!snap.inline());
+        }
+    }
+
+    #[test]
+    fn inline_placement_flips_at_boundary() {
+        let g = ArcGroup::builder(2, 1, 256).build().unwrap();
+        let mut set = g.writer_set().unwrap();
+        let mut readers = g.reader_set().unwrap();
+        for len in [0, 1, INLINE_CAP - 1, INLINE_CAP, INLINE_CAP + 1, 255, 256] {
+            let v: Vec<u8> = (0..len).map(|i| (i * 3 + len) as u8).collect();
+            set.write(0, &v);
+            let snap = readers.read(0);
+            assert_eq!(&*snap, &v[..], "len {len}");
+            assert_eq!(snap.inline(), len <= INLINE_CAP, "placement at len {len}");
+        }
+    }
+
+    #[test]
+    fn inline_disabled_routes_through_arena() {
+        let g = ArcGroup::builder(2, 1, 64).inline(false).build().unwrap();
+        assert!(!g.inline_enabled());
+        let mut set = g.writer_set().unwrap();
+        set.write(1, b"tiny");
+        let mut r = g.reader(1).unwrap();
+        let snap = r.read();
+        assert_eq!(&*snap, b"tiny");
+        assert!(!snap.inline());
+    }
+
+    #[test]
+    fn small_capacity_group_has_no_arena() {
+        let g = ArcGroup::builder(100, 1, INLINE_CAP).build().unwrap();
+        // headers + slots only: 64 + 3*64 per register, plus the struct.
+        let per_reg = g.heap_bytes() / 100;
+        assert!(per_reg <= 64 + 3 * 64 + 8, "per-register {per_reg} bytes too high");
+    }
+
+    #[test]
+    fn slab_is_at_least_4x_denser_than_standalone() {
+        // The acceptance shape of the group_scaling bench, in miniature:
+        // exact heap accounting at K = 1000 small registers.
+        let k = 1000;
+        let g = ArcGroup::builder(k, 1, 48).build().unwrap();
+        let group_per_reg = g.heap_bytes() / k;
+        let single = crate::ArcRegister::builder(1, 48).build().unwrap();
+        let single_bytes = single.heap_bytes();
+        assert!(
+            single_bytes >= 4 * group_per_reg,
+            "density regression: single {single_bytes} B vs group {group_per_reg} B/register"
+        );
+    }
+
+    #[test]
+    fn k1_degenerates_to_single_register_semantics() {
+        let g = ArcGroup::builder(1, 2, 64).initial(b"seed").build().unwrap();
+        let mut w = g.writer(0).unwrap();
+        let mut r = g.reader(0).unwrap();
+        assert_eq!(&*r.read(), b"seed");
+        assert!(r.read().fast());
+        w.write(b"next");
+        let snap = r.read();
+        assert!(!snap.fast());
+        assert_eq!(&*snap, b"next");
+        assert_eq!(g.outstanding_units(0), 1);
+    }
+
+    #[test]
+    fn outstanding_units_tracked_per_register() {
+        let g = small(3);
+        let mut r0 = g.reader(0).unwrap();
+        let mut r2 = g.reader(2).unwrap();
+        let _ = r0.read();
+        let _ = r2.read();
+        assert_eq!(g.outstanding_units(0), 1);
+        assert_eq!(g.outstanding_units(1), 0);
+        assert_eq!(g.outstanding_units(2), 1);
+        drop(r0);
+        assert_eq!(g.outstanding_units(0), 0);
+    }
+
+    #[test]
+    fn write_with_fills_in_place() {
+        let g = small(2);
+        let mut w = g.writer(1).unwrap();
+        w.write_with(8, |buf| buf.copy_from_slice(b"in-place"));
+        let mut r = g.reader(1).unwrap();
+        assert_eq!(&*r.read(), b"in-place");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds register capacity")]
+    fn oversized_write_panics() {
+        let g = small(2);
+        let mut w = g.writer(0).unwrap();
+        w.write(&[0u8; 65]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_register_panics() {
+        let g = small(2);
+        let _ = g.reader(2);
+    }
+
+    #[test]
+    fn debug_impls() {
+        let g = small(2);
+        let w = g.writer(0).unwrap();
+        let mut r = g.reader(1).unwrap();
+        let set_dbg = format!("{g:?} {w:?} {r:?}");
+        let _ = r.read();
+        assert!(set_dbg.contains("ArcGroup") && set_dbg.contains("GroupWriter"));
+    }
+
+    #[test]
+    fn packed_writer_mem_candidate_fifo() {
+        let mut m = PackedWriterMem::new(0, 4);
+        assert_eq!(m.pop_candidate(), None);
+        m.push_candidate(1, false);
+        m.push_candidate(2, true);
+        m.push_candidate(3, false); // dropped: cache is two deep
+        assert_eq!(m.pop_candidate(), Some((1, false)));
+        assert_eq!(m.pop_candidate(), Some((2, true)));
+        assert_eq!(m.pop_candidate(), None);
+    }
+
+    #[test]
+    fn concurrent_smoke_across_registers() {
+        // 4 registers, one writer thread per register via a shared
+        // writer... writer roles are exclusive, so: one GroupWriterSet on
+        // a thread hammering all registers, plus a reader thread per
+        // register checking the no-torn invariant.
+        let g = ArcGroup::builder(4, 4, 64).initial(&[0; 16]).build().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for k in 0..4 {
+            let mut r = g.reader(k).unwrap();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = r.read();
+                    let first = snap.first().copied().unwrap_or(0);
+                    assert!(snap.iter().all(|&b| b == first), "torn read on register {k}");
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+        let mut set = g.writer_set().unwrap();
+        for i in 0..20_000u32 {
+            let k = (i % 4) as usize;
+            set.write(k, &[(i % 251) as u8; 16]);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn layout_math_spot_checks() {
+        assert_eq!(layout::slot_index(0, 3, 0), 0);
+        assert_eq!(layout::slot_index(2, 3, 1), 7);
+        assert_eq!(layout::slot_range(1, 4), 4..8);
+        assert_eq!(layout::arena_offset(1, 3, 100, 2), 500);
+        assert_eq!(layout::arena_range(2, 3, 10), 60..90);
+    }
+}

@@ -50,8 +50,11 @@
 //! ## Crate layout
 //!
 //! * [`register`] — [`ArcRegister`]: byte-payload register (the paper's).
+//! * [`group`] — [`ArcGroup`]: K registers (up to ~1M) from one slab,
+//!   with batched write/read paths for multi-register workloads.
 //! * [`typed`] — [`TypedArc`]: the same protocol carrying any `T`.
-//! * [`raw`] — the slot/counter protocol, payload-agnostic.
+//! * [`raw`] — the slot/counter protocol, payload-agnostic and
+//!   storage-generic (both layouts above run it unchanged).
 //! * [`current`] — the packed synchronization word.
 //! * [`family`] — adapter to the cross-algorithm bench/test interface.
 //!
@@ -69,12 +72,14 @@
 pub mod current;
 pub mod errors;
 pub mod family;
+pub mod group;
 pub mod raw;
 pub mod register;
 pub mod typed;
 
 pub use errors::HandleError;
-pub use family::ArcFamily;
+pub use family::{ArcFamily, GroupTableFamily, IndependentTableFamily};
+pub use group::{ArcGroup, GroupBuilder, GroupReader, GroupReaderSet, GroupWriter, GroupWriterSet};
 pub use raw::{RawArc, RawOptions, ReadOutcome};
 pub use register::{ArcBuilder, ArcReader, ArcRegister, ArcWriter, Snapshot, INLINE_CAP};
 pub use typed::{TypedArc, TypedReader, TypedWriter};

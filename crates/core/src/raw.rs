@@ -26,6 +26,20 @@
 //!   (W2), and freeze the swapped-out counter into the old slot's `r_start`
 //!   (W3).
 //!
+//! # One protocol, two storage layouts
+//!
+//! The state machine is written once, against the crate-private [`ArcCells`]
+//! trait (which atomics implement the protocol words). Two layouts drive it:
+//!
+//! * [`RawArc`] — the single-register layout: every hot word is
+//!   `CachePadded` into its own line, trading footprint for latency;
+//! * `crate::group` — the slab layout: K registers share three contiguous
+//!   allocations (headers / packed slots / arena), trading per-slot padding
+//!   for density so a million registers stay cheap and cache-local.
+//!
+//! Both execute the *same* wait-free algorithm; the proof sketch below and
+//! the ordering budget apply verbatim to either layout.
+//!
 //! # Why the fast path is safe (the linchpin)
 //!
 //! If `last_index == current.index`, the reader still holds an unreleased
@@ -85,6 +99,12 @@
 //! slot, not the worst case. In steady state (readers keep up, or nobody
 //! reads) every write is served from the ring in O(1).
 //!
+//! Candidate storage is behind the crate-private [`ArcWriterMem`] trait:
+//! the single-register [`RawWriter`] uses a heap ring sized to `n_slots`,
+//! while group writer sets use a two-entry inline cache per register (a
+//! million heap rings would defeat the slab). Any lossy FIFO is sound —
+//! losing a *candidate* never loses a *slot*.
+//!
 //! Both ring feeds are gated by [`RawOptions::hint`]: the §3.4 ablation
 //! switch disables the whole candidate machinery at once, restoring the
 //! pure rotating scan the E6 experiment compares against.
@@ -108,7 +128,7 @@ use crate::current::{counter_of, index_of, Current, MAX_READERS};
 use crate::errors::HandleError;
 
 /// Sentinel for "no hint posted".
-const NO_HINT: usize = usize::MAX;
+pub(crate) const NO_HINT: usize = usize::MAX;
 
 /// Per-slot coordination metadata.
 ///
@@ -140,7 +160,356 @@ impl Default for RawOptions {
     }
 }
 
-/// The ARC coordination state machine.
+// ---------------------------------------------------------------------
+// The storage-generic protocol core
+// ---------------------------------------------------------------------
+
+/// Storage view the protocol state machine runs over: which atomics hold
+/// the protocol words of *one* register.
+///
+/// Implementors guarantee the usual ownership discipline (the words are
+/// dedicated to this register and live as long as the view); the protocol
+/// functions below provide all synchronization.
+pub(crate) trait ArcCells {
+    /// Number of slots of this register.
+    fn n_slots(&self) -> usize;
+    /// The packed `(index, counter)` synchronization word.
+    fn current_word(&self) -> &AtomicU64;
+    /// The §3.4 free-slot hint word (`usize::MAX` = empty).
+    fn hint_word(&self) -> &AtomicUsize;
+    /// Frozen presence units of `slot` (W3).
+    fn r_start(&self, slot: usize) -> &AtomicU32;
+    /// Released presence units of `slot` (R3).
+    fn r_end(&self, slot: usize) -> &AtomicU32;
+    /// Live reader-handle count.
+    fn live_readers_word(&self) -> &AtomicU32;
+    /// Reader handles created since the last write (churn guard).
+    fn gen_joins_word(&self) -> &AtomicU32;
+    /// Whether the unique writer handle is claimed.
+    fn writer_claimed_word(&self) -> &AtomicBool;
+    /// Configured reader cap `N`.
+    fn max_readers(&self) -> u32;
+    /// Protocol ablation switches.
+    fn opts(&self) -> RawOptions;
+    /// Operation counters (shared by all registers of a slab group).
+    #[cfg(feature = "metrics")]
+    fn metrics(&self) -> &OpMetrics;
+}
+
+/// Writer-handle-local memory for W1/W3: the last published slot, the
+/// rotating-scan position, and a lossy FIFO of candidate-free slots.
+///
+/// Candidate storage differs per layout ([`RawWriter`] keeps a heap ring
+/// sized to `n_slots`; group writer sets keep a two-entry inline cache per
+/// register). Entries are *candidates* — every pop is re-validated through
+/// `slot_free` — so dropping, duplicating or staling entries is harmless.
+pub(crate) trait ArcWriterMem {
+    /// Slot of the current publication (always equals `current.index`).
+    fn last_slot(&self) -> usize;
+    /// Record the newly published slot.
+    fn set_last_slot(&mut self, slot: usize);
+    /// Rotating start position for the W1 fallback scan.
+    fn search_pos(&self) -> usize;
+    /// Advance the rotating scan position.
+    fn set_search_pos(&mut self, pos: usize);
+    /// Queue a candidate-free slot (`from_hint` keeps metric attribution
+    /// exact); implementations may drop when full.
+    fn push_candidate(&mut self, slot: u32, from_hint: bool);
+    /// Dequeue the oldest candidate, if any.
+    fn pop_candidate(&mut self) -> Option<(u32, bool)>;
+}
+
+/// Register a reader handle (bounded by `max_readers`).
+///
+/// Orderings: both counters are pure capacity bookkeeping — the RMW itself
+/// is atomic, and no payload data is published through them, so `Relaxed`
+/// carries the whole argument (ordering-budget table in the module docs).
+pub(crate) fn reader_join_on<C: ArcCells>(c: &C) -> Result<RawReader, HandleError> {
+    let max_readers = c.max_readers();
+    let live = c.live_readers_word().fetch_add(1, Ordering::Relaxed);
+    if live >= max_readers {
+        c.live_readers_word().fetch_sub(1, Ordering::Relaxed);
+        return Err(HandleError::ReadersExhausted { max_readers });
+    }
+    // Churn guard: per write generation, presence-counter growth is one
+    // unit per handle that performs a fetch_add; bound the number of
+    // handles created per generation so the counter can never carry
+    // into the index field (see crate::current).
+    let budget = MAX_READERS - max_readers;
+    let joins = c.gen_joins_word().fetch_add(1, Ordering::SeqCst);
+    if joins >= budget {
+        // Saturate rather than wrap; the handle is refused.
+        c.gen_joins_word().fetch_sub(1, Ordering::SeqCst);
+        c.live_readers_word().fetch_sub(1, Ordering::Relaxed);
+        return Err(HandleError::ChurnExhausted);
+    }
+    Ok(RawReader { last_index: None })
+}
+
+/// Perform the coordination part of a read (Algorithm 2), returning the
+/// slot the caller may read.
+///
+/// The returned slot remains valid (never rewritten) until the next
+/// `read_acquire_on`/`reader_leave_on` with the same handle.
+#[inline]
+pub(crate) fn read_acquire_on<C: ArcCells>(c: &C, rd: &mut RawReader) -> ReadOutcome {
+    #[cfg(feature = "metrics")]
+    OpMetrics::bump(&c.metrics().reads, 1);
+
+    if c.opts().fast_path {
+        // R1: SeqCst is part of the `current` budget (table above). On
+        // x86 this is a plain `mov`; the *correctness* of the hit
+        // additionally leans on per-location coherence delivering the
+        // newest store of `current` (DESIGN.md §3.1) — the happens-
+        // before edge for the payload bytes was already established by
+        // this handle's own R4 when it pinned the slot.
+        let raw = c.current_word().load(Ordering::SeqCst); // R1
+        let index = index_of(raw);
+        if rd.last_index == Some(index) {
+            // R2: the pinned slot is still the most recent publication.
+            #[cfg(feature = "metrics")]
+            OpMetrics::bump(&c.metrics().fast_reads, 1);
+            return ReadOutcome { slot: index as usize, fast: true };
+        }
+    }
+    // Slow path: release the previously pinned slot (R3) ...
+    if let Some(old) = rd.last_index {
+        release_unit_on(c, old as usize);
+        #[cfg(feature = "metrics")]
+        OpMetrics::bump(&c.metrics().read_rmws, 1);
+    }
+    // ... then atomically fetch the up-to-date index while registering
+    // an anonymous presence unit on it (R4/R5).
+    let raw = c.current_word().fetch_add(1, Ordering::SeqCst);
+    #[cfg(feature = "metrics")]
+    OpMetrics::bump(&c.metrics().read_rmws, 1);
+    let index = index_of(raw);
+    debug_assert!(
+        counter_of(raw) < u32::MAX,
+        "presence counter about to carry into the index field"
+    );
+    rd.last_index = Some(index);
+    ReadOutcome { slot: index as usize, fast: false }
+}
+
+/// Release a presence unit on `slot` (R3), optionally posting the §3.4
+/// free-slot hint.
+#[inline]
+pub(crate) fn release_unit_on<C: ArcCells>(c: &C, slot: usize) {
+    let prev = c.r_end(slot).fetch_add(1, Ordering::Release);
+    if c.opts().hint {
+        // §3.4: if this release made the slot free, propose it to the
+        // writer. r_start is only meaningful once frozen; a stale read
+        // here merely suppresses or misposts a hint, and the writer
+        // re-validates before trusting it.
+        let r_start = c.r_start(slot).load(Ordering::Acquire);
+        if prev.wrapping_add(1) == r_start {
+            c.hint_word().store(slot, Ordering::Release);
+        }
+    }
+}
+
+/// Deregister a reader handle, releasing its outstanding unit (if any).
+pub(crate) fn reader_leave_on<C: ArcCells>(c: &C, mut rd: RawReader) {
+    if let Some(old) = rd.last_index.take() {
+        release_unit_on(c, old as usize);
+    }
+    // Relaxed: capacity bookkeeping only (see reader_join_on). The data
+    // edge for the released slot was carried by release_unit_on above.
+    c.live_readers_word().fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Whether `slot` has no standing readers (`r_start == r_end`).
+///
+/// Only sound for slots other than the current one (whose presence units
+/// live in `current.counter`, not in `r_start`).
+#[inline]
+pub(crate) fn slot_free_on<C: ArcCells>(c: &C, slot: usize) -> bool {
+    // Acquire on r_end: the releasing readers' payload loads must
+    // happen-before our upcoming payload stores.
+    let r_end = c.r_end(slot).load(Ordering::Acquire);
+    // r_start is written only by the writer (us): Relaxed suffices.
+    let r_start = c.r_start(slot).load(Ordering::Relaxed);
+    r_start == r_end
+}
+
+/// Claim the unique writer role, returning the slot of the current
+/// publication (the claimer's initial `last_slot`).
+pub(crate) fn writer_claim_on<C: ArcCells>(c: &C) -> Result<usize, HandleError> {
+    // Acquire: lock-style handoff — pairs with the Release store in
+    // writer_release_on, ordering the previous writer's publishes (and
+    // slot stores) before this claimer's reads of protocol state.
+    if c.writer_claimed_word().swap(true, Ordering::Acquire) {
+        return Err(HandleError::WriterAlreadyClaimed);
+    }
+    // Invariant: last_slot always equals current.index between writes,
+    // so a re-claimed writer reconstructs it from `current`.
+    Ok(current_index_on(c))
+}
+
+/// Release the writer role so another thread may claim it.
+pub(crate) fn writer_release_on<C: ArcCells>(c: &C) {
+    // Release: other half of the writer_claim_on handoff.
+    c.writer_claimed_word().store(false, Ordering::Release);
+}
+
+/// W1: select a free slot different from the last written one.
+///
+/// O(1) in steady state: candidates come from the writer-local FIFO (fed
+/// by lazy reclamation at W3 and by drained §3.4 reader hints), each
+/// re-validated through [`slot_free_on`] before use. Only when the FIFO
+/// runs dry does the rotating scan run — and with `n_slots >=
+/// live_readers + 2` a single sweep always finds a slot (Lemma 4.1),
+/// preserving writer wait-freedom. Below that bound (ablation only) the
+/// scan retries with backoff, which is where wait-freedom is lost.
+pub(crate) fn select_slot_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W) -> usize {
+    #[cfg(feature = "metrics")]
+    OpMetrics::bump(&c.metrics().writes, 1);
+
+    if c.opts().hint {
+        // Drain the shared hint word into the local FIFO (the one RMW
+        // this step has always cost). Acquire pairs with the posting
+        // Release, though the real data edge is re-established by the
+        // slot_free validation below.
+        let h = c.hint_word().swap(NO_HINT, Ordering::Acquire);
+        #[cfg(feature = "metrics")]
+        OpMetrics::bump(&c.metrics().write_rmws, 1);
+        if h != NO_HINT {
+            wr.push_candidate(h as u32, true);
+        }
+        // Pop candidates until one validates. Each pop is plain local
+        // memory; only the validation (slot_free) is a shared probe —
+        // candidates discarded by the local last_slot check cost none.
+        #[cfg_attr(not(feature = "metrics"), allow(unused_variables))]
+        while let Some((cand, from_hint)) = wr.pop_candidate() {
+            let cand = cand as usize;
+            if cand == wr.last_slot() || cand >= c.n_slots() {
+                continue;
+            }
+            #[cfg(feature = "metrics")]
+            OpMetrics::bump(&c.metrics().slot_probes, 1);
+            if slot_free_on(c, cand) {
+                #[cfg(feature = "metrics")]
+                {
+                    OpMetrics::bump(&c.metrics().ring_hits, 1);
+                    // Attribute §3.4-origin candidates to the hint
+                    // metric no matter how many calls they waited.
+                    if from_hint {
+                        OpMetrics::bump(&c.metrics().hint_hits, 1);
+                    }
+                }
+                return cand;
+            }
+        }
+    }
+    let n = c.n_slots();
+    let mut backoff = sync_backoff();
+    loop {
+        for off in 0..n {
+            let s = (wr.search_pos() + off) % n;
+            if s == wr.last_slot() {
+                continue;
+            }
+            #[cfg(feature = "metrics")]
+            OpMetrics::bump(&c.metrics().slot_probes, 1);
+            if slot_free_on(c, s) {
+                wr.set_search_pos((s + 1) % n);
+                return s;
+            }
+        }
+        // Unreachable with n_slots >= live_readers + 2; reachable in the
+        // under-provisioned ablation, where the writer must wait for a
+        // reader to move on.
+        backoff();
+    }
+}
+
+/// W2 + W3: publish `slot` (already filled by the caller) and freeze the
+/// superseded publication's presence count into its `r_start`.
+///
+/// # Contract
+///
+/// `slot` must come from [`select_slot_on`] with the same writer memory,
+/// and the caller must have completed all payload stores to it.
+pub(crate) fn publish_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: usize) {
+    debug_assert_ne!(slot, wr.last_slot(), "W1 forbids reusing the current slot");
+    debug_assert!(slot_free_on(c, slot), "publishing a slot with standing readers");
+    // Reset the slot's generation counters. Visibility to readers is
+    // carried by the SeqCst swap below (release) paired with their
+    // SeqCst fetch_add (acquire).
+    c.r_start(slot).store(0, Ordering::Relaxed);
+    c.r_end(slot).store(0, Ordering::Relaxed);
+    // Fresh generation: reset the reader-churn budget before exposing
+    // the new publication. SeqCst deliberately — this is the one
+    // bookkeeping counter whose bound (budget = MAX_READERS −
+    // max_readers, leaving exactly one unit of slack below the index
+    // carry) is load-bearing for the packed-word encoding, and joiners
+    // never touch `current`, so no cheaper edge orders their RMWs
+    // against this reset.
+    c.gen_joins_word().store(0, Ordering::SeqCst);
+    // W2: publish atomically with a zeroed presence counter.
+    let old = c.current_word().swap(Current::fresh(slot as u32), Ordering::SeqCst);
+    #[cfg(feature = "metrics")]
+    OpMetrics::bump(&c.metrics().write_rmws, 1);
+    // W3: freeze the superseded slot's presence count. Release pairs
+    // with the Acquire load in readers' hint check.
+    let old_slot = index_of(old) as usize;
+    let old_count = counter_of(old);
+    c.r_start(old_slot).store(old_count, Ordering::Release);
+    // Lazy reclamation: if the frozen count is already matched by
+    // releases (or zero — the "never read" generation, which no reader
+    // will ever post as a hint), the old slot is free *now*. Queue it
+    // in the writer-local FIFO — zero shared-memory traffic, and the
+    // next W1 is served in O(1). The Acquire on r_end orders the
+    // releasing readers' payload loads before our next stores there.
+    if c.opts().hint && old_count == c.r_end(old_slot).load(Ordering::Acquire) {
+        wr.push_candidate(old_slot as u32, false);
+    }
+    wr.set_last_slot(slot);
+}
+
+/// The currently published slot index (diagnostic snapshot).
+pub(crate) fn current_index_on<C: ArcCells>(c: &C) -> usize {
+    // Acquire: diagnostic — exact only in quiescent states, where the
+    // acquire is enough to observe the last publication.
+    index_of(c.current_word().load(Ordering::Acquire)) as usize
+}
+
+/// Sum of outstanding presence units across all non-current slots plus
+/// the current counter (test/diagnostic; racy under concurrency).
+///
+/// In a quiescent state this equals the number of live readers that
+/// have performed at least one read.
+pub(crate) fn outstanding_units_on<C: ArcCells>(c: &C) -> u64 {
+    // Acquire throughout: a diagnostic snapshot is racy whatever the
+    // ordering; Acquire is enough for the quiescent case to be exact.
+    let cur = c.current_word().load(Ordering::Acquire);
+    let cur_idx = index_of(cur) as usize;
+    let mut units = counter_of(cur) as u64;
+    for i in 0..c.n_slots() {
+        if i == cur_idx {
+            continue;
+        }
+        let rs = c.r_start(i).load(Ordering::Acquire) as u64;
+        let re = c.r_end(i).load(Ordering::Acquire) as u64;
+        units += rs.saturating_sub(re);
+    }
+    // Correction: the current slot's counter includes units whose
+    // holders already released. Switch-releases never target the
+    // current slot (a reader switches only when the index moved), but
+    // `reader_leave` and fast-path-disabled re-reads do release against
+    // a still-current slot; those releases sit in its r_end until the
+    // freeze reconciles them.
+    // Saturating like the per-slot terms above: a release racing this
+    // snapshot can make r_end momentarily exceed the counter we read.
+    units.saturating_sub(c.r_end(cur_idx).load(Ordering::Acquire) as u64)
+}
+
+// ---------------------------------------------------------------------
+// The padded single-register layout
+// ---------------------------------------------------------------------
+
+/// The ARC coordination state machine (single-register padded layout).
 #[derive(Debug)]
 pub struct RawArc {
     /// The packed `(index, counter)` synchronization word.
@@ -161,6 +530,54 @@ pub struct RawArc {
     /// Operation counters for experiment E5/E6.
     #[cfg(feature = "metrics")]
     pub metrics: OpMetrics,
+}
+
+impl ArcCells for RawArc {
+    #[inline]
+    fn n_slots(&self) -> usize {
+        self.meta.len()
+    }
+    #[inline]
+    fn current_word(&self) -> &AtomicU64 {
+        &self.current
+    }
+    #[inline]
+    fn hint_word(&self) -> &AtomicUsize {
+        &self.hint
+    }
+    #[inline]
+    fn r_start(&self, slot: usize) -> &AtomicU32 {
+        &self.meta[slot].r_start
+    }
+    #[inline]
+    fn r_end(&self, slot: usize) -> &AtomicU32 {
+        &self.meta[slot].r_end
+    }
+    #[inline]
+    fn live_readers_word(&self) -> &AtomicU32 {
+        &self.live_readers
+    }
+    #[inline]
+    fn gen_joins_word(&self) -> &AtomicU32 {
+        &self.gen_joins
+    }
+    #[inline]
+    fn writer_claimed_word(&self) -> &AtomicBool {
+        &self.writer_claimed
+    }
+    #[inline]
+    fn max_readers(&self) -> u32 {
+        self.max_readers
+    }
+    #[inline]
+    fn opts(&self) -> RawOptions {
+        self.opts
+    }
+    #[cfg(feature = "metrics")]
+    #[inline]
+    fn metrics(&self) -> &OpMetrics {
+        &self.metrics
+    }
 }
 
 /// Reader-side per-handle state: the slot pinned by the previous read.
@@ -199,6 +616,33 @@ impl RawWriter {
     /// Candidate slots currently queued in the free-slot ring (diagnostic).
     pub fn ring_len(&self) -> usize {
         self.ring.len
+    }
+}
+
+impl ArcWriterMem for RawWriter {
+    #[inline]
+    fn last_slot(&self) -> usize {
+        self.last_slot
+    }
+    #[inline]
+    fn set_last_slot(&mut self, slot: usize) {
+        self.last_slot = slot;
+    }
+    #[inline]
+    fn search_pos(&self) -> usize {
+        self.search_pos
+    }
+    #[inline]
+    fn set_search_pos(&mut self, pos: usize) {
+        self.search_pos = pos;
+    }
+    #[inline]
+    fn push_candidate(&mut self, slot: u32, from_hint: bool) {
+        self.ring.push(slot, from_hint);
+    }
+    #[inline]
+    fn pop_candidate(&mut self) -> Option<(u32, bool)> {
+        self.ring.pop()
     }
 }
 
@@ -314,9 +758,7 @@ impl RawArc {
 
     /// The currently published slot index (diagnostic snapshot).
     pub fn current_index(&self) -> usize {
-        // Acquire: diagnostic — exact only in quiescent states, where the
-        // acquire is enough to observe the last publication.
-        index_of(self.current.load(Ordering::Acquire)) as usize
+        current_index_on(self)
     }
 
     /// The standing-reader counter of the current publication (diagnostic).
@@ -324,34 +766,19 @@ impl RawArc {
         counter_of(self.current.load(Ordering::Acquire))
     }
 
+    /// Heap footprint of this coordination state in bytes (the slot-meta
+    /// allocation; the struct itself is counted by the owner).
+    pub(crate) fn meta_heap_bytes(&self) -> usize {
+        self.meta.len() * std::mem::size_of::<CachePadded<SlotMeta>>()
+    }
+
     // ------------------------------------------------------------------
     // Reader side
     // ------------------------------------------------------------------
 
     /// Register a reader handle (bounded by `max_readers`).
-    ///
-    /// Orderings: both counters are pure capacity bookkeeping — the RMW
-    /// itself is atomic, and no payload data is published through them, so
-    /// `Relaxed` carries the whole argument (ordering-budget table).
     pub fn reader_join(&self) -> Result<RawReader, HandleError> {
-        let live = self.live_readers.fetch_add(1, Ordering::Relaxed);
-        if live >= self.max_readers {
-            self.live_readers.fetch_sub(1, Ordering::Relaxed);
-            return Err(HandleError::ReadersExhausted { max_readers: self.max_readers });
-        }
-        // Churn guard: per write generation, presence-counter growth is one
-        // unit per handle that performs a fetch_add; bound the number of
-        // handles created per generation so the counter can never carry
-        // into the index field (see crate::current).
-        let budget = MAX_READERS - self.max_readers;
-        let joins = self.gen_joins.fetch_add(1, Ordering::SeqCst);
-        if joins >= budget {
-            // Saturate rather than wrap; the handle is refused.
-            self.gen_joins.fetch_sub(1, Ordering::SeqCst);
-            self.live_readers.fetch_sub(1, Ordering::Relaxed);
-            return Err(HandleError::ChurnExhausted);
-        }
-        Ok(RawReader { last_index: None })
+        reader_join_on(self)
     }
 
     /// Perform the coordination part of a read (Algorithm 2), returning the
@@ -361,70 +788,12 @@ impl RawArc {
     /// `read_acquire` or [`RawArc::reader_leave`] with the same handle.
     #[inline]
     pub fn read_acquire(&self, rd: &mut RawReader) -> ReadOutcome {
-        #[cfg(feature = "metrics")]
-        OpMetrics::bump(&self.metrics.reads, 1);
-
-        if self.opts.fast_path {
-            // R1: SeqCst is part of the `current` budget (table above). On
-            // x86 this is a plain `mov`; the *correctness* of the hit
-            // additionally leans on per-location coherence delivering the
-            // newest store of `current` (DESIGN.md §3.1) — the happens-
-            // before edge for the payload bytes was already established by
-            // this handle's own R4 when it pinned the slot.
-            let raw = self.current.load(Ordering::SeqCst); // R1
-            let index = index_of(raw);
-            if rd.last_index == Some(index) {
-                // R2: the pinned slot is still the most recent publication.
-                #[cfg(feature = "metrics")]
-                OpMetrics::bump(&self.metrics.fast_reads, 1);
-                return ReadOutcome { slot: index as usize, fast: true };
-            }
-        }
-        // Slow path: release the previously pinned slot (R3) ...
-        if let Some(old) = rd.last_index {
-            self.release_unit(old as usize);
-            #[cfg(feature = "metrics")]
-            OpMetrics::bump(&self.metrics.read_rmws, 1);
-        }
-        // ... then atomically fetch the up-to-date index while registering
-        // an anonymous presence unit on it (R4/R5).
-        let raw = self.current.fetch_add(1, Ordering::SeqCst);
-        #[cfg(feature = "metrics")]
-        OpMetrics::bump(&self.metrics.read_rmws, 1);
-        let index = index_of(raw);
-        debug_assert!(
-            counter_of(raw) < u32::MAX,
-            "presence counter about to carry into the index field"
-        );
-        rd.last_index = Some(index);
-        ReadOutcome { slot: index as usize, fast: false }
-    }
-
-    /// Release a presence unit on `slot` (R3), optionally posting the §3.4
-    /// free-slot hint.
-    #[inline]
-    fn release_unit(&self, slot: usize) {
-        let prev = self.meta[slot].r_end.fetch_add(1, Ordering::Release);
-        if self.opts.hint {
-            // §3.4: if this release made the slot free, propose it to the
-            // writer. r_start is only meaningful once frozen; a stale read
-            // here merely suppresses or misposts a hint, and the writer
-            // re-validates before trusting it.
-            let r_start = self.meta[slot].r_start.load(Ordering::Acquire);
-            if prev.wrapping_add(1) == r_start {
-                self.hint.store(slot, Ordering::Release);
-            }
-        }
+        read_acquire_on(self, rd)
     }
 
     /// Deregister a reader handle, releasing its outstanding unit (if any).
-    pub fn reader_leave(&self, mut rd: RawReader) {
-        if let Some(old) = rd.last_index.take() {
-            self.release_unit(old as usize);
-        }
-        // Relaxed: capacity bookkeeping only (see reader_join). The data
-        // edge for the released slot was carried by release_unit above.
-        self.live_readers.fetch_sub(1, Ordering::Relaxed);
+    pub fn reader_leave(&self, rd: RawReader) {
+        reader_leave_on(self, rd)
     }
 
     // ------------------------------------------------------------------
@@ -433,15 +802,7 @@ impl RawArc {
 
     /// Claim the unique writer handle.
     pub fn writer_claim(&self) -> Result<RawWriter, HandleError> {
-        // Acquire: lock-style handoff — pairs with the Release store in
-        // writer_release, ordering the previous writer's publishes (and
-        // slot stores) before this claimer's reads of protocol state.
-        if self.writer_claimed.swap(true, Ordering::Acquire) {
-            return Err(HandleError::WriterAlreadyClaimed);
-        }
-        // Invariant: last_slot always equals current.index between writes,
-        // so a re-claimed writer reconstructs it from `current`.
-        let last_slot = self.current_index();
+        let last_slot = writer_claim_on(self)?;
         Ok(RawWriter {
             last_slot,
             search_pos: (last_slot + 1) % self.meta.len(),
@@ -451,94 +812,25 @@ impl RawArc {
 
     /// Release the writer handle so another thread may claim it.
     pub fn writer_release(&self, _wr: RawWriter) {
-        // Release: other half of the writer_claim handoff.
-        self.writer_claimed.store(false, Ordering::Release);
+        writer_release_on(self)
     }
 
     /// Whether `slot` has no standing readers (`r_start == r_end`).
     ///
     /// Only sound for slots other than the current one (whose presence
     /// units live in `current.counter`, not in `r_start`).
+    #[cfg(test)]
     #[inline]
     fn slot_free(&self, slot: usize) -> bool {
-        // Acquire on r_end: the releasing readers' payload loads must
-        // happen-before our upcoming payload stores.
-        let r_end = self.meta[slot].r_end.load(Ordering::Acquire);
-        // r_start is written only by the writer (us): Relaxed suffices.
-        let r_start = self.meta[slot].r_start.load(Ordering::Relaxed);
-        r_start == r_end
+        slot_free_on(self, slot)
     }
 
     /// W1: select a free slot different from the last written one.
     ///
-    /// O(1) in steady state: candidates come from the writer-local free
-    /// ring (fed by lazy reclamation at W3 and by drained §3.4 reader
-    /// hints), each re-validated through [`RawArc::slot_free`] before use.
-    /// Only when the ring runs dry does the rotating scan run — and with
-    /// `n_slots >= live_readers + 2` a single sweep always finds a slot
-    /// (Lemma 4.1), preserving writer wait-freedom. Below that bound
-    /// (ablation only) the scan retries with backoff, which is where
-    /// wait-freedom is lost.
+    /// See [`select_slot_on`] for the candidate-ring fast path and the
+    /// Lemma 4.1 fallback scan.
     pub fn select_slot(&self, wr: &mut RawWriter) -> usize {
-        #[cfg(feature = "metrics")]
-        OpMetrics::bump(&self.metrics.writes, 1);
-
-        if self.opts.hint {
-            // Drain the shared hint word into the local ring (the one RMW
-            // this step has always cost). Acquire pairs with the posting
-            // Release, though the real data edge is re-established by the
-            // slot_free validation below.
-            let h = self.hint.swap(NO_HINT, Ordering::Acquire);
-            #[cfg(feature = "metrics")]
-            OpMetrics::bump(&self.metrics.write_rmws, 1);
-            if h != NO_HINT {
-                wr.ring.push(h as u32, true);
-            }
-            // Pop candidates until one validates. Each pop is plain local
-            // memory; only the validation (slot_free) is a shared probe —
-            // candidates discarded by the local last_slot check cost none.
-            #[cfg_attr(not(feature = "metrics"), allow(unused_variables))]
-            while let Some((c, from_hint)) = wr.ring.pop() {
-                let c = c as usize;
-                if c == wr.last_slot {
-                    continue;
-                }
-                #[cfg(feature = "metrics")]
-                OpMetrics::bump(&self.metrics.slot_probes, 1);
-                if self.slot_free(c) {
-                    #[cfg(feature = "metrics")]
-                    {
-                        OpMetrics::bump(&self.metrics.ring_hits, 1);
-                        // Attribute §3.4-origin candidates to the hint
-                        // metric no matter how many calls they waited.
-                        if from_hint {
-                            OpMetrics::bump(&self.metrics.hint_hits, 1);
-                        }
-                    }
-                    return c;
-                }
-            }
-        }
-        let n = self.meta.len();
-        let mut backoff = sync_backoff();
-        loop {
-            for off in 0..n {
-                let s = (wr.search_pos + off) % n;
-                if s == wr.last_slot {
-                    continue;
-                }
-                #[cfg(feature = "metrics")]
-                OpMetrics::bump(&self.metrics.slot_probes, 1);
-                if self.slot_free(s) {
-                    wr.search_pos = (s + 1) % n;
-                    return s;
-                }
-            }
-            // Unreachable with n_slots >= live_readers + 2; reachable in the
-            // under-provisioned ablation, where the writer must wait for a
-            // reader to move on.
-            backoff();
-        }
+        select_slot_on(self, wr)
     }
 
     /// W2 + W3: publish `slot` (already filled by the caller) and freeze the
@@ -549,40 +841,7 @@ impl RawArc {
     /// `slot` must come from [`RawArc::select_slot`] on the same handle,
     /// and the caller must have completed all payload stores to it.
     pub fn publish(&self, wr: &mut RawWriter, slot: usize) {
-        debug_assert_ne!(slot, wr.last_slot, "W1 forbids reusing the current slot");
-        debug_assert!(self.slot_free(slot), "publishing a slot with standing readers");
-        // Reset the slot's generation counters. Visibility to readers is
-        // carried by the SeqCst swap below (release) paired with their
-        // SeqCst fetch_add (acquire).
-        self.meta[slot].r_start.store(0, Ordering::Relaxed);
-        self.meta[slot].r_end.store(0, Ordering::Relaxed);
-        // Fresh generation: reset the reader-churn budget before exposing
-        // the new publication. SeqCst deliberately — this is the one
-        // bookkeeping counter whose bound (budget = MAX_READERS −
-        // max_readers, leaving exactly one unit of slack below the index
-        // carry) is load-bearing for the packed-word encoding, and joiners
-        // never touch `current`, so no cheaper edge orders their RMWs
-        // against this reset.
-        self.gen_joins.store(0, Ordering::SeqCst);
-        // W2: publish atomically with a zeroed presence counter.
-        let old = self.current.swap(Current::fresh(slot as u32), Ordering::SeqCst);
-        #[cfg(feature = "metrics")]
-        OpMetrics::bump(&self.metrics.write_rmws, 1);
-        // W3: freeze the superseded slot's presence count. Release pairs
-        // with the Acquire load in readers' hint check.
-        let old_slot = index_of(old) as usize;
-        let old_count = counter_of(old);
-        self.meta[old_slot].r_start.store(old_count, Ordering::Release);
-        // Lazy reclamation: if the frozen count is already matched by
-        // releases (or zero — the "never read" generation, which no reader
-        // will ever post as a hint), the old slot is free *now*. Queue it
-        // in the writer-local ring — zero shared-memory traffic, and the
-        // next W1 is served in O(1). The Acquire on r_end orders the
-        // releasing readers' payload loads before our next stores there.
-        if self.opts.hint && old_count == self.meta[old_slot].r_end.load(Ordering::Acquire) {
-            wr.ring.push(old_slot as u32, false);
-        }
-        wr.last_slot = slot;
+        publish_on(self, wr, slot)
     }
 
     /// Sum of outstanding presence units across all non-current slots plus
@@ -591,28 +850,7 @@ impl RawArc {
     /// In a quiescent state this equals the number of live readers that
     /// have performed at least one read.
     pub fn outstanding_units(&self) -> u64 {
-        // Acquire throughout: a diagnostic snapshot is racy whatever the
-        // ordering; Acquire is enough for the quiescent case to be exact.
-        let cur = self.current.load(Ordering::Acquire);
-        let cur_idx = index_of(cur) as usize;
-        let mut units = counter_of(cur) as u64;
-        for (i, m) in self.meta.iter().enumerate() {
-            if i == cur_idx {
-                continue;
-            }
-            let rs = m.r_start.load(Ordering::Acquire) as u64;
-            let re = m.r_end.load(Ordering::Acquire) as u64;
-            units += rs.saturating_sub(re);
-        }
-        // Correction: the current slot's counter includes units whose
-        // holders already released. Switch-releases never target the
-        // current slot (a reader switches only when the index moved), but
-        // `reader_leave` and fast-path-disabled re-reads do release against
-        // a still-current slot; those releases sit in its r_end until the
-        // freeze reconciles them.
-        // Saturating like the per-slot terms above: a release racing this
-        // snapshot can make r_end momentarily exceed the counter we read.
-        units.saturating_sub(self.meta[cur_idx].r_end.load(Ordering::Acquire) as u64)
+        outstanding_units_on(self)
     }
 }
 

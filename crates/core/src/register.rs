@@ -73,10 +73,30 @@ struct SlotBuf {
 unsafe impl Sync for SlotBuf {}
 unsafe impl Send for SlotBuf {}
 
-/// The large-payload byte arena: one `capacity`-sized region per slot.
+/// The large-payload byte arena: one `capacity`-sized region per slot
+/// (per register × slot for slab groups).
 ///
 /// Empty when every representable value fits inline.
-struct Arena(Box<[UnsafeCell<u8>]>);
+pub(crate) struct Arena(Box<[UnsafeCell<u8>]>);
+
+impl Arena {
+    /// A zero-filled arena of `len` bytes (one allocation).
+    pub(crate) fn zeroed(len: usize) -> Self {
+        Arena((0..len).map(|_| UnsafeCell::new(0u8)).collect())
+    }
+
+    /// Base pointer of the byte region.
+    #[inline]
+    pub(crate) fn base(&self) -> *const UnsafeCell<u8> {
+        self.0.as_ptr()
+    }
+
+    /// Arena length in bytes.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.0.len()
+    }
+}
 
 // SAFETY: same protocol-serialization argument as SlotBuf — a region is
 // written only by the writer between select_slot and publish, and read only
@@ -162,7 +182,7 @@ impl ArcBuilder {
         // The arena only exists if some representable value needs it.
         let arena_bytes =
             if self.inline && self.capacity <= INLINE_CAP { 0 } else { n_slots * self.capacity };
-        let arena = Arena((0..arena_bytes).map(|_| UnsafeCell::new(0u8)).collect());
+        let arena = Arena::zeroed(arena_bytes);
         let reg = ArcRegister { raw, slots, arena, capacity: self.capacity, inline: self.inline };
         // Algorithm 1: the initial value goes to slot 0, which RawArc::new
         // already published. No reader or writer exists yet, so plain
@@ -250,6 +270,17 @@ impl ArcRegister {
         self.raw.metrics.snapshot()
     }
 
+    /// Bytes of heap this register owns (struct + slot headers + slot
+    /// metadata + arena), the footprint the `group_scaling` bench compares
+    /// against the slab layout. Excludes allocator bookkeeping overhead,
+    /// so the real resident cost is strictly higher.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.raw.meta_heap_bytes()
+            + self.slots.len() * std::mem::size_of::<CachePadded<SlotBuf>>()
+            + self.arena.len()
+    }
+
     /// Whether values of `len` bytes are stored inline in the slot header.
     #[inline]
     fn stored_inline(&self, len: usize) -> bool {
@@ -273,7 +304,7 @@ impl ArcRegister {
                 let inline: &[u8; INLINE_CAP] = &*self.slots[slot].inline.get();
                 &inline[..len]
             } else {
-                let base = self.arena.0.as_ptr().add(slot * self.capacity);
+                let base = self.arena.base().add(slot * self.capacity);
                 std::slice::from_raw_parts(base.cast::<u8>(), len)
             }
         }
@@ -294,7 +325,7 @@ impl ArcRegister {
                 let inline: &mut [u8; INLINE_CAP] = &mut *self.slots[slot].inline.get();
                 &mut inline[..len]
             } else {
-                let base = self.arena.0.as_ptr().add(slot * self.capacity);
+                let base = self.arena.base().add(slot * self.capacity);
                 std::slice::from_raw_parts_mut(base.cast::<u8>().cast_mut(), len)
             };
             fill(dst);
@@ -411,7 +442,13 @@ impl ArcReader {
     }
 
     /// Copy the current value into `out` (resizing it), returning its length.
-    pub fn read_into(&mut self, out: &mut Vec<u8>) -> usize {
+    ///
+    /// Named distinctly from [`ReadHandle::read_into`] (the trait method
+    /// copies into a caller-sized `&mut [u8]`); an inherent method with the
+    /// trait's name would shadow it on every `ArcReader` call site.
+    ///
+    /// [`ReadHandle::read_into`]: register_common::traits::ReadHandle::read_into
+    pub fn read_to_vec(&mut self, out: &mut Vec<u8>) -> usize {
         let snap = self.read();
         out.clear();
         out.extend_from_slice(&snap);
@@ -455,6 +492,12 @@ pub struct Snapshot<'a> {
 }
 
 impl<'a> Snapshot<'a> {
+    /// Assemble a snapshot (shared with the `group` handles, which pin
+    /// slots through the same protocol).
+    pub(crate) fn assemble(bytes: &'a [u8], slot: usize, fast: bool, inline: bool) -> Self {
+        Self { bytes, slot, fast, inline }
+    }
+
     /// The snapshot bytes with the full lifetime of the reader borrow.
     ///
     /// The slice outlives the `Snapshot` struct itself (the pin is held by
@@ -571,13 +614,13 @@ mod tests {
     }
 
     #[test]
-    fn read_into_copies() {
+    fn read_to_vec_copies() {
         let reg = small();
         let mut w = reg.writer().unwrap();
         let mut r = reg.reader().unwrap();
         w.write(b"copy me");
         let mut out = Vec::new();
-        assert_eq!(r.read_into(&mut out), 7);
+        assert_eq!(r.read_to_vec(&mut out), 7);
         assert_eq!(out, b"copy me");
     }
 

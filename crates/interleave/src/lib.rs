@@ -32,6 +32,7 @@
 
 pub mod arc_model;
 pub mod explorer;
+pub mod group_model;
 pub mod mn_model;
 pub mod peterson_model;
 pub mod rf_model;
@@ -39,6 +40,7 @@ pub mod spec;
 
 pub use arc_model::{ArcModel, Defect};
 pub use explorer::{explore, random_walks, ExploreLimits, Model, Outcome, Report};
+pub use group_model::{GroupArcModel, GroupDefect, GroupModelConfig};
 pub use mn_model::{MnDefect, MnModel};
 pub use peterson_model::PetersonModel;
 pub use rf_model::RfModel;

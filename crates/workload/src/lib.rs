@@ -8,6 +8,10 @@
 //!   (write copies a constant buffer, read only retrieves the snapshot)
 //!   and the **processing** workload (write generates content, read scans
 //!   the retrieved buffer).
+//! * [`multi`] — multi-register (table) workloads: one batch writer plus
+//!   reader threads over K registers through a
+//!   [`TableFamily`](register_common::TableFamily) layout, with uniform or
+//!   Zipf key skew — the substrate of the `group_scaling` bench.
 //! * [`steal`] — CPU-steal simulation for the virtualized-platform
 //!   experiment (Figure 2): stealer threads burn cores in random bursts,
 //!   preempting workers at arbitrary points — exactly the mid-critical-
@@ -23,6 +27,7 @@
 pub mod driver;
 pub mod histogram;
 pub mod modes;
+pub mod multi;
 pub mod stats;
 pub mod steal;
 pub mod table;
@@ -30,6 +35,7 @@ pub mod table;
 pub use driver::{run_register, RunConfig, RunResult};
 pub use histogram::LatencyHistogram;
 pub use modes::WorkloadMode;
+pub use multi::{run_table, KeyDist, KeySampler, MultiConfig, MultiResult};
 pub use stats::Summary;
 pub use steal::{StealConfig, StealInjector};
 pub use table::{write_csv, Table};
