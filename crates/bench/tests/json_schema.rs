@@ -78,6 +78,43 @@ fn bench_ops_sections_conform() {
         &["size_bytes", "inline_ops_per_sec", "arena_ops_per_sec", "speedup"],
     );
 
+    // MN-on-slab: the density comparison is exact heap accounting
+    // (deterministic), so its acceptance floor — slab footprint ≤ 1/4 of
+    // the standalone composition at M = 8 — is enforced even for freshly
+    // regenerated reports.
+    let mn_density = check_object(
+        &doc,
+        file,
+        "mn_density",
+        &["writers", "readers", "slab_bytes", "standalone_bytes", "ratio"],
+    );
+    let mn_ratio =
+        mn_density.get("ratio").and_then(Json::as_f64).expect("mn density ratio is numeric");
+    assert!(
+        mn_ratio >= 4.0,
+        "{file}: MN slab density ratio {mn_ratio} fell below the 4x acceptance floor"
+    );
+    let m = mn_density.get("writers").and_then(Json::as_f64).expect("writer count numeric");
+    assert_eq!(m, 8.0, "{file}: mn_density must be measured at the acceptance point M = 8");
+
+    // The multi-writer table workload (W roles × K cells on one slab).
+    check_rows(
+        &doc,
+        file,
+        "mn_table",
+        &[
+            "writers",
+            "registers",
+            "dist",
+            "ops_per_sec",
+            "read_p50_ns",
+            "read_p99_ns",
+            "write_p50_ns",
+            "write_p99_ns",
+            "bytes_per_register",
+        ],
+    );
+
     // The group_scaling section: scaling points + density + parity.
     let group =
         check_object(&doc, file, "group_scaling", &["points", "density", "fast_path_parity"]);
@@ -158,4 +195,30 @@ fn bench_latency_sections_conform() {
         &["algo", "regime", "size", "samples", "p50_ns", "p99_ns", "p999_ns", "max_ns"],
     );
     check_rows(&doc, file, "microbench", &["bench", "algo", "size", "ns_per_op"]);
+
+    // The MN read-scan comparison at M = 8: the acceptance criterion is
+    // "slab p50 no worse than standalone". Timing-sensitive, so — like
+    // the group fast-path parity floor — it binds strictly only against
+    // the committed report; `ARC_SCHEMA_LENIENT=1` (regenerated reports
+    // on noisy quick-profile CI boxes) checks structure only.
+    let scan = check_object(
+        &doc,
+        file,
+        "mn_read_scan",
+        &[
+            "writers",
+            "slab_p50_ns",
+            "slab_p99_ns",
+            "standalone_p50_ns",
+            "standalone_p99_ns",
+            "p50_ratio",
+        ],
+    );
+    let ratio = scan.get("p50_ratio").and_then(Json::as_f64).expect("scan ratio is numeric");
+    if std::env::var_os("ARC_SCHEMA_LENIENT").is_none() {
+        assert!(
+            ratio <= 1.0,
+            "{file}: MN slab read-scan p50 at {ratio}x of the standalone layout (must be <= 1.0)"
+        );
+    }
 }

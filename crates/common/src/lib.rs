@@ -33,6 +33,6 @@ pub use clock::HistoryClock;
 pub use metrics::OpMetrics;
 pub use payload::{stamp, verify, PayloadError, MIN_PAYLOAD_LEN};
 pub use traits::{
-    ReadHandle, RegisterFamily, RegisterSpec, TableFamily, TableReadHandle, TableWriteHandle,
-    WriteHandle,
+    MwTableFamily, ReadHandle, RegisterFamily, RegisterSpec, TableFamily, TableReadHandle,
+    TableWriteHandle, WriteHandle,
 };

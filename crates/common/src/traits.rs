@@ -216,6 +216,47 @@ pub trait TableFamily: 'static {
     }
 }
 
+/// What [`MwTableFamily::build`] returns: one whole-table writer handle
+/// per writer role, plus the reader handles.
+pub type MwTableHandles<F> = (Vec<<F as MwTableFamily>::Writer>, Vec<<F as MwTableFamily>::Reader>);
+
+/// A family of **multi-writer** table layouts: K registers that any of
+/// `writers` roles may write (each write linearizing table-wide per
+/// register), driven by the `workload_harness::multi` MW driver and the
+/// `mn_scaling` bench.
+///
+/// This is the (M,N)-table counterpart of [`TableFamily`] (which fixes
+/// one writer role per table). The handle traits are shared: every
+/// writer role gets its own whole-table [`TableWriteHandle`], so W
+/// writer threads can each own one and write any key concurrently.
+pub trait MwTableFamily: 'static {
+    /// A whole-table writer handle (one per writer role).
+    type Writer: TableWriteHandle;
+    /// A whole-table reader handle.
+    type Reader: TableReadHandle;
+
+    /// Short name used in bench output rows ("mn-slab", ...).
+    const NAME: &'static str;
+
+    /// Build a table of `registers` multi-writer registers with `writers`
+    /// writer roles, each register to `spec` (readers = concurrent
+    /// whole-table reader handles, which must cover the handles returned
+    /// here), all initialized to `initial`. Returns exactly `writers`
+    /// writer handles.
+    fn build(
+        registers: usize,
+        writers: usize,
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<MwTableHandles<Self>, BuildError>;
+
+    /// Total heap bytes the table owns, for density comparisons. `None`
+    /// when the layout cannot account for itself.
+    fn heap_bytes(_writers: &[Self::Writer]) -> Option<usize> {
+        None
+    }
+}
+
 /// Validate a spec against an optional per-algorithm reader limit.
 ///
 /// Shared by every implementation's `build`.

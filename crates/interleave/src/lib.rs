@@ -34,6 +34,7 @@ pub mod arc_model;
 pub mod explorer;
 pub mod group_model;
 pub mod mn_model;
+pub mod mn_slab_model;
 pub mod peterson_model;
 pub mod rf_model;
 pub mod spec;
@@ -42,6 +43,7 @@ pub use arc_model::{ArcModel, Defect};
 pub use explorer::{explore, random_walks, ExploreLimits, Model, Outcome, Report};
 pub use group_model::{GroupArcModel, GroupDefect, GroupModelConfig};
 pub use mn_model::{MnDefect, MnModel};
+pub use mn_slab_model::{MnSlabConfig, MnSlabDefect, MnSlabModel};
 pub use peterson_model::PetersonModel;
 pub use rf_model::RfModel;
 pub use spec::{ModelConfig, ObsChecker};

@@ -35,7 +35,9 @@ pub mod table;
 pub use driver::{run_register, RunConfig, RunResult};
 pub use histogram::LatencyHistogram;
 pub use modes::WorkloadMode;
-pub use multi::{run_table, KeyDist, KeySampler, MultiConfig, MultiResult};
+pub use multi::{
+    run_mw_table, run_table, KeyDist, KeySampler, MultiConfig, MultiResult, MwMultiConfig,
+};
 pub use stats::Summary;
 pub use steal::{StealConfig, StealInjector};
 pub use table::{write_csv, Table};

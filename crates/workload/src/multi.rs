@@ -26,7 +26,9 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
-use register_common::traits::{RegisterSpec, TableFamily, TableReadHandle, TableWriteHandle};
+use register_common::traits::{
+    MwTableFamily, RegisterSpec, TableFamily, TableReadHandle, TableWriteHandle,
+};
 
 use crate::histogram::LatencyHistogram;
 
@@ -279,6 +281,153 @@ pub fn run_table<F: TableFamily>(cfg: &MultiConfig) -> MultiResult {
     MultiResult { reads, writes, secs, read_latency, write_latency, heap_bytes }
 }
 
+/// One **multi-writer** table measurement configuration: W writer threads
+/// (each owning a distinct whole-table writer role) × K registers.
+#[derive(Debug, Clone)]
+pub struct MwMultiConfig {
+    /// Number of registers K in the table.
+    pub registers: usize,
+    /// Writer threads W (one writer role each).
+    pub writer_threads: usize,
+    /// Reader threads (each holds one whole-table reader view).
+    pub reader_threads: usize,
+    /// Value size written/read (bytes).
+    pub value_size: usize,
+    /// Measured window.
+    pub duration: Duration,
+    /// Keys per writer batch.
+    pub write_batch: usize,
+    /// Keys per reader burst.
+    pub read_burst: usize,
+    /// Key distribution.
+    pub dist: KeyDist,
+    /// Base RNG seed (each thread derives its own stream).
+    pub seed: u64,
+}
+
+/// Run the mixed **multi-writer** table workload against layout `F`:
+/// `writer_threads` threads each own one writer role and write sampled
+/// keys; reader threads burst sampled keys through
+/// [`TableReadHandle::read_many`]. Sampling/timing discipline matches
+/// [`run_table`] (every [`SAMPLE_EVERY`]th round is per-op timed).
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no registers, writers or
+/// readers; zero batch sizes) or the family rejects it.
+pub fn run_mw_table<F: MwTableFamily>(cfg: &MwMultiConfig) -> MultiResult {
+    assert!(cfg.registers >= 1, "need at least one register");
+    assert!(cfg.writer_threads >= 1, "need at least one writer thread");
+    assert!(cfg.reader_threads >= 1, "need at least one reader thread");
+    assert!(cfg.write_batch >= 1 && cfg.read_burst >= 1, "batch sizes must be non-zero");
+
+    let initial = vec![0u8; cfg.value_size];
+    let spec = RegisterSpec::new(cfg.reader_threads, cfg.value_size);
+    let (writers, readers) = F::build(cfg.registers, cfg.writer_threads, spec, &initial)
+        .unwrap_or_else(|e| panic!("{} rejected the MW table spec: {e}", F::NAME));
+    assert_eq!(writers.len(), cfg.writer_threads, "one writer handle per writer thread");
+    let heap_bytes = F::heap_bytes(&writers);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let n_workers = cfg.writer_threads + cfg.reader_threads;
+    let barrier = Arc::new(Barrier::new(n_workers + 1)); // workers + coordinator
+    let mut handles = Vec::new();
+
+    // Writer threads: each role writes batches of sampled keys.
+    for (t, mut writer) in writers.into_iter().enumerate() {
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut sampler =
+                KeySampler::new(cfg.registers, cfg.dist, cfg.seed ^ (t as u64 * 31 + 0xA5A5));
+            let value = vec![1 + t as u8; cfg.value_size];
+            let mut keys: Vec<usize> = Vec::with_capacity(cfg.write_batch);
+            let mut batch: Vec<(usize, &[u8])> = Vec::with_capacity(cfg.write_batch);
+            let mut hist = LatencyHistogram::new();
+            barrier.wait();
+            let mut ops = 0u64;
+            let mut rounds = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                sampler.fill(&mut keys, cfg.write_batch);
+                rounds += 1;
+                if rounds.is_multiple_of(SAMPLE_EVERY) {
+                    for &k in &keys {
+                        let t0 = Instant::now();
+                        writer.write(k, &value);
+                        hist.record(t0.elapsed().as_nanos() as u64);
+                    }
+                } else {
+                    batch.clear();
+                    batch.extend(keys.iter().map(|&k| (k, value.as_slice())));
+                    writer.write_batch(&batch);
+                }
+                ops += cfg.write_batch as u64;
+            }
+            (0u64, ops, hist)
+        }));
+    }
+
+    // Reader threads: identical to the single-writer driver.
+    for (t, mut reader) in readers.into_iter().enumerate() {
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut sampler =
+                KeySampler::new(cfg.registers, cfg.dist, cfg.seed ^ (t as u64 * 7919 + 13));
+            let mut keys: Vec<usize> = Vec::with_capacity(cfg.read_burst);
+            let mut hist = LatencyHistogram::new();
+            barrier.wait();
+            let mut ops = 0u64;
+            let mut sink = 0u64;
+            let mut rounds = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                sampler.fill(&mut keys, cfg.read_burst);
+                rounds += 1;
+                if rounds.is_multiple_of(SAMPLE_EVERY) {
+                    for &k in &keys {
+                        let t0 = Instant::now();
+                        reader.read_with(k, |v| {
+                            sink = sink.wrapping_add(v.first().copied().unwrap_or(0) as u64);
+                        });
+                        hist.record(t0.elapsed().as_nanos() as u64);
+                    }
+                } else {
+                    reader.read_many(&keys, |_, v| {
+                        sink = sink.wrapping_add(v.first().copied().unwrap_or(0) as u64);
+                    });
+                }
+                ops += cfg.read_burst as u64;
+            }
+            std::hint::black_box(sink);
+            (ops, 0u64, hist)
+        }));
+    }
+
+    barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut read_latency = LatencyHistogram::new();
+    let mut write_latency = LatencyHistogram::new();
+    for (i, h) in handles.into_iter().enumerate() {
+        let (r, w, hist) = h.join().expect("MW table worker panicked");
+        reads += r;
+        writes += w;
+        if i < cfg.writer_threads {
+            write_latency.merge(&hist);
+        } else {
+            read_latency.merge(&hist);
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    MultiResult { reads, writes, secs, read_latency, write_latency, heap_bytes }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +468,27 @@ mod tests {
         }
     }
 
+    impl MwTableFamily for MutexTableFamily {
+        type Writer = MtWriter;
+        type Reader = MtReader;
+        const NAME: &'static str = "mutex-mw-table-test";
+        fn build(
+            registers: usize,
+            writers: usize,
+            spec: RegisterSpec,
+            initial: &[u8],
+        ) -> Result<(Vec<MtWriter>, Vec<MtReader>), BuildError> {
+            if registers == 0 || writers == 0 {
+                return Err(BuildError::ZeroRegisters);
+            }
+            let shared =
+                Arc::new((0..registers).map(|_| Mutex::new(initial.to_vec())).collect::<Vec<_>>());
+            let ws = (0..writers).map(|_| MtWriter(Arc::clone(&shared))).collect();
+            let rs = (0..spec.readers).map(|_| MtReader(Arc::clone(&shared))).collect();
+            Ok((ws, rs))
+        }
+    }
+
     fn tiny_cfg(dist: KeyDist) -> MultiConfig {
         MultiConfig {
             registers: 64,
@@ -345,6 +515,27 @@ mod tests {
     fn driver_measures_zipf_table() {
         let res = run_table::<MutexTableFamily>(&tiny_cfg(KeyDist::Zipf(0.99)));
         assert!(res.reads > 0 && res.writes > 0);
+    }
+
+    #[test]
+    fn mw_driver_measures_multi_writer_table() {
+        for dist in [KeyDist::Uniform, KeyDist::Zipf(0.99)] {
+            let cfg = MwMultiConfig {
+                registers: 64,
+                writer_threads: 3,
+                reader_threads: 2,
+                value_size: 16,
+                duration: Duration::from_millis(40),
+                write_batch: 8,
+                read_burst: 16,
+                dist,
+                seed: 42,
+            };
+            let res = run_mw_table::<MutexTableFamily>(&cfg);
+            assert!(res.reads > 0 && res.writes > 0, "{dist:?}");
+            assert!(res.read_latency.count() > 0, "sampled read latencies missing");
+            assert!(res.write_latency.count() > 0, "sampled write latencies missing");
+        }
     }
 
     #[test]

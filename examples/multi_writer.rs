@@ -25,13 +25,19 @@ const RUN: Duration = Duration::from_millis(600);
 fn main() {
     let mut initial = vec![0u8; MIN_PAYLOAD_LEN];
     stamp(&mut initial, 0);
+    // `writer()`/`reader()` below return `Result<_, HandleError>` (the
+    // same contract as `ArcRegister`): claiming a fifth agent here would
+    // yield `Err(WriterAlreadyClaimed)` rather than a panic or a None.
     let board =
         MnRegister::new(AGENTS, DASHBOARDS, STATUS_SIZE, &initial).expect("valid configuration");
     println!(
-        "status board: {} agents (writers), {} dashboards (readers), {} B statuses",
+        "status board: {} agents (writers), {} dashboards (readers), {} B statuses \
+         ({:?} layout, {} B heap)",
         board.writers(),
         board.max_readers(),
-        board.capacity()
+        board.capacity(),
+        board.layout(),
+        board.heap_bytes()
     );
 
     let stop = Arc::new(AtomicBool::new(false));

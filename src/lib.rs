@@ -46,5 +46,7 @@ pub use arc_register::{
     ArcReader, ArcRegister, ArcWriter, Snapshot, TypedArc, INLINE_CAP, MAX_READERS,
 };
 pub use baseline_registers::{LockRegister, PetersonRegister, RfRegister, SeqlockRegister};
-pub use mn_register::MnRegister;
-pub use register_common::{ReadHandle, RegisterFamily, RegisterSpec, WriteHandle};
+pub use mn_register::{MnGroup, MnLayout, MnRegister, MnTableFamily};
+pub use register_common::{
+    MwTableFamily, ReadHandle, RegisterFamily, RegisterSpec, TableFamily, WriteHandle,
+};

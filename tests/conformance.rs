@@ -2,10 +2,14 @@
 //! the same sequential specification and basic concurrent sanity, so the
 //! figure benches compare like with like.
 
-use arc_register::ArcFamily;
+use arc_register::{ArcFamily, GroupTableFamily, IndependentTableFamily};
 use baseline_registers::{LockFamily, PetersonFamily, RfFamily, SeqlockFamily};
+use mn_register::{MnFamily1, MnTableFamily};
 use register_common::payload::{stamp, verify, MIN_PAYLOAD_LEN};
-use register_common::{ReadHandle, RegisterFamily, RegisterSpec, WriteHandle};
+use register_common::{
+    ReadHandle, RegisterFamily, RegisterSpec, TableFamily, TableReadHandle, TableWriteHandle,
+    WriteHandle,
+};
 
 fn sequential_roundtrip<F: RegisterFamily>() {
     let (mut w, mut readers) = F::build(RegisterSpec::new(3, 256), b"initial").unwrap();
@@ -150,3 +154,113 @@ conformance!(rf, RfFamily);
 conformance!(peterson, PetersonFamily);
 conformance!(lock, LockFamily);
 conformance!(seqlock, SeqlockFamily);
+// The MN composition as a degenerate (1,N) register: exercises the
+// timestamp header stamping and the slab sub-register placement through
+// the identical battery as the plain algorithms.
+conformance!(mn1, MnFamily1);
+
+// ---------------------------------------------------------------------
+// Table-family conformance: every multi-register layout must satisfy the
+// same per-key sequential specification, so the table workloads and the
+// group/MN scaling benches compare like with like.
+// ---------------------------------------------------------------------
+
+fn table_sequential_roundtrip<F: TableFamily>() {
+    let (mut w, mut readers) = F::build(16, RegisterSpec::new(2, 64), b"initial").unwrap();
+    for r in readers.iter_mut() {
+        for k in 0..16 {
+            r.read_with(k, |v| assert_eq!(v, b"initial", "{}: initial key {k}", F::NAME));
+        }
+    }
+    for round in 0..20u64 {
+        for k in 0..16usize {
+            let val = (round * 31 + k as u64).to_le_bytes();
+            w.write(k, &val);
+            for r in readers.iter_mut() {
+                r.read_with(k, |v| assert_eq!(v, &val, "{}: round {round} key {k}", F::NAME));
+            }
+        }
+    }
+}
+
+fn table_keys_are_independent<F: TableFamily>() {
+    let (mut w, mut readers) = F::build(8, RegisterSpec::new(1, 64), b"seed").unwrap();
+    w.write(3, b"three");
+    let r = &mut readers[0];
+    for k in 0..8 {
+        let expect: &[u8] = if k == 3 { b"three" } else { b"seed" };
+        r.read_with(k, |v| assert_eq!(v, expect, "{}: key {k}", F::NAME));
+    }
+}
+
+fn table_read_many_visits_every_key_once<F: TableFamily>() {
+    let (mut w, mut readers) = F::build(8, RegisterSpec::new(1, 16), &[]).unwrap();
+    for k in 0..8 {
+        w.write(k, &[k as u8; 4]);
+    }
+    let keys = [5usize, 1, 7, 1, 0];
+    let mut seen = Vec::new();
+    readers[0].read_many(&keys, |k, v| {
+        assert_eq!(v, &[k as u8; 4], "{}: key {k} content", F::NAME);
+        seen.push(k);
+    });
+    seen.sort_unstable();
+    let mut expect = keys.to_vec();
+    expect.sort_unstable();
+    assert_eq!(seen, expect, "{}: every key exactly once per occurrence", F::NAME);
+}
+
+fn table_write_batch_applies_all<F: TableFamily>() {
+    let (mut w, mut readers) = F::build(8, RegisterSpec::new(1, 16), &[]).unwrap();
+    let values: Vec<Vec<u8>> = (0..8u8).map(|k| vec![k ^ 0x5A; 8]).collect();
+    let ops: Vec<(usize, &[u8])> =
+        values.iter().enumerate().map(|(k, v)| (k, v.as_slice())).collect();
+    w.write_batch(&ops);
+    for (k, v) in values.iter().enumerate() {
+        readers[0].read_with(k, |got| assert_eq!(got, &v[..], "{}: batched key {k}", F::NAME));
+    }
+}
+
+fn table_rejects_bad_specs<F: TableFamily>() {
+    assert!(F::build(0, RegisterSpec::new(1, 16), &[]).is_err(), "{}: 0 registers", F::NAME);
+    assert!(F::build(4, RegisterSpec::new(0, 16), &[]).is_err(), "{}: 0 readers", F::NAME);
+    assert!(F::build(4, RegisterSpec::new(1, 0), &[]).is_err(), "{}: 0 capacity", F::NAME);
+    assert!(
+        F::build(4, RegisterSpec::new(1, 4), &[0u8; 8]).is_err(),
+        "{}: oversized initial",
+        F::NAME
+    );
+}
+
+macro_rules! table_conformance {
+    ($mod_name:ident, $family:ty) => {
+        mod $mod_name {
+            use super::*;
+
+            #[test]
+            fn sequential_roundtrip_() {
+                table_sequential_roundtrip::<$family>();
+            }
+            #[test]
+            fn keys_are_independent_() {
+                table_keys_are_independent::<$family>();
+            }
+            #[test]
+            fn read_many_visits_every_key_once_() {
+                table_read_many_visits_every_key_once::<$family>();
+            }
+            #[test]
+            fn write_batch_applies_all_() {
+                table_write_batch_applies_all::<$family>();
+            }
+            #[test]
+            fn rejects_bad_specs_() {
+                table_rejects_bad_specs::<$family>();
+            }
+        }
+    };
+}
+
+table_conformance!(table_group, GroupTableFamily);
+table_conformance!(table_independent, IndependentTableFamily);
+table_conformance!(table_mn, MnTableFamily);

@@ -125,7 +125,13 @@ mod arc_inline_boundary {
 
     #[test]
     fn alternating_placement_under_contention() {
-        let reg = ArcRegister::builder(4, 2 * INLINE_CAP).build().unwrap();
+        // Stamped initial value, as in `hunt`: a reader whose first read
+        // beats the writer's first publish must still see a verifiable
+        // payload (the empty default is a seq-less 0-byte value, which
+        // under scheduler jitter read as a "torn" false positive).
+        let mut initial = vec![0u8; 2 * INLINE_CAP];
+        stamp(&mut initial, 0);
+        let reg = ArcRegister::builder(4, 2 * INLINE_CAP).initial(&initial).build().unwrap();
         let stop = Arc::new(AtomicBool::new(false));
         let barrier = Arc::new(Barrier::new(5));
         let reads_done = Arc::new(AtomicU64::new(0));
