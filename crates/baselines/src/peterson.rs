@@ -204,6 +204,18 @@ impl PetersonWriter {
 
 impl Drop for PetersonWriter {
     fn drop(&mut self) {
+        // Reclaim-mid-write audit (the seqlock parity-bug battery): unlike
+        // the seqlock, releasing the claim unconditionally is safe here.
+        // No user code runs inside the write (no fill-closure API), the
+        // relaxed word copies cannot unwind, and the capacity assert fires
+        // before any shared state is touched — so a dropped handle always
+        // leaves the register in one of its normal states: either `sw`
+        // never flipped (readers keep using the old main buffer) or the
+        // write fully published and only some helping copies are missing,
+        // which the handshake discipline treats exactly like a slow
+        // writer (an announced reader's fallback holds the last value it
+        // was helped with, and its main-path copy of the *published*
+        // buffer is only discarded when a help landed — both consistent).
         self.reg.writer_claimed.store(false, Ordering::SeqCst);
     }
 }

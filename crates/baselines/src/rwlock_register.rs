@@ -102,6 +102,13 @@ impl LockWriter {
 
 impl Drop for LockWriter {
     fn drop(&mut self) {
+        // Reclaim-mid-write audit (the seqlock parity-bug battery):
+        // unconditional release is safe. The buffer is only mutated under
+        // the write guard, whose own Drop releases the lock on unwind, and
+        // no user code runs inside the critical section (the capacity
+        // assert fires before locking; the memcpy cannot panic) — a
+        // dropped handle can never leave the lock held or the buffer
+        // half-published.
         self.reg.writer_claimed.store(false, Ordering::SeqCst);
     }
 }

@@ -28,8 +28,12 @@ pub struct SeqlockRegister {
     buf: WordBuf,
     capacity: usize,
     writer_claimed: AtomicBool,
-    /// Total read retries (diagnostic for the starvation ablation).
-    retries: AtomicU64,
+    /// Reads that sampled an odd (write-in-progress) counter and had to
+    /// spin before even copying (diagnostic for the starvation ablation).
+    spins: AtomicU64,
+    /// Reads whose copy completed but failed validation (the counter moved
+    /// during the copy) and had to redo the copy.
+    validation_failures: AtomicU64,
 }
 
 impl SeqlockRegister {
@@ -44,7 +48,8 @@ impl SeqlockRegister {
             buf,
             capacity,
             writer_claimed: AtomicBool::new(false),
-            retries: AtomicU64::new(0),
+            spins: AtomicU64::new(0),
+            validation_failures: AtomicU64::new(0),
         }))
     }
 
@@ -53,7 +58,7 @@ impl SeqlockRegister {
         if self.writer_claimed.swap(true, Ordering::SeqCst) {
             return None;
         }
-        Some(SeqlockWriter { reg: Arc::clone(self) })
+        Some(SeqlockWriter { reg: Arc::clone(self), scratch: Vec::new() })
     }
 
     /// Register a reader handle (unbounded).
@@ -66,9 +71,32 @@ impl SeqlockRegister {
         self.capacity
     }
 
-    /// Total validation failures across all readers so far.
+    /// Total read retries (spins + validation failures) across all readers.
+    ///
+    /// The seed lumped both causes into one counter, overstating the
+    /// validation-failure rate in the starvation ablation (an odd-counter
+    /// spin never copied anything; a validation failure wasted a full
+    /// copy). Use [`SeqlockRegister::spins`] /
+    /// [`SeqlockRegister::validation_failures`] for the split.
     pub fn total_retries(&self) -> u64 {
-        self.retries.load(Ordering::Relaxed)
+        self.spins() + self.validation_failures()
+    }
+
+    /// Reads that observed an odd (in-progress) counter before copying.
+    pub fn spins(&self) -> u64 {
+        self.spins.load(Ordering::Relaxed)
+    }
+
+    /// Completed copies discarded because the counter moved mid-copy.
+    pub fn validation_failures(&self) -> u64 {
+        self.validation_failures.load(Ordering::Relaxed)
+    }
+
+    /// Whether a writer died mid-write and no complete write has happened
+    /// since: the data is unvalidatable (readers spin) until the next
+    /// writer's first complete write resynchronizes the counter parity.
+    pub fn poisoned(&self) -> bool {
+        self.seq.write_in_progress() && !self.writer_claimed.load(Ordering::SeqCst)
     }
 }
 
@@ -76,7 +104,8 @@ impl fmt::Debug for SeqlockRegister {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SeqlockRegister")
             .field("version", &self.seq.version())
-            .field("retries", &self.total_retries())
+            .field("spins", &self.spins())
+            .field("validation_failures", &self.validation_failures())
             .finish()
     }
 }
@@ -84,6 +113,10 @@ impl fmt::Debug for SeqlockRegister {
 /// The unique seqlock writer handle.
 pub struct SeqlockWriter {
     reg: Arc<SeqlockRegister>,
+    /// Reusable staging buffer for [`SeqlockWriter::write_with`] — the
+    /// fill target, kept across writes so the path stays allocation-free
+    /// in steady state (parity with `ArcWriter::write_with`).
+    scratch: Vec<u8>,
 }
 
 impl SeqlockWriter {
@@ -103,10 +136,49 @@ impl SeqlockWriter {
         self.reg.buf.store_bytes(value);
         self.reg.seq.write_end();
     }
+
+    /// Store a new value by filling a staging buffer in place (API parity
+    /// with `ArcWriter::write_with`): `fill` receives exactly `len` bytes
+    /// of the handle's reusable scratch (no per-write allocation in
+    /// steady state).
+    ///
+    /// `fill` runs **inside the seqlock critical section** — if it panics,
+    /// the writer handle drops mid-write with the counter odd (the shared
+    /// words are untouched, but the interrupted generation is marked
+    /// in-progress). That is the reclaim hazard of the module docs: the
+    /// counter stays odd — readers spin rather than validate — until the
+    /// next writer's first complete write resynchronizes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the capacity, and propagates panics from
+    /// `fill`.
+    pub fn write_with(&mut self, len: usize, fill: impl FnOnce(&mut [u8])) {
+        assert!(
+            len <= self.reg.capacity,
+            "value of {len} bytes exceeds register capacity {}",
+            self.reg.capacity
+        );
+        self.scratch.clear();
+        self.scratch.resize(len, 0);
+        self.reg.seq.write_begin();
+        fill(&mut self.scratch);
+        self.reg.buf.store_bytes(&self.scratch);
+        self.reg.seq.write_end();
+    }
 }
 
 impl Drop for SeqlockWriter {
     fn drop(&mut self) {
+        // Releasing the claim is correct even when the drop happens
+        // mid-write (counter odd — e.g. unwinding out of `write_with`):
+        // `SeqCounter::write_begin` *adopts* an odd counter instead of
+        // re-bumping it, so the next claimed writer's first write
+        // completes the interrupted generation with fully-rewritten data.
+        // The pre-fix behaviour (blind bump) flipped the parity even while
+        // that writer was still mutating, making `read_validate` accept
+        // torn reads — the regression test `panic_mid_write_never_tears`
+        // pins this down.
         self.reg.writer_claimed.store(false, Ordering::SeqCst);
     }
 }
@@ -120,12 +192,17 @@ pub struct SeqlockReader {
 impl SeqlockReader {
     /// Read the current value. Lock-free: retries while the writer is
     /// active, so an adversarial writer starves this (the ablation point).
+    ///
+    /// Retry causes are counted separately — `spins` (odd counter sampled,
+    /// nothing copied yet) vs `validation_failures` (a full copy wasted) —
+    /// because they cost very differently and the steal-resilience
+    /// reporting distinguishes them.
     pub fn read(&mut self) -> &[u8] {
         let mut backoff = Backoff::new();
         loop {
             let begin = self.reg.seq.read_begin();
             if !begin.is_multiple_of(2) {
-                self.reg.retries.fetch_add(1, Ordering::Relaxed);
+                self.reg.spins.fetch_add(1, Ordering::Relaxed);
                 backoff.snooze();
                 continue;
             }
@@ -133,9 +210,28 @@ impl SeqlockReader {
             if self.reg.seq.read_validate(begin) {
                 return &self.scratch;
             }
-            self.reg.retries.fetch_add(1, Ordering::Relaxed);
+            self.reg.validation_failures.fetch_add(1, Ordering::Relaxed);
             backoff.snooze();
         }
+    }
+
+    /// One optimistic read attempt: `None` if a write was in progress or
+    /// the copy failed validation (counted like a [`SeqlockReader::read`]
+    /// retry). Lets callers bound their own retry policy — and lets the
+    /// panic-mid-write regression test probe an in-progress write without
+    /// deadlocking on the (correctly) unvalidatable state.
+    pub fn try_read(&mut self) -> Option<&[u8]> {
+        let begin = self.reg.seq.read_begin();
+        if !begin.is_multiple_of(2) {
+            self.reg.spins.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.reg.buf.load_bytes(&mut self.scratch);
+        if self.reg.seq.read_validate(begin) {
+            return Some(&self.scratch);
+        }
+        self.reg.validation_failures.fetch_add(1, Ordering::Relaxed);
+        None
     }
 }
 
@@ -225,6 +321,81 @@ mod tests {
     fn family_metadata() {
         assert_eq!(SeqlockFamily::NAME, "seqlock");
         assert!(!SeqlockFamily::wait_free_reads());
+    }
+
+    #[test]
+    fn panic_mid_write_never_tears() {
+        // The reclaim parity bug: a writer dropped mid-write (unwinding out
+        // of a fill closure) used to let the NEXT writer's write_begin flip
+        // the counter even while it was still mutating the words, so
+        // read_validate accepted torn reads. Pinned by replaying the exact
+        // interleaving against the recovered register.
+        let reg = SeqlockRegister::new(64, &[0xAA; 64]).unwrap();
+        let mut w = reg.writer().unwrap();
+        w.write(&[0xBB; 64]);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.write_with(64, |_| panic!("writer dies mid-write"));
+        }));
+        assert!(died.is_err());
+        drop(w); // the unwinding drop releases the claim, counter still odd
+        assert!(reg.poisoned(), "mid-write death must leave the register poisoned");
+
+        // A reader in the poisoned window must refuse, not validate.
+        let mut r = reg.reader();
+        assert!(r.try_read().is_none(), "poisoned state validated a read");
+
+        // Recovery: the next writer adopts the odd counter. Drive its
+        // critical section by hand so a reader can probe mid-mutation —
+        // under the pre-fix write_begin the counter here would be even and
+        // the half-written state below would validate as a torn read.
+        let w2 = reg.writer().expect("claim must succeed after mid-write death");
+        let begin = reg.seq.write_begin();
+        assert_eq!(begin % 2, 1, "recovery write_begin must keep the counter odd");
+        reg.buf.store_bytes(&[0xCC; 32]); // half-finished mutation
+        assert!(r.try_read().is_none(), "torn mid-write state validated");
+        reg.buf.store_bytes(&[0xCC; 64]);
+        reg.seq.write_end();
+        drop(w2);
+
+        assert!(!reg.poisoned(), "a complete write resynchronizes the parity");
+        assert_eq!(r.read(), &[0xCC; 64][..], "post-recovery reads see the full new value");
+    }
+
+    #[test]
+    fn spins_and_validation_failures_are_counted_separately() {
+        let reg = SeqlockRegister::new(64, &[1u8; 16]).unwrap();
+        let w = reg.writer().unwrap();
+        let mut r = reg.reader();
+        assert_eq!((reg.spins(), reg.validation_failures()), (0, 0));
+        // Odd counter sampled before the copy: a spin, not a validation
+        // failure.
+        reg.seq.write_begin();
+        assert!(r.try_read().is_none());
+        assert_eq!((reg.spins(), reg.validation_failures()), (1, 0));
+        reg.seq.write_end();
+        // Copy completes, then the counter moves before validation: a
+        // validation failure. Stage it by hand: sample, interleave a full
+        // write, validate.
+        let begin = reg.seq.read_begin();
+        assert!(begin.is_multiple_of(2));
+        reg.seq.write_begin();
+        reg.buf.store_bytes(&[2u8; 16]);
+        reg.seq.write_end();
+        reg.buf.load_bytes(&mut r.scratch);
+        assert!(!reg.seq.read_validate(begin));
+        reg.validation_failures.fetch_add(1, Ordering::Relaxed);
+        assert_eq!((reg.spins(), reg.validation_failures()), (1, 1));
+        assert_eq!(reg.total_retries(), 2, "total is the sum of both causes");
+        drop(w);
+    }
+
+    #[test]
+    fn write_with_fills_in_place() {
+        let reg = SeqlockRegister::new(32, b"").unwrap();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader();
+        w.write_with(8, |buf| buf.copy_from_slice(b"in-place"));
+        assert_eq!(r.read(), b"in-place");
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! **E11 (extension)** — watch-layer wake latency: how fast a parked
+//! consumer learns that the register changed.
+//!
+//! ```text
+//! ARC_BENCH_PROFILE=quick|standard|full cargo run -p arc-bench --release --bin notify_latency
+//! ```
+//!
+//! The busy-poll scenarios this subsystem replaces (`config_hotswap`,
+//! `market_data` pre-ISSUE-4) paid a core per consumer to learn of
+//! updates "immediately"; the watch layer parks the consumer instead and
+//! pays one wake per update. This bench quantifies that wake: one writer
+//! publishes timestamped payloads every `update_interval`, each watcher
+//! parks in `wait_for_update` and records `publish → woken read` latency.
+//! The p50/p99 land in scheduler-wakeup territory (microseconds) — the
+//! price of freeing the core; the coalesced count shows the semantics
+//! (freshest value, not a replay queue).
+
+use arc_bench::json::table_to_json;
+use arc_bench::{json_dir, merge_section, out_dir, BenchProfile};
+use arc_register::ArcFamily;
+use std::time::Duration;
+use workload_harness::{run_notify, write_csv, NotifyConfig, Table};
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    let updates = match profile {
+        BenchProfile::Quick => 200,
+        BenchProfile::Standard => 2_000,
+        BenchProfile::Full => 10_000,
+    };
+    let interval = Duration::from_micros(200);
+    println!("# E11 — watch-layer wake latency (publish → parked watcher's read)");
+    println!("# {updates} updates, {interval:?} apart\n");
+
+    let mut table = Table::new(vec![
+        "algo",
+        "watchers",
+        "updates",
+        "wakeups",
+        "coalesced",
+        "wake_p50_ns",
+        "wake_p90_ns",
+        "wake_p99_ns",
+        "wake_p999_ns",
+        "wake_max_ns",
+    ]);
+    for watchers in profile.thin(&[1usize, 2, 4, 8]) {
+        let cfg = NotifyConfig { watchers, value_size: 64, updates, update_interval: interval };
+        let res = run_notify::<ArcFamily>(&cfg);
+        let (p50, p90, p99, p999, max) = res.summary();
+        println!(
+            "  arc  watchers={watchers:>2}  wakes={:>7}  coalesced={:>6}  p50={p50:>7} p90={p90:>7} p99={p99:>8} p99.9={p999:>9} max={max:>10} ns",
+            res.wakeups, res.coalesced
+        );
+        table.row(vec![
+            "arc".to_string(),
+            watchers.to_string(),
+            res.updates.to_string(),
+            res.wakeups.to_string(),
+            res.coalesced.to_string(),
+            p50.to_string(),
+            p90.to_string(),
+            p99.to_string(),
+            p999.to_string(),
+            max.to_string(),
+        ]);
+    }
+
+    let path = out_dir().join("notify_latency.csv");
+    write_csv(&table, &path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+
+    let json_path = json_dir().join("BENCH_latency.json");
+    merge_section(&json_path, "arc-bench/latency/v1", "notify_latency", table_to_json(&table))
+        .expect("write BENCH_latency.json");
+    println!("merged notify_latency into {}", json_path.display());
+}

@@ -23,6 +23,7 @@
 //! | `ablation` | fast-path / hint / slot-count ablations | §3.4, E6 |
 //! | `microbench` | per-op latencies + contended point (ex-Criterion) | E7 |
 //! | `group_scaling` | slab group vs independent registers at 10k–1M | E10 (extension) |
+//! | `notify_latency` | watch-layer wake latency + coalescing | E11 (extension, §3.7) |
 //!
 //! The committed `BENCH_*.json` files are schema-checked by
 //! `tests/json_schema.rs`, so a bench refactor cannot silently drop a

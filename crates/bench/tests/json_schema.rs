@@ -196,6 +196,34 @@ fn bench_latency_sections_conform() {
     );
     check_rows(&doc, file, "microbench", &["bench", "algo", "size", "ns_per_op"]);
 
+    // The watch-layer wake-latency section (E11): every row must carry
+    // the wake quantiles and the coalescing accounting, and the watchers
+    // must actually have woken — a notify refactor that silently stops
+    // waking anyone would otherwise still emit a well-formed table.
+    check_rows(
+        &doc,
+        file,
+        "notify_latency",
+        &[
+            "algo",
+            "watchers",
+            "updates",
+            "wakeups",
+            "coalesced",
+            "wake_p50_ns",
+            "wake_p99_ns",
+            "wake_p999_ns",
+            "wake_max_ns",
+        ],
+    );
+    let Some(arc_bench::Json::Arr(rows)) = doc.get("notify_latency") else { unreachable!() };
+    for (i, row) in rows.iter().enumerate() {
+        let wakeups = row.get("wakeups").and_then(Json::as_f64).expect("wakeups numeric");
+        assert!(wakeups > 0.0, "{file}: notify_latency[{i}] recorded no wakeups");
+        let p50 = row.get("wake_p50_ns").and_then(Json::as_f64).expect("p50 numeric");
+        assert!(p50 > 0.0, "{file}: notify_latency[{i}] has an empty latency distribution");
+    }
+
     // The MN read-scan comparison at M = 8: the acceptance criterion is
     // "slab p50 no worse than standalone". Timing-sensitive, so — like
     // the group fast-path parity floor — it binds strictly only against

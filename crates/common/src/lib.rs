@@ -34,5 +34,5 @@ pub use metrics::OpMetrics;
 pub use payload::{stamp, verify, PayloadError, MIN_PAYLOAD_LEN};
 pub use traits::{
     MwTableFamily, ReadHandle, RegisterFamily, RegisterSpec, TableFamily, TableReadHandle,
-    TableWriteHandle, WriteHandle,
+    TableWriteHandle, VersionedReadHandle, WatchFamily, WatchHandle, WriteHandle,
 };

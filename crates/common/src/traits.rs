@@ -113,6 +113,48 @@ pub trait ReadHandle: Send + 'static {
     }
 }
 
+/// A reader that can report the **publication version** of every value it
+/// reads: the number of writes completed up to (and including) the one
+/// the read observes, 0 for the initial value.
+///
+/// Contract: per handle, versions never decrease across reads, and
+/// strictly increase whenever the observed value changes. This is the
+/// version-function view of an atomic register — the substrate of the
+/// watch/notification layer.
+pub trait VersionedReadHandle: ReadHandle {
+    /// Run `f` over `(version, value)` of the most recent snapshot.
+    fn read_versioned_with<R, F: FnOnce(u64, &[u8]) -> R>(&mut self, f: F) -> R;
+}
+
+/// A versioned reader that can additionally **park** until the register
+/// publishes past a version watermark — the opt-in blocking edge of the
+/// watch layer. Reads themselves stay whatever the algorithm promises
+/// (wait-free for ARC); only the explicit wait blocks.
+pub trait WatchHandle: VersionedReadHandle {
+    /// Block until the published version exceeds `last`; returns the
+    /// version observed (≥ `last + 1`). The publication that satisfies
+    /// the wait is guaranteed readable on return.
+    fn wait_for_update(&mut self, last: u64) -> u64;
+
+    /// Like [`WatchHandle::wait_for_update`] but gives up after
+    /// `timeout`; `None` means no newer publication arrived in time.
+    fn wait_for_update_timeout(&mut self, last: u64, timeout: std::time::Duration) -> Option<u64>;
+}
+
+/// A register family whose readers support the watch layer; the
+/// `workload_harness::notify` driver measures wake latency through this.
+pub trait WatchFamily: RegisterFamily {
+    /// Watch-capable reader handle type.
+    type Watcher: WatchHandle;
+
+    /// Build a register and split it into one writer plus `spec.readers`
+    /// watch-capable readers.
+    fn build_watch(
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<(Self::Writer, Vec<Self::Watcher>), BuildError>;
+}
+
 /// A family of (1,N) register algorithms: the type-level entry point used by
 /// the conformance suite and the figure benches.
 pub trait RegisterFamily: 'static {

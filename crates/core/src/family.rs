@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use register_common::traits::{
     BuildError, ReadHandle, RegisterFamily, RegisterSpec, TableFamily, TableReadHandle,
-    TableWriteHandle, WriteHandle,
+    TableWriteHandle, VersionedReadHandle, WatchFamily, WatchHandle, WriteHandle,
 };
 
 use crate::current::MAX_READERS;
@@ -55,6 +55,54 @@ impl ReadHandle for ArcReader {
     #[inline]
     fn read_with<R, F: FnOnce(&[u8]) -> R>(&mut self, f: F) -> R {
         f(&self.read())
+    }
+}
+
+impl VersionedReadHandle for ArcReader {
+    #[inline]
+    fn read_versioned_with<R, F: FnOnce(u64, &[u8]) -> R>(&mut self, f: F) -> R {
+        let snap = self.read();
+        f(snap.version(), &snap)
+    }
+}
+
+impl ReadHandle for crate::watch::WatchReader {
+    #[inline]
+    fn read_with<R, F: FnOnce(&[u8]) -> R>(&mut self, f: F) -> R {
+        f(&self.read())
+    }
+}
+
+impl VersionedReadHandle for crate::watch::WatchReader {
+    #[inline]
+    fn read_versioned_with<R, F: FnOnce(u64, &[u8]) -> R>(&mut self, f: F) -> R {
+        let snap = self.read();
+        f(snap.version(), &snap)
+    }
+}
+
+impl WatchHandle for crate::watch::WatchReader {
+    #[inline]
+    fn wait_for_update(&mut self, last: u64) -> u64 {
+        crate::watch::WatchReader::wait_for_update(self, last).version()
+    }
+
+    #[inline]
+    fn wait_for_update_timeout(&mut self, last: u64, timeout: std::time::Duration) -> Option<u64> {
+        crate::watch::WatchReader::wait_for_update_timeout(self, last, timeout)
+            .map(|snap| snap.version())
+    }
+}
+
+impl WatchFamily for ArcFamily {
+    type Watcher = crate::watch::WatchReader;
+
+    fn build_watch(
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<(Self::Writer, Vec<Self::Watcher>), BuildError> {
+        let (writer, readers) = <ArcFamily as RegisterFamily>::build(spec, initial)?;
+        Ok((writer, readers.into_iter().map(crate::watch::WatchReader::new).collect()))
     }
 }
 

@@ -74,6 +74,7 @@ use register_common::metrics::MetricsSnapshot;
 use register_common::traits::{validate_spec, BuildError, RegisterSpec};
 #[cfg(feature = "metrics")]
 use register_common::OpMetrics;
+use sync_primitives::WaitSet;
 
 use crate::current::{Current, MAX_READERS};
 use crate::errors::HandleError;
@@ -124,6 +125,10 @@ struct RegHeader {
     current: AtomicU64,
     /// §3.4 free-slot hint ([`NO_HINT`] when empty).
     hint: AtomicUsize,
+    /// Published-version event word (bumped after W2). Living in the
+    /// header line is what makes [`ArcGroup::poll_changed`] one pass over
+    /// adjacent 64 B lines.
+    version: AtomicU64,
     /// Live reader handles of this register.
     live_readers: AtomicU32,
     /// Reader handles created since the last write (churn guard).
@@ -137,6 +142,7 @@ impl RegHeader {
         Self {
             current: AtomicU64::new(Current::fresh(0)),
             hint: AtomicUsize::new(NO_HINT),
+            version: AtomicU64::new(0),
             live_readers: AtomicU32::new(0),
             gen_joins: AtomicU32::new(0),
             writer_claimed: AtomicBool::new(false),
@@ -197,6 +203,9 @@ struct GroupCells<'a> {
     header: &'a RegHeader,
     /// This register's slot run: `slots[k * n_slots ..][.. n_slots]`.
     slots: &'a [PackedSlot],
+    /// This register's slot-version stamps (parallel to `slots`; kept out
+    /// of the packed slot line, which is exactly full — module docs).
+    versions: &'a [AtomicU64],
 }
 
 impl<'a> GroupCells<'a> {
@@ -246,6 +255,23 @@ impl ArcCells for GroupCells<'_> {
     #[inline]
     fn writer_claimed_word(&self) -> &AtomicBool {
         &self.header.writer_claimed
+    }
+    #[inline]
+    fn version_word(&self) -> &AtomicU64 {
+        &self.header.version
+    }
+    #[inline]
+    fn slot_version(&self, slot: usize) -> &AtomicU64 {
+        debug_assert!(slot < self.versions.len());
+        // SAFETY: same invariant as `slot` — protocol slot indices are
+        // always in range; versions.len() == n_slots.
+        unsafe { self.versions.get_unchecked(slot) }
+    }
+    #[inline]
+    fn watch(&self) -> &WaitSet {
+        // One wait set for the whole group: watchers re-check their own
+        // register's version word after every wake (module docs).
+        &self.g.watch
     }
     #[inline]
     fn max_readers(&self) -> u32 {
@@ -406,6 +432,7 @@ impl GroupBuilder {
             self.registers.checked_mul(n_slots).expect("group slot count overflows usize");
         let headers: Box<[RegHeader]> = (0..self.registers).map(|_| RegHeader::new()).collect();
         let slots: Box<[PackedSlot]> = (0..total_slots).map(|_| PackedSlot::new()).collect();
+        let slot_versions: Box<[AtomicU64]> = (0..total_slots).map(|_| AtomicU64::new(0)).collect();
         let arena_bytes = if self.inline && self.capacity <= INLINE_CAP {
             0
         } else {
@@ -415,7 +442,9 @@ impl GroupBuilder {
         let group = ArcGroup {
             headers,
             slots,
+            slot_versions,
             arena,
+            watch: WaitSet::new(),
             registers: self.registers,
             n_slots,
             capacity: self.capacity,
@@ -450,8 +479,18 @@ impl GroupBuilder {
 pub struct ArcGroup {
     headers: Box<[RegHeader]>,
     slots: Box<[PackedSlot]>,
+    /// Per-slot publication-version stamps, parallel to `slots`. Kept out
+    /// of the packed slot line (which is exactly one full cache line):
+    /// only slow-path reads and writes touch it — the R2 fast path serves
+    /// the version from the reader handle's cache.
+    slot_versions: Box<[AtomicU64]>,
     /// Large-payload storage: region `(k * n_slots + slot) * capacity ..`.
     arena: Arena,
+    /// Group-wide wait/notify edge: any register's publish wakes all
+    /// parked watchers, each of which re-checks its own register's
+    /// version word (thundering-herd by design — per-register condvars
+    /// would cost ~10× the whole header slab at K = 1M).
+    watch: WaitSet,
     registers: usize,
     n_slots: usize,
     capacity: usize,
@@ -508,6 +547,81 @@ impl ArcGroup {
         outstanding_units_on(&self.cells(k))
     }
 
+    /// Published version of register `k`: number of completed writes to it
+    /// (0 = only the initial value). Monotone; safe to poll from any
+    /// thread without a reader handle.
+    #[inline]
+    pub fn published_version(&self, k: usize) -> u64 {
+        self.check_index(k);
+        // Acquire pairs with the writer's post-W2 Release bump: a caller
+        // that sees version v can immediately read publication v.
+        self.headers[k].version.load(Ordering::Acquire)
+    }
+
+    /// One-pass change poll: for every `(k, last_version)` watermark whose
+    /// register has published past `last_version`, invoke `f(k, v)` with
+    /// the version observed. Returns how many registers had changed.
+    ///
+    /// This is the batch edge of the watch layer: each probe is one
+    /// `Acquire` load of the register's 64 B header line, so polling keys
+    /// in ascending order walks adjacent lines sequentially (callers with
+    /// sorted watch sets get hardware prefetch for free). Wait-free and
+    /// handle-free — it never touches slots, readers, or locks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is out of range.
+    pub fn poll_changed(
+        &self,
+        watermarks: &[(usize, u64)],
+        mut f: impl FnMut(usize, u64),
+    ) -> usize {
+        let mut changed = 0;
+        for &(k, last) in watermarks {
+            self.check_index(k);
+            let v = self.headers[k].version.load(Ordering::Acquire);
+            if v > last {
+                changed += 1;
+                f(k, v);
+            }
+        }
+        changed
+    }
+
+    /// Block until register `k` publishes past `last`; returns the version
+    /// observed. The blocking edge is the group-wide wait set (any
+    /// register's publish wakes the waiter, which re-checks `k`): opt-in
+    /// and strictly outside the wait-free protocol.
+    pub fn wait_for_update(&self, k: usize, last: u64) -> u64 {
+        self.check_index(k);
+        let mut seen = last;
+        self.watch.wait_until(|| {
+            seen = self.headers[k].version.load(Ordering::Acquire);
+            seen > last
+        });
+        seen
+    }
+
+    /// Like [`ArcGroup::wait_for_update`] with a timeout; `None` if it
+    /// elapsed with no newer publication.
+    pub fn wait_for_update_timeout(
+        &self,
+        k: usize,
+        last: u64,
+        timeout: std::time::Duration,
+    ) -> Option<u64> {
+        self.check_index(k);
+        let mut seen = last;
+        let woke = self.watch.wait_until_timeout(
+            || {
+                seen = self.headers[k].version.load(Ordering::Acquire);
+                seen > last
+            },
+            timeout,
+        );
+        woke.then_some(seen)
+    }
+
     /// Bytes of heap the whole group owns (headers + slots + arena +
     /// struct). Divide by [`ArcGroup::registers`] for the per-register
     /// footprint the `group_scaling` bench reports.
@@ -515,6 +629,7 @@ impl ArcGroup {
         std::mem::size_of::<Self>()
             + self.headers.len() * std::mem::size_of::<RegHeader>()
             + self.slots.len() * std::mem::size_of::<PackedSlot>()
+            + self.slot_versions.len() * std::mem::size_of::<AtomicU64>()
             + self.arena.len()
     }
 
@@ -612,6 +727,10 @@ impl ArcGroup {
                 g: self,
                 header: self.headers.get_unchecked(k),
                 slots: std::slice::from_raw_parts(self.slots.as_ptr().add(base), self.n_slots),
+                versions: std::slice::from_raw_parts(
+                    self.slot_versions.as_ptr().add(base),
+                    self.n_slots,
+                ),
             }
         }
     }
@@ -809,7 +928,14 @@ impl GroupReader {
         // and are excluded while the Snapshot's borrow is live.
         let bytes = unsafe { self.group.slot_bytes_in(cells.slot(out.slot), self.k, out.slot) };
         let inline = self.group.stored_inline(bytes.len());
-        Snapshot::assemble(bytes, out.slot, out.fast, inline)
+        Snapshot::assemble(bytes, out.slot, out.fast, inline, out.version)
+    }
+
+    /// Block until this register publishes past `last`, then read it.
+    /// Convenience over [`ArcGroup::wait_for_update`] + [`GroupReader::read`].
+    pub fn wait_for_update(&mut self, last: u64) -> Snapshot<'_> {
+        self.group.wait_for_update(self.k, last);
+        self.read()
     }
 
     /// Index of the register this reader observes.
@@ -930,7 +1056,7 @@ impl GroupReaderSet {
         // requires &mut self.
         let bytes = unsafe { self.group.slot_bytes_in(cells.slot(out.slot), k, out.slot) };
         let inline = self.group.stored_inline(bytes.len());
-        Snapshot::assemble(bytes, out.slot, out.fast, inline)
+        Snapshot::assemble(bytes, out.slot, out.fast, inline, out.version)
     }
 
     /// Read many registers in one pass, invoking `f(k, value)` for each
@@ -965,6 +1091,35 @@ impl GroupReaderSet {
             // returned.
             let bytes = unsafe { self.group.slot_bytes_in(cells.slot(out.slot), k, out.slot) };
             f(k, bytes);
+        }
+        self.scratch = scratch;
+    }
+
+    /// [`GroupReaderSet::read_many`] with publication versions: invokes
+    /// `f(k, version, value)` per requested key (ascending register
+    /// order, duplicates preserved). The version belongs to the exact
+    /// value passed alongside it — pair with [`ArcGroup::poll_changed`]
+    /// to re-read only the keys that moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is out of range.
+    pub fn read_many_versioned(&mut self, keys: &[usize], mut f: impl FnMut(usize, u64, &[u8])) {
+        self.scratch.clear();
+        self.scratch.reserve(keys.len());
+        for &k in keys {
+            self.group.check_index(k);
+            self.scratch.push(k as u32);
+        }
+        self.scratch.sort_unstable();
+        let scratch = std::mem::take(&mut self.scratch);
+        for &k32 in &scratch {
+            let k = k32 as usize;
+            let cells = self.group.cells(k);
+            let out = read_acquire_on(&cells, &mut self.rds[k]);
+            // SAFETY: pin discipline as in `read_many`.
+            let bytes = unsafe { self.group.slot_bytes_in(cells.slot(out.slot), k, out.slot) };
+            f(k, out.version, bytes);
         }
         self.scratch = scratch;
     }
@@ -1200,9 +1355,10 @@ mod tests {
     #[test]
     fn small_capacity_group_has_no_arena() {
         let g = ArcGroup::builder(100, 1, INLINE_CAP).build().unwrap();
-        // headers + slots only: 64 + 3*64 per register, plus the struct.
+        // headers + slots + version stamps: 64 + 3*(64 + 8) per register,
+        // plus the struct amortized.
         let per_reg = g.heap_bytes() / 100;
-        assert!(per_reg <= 64 + 3 * 64 + 8, "per-register {per_reg} bytes too high");
+        assert!(per_reg <= 64 + 3 * (64 + 8) + 8, "per-register {per_reg} bytes too high");
     }
 
     #[test]
@@ -1292,6 +1448,92 @@ mod tests {
         assert_eq!(m.pop_candidate(), Some((1, false)));
         assert_eq!(m.pop_candidate(), Some((2, true)));
         assert_eq!(m.pop_candidate(), None);
+    }
+
+    #[test]
+    fn versions_are_per_register_and_snapshots_carry_them() {
+        let g = small(3);
+        let mut set = g.writer_set().unwrap();
+        set.write(1, b"a");
+        set.write(1, b"b");
+        set.write(2, b"c");
+        assert_eq!(g.published_version(0), 0);
+        assert_eq!(g.published_version(1), 2);
+        assert_eq!(g.published_version(2), 1);
+        let mut readers = g.reader_set().unwrap();
+        assert_eq!(readers.read(0).version(), 0);
+        assert_eq!(readers.read(1).version(), 2);
+        assert_eq!(readers.read(2).version(), 1);
+        // Fast-path re-read reports the cached version.
+        let snap = readers.read(1);
+        assert!(snap.fast());
+        assert_eq!(snap.version(), 2);
+    }
+
+    #[test]
+    fn poll_changed_reports_only_moved_registers() {
+        let g = small(8);
+        let mut set = g.writer_set().unwrap();
+        let mut marks: Vec<(usize, u64)> = (0..8).map(|k| (k, 0)).collect();
+        assert_eq!(g.poll_changed(&marks, |_, _| panic!("nothing changed yet")), 0);
+        set.write(2, b"x");
+        set.write(5, b"y");
+        set.write(5, b"z");
+        let mut seen = Vec::new();
+        let changed = g.poll_changed(&marks, |k, v| seen.push((k, v)));
+        assert_eq!(changed, 2);
+        assert_eq!(seen, vec![(2, 1), (5, 2)]);
+        // Advance the watermarks: the same state now reports clean.
+        for (k, v) in seen {
+            marks[k].1 = v;
+        }
+        assert_eq!(g.poll_changed(&marks, |_, _| panic!("watermarks advanced")), 0);
+    }
+
+    #[test]
+    fn read_many_versioned_matches_poll_changed() {
+        let g = small(6);
+        let mut set = g.writer_set().unwrap();
+        for round in 0..3 {
+            for k in 0..6 {
+                if (k + round) % 2 == 0 {
+                    set.write(k, &[round as u8; 8]);
+                }
+            }
+        }
+        let marks: Vec<(usize, u64)> = (0..6).map(|k| (k, 0)).collect();
+        let mut polled = std::collections::HashMap::new();
+        g.poll_changed(&marks, |k, v| {
+            polled.insert(k, v);
+        });
+        let mut readers = g.reader_set().unwrap();
+        let keys: Vec<usize> = (0..6).collect();
+        readers.read_many_versioned(&keys, |k, v, _| {
+            // Quiescent: the version a read observes equals the version
+            // poll_changed reported (or 0 where nothing was written).
+            assert_eq!(v, polled.get(&k).copied().unwrap_or(0), "register {k}");
+        });
+    }
+
+    #[test]
+    fn group_wait_for_update_wakes_on_its_register_only_when_past() {
+        let g = small(2);
+        let waiter = {
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || g.wait_for_update(1, 0))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let mut set = g.writer_set().unwrap();
+        // A write to register 0 wakes the set but register 1 is unchanged,
+        // so the waiter re-parks; the write to register 1 releases it.
+        set.write(0, b"other");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        set.write(1, b"mine");
+        assert_eq!(waiter.join().unwrap(), 1);
+        assert!(
+            g.wait_for_update_timeout(0, 1, std::time::Duration::from_millis(5)).is_none(),
+            "register 0 is still at version 1"
+        );
     }
 
     #[test]

@@ -53,6 +53,12 @@
 //! * [`group`] — [`ArcGroup`]: K registers (up to ~1M) from one slab,
 //!   with batched write/read paths for multi-register workloads.
 //! * [`typed`] — [`TypedArc`]: the same protocol carrying any `T`.
+//! * [`watch`] — versioned reads + change notification: park until the
+//!   register publishes past a version watermark ([`WatchReader`]),
+//!   batch-poll a group's header lines ([`ArcGroup::poll_changed`]), or
+//!   (feature `async`) stream versions to any `std::task` executor. The
+//!   read/write paths stay wait-free — waiting is opt-in and outside the
+//!   protocol.
 //! * [`raw`] — the slot/counter protocol, payload-agnostic and
 //!   storage-generic (both layouts above run it unchanged).
 //! * [`current`] — the packed synchronization word.
@@ -76,13 +82,17 @@ pub mod group;
 pub mod raw;
 pub mod register;
 pub mod typed;
+pub mod watch;
 
 pub use errors::HandleError;
 pub use family::{ArcFamily, GroupTableFamily, IndependentTableFamily};
 pub use group::{ArcGroup, GroupBuilder, GroupReader, GroupReaderSet, GroupWriter, GroupWriterSet};
 pub use raw::{RawArc, RawOptions, ReadOutcome};
 pub use register::{ArcBuilder, ArcReader, ArcRegister, ArcWriter, Snapshot, INLINE_CAP};
-pub use typed::{TypedArc, TypedReader, TypedWriter};
+pub use typed::{TypedArc, TypedReader, TypedWriter, Versioned};
+#[cfg(feature = "async")]
+pub use watch::VersionStream;
+pub use watch::{TypedWatchReader, WatchReader};
 
 /// The maximum number of concurrent readers: 2³² − 2 (the paper's headline).
 pub const MAX_READERS: u32 = current::MAX_READERS;

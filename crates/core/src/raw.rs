@@ -69,6 +69,14 @@
 //! | `live_readers` | all | `Relaxed` | capacity bookkeeping via RMWs only (never reset by a plain store); guards handle counts, never publishes data |
 //! | `gen_joins` | all | `SeqCst` | the churn budget's carry-safety bound has one unit of slack (crate::current), and the generation reset is a plain store racing joiner RMWs — kept at `SeqCst`, the one non-`current` atomic that stays there |
 //! | `writer_claimed` | claim `swap` / release store | `Acquire` / `Release` | lock-style handoff of the writer role between threads |
+//! | `slot_version` | writer stamp store / reader load | `Relaxed` | protocol-protected like the payload: stamped before W2, read under a standing unit; the `current` SeqCst pair carries the edge |
+//! | `version` (event word) | writer bump store | `Release` | bumped strictly **after** W2, so a watcher that observes version `v` always finds publication `v` (or newer) readable; single-writer-owned, so the writer's reload is `Relaxed` |
+//! | `version` (event word) | watcher loads | `Acquire` | pairs with the bump; the watch layer's lost-wakeup fence discipline lives in `sync_primitives::WaitSet` (and is model-checked by `interleave::notify_model`) |
+//!
+//! The version bump is the **watch edge**: one release store per write,
+//! plus `WaitSet::notify_all`'s fence + relaxed load (no lock when nobody
+//! waits). Waiting is an opt-in *blocking* edge strictly outside the
+//! protocol — the read and write paths above stay wait-free.
 //!
 //! * The writer's payload stores happen-before the `SeqCst` swap (W2),
 //!   which pairs with the readers' `SeqCst` `fetch_add` (R4).
@@ -123,6 +131,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 use register_common::pad::CachePadded;
 #[cfg(feature = "metrics")]
 use register_common::OpMetrics;
+use sync_primitives::WaitSet;
 
 use crate::current::{counter_of, index_of, Current, MAX_READERS};
 use crate::errors::HandleError;
@@ -141,6 +150,10 @@ struct SlotMeta {
     r_start: AtomicU32,
     /// Presence units released by readers that switched away (R3).
     r_end: AtomicU32,
+    /// Publication version stamped into the slot before W2 (protocol-
+    /// protected like the payload; `Relaxed` per the ordering budget).
+    /// Shares the slot's padded line — the counters leave 56 spare bytes.
+    version: AtomicU64,
 }
 
 /// Runtime-tunable protocol options (ablation switches for the E6 bench).
@@ -187,6 +200,16 @@ pub(crate) trait ArcCells {
     fn gen_joins_word(&self) -> &AtomicU32;
     /// Whether the unique writer handle is claimed.
     fn writer_claimed_word(&self) -> &AtomicBool;
+    /// The published-version event word: number of completed writes, bumped
+    /// strictly after W2 (0 = only the initial value is published).
+    fn version_word(&self) -> &AtomicU64;
+    /// Per-slot publication-version stamp (written before W2 under writer
+    /// exclusivity, read under a standing presence unit).
+    fn slot_version(&self, slot: usize) -> &AtomicU64;
+    /// The wait/notify edge watchers park on (may be shared by all
+    /// registers of a slab group — waiters re-check their own register's
+    /// version word after every wake).
+    fn watch(&self) -> &WaitSet;
     /// Configured reader cap `N`.
     fn max_readers(&self) -> u32;
     /// Protocol ablation switches.
@@ -243,7 +266,7 @@ pub(crate) fn reader_join_on<C: ArcCells>(c: &C) -> Result<RawReader, HandleErro
         c.live_readers_word().fetch_sub(1, Ordering::Relaxed);
         return Err(HandleError::ChurnExhausted);
     }
-    Ok(RawReader { last_index: None })
+    Ok(RawReader { last_index: None, last_version: 0 })
 }
 
 /// Perform the coordination part of a read (Algorithm 2), returning the
@@ -266,10 +289,12 @@ pub(crate) fn read_acquire_on<C: ArcCells>(c: &C, rd: &mut RawReader) -> ReadOut
         let raw = c.current_word().load(Ordering::SeqCst); // R1
         let index = index_of(raw);
         if rd.last_index == Some(index) {
-            // R2: the pinned slot is still the most recent publication.
+            // R2: the pinned slot is still the most recent publication —
+            // the same publication as last time (linchpin argument), so
+            // the cached version is exact and the fast path stays free.
             #[cfg(feature = "metrics")]
             OpMetrics::bump(&c.metrics().fast_reads, 1);
-            return ReadOutcome { slot: index as usize, fast: true };
+            return ReadOutcome { slot: index as usize, fast: true, version: rd.last_version };
         }
     }
     // Slow path: release the previously pinned slot (R3) ...
@@ -289,7 +314,12 @@ pub(crate) fn read_acquire_on<C: ArcCells>(c: &C, rd: &mut RawReader) -> ReadOut
         "presence counter about to carry into the index field"
     );
     rd.last_index = Some(index);
-    ReadOutcome { slot: index as usize, fast: false }
+    // The stamp was written before the W2 that published this slot, and
+    // the slot cannot be re-stamped while our fresh presence unit pins it
+    // — Relaxed per the ordering budget (the edge came from the SeqCst
+    // swap/fetch_add pair on `current`).
+    rd.last_version = c.slot_version(index as usize).load(Ordering::Relaxed);
+    ReadOutcome { slot: index as usize, fast: false, version: rd.last_version }
 }
 
 /// Release a presence unit on `slot` (R3), optionally posting the §3.4
@@ -447,6 +477,12 @@ pub(crate) fn publish_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: 
     // never touch `current`, so no cheaper edge orders their RMWs
     // against this reset.
     c.gen_joins_word().store(0, Ordering::SeqCst);
+    // Stamp the publication version into the slot before W2 (the writer
+    // owns the event word, so the Relaxed reload is exact). Readers that
+    // pin this slot read the stamp under the same protocol edge as the
+    // payload bytes.
+    let version = c.version_word().load(Ordering::Relaxed).wrapping_add(1);
+    c.slot_version(slot).store(version, Ordering::Relaxed);
     // W2: publish atomically with a zeroed presence counter.
     let old = c.current_word().swap(Current::fresh(slot as u32), Ordering::SeqCst);
     #[cfg(feature = "metrics")]
@@ -466,6 +502,53 @@ pub(crate) fn publish_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: 
         wr.push_candidate(old_slot as u32, false);
     }
     wr.set_last_slot(slot);
+    // The watch edge: bump the event word strictly AFTER W2, so any
+    // watcher observing `version` finds publication `version` readable
+    // (bumping before W2 would let a woken watcher re-read the old value
+    // and park again with nothing left to wake it — the lost-wakeup shape
+    // `interleave::notify_model` checks). Release pairs with watchers'
+    // Acquire loads; the Dekker fences against sleeping watchers live in
+    // WaitSet::notify_all, which costs one fence + one load when nobody
+    // waits.
+    c.version_word().store(version, Ordering::Release);
+    c.watch().notify_all();
+}
+
+/// The published version: the number of completed writes (0 = only the
+/// initial value). Monotone; safe to poll from any thread.
+#[inline]
+pub(crate) fn published_version_on<C: ArcCells>(c: &C) -> u64 {
+    c.version_word().load(Ordering::Acquire)
+}
+
+/// Block until the published version exceeds `last`, returning the version
+/// observed (≥ `last + 1`). This is the opt-in blocking edge of the watch
+/// layer — the register's own operations never call it.
+pub(crate) fn wait_for_version_on<C: ArcCells>(c: &C, last: u64) -> u64 {
+    let mut seen = last;
+    c.watch().wait_until(|| {
+        seen = published_version_on(c);
+        seen > last
+    });
+    seen
+}
+
+/// Like [`wait_for_version_on`] with a timeout; `None` if it elapsed with
+/// no newer publication.
+pub(crate) fn wait_for_version_timeout_on<C: ArcCells>(
+    c: &C,
+    last: u64,
+    timeout: std::time::Duration,
+) -> Option<u64> {
+    let mut seen = last;
+    let woke = c.watch().wait_until_timeout(
+        || {
+            seen = published_version_on(c);
+            seen > last
+        },
+        timeout,
+    );
+    woke.then_some(seen)
 }
 
 /// The currently published slot index (diagnostic snapshot).
@@ -522,6 +605,11 @@ pub struct RawArc {
     live_readers: CachePadded<AtomicU32>,
     /// Reader handles created since the last write (churn guard).
     gen_joins: CachePadded<AtomicU32>,
+    /// Published-version event word (bumped after W2); padded because
+    /// watchers poll it while the writer bumps it.
+    version: CachePadded<AtomicU64>,
+    /// Wait/notify edge for watchers (cold unless someone waits).
+    watch: WaitSet,
     /// Whether the unique writer handle is claimed.
     writer_claimed: AtomicBool,
     /// Reader cap `N`.
@@ -566,6 +654,18 @@ impl ArcCells for RawArc {
         &self.writer_claimed
     }
     #[inline]
+    fn version_word(&self) -> &AtomicU64 {
+        &self.version
+    }
+    #[inline]
+    fn slot_version(&self, slot: usize) -> &AtomicU64 {
+        &self.meta[slot].version
+    }
+    #[inline]
+    fn watch(&self) -> &WaitSet {
+        &self.watch
+    }
+    #[inline]
     fn max_readers(&self) -> u32 {
         self.max_readers
     }
@@ -586,12 +686,21 @@ impl ArcCells for RawArc {
 #[derive(Debug)]
 pub struct RawReader {
     last_index: Option<u32>,
+    /// Version of the publication this handle pins — cached so the R2
+    /// fast path reports a version without touching the slot line.
+    last_version: u64,
 }
 
 impl RawReader {
     /// Slot this reader currently pins, if any.
     pub fn pinned_slot(&self) -> Option<usize> {
         self.last_index.map(|i| i as usize)
+    }
+
+    /// Version of the publication this handle pins (0 before the first
+    /// read, or while pinning the initial value).
+    pub fn pinned_version(&self) -> u64 {
+        self.last_version
     }
 }
 
@@ -694,6 +803,11 @@ pub struct ReadOutcome {
     pub slot: usize,
     /// True if the no-RMW fast path was taken (R2).
     pub fast: bool,
+    /// Publication version of the value in `slot`: the number of writes
+    /// completed up to (and including) the one this read observes; 0 for
+    /// the initial value. Strictly increases whenever the value changes,
+    /// never decreases across a handle's reads.
+    pub version: u64,
 }
 
 impl RawArc {
@@ -720,7 +834,11 @@ impl RawArc {
         assert!(n_slots <= u32::MAX as usize, "slot index must fit 32 bits");
         let meta = (0..n_slots)
             .map(|_| {
-                CachePadded::new(SlotMeta { r_start: AtomicU32::new(0), r_end: AtomicU32::new(0) })
+                CachePadded::new(SlotMeta {
+                    r_start: AtomicU32::new(0),
+                    r_end: AtomicU32::new(0),
+                    version: AtomicU64::new(0),
+                })
             })
             .collect();
         Self {
@@ -731,6 +849,8 @@ impl RawArc {
             meta,
             live_readers: CachePadded::new(AtomicU32::new(0)),
             gen_joins: CachePadded::new(AtomicU32::new(0)),
+            version: CachePadded::new(AtomicU64::new(0)),
+            watch: WaitSet::new(),
             writer_claimed: AtomicBool::new(false),
             max_readers,
             opts,
@@ -764,6 +884,31 @@ impl RawArc {
     /// The standing-reader counter of the current publication (diagnostic).
     pub fn current_counter(&self) -> u32 {
         counter_of(self.current.load(Ordering::Acquire))
+    }
+
+    /// The published version: number of completed writes (0 = only the
+    /// initial value). Monotone; safe to poll from any thread.
+    #[inline]
+    pub fn published_version(&self) -> u64 {
+        published_version_on(self)
+    }
+
+    /// Block until the published version exceeds `last`; returns the
+    /// version observed. Opt-in blocking edge — see the module docs.
+    pub fn wait_for_version(&self, last: u64) -> u64 {
+        wait_for_version_on(self, last)
+    }
+
+    /// Like [`RawArc::wait_for_version`] with a timeout; `None` if it
+    /// elapsed first.
+    pub fn wait_for_version_timeout(&self, last: u64, timeout: std::time::Duration) -> Option<u64> {
+        wait_for_version_timeout_on(self, last, timeout)
+    }
+
+    /// The watch layer's wait/notify edge (for async waker registration).
+    #[cfg(feature = "async")]
+    pub(crate) fn watch_set(&self) -> &WaitSet {
+        &self.watch
     }
 
     /// Heap footprint of this coordination state in bytes (the slot-meta
@@ -902,7 +1047,7 @@ mod tests {
         let r = raw(2);
         let mut rd = r.reader_join().unwrap();
         let out = r.read_acquire(&mut rd);
-        assert_eq!(out, ReadOutcome { slot: 0, fast: false });
+        assert_eq!(out, ReadOutcome { slot: 0, fast: false, version: 0 });
         assert_eq!(r.current_counter(), 1, "one anonymous unit registered");
         r.reader_leave(rd);
     }
@@ -1218,6 +1363,82 @@ mod tests {
         assert_eq!(ring.pop(), Some((9, true)));
         assert_eq!(ring.pop(), Some((10, false)));
         assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn versions_count_publications_and_reads_observe_them() {
+        let r = raw(2);
+        let mut w = r.writer_claim().unwrap();
+        let mut rd = r.reader_join().unwrap();
+        assert_eq!(r.published_version(), 0);
+        assert_eq!(r.read_acquire(&mut rd).version, 0, "initial value is version 0");
+        for i in 1..=50u64 {
+            let s = r.select_slot(&mut w);
+            r.publish(&mut w, s);
+            assert_eq!(r.published_version(), i);
+            let out = r.read_acquire(&mut rd);
+            assert_eq!(out.version, i, "read must observe publication {i}");
+        }
+        // Fast path repeats report the same (cached) version.
+        let out = r.read_acquire(&mut rd);
+        assert!(out.fast);
+        assert_eq!(out.version, 50);
+        r.reader_leave(rd);
+        r.writer_release(w);
+    }
+
+    #[test]
+    fn version_survives_writer_reclaim() {
+        // The recycled-writer hazard from PR 3, for versions: a re-claimed
+        // writer must continue the version sequence, never restart it.
+        let r = raw(2);
+        let mut w = r.writer_claim().unwrap();
+        for _ in 0..7 {
+            let s = r.select_slot(&mut w);
+            r.publish(&mut w, s);
+        }
+        r.writer_release(w);
+        let mut w2 = r.writer_claim().unwrap();
+        let s = r.select_slot(&mut w2);
+        r.publish(&mut w2, s);
+        assert_eq!(r.published_version(), 8, "version regressed across writer reclaim");
+        r.writer_release(w2);
+    }
+
+    #[test]
+    fn wait_for_version_returns_immediately_when_already_newer() {
+        let r = raw(1);
+        let mut w = r.writer_claim().unwrap();
+        let s = r.select_slot(&mut w);
+        r.publish(&mut w, s);
+        assert_eq!(r.wait_for_version(0), 1);
+        r.writer_release(w);
+    }
+
+    #[test]
+    fn wait_for_version_timeout_elapses_quietly() {
+        let r = raw(1);
+        assert_eq!(
+            r.wait_for_version_timeout(0, std::time::Duration::from_millis(5)),
+            None,
+            "no publication, so the wait must time out"
+        );
+    }
+
+    #[test]
+    fn waiter_is_woken_by_publish() {
+        use std::sync::Arc;
+        let r = Arc::new(raw(2));
+        let waiter = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || r.wait_for_version(0))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let mut w = r.writer_claim().unwrap();
+        let s = r.select_slot(&mut w);
+        r.publish(&mut w, s);
+        assert_eq!(waiter.join().unwrap(), 1, "parked watcher must wake on W2");
+        r.writer_release(w);
     }
 
     #[test]

@@ -46,6 +46,7 @@ use register_common::traits::{validate_spec, BuildError, RegisterSpec};
 use crate::current::MAX_READERS;
 use crate::errors::HandleError;
 use crate::raw::{RawArc, RawOptions, RawReader, RawWriter};
+use crate::typed::Versioned;
 
 /// Largest payload (bytes) stored inline in the slot header cache line.
 ///
@@ -252,6 +253,19 @@ impl ArcRegister {
         self.raw.live_readers()
     }
 
+    /// The published version: number of completed writes (0 = only the
+    /// initial value). Monotone; safe to poll from any thread.
+    #[inline]
+    pub fn published_version(&self) -> u64 {
+        self.raw.published_version()
+    }
+
+    /// The protocol core (for the watch layer in [`crate::watch`]).
+    #[inline]
+    pub(crate) fn raw_arc(&self) -> &RawArc {
+        &self.raw
+    }
+
     /// Claim the unique writer handle.
     pub fn writer(self: &Arc<Self>) -> Result<ArcWriter, HandleError> {
         let wr = self.raw.writer_claim()?;
@@ -438,7 +452,15 @@ impl ArcReader {
         // and are therefore excluded while the Snapshot's borrow is live.
         let bytes = unsafe { self.reg.slot_bytes(out.slot) };
         let inline = self.reg.stored_inline(bytes.len());
-        Snapshot { bytes, slot: out.slot, fast: out.fast, inline }
+        Snapshot { bytes, slot: out.slot, fast: out.fast, inline, version: out.version }
+    }
+
+    /// Read the most recent value together with its publication version —
+    /// [`ArcReader::read`] re-packaged for version-driven callers.
+    #[inline]
+    pub fn read_versioned(&mut self) -> Versioned<Snapshot<'_>> {
+        let snap = self.read();
+        Versioned { version: snap.version(), value: snap }
     }
 
     /// Copy the current value into `out` (resizing it), returning its length.
@@ -482,20 +504,38 @@ impl Drop for ArcReader {
 
 /// A zero-copy view of the register value returned by [`ArcReader::read`].
 ///
-/// Dereferences to `&[u8]`. Also reports which slot served the read and
-/// whether the no-RMW fast path was taken (diagnostics for tests/benches).
+/// Dereferences to `&[u8]`. Also reports the publication version, which
+/// slot served the read and whether the no-RMW fast path was taken.
 pub struct Snapshot<'a> {
     bytes: &'a [u8],
     slot: usize,
     fast: bool,
     inline: bool,
+    version: u64,
 }
 
 impl<'a> Snapshot<'a> {
     /// Assemble a snapshot (shared with the `group` handles, which pin
     /// slots through the same protocol).
-    pub(crate) fn assemble(bytes: &'a [u8], slot: usize, fast: bool, inline: bool) -> Self {
-        Self { bytes, slot, fast, inline }
+    pub(crate) fn assemble(
+        bytes: &'a [u8],
+        slot: usize,
+        fast: bool,
+        inline: bool,
+        version: u64,
+    ) -> Self {
+        Self { bytes, slot, fast, inline, version }
+    }
+
+    /// Publication version of this value: the number of writes completed
+    /// up to (and including) the one this read observes, 0 for the initial
+    /// value. Per reader handle, versions never decrease and strictly
+    /// increase whenever the observed value changes; feed it to
+    /// [`WatchReader::wait_for_update`](crate::watch::WatchReader::wait_for_update)
+    /// or [`crate::ArcGroup::poll_changed`] to learn of the next write
+    /// without re-reading.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The snapshot bytes with the full lifetime of the reader borrow.

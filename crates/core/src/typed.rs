@@ -14,6 +14,22 @@ use std::sync::Arc;
 use crate::errors::HandleError;
 use crate::raw::{RawArc, RawOptions, RawReader, RawWriter};
 
+/// A value paired with the publication version it was read at.
+///
+/// Returned by the `read_versioned` family of methods; the version is the
+/// number of writes completed up to the one the value belongs to (0 for
+/// the initial value). Per reader handle, versions never decrease, and
+/// strictly increase whenever the observed value changes — hand the
+/// version to a watch API (`wait_for_update`, `poll_changed`) to learn of
+/// the *next* change without polling the value itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Versioned<V> {
+    /// Publication version of `value`.
+    pub version: u64,
+    /// The value read.
+    pub value: V,
+}
+
 /// A wait-free atomic (1,N) register holding values of type `T`.
 pub struct TypedArc<T> {
     raw: RawArc,
@@ -61,6 +77,19 @@ impl<T: Send + Sync> TypedArc<T> {
     /// Reader cap `N`.
     pub fn max_readers(&self) -> u32 {
         self.raw.max_readers()
+    }
+
+    /// The published version: number of completed writes (0 = only the
+    /// initial value). Monotone; safe to poll from any thread.
+    #[inline]
+    pub fn published_version(&self) -> u64 {
+        self.raw.published_version()
+    }
+
+    /// The protocol core (for the watch layer in [`crate::watch`]).
+    #[inline]
+    pub(crate) fn raw_arc(&self) -> &RawArc {
+        &self.raw
     }
 }
 
@@ -122,12 +151,31 @@ impl<T: Send + Sync> TypedReader<T> {
         }
     }
 
+    /// Read the most recent value together with its publication version.
+    /// Same pinning rules as [`TypedReader::read`].
+    #[inline]
+    pub fn read_versioned(&mut self) -> Versioned<&T> {
+        let rd = self.rd.as_mut().expect("reader state present until drop");
+        let out = self.reg.raw.read_acquire(rd);
+        // SAFETY: identical to `read` — the slot is pinned until the next
+        // read_acquire/leave, both requiring &mut self.
+        let value = unsafe {
+            (*self.reg.slots[out.slot].get()).as_ref().expect("published slot always holds a value")
+        };
+        Versioned { version: out.version, value }
+    }
+
     /// Clone the current value out.
     pub fn read_cloned(&mut self) -> T
     where
         T: Clone,
     {
         self.read().clone()
+    }
+
+    /// The register this reader belongs to.
+    pub fn register(&self) -> &Arc<TypedArc<T>> {
+        &self.reg
     }
 }
 

@@ -1,0 +1,177 @@
+//! Property tests for the versioned-read contract (ISSUE 4).
+//!
+//! In any single-threaded history:
+//!
+//! * versions returned by a reader handle are **monotone** (never
+//!   decrease) and **strictly increase exactly when the observed value
+//!   changed** — including across writer-handle drop/reclaim (the
+//!   recycled-writer hazard class PR 3 fixed for MN timestamps);
+//! * the version a read reports equals the number of writes that
+//!   preceded it, and matches `published_version` when quiescent;
+//! * across a group, `read_many_versioned` and `poll_changed` agree: the
+//!   version a batch read observes is exactly the version the header poll
+//!   reports for that register.
+
+use arc_register::{ArcGroup, ArcRegister};
+use proptest::prelude::*;
+
+const CAP: usize = 64;
+const MAX_READERS: u32 = 4;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Read with reader handle `i`.
+    Read(usize),
+    /// Write a fresh value.
+    Write,
+    /// Drop and re-claim the writer handle (the reclaim hazard).
+    RecycleWriter,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..MAX_READERS as usize).prop_map(Op::Read),
+        3 => Just(Op::Write),
+        1 => Just(Op::RecycleWriter),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum GroupOp {
+    /// Write register `k`.
+    Write(usize),
+    /// Batch-read a set of keys (bitmask over the registers).
+    ReadMany(u8),
+    /// Poll all registers against the model's watermarks.
+    Poll,
+}
+
+const GROUP_K: usize = 6;
+
+fn group_op_strategy() -> impl Strategy<Value = GroupOp> {
+    prop_oneof![
+        4 => (0..GROUP_K).prop_map(GroupOp::Write),
+        3 => (1u8..=63).prop_map(GroupOp::ReadMany),
+        2 => Just(GroupOp::Poll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn versions_monotone_and_change_exactly_with_writes(
+        ops in proptest::collection::vec(op_strategy(), 1..200)
+    ) {
+        let reg = ArcRegister::builder(MAX_READERS, CAP).initial(b"v0").build().unwrap();
+        let mut writer = Some(reg.writer().unwrap());
+        let mut readers: Vec<_> =
+            (0..MAX_READERS as usize).map(|_| reg.reader().unwrap()).collect();
+        let mut writes: u64 = 0;
+        let mut last_version: Vec<u64> = vec![0; readers.len()];
+        let mut has_read: Vec<bool> = vec![false; readers.len()];
+
+        for op in ops {
+            match op {
+                Op::Write => {
+                    writes += 1;
+                    writer.as_mut().unwrap().write(&writes.to_le_bytes());
+                    prop_assert_eq!(reg.published_version(), writes);
+                }
+                Op::RecycleWriter => {
+                    // The version sequence must survive the handle drop —
+                    // a regressed or restarted counter here is exactly
+                    // the recycled-writer bug class.
+                    drop(writer.take());
+                    writer = Some(reg.writer().unwrap());
+                    prop_assert_eq!(reg.published_version(), writes);
+                }
+                Op::Read(i) => {
+                    let snap = readers[i].read();
+                    let v = snap.version();
+                    // Exact version: number of writes before this read.
+                    prop_assert_eq!(v, writes, "read version lags the write count");
+                    // Monotone per handle; strict increase iff the value
+                    // changed since this handle's previous read.
+                    prop_assert!(v >= last_version[i], "version regressed on handle {}", i);
+                    if has_read[i] && v == last_version[i] {
+                        prop_assert!(snap.fast(), "unchanged publication must be a fast re-read");
+                    }
+                    last_version[i] = v;
+                    has_read[i] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_read_many_and_poll_changed_agree(
+        ops in proptest::collection::vec(group_op_strategy(), 1..150)
+    ) {
+        let g = ArcGroup::builder(GROUP_K, 2, CAP).initial(b"seed").build().unwrap();
+        let mut set = g.writer_set().unwrap();
+        let mut readers = g.reader_set().unwrap();
+        // Model: per-register write counts and per-register poll
+        // watermarks (advanced only by Poll ops, like a real watcher).
+        let mut writes: Vec<u64> = vec![0; GROUP_K];
+        let mut marks: Vec<(usize, u64)> = (0..GROUP_K).map(|k| (k, 0)).collect();
+        let mut reader_last: Vec<u64> = vec![0; GROUP_K];
+
+        for op in ops {
+            match op {
+                GroupOp::Write(k) => {
+                    writes[k] += 1;
+                    set.write(k, &writes[k].to_le_bytes());
+                    prop_assert_eq!(g.published_version(k), writes[k]);
+                }
+                GroupOp::ReadMany(mask) => {
+                    let keys: Vec<usize> = (0..GROUP_K).filter(|k| mask & (1 << k) != 0).collect();
+                    let mut fails: Vec<String> = Vec::new();
+                    readers.read_many_versioned(&keys, |k, v, _| {
+                        // Exact: batch reads observe precisely the writes
+                        // so far, and never regress per reader set.
+                        if v != writes[k] {
+                            fails.push(format!("key {k}: version {v} != writes {}", writes[k]));
+                        }
+                        if v < reader_last[k] {
+                            fails.push(format!("key {k}: version regressed"));
+                        }
+                        reader_last[k] = v;
+                    });
+                    prop_assert!(fails.is_empty(), "{}", fails.join("; "));
+                }
+                GroupOp::Poll => {
+                    let mut reported: Vec<(usize, u64)> = Vec::new();
+                    g.poll_changed(&marks, |k, v| reported.push((k, v)));
+                    // poll_changed must report exactly the registers whose
+                    // write count moved past the watermark, at exactly the
+                    // version a read would observe.
+                    let expect: Vec<(usize, u64)> = (0..GROUP_K)
+                        .filter(|&k| writes[k] > marks[k].1)
+                        .map(|k| (k, writes[k]))
+                        .collect();
+                    prop_assert_eq!(&reported, &expect);
+                    for (k, v) in reported {
+                        marks[k].1 = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The wrap edge, directly: versions are u64 publication counts, so the
+/// practical wrap is unreachable, but the slot stamps must still be exact
+/// when slots recycle many times over (every slot re-stamped repeatedly).
+#[test]
+fn slot_recycling_never_confuses_versions() {
+    let reg = ArcRegister::builder(1, 16).build().unwrap(); // 3 slots
+    let mut w = reg.writer().unwrap();
+    let mut r = reg.reader().unwrap();
+    for i in 1..=1000u64 {
+        w.write(&i.to_le_bytes());
+        let snap = r.read();
+        assert_eq!(snap.version(), i);
+        assert_eq!(&snap[..], &i.to_le_bytes(), "version {i} paired with wrong bytes");
+    }
+}

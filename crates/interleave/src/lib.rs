@@ -35,6 +35,7 @@ pub mod explorer;
 pub mod group_model;
 pub mod mn_model;
 pub mod mn_slab_model;
+pub mod notify_model;
 pub mod peterson_model;
 pub mod rf_model;
 pub mod spec;
@@ -44,6 +45,7 @@ pub use explorer::{explore, random_walks, ExploreLimits, Model, Outcome, Report}
 pub use group_model::{GroupArcModel, GroupDefect, GroupModelConfig};
 pub use mn_model::{MnDefect, MnModel};
 pub use mn_slab_model::{MnSlabConfig, MnSlabDefect, MnSlabModel};
+pub use notify_model::{NotifyDefect, NotifyModel};
 pub use peterson_model::PetersonModel;
 pub use rf_model::RfModel;
 pub use spec::{ModelConfig, ObsChecker};

@@ -1,0 +1,330 @@
+//! State-machine model of the watch layer's wait/notify edge
+//! (`sync_primitives::WaitSet` + the writer's post-W2 version bump), one
+//! shared-memory access per step.
+//!
+//! The property is **no lost wakeup**: once the publisher's final
+//! publication has retired (modeled as the version bump — the bump is
+//! ordered strictly after W2, so "bump done" implies "publication
+//! readable"), no waiter may be left parked forever. The protocol under
+//! test is exactly the one `arc-register` runs:
+//!
+//! * **publisher** (per publication): bump `version` → load `waiters` →
+//!   if non-zero: acquire the mutex, notify all parked waiters, release;
+//! * **waiter** (per `wait_until` call): register (`waiters += 1`) →
+//!   acquire the mutex → check `version` under the lock → either consume
+//!   the new version (unlock, deregister) or **atomically**
+//!   unlock-and-park (`Condvar::wait`), re-acquiring and re-checking on
+//!   wake.
+//!
+//! Steps are SC-atomic, which models the implementation's fence
+//! discipline (SC fences on both sides of the register/bump pair); the
+//! model has no spurious wakeups — the adversarial assumption for
+//! lost-wakeup detection.
+//!
+//! Two defective variants demonstrate the checker has teeth, each a real
+//! bug class this layer was designed against:
+//!
+//! * [`NotifyDefect::CheckBeforeBump`] — the publisher samples `waiters`
+//!   *before* bumping the version (the reordering the SC fences forbid):
+//!   a waiter can register + check + park entirely inside that window
+//!   and is never woken.
+//! * [`NotifyDefect::SkipLock`] — the publisher notifies without taking
+//!   the mutex: the notify can land between a waiter's (locked) version
+//!   check and its park, waking nobody.
+
+use crate::explorer::Model;
+
+/// Which protocol defect to inject (`None` = the shipped protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NotifyDefect {
+    /// Publisher samples `waiters` before bumping `version`.
+    CheckBeforeBump,
+    /// Publisher notifies without acquiring the mutex.
+    SkipLock,
+}
+
+/// Mutex-owner marker for the publisher thread.
+const PUB: u8 = u8::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PubPc {
+    /// Store `version += 1` (stands in for "W2, then the bump").
+    Bump,
+    /// Load `waiters`; decide whether to notify.
+    Check,
+    /// Acquire the mutex (blocked while held).
+    Lock,
+    /// Wake every parked waiter.
+    Notify,
+    /// Release the mutex.
+    Unlock,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum WaitPc {
+    /// `waiters += 1`.
+    Register,
+    /// Acquire the mutex (blocked while held).
+    Lock,
+    /// Load `version` under the lock; consume or decide to wait.
+    Check,
+    /// Enter `Condvar::wait`: release the mutex and park, atomically.
+    /// Distinct from `Check` — the gap between the (locked) version check
+    /// and the park is exactly where a lockless notify gets lost.
+    Wait,
+    /// Parked in the condvar. Not enabled until a notify flips it back to
+    /// `Lock`.
+    Parked,
+    /// Release the mutex after consuming a new version.
+    Unlock,
+    /// `waiters -= 1`; loop for the next version or finish.
+    Deregister,
+    Done,
+}
+
+/// The wait/notify model: one publisher × N waiters.
+///
+/// Thread ids: 0 = publisher, `1..=waiters` = waiters. Each waiter runs
+/// `wait_until(version > last)` in a loop until it has observed the final
+/// publication.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NotifyModel {
+    defect: Option<NotifyDefect>,
+    /// Publications not yet retired (including any in flight).
+    writes_left: u8,
+    /// Total publications (the version every waiter must reach).
+    target: u64,
+    pub_pc: PubPc,
+    /// `waiters` snapshot taken at the publisher's Check step.
+    sampled_waiters: u8,
+    /// The shared monotone condition (the register's event word).
+    version: u64,
+    /// The shared registration count.
+    waiters_word: u8,
+    /// Mutex owner: 0 = free, waiter tid, or [`PUB`].
+    mutex: u8,
+    wait_pc: Vec<WaitPc>,
+    /// Each waiter's last consumed version.
+    last_seen: Vec<u64>,
+}
+
+impl NotifyModel {
+    /// A model of `writes` publications against `waiters` waiting
+    /// threads, each demanding to eventually observe version `writes`.
+    pub fn new(writes: u8, waiters: u8, defect: Option<NotifyDefect>) -> Self {
+        assert!(writes >= 1 && waiters >= 1);
+        Self {
+            defect,
+            writes_left: writes,
+            target: writes as u64,
+            pub_pc: Self::pub_start(defect),
+            sampled_waiters: 0,
+            version: 0,
+            waiters_word: 0,
+            mutex: 0,
+            wait_pc: vec![WaitPc::Register; waiters as usize],
+            last_seen: vec![0; waiters as usize],
+        }
+    }
+
+    /// First step of a publication, defect-dependent.
+    fn pub_start(defect: Option<NotifyDefect>) -> PubPc {
+        match defect {
+            Some(NotifyDefect::CheckBeforeBump) => PubPc::Check,
+            _ => PubPc::Bump,
+        }
+    }
+
+    /// Retire the in-flight publication and start the next (or finish).
+    fn retire_publication(&mut self) {
+        self.writes_left -= 1;
+        self.pub_pc =
+            if self.writes_left == 0 { PubPc::Done } else { Self::pub_start(self.defect) };
+    }
+
+    /// Where the publisher goes once it knows the sampled waiter count
+    /// (after both the bump and the check have happened).
+    fn decide_notify(&mut self) {
+        if self.sampled_waiters > 0 {
+            self.pub_pc = match self.defect {
+                Some(NotifyDefect::SkipLock) => PubPc::Notify,
+                _ => PubPc::Lock,
+            };
+        } else {
+            self.retire_publication();
+        }
+    }
+
+    fn step_publisher(&mut self) {
+        match self.pub_pc {
+            PubPc::Bump => {
+                self.version += 1;
+                match self.defect {
+                    // Sample already taken (before the bump): decide now.
+                    Some(NotifyDefect::CheckBeforeBump) => self.decide_notify(),
+                    _ => self.pub_pc = PubPc::Check,
+                }
+            }
+            PubPc::Check => {
+                self.sampled_waiters = self.waiters_word;
+                match self.defect {
+                    Some(NotifyDefect::CheckBeforeBump) => self.pub_pc = PubPc::Bump,
+                    _ => self.decide_notify(),
+                }
+            }
+            PubPc::Lock => {
+                debug_assert_eq!(self.mutex, 0, "Lock only enabled when free");
+                self.mutex = PUB;
+                self.pub_pc = PubPc::Notify;
+            }
+            PubPc::Notify => {
+                for pc in self.wait_pc.iter_mut() {
+                    if *pc == WaitPc::Parked {
+                        *pc = WaitPc::Lock; // woken: re-acquire, re-check
+                    }
+                }
+                match self.defect {
+                    Some(NotifyDefect::SkipLock) => self.retire_publication(),
+                    _ => self.pub_pc = PubPc::Unlock,
+                }
+            }
+            PubPc::Unlock => {
+                debug_assert_eq!(self.mutex, PUB);
+                self.mutex = 0;
+                self.retire_publication();
+            }
+            PubPc::Done => unreachable!("done publisher is never enabled"),
+        }
+    }
+}
+
+impl Model for NotifyModel {
+    fn enabled(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let pub_enabled = match self.pub_pc {
+            PubPc::Done => false,
+            PubPc::Lock => self.mutex == 0,
+            _ => true,
+        };
+        if pub_enabled {
+            out.push(0);
+        }
+        for (i, pc) in self.wait_pc.iter().enumerate() {
+            let enabled = match pc {
+                WaitPc::Done | WaitPc::Parked => false,
+                WaitPc::Lock => self.mutex == 0,
+                _ => true,
+            };
+            if enabled {
+                out.push(i + 1);
+            }
+        }
+        out
+    }
+
+    fn step(&mut self, tid: usize) -> Result<(), String> {
+        if tid == 0 {
+            self.step_publisher();
+            return Ok(());
+        }
+        let w = tid - 1;
+        let me = tid as u8;
+        match self.wait_pc[w] {
+            WaitPc::Register => {
+                self.waiters_word += 1;
+                self.wait_pc[w] = WaitPc::Lock;
+            }
+            WaitPc::Lock => {
+                debug_assert_eq!(self.mutex, 0, "Lock only enabled when free");
+                self.mutex = me;
+                self.wait_pc[w] = WaitPc::Check;
+            }
+            WaitPc::Check => {
+                debug_assert_eq!(self.mutex, me);
+                if self.version > self.last_seen[w] {
+                    self.last_seen[w] = self.version;
+                    self.wait_pc[w] = WaitPc::Unlock;
+                } else {
+                    self.wait_pc[w] = WaitPc::Wait;
+                }
+            }
+            WaitPc::Wait => {
+                // Condvar wait: release the mutex and park, atomically.
+                debug_assert_eq!(self.mutex, me);
+                self.mutex = 0;
+                self.wait_pc[w] = WaitPc::Parked;
+            }
+            WaitPc::Unlock => {
+                debug_assert_eq!(self.mutex, me);
+                self.mutex = 0;
+                self.wait_pc[w] = WaitPc::Deregister;
+            }
+            WaitPc::Deregister => {
+                self.waiters_word -= 1;
+                self.wait_pc[w] =
+                    if self.last_seen[w] >= self.target { WaitPc::Done } else { WaitPc::Register };
+            }
+            WaitPc::Parked | WaitPc::Done => unreachable!("never enabled"),
+        }
+        Ok(())
+    }
+
+    fn is_done(&self) -> bool {
+        self.pub_pc == PubPc::Done && self.wait_pc.iter().all(|pc| *pc == WaitPc::Done)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // The lost-wakeup property: once the publisher has retired for
+        // good, nothing will ever notify again — a waiter parked now
+        // sleeps through the final publication forever.
+        if self.pub_pc == PubPc::Done {
+            for (w, pc) in self.wait_pc.iter().enumerate() {
+                if *pc == WaitPc::Parked {
+                    return Err(format!(
+                        "lost wakeup: waiter {w} parked at version {} (last seen {}) \
+                         with the publisher retired — no notify can ever come",
+                        self.version, self.last_seen[w]
+                    ));
+                }
+            }
+        }
+        // A waiter never consumes a version that was not published.
+        for (w, &seen) in self.last_seen.iter().enumerate() {
+            if seen > self.version {
+                return Err(format!("waiter {w} consumed unpublished version {seen}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{explore, ExploreLimits};
+
+    #[test]
+    fn correct_protocol_small_exhaustive() {
+        let out = explore(NotifyModel::new(1, 1, None), ExploreLimits::default());
+        assert!(out.is_ok(), "1x1 protocol must be lost-wakeup-free: {out:?}");
+    }
+
+    #[test]
+    fn check_before_bump_defect_caught() {
+        let out = explore(
+            NotifyModel::new(1, 1, Some(NotifyDefect::CheckBeforeBump)),
+            ExploreLimits::default(),
+        );
+        let msg = out.violation().expect("reordered publisher must lose a wakeup");
+        assert!(msg.contains("lost wakeup"), "unexpected violation: {msg}");
+    }
+
+    #[test]
+    fn skip_lock_defect_caught() {
+        let out =
+            explore(NotifyModel::new(1, 1, Some(NotifyDefect::SkipLock)), ExploreLimits::default());
+        let msg = out.violation().expect("lockless notify must lose a wakeup");
+        assert!(msg.contains("lost wakeup"), "unexpected violation: {msg}");
+    }
+}

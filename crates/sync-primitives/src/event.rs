@@ -1,0 +1,282 @@
+//! A lost-wakeup-free wait/notify edge for the watch layer.
+//!
+//! [`WaitSet`] is the blocking counterpart of an eventcount: threads (and
+//! async tasks) park until some external monotone condition advances, and a
+//! publisher wakes them with one call. It deliberately carries **no state
+//! of its own** — the condition lives in the caller's atomics (the ARC
+//! register's published-version word) — so the register's wait-free
+//! read/write protocol is untouched: waiting is an opt-in blocking edge
+//! *outside* the protocol, and the publisher's obligation is a single
+//! check-then-notify that is free when nobody waits.
+//!
+//! # The no-lost-wakeup argument
+//!
+//! The classic hazard is the store-buffering race: the waiter checks the
+//! condition (stale), the publisher advances it and sees no waiters, the
+//! waiter parks — forever. Two ingredients preclude it:
+//!
+//! 1. **Registration before the check** — a waiter increments `waiters`
+//!    (SeqCst RMW) and fences *before* sampling the condition; the
+//!    publisher advances the condition and fences *before* sampling
+//!    `waiters`. In the SC order of those four accesses, either the
+//!    publisher observes the registration (and notifies), or the waiter
+//!    observes the advanced condition (and never parks). Both may hold;
+//!    neither failing is impossible.
+//! 2. **Check-under-lock** — the blocking waiter re-checks the condition
+//!    while holding the mutex and parks via `Condvar::wait`, which
+//!    releases the mutex and blocks *atomically*. The publisher's notify
+//!    acquires the same mutex, so it cannot fire inside the waiter's
+//!    check→park window.
+//!
+//! The `interleave::notify_model` model-checks exactly this protocol
+//! exhaustively — including the two defective variants (publisher checks
+//! `waiters` before advancing the condition; notify without the lock),
+//! which the checker rejects with a lost-wakeup witness.
+
+use std::sync::atomic::{fence, AtomicU32, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::task::Waker;
+use std::time::Duration;
+
+/// A set of parked waiters (threads or async tasks) woken together.
+///
+/// See the module docs for the protocol and its lost-wakeup argument.
+#[derive(Debug, Default)]
+pub struct WaitSet {
+    /// Registered waiters: parked-or-parking threads plus pending wakers.
+    /// The publisher's fast path is one load of this word.
+    waiters: AtomicU32,
+    /// Guards the check→park window and the waker list.
+    lock: Mutex<Vec<Waker>>,
+    cond: Condvar,
+}
+
+impl WaitSet {
+    /// An empty wait set.
+    pub const fn new() -> Self {
+        Self { waiters: AtomicU32::new(0), lock: Mutex::new(Vec::new()), cond: Condvar::new() }
+    }
+
+    /// Publisher side: wake every current waiter **if any is registered**.
+    ///
+    /// Call *after* advancing the condition the waiters check. When no
+    /// waiter is registered this is one fence plus one relaxed load — the
+    /// publisher never touches the mutex on the quiet path.
+    pub fn notify_all(&self) {
+        // SC fence between the caller's condition store and the waiters
+        // load: ingredient 1 of the module docs.
+        fence(Ordering::SeqCst);
+        if self.waiters.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let wakers = {
+            let mut g = self.lock.lock().expect("wait set lock poisoned");
+            // Async wakers are one-shot: consume their registrations now
+            // (each registered waker counted itself exactly once).
+            if !g.is_empty() {
+                self.waiters.fetch_sub(g.len() as u32, Ordering::Relaxed);
+            }
+            self.cond.notify_all();
+            std::mem::take(&mut *g)
+        };
+        // Wake outside the lock so woken tasks can re-register immediately.
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    /// Block the calling thread until `pred()` returns true.
+    ///
+    /// `pred` must be monotone (once true, stays true until the caller
+    /// acts) and is re-evaluated under the internal lock; the publisher
+    /// must call [`WaitSet::notify_all`] after any change that could make
+    /// it true.
+    pub fn wait_until(&self, mut pred: impl FnMut() -> bool) {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        // SC fence between our registration and the condition sample:
+        // ingredient 1 of the module docs (the publisher's counterpart
+        // fence lives in notify_all).
+        fence(Ordering::SeqCst);
+        let mut g = self.lock.lock().expect("wait set lock poisoned");
+        while !pred() {
+            g = self.cond.wait(g).expect("wait set lock poisoned");
+        }
+        drop(g);
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Like [`WaitSet::wait_until`], but gives up after `timeout`.
+    ///
+    /// Returns true iff `pred` was observed true (a `false` return means
+    /// the timeout elapsed with the condition still false).
+    pub fn wait_until_timeout(&self, mut pred: impl FnMut() -> bool, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let mut g = self.lock.lock().expect("wait set lock poisoned");
+        let satisfied = loop {
+            if pred() {
+                break true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break false;
+            }
+            let (guard, _timed_out) =
+                self.cond.wait_timeout(g, deadline - now).expect("wait set lock poisoned");
+            g = guard;
+        };
+        drop(g);
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+        satisfied
+    }
+
+    /// Register an async task's waker, to be consumed by the next
+    /// [`WaitSet::notify_all`].
+    ///
+    /// The caller must re-check its condition *after* registering (the
+    /// usual poll discipline): registration-then-check is ingredient 1 of
+    /// the lost-wakeup argument. Each registration is one-shot — a task
+    /// that stays interested re-registers on its next poll. A waker whose
+    /// task lost interest is woken spuriously at the next notify and then
+    /// forgotten; it never leaks past that.
+    pub fn register_waker(&self, waker: &Waker) {
+        let mut g = self.lock.lock().expect("wait set lock poisoned");
+        // Re-registration by the same task (poll after spurious wake)
+        // replaces the old entry instead of piling up duplicates.
+        if let Some(existing) = g.iter_mut().find(|w| w.will_wake(waker)) {
+            existing.clone_from(waker);
+        } else {
+            g.push(waker.clone());
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+        }
+        drop(g);
+        fence(Ordering::SeqCst);
+    }
+
+    /// Registered waiters right now (diagnostic; racy under concurrency).
+    pub fn waiters(&self) -> u32 {
+        self.waiters.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn notify_with_no_waiters_is_cheap_and_safe() {
+        let ws = WaitSet::new();
+        for _ in 0..1000 {
+            ws.notify_all();
+        }
+        assert_eq!(ws.waiters(), 0);
+    }
+
+    #[test]
+    fn wait_returns_immediately_when_pred_already_true() {
+        let ws = WaitSet::new();
+        ws.wait_until(|| true);
+        assert_eq!(ws.waiters(), 0);
+    }
+
+    #[test]
+    fn waiter_wakes_on_notify() {
+        let ws = Arc::new(WaitSet::new());
+        let version = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (ws, version) = (Arc::clone(&ws), Arc::clone(&version));
+            handles.push(std::thread::spawn(move || {
+                ws.wait_until(|| version.load(Ordering::SeqCst) > 0);
+                version.load(Ordering::SeqCst)
+            }));
+        }
+        // Give the waiters a chance to actually park.
+        std::thread::sleep(Duration::from_millis(10));
+        version.store(1, Ordering::SeqCst);
+        ws.notify_all();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1);
+        }
+        assert_eq!(ws.waiters(), 0);
+    }
+
+    #[test]
+    fn timeout_elapses_when_condition_never_comes() {
+        let ws = WaitSet::new();
+        let woke = ws.wait_until_timeout(|| false, Duration::from_millis(10));
+        assert!(!woke);
+        assert_eq!(ws.waiters(), 0);
+    }
+
+    #[test]
+    fn timeout_variant_still_wakes_on_notify() {
+        let ws = Arc::new(WaitSet::new());
+        let version = Arc::new(AtomicU64::new(0));
+        let h = {
+            let (ws, version) = (Arc::clone(&ws), Arc::clone(&version));
+            std::thread::spawn(move || {
+                ws.wait_until_timeout(
+                    || version.load(Ordering::SeqCst) > 0,
+                    Duration::from_secs(30),
+                )
+            })
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        version.store(1, Ordering::SeqCst);
+        ws.notify_all();
+        assert!(h.join().unwrap(), "waiter must wake well before the timeout");
+    }
+
+    #[test]
+    fn notify_storm_vs_waiter_storm_loses_no_wakeup() {
+        // A publisher bumping a counter N times races 4 waiters each
+        // demanding to observe k = 1..N in turn; every waiter must reach N.
+        const N: u64 = 200;
+        let ws = Arc::new(WaitSet::new());
+        let version = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (ws, version) = (Arc::clone(&ws), Arc::clone(&version));
+            handles.push(std::thread::spawn(move || {
+                let mut last = 0;
+                while last < N {
+                    ws.wait_until(|| version.load(Ordering::SeqCst) > last);
+                    last = version.load(Ordering::SeqCst);
+                }
+                last
+            }));
+        }
+        for _ in 0..N {
+            version.fetch_add(1, Ordering::SeqCst);
+            ws.notify_all();
+            std::hint::spin_loop();
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), N, "a waiter slept through the final publication");
+        }
+    }
+
+    #[test]
+    fn waker_registration_is_deduplicated_and_consumed() {
+        use std::task::Wake;
+        struct Flag(std::sync::atomic::AtomicBool);
+        impl Wake for Flag {
+            fn wake(self: Arc<Self>) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let flag = Arc::new(Flag(std::sync::atomic::AtomicBool::new(false)));
+        let waker = Waker::from(Arc::clone(&flag));
+        let ws = WaitSet::new();
+        ws.register_waker(&waker);
+        ws.register_waker(&waker); // same task: must not double-count
+        assert_eq!(ws.waiters(), 1);
+        ws.notify_all();
+        assert!(flag.0.load(Ordering::SeqCst), "registered waker must fire");
+        assert_eq!(ws.waiters(), 0, "registration is one-shot");
+    }
+}

@@ -29,15 +29,40 @@ impl SeqCounter {
 
     /// Writer: enter the critical section. Returns the odd in-progress
     /// version. Single writer only — this is not a mutual-exclusion device.
+    ///
+    /// # Recovery from a dead writer (the reclaim parity bug)
+    ///
+    /// If the counter is **already odd**, the previous writer handle died
+    /// mid-write (dropped while unwinding between its `write_begin` and
+    /// `write_end`), leaving the guarded data possibly torn. The counter is
+    /// *adopted* as-is: this write is genuinely in progress, the data is
+    /// about to be rewritten in full, and the eventual [`SeqCounter::write_end`]
+    /// publishes the first consistent version since the crash. Blindly
+    /// bumping here instead — the pre-fix behaviour — would flip the
+    /// version *even* while the data is being mutated, making
+    /// [`SeqCounter::read_validate`] accept torn reads.
     #[inline]
     pub fn write_begin(&self) -> u64 {
         let s = self.seq.load(Ordering::Relaxed);
-        debug_assert!(s.is_multiple_of(2), "write_begin while already writing");
+        if s % 2 == 1 {
+            // Adopt the in-progress marker left by a writer that died
+            // mid-write; readers keep spinning until our write_end.
+            return s;
+        }
         // Release is not enough for the subsequent data stores on all
         // platforms; pair the odd store with an Acquire-ish fence by using
         // SeqCst on both edges (cheap relative to the copy it guards).
         self.seq.store(s.wrapping_add(1), Ordering::SeqCst);
         s.wrapping_add(1)
+    }
+
+    /// Whether a write is in progress (odd counter). After a writer handle
+    /// is dropped, a true result means the writer died mid-write and the
+    /// data stays unvalidatable ("poisoned") until the next complete write
+    /// resynchronizes the parity.
+    #[inline]
+    pub fn write_in_progress(&self) -> bool {
+        self.seq.load(Ordering::SeqCst) % 2 == 1
     }
 
     /// Writer: leave the critical section, publishing version `begin + 1`.
@@ -109,6 +134,28 @@ mod tests {
         c.write_begin();
         c.write_end();
         assert!(!c.read_validate(b), "version moved during the read");
+    }
+
+    #[test]
+    fn odd_counter_is_adopted_not_flipped() {
+        // The reclaim parity bug: a writer dies mid-write (counter odd);
+        // the next writer's write_begin must NOT flip the counter even —
+        // that would validate reads of data it is about to mutate.
+        let c = SeqCounter::new();
+        let v = c.write_begin();
+        assert_eq!(v, 1);
+        // Writer "dies" here: no write_end. A successor begins a write.
+        let v2 = c.write_begin();
+        assert_eq!(v2, 1, "odd counter adopted, not re-bumped");
+        assert!(c.write_in_progress());
+        // Mid-mutation, reads must still refuse to validate.
+        let b = c.read_begin();
+        assert!(!c.read_validate(b), "torn window must not validate");
+        c.write_end();
+        assert_eq!(c.version(), 2);
+        assert!(!c.write_in_progress());
+        let b = c.read_begin();
+        assert!(c.read_validate(b), "completed recovery write validates again");
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   reader threads over K registers through a
 //!   [`TableFamily`](register_common::TableFamily) layout, with uniform or
 //!   Zipf key skew — the substrate of the `group_scaling` bench.
+//! * [`notify`] — the watch-layer workload: paced timestamped updates
+//!   against parked [`WatchHandle`](register_common::WatchHandle)
+//!   watchers, measuring publish→wake→read freshness latency (the
+//!   `notify_latency` bench section).
 //! * [`steal`] — CPU-steal simulation for the virtualized-platform
 //!   experiment (Figure 2): stealer threads burn cores in random bursts,
 //!   preempting workers at arbitrary points — exactly the mid-critical-
@@ -28,6 +32,7 @@ pub mod driver;
 pub mod histogram;
 pub mod modes;
 pub mod multi;
+pub mod notify;
 pub mod stats;
 pub mod steal;
 pub mod table;
@@ -38,6 +43,7 @@ pub use modes::WorkloadMode;
 pub use multi::{
     run_mw_table, run_table, KeyDist, KeySampler, MultiConfig, MultiResult, MwMultiConfig,
 };
+pub use notify::{run_notify, NotifyConfig, NotifyResult};
 pub use stats::Summary;
 pub use steal::{StealConfig, StealInjector};
 pub use table::{write_csv, Table};

@@ -1,15 +1,23 @@
 //! Configuration hot-swap: a control plane pushes config blobs of varying
-//! size to a fleet of worker threads with zero reader-side locking.
+//! size to a fleet of worker threads — **watch-driven**, zero busy-polling.
 //!
 //! ```text
 //! cargo run --release --example config_hotswap
 //! ```
 //!
-//! Exercises the byte-register API with **variable-size values** (the
-//! paper supports a different size per write), the stamped-payload
-//! integrity machinery, and dynamic reader registration (workers join and
-//! leave while updates keep flowing — an extension over the paper's fixed
-//! reader set, see DESIGN.md §3.2).
+//! Pre-ISSUE-4 this example busy-polled: every worker spun on `read()`
+//! burning a core to ask "did the config change?". Workers now park in
+//! [`WatchReader::wait_for_update`] and are woken by the control plane's
+//! publish — the wait-free read path is untouched, the cores are free
+//! between updates, and a woken worker always reads the *freshest* config
+//! (intermediate versions coalesce; a config fleet wants current state,
+//! not a replay log).
+//!
+//! Still exercises the byte-register API with **variable-size values**,
+//! the stamped-payload integrity machinery, and dynamic reader
+//! registration (ephemeral probes join and leave while updates flow).
+//!
+//! [`WatchReader::wait_for_update`]: arc_suite::register::watch::WatchReader::wait_for_update
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -30,49 +38,60 @@ fn main() {
         .build()
         .expect("valid configuration");
 
-    let stop = Arc::new(AtomicBool::new(false));
     let applied = Arc::new(AtomicU64::new(0));
 
-    // Long-lived workers: poll the latest config, verify, "apply".
+    // Long-lived workers: park until the control plane publishes, verify,
+    // "apply". No stop flag needed — the register's version tells each
+    // worker when it has applied the final config.
     let mut handles = Vec::new();
     for w in 0..WORKERS {
-        let mut reader = reg.reader().expect("worker reader");
-        let stop = Arc::clone(&stop);
+        let mut watcher = reg.watch_reader().expect("worker watcher");
         let applied = Arc::clone(&applied);
         handles.push(std::thread::spawn(move || {
-            let mut last_version = 0;
+            let mut last_version = 0u64; // register + config versions coincide here
             let mut reloads = 0u64;
-            while !stop.load(Ordering::Relaxed) {
-                let snap = reader.read();
+            loop {
+                // Parked here between updates: zero CPU, woken by publish.
+                let snap = watcher.wait_for_update(last_version);
                 let version =
                     verify(&snap).unwrap_or_else(|e| panic!("worker {w}: corrupt config: {e}"));
-                if version != last_version {
-                    // "apply" the new config
-                    last_version = version;
-                    reloads += 1;
-                    applied.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(
+                    version,
+                    snap.version(),
+                    "stamped config version must match the register version"
+                );
+                assert!(version > last_version, "wakeups must deliver strictly newer configs");
+                last_version = version;
+                reloads += 1;
+                applied.fetch_add(1, Ordering::Relaxed);
+                if version == UPDATES {
+                    return (w, last_version, reloads);
                 }
             }
-            (w, last_version, reloads)
         }));
     }
 
-    // A churn thread: short-lived diagnostic readers join, sample one
-    // config, and leave — exercising dynamic registration under load.
+    // A churn thread: short-lived diagnostic probes join, sample one
+    // config, and leave — dynamic registration under load. (This is
+    // sampling, not change-polling: the probes nap two hundred
+    // microseconds between joins.)
     let churn_reg = Arc::clone(&reg);
-    let churn_stop = Arc::clone(&stop);
-    let churner = std::thread::spawn(move || {
-        let mut samples = 0u64;
-        while !churn_stop.load(Ordering::Relaxed) {
-            if let Ok(mut probe) = churn_reg.reader() {
-                let snap = probe.read();
-                verify(&snap).expect("probe saw corrupt config");
-                samples += 1;
+    let churn_stop = Arc::new(AtomicBool::new(false));
+    let churner = {
+        let stop = Arc::clone(&churn_stop);
+        std::thread::spawn(move || {
+            let mut samples = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(mut probe) = churn_reg.reader() {
+                    let snap = probe.read();
+                    verify(&snap).expect("probe saw corrupt config");
+                    samples += 1;
+                }
+                std::thread::sleep(Duration::from_micros(200));
             }
-            std::thread::sleep(Duration::from_micros(50));
-        }
-        samples
-    });
+            samples
+        })
+    };
 
     // Control plane: push UPDATES configs of pseudo-random sizes.
     let mut writer = reg.writer().expect("single control plane");
@@ -85,22 +104,28 @@ fn main() {
         stamp(&mut buf[..size], version);
         writer.write(&buf[..size]);
         if version % 4096 == 0 {
-            std::thread::sleep(Duration::from_micros(200)); // let readers observe
+            std::thread::sleep(Duration::from_micros(200)); // let some watchers win a wake
         }
     }
-    // Give workers a beat to catch the final version, then stop.
-    std::thread::sleep(Duration::from_millis(50));
-    stop.store(true, Ordering::Relaxed);
 
     println!("pushed {UPDATES} config versions (24 B – 16 KB each)\n");
     println!("{:>6} {:>14} {:>10}", "worker", "final_version", "reloads");
+    let mut total_reloads = 0u64;
     for h in handles {
         let (w, final_version, reloads) = h.join().expect("worker panicked");
         println!("{w:>6} {final_version:>14} {reloads:>10}");
         assert_eq!(final_version, UPDATES, "worker {w} missed the final config");
+        total_reloads += reloads;
     }
+    churn_stop.store(true, Ordering::Relaxed);
     let samples = churner.join().expect("churner panicked");
     println!("\nephemeral probes sampled {samples} configs while churning");
-    println!("total applies observed: {}", applied.load(Ordering::Relaxed));
-    println!("config_hotswap OK");
+    println!(
+        "total applies observed: {} (of {} worker-updates published — the gap is \
+         coalescing: a woken worker applies the freshest config, skipping stale ones)",
+        applied.load(Ordering::Relaxed),
+        UPDATES * WORKERS as u64
+    );
+    assert!(total_reloads >= WORKERS as u64, "every worker must apply at least the final config");
+    println!("config_hotswap OK — watch-driven, no busy-polling");
 }

@@ -116,11 +116,39 @@ fn concurrent_constant_fill<F: RegisterFamily>() {
     assert!(total > 0, "{}: readers made no progress", F::NAME);
 }
 
+/// Panic-safety battery (the seqlock writer-reclaim parity bug,
+/// generalized): a writer handle that dies by unwinding must never leave
+/// readers able to validate torn state, and the last complete value must
+/// stay readable. The only panic every family's public API admits is the
+/// oversized-value assert, which fires before any shared mutation — the
+/// fill-closure mid-write variants live in `panic_safety` below.
+fn writer_death_preserves_last_value<F: RegisterFamily>() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let (mut w, mut readers) = F::build(RegisterSpec::new(2, 64), b"init").unwrap();
+    w.write(b"stable");
+    // Move the handle into the panicking closure so the unwind drops it —
+    // the same mid-operation reclaim a crashing writer thread performs.
+    let died = catch_unwind(AssertUnwindSafe(move || {
+        let mut w = w;
+        w.write(&[0u8; 65]); // exceeds capacity: panics
+    }));
+    assert!(died.is_err(), "{}: oversized write must panic", F::NAME);
+    for r in readers.iter_mut() {
+        r.read_with(|v| {
+            assert_eq!(v, b"stable", "{}: writer death corrupted the register", F::NAME)
+        });
+    }
+}
+
 macro_rules! conformance {
     ($mod_name:ident, $family:ty) => {
         mod $mod_name {
             use super::*;
 
+            #[test]
+            fn writer_death_preserves_last_value_() {
+                writer_death_preserves_last_value::<$family>();
+            }
             #[test]
             fn sequential_roundtrip_() {
                 sequential_roundtrip::<$family>();
@@ -264,3 +292,94 @@ macro_rules! table_conformance {
 table_conformance!(table_group, GroupTableFamily);
 table_conformance!(table_independent, IndependentTableFamily);
 table_conformance!(table_mn, MnTableFamily);
+
+// ---------------------------------------------------------------------
+// Mid-write panic safety: the families whose write path runs user code
+// inside the critical section (fill closures) — a panic there drops the
+// handle with the write half done, which is where the seqlock's parity
+// bug lived. Each register must (a) never validate torn state, (b) let a
+// new writer reclaim the role, and (c) recover full consistency with the
+// next complete write.
+// ---------------------------------------------------------------------
+
+mod panic_safety {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    use arc_suite::{ArcRegister, LockRegister, PetersonRegister, SeqlockRegister};
+
+    #[test]
+    fn arc_fill_panic_leaves_protocol_intact() {
+        // ARC's fill runs between W1 (select) and W2 (publish): a panic
+        // abandons a *free* slot, so nothing was ever shared. The dropped
+        // handle must release the role and the reclaimer must continue
+        // from the last published state.
+        let reg = ArcRegister::builder(2, 64).initial(b"v0").build().unwrap();
+        let mut r = reg.reader().unwrap();
+        let w = reg.writer().unwrap();
+        let died = catch_unwind(AssertUnwindSafe(move || {
+            let mut w = w;
+            w.write_with(8, |_| panic!("die between W1 and W2"));
+        }));
+        assert!(died.is_err());
+        assert_eq!(&*r.read(), b"v0", "abandoned slot must not be visible");
+        let mut w2 = reg.writer().expect("role reclaimable after mid-write death");
+        w2.write(b"v1");
+        let snap = r.read();
+        assert_eq!(&*snap, b"v1");
+        assert_eq!(snap.version(), 1, "version sequence must survive the dead writer");
+    }
+
+    #[test]
+    fn seqlock_fill_panic_poisons_until_next_write() {
+        let reg = SeqlockRegister::new(64, b"good").unwrap();
+        let w = reg.writer().unwrap();
+        let died = catch_unwind(AssertUnwindSafe(move || {
+            let mut w = w;
+            w.write_with(16, |_| panic!("die inside the critical section"));
+        }));
+        assert!(died.is_err());
+        assert!(reg.poisoned(), "mid-write death must leave the counter odd");
+        let mut r = reg.reader();
+        assert!(r.try_read().is_none(), "poisoned state must not validate");
+        let mut w2 = reg.writer().expect("role reclaimable after mid-write death");
+        w2.write(b"healed");
+        assert!(!reg.poisoned());
+        assert_eq!(r.read(), b"healed");
+    }
+
+    #[test]
+    fn peterson_death_is_benign_and_reclaimable() {
+        // Peterson has no fill-closure API: the only public panic fires
+        // before any shared store (audit note on PetersonWriter::drop).
+        let reg = PetersonRegister::new(2, 32, b"base").unwrap();
+        let mut r = reg.reader().unwrap();
+        let w = reg.writer().unwrap();
+        let died = catch_unwind(AssertUnwindSafe(move || {
+            let mut w = w;
+            w.write(&[0u8; 33]);
+        }));
+        assert!(died.is_err());
+        assert_eq!(r.read(), b"base");
+        let mut w2 = reg.writer().expect("role reclaimable");
+        w2.write(b"next");
+        assert_eq!(r.read(), b"next");
+    }
+
+    #[test]
+    fn lock_death_is_benign_and_reclaimable() {
+        // The lock register's guard releases on unwind and no user code
+        // runs under it (audit note on LockWriter::drop).
+        let reg = LockRegister::new(32, b"base").unwrap();
+        let mut r = reg.reader();
+        let w = reg.writer().unwrap();
+        let died = catch_unwind(AssertUnwindSafe(move || {
+            let mut w = w;
+            w.write(&[0u8; 33]);
+        }));
+        assert!(died.is_err());
+        r.read_with_lock(|v| assert_eq!(v, b"base"));
+        let mut w2 = reg.writer().expect("role reclaimable");
+        w2.write(b"next");
+        r.read_with_lock(|v| assert_eq!(v, b"next"));
+    }
+}
