@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use register_common::traits::{
-    validate_spec, BuildError, ReadHandle, RegisterFamily, RegisterSpec, WriteHandle,
+    validate_spec, BuildError, ReadHandle, RefReadHandle, RegisterFamily, RegisterSpec, WriteHandle,
 };
 use sync_primitives::{Backoff, SeqCounter};
 
@@ -279,6 +279,23 @@ impl ReadHandle for SeqlockReader {
     #[inline]
     fn read_with<R, F: FnOnce(&[u8]) -> R>(&mut self, f: F) -> R {
         f(self.read())
+    }
+}
+
+impl RefReadHandle for SeqlockReader {
+    /// A seqlock read is only known consistent after the trailing counter
+    /// validation, so the "guard" is a borrow of the handle's private
+    /// copy-validated scratch — the **honest fallback**: the copy still
+    /// happens on every read, and [`RefReadHandle::zero_copy`] says so.
+    type Guard<'a> = &'a [u8];
+
+    #[inline]
+    fn read_ref(&mut self) -> &[u8] {
+        self.read()
+    }
+
+    fn zero_copy() -> bool {
+        false
     }
 }
 

@@ -24,6 +24,7 @@
 //! | `microbench` | per-op latencies + contended point (ex-Criterion) | E7 |
 //! | `group_scaling` | slab group vs independent registers at 10k–1M | E10 (extension) |
 //! | `notify_latency` | watch-layer wake latency + coalescing | E11 (extension, §3.7) |
+//! | `zero_copy` | guard vs copying reads at fig1 sizes; metrics-toggle ablation | E12 (extension, §3.8) |
 //!
 //! The committed `BENCH_*.json` files are schema-checked by
 //! `tests/json_schema.rs`, so a bench refactor cannot silently drop a
@@ -36,8 +37,10 @@ pub mod inline_cmp;
 pub mod json;
 pub mod profile;
 pub mod sweep;
+pub mod zero_copy;
 
 pub use inline_cmp::{compare as inline_vs_arena, InlineCmp};
 pub use json::{merge_section, Json};
 pub use profile::{json_dir, out_dir, BenchProfile};
 pub use sweep::{figure_sizes, sweep_algos, thread_counts, SweepSpec};
+pub use zero_copy::{metrics_ablation, run as zero_copy_run, ZeroCopyPoint};

@@ -137,6 +137,69 @@ fn bench_ops_sections_conform() {
         &["single_register_mops", "group_register_mops", "ratio"],
     );
 
+    // The zero-copy guard section (E12): guard vs copying reads at the
+    // fig1 sizes. Missing section, missing rows or flat-zero numbers all
+    // fail — a refactor that stops measuring the guard path must not
+    // silently keep a well-formed report.
+    check_rows(
+        &doc,
+        file,
+        "zero_copy",
+        &[
+            "algo",
+            "size",
+            "zero_copy",
+            "guard_mops",
+            "copy_mops",
+            "guard_gbps",
+            "copy_gbps",
+            "speedup",
+        ],
+    );
+    let Some(Json::Arr(zc_rows)) = doc.get("zero_copy") else { unreachable!() };
+    for (i, row) in zc_rows.iter().enumerate() {
+        let g = row.get("guard_mops").and_then(Json::as_f64).expect("guard_mops numeric");
+        let c = row.get("copy_mops").and_then(Json::as_f64).expect("copy_mops numeric");
+        assert!(g > 0.0 && c > 0.0, "{file}: zero_copy[{i}] carries flat-zero throughput");
+    }
+    let arc_4k = zc_rows
+        .iter()
+        .find(|row| {
+            row.get("algo") == Some(&Json::str("arc"))
+                && row.get("size").and_then(Json::as_f64) == Some(4096.0)
+        })
+        .unwrap_or_else(|| panic!("{file}: zero_copy lacks the arc 4096 B acceptance row"));
+    let speedup = arc_4k.get("speedup").and_then(Json::as_f64).expect("speedup numeric");
+    // The acceptance floor: guard reads ≥ 2x copying reads at the 4096 B
+    // fig1 size. Timing-sensitive, so — like the parity floors — it binds
+    // strictly against the committed report only.
+    if std::env::var_os("ARC_SCHEMA_LENIENT").is_none() {
+        assert!(
+            speedup >= 2.0,
+            "{file}: arc guard reads at {speedup}x of copying reads at 4096 B (floor 2.0)"
+        );
+    }
+
+    // The ablations section (currently the metrics-toggle probe: the
+    // runtime cost of the per-op counters on hot fast-path reads).
+    let ablations = check_object(&doc, file, "ablations", &["metrics_toggle"]);
+    let toggle = check_object(
+        &ablations,
+        file,
+        "metrics_toggle",
+        &[
+            "size_bytes",
+            "metrics_on_mops",
+            "metrics_off_mops",
+            "speedup_off_over_on",
+            "metrics_feature",
+        ],
+    );
+    for key in ["metrics_on_mops", "metrics_off_mops"] {
+        let v = toggle.get(key).and_then(Json::as_f64).expect("toggle throughput numeric");
+        assert!(v > 0.0, "{file}: ablations.metrics_toggle.{key} is flat-zero");
+    }
+
     // The acceptance floors of the slab layout: ≥ 4x density win,
     // hot-path parity within 20%. Enforced strictly against the
     // *committed* report (CI runs this test before regenerating);

@@ -1,0 +1,117 @@
+//! The one tuned payload-copy routine every copying read goes through.
+//!
+//! The zero-copy guard work (DESIGN.md §3.8) demoted copying reads to a
+//! convenience layer over the borrow-based protocol reads — but the
+//! convenience layer still matters (callers that must own the bytes, and
+//! every algorithm that cannot expose its buffer). Centralizing the copy
+//! here gives all of them the same properties:
+//!
+//! * **length-hoisted** — the value length is read once, up front, and
+//!   drives one bounds check and one copy call;
+//! * **memcpy-backed** — the kernel is a single
+//!   `ptr::copy_nonoverlapping`, which lowers to the platform memcpy
+//!   (wide moves with size dispatch — strictly better than any
+//!   hand-rolled chunk loop, and less unsafe code to audit);
+//! * **no intermediate** — bytes go straight from the protocol-pinned
+//!   source into the caller's destination; [`copy_to_vec`] writes into
+//!   the `Vec`'s (re)used capacity directly rather than staging through
+//!   `extend_from_slice`'s grow-and-append path.
+
+/// Copy `src` into the front of `dst`, returning the bytes copied.
+///
+/// # Panics
+///
+/// Panics if `dst` is shorter than `src` — the caller sized the buffer to
+/// the register capacity (a programming error, not a runtime condition).
+#[inline]
+pub fn copy_payload(src: &[u8], dst: &mut [u8]) -> usize {
+    let len = src.len(); // length hoisted: read once, drives everything below
+    assert!(dst.len() >= len, "destination of {} bytes cannot hold {len}-byte value", dst.len());
+    // SAFETY: both ranges are `len` bytes, in-bounds per the assert, and
+    // a `&[u8]`/`&mut [u8]` pair can never overlap.
+    unsafe { copy_payload_raw(src.as_ptr(), dst.as_mut_ptr(), len) };
+    len
+}
+
+/// Copy `src` into `out`, reusing `out`'s capacity: `clear` + `reserve`,
+/// never shrink, no zero-fill staging. Returns the bytes copied.
+///
+/// This is the routine behind every `read_to_vec`-shaped API: with a
+/// caller that reuses one `Vec` across reads, the steady state performs
+/// zero allocations — the measured condition for every committed bench
+/// number (per-op allocation is workload noise, not algorithm cost).
+#[inline]
+pub fn copy_to_vec(src: &[u8], out: &mut Vec<u8>) -> usize {
+    let len = src.len();
+    out.clear();
+    out.reserve(len);
+    // SAFETY: `reserve` guarantees capacity >= len; the raw copy below
+    // initializes exactly the `len` bytes `set_len` then exposes; src and
+    // the Vec's buffer cannot overlap (out is uniquely borrowed).
+    unsafe {
+        copy_payload_raw(src.as_ptr(), out.as_mut_ptr(), len);
+        out.set_len(len);
+    }
+    len
+}
+
+/// The copy kernel: one `copy_nonoverlapping` = the platform memcpy.
+///
+/// # Safety
+///
+/// `src` and `dst` must be valid for `len` bytes and must not overlap.
+#[inline]
+unsafe fn copy_payload_raw(src: *const u8, dst: *mut u8, len: usize) {
+    // SAFETY: forwarded contract.
+    unsafe { std::ptr::copy_nonoverlapping(src, dst, len) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn copies_exactly_at_boundary_lengths() {
+        // 0, sub-chunk, chunk, chunk+1, several chunks + tail.
+        for len in [0usize, 1, 47, 48, 49, 63, 64, 65, 128, 1000, 4096] {
+            let src = pattern(len);
+            let mut dst = vec![0xAAu8; len + 8]; // canary tail
+            assert_eq!(copy_payload(&src, &mut dst), len);
+            assert_eq!(&dst[..len], &src[..], "len {len}");
+            assert!(dst[len..].iter().all(|&b| b == 0xAA), "overrun at len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn short_destination_panics() {
+        copy_payload(&[1, 2, 3], &mut [0u8; 2]);
+    }
+
+    #[test]
+    fn vec_reuse_keeps_capacity() {
+        let mut out = Vec::new();
+        assert_eq!(copy_to_vec(&pattern(4096), &mut out), 4096);
+        assert_eq!(out, pattern(4096));
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        // A smaller copy must reuse the same allocation, never shrink.
+        assert_eq!(copy_to_vec(&pattern(16), &mut out), 16);
+        assert_eq!(out, pattern(16));
+        assert_eq!(out.capacity(), cap, "capacity must never shrink");
+        assert_eq!(out.as_ptr(), ptr, "no reallocation on the smaller copy");
+    }
+
+    #[test]
+    fn empty_value_clears_without_allocating() {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(b"junk");
+        assert_eq!(copy_to_vec(&[], &mut out), 0);
+        assert!(out.is_empty());
+        assert!(out.capacity() >= 64);
+    }
+}

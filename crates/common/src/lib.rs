@@ -17,6 +17,9 @@
 //! * [`pad`] — cache-line padding re-exports.
 //! * [`metrics`] — cheap relaxed operation counters used by the RMW-count
 //!   experiment (E5 in DESIGN.md).
+//! * [`copy`] — the single tuned payload-copy routine behind every
+//!   copying read (the zero-copy guards of DESIGN.md §3.8 made copying a
+//!   convenience layer; this is that layer's one implementation).
 //!
 //! Nothing in this crate implements a register; it is pure substrate.
 
@@ -24,15 +27,17 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod clock;
+pub mod copy;
 pub mod metrics;
 pub mod pad;
 pub mod payload;
 pub mod traits;
 
 pub use clock::HistoryClock;
+pub use copy::{copy_payload, copy_to_vec};
 pub use metrics::OpMetrics;
 pub use payload::{stamp, verify, PayloadError, MIN_PAYLOAD_LEN};
 pub use traits::{
-    MwTableFamily, ReadHandle, RegisterFamily, RegisterSpec, TableFamily, TableReadHandle,
-    TableWriteHandle, VersionedReadHandle, WatchFamily, WatchHandle, WriteHandle,
+    MwTableFamily, ReadHandle, RefReadHandle, RegisterFamily, RegisterSpec, TableFamily,
+    TableReadHandle, TableWriteHandle, VersionedReadHandle, WatchFamily, WatchHandle, WriteHandle,
 };

@@ -32,6 +32,12 @@ pub struct OpMetrics {
     /// Writes whose free slot was served by the writer-local candidate
     /// ring (lazy reclamation + drained hints) without a fallback scan.
     pub ring_hits: AtomicU64,
+    /// Zero-copy guard reads started (`read_ref` acquisitions).
+    pub guard_reads: AtomicU64,
+    /// Zero-copy guards dropped. `guard_reads - guard_drops` is the number
+    /// of guards currently held — each a standing presence unit pinning
+    /// one slot against reclamation (DESIGN.md §3.8 slot-budget math).
+    pub guard_drops: AtomicU64,
 }
 
 impl OpMetrics {
@@ -46,6 +52,8 @@ impl OpMetrics {
             slot_probes: AtomicU64::new(0),
             hint_hits: AtomicU64::new(0),
             ring_hits: AtomicU64::new(0),
+            guard_reads: AtomicU64::new(0),
+            guard_drops: AtomicU64::new(0),
         }
     }
 
@@ -66,6 +74,8 @@ impl OpMetrics {
             slot_probes: self.slot_probes.load(Ordering::Relaxed),
             hint_hits: self.hint_hits.load(Ordering::Relaxed),
             ring_hits: self.ring_hits.load(Ordering::Relaxed),
+            guard_reads: self.guard_reads.load(Ordering::Relaxed),
+            guard_drops: self.guard_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -89,6 +99,10 @@ pub struct MetricsSnapshot {
     pub hint_hits: u64,
     /// Writes served by the writer-local free-slot ring.
     pub ring_hits: u64,
+    /// Zero-copy guard reads started.
+    pub guard_reads: u64,
+    /// Zero-copy guards dropped.
+    pub guard_drops: u64,
 }
 
 impl MetricsSnapshot {
@@ -129,6 +143,12 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Guards currently held (each pinning one slot against reclamation).
+    /// Exact once threads are quiescent; a racy lower/upper mix otherwise.
+    pub fn guards_held(&self) -> u64 {
+        self.guard_reads.saturating_sub(self.guard_drops)
+    }
+
     /// Fraction of reads that took the no-RMW fast path.
     pub fn fast_read_fraction(&self) -> f64 {
         if self.reads == 0 {
@@ -163,6 +183,16 @@ mod tests {
         assert_eq!(s.rmws_per_write(), 0.0);
         assert_eq!(s.probes_per_write(), 0.0);
         assert_eq!(s.fast_read_fraction(), 0.0);
+    }
+
+    #[test]
+    fn guards_held_is_reads_minus_drops() {
+        let m = OpMetrics::new();
+        OpMetrics::bump(&m.guard_reads, 5);
+        OpMetrics::bump(&m.guard_drops, 3);
+        assert_eq!(m.snapshot().guards_held(), 2);
+        OpMetrics::bump(&m.guard_drops, 2);
+        assert_eq!(m.snapshot().guards_held(), 0);
     }
 
     #[test]

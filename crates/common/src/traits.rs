@@ -100,17 +100,53 @@ pub trait ReadHandle: Send + 'static {
 
     /// Copy the current snapshot into `out`, returning the value length.
     ///
-    /// Default implementation goes through [`ReadHandle::read_with`].
+    /// Default implementation goes through [`ReadHandle::read_with`] and
+    /// the shared tuned [`crate::copy::copy_payload`] routine.
     ///
     /// # Panics
     ///
     /// Panics if `out` is shorter than the current value.
     fn read_into(&mut self, out: &mut [u8]) -> usize {
-        self.read_with(|v| {
-            out[..v.len()].copy_from_slice(v);
-            v.len()
-        })
+        self.read_with(|v| crate::copy::copy_payload(v, out))
     }
+}
+
+/// A reader that can hand out the current snapshot **by reference** — an
+/// RAII guard dereferencing to `&[u8]` — instead of copying it out.
+///
+/// For algorithms whose readers pin their snapshot against the writer
+/// (ARC: a standing presence unit keeps the slot out of W1 rotation), the
+/// guard borrows the shared buffer directly: the read costs no memcpy at
+/// any payload size, and the borrow stays valid for as long as the guard
+/// is held — DESIGN.md §3.8 covers the slot-budget consequence of holding
+/// one for a long time.
+///
+/// Algorithms that **cannot** expose their buffer fall back honestly:
+/// a seqlock read is only known consistent after the trailing counter
+/// validation, so its "guard" is a borrow of the handle's private
+/// copy-validated scratch — the copy still happens, and
+/// [`RefReadHandle::zero_copy`] reports it. Workloads comparing guard
+/// reads across families must report that flag alongside the numbers,
+/// or the comparison silently mixes borrow costs with memcpy costs.
+pub trait RefReadHandle: ReadHandle {
+    /// The guard type: borrows the handle, dereferences to the snapshot
+    /// bytes. Dropping it ends the read (for pin-based algorithms this
+    /// releases the snapshot for reclamation per the algorithm's rules).
+    type Guard<'a>: std::ops::Deref<Target = [u8]>
+    where
+        Self: 'a;
+
+    /// Borrow the most recent snapshot. The handle is mutably borrowed
+    /// for the guard's lifetime, so a handle holds at most one guard —
+    /// which is what bounds pinned slots at one per reader (Lemma 4.1).
+    fn read_ref(&mut self) -> Self::Guard<'_>;
+
+    /// Whether guards borrow the shared buffer (`true`) or a private
+    /// copy the read already paid for (`false` — e.g. seqlock's
+    /// copy-validate loop). Deliberately **not** defaulted: every
+    /// implementor must state which side it is on, so a copy-based
+    /// fallback can never silently claim zero-copy semantics.
+    fn zero_copy() -> bool;
 }
 
 /// A reader that can report the **publication version** of every value it

@@ -7,13 +7,13 @@
 use std::sync::Arc;
 
 use register_common::traits::{
-    BuildError, ReadHandle, RegisterFamily, RegisterSpec, TableFamily, TableReadHandle,
-    TableWriteHandle, VersionedReadHandle, WatchFamily, WatchHandle, WriteHandle,
+    BuildError, ReadHandle, RefReadHandle, RegisterFamily, RegisterSpec, TableFamily,
+    TableReadHandle, TableWriteHandle, VersionedReadHandle, WatchFamily, WatchHandle, WriteHandle,
 };
 
 use crate::current::MAX_READERS;
 use crate::group::{ArcGroup, GroupReaderSet, GroupWriterSet};
-use crate::register::{ArcReader, ArcRegister, ArcWriter};
+use crate::register::{ArcReader, ArcRegister, ArcWriter, ReadGuard};
 
 /// Type-level handle for the ARC algorithm.
 pub struct ArcFamily;
@@ -63,6 +63,32 @@ impl VersionedReadHandle for ArcReader {
     fn read_versioned_with<R, F: FnOnce(u64, &[u8]) -> R>(&mut self, f: F) -> R {
         let snap = self.read();
         f(snap.version(), &snap)
+    }
+}
+
+impl RefReadHandle for ArcReader {
+    type Guard<'a> = ReadGuard<'a>;
+
+    #[inline]
+    fn read_ref(&mut self) -> ReadGuard<'_> {
+        ArcReader::read_ref(self)
+    }
+
+    fn zero_copy() -> bool {
+        true // guards borrow the protocol-pinned slot bytes directly
+    }
+}
+
+impl RefReadHandle for crate::watch::WatchReader {
+    type Guard<'a> = ReadGuard<'a>;
+
+    #[inline]
+    fn read_ref(&mut self) -> ReadGuard<'_> {
+        crate::watch::WatchReader::read_ref(self)
+    }
+
+    fn zero_copy() -> bool {
+        true
     }
 }
 

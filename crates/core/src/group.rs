@@ -34,7 +34,7 @@
 //!
 //! The group runs the *identical* wait-free state machine as the
 //! standalone register: every operation goes through the storage-generic
-//! protocol functions of [`crate::raw`], with [`GroupCells`] merely
+//! protocol functions of [`crate::raw`], with the crate-private `GroupCells` view merely
 //! translating `(register, slot)` to a slab position. Register `k` only
 //! ever touches header `k`, slots `k*n_slots .. (k+1)*n_slots` and arena
 //! bytes `k*n_slots*capacity .. (k+1)*n_slots*capacity` — the disjointness
@@ -79,11 +79,11 @@ use sync_primitives::WaitSet;
 use crate::current::{Current, MAX_READERS};
 use crate::errors::HandleError;
 use crate::raw::{
-    outstanding_units_on, publish_on, read_acquire_on, reader_join_on, reader_leave_on,
-    select_slot_on, writer_claim_on, writer_release_on, ArcCells, ArcWriterMem, RawOptions,
-    RawReader, NO_HINT,
+    guard_created_on, guard_drop_on, outstanding_units_on, publish_on, read_acquire_on,
+    reader_join_on, reader_leave_on, select_slot_on, writer_claim_on, writer_release_on, ArcCells,
+    ArcWriterMem, RawOptions, RawReader, NO_HINT,
 };
-use crate::register::{Arena, Snapshot, INLINE_CAP};
+use crate::register::{Arena, GuardBackend, ReadGuard, Snapshot, INLINE_CAP};
 
 pub mod layout {
     //! Pure slab offset arithmetic, factored out so the property tests can
@@ -415,6 +415,14 @@ impl GroupBuilder {
     /// Enable/disable inline storage of small payloads (default on).
     pub fn inline(mut self, on: bool) -> Self {
         self.inline = on;
+        self
+    }
+
+    /// Enable/disable the per-op metric counters at runtime (default on;
+    /// see [`crate::ArcBuilder::metrics`] — only observable in builds with
+    /// the `metrics` cargo feature).
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.opts.metrics = on;
         self
     }
 
@@ -820,6 +828,40 @@ impl ArcGroup {
         unsafe { self.fill_slot_in(cell, k, slot, len, fill) }
     }
 
+    /// Acquire a zero-copy guard over register `k` with reader state `rd`;
+    /// shared by every guard-returning read path of the group.
+    ///
+    /// Splitting the borrows (`&self` for the slab, `&mut` for the reader
+    /// state) is what lets the guard hold both for its whole life.
+    #[inline]
+    fn read_ref_in<'a>(&'a self, k: usize, rd: &'a mut RawReader) -> ReadGuard<'a> {
+        let cells = self.cells(k);
+        let out = read_acquire_on(&cells, rd);
+        guard_created_on(&cells);
+        // SAFETY: read_acquire pinned `(k, out.slot)` for this reader
+        // state; the pin is held at least as long as the guard (the drop
+        // probe only releases, never re-acquires), and `rd` is mutably
+        // borrowed for that lifetime, so no other acquire can intervene.
+        let bytes = unsafe { self.slot_bytes_in(cells.slot(out.slot), k, out.slot) };
+        let inline = self.stored_inline(bytes.len());
+        ReadGuard::assemble(
+            bytes,
+            out.slot,
+            out.fast,
+            inline,
+            out.version,
+            rd,
+            GuardBackend::Group { group: self, k },
+        )
+    }
+
+    /// Guard-drop hook for [`ReadGuard`]s over register `k` (the eager
+    /// stale-pin release of `crate::raw::guard_drop_on`).
+    #[inline]
+    pub(crate) fn guard_drop(&self, k: usize, rd: &mut RawReader) {
+        guard_drop_on(&self.cells(k), rd);
+    }
+
     /// One write against register `k` using writer memory `mem`
     /// (W1 + copy + W2/W3); shared by all writer handle types.
     fn write_one(
@@ -929,6 +971,16 @@ impl GroupReader {
         let bytes = unsafe { self.group.slot_bytes_in(cells.slot(out.slot), self.k, out.slot) };
         let inline = self.group.stored_inline(bytes.len());
         Snapshot::assemble(bytes, out.slot, out.fast, inline, out.version)
+    }
+
+    /// Read the most recent value of this register as an RAII zero-copy
+    /// guard — the group form of [`crate::ArcReader::read_ref`]: derefs to
+    /// the slab bytes with no memcpy; dropping it releases the pin eagerly
+    /// if the register has moved on (see [`ReadGuard`]).
+    #[inline]
+    pub fn read_ref(&mut self) -> ReadGuard<'_> {
+        let rd = self.rd.as_mut().expect("reader state present until drop");
+        self.group.read_ref_in(self.k, rd)
     }
 
     /// Block until this register publishes past `last`, then read it.
@@ -1059,8 +1111,24 @@ impl GroupReaderSet {
         Snapshot::assemble(bytes, out.slot, out.fast, inline, out.version)
     }
 
-    /// Read many registers in one pass, invoking `f(k, value)` for each
-    /// requested key.
+    /// Read the most recent value of register `k` as an RAII zero-copy
+    /// guard (see [`ReadGuard`]); the whole set is mutably borrowed for
+    /// the guard's life, so at most one guard per set exists at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn read_ref(&mut self, k: usize) -> ReadGuard<'_> {
+        self.group.check_index(k);
+        self.group.read_ref_in(k, &mut self.rds[k])
+    }
+
+    /// Read many registers in one pass, invoking `f(k, guard)` with a
+    /// zero-copy [`ReadGuard`] per requested key. This is the **one**
+    /// batched read implementation — [`GroupReaderSet::read_many`] and
+    /// [`GroupReaderSet::read_many_versioned`] are copying/projecting
+    /// wrappers over it.
     ///
     /// Keys are visited in **ascending register order** (not input order):
     /// the keys are sorted into a reusable scratch buffer so the slab is
@@ -1068,10 +1136,16 @@ impl GroupReaderSet {
     /// pointer-chasing into prefetch-friendly streaming. Duplicate keys
     /// are read once per occurrence.
     ///
+    /// Each guard drops when its callback returns: a register whose value
+    /// was re-published *while the callback ran* releases its pin right
+    /// there instead of holding the superseded slot until the set's next
+    /// pass over that key — which matters when K is large, passes are far
+    /// apart, and callbacks do real work (DESIGN.md §3.8).
+    ///
     /// # Panics
     ///
     /// Panics if any key is out of range.
-    pub fn read_many(&mut self, keys: &[usize], mut f: impl FnMut(usize, &[u8])) {
+    pub fn read_many_ref(&mut self, keys: &[usize], mut f: impl FnMut(usize, &ReadGuard<'_>)) {
         self.scratch.clear();
         self.scratch.reserve(keys.len());
         for &k in keys {
@@ -1084,44 +1158,38 @@ impl GroupReaderSet {
         let scratch = std::mem::take(&mut self.scratch);
         for &k32 in &scratch {
             let k = k32 as usize;
-            let cells = self.group.cells(k);
-            let out = read_acquire_on(&cells, &mut self.rds[k]);
-            // SAFETY: pin discipline as in `read`; a duplicate key's later
-            // acquire only releases the pin after the earlier callback
-            // returned.
-            let bytes = unsafe { self.group.slot_bytes_in(cells.slot(out.slot), k, out.slot) };
-            f(k, bytes);
+            // Pin discipline: a duplicate key's later acquire only runs
+            // after the earlier guard dropped (the callback returned).
+            let guard = self.group.read_ref_in(k, &mut self.rds[k]);
+            f(k, &guard);
         }
         self.scratch = scratch;
+    }
+
+    /// Read many registers in one pass, invoking `f(k, value)` for each
+    /// requested key — the borrowing wrapper over
+    /// [`GroupReaderSet::read_many_ref`] (ascending register order,
+    /// duplicates preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is out of range.
+    pub fn read_many(&mut self, keys: &[usize], mut f: impl FnMut(usize, &[u8])) {
+        self.read_many_ref(keys, |k, guard| f(k, guard));
     }
 
     /// [`GroupReaderSet::read_many`] with publication versions: invokes
     /// `f(k, version, value)` per requested key (ascending register
     /// order, duplicates preserved). The version belongs to the exact
     /// value passed alongside it — pair with [`ArcGroup::poll_changed`]
-    /// to re-read only the keys that moved.
+    /// to re-read only the keys that moved. Wrapper over
+    /// [`GroupReaderSet::read_many_ref`].
     ///
     /// # Panics
     ///
     /// Panics if any key is out of range.
     pub fn read_many_versioned(&mut self, keys: &[usize], mut f: impl FnMut(usize, u64, &[u8])) {
-        self.scratch.clear();
-        self.scratch.reserve(keys.len());
-        for &k in keys {
-            self.group.check_index(k);
-            self.scratch.push(k as u32);
-        }
-        self.scratch.sort_unstable();
-        let scratch = std::mem::take(&mut self.scratch);
-        for &k32 in &scratch {
-            let k = k32 as usize;
-            let cells = self.group.cells(k);
-            let out = read_acquire_on(&cells, &mut self.rds[k]);
-            // SAFETY: pin discipline as in `read_many`.
-            let bytes = unsafe { self.group.slot_bytes_in(cells.slot(out.slot), k, out.slot) };
-            f(k, out.version, bytes);
-        }
-        self.scratch = scratch;
+        self.read_many_ref(keys, |k, guard| f(k, guard.version(), guard));
     }
 
     /// The group this reader set belongs to.
@@ -1534,6 +1602,75 @@ mod tests {
             g.wait_for_update_timeout(0, 1, std::time::Duration::from_millis(5)).is_none(),
             "register 0 is still at version 1"
         );
+    }
+
+    #[test]
+    fn group_guards_are_zero_copy_and_release_stale_pins() {
+        let g = small(3);
+        let mut w = g.writer(1).unwrap();
+        let mut r = g.reader(1).unwrap();
+        w.write(b"old");
+        {
+            let guard = r.read_ref();
+            w.write(b"new");
+            assert_eq!(&*guard, b"old");
+            assert_eq!(guard.version(), 1);
+            assert_eq!(g.outstanding_units(1), 1);
+        }
+        assert_eq!(g.outstanding_units(1), 0, "stale pin must be released at guard drop");
+        let guard = r.read_ref();
+        assert_eq!(&*guard, b"new");
+        assert_eq!(guard.version(), 2);
+    }
+
+    #[test]
+    fn reader_set_read_ref_matches_read() {
+        let g = small(4);
+        let mut set = g.writer_set().unwrap();
+        for k in 0..4 {
+            set.write(k, &[k as u8 + 1; 16]);
+        }
+        let mut readers = g.reader_set().unwrap();
+        for k in 0..4 {
+            let via_guard = readers.read_ref(k).to_vec();
+            let via_snap = readers.read(k).to_vec();
+            assert_eq!(via_guard, via_snap, "register {k}");
+            assert_eq!(via_guard, vec![k as u8 + 1; 16]);
+        }
+    }
+
+    #[test]
+    fn read_many_ref_visits_sorted_with_guards() {
+        let g = small(16);
+        let mut set = g.writer_set().unwrap();
+        for k in 0..16 {
+            set.write(k, &[k as u8; 4]);
+        }
+        let mut readers = g.reader_set().unwrap();
+        let keys = [9usize, 3, 14, 3, 0];
+        let mut seen = Vec::new();
+        readers.read_many_ref(&keys, |k, guard| {
+            assert_eq!(&**guard, &[k as u8; 4]);
+            assert_eq!(guard.version(), 1);
+            seen.push(k);
+        });
+        assert_eq!(seen, vec![0, 3, 3, 9, 14], "ascending order, duplicates preserved");
+    }
+
+    #[test]
+    fn read_many_ref_releases_pins_superseded_mid_callback() {
+        let g = small(2);
+        let mut set = g.writer_set().unwrap();
+        set.write(0, b"first");
+        let mut readers = g.reader_set().unwrap();
+        readers.read_many_ref(&[0], |_, guard| {
+            // The writer publishes while the callback holds the guard.
+            set.write(0, b"second");
+            assert_eq!(&**guard, b"first");
+        });
+        // The guard dropped at callback end and saw the newer publication:
+        // the pin is gone without another read of key 0.
+        assert_eq!(g.outstanding_units(0), 0);
     }
 
     #[test]

@@ -32,6 +32,10 @@
 //! writer.write(b"fresh value");
 //! let snap = reader.read();            // zero-copy, wait-free
 //! assert_eq!(&*snap, b"fresh value");
+//!
+//! let guard = reader.read_ref();       // RAII form: the guard IS the read
+//! assert_eq!(&*guard, b"fresh value"); // derefs into the slot — no memcpy
+//! drop(guard);                         // drop releases the pin eagerly
 //! ```
 //!
 //! For sharing typed values instead of bytes, see [`TypedArc`].
@@ -88,8 +92,10 @@ pub use errors::HandleError;
 pub use family::{ArcFamily, GroupTableFamily, IndependentTableFamily};
 pub use group::{ArcGroup, GroupBuilder, GroupReader, GroupReaderSet, GroupWriter, GroupWriterSet};
 pub use raw::{RawArc, RawOptions, ReadOutcome};
-pub use register::{ArcBuilder, ArcReader, ArcRegister, ArcWriter, Snapshot, INLINE_CAP};
-pub use typed::{TypedArc, TypedReader, TypedWriter, Versioned};
+pub use register::{
+    ArcBuilder, ArcReader, ArcRegister, ArcWriter, ReadGuard, Snapshot, INLINE_CAP,
+};
+pub use typed::{TypedArc, TypedReadGuard, TypedReader, TypedWriter, Versioned};
 #[cfg(feature = "async")]
 pub use watch::VersionStream;
 pub use watch::{TypedWatchReader, WatchReader};

@@ -28,7 +28,7 @@
 //!
 //! # One protocol, two storage layouts
 //!
-//! The state machine is written once, against the crate-private [`ArcCells`]
+//! The state machine is written once, against the crate-private `ArcCells`
 //! trait (which atomics implement the protocol words). Two layouts drive it:
 //!
 //! * [`RawArc`] — the single-register layout: every hot word is
@@ -99,7 +99,7 @@
 //!    ring at the top of W1 (the same single `swap` the seed paid).
 //!
 //! Ring entries are *candidates*, not facts: a popped slot is re-validated
-//! through [`RawArc::slot_free`] before use, so stale or duplicate entries
+//! through the writer's free check (`slot_free_on`) before use, so stale or duplicate entries
 //! are harmless (exactly the property that makes the §3.4 hint safe). When
 //! the ring runs dry the rotating scan remains as the Lemma 4.1 fallback,
 //! so the wait-freedom bound (≤ one sweep when `n_slots ≥ live_readers+2`)
@@ -107,7 +107,7 @@
 //! slot, not the worst case. In steady state (readers keep up, or nobody
 //! reads) every write is served from the ring in O(1).
 //!
-//! Candidate storage is behind the crate-private [`ArcWriterMem`] trait:
+//! Candidate storage is behind the crate-private `ArcWriterMem` trait:
 //! the single-register [`RawWriter`] uses a heap ring sized to `n_slots`,
 //! while group writer sets use a two-entry inline cache per register (a
 //! million heap rings would defeat the slab). Any lossy FIFO is sound —
@@ -165,17 +165,36 @@ pub struct RawOptions {
     /// the RF-style RMW — the ablation that isolates the paper's central
     /// optimization.
     pub fast_path: bool,
+    /// Enable the per-op counters (default on). Only meaningful in builds
+    /// with the `metrics` cargo feature — without it every bump is compiled
+    /// out regardless; with it, turning this off skips the relaxed
+    /// `fetch_add`s on the hot paths, so one binary can measure the cost of
+    /// its own instrumentation (the `ablations.metrics_toggle` section of
+    /// BENCH_ops.json).
+    pub metrics: bool,
 }
 
 impl Default for RawOptions {
     fn default() -> Self {
-        Self { hint: true, fast_path: true }
+        Self { hint: true, fast_path: true, metrics: true }
     }
 }
 
 // ---------------------------------------------------------------------
 // The storage-generic protocol core
 // ---------------------------------------------------------------------
+
+/// Bump a per-op counter iff metrics are compiled in (`metrics` cargo
+/// feature) **and** enabled at runtime ([`RawOptions::metrics`]). The
+/// runtime branch is what the `ablations.metrics_toggle` bench measures.
+macro_rules! bump {
+    ($c:expr, $field:ident, $n:expr) => {
+        #[cfg(feature = "metrics")]
+        if $c.opts().metrics {
+            OpMetrics::bump(&$c.metrics().$field, $n);
+        }
+    };
+}
 
 /// Storage view the protocol state machine runs over: which atomics hold
 /// the protocol words of *one* register.
@@ -276,8 +295,7 @@ pub(crate) fn reader_join_on<C: ArcCells>(c: &C) -> Result<RawReader, HandleErro
 /// `read_acquire_on`/`reader_leave_on` with the same handle.
 #[inline]
 pub(crate) fn read_acquire_on<C: ArcCells>(c: &C, rd: &mut RawReader) -> ReadOutcome {
-    #[cfg(feature = "metrics")]
-    OpMetrics::bump(&c.metrics().reads, 1);
+    bump!(c, reads, 1);
 
     if c.opts().fast_path {
         // R1: SeqCst is part of the `current` budget (table above). On
@@ -292,22 +310,19 @@ pub(crate) fn read_acquire_on<C: ArcCells>(c: &C, rd: &mut RawReader) -> ReadOut
             // R2: the pinned slot is still the most recent publication —
             // the same publication as last time (linchpin argument), so
             // the cached version is exact and the fast path stays free.
-            #[cfg(feature = "metrics")]
-            OpMetrics::bump(&c.metrics().fast_reads, 1);
+            bump!(c, fast_reads, 1);
             return ReadOutcome { slot: index as usize, fast: true, version: rd.last_version };
         }
     }
     // Slow path: release the previously pinned slot (R3) ...
     if let Some(old) = rd.last_index {
         release_unit_on(c, old as usize);
-        #[cfg(feature = "metrics")]
-        OpMetrics::bump(&c.metrics().read_rmws, 1);
+        bump!(c, read_rmws, 1);
     }
     // ... then atomically fetch the up-to-date index while registering
     // an anonymous presence unit on it (R4/R5).
     let raw = c.current_word().fetch_add(1, Ordering::SeqCst);
-    #[cfg(feature = "metrics")]
-    OpMetrics::bump(&c.metrics().read_rmws, 1);
+    bump!(c, read_rmws, 1);
     let index = index_of(raw);
     debug_assert!(
         counter_of(raw) < u32::MAX,
@@ -335,6 +350,51 @@ pub(crate) fn release_unit_on<C: ArcCells>(c: &C, slot: usize) {
         let r_start = c.r_start(slot).load(Ordering::Acquire);
         if prev.wrapping_add(1) == r_start {
             c.hint_word().store(slot, Ordering::Release);
+        }
+    }
+}
+
+/// Metric hook: a zero-copy read guard was created over this register
+/// (the acquire itself is a plain [`read_acquire_on`]).
+#[cfg_attr(not(feature = "metrics"), allow(unused_variables))]
+#[inline]
+pub(crate) fn guard_created_on<C: ArcCells>(c: &C) {
+    bump!(c, guard_reads, 1);
+}
+
+/// Drop edge of a zero-copy read guard: release the pin **eagerly iff
+/// the pinned publication is already superseded**.
+///
+/// A guard is a standing presence unit; while held, the pinned slot is
+/// out of W1 rotation (DESIGN.md §3.8). On drop there are two cases,
+/// decided by one load of `current` (the budget's R1 entry — a plain
+/// `mov` on x86, no RMW):
+///
+/// * the pinned slot is still the current publication — keep the pin,
+///   exactly like [`read_acquire_on`]'s handle-carried pin, so the
+///   handle's next read hits the R2 fast path for free;
+/// * the register moved on — the pin can only delay reclamation now, so
+///   release the unit (R3) immediately instead of waiting for the
+///   handle's next read. The slot re-enters rotation one read earlier,
+///   which is what keeps "guard per read" loops as slot-frugal as the
+///   leased-snapshot API.
+///
+/// Releasing a held unit is legal at any point (R3 has no enabling
+/// condition beyond holding the unit), so both branches of the racy
+/// compare are sound — a write racing past the load merely defers the
+/// release to the next read, today's behavior.
+pub(crate) fn guard_drop_on<C: ArcCells>(c: &C, rd: &mut RawReader) {
+    bump!(c, guard_drops, 1);
+    if let Some(last) = rd.last_index {
+        let raw = c.current_word().load(Ordering::SeqCst);
+        if index_of(raw) != last {
+            release_unit_on(c, last as usize);
+            // The eager release is an R3 RMW exactly like the one in
+            // read_acquire_on's slow path — count it, or the E5 per-read
+            // RMW figure under-reports guard workloads.
+            bump!(c, read_rmws, 1);
+            rd.last_index = None;
+            rd.last_version = 0;
         }
     }
 }
@@ -393,8 +453,7 @@ pub(crate) fn writer_release_on<C: ArcCells>(c: &C) {
 /// preserving writer wait-freedom. Below that bound (ablation only) the
 /// scan retries with backoff, which is where wait-freedom is lost.
 pub(crate) fn select_slot_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W) -> usize {
-    #[cfg(feature = "metrics")]
-    OpMetrics::bump(&c.metrics().writes, 1);
+    bump!(c, writes, 1);
 
     if c.opts().hint {
         // Drain the shared hint word into the local FIFO (the one RMW
@@ -402,8 +461,7 @@ pub(crate) fn select_slot_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W) ->
         // Release, though the real data edge is re-established by the
         // slot_free validation below.
         let h = c.hint_word().swap(NO_HINT, Ordering::Acquire);
-        #[cfg(feature = "metrics")]
-        OpMetrics::bump(&c.metrics().write_rmws, 1);
+        bump!(c, write_rmws, 1);
         if h != NO_HINT {
             wr.push_candidate(h as u32, true);
         }
@@ -416,11 +474,10 @@ pub(crate) fn select_slot_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W) ->
             if cand == wr.last_slot() || cand >= c.n_slots() {
                 continue;
             }
-            #[cfg(feature = "metrics")]
-            OpMetrics::bump(&c.metrics().slot_probes, 1);
+            bump!(c, slot_probes, 1);
             if slot_free_on(c, cand) {
                 #[cfg(feature = "metrics")]
-                {
+                if c.opts().metrics {
                     OpMetrics::bump(&c.metrics().ring_hits, 1);
                     // Attribute §3.4-origin candidates to the hint
                     // metric no matter how many calls they waited.
@@ -440,8 +497,7 @@ pub(crate) fn select_slot_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W) ->
             if s == wr.last_slot() {
                 continue;
             }
-            #[cfg(feature = "metrics")]
-            OpMetrics::bump(&c.metrics().slot_probes, 1);
+            bump!(c, slot_probes, 1);
             if slot_free_on(c, s) {
                 wr.set_search_pos((s + 1) % n);
                 return s;
@@ -485,8 +541,7 @@ pub(crate) fn publish_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: 
     c.slot_version(slot).store(version, Ordering::Relaxed);
     // W2: publish atomically with a zeroed presence counter.
     let old = c.current_word().swap(Current::fresh(slot as u32), Ordering::SeqCst);
-    #[cfg(feature = "metrics")]
-    OpMetrics::bump(&c.metrics().write_rmws, 1);
+    bump!(c, write_rmws, 1);
     // W3: freeze the superseded slot's presence count. Release pairs
     // with the Acquire load in readers' hint check.
     let old_slot = index_of(old) as usize;
@@ -972,7 +1027,7 @@ impl RawArc {
 
     /// W1: select a free slot different from the last written one.
     ///
-    /// See [`select_slot_on`] for the candidate-ring fast path and the
+    /// See the module docs for the candidate-ring fast path and the
     /// Lemma 4.1 fallback scan.
     pub fn select_slot(&self, wr: &mut RawWriter) -> usize {
         select_slot_on(self, wr)
@@ -1065,7 +1120,8 @@ mod tests {
 
     #[test]
     fn fast_path_disabled_forces_rmw() {
-        let r = RawArc::new(2, 4, RawOptions { hint: true, fast_path: false });
+        let r =
+            RawArc::new(2, 4, RawOptions { hint: true, fast_path: false, ..RawOptions::default() });
         let mut rd = r.reader_join().unwrap();
         let a = r.read_acquire(&mut rd);
         let b = r.read_acquire(&mut rd);
@@ -1271,7 +1327,8 @@ mod tests {
 
     #[test]
     fn hint_disabled_still_finds_slots() {
-        let r = RawArc::new(2, 4, RawOptions { hint: false, fast_path: true });
+        let r =
+            RawArc::new(2, 4, RawOptions { hint: false, fast_path: true, ..RawOptions::default() });
         let mut w = r.writer_claim().unwrap();
         for _ in 0..20 {
             let s = r.select_slot(&mut w);

@@ -45,7 +45,8 @@ use register_common::traits::{validate_spec, BuildError, RegisterSpec};
 
 use crate::current::MAX_READERS;
 use crate::errors::HandleError;
-use crate::raw::{RawArc, RawOptions, RawReader, RawWriter};
+use crate::group::ArcGroup;
+use crate::raw::{guard_created_on, guard_drop_on, RawArc, RawOptions, RawReader, RawWriter};
 use crate::typed::Versioned;
 
 /// Largest payload (bytes) stored inline in the slot header cache line.
@@ -163,6 +164,17 @@ impl ArcBuilder {
     /// cache line (EXPERIMENTS.md, `inline_vs_arena`).
     pub fn inline(mut self, on: bool) -> Self {
         self.inline = on;
+        self
+    }
+
+    /// Enable/disable the per-op metric counters at runtime (default on).
+    ///
+    /// Only observable in builds with the `metrics` cargo feature (without
+    /// it the counters are compiled out entirely); with the feature, turning
+    /// this off skips the relaxed bumps on the hot paths so the
+    /// `ablations.metrics_toggle` bench can price the instrumentation.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.opts.metrics = on;
         self
     }
 
@@ -455,6 +467,41 @@ impl ArcReader {
         Snapshot { bytes, slot: out.slot, fast: out.fast, inline, version: out.version }
     }
 
+    /// Read the most recent value as an **RAII guard** (Algorithm 2).
+    /// Wait-free, zero-copy at every payload size: the guard dereferences
+    /// straight into the inline slot line or the arena — no memcpy.
+    ///
+    /// Unlike [`ArcReader::read`] (whose pin always lasts until the
+    /// handle's next read), the guard's drop is the read's end: if the
+    /// register has moved on by then, the presence unit is released
+    /// immediately and the slot re-enters the writer's rotation without
+    /// waiting for this handle's next read. While held, the guard is a
+    /// **standing pin** — one slot stays out of rotation per held guard,
+    /// which the `N + 2` slot budget already accounts for (at most one
+    /// guard per handle; DESIGN.md §3.8).
+    #[inline]
+    pub fn read_ref(&mut self) -> ReadGuard<'_> {
+        let rd = self.rd.as_mut().expect("reader state present until drop");
+        let reg: &ArcRegister = &self.reg;
+        let out = reg.raw.read_acquire(rd);
+        guard_created_on(&reg.raw);
+        // SAFETY: read_acquire pinned `out.slot` for this handle; the pin
+        // is held at least for the guard's lifetime (the drop probe only
+        // releases it, never re-acquires), and the handle is mutably
+        // borrowed for that lifetime, so no other acquire can intervene.
+        let bytes = unsafe { reg.slot_bytes(out.slot) };
+        let inline = reg.stored_inline(bytes.len());
+        ReadGuard {
+            bytes,
+            slot: out.slot,
+            fast: out.fast,
+            inline,
+            version: out.version,
+            rd,
+            backend: GuardBackend::Single(&reg.raw),
+        }
+    }
+
     /// Read the most recent value together with its publication version —
     /// [`ArcReader::read`] re-packaged for version-driven callers.
     #[inline]
@@ -463,7 +510,11 @@ impl ArcReader {
         Versioned { version: snap.version(), value: snap }
     }
 
-    /// Copy the current value into `out` (resizing it), returning its length.
+    /// Copy the current value into `out`, returning its length. Built on
+    /// [`ArcReader::read_ref`] + the shared tuned copy routine
+    /// ([`register_common::copy::copy_to_vec`]): `out`'s capacity is
+    /// reused (`clear` + `reserve`, never shrink), so a caller that keeps
+    /// one `Vec` across reads performs zero steady-state allocations.
     ///
     /// Named distinctly from [`ReadHandle::read_into`] (the trait method
     /// copies into a caller-sized `&mut [u8]`); an inherent method with the
@@ -471,10 +522,8 @@ impl ArcReader {
     ///
     /// [`ReadHandle::read_into`]: register_common::traits::ReadHandle::read_into
     pub fn read_to_vec(&mut self, out: &mut Vec<u8>) -> usize {
-        let snap = self.read();
-        out.clear();
-        out.extend_from_slice(&snap);
-        snap.len()
+        let guard = self.read_ref();
+        register_common::copy::copy_to_vec(&guard, out)
     }
 
     /// The register this reader belongs to.
@@ -576,6 +625,152 @@ impl fmt::Debug for Snapshot<'_> {
             .field("len", &self.bytes.len())
             .field("slot", &self.slot)
             .field("fast", &self.fast)
+            .finish()
+    }
+}
+
+/// Which layout's protocol words a [`ReadGuard`]'s drop must talk to.
+pub(crate) enum GuardBackend<'a> {
+    /// A standalone [`ArcRegister`].
+    Single(&'a RawArc),
+    /// Register `k` of a slab group.
+    Group { group: &'a ArcGroup, k: usize },
+}
+
+/// An RAII **zero-copy pinned view** of the register value, returned by
+/// [`ArcReader::read_ref`] (and the group `read_ref` methods).
+///
+/// Dereferences to `&[u8]` — the actual protocol-pinned bytes in the slot
+/// line or the arena, never a copy. While the guard lives, its slot holds
+/// a standing presence unit and cannot be recycled or re-stamped by the
+/// writer (the writer stays wait-free regardless — the `N + 2` slot
+/// budget covers one pinned slot per reader handle, and a handle can hold
+/// at most one guard because the guard borrows it mutably). On drop, the
+/// presence unit is released immediately if the register has moved past
+/// the pinned publication; otherwise the pin is kept cached in the handle
+/// so the next read hits the R2 fast path.
+///
+/// The borrow rules *are* the safety argument, enforced at compile time:
+///
+/// The guard cannot outlive its handle —
+///
+/// ```compile_fail
+/// use arc_register::ArcRegister;
+/// let reg = ArcRegister::builder(1, 64).initial(b"pinned").build().unwrap();
+/// let mut r = reg.reader().unwrap();
+/// let guard = r.read_ref();
+/// drop(r); // ERROR: `r` is mutably borrowed by `guard`
+/// assert_eq!(&*guard, b"pinned");
+/// ```
+///
+/// — the handle cannot read again while a guard is held —
+///
+/// ```compile_fail
+/// use arc_register::ArcRegister;
+/// let reg = ArcRegister::builder(1, 64).build().unwrap();
+/// let mut r = reg.reader().unwrap();
+/// let guard = r.read_ref();
+/// let _ = r.read(); // ERROR: second mutable borrow of `r`
+/// assert!(guard.is_empty());
+/// ```
+///
+/// — and the bytes cannot escape the guard (unlike [`Snapshot::bytes`],
+/// whose pin is *handle*-held, [`ReadGuard::bytes`] ties the slice to the
+/// guard itself, because the drop may release the pin):
+///
+/// ```compile_fail
+/// use arc_register::ArcRegister;
+/// let reg = ArcRegister::builder(1, 64).initial(b"gone").build().unwrap();
+/// let mut r = reg.reader().unwrap();
+/// let bytes = {
+///     let guard = r.read_ref();
+///     guard.bytes() // ERROR: borrowed value does not live long enough
+/// };
+/// assert_eq!(bytes, b"gone");
+/// ```
+pub struct ReadGuard<'a> {
+    /// The pinned payload view (valid while the guard holds the unit).
+    bytes: &'a [u8],
+    slot: usize,
+    fast: bool,
+    inline: bool,
+    version: u64,
+    /// The owning handle's protocol state, mutably borrowed so the drop
+    /// probe can release/keep the pin — and so no concurrent read of the
+    /// same handle can exist while the guard is alive.
+    rd: &'a mut RawReader,
+    backend: GuardBackend<'a>,
+}
+
+impl ReadGuard<'_> {
+    /// Assemble a guard (shared with the group read paths).
+    pub(crate) fn assemble<'a>(
+        bytes: &'a [u8],
+        slot: usize,
+        fast: bool,
+        inline: bool,
+        version: u64,
+        rd: &'a mut RawReader,
+        backend: GuardBackend<'a>,
+    ) -> ReadGuard<'a> {
+        ReadGuard { bytes, slot, fast, inline, version, rd, backend }
+    }
+
+    /// The pinned bytes, tied to the guard's own borrow (they must not
+    /// outlive the guard: dropping it may release the slot to the writer).
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        self.bytes
+    }
+
+    /// Publication version of this value (same contract as
+    /// [`Snapshot::version`]: 0 for the initial value, monotone per
+    /// handle, strictly increasing whenever the observed value changes).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Slot index the guard pins.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Whether the read took the no-RMW fast path (R2).
+    pub fn fast(&self) -> bool {
+        self.fast
+    }
+
+    /// Whether the value was served from the slot-header inline storage.
+    pub fn inline(&self) -> bool {
+        self.inline
+    }
+}
+
+impl Deref for ReadGuard<'_> {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.bytes
+    }
+}
+
+impl Drop for ReadGuard<'_> {
+    fn drop(&mut self) {
+        match self.backend {
+            GuardBackend::Single(raw) => guard_drop_on(raw, self.rd),
+            GuardBackend::Group { group, k } => group.guard_drop(k, self.rd),
+        }
+    }
+}
+
+impl fmt::Debug for ReadGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReadGuard")
+            .field("len", &self.bytes.len())
+            .field("slot", &self.slot)
+            .field("fast", &self.fast)
+            .field("version", &self.version)
             .finish()
     }
 }
@@ -819,6 +1014,118 @@ mod tests {
             assert_eq!(&*snap, &v[..], "round {round}");
             assert_eq!(snap.inline(), len <= INLINE_CAP);
         }
+    }
+
+    #[test]
+    fn guard_reads_are_zero_copy_views() {
+        let reg = ArcRegister::builder(2, 256).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        for len in [0, 1, INLINE_CAP - 1, INLINE_CAP, INLINE_CAP + 1, 255, 256] {
+            let v: Vec<u8> = (0..len).map(|i| (i * 11 + len) as u8).collect();
+            w.write(&v);
+            let g = r.read_ref();
+            assert_eq!(&*g, &v[..], "len {len}");
+            assert_eq!(g.inline(), len <= INLINE_CAP, "placement at len {len}");
+            let version = g.version();
+            drop(g);
+            assert_eq!(version, r.read_ref().version(), "re-read of an unchanged publication");
+        }
+    }
+
+    #[test]
+    fn guard_drop_releases_stale_pin_immediately() {
+        let reg = small();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(b"old");
+        {
+            let g = r.read_ref(); // pins the "old" slot
+            w.write(b"new"); // supersedes it while the guard is held
+            assert_eq!(&*g, b"old", "guard must keep its publication");
+            assert_eq!(reg.raw_arc().outstanding_units(), 1);
+        }
+        // Drop probe saw the register had moved on: unit released without
+        // waiting for the handle's next read.
+        assert_eq!(reg.raw_arc().outstanding_units(), 0);
+        assert_eq!(r.pinned_slot(), None);
+        assert_eq!(&*r.read_ref(), b"new");
+    }
+
+    #[test]
+    fn guard_drop_keeps_fresh_pin_for_the_fast_path() {
+        let reg = small();
+        let mut r = reg.reader().unwrap();
+        drop(r.read_ref()); // nothing written since: pin kept
+        assert!(r.pinned_slot().is_some());
+        let g = r.read_ref();
+        assert!(g.fast(), "unchanged publication must hit R2 through guards too");
+    }
+
+    #[test]
+    fn held_guard_pins_across_more_writes_than_slots() {
+        // A guard held across >= n_slots writes: the writer must stay
+        // wait-free (every write completes) and the pinned bytes must
+        // never be re-stamped — the model-checked held-guard scenario
+        // (interleave::arc_model), exercised on the real code.
+        let reg = ArcRegister::builder(1, 64).build().unwrap(); // 3 slots
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(b"hold-me");
+        let g = r.read_ref();
+        for i in 0..100u8 {
+            w.write(&[i; 32]); // cycles the remaining 2 slots only
+        }
+        assert_eq!(&*g, b"hold-me", "held guard's slot was recycled");
+        drop(g);
+        assert_eq!(&*r.read_ref(), &[99u8; 32][..]);
+    }
+
+    #[test]
+    fn read_to_vec_reuses_capacity() {
+        let reg = ArcRegister::builder(1, 4096).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(&[7u8; 4096]);
+        let mut out = Vec::new();
+        assert_eq!(r.read_to_vec(&mut out), 4096);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        w.write(b"tiny");
+        assert_eq!(r.read_to_vec(&mut out), 4);
+        assert_eq!(out, b"tiny");
+        assert_eq!(out.capacity(), cap, "read_to_vec must never shrink the buffer");
+        assert_eq!(out.as_ptr(), ptr, "steady-state read_to_vec must not reallocate");
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn guard_metrics_track_held_guards() {
+        let reg = small();
+        let mut r = reg.reader().unwrap();
+        assert_eq!(reg.metrics().guards_held(), 0);
+        let g = r.read_ref();
+        assert_eq!(reg.metrics().guards_held(), 1);
+        drop(g);
+        let m = reg.metrics();
+        assert_eq!(m.guards_held(), 0);
+        assert_eq!(m.guard_reads, 1);
+        assert_eq!(m.guard_drops, 1);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn metrics_toggle_disables_counters() {
+        let reg = ArcRegister::builder(2, 64).metrics(false).build().unwrap();
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        w.write(b"x");
+        let _ = r.read();
+        drop(r.read_ref());
+        let m = reg.metrics();
+        assert_eq!(m.reads, 0, "metrics(false) must skip every bump");
+        assert_eq!(m.writes, 0);
+        assert_eq!(m.guard_reads, 0);
     }
 
     #[test]

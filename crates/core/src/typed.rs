@@ -9,10 +9,11 @@
 
 use std::cell::UnsafeCell;
 use std::fmt;
+use std::ops::Deref;
 use std::sync::Arc;
 
 use crate::errors::HandleError;
-use crate::raw::{RawArc, RawOptions, RawReader, RawWriter};
+use crate::raw::{guard_created_on, guard_drop_on, RawArc, RawOptions, RawReader, RawWriter};
 
 /// A value paired with the publication version it was read at.
 ///
@@ -165,6 +166,29 @@ impl<T: Send + Sync> TypedReader<T> {
         Versioned { version: out.version, value }
     }
 
+    /// Read the most recent value as an **RAII guard** — the typed form of
+    /// [`crate::ArcReader::read_ref`]: dereferences to `&T` straight from
+    /// the pinned slot (no clone, no copy) and carries the publication
+    /// version. Dropping the guard ends the read: if the register has
+    /// already moved past the pinned publication, the presence unit is
+    /// released immediately (the slot — and the old `T` in it — becomes
+    /// reclaimable without waiting for this handle's next read); otherwise
+    /// the pin stays cached for the R2 fast path.
+    #[inline]
+    pub fn read_ref(&mut self) -> TypedReadGuard<'_, T> {
+        let rd = self.rd.as_mut().expect("reader state present until drop");
+        let reg: &TypedArc<T> = &self.reg;
+        let out = reg.raw.read_acquire(rd);
+        guard_created_on(&reg.raw);
+        // SAFETY: as in `read` — the slot is pinned at least for the
+        // guard's lifetime (the drop probe only releases, never
+        // re-acquires), and `rd` stays mutably borrowed throughout.
+        let value = unsafe {
+            (*reg.slots[out.slot].get()).as_ref().expect("published slot always holds a value")
+        };
+        TypedReadGuard { value, version: out.version, fast: out.fast, rd, raw: &reg.raw }
+    }
+
     /// Clone the current value out.
     pub fn read_cloned(&mut self) -> T
     where
@@ -184,6 +208,58 @@ impl<T: Send + Sync> Drop for TypedReader<T> {
         if let Some(rd) = self.rd.take() {
             self.reg.raw.reader_leave(rd);
         }
+    }
+}
+
+/// An RAII zero-copy view of a [`TypedArc`] value, returned by
+/// [`TypedReader::read_ref`]. Dereferences to `&T`; while held, the value
+/// is pinned against reclamation (a standing presence unit — one slot per
+/// held guard, within the `N + 2` budget). See
+/// [`ReadGuard`](crate::register::ReadGuard) for the byte-register form
+/// and the borrow rules both enforce at compile time.
+pub struct TypedReadGuard<'a, T: Send + Sync> {
+    value: &'a T,
+    version: u64,
+    fast: bool,
+    /// Mutably borrowed so drop can release/keep the pin and no other
+    /// read of the same handle can start while the guard lives.
+    rd: &'a mut RawReader,
+    raw: &'a RawArc,
+}
+
+impl<T: Send + Sync> TypedReadGuard<'_, T> {
+    /// Publication version of the pinned value (0 = the initial value;
+    /// monotone per handle, strictly increasing when the value changes).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether the read took the no-RMW fast path (R2).
+    pub fn fast(&self) -> bool {
+        self.fast
+    }
+}
+
+impl<T: Send + Sync> Deref for TypedReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+impl<T: Send + Sync> Drop for TypedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        guard_drop_on(self.raw, self.rd);
+    }
+}
+
+impl<T: Send + Sync + fmt::Debug> fmt::Debug for TypedReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TypedReadGuard")
+            .field("value", &self.value)
+            .field("version", &self.version)
+            .finish()
     }
 }
 
@@ -275,6 +351,34 @@ mod tests {
             drop(w);
         }
         assert_eq!(DROPS.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn typed_guard_derefs_and_releases_stale_pin() {
+        let reg = TypedArc::new(2, String::from("old"));
+        let mut w = reg.writer().unwrap();
+        let mut r = reg.reader().unwrap();
+        {
+            let g = r.read_ref();
+            assert_eq!(&*g, "old");
+            assert_eq!(g.version(), 0);
+            w.write(String::from("new"));
+            assert_eq!(&*g, "old", "guard must keep its publication");
+        }
+        // The stale pin was released at drop; the displaced "old" slot is
+        // reclaimable without another read from this handle.
+        assert_eq!(reg.raw.outstanding_units(), 0);
+        let g = r.read_ref();
+        assert_eq!(&*g, "new");
+        assert_eq!(g.version(), 1);
+    }
+
+    #[test]
+    fn typed_guard_keeps_fresh_pin_fast() {
+        let reg = TypedArc::new(1, 7u64);
+        let mut r = reg.reader().unwrap();
+        drop(r.read_ref());
+        assert!(r.read_ref().fast(), "unchanged publication must hit R2");
     }
 
     #[test]

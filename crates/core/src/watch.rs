@@ -24,7 +24,7 @@
 //! * [`TypedWatchReader`] — the same over a [`TypedArc`].
 //! * [`crate::ArcGroup::poll_changed`] — the batch edge: one pass over
 //!   the group's adjacent header lines, no parking, no handles.
-//! * (`async` feature) [`VersionStream`] — the versions as a poll-based
+//! * (`async` feature) `VersionStream` — the versions as a poll-based
 //!   stream for executor-driven consumers.
 
 use std::sync::Arc;
@@ -60,6 +60,13 @@ impl WatchReader {
     #[inline]
     pub fn read_versioned(&mut self) -> Versioned<Snapshot<'_>> {
         self.inner.read_versioned()
+    }
+
+    /// Read the most recent value as an RAII zero-copy guard (identical to
+    /// [`ArcReader::read_ref`]).
+    #[inline]
+    pub fn read_ref(&mut self) -> crate::register::ReadGuard<'_> {
+        self.inner.read_ref()
     }
 
     /// The register's published version right now (cheap poll).
@@ -129,6 +136,13 @@ impl<T: Send + Sync> TypedWatchReader<T> {
     #[inline]
     pub fn read_versioned(&mut self) -> Versioned<&T> {
         self.inner.read_versioned()
+    }
+
+    /// Read the most recent value as an RAII guard (identical to
+    /// [`TypedReader::read_ref`]).
+    #[inline]
+    pub fn read_ref(&mut self) -> crate::typed::TypedReadGuard<'_, T> {
+        self.inner.read_ref()
     }
 
     /// The register's published version right now (cheap poll).

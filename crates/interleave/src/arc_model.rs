@@ -41,14 +41,31 @@
 //! into a pinned slot. [`Defect::RingNoRevalidate`] models exactly that
 //! bug and the explorer catches it (see the tests).
 //!
+//! # The zero-copy guard drop (DESIGN.md §3.8)
+//!
+//! [`ArcModel::with_guard_drop`] models the RAII guard read path: every
+//! read ends with the guard's **drop probe** — one load of `current`
+//! (shared access) deciding between *keep the pin* (index unchanged: the
+//! handle's next read may fast-path) and *release now* (index moved on:
+//! `r_end += 1` plus the §3.4 hint steps, exactly the regular R3). A
+//! **held guard** is a reader that has completed its reads but not yet
+//! executed the drop steps — the explorer interleaves the writer's
+//! complete write paths before them, so configurations with `writes ≥
+//! n_slots` prove the two §3.8 obligations exhaustively: the writer
+//! stays wait-free around a standing pin (the starvation witness), and
+//! the pinned slot is never selected, rewritten or re-stamped while the
+//! guard lives (the exclusion witness). [`Defect::GuardLeakUnit`] seeds
+//! the natural implementation bug — a drop that forgets the release —
+//! and the explorer catches it as writer starvation.
+//!
 //! # The deliberately broken variants
 //!
-//! The [`Defect`] gallery seeds four plausible implementation bugs —
+//! The [`Defect`] gallery seeds five plausible implementation bugs —
 //! releasing at read end while keeping the fast path, skipping the W3
-//! freeze, publishing before the copy, and acquiring before releasing.
-//! Each is caught by the explorer (see the tests), demonstrating the
-//! checker detects safety (torn/stale), accounting (exclusion) and
-//! liveness (starvation) failures alike.
+//! freeze, publishing before the copy, acquiring before releasing, and
+//! the guard-drop unit leak. Each is caught by the explorer (see the
+//! tests), demonstrating the checker detects safety (torn/stale),
+//! accounting (exclusion) and liveness (starvation) failures alike.
 
 use crate::explorer::Model;
 use crate::spec::{ModelConfig, ObsChecker, ReadObs};
@@ -76,6 +93,12 @@ pub enum Defect {
     /// straddle slot generations, so this must be caught as an exclusion
     /// or torn-read violation.
     RingNoRevalidate,
+    /// A guard drop that clears the handle's cached index but **forgets
+    /// the release** (guard-drop mode only): every stale-pin drop leaks a
+    /// presence unit, the leaked slots never satisfy `r_start == r_end`
+    /// again, and the writer starves once the leaks cover the slack —
+    /// Lemma 4.1 violated, caught by the starvation witness.
+    GuardLeakUnit,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -150,6 +173,22 @@ enum RPc {
         target: u8,
         w0: u8,
     },
+    /// Guard drop, step 1: load `current` to decide keep-vs-release
+    /// (guard-drop mode only). The presence unit is still held here.
+    DropProbe,
+    /// Guard drop, step 2: release the stale pin (`r_end += 1`).
+    DropRelease {
+        slot: u8,
+    },
+    /// Guard drop, §3.4 hint check after the release (load `r_start`).
+    DropHintCheck {
+        slot: u8,
+        released: u8,
+    },
+    /// Guard drop, §3.4 hint post of the freed slot.
+    DropHintPost {
+        slot: u8,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -169,6 +208,9 @@ pub struct ArcModel {
     hint_enabled: bool,
     /// Model the writer-local free-slot candidate ring.
     ring_enabled: bool,
+    /// Model the RAII guard read path: every read ends with the drop
+    /// probe (keep the pin if `current` is unchanged, release otherwise).
+    guard_drop: bool,
     checker: ObsChecker,
     // shared memory
     cur_index: u8,
@@ -210,6 +252,20 @@ impl ArcModel {
         hint_enabled: bool,
         ring_enabled: bool,
     ) -> Self {
+        Self::with_guard_drop(cfg, defect, hint_enabled, ring_enabled, false)
+    }
+
+    /// Like [`ArcModel::with_ring`], optionally modeling the zero-copy
+    /// guard read path (module docs): each read ends with the guard's
+    /// drop probe — keep the pin when `current` is unchanged, release it
+    /// (with the §3.4 hint steps) when the register moved on.
+    pub fn with_guard_drop(
+        cfg: ModelConfig,
+        defect: Defect,
+        hint_enabled: bool,
+        ring_enabled: bool,
+        guard_drop: bool,
+    ) -> Self {
         let n_slots = cfg.readers + 2;
         let slots = vec![SlotM { r_start: 0, r_end: 0, w0: 0, w1: 0 }; n_slots];
         Self {
@@ -217,6 +273,7 @@ impl ArcModel {
             defect,
             hint_enabled,
             ring_enabled,
+            guard_drop,
             checker: ObsChecker::default(),
             cur_index: 0,
             cur_counter: 0,
@@ -424,9 +481,14 @@ impl ArcModel {
                 // RingNoRevalidate keeps the reader bookkeeping sound, so
                 // the strict witness applies to it too — and is exactly
                 // the check that catches the blind-trust bug.
-                Defect::None | Defect::RingNoRevalidate => {
+                // GuardLeakUnit keeps the strict witness: leaked slots
+                // carry last_index == None (no claims), held pins are
+                // genuine — the defect surfaces as starvation instead.
+                Defect::None | Defect::RingNoRevalidate | Defect::GuardLeakUnit => {
                     // Post-release, pre-reacquire states (FetchAdd and the
                     // §3.4 hint steps) carry no rights on the stale index.
+                    // The guard-drop probe/release states still hold the
+                    // unit, so they keep their exclusion rights.
                     r.last_index == Some(chosen)
                         && !matches!(
                             r.pc,
@@ -477,6 +539,7 @@ impl ArcModel {
                             | Defect::NoFreeze
                             | Defect::PublishBeforeCopy
                             | Defect::RingNoRevalidate
+                            | Defect::GuardLeakUnit
                     )
                 {
                     self.readers[r].pc = RPc::Release;
@@ -550,6 +613,55 @@ impl ArcModel {
                     self.slots[target as usize].r_end += 1;
                 }
                 self.readers[r].reads_left -= 1;
+                // Guard mode: the read's guard now drops — the probe and
+                // (possibly) the release interleave with writer steps.
+                self.readers[r].pc = if self.guard_drop && self.readers[r].last_index.is_some() {
+                    RPc::DropProbe
+                } else {
+                    RPc::Idle
+                };
+                Ok(())
+            }
+            RPc::DropProbe => {
+                // One shared access: load `current`. Keep the pin when the
+                // pinned slot is still the publication (the handle's next
+                // read fast-paths); release it when the register moved on.
+                let last = me.last_index.expect("drop probe only with a pinned slot");
+                if self.cur_index != last {
+                    self.readers[r].pc = RPc::DropRelease { slot: last };
+                } else {
+                    self.readers[r].pc = RPc::Idle;
+                }
+                Ok(())
+            }
+            RPc::DropRelease { slot } => {
+                if self.defect == Defect::GuardLeakUnit {
+                    // Seeded bug: clear the cached index but forget the
+                    // release — the unit leaks, the slot never frees.
+                    self.readers[r].last_index = None;
+                    self.readers[r].pc = RPc::Idle;
+                    return Ok(());
+                }
+                let released = self.slots[slot as usize].r_end + 1;
+                self.slots[slot as usize].r_end = released;
+                self.readers[r].last_index = None;
+                if self.hint_enabled {
+                    self.readers[r].pc = RPc::DropHintCheck { slot, released };
+                } else {
+                    self.readers[r].pc = RPc::Idle;
+                }
+                Ok(())
+            }
+            RPc::DropHintCheck { slot, released } => {
+                if self.slots[slot as usize].r_start == released {
+                    self.readers[r].pc = RPc::DropHintPost { slot };
+                } else {
+                    self.readers[r].pc = RPc::Idle;
+                }
+                Ok(())
+            }
+            RPc::DropHintPost { slot } => {
+                self.hint = Some(slot);
                 self.readers[r].pc = RPc::Idle;
                 Ok(())
             }
@@ -681,6 +793,72 @@ mod tests {
             msg.contains("exclusion") || msg.contains("torn") || msg.contains("regularity"),
             "got: {msg}"
         );
+    }
+
+    #[test]
+    fn guard_drop_single_reader_exhaustive() {
+        // The RAII guard read path (hint + ring on): every read ends with
+        // the drop probe; all interleavings of probe/release against the
+        // writer's full write paths must stay torn-free and exclusion-safe.
+        let m = ArcModel::with_guard_drop(
+            ModelConfig { readers: 1, writes: 3, reads_each: 2 },
+            Defect::None,
+            true,
+            true,
+            true,
+        );
+        let out = explore(m, ExploreLimits::default());
+        assert!(out.is_ok(), "guard-drop violation: {:?}", out.violation());
+    }
+
+    #[test]
+    fn guard_drop_two_readers_exhaustive() {
+        let m = ArcModel::with_guard_drop(
+            ModelConfig { readers: 2, writes: 3, reads_each: 1 },
+            Defect::None,
+            true,
+            true,
+            true,
+        );
+        let out = explore(m, ExploreLimits::default());
+        assert!(out.is_ok(), "guard-drop violation: {:?}", out.violation());
+    }
+
+    #[test]
+    fn held_guard_across_slot_count_writes_exhaustive() {
+        // The §3.8 persistent-pin obligation: a guard held across >=
+        // n_slots writes (here 4 writes vs 3 slots — the explorer covers
+        // the schedules where the reader finishes reading, then the writer
+        // completes every write before the drop steps run). Two witnesses
+        // fire on any violation: the starvation check (writer must stay
+        // wait-free around the standing pin) and the exclusion check (the
+        // pinned slot must never be selected or re-stamped).
+        let m = ArcModel::with_guard_drop(
+            ModelConfig { readers: 1, writes: 4, reads_each: 1 },
+            Defect::None,
+            true,
+            true,
+            true,
+        );
+        let out = explore(m, ExploreLimits::default());
+        assert!(out.is_ok(), "held-guard violation: {:?}", out.violation());
+    }
+
+    #[test]
+    fn guard_leak_unit_defect_is_caught() {
+        // A drop that forgets the release leaks one unit per stale-pin
+        // drop; leaked slots never free and the writer starves.
+        let m = ArcModel::with_guard_drop(
+            ModelConfig { readers: 1, writes: 3, reads_each: 2 },
+            Defect::GuardLeakUnit,
+            false,
+            false,
+            true,
+        );
+        let out = explore(m, ExploreLimits::default());
+        assert!(!out.is_ok(), "leaking the unit at guard drop must starve the writer");
+        let msg = out.violation().unwrap().to_string();
+        assert!(msg.contains("starved"), "got: {msg}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The ROADMAP's multi-writer table scenario — W producer threads all
 //! publishing into any of K keys, R consumers reading them — needs K
-//! multi-writer cells. Composing K separate [`MnRegister`]s would pay K
+//! multi-writer cells. Composing K separate [`crate::MnRegister`]s would pay K
 //! times the per-register boxing the slab group was built to eliminate;
 //! [`MnGroup`] instead lays **all K·M sub-registers in one
 //! [`ArcGroup`]**: cell `c`'s M sub-registers are group registers
@@ -21,7 +21,7 @@
 //!   sub-registers once).
 //!
 //! Each cell runs the identical timestamp construction as a standalone
-//! [`MnRegister`]: per-cell atomicity carries over verbatim (the
+//! [`crate::MnRegister`]: per-cell atomicity carries over verbatim (the
 //! `linearizer::mw` checker validates per-cell histories recorded
 //! through these handles), and cells never interfere — sub-register
 //! disjointness in the slab is the same `ArcGroup` layout argument,
@@ -313,8 +313,23 @@ impl MnGroupReader {
     }
 
     /// Copy cell `k`'s newest value out, with its timestamp.
+    ///
+    /// Allocates per call; loops should prefer
+    /// [`MnGroupReader::read_to_vec`] (reused buffer) or
+    /// [`MnGroupReader::read_with`] (no copy at all).
     pub fn read_owned(&mut self, k: usize) -> (Vec<u8>, Timestamp) {
         self.read_with(k, |v, ts| (v.to_vec(), ts))
+    }
+
+    /// Copy cell `k`'s newest value into `out` (capacity reused —
+    /// `clear` then `reserve`, never shrink), returning its timestamp:
+    /// the allocation-free steady-state form of
+    /// [`MnGroupReader::read_owned`].
+    pub fn read_to_vec(&mut self, k: usize, out: &mut Vec<u8>) -> Timestamp {
+        self.read_with(k, |v, ts| {
+            register_common::copy_to_vec(v, out);
+            ts
+        })
     }
 
     /// The table this reader belongs to.

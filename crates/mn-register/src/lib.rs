@@ -483,8 +483,21 @@ impl MnReader {
     }
 
     /// Copy the newest value out, returning it with its timestamp.
+    ///
+    /// Allocates per call; loops should prefer [`MnReader::read_to_vec`]
+    /// (reused buffer) or [`MnReader::read_with`] (no copy at all).
     pub fn read_owned(&mut self) -> (Vec<u8>, Timestamp) {
         self.read_with(|v, ts| (v.to_vec(), ts))
+    }
+
+    /// Copy the newest value into `out` (capacity reused: `clear` +
+    /// `reserve`, never shrink), returning its timestamp — the
+    /// allocation-free steady-state form of [`MnReader::read_owned`].
+    pub fn read_to_vec(&mut self, out: &mut Vec<u8>) -> Timestamp {
+        self.read_with(|v, ts| {
+            register_common::copy_to_vec(v, out);
+            ts
+        })
     }
 }
 

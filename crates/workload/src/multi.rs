@@ -309,7 +309,7 @@ pub struct MwMultiConfig {
 /// `writer_threads` threads each own one writer role and write sampled
 /// keys; reader threads burst sampled keys through
 /// [`TableReadHandle::read_many`]. Sampling/timing discipline matches
-/// [`run_table`] (every [`SAMPLE_EVERY`]th round is per-op timed).
+/// [`run_table`] (every `SAMPLE_EVERY`th = 32nd round is per-op timed).
 ///
 /// # Panics
 ///
