@@ -312,4 +312,33 @@ fn bench_latency_sections_conform() {
             "{file}: MN slab read-scan p50 at {ratio}x of the standalone layout (must be <= 1.0)"
         );
     }
+
+    // The crash-recovery cost section (E13): every crash point must have
+    // been exercised against a real dead process, and each repair must
+    // actually have found corpses — a recovery refactor that silently
+    // stops classifying would otherwise still emit a table of zeros.
+    check_rows(
+        &doc,
+        file,
+        "recovery",
+        &["registers", "crash_point", "attach_ns", "recover_ns", "writers_recovered", "pins_swept"],
+    );
+    let Some(arc_bench::Json::Arr(rows)) = doc.get("recovery") else { unreachable!() };
+    let mut points: Vec<String> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        if let Some(arc_bench::Json::Str(p)) = row.get("crash_point") {
+            points.push(p.clone());
+        }
+        let writers = row.get("writers_recovered").and_then(Json::as_f64).expect("writers numeric");
+        let pins = row.get("pins_swept").and_then(Json::as_f64).expect("pins numeric");
+        assert!(writers > 0.0 || pins > 0.0, "{file}: recovery[{i}] repaired nothing");
+        let recover = row.get("recover_ns").and_then(Json::as_f64).expect("recover_ns numeric");
+        assert!(recover > 0.0, "{file}: recovery[{i}] has no measured repair time");
+    }
+    for point in ["pre_w2", "at_w2", "post_w2", "reader_pins"] {
+        assert!(
+            points.iter().any(|p| p == point),
+            "{file}: recovery section lacks the {point:?} crash point"
+        );
+    }
 }

@@ -20,6 +20,9 @@
 //! * [`copy`] — the single tuned payload-copy routine behind every
 //!   copying read (the zero-copy guards of DESIGN.md §3.8 made copying a
 //!   convenience layer; this is that layer's one implementation).
+//! * [`errors`] — typed validation errors for shared-memory slabs
+//!   ([`SlabError`]), so a corrupted or incompatible mapping is refused
+//!   with a reason instead of UB.
 //!
 //! Nothing in this crate implements a register; it is pure substrate.
 
@@ -28,6 +31,7 @@
 
 pub mod clock;
 pub mod copy;
+pub mod errors;
 pub mod metrics;
 pub mod pad;
 pub mod payload;
@@ -35,6 +39,7 @@ pub mod traits;
 
 pub use clock::HistoryClock;
 pub use copy::{copy_payload, copy_to_vec};
+pub use errors::SlabError;
 pub use metrics::OpMetrics;
 pub use payload::{stamp, verify, PayloadError, MIN_PAYLOAD_LEN};
 pub use traits::{

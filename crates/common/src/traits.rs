@@ -54,6 +54,8 @@ pub enum BuildError {
     ZeroReaders,
     /// A register group/table of zero registers was requested.
     ZeroRegisters,
+    /// The storage backend could not produce (or validate) the shared slab.
+    Slab(crate::errors::SlabError),
 }
 
 impl fmt::Display for BuildError {
@@ -70,7 +72,14 @@ impl fmt::Display for BuildError {
             BuildError::ZeroRegisters => {
                 write!(f, "register group must hold at least one register")
             }
+            BuildError::Slab(e) => write!(f, "slab backend error: {e}"),
         }
+    }
+}
+
+impl From<crate::errors::SlabError> for BuildError {
+    fn from(e: crate::errors::SlabError) -> Self {
+        BuildError::Slab(e)
     }
 }
 

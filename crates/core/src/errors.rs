@@ -16,6 +16,12 @@ pub enum HandleError {
     /// presence counter can account for (only reachable by joining ~2^32
     /// readers without a single intervening write).
     ChurnExhausted,
+    /// The register (or its slab) carries state left behind by a process
+    /// that died mid-operation — a stale writer lease, an interrupted
+    /// publication journal, or orphaned reader pins. The caller must run
+    /// [`recover`](crate::ArcGroup::recover) before handles can be issued;
+    /// surviving readers keep reading wait-free in the meantime.
+    NeedsRecovery,
 }
 
 impl fmt::Display for HandleError {
@@ -29,6 +35,9 @@ impl fmt::Display for HandleError {
             }
             HandleError::ChurnExhausted => {
                 write!(f, "reader-handle churn exceeded the per-generation presence-counter budget")
+            }
+            HandleError::NeedsRecovery => {
+                write!(f, "a dead process left the register mid-operation; run recovery first")
             }
         }
     }
@@ -45,5 +54,6 @@ mod tests {
         assert!(HandleError::WriterAlreadyClaimed.to_string().contains("writer"));
         assert!(HandleError::ReadersExhausted { max_readers: 4 }.to_string().contains('4'));
         assert!(HandleError::ChurnExhausted.to_string().contains("churn"));
+        assert!(HandleError::NeedsRecovery.to_string().contains("recovery"));
     }
 }

@@ -1,4 +1,5 @@
-//! Slab-backed register groups: K ARC registers from three allocations.
+//! Slab-backed register groups: K ARC registers from **one relocatable
+//! slab**.
 //!
 //! A standalone [`ArcRegister`](crate::ArcRegister) optimizes for the
 //! latency of *one* hot register: every contended word sits alone in a
@@ -10,13 +11,28 @@
 //! boxed allocations are memory-bloated, allocation-heavy and
 //! cache-hostile.
 //!
-//! [`ArcGroup`] builds K registers in one shot from a single slab:
+//! [`ArcGroup`] builds K registers in one shot inside a single
+//! offset-addressed mapping (the [`crate::shm`] slab):
 //!
 //! ```text
-//! headers : [RegHeader; K]              one 64 B line per register
-//! slots   : [PackedSlot; K * n_slots]   one 64 B line per slot
-//! arena   : [u8; K * n_slots * capacity]   only when capacity > INLINE_CAP
+//! superblock : 128 B                        magic, geometry, recovery epoch
+//! headers    : [RegHeader; K]               one 64 B line per register
+//! slots      : [PackedSlot; K * n_slots]    one 64 B line per slot
+//! versions   : [AtomicU64; K * n_slots]     slot publication stamps
+//! pins       : [AtomicU64; K * max_readers] reader pin registry (§3.9;
+//!                                           shm slabs — heap opts in)
+//! arena      : [u8; K * n_slots * capacity] only when capacity > INLINE_CAP
 //! ```
+//!
+//! Nothing inside the slab is a pointer — every access is `base + offset`
+//! — so the same bytes are valid at any base address. With the default
+//! [`SlabBackend::Heap`] the slab is ordinary process-private memory; with
+//! [`SlabBackend::Shm`] (Linux) it lives on a `memfd` that other processes
+//! (or this one, again) can map via [`ArcGroup::attach_fd`] and drive with
+//! the unchanged wait-free protocol. Because processes can now die while
+//! holding roles, the slab also carries the §3.9 robustness state (writer
+//! journal + lease in each header, a reader pin registry region), consumed
+//! by [`ArcGroup::recover`].
 //!
 //! * **`RegHeader`** packs a register's hot coordination words (`current`,
 //!   hint, reader bookkeeping, writer claim) into one 64-byte-aligned
@@ -83,7 +99,12 @@ use crate::raw::{
     reader_join_on, reader_leave_on, select_slot_on, writer_claim_on, writer_release_on, ArcCells,
     ArcWriterMem, RawOptions, RawReader, NO_HINT,
 };
-use crate::register::{Arena, GuardBackend, ReadGuard, Snapshot, INLINE_CAP};
+use crate::recovery::{self, RecoveryReport};
+use crate::register::{GuardBackend, ReadGuard, Snapshot, INLINE_CAP};
+use crate::shm::{
+    pid_alive, Slab, SlabBackend, SlabError, SlabGeometry, SlabLayout, FLAG_FAST_PATH, FLAG_HINT,
+    FLAG_INLINE, FLAG_PINS, HDR_BYTES, SLOT_BYTES,
+};
 
 pub mod layout {
     //! Pure slab offset arithmetic, factored out so the property tests can
@@ -119,7 +140,11 @@ pub mod layout {
 
 /// One register's hot coordination words, packed into a single
 /// 64-byte-aligned line so neighboring registers never false-share.
-#[repr(align(64))]
+///
+/// `repr(C)` as well: the header lives inside the shared slab, so its
+/// byte layout is part of the slab format (guarded by the superblock's
+/// layout version, not by rustc's field-reordering whims).
+#[repr(C, align(64))]
 struct RegHeader {
     /// The packed `(index, counter)` synchronization word.
     current: AtomicU64,
@@ -129,6 +154,12 @@ struct RegHeader {
     /// header line is what makes [`ArcGroup::poll_changed`] one pass over
     /// adjacent 64 B lines.
     version: AtomicU64,
+    /// Publication-journal stage word (§3.9: `STAGE_* << 32 | slot`).
+    wip: AtomicU64,
+    /// Publication-journal context (previous slot / displaced raw word).
+    wip_old: AtomicU64,
+    /// Writer lease: pid of the process holding the claim (0 = none).
+    lease: AtomicU64,
     /// Live reader handles of this register.
     live_readers: AtomicU32,
     /// Reader handles created since the last write (churn guard).
@@ -143,6 +174,9 @@ impl RegHeader {
             current: AtomicU64::new(Current::fresh(0)),
             hint: AtomicUsize::new(NO_HINT),
             version: AtomicU64::new(0),
+            wip: AtomicU64::new(0),
+            wip_old: AtomicU64::new(0),
+            lease: AtomicU64::new(0),
             live_readers: AtomicU32::new(0),
             gen_joins: AtomicU32::new(0),
             writer_claimed: AtomicBool::new(false),
@@ -167,20 +201,15 @@ struct PackedSlot {
 }
 
 // The slab density claim of the module docs: counters (8) + len (8) +
-// inline (INLINE_CAP = 48) fill one 64-byte line with no padding.
-const _: () = assert!(std::mem::size_of::<PackedSlot>() == 64);
-const _: () = assert!(std::mem::size_of::<RegHeader>() == 64);
+// inline (INLINE_CAP = 48) fill one 64-byte line with no padding — and
+// both strides must match what SlabLayout::compute assumes.
+const _: () = assert!(std::mem::size_of::<PackedSlot>() == SLOT_BYTES);
+const _: () = assert!(std::mem::size_of::<RegHeader>() == HDR_BYTES);
 
-impl PackedSlot {
-    fn new() -> Self {
-        Self {
-            r_start: AtomicU32::new(0),
-            r_end: AtomicU32::new(0),
-            len: UnsafeCell::new(0),
-            inline: UnsafeCell::new([0u8; INLINE_CAP]),
-        }
-    }
-}
+// A PackedSlot is never constructed by value: the slab's zeroed slot
+// region *is* the initial state (zero counters ⇒ free; `Current::fresh(0)
+// == 0` makes slot 0 the valid initial publication of a zeroed header
+// word — though headers are written explicitly for the NO_HINT sentinel).
 
 // SAFETY: the UnsafeCell fields are accessed under the RawArc protocol
 // exactly like the standalone register's SlotBuf — writer-exclusive
@@ -206,6 +235,9 @@ struct GroupCells<'a> {
     /// This register's slot-version stamps (parallel to `slots`; kept out
     /// of the packed slot line, which is exactly full — module docs).
     versions: &'a [AtomicU64],
+    /// This register's pin-registry run: `max_readers` entries recording
+    /// which slot each reader currently pins (§3.9 reader-death sweep).
+    pins: &'a [AtomicU64],
 }
 
 impl<'a> GroupCells<'a> {
@@ -266,6 +298,35 @@ impl ArcCells for GroupCells<'_> {
         // SAFETY: same invariant as `slot` — protocol slot indices are
         // always in range; versions.len() == n_slots.
         unsafe { self.versions.get_unchecked(slot) }
+    }
+    #[inline]
+    fn wip_word(&self) -> &AtomicU64 {
+        &self.header.wip
+    }
+    #[inline]
+    fn wip_old_word(&self) -> &AtomicU64 {
+        &self.header.wip_old
+    }
+    #[inline]
+    fn lease_word(&self) -> &AtomicU64 {
+        &self.header.lease
+    }
+    #[inline]
+    fn pin_entries(&self) -> u32 {
+        // With a registry, every group reader gets an entry: the region
+        // holds `max_readers` entries and dead readers keep their join
+        // (hence their entry) until swept, so a joining reader always
+        // finds a free one — which is what makes the at-W2 census exact.
+        // Registry-less slabs (heap default) report 0: readers run with
+        // NO_PIN and the sweep/census walks are empty.
+        self.pins.len() as u32
+    }
+    #[inline]
+    fn pin_entry(&self, i: u32) -> &AtomicU64 {
+        debug_assert!((i as usize) < self.pins.len());
+        // SAFETY: callers index by a slot obtained from a successful claim
+        // scan over `0..pin_entries()`; pins.len() == max_readers.
+        unsafe { self.pins.get_unchecked(i as usize) }
     }
     #[inline]
     fn watch(&self) -> &WaitSet {
@@ -368,6 +429,8 @@ pub struct GroupBuilder {
     n_slots: Option<usize>,
     opts: RawOptions,
     inline: bool,
+    backend: SlabBackend,
+    pin_registry: Option<bool>,
     initial: Vec<u8>,
 }
 
@@ -383,6 +446,8 @@ impl GroupBuilder {
             n_slots: None,
             opts: RawOptions::default(),
             inline: true,
+            backend: SlabBackend::Heap,
+            pin_registry: None,
             initial: Vec::new(),
         }
     }
@@ -418,6 +483,33 @@ impl GroupBuilder {
         self
     }
 
+    /// Choose the slab storage backend (default [`SlabBackend::Heap`]).
+    ///
+    /// [`SlabBackend::Shm`] puts the slab on a shareable `memfd`
+    /// (Linux-only; elsewhere `build` reports
+    /// [`BuildError::Slab`]`(`[`SlabError::Unsupported`]`)`), so other
+    /// processes can map the same registers via [`ArcGroup::attach_fd`].
+    pub fn backend(mut self, backend: SlabBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Whether the slab carries the §3.9 reader pin registry
+    /// (`K × max_readers` words attributing each standing pin to a pid so
+    /// recovery can sweep dead readers and take the at-W2 census).
+    ///
+    /// Defaults to the backend's need: **on** for [`SlabBackend::Shm`]
+    /// (the registry is what makes a crashed process's pins sweepable
+    /// from a surviving mapping), **off** for [`SlabBackend::Heap`] — an
+    /// in-process reader cannot die without taking the slab with it, so
+    /// the region would be dead weight. Opt in on a heap slab only when
+    /// driving [`ArcGroup::recover_with`] with a custom liveness oracle
+    /// (e.g. sweeping handles a supervisor decided to abandon).
+    pub fn pin_registry(mut self, on: bool) -> Self {
+        self.pin_registry = Some(on);
+        self
+    }
+
     /// Enable/disable the per-op metric counters at runtime (default on;
     /// see [`crate::ArcBuilder::metrics`] — only observable in builds with
     /// the `metrics` cargo feature).
@@ -426,7 +518,7 @@ impl GroupBuilder {
         self
     }
 
-    /// Build the group (three allocations regardless of K).
+    /// Build the group (one slab allocation regardless of K).
     pub fn build(self) -> Result<Arc<ArcGroup>, BuildError> {
         if self.registers == 0 {
             return Err(BuildError::ZeroRegisters);
@@ -436,22 +528,52 @@ impl GroupBuilder {
         let n_slots = self.n_slots.unwrap_or(self.max_readers as usize + 2);
         assert!(n_slots >= 3, "ARC needs at least 3 slots (got {n_slots})");
         assert!(n_slots < CAND_HINT_BIT as usize, "slot index must fit 31 bits");
-        let total_slots =
-            self.registers.checked_mul(n_slots).expect("group slot count overflows usize");
-        let headers: Box<[RegHeader]> = (0..self.registers).map(|_| RegHeader::new()).collect();
-        let slots: Box<[PackedSlot]> = (0..total_slots).map(|_| PackedSlot::new()).collect();
-        let slot_versions: Box<[AtomicU64]> = (0..total_slots).map(|_| AtomicU64::new(0)).collect();
-        let arena_bytes = if self.inline && self.capacity <= INLINE_CAP {
-            0
-        } else {
-            total_slots.checked_mul(self.capacity).expect("group arena size overflows usize")
+        let mut flags = 0;
+        if self.inline {
+            flags |= FLAG_INLINE;
+        }
+        if self.opts.hint {
+            flags |= FLAG_HINT;
+        }
+        if self.opts.fast_path {
+            flags |= FLAG_FAST_PATH;
+        }
+        if self.pin_registry.unwrap_or(matches!(self.backend, SlabBackend::Shm)) {
+            flags |= FLAG_PINS;
+        }
+        let geometry = SlabGeometry {
+            registers: self.registers,
+            n_slots,
+            capacity: self.capacity,
+            max_readers: self.max_readers,
+            flags,
         };
-        let arena = Arena::zeroed(arena_bytes);
+        let layout = SlabLayout::compute(geometry)?;
+        let slab = match self.backend {
+            SlabBackend::Heap => Slab::heap(layout.total)?,
+            #[cfg(target_os = "linux")]
+            SlabBackend::Shm => Slab::shm(layout.total)?,
+            #[cfg(not(target_os = "linux"))]
+            SlabBackend::Shm => {
+                return Err(BuildError::Slab(SlabError::Unsupported {
+                    what: "shared-memory slabs (memfd_create) are Linux-only",
+                }))
+            }
+        };
+        // Region initialization: a zeroed slab is already a valid slot /
+        // version / pin state (`Current::fresh(0) == 0`, empty registry),
+        // so only the headers need their non-zero words (the NO_HINT
+        // sentinel) written — O(K), not O(K * n_slots).
+        let hdr = slab.base().wrapping_add(layout.hdr_off).cast::<RegHeader>();
+        for k in 0..self.registers {
+            // SAFETY: the header region holds `registers` RegHeader-sized,
+            // 64-byte-aligned cells inside the freshly created mapping,
+            // which nothing else references yet.
+            unsafe { hdr.add(k).write(RegHeader::new()) };
+        }
         let group = ArcGroup {
-            headers,
-            slots,
-            slot_versions,
-            arena,
+            slab,
+            layout,
             watch: WaitSet::new(),
             registers: self.registers,
             n_slots,
@@ -459,6 +581,7 @@ impl GroupBuilder {
             max_readers: self.max_readers,
             opts: self.opts,
             inline: self.inline,
+            backend: self.backend,
             #[cfg(feature = "metrics")]
             metrics: OpMetrics::new(),
         };
@@ -475,6 +598,9 @@ impl GroupBuilder {
                 }
             }
         }
+        // Stamp the superblock last: the Release store of the magic
+        // publishes a fully initialized slab to any attacher.
+        group.slab.superblock().initialize(&group.layout);
         Ok(Arc::new(group))
     }
 }
@@ -485,27 +611,30 @@ impl GroupBuilder {
 /// [`GroupWriter`]/[`GroupReader`] handles, or whole-group
 /// [`GroupWriterSet`]/[`GroupReaderSet`] handles for batched access.
 pub struct ArcGroup {
-    headers: Box<[RegHeader]>,
-    slots: Box<[PackedSlot]>,
-    /// Per-slot publication-version stamps, parallel to `slots`. Kept out
-    /// of the packed slot line (which is exactly one full cache line):
-    /// only slow-path reads and writes touch it — the R2 fast path serves
-    /// the version from the reader handle's cache.
-    slot_versions: Box<[AtomicU64]>,
-    /// Large-payload storage: region `(k * n_slots + slot) * capacity ..`.
-    arena: Arena,
+    /// The one mapping holding every region (module docs); all access is
+    /// `slab.base() + layout.*_off + index * stride`.
+    slab: Slab,
+    /// Region offsets, computed at build / validated at attach.
+    layout: SlabLayout,
     /// Group-wide wait/notify edge: any register's publish wakes all
     /// parked watchers, each of which re-checks its own register's
     /// version word (thundering-herd by design — per-register condvars
     /// would cost ~10× the whole header slab at K = 1M).
+    ///
+    /// Process-local (a slab attacher gets its own): cross-process
+    /// consumers poll [`ArcGroup::poll_changed`] / the version words.
     watch: WaitSet,
+    // Geometry copies (also recorded in the superblock): plain fields so
+    // the hot paths don't chase through `layout.geometry`.
     registers: usize,
     n_slots: usize,
     capacity: usize,
     max_readers: u32,
     opts: RawOptions,
     inline: bool,
+    backend: SlabBackend,
     /// Group-wide operation counters (E5/E6), `metrics` feature only.
+    /// Process-local, like `watch`.
     #[cfg(feature = "metrics")]
     metrics: OpMetrics,
 }
@@ -542,10 +671,120 @@ impl ArcGroup {
         self.inline
     }
 
+    /// The storage backend this group's slab lives on.
+    pub fn backend(&self) -> SlabBackend {
+        self.backend
+    }
+
+    /// The slab's recovery epoch: how many completed [`ArcGroup::recover`]
+    /// passes have repaired this plane (0 = never damaged). Shared slab
+    /// state — every attacher of the same memfd sees the same count.
+    pub fn epoch(&self) -> u64 {
+        self.slab.superblock().epoch()
+    }
+
+    /// The `memfd` backing this group's slab ([`SlabBackend::Shm`] only):
+    /// pass it to another process (or call [`ArcGroup::attach_fd`] in this
+    /// one) to map the same registers at a different base address.
+    #[cfg(target_os = "linux")]
+    pub fn memfd(&self) -> Option<std::os::fd::BorrowedFd<'_>> {
+        self.slab.fd()
+    }
+
+    /// Attach to an existing shared slab by its `memfd`.
+    ///
+    /// The descriptor is duplicated, mapped shared, and the superblock is
+    /// fully validated (magic, layout version, checksum, geometry,
+    /// mapped size) before any pointer into the slab is formed — a torn,
+    /// truncated, or foreign mapping is a typed [`SlabError`], never UB.
+    ///
+    /// The attached group drives the *same* registers as the originator:
+    /// writer claims are plane-wide exclusive, reads are wait-free against
+    /// writers in other processes. Check [`ArcGroup::needs_recovery`]
+    /// before claiming roles on a plane whose previous users may have
+    /// died.
+    #[cfg(target_os = "linux")]
+    pub fn attach_fd(fd: std::os::fd::BorrowedFd<'_>) -> Result<Arc<Self>, SlabError> {
+        let slab = Slab::attach(fd)?;
+        let layout = slab.superblock().validate(slab.len())?;
+        let g = layout.geometry;
+        let opts = RawOptions {
+            hint: g.flags & FLAG_HINT != 0,
+            fast_path: g.flags & FLAG_FAST_PATH != 0,
+            metrics: true,
+        };
+        Ok(Arc::new(ArcGroup {
+            slab,
+            layout,
+            watch: WaitSet::new(),
+            registers: g.registers,
+            n_slots: g.n_slots,
+            capacity: g.capacity,
+            max_readers: g.max_readers,
+            opts,
+            inline: g.flags & FLAG_INLINE != 0,
+            backend: SlabBackend::Shm,
+            #[cfg(feature = "metrics")]
+            metrics: OpMetrics::new(),
+        }))
+    }
+
+    /// Whether any register holds state only recovery may clear: a writer
+    /// lease or a reader pin owned by a dead process. A `true` here means
+    /// [`ArcGroup::writer`] / [`ArcGroup::writer_set`] on the affected
+    /// registers fail with [`HandleError::NeedsRecovery`] until
+    /// [`ArcGroup::recover`] runs — a damaged plane cannot be opened
+    /// silently.
+    pub fn needs_recovery(&self) -> bool {
+        self.needs_recovery_with(pid_alive)
+    }
+
+    /// [`ArcGroup::needs_recovery`] with a custom liveness oracle
+    /// (supervisors that track membership themselves; tests).
+    pub fn needs_recovery_with(&self, mut alive: impl FnMut(u64) -> bool) -> bool {
+        (0..self.registers).any(|k| recovery::register_needs_recovery(&self.cells(k), &mut alive))
+    }
+
+    /// Alias for [`ArcGroup::needs_recovery`]: the plane is poisoned by a
+    /// process that died holding a role.
+    pub fn poisoned(&self) -> bool {
+        self.needs_recovery()
+    }
+
+    /// Repair every register damaged by a dead process (DESIGN.md §3.9):
+    /// classify and finish (or discard) interrupted publications, release
+    /// dead readers' pinned slots, and free their roles. Bumps the slab's
+    /// recovery [`epoch`](ArcGroup::epoch) if anything was repaired.
+    ///
+    /// Caller contract: no *live* process is mid-operation on the damaged
+    /// registers while this runs (live handles may exist, parked between
+    /// operations). Surviving readers stay wait-free — recovery writes
+    /// only words the dead writer would have written.
+    pub fn recover(&self) -> RecoveryReport {
+        self.recover_with(pid_alive)
+    }
+
+    /// [`ArcGroup::recover`] with a custom liveness oracle.
+    ///
+    /// Reader-pin sweeps (and the at-W2 census) read the pin registry,
+    /// which shm slabs always carry; on a heap slab enable it with
+    /// [`GroupBuilder::pin_registry`] or sweeps find nothing. Writer
+    /// (lease/journal) recovery works on every layout.
+    pub fn recover_with(&self, mut alive: impl FnMut(u64) -> bool) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        for k in 0..self.registers {
+            recovery::recover_register(&self.cells(k), &mut alive, &mut report);
+        }
+        if report.repaired_anything() {
+            self.slab.superblock().bump_epoch();
+        }
+        report
+    }
+
     /// Live reader handles of register `k`.
     pub fn live_readers(&self, k: usize) -> u32 {
         self.check_index(k);
-        self.headers[k].live_readers.load(Ordering::Relaxed)
+        self.header(k).live_readers.load(Ordering::Relaxed)
     }
 
     /// Outstanding presence units of register `k` (diagnostic; racy under
@@ -563,7 +802,7 @@ impl ArcGroup {
         self.check_index(k);
         // Acquire pairs with the writer's post-W2 Release bump: a caller
         // that sees version v can immediately read publication v.
-        self.headers[k].version.load(Ordering::Acquire)
+        self.header(k).version.load(Ordering::Acquire)
     }
 
     /// One-pass change poll: for every `(k, last_version)` watermark whose
@@ -587,7 +826,7 @@ impl ArcGroup {
         let mut changed = 0;
         for &(k, last) in watermarks {
             self.check_index(k);
-            let v = self.headers[k].version.load(Ordering::Acquire);
+            let v = self.header(k).version.load(Ordering::Acquire);
             if v > last {
                 changed += 1;
                 f(k, v);
@@ -604,7 +843,7 @@ impl ArcGroup {
         self.check_index(k);
         let mut seen = last;
         self.watch.wait_until(|| {
-            seen = self.headers[k].version.load(Ordering::Acquire);
+            seen = self.header(k).version.load(Ordering::Acquire);
             seen > last
         });
         seen
@@ -622,7 +861,7 @@ impl ArcGroup {
         let mut seen = last;
         let woke = self.watch.wait_until_timeout(
             || {
-                seen = self.headers[k].version.load(Ordering::Acquire);
+                seen = self.header(k).version.load(Ordering::Acquire);
                 seen > last
             },
             timeout,
@@ -630,21 +869,26 @@ impl ArcGroup {
         woke.then_some(seen)
     }
 
-    /// Bytes of heap the whole group owns (headers + slots + arena +
-    /// struct). Divide by [`ArcGroup::registers`] for the per-register
-    /// footprint the `group_scaling` bench reports.
+    /// Bytes of memory the whole group owns (the slab — superblock +
+    /// headers + slots + versions + pins + arena — plus the struct).
+    /// Divide by [`ArcGroup::registers`] for the per-register footprint
+    /// the `group_scaling` bench reports.
     pub fn heap_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.headers.len() * std::mem::size_of::<RegHeader>()
-            + self.slots.len() * std::mem::size_of::<PackedSlot>()
-            + self.slot_versions.len() * std::mem::size_of::<AtomicU64>()
-            + self.arena.len()
+        std::mem::size_of::<Self>() + self.slab.len()
     }
 
     /// Claim the unique writer handle of register `k`.
+    ///
+    /// Fails with [`HandleError::NeedsRecovery`] if a dead process left
+    /// this register's writer lease or a reader pin behind — run
+    /// [`ArcGroup::recover`] first.
     pub fn writer(self: &Arc<Self>, k: usize) -> Result<GroupWriter, HandleError> {
         self.check_index(k);
-        let last_slot = writer_claim_on(&self.cells(k))?;
+        let cells = self.cells(k);
+        if recovery::register_needs_recovery(&cells, &mut pid_alive) {
+            return Err(HandleError::NeedsRecovery);
+        }
+        let last_slot = writer_claim_on(&cells)?;
         Ok(GroupWriter {
             group: Arc::clone(self),
             k,
@@ -662,12 +906,20 @@ impl ArcGroup {
 
     /// Claim the writer role of **every** register, for batched writes.
     ///
-    /// Fails with [`HandleError::WriterAlreadyClaimed`] (claiming nothing)
-    /// if any register's writer is already out.
+    /// Fails (claiming nothing) with
+    /// [`HandleError::WriterAlreadyClaimed`] if any register's writer is
+    /// already out, or [`HandleError::NeedsRecovery`] if any register was
+    /// damaged by a dead process (run [`ArcGroup::recover`] first).
     pub fn writer_set(self: &Arc<Self>) -> Result<GroupWriterSet, HandleError> {
         let mut mems = Vec::with_capacity(self.registers);
         for k in 0..self.registers {
-            match writer_claim_on(&self.cells(k)) {
+            let cells = self.cells(k);
+            let claimed = if recovery::register_needs_recovery(&cells, &mut pid_alive) {
+                Err(HandleError::NeedsRecovery)
+            } else {
+                writer_claim_on(&cells)
+            };
+            match claimed {
                 Ok(last_slot) => mems.push(PackedWriterMem::new(last_slot, self.n_slots)),
                 Err(e) => {
                     // Roll back the claims made so far.
@@ -716,6 +968,22 @@ impl ArcGroup {
         );
     }
 
+    /// This register's header line inside the slab.
+    ///
+    /// Callers guarantee `k < registers`. The header region was
+    /// initialized at build (or by the originating process of an attached
+    /// slab — any bit pattern is a *valid* RegHeader, validation merely
+    /// vouches for the offsets), is 64-byte aligned by layout, and lives
+    /// as long as the slab, i.e. as long as `self`.
+    #[inline]
+    fn header(&self, k: usize) -> &RegHeader {
+        debug_assert!(k < self.registers);
+        // SAFETY: per above — in-bounds (layout.hdr_off + k * 64 for
+        // k < registers is inside the mapping by SlabLayout::compute),
+        // aligned, initialized, and borrow-tied to &self.
+        unsafe { &*self.slab.base().add(self.layout.hdr_off).cast::<RegHeader>().add(k) }
+    }
+
     /// Resolve register `k`'s cells view.
     ///
     /// Callers guarantee `k < registers` — every handle checks its index
@@ -727,18 +995,37 @@ impl ArcGroup {
     fn cells(&self, k: usize) -> GroupCells<'_> {
         debug_assert!(k < self.registers);
         let base = layout::slot_index(k, self.n_slots, 0);
-        // SAFETY: k < registers, so header index k and the slot run
-        // [base, base + n_slots) are in range (layout::slot_range is
-        // within bounds for every k < registers by construction).
+        // SAFETY: k < registers, so header index k, the slot/version runs
+        // [base, base + n_slots) and the pin run [k * max_readers,
+        // (k+1) * max_readers) are all inside their regions, whose extents
+        // SlabLayout::compute derived from exactly these bounds. Every
+        // byte of the zeroed (or attached) regions is a valid value of
+        // its type (atomics + UnsafeCell-wrapped plain data).
         unsafe {
+            let slab = self.slab.base();
             GroupCells {
                 g: self,
-                header: self.headers.get_unchecked(k),
-                slots: std::slice::from_raw_parts(self.slots.as_ptr().add(base), self.n_slots),
-                versions: std::slice::from_raw_parts(
-                    self.slot_versions.as_ptr().add(base),
+                header: self.header(k),
+                slots: std::slice::from_raw_parts(
+                    slab.add(self.layout.slot_off).cast::<PackedSlot>().add(base),
                     self.n_slots,
                 ),
+                versions: std::slice::from_raw_parts(
+                    slab.add(self.layout.ver_off).cast::<AtomicU64>().add(base),
+                    self.n_slots,
+                ),
+                pins: if self.layout.geometry.has_pin_registry() {
+                    std::slice::from_raw_parts(
+                        slab.add(self.layout.pin_off)
+                            .cast::<AtomicU64>()
+                            .add(k * self.max_readers as usize),
+                        self.max_readers as usize,
+                    )
+                } else {
+                    // No registry region (heap slabs by default): readers
+                    // run with NO_PIN and every stamp is skipped.
+                    &[]
+                },
             }
         }
     }
@@ -768,13 +1055,13 @@ impl ArcGroup {
                 let inline: &[u8; INLINE_CAP] = &*cell.inline.get();
                 &inline[..len]
             } else {
-                let base = self.arena.base().add(layout::arena_offset(
+                let base = self.slab.base().add(self.layout.arena_off).add(layout::arena_offset(
                     k,
                     self.n_slots,
                     self.capacity,
                     slot,
                 ));
-                std::slice::from_raw_parts(base.cast::<u8>(), len)
+                std::slice::from_raw_parts(base.cast_const(), len)
             }
         }
     }
@@ -803,13 +1090,13 @@ impl ArcGroup {
                 let inline: &mut [u8; INLINE_CAP] = &mut *cell.inline.get();
                 &mut inline[..len]
             } else {
-                let base = self.arena.base().add(layout::arena_offset(
+                let base = self.slab.base().add(self.layout.arena_off).add(layout::arena_offset(
                     k,
                     self.n_slots,
                     self.capacity,
                     slot,
                 ));
-                std::slice::from_raw_parts_mut(base.cast::<u8>().cast_mut(), len)
+                std::slice::from_raw_parts_mut(base, len)
             };
             fill(dst);
             *cell.len.get() = len;
@@ -823,9 +1110,10 @@ impl ArcGroup {
     ///
     /// Same contract as [`ArcGroup::fill_slot_in`].
     unsafe fn fill_slot(&self, k: usize, slot: usize, len: usize, fill: impl FnOnce(&mut [u8])) {
-        let cell = &self.slots[layout::slot_index(k, self.n_slots, slot)];
-        // SAFETY: forwarded contract.
-        unsafe { self.fill_slot_in(cell, k, slot, len, fill) }
+        assert!(k < self.registers && slot < self.n_slots, "fill_slot out of range");
+        let cells = self.cells(k);
+        // SAFETY: forwarded contract; indices checked above.
+        unsafe { self.fill_slot_in(cells.slot(slot), k, slot, len, fill) }
     }
 
     /// Acquire a zero-copy guard over register `k` with reader state `rd`;
@@ -895,6 +1183,7 @@ impl fmt::Debug for ArcGroup {
             .field("n_slots", &self.n_slots)
             .field("capacity", &self.capacity)
             .field("max_readers", &self.max_readers)
+            .field("backend", &self.backend)
             .field("heap_bytes", &self.heap_bytes())
             .finish()
     }
@@ -1423,8 +1712,9 @@ mod tests {
     #[test]
     fn small_capacity_group_has_no_arena() {
         let g = ArcGroup::builder(100, 1, INLINE_CAP).build().unwrap();
-        // headers + slots + version stamps: 64 + 3*(64 + 8) per register,
-        // plus the struct amortized.
+        // header + slots + version stamps: 64 + 3*(64 + 8) per register
+        // (no pin registry on a heap slab), plus the superblock and the
+        // struct amortized (≤ 8 B/register at K = 100).
         let per_reg = g.heap_bytes() / 100;
         assert!(per_reg <= 64 + 3 * (64 + 8) + 8, "per-register {per_reg} bytes too high");
     }
@@ -1704,6 +1994,161 @@ mod tests {
         stop.store(true, Ordering::Relaxed);
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert!(total > 0);
+    }
+
+    #[test]
+    fn builder_reports_backend_and_epoch() {
+        let g = small(2);
+        assert_eq!(g.backend(), SlabBackend::Heap);
+        assert_eq!(g.epoch(), 0);
+        assert!(!g.needs_recovery());
+        assert!(!g.poisoned());
+        // A recovery pass over a healthy plane repairs nothing and does
+        // not bump the epoch.
+        let report = g.recover();
+        assert!(!report.repaired_anything());
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(g.epoch(), 0);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn heap_backend_has_no_memfd() {
+        assert!(small(2).memfd().is_none());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn shm_backend_roundtrips_through_attach() {
+        let g = ArcGroup::builder(4, 2, 256)
+            .initial(b"seed")
+            .backend(SlabBackend::Shm)
+            .build()
+            .unwrap();
+        assert_eq!(g.backend(), SlabBackend::Shm);
+        let fd = g.memfd().expect("shm slab has a memfd");
+        let other = ArcGroup::attach_fd(fd).unwrap();
+        assert_eq!(other.registers(), 4);
+        assert_eq!(other.n_slots(), 4);
+        assert_eq!(other.capacity(), 256);
+        assert_eq!(other.max_readers(), 2);
+        assert!(other.inline_enabled());
+        assert_eq!(other.backend(), SlabBackend::Shm);
+
+        // Same registers through both mappings, both directions, inline
+        // and arena payloads.
+        let mut w = g.writer(1).unwrap();
+        let mut r = other.reader(1).unwrap();
+        assert_eq!(&*r.read(), b"seed");
+        w.write(b"through the plane");
+        assert_eq!(&*r.read(), b"through the plane");
+        let big: Vec<u8> = (0..200u8).collect();
+        w.write(&big);
+        let snap = r.read();
+        assert_eq!(&*snap, &big[..]);
+        assert!(!snap.inline());
+        let mut w3 = other.writer(3).unwrap();
+        w3.write(b"reverse");
+        let mut r3 = g.reader(3).unwrap();
+        assert_eq!(&*r3.read(), b"reverse");
+
+        // Roles are plane-wide exclusive: the claim word lives in the
+        // shared header, so the attached mapping sees register 1's writer
+        // as taken.
+        assert!(matches!(other.writer(1), Err(HandleError::WriterAlreadyClaimed)));
+        drop(w);
+        let _re = other.writer(1).expect("release is visible across mappings too");
+
+        // Version words are shared state as well.
+        assert_eq!(g.published_version(3), other.published_version(3));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn attached_group_outlives_the_originator() {
+        let g = ArcGroup::builder(1, 1, 48)
+            .initial(b"persist")
+            .backend(SlabBackend::Shm)
+            .build()
+            .unwrap();
+        let other = ArcGroup::attach_fd(g.memfd().unwrap()).unwrap();
+        drop(g); // the memfd lives while any mapping holds a dup
+        let mut r = other.reader(0).unwrap();
+        assert_eq!(&*r.read(), b"persist");
+    }
+
+    #[test]
+    fn forgotten_writer_is_recoverable_with_a_liveness_oracle() {
+        let g = small(2);
+        let mut w = g.writer(0).unwrap();
+        w.write(b"last-published");
+        std::mem::forget(w); // "crash": claim + lease stay behind
+        assert!(!g.needs_recovery(), "this process is alive — no recovery yet");
+        assert!(g.needs_recovery_with(|_| false), "a dead owner must be detected");
+        assert!(matches!(g.writer(0), Err(HandleError::WriterAlreadyClaimed)));
+
+        let report = g.recover_with(|_| false);
+        assert_eq!(report.writers_recovered, 1);
+        // Clean death (journal idle): no publication classification.
+        assert_eq!((report.pre_w2, report.at_w2, report.post_w2), (0, 0, 0));
+        assert_eq!(g.epoch(), 1);
+
+        // The role is claimable again and the last publication survived.
+        let mut w = g.writer(0).expect("recovery freed the role");
+        let mut r = g.reader(0).unwrap();
+        assert_eq!(&*r.read(), b"last-published");
+        w.write(b"after recovery");
+        assert_eq!(&*r.read(), b"after recovery");
+    }
+
+    #[test]
+    fn forgotten_reader_pin_is_swept() {
+        // Oracle-driven sweeps on a heap slab need the opt-in registry
+        // (shm slabs carry it unconditionally).
+        let g = ArcGroup::builder(2, 2, 64).initial(b"init").pin_registry(true).build().unwrap();
+        let mut w = g.writer(0).unwrap();
+        w.write(b"v1");
+        let mut r = g.reader(0).unwrap();
+        let _ = r.read(); // pin the current slot
+        std::mem::forget(r);
+        assert_eq!(g.live_readers(0), 1);
+        assert_eq!(g.outstanding_units(0), 1);
+
+        let report = g.recover_with(|_| false);
+        assert_eq!(report.pins_swept, 1);
+        assert_eq!(report.units_released, 1);
+        assert_eq!(g.live_readers(0), 0);
+        assert_eq!(g.outstanding_units(0), 0, "the orphaned unit must be released");
+        // The swept reader's join no longer counts against the cap.
+        let _a = g.reader(0).unwrap();
+        let _b = g.reader(0).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn dead_lease_gates_writer_claim_until_recovered() {
+        // A real dead pid: spawn a child and wait for it.
+        let mut child = std::process::Command::new("true")
+            .spawn()
+            .or_else(|_| std::process::Command::new("sh").arg("-c").arg("exit 0").spawn())
+            .expect("spawn a short-lived child");
+        let dead_pid = child.id() as u64;
+        child.wait().unwrap();
+
+        let g = small(2);
+        g.header(0).lease.store(dead_pid, Ordering::Relaxed);
+        assert!(g.needs_recovery());
+        assert!(g.poisoned());
+        assert!(matches!(g.writer(0), Err(HandleError::NeedsRecovery)));
+        assert!(matches!(g.writer_set(), Err(HandleError::NeedsRecovery)));
+        let _unaffected = g.writer(1).expect("undamaged registers stay claimable");
+        drop(_unaffected);
+
+        let report = g.recover();
+        assert_eq!(report.writers_recovered, 1);
+        assert!(!g.needs_recovery());
+        assert_eq!(g.epoch(), 1);
+        let _w = g.writer(0).expect("recovered register is claimable");
     }
 
     #[test]

@@ -65,6 +65,16 @@
 //!   protocol.
 //! * [`raw`] — the slot/counter protocol, payload-agnostic and
 //!   storage-generic (both layouts above run it unchanged).
+//! * [`shm`] — the relocatable slab: [`ArcGroup`] stores all K registers
+//!   in one offset-addressed mapping, on heap memory or (Linux) on a
+//!   shareable `memfd` ([`SlabBackend::Shm`]) that other processes attach
+//!   with [`ArcGroup::attach_fd`] after superblock validation.
+//! * [`recovery`] — writer-death recovery and reader-pin reclamation:
+//!   classify an interrupted publication from its journal, adopt or
+//!   discard the in-flight slot, and sweep dead readers' pins
+//!   ([`ArcGroup::recover`]).
+//! * [`crash`] — seeded abort points for the process-kill fault-injection
+//!   harness.
 //! * [`current`] — the packed synchronization word.
 //! * [`family`] — adapter to the cross-algorithm bench/test interface.
 //!
@@ -79,22 +89,28 @@
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod crash;
 pub mod current;
 pub mod errors;
 pub mod family;
 pub mod group;
 pub mod raw;
+pub mod recovery;
 pub mod register;
+pub mod shm;
 pub mod typed;
 pub mod watch;
 
+pub use crash::CrashPoint;
 pub use errors::HandleError;
 pub use family::{ArcFamily, GroupTableFamily, IndependentTableFamily};
 pub use group::{ArcGroup, GroupBuilder, GroupReader, GroupReaderSet, GroupWriter, GroupWriterSet};
 pub use raw::{RawArc, RawOptions, ReadOutcome};
+pub use recovery::RecoveryReport;
 pub use register::{
     ArcBuilder, ArcReader, ArcRegister, ArcWriter, ReadGuard, Snapshot, INLINE_CAP,
 };
+pub use shm::{SlabBackend, SlabError};
 pub use typed::{TypedArc, TypedReadGuard, TypedReader, TypedWriter, Versioned};
 #[cfg(feature = "async")]
 pub use watch::VersionStream;

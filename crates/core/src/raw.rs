@@ -72,6 +72,9 @@
 //! | `slot_version` | writer stamp store / reader load | `Relaxed` | protocol-protected like the payload: stamped before W2, read under a standing unit; the `current` SeqCst pair carries the edge |
 //! | `version` (event word) | writer bump store | `Release` | bumped strictly **after** W2, so a watcher that observes version `v` always finds publication `v` (or newer) readable; single-writer-owned, so the writer's reload is `Relaxed` |
 //! | `version` (event word) | watcher loads | `Acquire` | pairs with the bump; the watch layer's lost-wakeup fence discipline lives in `sync_primitives::WaitSet` (and is model-checked by `interleave::notify_model`) |
+//! | `wip` (journal stage) | writer stores | `Relaxed`/`Release` | the publication journal (DESIGN.md §3.9) is consumed only by *recovery*, after the writer is dead and the slab quiescent; the one load-bearing edge is `PUB_RAW` released **after** the `wip_old` capture, so a recovery that reads the stage also sees the captured word |
+//! | `wip_old` / `lease` | writer stores | `Relaxed` | same quiescent-consumer argument; the lease pid additionally gates new claims (checked before the claim CAS) |
+//! | pin registry entry | join `CAS` / pin stores | `AcqRel` / `Release` | claims hand the entry between readers; pin stores are ordered **before** the unit release they describe, so a sweep can over-count (leak until next sweep) but never double-release |
 //!
 //! The version bump is the **watch edge**: one release store per write,
 //! plus `WaitSet::notify_all`'s fence + relaxed load (no lock when nobody
@@ -133,11 +136,102 @@ use register_common::pad::CachePadded;
 use register_common::OpMetrics;
 use sync_primitives::WaitSet;
 
+use crate::crash::{maybe_crash, CrashPoint};
 use crate::current::{counter_of, index_of, Current, MAX_READERS};
 use crate::errors::HandleError;
+use crate::shm::self_pid;
 
 /// Sentinel for "no hint posted".
 pub(crate) const NO_HINT: usize = usize::MAX;
+
+// ---------------------------------------------------------------------
+// The publication journal (DESIGN.md §3.9)
+// ---------------------------------------------------------------------
+//
+// Three per-register words let a *recovery* writer classify exactly where
+// a dead writer stopped: `wip` packs `(stage << 32) | slot`, `wip_old`
+// holds stage-dependent context, `lease` holds the claiming process's pid.
+// The words are written at the handful of points marked in the write path
+// below and read only by `crate::recovery`, on a quiescent slab.
+
+/// No publication in flight (also the zeroed-slab state).
+pub(crate) const STAGE_IDLE: u64 = 0;
+/// W1 done: `wip.slot` is selected and being filled; not yet published.
+pub(crate) const STAGE_FILLING: u64 = 1;
+/// Entering W2: `wip_old` holds the *previous* slot index. Until the stage
+/// advances, the W2 swap may or may not have executed.
+pub(crate) const STAGE_PUB_PREV: u64 = 2;
+/// W2 done and captured: `wip_old` holds the raw `(index, counter)` word
+/// the swap displaced — everything after is exactly replayable.
+pub(crate) const STAGE_PUB_RAW: u64 = 3;
+
+/// Pack a journal stage word.
+#[inline]
+pub(crate) fn wip_pack(stage: u64, slot: usize) -> u64 {
+    (stage << 32) | slot as u64
+}
+
+/// Stage of a journal word.
+#[inline]
+pub(crate) fn wip_stage(w: u64) -> u64 {
+    w >> 32
+}
+
+/// Slot of a journal word.
+#[inline]
+pub(crate) fn wip_slot(w: u64) -> usize {
+    (w & u32::MAX as u64) as usize
+}
+
+// ---------------------------------------------------------------------
+// The reader pin registry (slab layouts only)
+// ---------------------------------------------------------------------
+//
+// An ARC presence unit is *anonymous* — perfect for wait-freedom, fatal
+// for crash recovery (a dead reader's unit pins its slot forever). Slab
+// layouts therefore carry one registry word per reader handle, packing
+// `(owner pid) << 32 | (pinned slot + 1)` (low half 0 = no pin). The
+// entry mirrors what the handle's own bookkeeping knows, with stores
+// ordered so a sweep of a dead owner's entry errs toward *leaking until
+// the next sweep*, never toward releasing a unit twice:
+//
+// * pin clears are stored **before** the unit release they precede;
+// * at leave, the whole entry is zeroed **before** the final release.
+//
+// The one un-closable window is a reader dying between its R4 fetch_add
+// and the pin store — that unit is uncounted and leaks (documented in
+// DESIGN.md §3.9; bounded by one unit per crashed reader).
+
+/// Pin-registry index meaning "this layout has no registry" (single-
+/// register layout, or registry exhausted — handle works, unsweepable).
+pub(crate) const NO_PIN: u32 = u32::MAX;
+
+/// Owner pid of a registry entry (0 = entry free).
+#[inline]
+pub(crate) fn pin_owner(entry: u64) -> u64 {
+    entry >> 32
+}
+
+/// Slot a registry entry pins, if any.
+#[inline]
+pub(crate) fn pin_pinned_slot(entry: u64) -> Option<usize> {
+    (entry & u32::MAX as u64).checked_sub(1).map(|s| s as usize)
+}
+
+/// Mirror the handle's pin state into its registry entry (no-op for
+/// layouts without a registry).
+#[inline]
+fn pin_record<C: ArcCells>(c: &C, rd: &RawReader, slot: Option<usize>) {
+    if rd.pin_idx != NO_PIN {
+        let v = match slot {
+            Some(s) => rd.owner | (s as u64 + 1),
+            None => rd.owner,
+        };
+        // Release: ordered before the unit release that follows a clear
+        // (see the registry comment above).
+        c.pin_entry(rd.pin_idx).store(v, Ordering::Release);
+    }
+}
 
 /// Per-slot coordination metadata.
 ///
@@ -229,6 +323,21 @@ pub(crate) trait ArcCells {
     /// registers of a slab group — waiters re-check their own register's
     /// version word after every wake).
     fn watch(&self) -> &WaitSet;
+    /// Publication-journal stage word (`STAGE_* << 32 | slot`).
+    fn wip_word(&self) -> &AtomicU64;
+    /// Publication-journal context word (stage-dependent; see `STAGE_*`).
+    fn wip_old_word(&self) -> &AtomicU64;
+    /// Writer-lease word: pid of the claiming process (0 = unclaimed).
+    fn lease_word(&self) -> &AtomicU64;
+    /// Number of reader pin-registry entries (0 = no registry: single-
+    /// register layout; reader death then leaks at most one unit).
+    fn pin_entries(&self) -> u32 {
+        0
+    }
+    /// Pin-registry entry `i` (`i < pin_entries()`).
+    fn pin_entry(&self, _i: u32) -> &AtomicU64 {
+        unreachable!("layout has no pin registry")
+    }
     /// Configured reader cap `N`.
     fn max_readers(&self) -> u32;
     /// Protocol ablation switches.
@@ -285,7 +394,21 @@ pub(crate) fn reader_join_on<C: ArcCells>(c: &C) -> Result<RawReader, HandleErro
         c.live_readers_word().fetch_sub(1, Ordering::Relaxed);
         return Err(HandleError::ChurnExhausted);
     }
-    Ok(RawReader { last_index: None, last_version: 0 })
+    // Claim a pin-registry entry (slab layouts) so a crash of this process
+    // leaves a sweepable record instead of an anonymous leak. The capacity
+    // check above admits at most `max_readers` handles, and dead readers
+    // hold their live_readers unit until swept, so a free entry always
+    // exists; the fallback (NO_PIN) only de-optimizes recovery.
+    let owner = self_pid() << 32;
+    let mut pin_idx = NO_PIN;
+    for i in 0..c.pin_entries() {
+        // AcqRel: take over the entry after any previous owner's stores.
+        if c.pin_entry(i).compare_exchange(0, owner, Ordering::AcqRel, Ordering::Relaxed).is_ok() {
+            pin_idx = i;
+            break;
+        }
+    }
+    Ok(RawReader { last_index: None, last_version: 0, pin_idx, owner })
 }
 
 /// Perform the coordination part of a read (Algorithm 2), returning the
@@ -316,6 +439,9 @@ pub(crate) fn read_acquire_on<C: ArcCells>(c: &C, rd: &mut RawReader) -> ReadOut
     }
     // Slow path: release the previously pinned slot (R3) ...
     if let Some(old) = rd.last_index {
+        // Un-register the pin *before* releasing the unit it describes,
+        // so a crash-sweep never double-releases (registry comment above).
+        pin_record(c, rd, None);
         release_unit_on(c, old as usize);
         bump!(c, read_rmws, 1);
     }
@@ -329,6 +455,9 @@ pub(crate) fn read_acquire_on<C: ArcCells>(c: &C, rd: &mut RawReader) -> ReadOut
         "presence counter about to carry into the index field"
     );
     rd.last_index = Some(index);
+    // Record the new pin. A crash between the fetch_add above and this
+    // store leaks one uncounted unit — the documented un-closable window.
+    pin_record(c, rd, Some(index as usize));
     // The stamp was written before the W2 that published this slot, and
     // the slot cannot be re-stamped while our fresh presence unit pins it
     // — Relaxed per the ordering budget (the edge came from the SeqCst
@@ -388,6 +517,7 @@ pub(crate) fn guard_drop_on<C: ArcCells>(c: &C, rd: &mut RawReader) {
     if let Some(last) = rd.last_index {
         let raw = c.current_word().load(Ordering::SeqCst);
         if index_of(raw) != last {
+            pin_record(c, rd, None);
             release_unit_on(c, last as usize);
             // The eager release is an R3 RMW exactly like the one in
             // read_acquire_on's slow path — count it, or the E5 per-read
@@ -401,6 +531,12 @@ pub(crate) fn guard_drop_on<C: ArcCells>(c: &C, rd: &mut RawReader) {
 
 /// Deregister a reader handle, releasing its outstanding unit (if any).
 pub(crate) fn reader_leave_on<C: ArcCells>(c: &C, mut rd: RawReader) {
+    // Free the whole registry entry *before* the final release: a sweep
+    // racing this leave then sees either our pin (and we are alive) or no
+    // entry at all — never a cleared-but-still-pinned ghost.
+    if rd.pin_idx != NO_PIN {
+        c.pin_entry(rd.pin_idx).store(0, Ordering::Release);
+    }
     if let Some(old) = rd.last_index.take() {
         release_unit_on(c, old as usize);
     }
@@ -432,6 +568,11 @@ pub(crate) fn writer_claim_on<C: ArcCells>(c: &C) -> Result<usize, HandleError> 
     if c.writer_claimed_word().swap(true, Ordering::Acquire) {
         return Err(HandleError::WriterAlreadyClaimed);
     }
+    // Lease the register to this process so recovery can tell a crashed
+    // claimant from a live one. Relaxed: consumed either by the pre-claim
+    // dead-lease gate (advisory — the swap above is the real lock) or by
+    // quiescent recovery.
+    c.lease_word().store(self_pid(), Ordering::Relaxed);
     // Invariant: last_slot always equals current.index between writes,
     // so a re-claimed writer reconstructs it from `current`.
     Ok(current_index_on(c))
@@ -439,7 +580,14 @@ pub(crate) fn writer_claim_on<C: ArcCells>(c: &C) -> Result<usize, HandleError> 
 
 /// Release the writer role so another thread may claim it.
 pub(crate) fn writer_release_on<C: ArcCells>(c: &C) {
-    // Release: other half of the writer_claim_on handoff.
+    // A clean release leaves no journal: a selected-but-never-published
+    // slot (select_slot without publish) is abandoned, which is exactly
+    // what recovery would conclude from FILLING anyway.
+    c.wip_word().store(STAGE_IDLE, Ordering::Relaxed);
+    c.wip_old_word().store(0, Ordering::Relaxed);
+    c.lease_word().store(0, Ordering::Relaxed);
+    // Release: other half of the writer_claim_on handoff (also orders the
+    // journal clears above before the next claimant's reads).
     c.writer_claimed_word().store(false, Ordering::Release);
 }
 
@@ -485,6 +633,9 @@ pub(crate) fn select_slot_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W) ->
                         OpMetrics::bump(&c.metrics().hint_hits, 1);
                     }
                 }
+                // Journal W1: the slot is about to be filled. A crash
+                // between here and publish classifies as pre-W2 discard.
+                c.wip_word().store(wip_pack(STAGE_FILLING, cand), Ordering::Relaxed);
                 return cand;
             }
         }
@@ -500,6 +651,8 @@ pub(crate) fn select_slot_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W) ->
             bump!(c, slot_probes, 1);
             if slot_free_on(c, s) {
                 wr.set_search_pos((s + 1) % n);
+                // Journal W1 (fallback-scan path) — same as above.
+                c.wip_word().store(wip_pack(STAGE_FILLING, s), Ordering::Relaxed);
                 return s;
             }
         }
@@ -520,6 +673,13 @@ pub(crate) fn select_slot_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W) ->
 pub(crate) fn publish_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: usize) {
     debug_assert_ne!(slot, wr.last_slot(), "W1 forbids reusing the current slot");
     debug_assert!(slot_free_on(c, slot), "publishing a slot with standing readers");
+    // Journal the publication intent (§3.9): capture the previous slot,
+    // then advance the stage. From here until the PUB_RAW capture below,
+    // a crash is classified by comparing `current.index` against
+    // `wip.slot` — W1 guarantees slot != last_slot, so `current` moving
+    // to `wip.slot` can only mean *our* swap executed.
+    c.wip_old_word().store(wr.last_slot() as u64, Ordering::Relaxed);
+    c.wip_word().store(wip_pack(STAGE_PUB_PREV, slot), Ordering::Relaxed);
     // Reset the slot's generation counters. Visibility to readers is
     // carried by the SeqCst swap below (release) paired with their
     // SeqCst fetch_add (acquire).
@@ -539,9 +699,19 @@ pub(crate) fn publish_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: 
     // payload bytes.
     let version = c.version_word().load(Ordering::Relaxed).wrapping_add(1);
     c.slot_version(slot).store(version, Ordering::Relaxed);
+    maybe_crash(CrashPoint::PreW2);
     // W2: publish atomically with a zeroed presence counter.
     let old = c.current_word().swap(Current::fresh(slot as u32), Ordering::SeqCst);
     bump!(c, write_rmws, 1);
+    maybe_crash(CrashPoint::AtW2);
+    // Capture the displaced word, then advance the journal stage. The
+    // Release on the stage store orders it after the capture, so recovery
+    // reading PUB_RAW (Acquire) always finds the real displaced word —
+    // a crash *between* these stores still classifies as at-W2, whose
+    // census repair is correct (merely less exact) for this state too.
+    c.wip_old_word().store(old, Ordering::Relaxed);
+    c.wip_word().store(wip_pack(STAGE_PUB_RAW, slot), Ordering::Release);
+    maybe_crash(CrashPoint::PostW2);
     // W3: freeze the superseded slot's presence count. Release pairs
     // with the Acquire load in readers' hint check.
     let old_slot = index_of(old) as usize;
@@ -566,6 +736,11 @@ pub(crate) fn publish_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: 
     // WaitSet::notify_all, which costs one fence + one load when nobody
     // waits.
     c.version_word().store(version, Ordering::Release);
+    // Publication complete: retire the journal. Stage first — if only the
+    // stage store lands before a crash, IDLE + stale wip_old reads as a
+    // clean register, which it is.
+    c.wip_word().store(STAGE_IDLE, Ordering::Relaxed);
+    c.wip_old_word().store(0, Ordering::Relaxed);
     c.watch().notify_all();
 }
 
@@ -665,6 +840,9 @@ pub struct RawArc {
     version: CachePadded<AtomicU64>,
     /// Wait/notify edge for watchers (cold unless someone waits).
     watch: WaitSet,
+    /// Publication journal + writer lease (§3.9). One shared line: all
+    /// three words are written by the writer on the write path only.
+    journal: CachePadded<Journal>,
     /// Whether the unique writer handle is claimed.
     writer_claimed: AtomicBool,
     /// Reader cap `N`.
@@ -721,6 +899,18 @@ impl ArcCells for RawArc {
         &self.watch
     }
     #[inline]
+    fn wip_word(&self) -> &AtomicU64 {
+        &self.journal.wip
+    }
+    #[inline]
+    fn wip_old_word(&self) -> &AtomicU64 {
+        &self.journal.wip_old
+    }
+    #[inline]
+    fn lease_word(&self) -> &AtomicU64 {
+        &self.journal.lease
+    }
+    #[inline]
     fn max_readers(&self) -> u32 {
         self.max_readers
     }
@@ -735,6 +925,24 @@ impl ArcCells for RawArc {
     }
 }
 
+/// The per-register publication journal + writer lease (§3.9) — the
+/// words crash recovery reads to classify a dead writer's progress.
+#[derive(Debug)]
+struct Journal {
+    /// `(STAGE_* << 32) | slot`.
+    wip: AtomicU64,
+    /// Stage-dependent context (previous slot, or the displaced raw word).
+    wip_old: AtomicU64,
+    /// Pid of the process holding the writer claim (0 = none).
+    lease: AtomicU64,
+}
+
+impl Journal {
+    fn new() -> Self {
+        Self { wip: AtomicU64::new(0), wip_old: AtomicU64::new(0), lease: AtomicU64::new(0) }
+    }
+}
+
 /// Reader-side per-handle state: the slot pinned by the previous read.
 ///
 /// `None` until the handle's first read (lazy acquisition; DESIGN.md §3.2).
@@ -744,6 +952,13 @@ pub struct RawReader {
     /// Version of the publication this handle pins — cached so the R2
     /// fast path reports a version without touching the slot line.
     last_version: u64,
+    /// Pin-registry entry owned by this handle (NO_PIN = layout has no
+    /// registry; the handle works but a crash of its process leaks its
+    /// unit until the slot is never reusable — single-register layouts
+    /// accept this, slab layouts don't).
+    pin_idx: u32,
+    /// `pid << 32` — the owner half of this handle's registry entries.
+    owner: u64,
 }
 
 impl RawReader {
@@ -906,6 +1121,7 @@ impl RawArc {
             gen_joins: CachePadded::new(AtomicU32::new(0)),
             version: CachePadded::new(AtomicU64::new(0)),
             watch: WaitSet::new(),
+            journal: CachePadded::new(Journal::new()),
             writer_claimed: AtomicBool::new(false),
             max_readers,
             opts,

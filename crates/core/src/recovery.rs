@@ -1,0 +1,233 @@
+//! Writer-death recovery and reader-pin reclamation (DESIGN.md §3.9).
+//!
+//! A slab shared across processes can outlive the processes using it. Two
+//! kinds of corpses are possible:
+//!
+//! * a **writer** that died mid-publication — it holds the register's
+//!   writer claim and may have left a half-published slot;
+//! * a **reader** that died while pinning a slot — its presence unit will
+//!   never be released, so the slot can never be reused.
+//!
+//! The write path journals its progress in three spare header words (a
+//! `wip` stage word, a `wip_old` payload word, and a `lease` word holding
+//! the writer's pid), ordered so that at *every* instant the journal
+//! either describes the interrupted step exactly or errs toward a repair
+//! that is still safe. [`ArcGroup::recover`](crate::ArcGroup::recover)
+//! walks the registers, classifies each dead writer's journal —
+//! **pre-W2** (swap not reached: discard the filled slot), **at-W2**
+//! (swap reached but the displaced value was lost: adopt the published
+//! slot and rebuild the previous slot's ledger by census), **post-W2**
+//! (displaced value captured: roll the publication forward exactly) —
+//! then sweeps dead readers' pin-registry entries, releasing their
+//! orphaned presence units.
+//!
+//! Surviving readers never notice: recovery only writes words the dead
+//! writer itself would have written (or ledger words readers don't spin
+//! on), so reads stay wait-free throughout. The caller contract is that
+//! *recovery itself* runs while no live writer holds the register —
+//! guaranteed structurally, because the writer claim of a dead writer is
+//! still held and blocks new claims until recovery clears it.
+//!
+//! # Limitations (DESIGN.md §3.9)
+//!
+//! * **Quiescent recovery window.** Live handles may exist during a
+//!   [`recover`](crate::ArcGroup::recover) pass, but must be between
+//!   operations; recovery rewrites ledger words the protocol otherwise
+//!   owns.
+//! * **The R4→pin gap.** A reader dying between its R4 `fetch_add` and
+//!   the registry store of its new pin leaks exactly one uncounted unit
+//!   on one slot (that slot is never reused; everything else proceeds).
+//!   Closing the gap would put an RMW on the read fast path — the wrong
+//!   trade for a crash window of two instructions.
+//! * **Pid reuse.** Liveness is `kill(pid, 0)`; a recycled pid makes a
+//!   corpse look alive (delaying recovery), never the reverse race that
+//!   would corrupt state — unknown counts as alive.
+
+use std::sync::atomic::Ordering;
+
+use crate::current::{counter_of, index_of};
+use crate::raw::{
+    pin_owner, pin_pinned_slot, release_unit_on, wip_slot, wip_stage, ArcCells, STAGE_FILLING,
+    STAGE_IDLE, STAGE_PUB_PREV, STAGE_PUB_RAW,
+};
+
+/// What a [`recover`](crate::ArcGroup::recover) pass found and repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Registers whose writer claim was held by a dead process.
+    pub writers_recovered: usize,
+    /// Dead writers classified pre-W2 (filled slot discarded).
+    pub pre_w2: usize,
+    /// Dead writers classified at-W2 (published slot adopted, previous
+    /// slot's ledger rebuilt by census).
+    pub at_w2: usize,
+    /// Dead writers classified post-W2 (publication rolled forward).
+    pub post_w2: usize,
+    /// Pin-registry entries owned by dead readers that were cleared.
+    pub pins_swept: usize,
+    /// Orphaned presence units released while sweeping those pins.
+    pub units_released: usize,
+}
+
+impl RecoveryReport {
+    /// Whether the pass found anything to repair at all.
+    pub fn repaired_anything(&self) -> bool {
+        self.writers_recovered != 0 || self.pins_swept != 0
+    }
+}
+
+/// Whether this register holds state only recovery may clear: a writer
+/// lease or a pin-registry entry owned by a process `alive` reports dead.
+pub(crate) fn register_needs_recovery<C: ArcCells>(
+    c: &C,
+    alive: &mut impl FnMut(u64) -> bool,
+) -> bool {
+    let lease = c.lease_word().load(Ordering::Acquire);
+    if lease != 0 && !alive(lease) {
+        return true;
+    }
+    for i in 0..c.pin_entries() {
+        let e = c.pin_entry(i).load(Ordering::Acquire);
+        if e != 0 && !alive(pin_owner(e)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Repair one register: classify and finish (or discard) a dead writer's
+/// interrupted publication, then sweep dead readers' pins.
+///
+/// # Caller contract
+///
+/// Quiescent-recovery window: no *live* process is running an operation on
+/// this register while recovery rewrites its ledger (live handles may
+/// exist; they must merely be between operations). Within one process the
+/// `&mut` on handles gives this for free; across processes it is the
+/// supervisor's job — exactly the regime the crash harness exercises.
+pub(crate) fn recover_register<C: ArcCells>(
+    c: &C,
+    alive: &mut impl FnMut(u64) -> bool,
+    report: &mut RecoveryReport,
+) {
+    let lease = c.lease_word().load(Ordering::Acquire);
+    if lease != 0 && !alive(lease) {
+        recover_dead_writer(c, report);
+    }
+    // Sweep AFTER any at-W2 census: the census counts every registry pin
+    // on the previous slot — dead or alive — and the sweep then releases
+    // the dead ones, advancing `r_end` toward the census total. (The two
+    // commute arithmetically, but census-then-sweep keeps "frozen count =
+    // releases + standing pins" literally true at every instant between
+    // them.)
+    sweep_dead_pins(c, alive, report);
+}
+
+/// Classify a dead writer's journal and repair the register (module docs;
+/// the full crash-point table is DESIGN.md §3.9).
+fn recover_dead_writer<C: ArcCells>(c: &C, report: &mut RecoveryReport) {
+    report.writers_recovered += 1;
+    let w = c.wip_word().load(Ordering::Acquire);
+    let slot = wip_slot(w);
+    match wip_stage(w) {
+        // W1 reached, W2 not journalled: the slot was (at most) being
+        // filled and was never published — discard by doing nothing; its
+        // ledger still reads free.
+        STAGE_FILLING if slot < c.n_slots() => report.pre_w2 += 1,
+        STAGE_PUB_PREV if slot < c.n_slots() => {
+            // The swap may or may not have executed. W1 forbids selecting
+            // `last_slot`, so `current` pointing at the journalled slot
+            // can only mean the dead writer's own swap ran.
+            let cur = c.current_word().load(Ordering::SeqCst);
+            if index_of(cur) as usize == slot {
+                // At-W2: published, but the displaced word (and with it
+                // the previous slot's acquisition count) died with the
+                // writer. Rebuild the W3 freeze by census: frozen count
+                // := releases so far + standing registry pins on the
+                // previous slot. Exact because every group reader records
+                // its pinned slot in the registry (and the recovery
+                // window is quiescent).
+                report.at_w2 += 1;
+                let prev = c.wip_old_word().load(Ordering::Acquire) as usize;
+                if prev < c.n_slots() {
+                    let mut standing = 0u32;
+                    for i in 0..c.pin_entries() {
+                        let e = c.pin_entry(i).load(Ordering::Acquire);
+                        if pin_pinned_slot(e) == Some(prev) {
+                            standing += 1;
+                        }
+                    }
+                    let released = c.r_end(prev).load(Ordering::Acquire);
+                    c.r_start(prev).store(released.wrapping_add(standing), Ordering::Release);
+                }
+                roll_forward_version(c, slot);
+            } else {
+                // Swap not reached: pre-W2 discard (the counter resets and
+                // version stamp on the never-published slot are inert).
+                report.pre_w2 += 1;
+            }
+        }
+        STAGE_PUB_RAW if slot < c.n_slots() => {
+            // Post-W2: the displaced word was captured, so the W3 freeze
+            // can be replayed *exactly* (idempotent — storing the same
+            // frozen count the writer would have stored).
+            report.post_w2 += 1;
+            let old = c.wip_old_word().load(Ordering::Acquire);
+            let old_slot = index_of(old) as usize;
+            if old_slot < c.n_slots() {
+                c.r_start(old_slot).store(counter_of(old), Ordering::Release);
+            }
+            roll_forward_version(c, slot);
+        }
+        // STAGE_IDLE: died between operations — only the claim to clear.
+        // Out-of-range slots (a scribbled journal) fall through to the
+        // same clean clear: adopting garbage would be worse than a
+        // discarded publication.
+        _ => {}
+    }
+    // Retire the journal, the lease, and the claim, in that order; the
+    // Release on the claim publishes the repairs to the next claimant.
+    c.wip_word().store(STAGE_IDLE, Ordering::Relaxed);
+    c.wip_old_word().store(0, Ordering::Relaxed);
+    c.lease_word().store(0, Ordering::Relaxed);
+    c.writer_claimed_word().store(false, Ordering::Release);
+}
+
+/// Finish the adopted publication's version bump: the stamp the writer
+/// wrote into the slot pre-W2 becomes the register's published version
+/// (skipped if the writer already got that far), and watchers are woken.
+fn roll_forward_version<C: ArcCells>(c: &C, slot: usize) {
+    let v = c.slot_version(slot).load(Ordering::Acquire);
+    if c.version_word().load(Ordering::Acquire) < v {
+        c.version_word().store(v, Ordering::Release);
+        c.watch().notify_all();
+    }
+}
+
+/// Release the presence units of dead readers: each registry entry owned
+/// by a dead pid is a standing pin that would forever block its slot's
+/// reuse. Clears the entry and retires the dead reader's join.
+fn sweep_dead_pins<C: ArcCells>(
+    c: &C,
+    alive: &mut impl FnMut(u64) -> bool,
+    report: &mut RecoveryReport,
+) {
+    for i in 0..c.pin_entries() {
+        let e = c.pin_entry(i).load(Ordering::Acquire);
+        if e == 0 || alive(pin_owner(e)) {
+            continue;
+        }
+        match pin_pinned_slot(e) {
+            Some(slot) if slot < c.n_slots() => {
+                release_unit_on(c, slot);
+                report.units_released += 1;
+            }
+            _ => {}
+        }
+        // Entry first, then the join count: an interrupted sweep leaves a
+        // join leaked (re-swept next time), never double-released.
+        c.pin_entry(i).store(0, Ordering::Release);
+        c.live_readers_word().fetch_sub(1, Ordering::AcqRel);
+        report.pins_swept += 1;
+    }
+}

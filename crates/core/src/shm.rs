@@ -1,0 +1,739 @@
+//! The relocatable slab: one contiguous, offset-addressed mapping holding a
+//! whole register group, on heap memory or on a shareable `memfd`.
+//!
+//! PR 1–5 grew [`crate::ArcGroup`] as three process-private allocations
+//! (headers / packed slots / arena). This module replaces them with **one
+//! slab** whose internal structure is pure offset arithmetic from a single
+//! base pointer:
+//!
+//! ```text
+//! offset 0    superblock   128 B   magic, layout version, geometry,
+//!                                  checksum, recovery epoch
+//!      128    headers      K × 64 B        one line per register
+//!         …   packed slots K × n_slots × 64 B
+//!         …   slot versions K × n_slots × 8 B
+//!         …   pin registry K × max_readers × 8 B   (reader-death sweep)
+//!         …   arena        K × n_slots × capacity  (only when needed)
+//! ```
+//!
+//! Because nothing inside the slab is a pointer, the same bytes are valid at
+//! **any base address**: two processes (or two mappings in one process) can
+//! map the same `memfd` at different addresses and run the unchanged
+//! [`crate::raw`] protocol against it — the "many serving processes, one
+//! register plane" unlock of the roadmap.
+//!
+//! # Trust boundary
+//!
+//! A slab that arrives over a file descriptor is untrusted input. The
+//! superblock is validated before any derived pointer is formed: magic,
+//! layout version, an FNV-1a checksum over the geometry words, internal
+//! geometry consistency (checked arithmetic throughout), and finally the
+//! recomputed total size against the actual mapping length. Every failure
+//! is a typed [`SlabError`] — no UB, no panic (property-tested in
+//! `tests/superblock_props.rs`). The magic is stored **last** at
+//! initialization with `Release` ordering, so a concurrent attacher either
+//! sees no magic (refuses) or a fully initialized slab.
+//!
+//! # Platform support
+//!
+//! The shareable backend uses `memfd_create` + `mmap(MAP_SHARED)` and is
+//! Linux-only (declared directly as `extern "C"` — this crate takes no
+//! dependencies). Elsewhere [`SlabBackend::Shm`] reports
+//! [`SlabError::Unsupported`] and the heap backend — same slab format,
+//! process-private memory — remains available.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use register_common::errors::SlabError;
+
+use crate::current::MAX_READERS;
+use crate::register::INLINE_CAP;
+
+/// Identifies a mapping as an ARC slab: `b"ARCSLAB1"` as a little-endian
+/// word.
+pub const SLAB_MAGIC: u64 = u64::from_le_bytes(*b"ARCSLAB1");
+
+/// The slab layout generation this build reads and writes. Bumped whenever
+/// the byte layout of any region changes incompatibly.
+pub const SLAB_LAYOUT_VERSION: u32 = 1;
+
+/// Reserved bytes at offset 0 for the superblock (128 = two cache
+/// lines; the second line is the mutable epoch + reserve, so epoch bumps
+/// never ping the read-mostly geometry line).
+pub const SUPERBLOCK_LEN: usize = 128;
+
+/// Storage backing for a register group's slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlabBackend {
+    /// Process-private zeroed heap memory (the default). Same slab format,
+    /// not shareable across processes.
+    #[default]
+    Heap,
+    /// A `memfd_create` + `mmap(MAP_SHARED)` mapping (Linux): the group can
+    /// be re-mapped by other processes (or again in this one) via
+    /// [`crate::ArcGroup::memfd`] / [`crate::ArcGroup::attach_fd`].
+    Shm,
+}
+
+// ---------------------------------------------------------------------
+// Geometry and offsets
+// ---------------------------------------------------------------------
+
+/// Geometry flag: payloads of at most [`INLINE_CAP`] bytes live in the
+/// slot line (no arena region for small capacities).
+pub(crate) const FLAG_INLINE: u32 = 1 << 0;
+/// Geometry flag: the §3.4 free-slot hint is enabled.
+pub(crate) const FLAG_HINT: u32 = 1 << 1;
+/// Geometry flag: the R2 no-RMW read fast path is enabled.
+pub(crate) const FLAG_FAST_PATH: u32 = 1 << 2;
+/// Geometry flag: the slab carries a reader pin registry (§3.9). Shared
+/// (shm) slabs always set it — the registry is what makes dead readers
+/// sweepable from another process. Heap slabs skip it by default: the
+/// registry attributes pins to *pids*, and an in-process reader cannot
+/// die without taking the slab with it, so the region would be stamped
+/// on every unit transition and read by no one.
+pub(crate) const FLAG_PINS: u32 = 1 << 3;
+const FLAG_MASK: u32 = FLAG_INLINE | FLAG_HINT | FLAG_FAST_PATH | FLAG_PINS;
+
+/// The build-time shape of a slab, as recorded in (and validated against)
+/// its superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlabGeometry {
+    /// Number of registers `K`.
+    pub registers: usize,
+    /// Slots per register.
+    pub n_slots: usize,
+    /// Payload capacity in bytes per register.
+    pub capacity: usize,
+    /// Reader cap `N` per register (also sizes the pin registry).
+    pub max_readers: u32,
+    /// `FLAG_*` bits.
+    pub flags: u32,
+}
+
+impl SlabGeometry {
+    /// Whether the slab needs an arena region at all.
+    fn needs_arena(&self) -> bool {
+        !(self.flags & FLAG_INLINE != 0 && self.capacity <= INLINE_CAP)
+    }
+
+    /// Whether the layout carries the reader pin registry ([`FLAG_PINS`]).
+    pub(crate) fn has_pin_registry(&self) -> bool {
+        self.flags & FLAG_PINS != 0
+    }
+}
+
+/// Byte offsets of every region, derived from a validated geometry with
+/// checked arithmetic. All region bases are 64-byte aligned by
+/// construction (each region size above them is a multiple of 64, or is
+/// explicitly rounded up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlabLayout {
+    /// The geometry these offsets were computed from.
+    pub geometry: SlabGeometry,
+    /// Start of the `[RegHeader; K]` region.
+    pub hdr_off: usize,
+    /// Start of the `[PackedSlot; K * n_slots]` region.
+    pub slot_off: usize,
+    /// Start of the `[AtomicU64; K * n_slots]` slot-version region.
+    pub ver_off: usize,
+    /// Start of the `[AtomicU64; K * max_readers]` pin-registry region.
+    pub pin_off: usize,
+    /// Start of the arena region (equals `total` when there is no arena).
+    pub arena_off: usize,
+    /// Arena length in bytes (0 for all-inline slabs).
+    pub arena_len: usize,
+    /// Total slab size in bytes.
+    pub total: usize,
+}
+
+/// Bytes per register header / packed slot (asserted against the real
+/// struct sizes in `crate::group`).
+pub(crate) const HDR_BYTES: usize = 64;
+pub(crate) const SLOT_BYTES: usize = 64;
+
+const OVERFLOW: SlabError = SlabError::BadGeometry { reason: "slab size overflows usize" };
+
+fn align_up_64(n: usize) -> Result<usize, SlabError> {
+    n.checked_add(63).map(|v| v & !63).ok_or(OVERFLOW)
+}
+
+impl SlabLayout {
+    /// Validate `geometry` and derive all region offsets.
+    pub fn compute(geometry: SlabGeometry) -> Result<Self, SlabError> {
+        if geometry.registers == 0 {
+            return Err(SlabError::BadGeometry { reason: "zero registers" });
+        }
+        if geometry.n_slots < 3 {
+            return Err(SlabError::BadGeometry { reason: "fewer than 3 slots per register" });
+        }
+        if geometry.n_slots >= 1 << 31 {
+            return Err(SlabError::BadGeometry { reason: "slot index must fit 31 bits" });
+        }
+        if geometry.capacity == 0 {
+            return Err(SlabError::BadGeometry { reason: "zero payload capacity" });
+        }
+        if geometry.max_readers == 0 {
+            return Err(SlabError::BadGeometry { reason: "zero readers" });
+        }
+        if geometry.max_readers > MAX_READERS {
+            return Err(SlabError::BadGeometry { reason: "reader cap above 2^32 - 2" });
+        }
+        if geometry.flags & !FLAG_MASK != 0 {
+            return Err(SlabError::BadGeometry { reason: "unknown geometry flags" });
+        }
+        let total_slots = geometry.registers.checked_mul(geometry.n_slots).ok_or(OVERFLOW)?;
+        let hdr_off = SUPERBLOCK_LEN;
+        let slot_off = geometry
+            .registers
+            .checked_mul(HDR_BYTES)
+            .and_then(|b| b.checked_add(hdr_off))
+            .ok_or(OVERFLOW)?;
+        let ver_off = total_slots
+            .checked_mul(SLOT_BYTES)
+            .and_then(|b| b.checked_add(slot_off))
+            .ok_or(OVERFLOW)?;
+        let pin_off =
+            total_slots.checked_mul(8).and_then(|b| b.checked_add(ver_off)).ok_or(OVERFLOW)?;
+        let pin_end = if geometry.has_pin_registry() {
+            geometry
+                .registers
+                .checked_mul(geometry.max_readers as usize)
+                .and_then(|e| e.checked_mul(8))
+                .and_then(|b| b.checked_add(pin_off))
+                .ok_or(OVERFLOW)?
+        } else {
+            pin_off
+        };
+        let arena_off = align_up_64(pin_end)?;
+        let arena_len = if geometry.needs_arena() {
+            total_slots.checked_mul(geometry.capacity).ok_or(OVERFLOW)?
+        } else {
+            0
+        };
+        let total = arena_off.checked_add(arena_len).ok_or(OVERFLOW)?;
+        Ok(Self { geometry, hdr_off, slot_off, ver_off, pin_off, arena_off, arena_len, total })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The superblock
+// ---------------------------------------------------------------------
+
+/// The slab's self-description at offset 0.
+///
+/// Every field is an atomic because the bytes are (potentially) shared
+/// memory: all geometry words are written once before the magic is
+/// published and are read-only afterwards; `epoch` is the one mutable
+/// word, bumped by each completed recovery.
+#[repr(C, align(64))]
+pub(crate) struct Superblock {
+    /// [`SLAB_MAGIC`], stored last at initialization (`Release`).
+    magic: AtomicU64,
+    /// `layout_version << 32 | flags`.
+    version_flags: AtomicU64,
+    /// Number of registers `K`.
+    registers: AtomicU64,
+    /// Slots per register.
+    n_slots: AtomicU64,
+    /// Payload capacity per register.
+    capacity: AtomicU64,
+    /// Reader cap `N` per register.
+    max_readers: AtomicU64,
+    /// FNV-1a over the six geometry words above.
+    checksum: AtomicU64,
+    /// Writer-liveness epoch: bumped once per completed recovery, so
+    /// attachers can tell "this plane has been repaired `epoch` times".
+    epoch: AtomicU64,
+    /// Reserve for future layout generations (second cache line).
+    _reserved: [u64; 8],
+}
+
+const _: () = assert!(std::mem::size_of::<Superblock>() == SUPERBLOCK_LEN);
+
+/// FNV-1a over a sequence of words — dependency-free, stable across
+/// platforms, and good enough to catch torn or scribbled superblocks (the
+/// threat model is corruption, not adversaries).
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl Superblock {
+    fn expected_checksum(magic: u64, version_flags: u64, g: &SlabGeometry) -> u64 {
+        fnv1a(&[
+            magic,
+            version_flags,
+            g.registers as u64,
+            g.n_slots as u64,
+            g.capacity as u64,
+            g.max_readers as u64,
+        ])
+    }
+
+    /// Record `layout`'s geometry. Called exactly once, after every other
+    /// region of the slab is initialized; the `Release` store of the magic
+    /// is what publishes the whole slab to attachers.
+    pub fn initialize(&self, layout: &SlabLayout) {
+        let g = &layout.geometry;
+        let vf = (SLAB_LAYOUT_VERSION as u64) << 32 | g.flags as u64;
+        self.version_flags.store(vf, Ordering::Relaxed);
+        self.registers.store(g.registers as u64, Ordering::Relaxed);
+        self.n_slots.store(g.n_slots as u64, Ordering::Relaxed);
+        self.capacity.store(g.capacity as u64, Ordering::Relaxed);
+        self.max_readers.store(g.max_readers as u64, Ordering::Relaxed);
+        self.checksum.store(Self::expected_checksum(SLAB_MAGIC, vf, g), Ordering::Relaxed);
+        self.epoch.store(0, Ordering::Relaxed);
+        self.magic.store(SLAB_MAGIC, Ordering::Release);
+    }
+
+    /// Validate this superblock against `mapped_len` actual bytes and
+    /// reconstruct the slab layout. Every exit is a typed error.
+    pub fn validate(&self, mapped_len: usize) -> Result<SlabLayout, SlabError> {
+        let magic = self.magic.load(Ordering::Acquire);
+        if magic != SLAB_MAGIC {
+            return Err(SlabError::BadMagic { found: magic });
+        }
+        let vf = self.version_flags.load(Ordering::Relaxed);
+        let layout_version = (vf >> 32) as u32;
+        if layout_version != SLAB_LAYOUT_VERSION {
+            return Err(SlabError::LayoutVersion {
+                found: layout_version,
+                expected: SLAB_LAYOUT_VERSION,
+            });
+        }
+        let registers = self.registers.load(Ordering::Relaxed);
+        let n_slots = self.n_slots.load(Ordering::Relaxed);
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        let max_readers = self.max_readers.load(Ordering::Relaxed);
+        // Word-size check before the usize casts below (a 32-bit attacher
+        // of a 64-bit slab must refuse, not truncate).
+        if registers > usize::MAX as u64
+            || n_slots > usize::MAX as u64
+            || capacity > usize::MAX as u64
+            || max_readers > u32::MAX as u64
+        {
+            return Err(SlabError::BadGeometry { reason: "geometry exceeds this word size" });
+        }
+        let geometry = SlabGeometry {
+            registers: registers as usize,
+            n_slots: n_slots as usize,
+            capacity: capacity as usize,
+            max_readers: max_readers as u32,
+            flags: vf as u32,
+        };
+        let found = self.checksum.load(Ordering::Relaxed);
+        let expected = Self::expected_checksum(magic, vf, &geometry);
+        if found != expected {
+            return Err(SlabError::BadChecksum { found, expected });
+        }
+        let layout = SlabLayout::compute(geometry)?;
+        if layout.total != mapped_len {
+            return Err(SlabError::SizeMismatch { expected: layout.total, mapped: mapped_len });
+        }
+        Ok(layout)
+    }
+
+    /// The recovery epoch (number of completed recoveries on this slab).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Bump the recovery epoch (one completed recovery).
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+// ---------------------------------------------------------------------
+// The mapping itself
+// ---------------------------------------------------------------------
+
+/// Owner of one slab mapping: a zeroed heap allocation or a shared-memory
+/// `mmap`, both 64-byte aligned and addressed only via `base() + offset`.
+pub(crate) struct Slab {
+    base: std::ptr::NonNull<u8>,
+    len: usize,
+    kind: SlabKind,
+}
+
+enum SlabKind {
+    Heap(std::alloc::Layout),
+    #[cfg(target_os = "linux")]
+    Shm {
+        fd: std::os::fd::OwnedFd,
+    },
+}
+
+// SAFETY: the slab is a raw memory region; all concurrent access to it goes
+// through the atomics / protocol-protected cells the owning group derives,
+// and the mapping itself is freed only at drop (with the owner's usual
+// uniqueness guarantees).
+unsafe impl Send for Slab {}
+unsafe impl Sync for Slab {}
+
+impl std::fmt::Debug for Slab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let backend = match self.kind {
+            SlabKind::Heap(_) => "heap",
+            #[cfg(target_os = "linux")]
+            SlabKind::Shm { .. } => "shm",
+        };
+        f.debug_struct("Slab").field("len", &self.len).field("backend", &backend).finish()
+    }
+}
+
+impl Slab {
+    /// Allocate a zeroed, process-private slab of `len` bytes.
+    pub fn heap(len: usize) -> Result<Self, SlabError> {
+        let layout = std::alloc::Layout::from_size_align(len, 64)
+            .map_err(|_| SlabError::BadGeometry { reason: "slab size overflows usize" })?;
+        // SAFETY: len >= SUPERBLOCK_LEN > 0 for every computed layout.
+        let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
+        let Some(base) = std::ptr::NonNull::new(ptr) else {
+            std::alloc::handle_alloc_error(layout);
+        };
+        Ok(Self { base, len, kind: SlabKind::Heap(layout) })
+    }
+
+    /// Create a zeroed, shareable slab of `len` bytes on a fresh `memfd`.
+    #[cfg(target_os = "linux")]
+    pub fn shm(len: usize) -> Result<Self, SlabError> {
+        use std::os::fd::FromRawFd;
+        let raw = unsafe { ffi::memfd_create(c"arc-slab".as_ptr(), ffi::MFD_CLOEXEC) };
+        if raw < 0 {
+            return Err(os_err("memfd_create"));
+        }
+        // SAFETY: raw is a fresh, owned descriptor.
+        let fd = unsafe { std::os::fd::OwnedFd::from_raw_fd(raw) };
+        let file = std::fs::File::from(fd);
+        file.set_len(len as u64).map_err(|e| SlabError::Os {
+            call: "ftruncate",
+            errno: e.raw_os_error().unwrap_or(0),
+        })?;
+        let fd = std::os::fd::OwnedFd::from(file);
+        let base = map_shared(&fd, len)?;
+        Ok(Self { base, len, kind: SlabKind::Shm { fd } })
+    }
+
+    /// Map an existing slab fd (shared) without validating its contents —
+    /// the caller validates the superblock before deriving anything.
+    #[cfg(target_os = "linux")]
+    pub fn attach(fd: std::os::fd::BorrowedFd<'_>) -> Result<Self, SlabError> {
+        let fd = fd
+            .try_clone_to_owned()
+            .map_err(|e| SlabError::Os { call: "dup", errno: e.raw_os_error().unwrap_or(0) })?;
+        let file = std::fs::File::from(fd);
+        let len = file
+            .metadata()
+            .map_err(|e| SlabError::Os { call: "fstat", errno: e.raw_os_error().unwrap_or(0) })?
+            .len();
+        if len > usize::MAX as u64 {
+            return Err(SlabError::BadGeometry { reason: "slab size overflows usize" });
+        }
+        let len = len as usize;
+        if len < SUPERBLOCK_LEN {
+            return Err(SlabError::TooSmall { len, need: SUPERBLOCK_LEN });
+        }
+        let fd = std::os::fd::OwnedFd::from(file);
+        let base = map_shared(&fd, len)?;
+        Ok(Self { base, len, kind: SlabKind::Shm { fd } })
+    }
+
+    /// The slab's base address in this process. Valid for `len()` bytes.
+    #[inline]
+    pub fn base(&self) -> *mut u8 {
+        self.base.as_ptr()
+    }
+
+    /// Mapped length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The superblock view at offset 0.
+    #[inline]
+    pub fn superblock(&self) -> &Superblock {
+        debug_assert!(self.len >= SUPERBLOCK_LEN);
+        // SAFETY: the mapping is at least SUPERBLOCK_LEN bytes (asserted at
+        // construction), 64-byte aligned, and lives as long as `self`.
+        unsafe { &*self.base.as_ptr().cast::<Superblock>() }
+    }
+
+    /// The fd backing this slab, if it has one (shm backend only).
+    #[cfg(target_os = "linux")]
+    pub fn fd(&self) -> Option<std::os::fd::BorrowedFd<'_>> {
+        use std::os::fd::AsFd;
+        match &self.kind {
+            SlabKind::Heap(_) => None,
+            SlabKind::Shm { fd } => Some(fd.as_fd()),
+        }
+    }
+}
+
+impl Drop for Slab {
+    fn drop(&mut self) {
+        match &self.kind {
+            SlabKind::Heap(layout) => {
+                // SAFETY: allocated with exactly this layout in `heap`.
+                unsafe { std::alloc::dealloc(self.base.as_ptr(), *layout) };
+            }
+            #[cfg(target_os = "linux")]
+            SlabKind::Shm { .. } => {
+                // SAFETY: mapped with exactly this base/len in map_shared;
+                // the fd closes when the OwnedFd drops after us.
+                unsafe { ffi::munmap(self.base.as_ptr().cast(), self.len) };
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn map_shared(fd: &std::os::fd::OwnedFd, len: usize) -> Result<std::ptr::NonNull<u8>, SlabError> {
+    use std::os::fd::AsRawFd;
+    // SAFETY: plain mmap of an owned fd; failure is reported, success gives
+    // a page-aligned (hence 64-byte-aligned) mapping of `len` bytes.
+    let ptr = unsafe {
+        ffi::mmap(
+            std::ptr::null_mut(),
+            len,
+            ffi::PROT_READ | ffi::PROT_WRITE,
+            ffi::MAP_SHARED,
+            fd.as_raw_fd(),
+            0,
+        )
+    };
+    if ptr as isize == -1 {
+        return Err(os_err("mmap"));
+    }
+    std::ptr::NonNull::new(ptr.cast::<u8>()).ok_or(SlabError::Os { call: "mmap", errno: 0 })
+}
+
+#[cfg(target_os = "linux")]
+fn os_err(call: &'static str) -> SlabError {
+    SlabError::Os { call, errno: std::io::Error::last_os_error().raw_os_error().unwrap_or(0) }
+}
+
+// ---------------------------------------------------------------------
+// Process liveness
+// ---------------------------------------------------------------------
+
+/// Best-effort "is this pid alive" probe for writer leases and reader
+/// pins. `kill(pid, 0)` on Unix: delivery permission errors (`EPERM`)
+/// count as *alive* — recovery must never adopt from a running writer, so
+/// unknown means alive. On non-Unix platforms every recorded pid is
+/// treated as alive (no false recovery; cross-process sharing is
+/// Linux-only anyway).
+pub(crate) fn pid_alive(pid: u64) -> bool {
+    if pid == 0 {
+        return false;
+    }
+    #[cfg(unix)]
+    {
+        if pid > i32::MAX as u64 {
+            return true; // unprobeable: assume alive
+        }
+        const ESRCH: i32 = 3;
+        // SAFETY: signal 0 performs only the existence/permission check.
+        if unsafe { ffi::kill(pid as i32, 0) } == 0 {
+            true
+        } else {
+            std::io::Error::last_os_error().raw_os_error() != Some(ESRCH)
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        true
+    }
+}
+
+/// This process's id, as recorded in leases and pin-registry entries.
+#[inline]
+pub(crate) fn self_pid() -> u64 {
+    std::process::id() as u64
+}
+
+// ---------------------------------------------------------------------
+// FFI (no libc crate: the toolchain links libc anyway; declare what we use)
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+mod ffi {
+    #![allow(missing_docs)]
+    use std::ffi::{c_char, c_int, c_uint, c_void};
+
+    #[cfg(target_os = "linux")]
+    pub const PROT_READ: c_int = 0x1;
+    #[cfg(target_os = "linux")]
+    pub const PROT_WRITE: c_int = 0x2;
+    #[cfg(target_os = "linux")]
+    pub const MAP_SHARED: c_int = 0x01;
+    #[cfg(target_os = "linux")]
+    pub const MFD_CLOEXEC: c_uint = 0x1;
+
+    extern "C" {
+        pub fn kill(pid: c_int, sig: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn memfd_create(name: *const c_char, flags: c_uint) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        #[cfg(target_os = "linux")]
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> SlabGeometry {
+        SlabGeometry {
+            registers: 4,
+            n_slots: 3,
+            capacity: 48,
+            max_readers: 1,
+            flags: FLAG_INLINE | FLAG_HINT | FLAG_FAST_PATH,
+        }
+    }
+
+    #[test]
+    fn layout_regions_are_ordered_aligned_and_disjoint() {
+        let l = SlabLayout::compute(geom()).unwrap();
+        assert_eq!(l.hdr_off, SUPERBLOCK_LEN);
+        assert!(l.hdr_off < l.slot_off && l.slot_off < l.ver_off && l.ver_off < l.pin_off);
+        assert!(l.pin_off <= l.arena_off && l.arena_off <= l.total);
+        for off in [l.hdr_off, l.slot_off, l.arena_off] {
+            assert_eq!(off % 64, 0, "region at {off} not 64-byte aligned");
+        }
+        assert_eq!(l.ver_off % 8, 0);
+        assert_eq!(l.pin_off % 8, 0);
+        // Inline geometry at capacity <= INLINE_CAP: no arena.
+        assert_eq!(l.arena_len, 0);
+        assert_eq!(l.total, l.arena_off);
+    }
+
+    #[test]
+    fn pin_registry_region_is_sized_only_when_flagged() {
+        // geom() carries no FLAG_PINS: the region is empty.
+        let bare = SlabLayout::compute(geom()).unwrap();
+        assert_eq!(bare.arena_off, align_up_64(bare.pin_off).unwrap());
+        // Flagged: K * max_readers entries of 8 bytes.
+        let flagged =
+            SlabLayout::compute(SlabGeometry { flags: geom().flags | FLAG_PINS, ..geom() })
+                .unwrap();
+        let g = geom();
+        let pin_bytes = g.registers * g.max_readers as usize * 8;
+        assert_eq!(flagged.arena_off, align_up_64(flagged.pin_off + pin_bytes).unwrap());
+        assert_eq!(flagged.total, bare.total + (flagged.arena_off - bare.arena_off));
+    }
+
+    #[test]
+    fn layout_includes_arena_when_needed() {
+        let mut g = geom();
+        g.capacity = 256;
+        let l = SlabLayout::compute(g).unwrap();
+        assert_eq!(l.arena_len, 4 * 3 * 256);
+        assert_eq!(l.total, l.arena_off + l.arena_len);
+        // Inline disabled forces the arena even for small capacities.
+        let mut g2 = geom();
+        g2.flags &= !FLAG_INLINE;
+        let l2 = SlabLayout::compute(g2).unwrap();
+        assert_eq!(l2.arena_len, 4 * 3 * 48);
+    }
+
+    #[test]
+    fn layout_rejects_degenerate_geometry() {
+        for (g, reason) in [
+            (SlabGeometry { registers: 0, ..geom() }, "zero registers"),
+            (SlabGeometry { n_slots: 2, ..geom() }, "fewer than 3 slots"),
+            (SlabGeometry { capacity: 0, ..geom() }, "zero payload capacity"),
+            (SlabGeometry { max_readers: 0, ..geom() }, "zero readers"),
+            (SlabGeometry { flags: 0xFF00, ..geom() }, "unknown geometry flags"),
+        ] {
+            match SlabLayout::compute(g) {
+                Err(SlabError::BadGeometry { reason: r }) => {
+                    assert!(r.contains(reason.split(' ').next().unwrap()), "{r} vs {reason}")
+                }
+                other => panic!("expected BadGeometry({reason}), got {other:?}"),
+            }
+        }
+        // Overflowing sizes are a typed error, not a panic.
+        let g = SlabGeometry { registers: usize::MAX / 2, ..geom() };
+        assert!(matches!(SlabLayout::compute(g), Err(SlabError::BadGeometry { .. })));
+    }
+
+    #[test]
+    fn superblock_roundtrip_on_heap_slab() {
+        let l = SlabLayout::compute(geom()).unwrap();
+        let slab = Slab::heap(l.total).unwrap();
+        // Freshly zeroed: no magic yet.
+        assert!(matches!(
+            slab.superblock().validate(l.total),
+            Err(SlabError::BadMagic { found: 0 })
+        ));
+        slab.superblock().initialize(&l);
+        let read_back = slab.superblock().validate(l.total).unwrap();
+        assert_eq!(read_back, l);
+        assert_eq!(slab.superblock().epoch(), 0);
+        assert_eq!(slab.superblock().bump_epoch(), 1);
+        assert_eq!(slab.superblock().epoch(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_wrong_length() {
+        let l = SlabLayout::compute(geom()).unwrap();
+        let slab = Slab::heap(l.total).unwrap();
+        slab.superblock().initialize(&l);
+        match slab.superblock().validate(l.total - 64) {
+            Err(SlabError::SizeMismatch { expected, mapped }) => {
+                assert_eq!(expected, l.total);
+                assert_eq!(mapped, l.total - 64);
+            }
+            other => panic!("expected SizeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fnv1a_is_order_sensitive() {
+        assert_ne!(fnv1a(&[1, 2]), fnv1a(&[2, 1]));
+        assert_ne!(fnv1a(&[0]), fnv1a(&[0, 0]));
+    }
+
+    #[test]
+    fn self_is_alive_and_pid_zero_is_not() {
+        assert!(pid_alive(self_pid()));
+        assert!(!pid_alive(0));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn shm_slab_roundtrips_through_attach() {
+        let l = SlabLayout::compute(geom()).unwrap();
+        let slab = Slab::shm(l.total).unwrap();
+        slab.superblock().initialize(&l);
+        // Scribble a recognizable byte pattern into the header region.
+        // SAFETY: we own the only view; offsets are in-bounds.
+        unsafe { slab.base().add(l.hdr_off).write(0xAB) };
+        let other = Slab::attach(slab.fd().unwrap()).unwrap();
+        assert_eq!(other.len(), l.total);
+        assert_ne!(other.base(), slab.base(), "second mapping must relocate");
+        assert_eq!(other.superblock().validate(other.len()).unwrap(), l);
+        // Same physical bytes through the other base address.
+        // SAFETY: in-bounds read of the attached mapping.
+        assert_eq!(unsafe { other.base().add(l.hdr_off).read() }, 0xAB);
+    }
+}

@@ -1,0 +1,293 @@
+//! Superblock validation under corruption (DESIGN.md §3.9, satellite c).
+//!
+//! A slab arriving over a file descriptor is untrusted input. These tests
+//! build a real shm-backed plane, corrupt its superblock *through the
+//! memfd* (the same bytes a hostile or half-dead peer would hand us), and
+//! assert that [`ArcGroup::attach_fd`] refuses with the right *typed*
+//! [`SlabError`] — truncated mapping, wrong magic, incompatible layout
+//! generation, geometry/checksum mismatch, torn superblock — and that
+//! under arbitrary scribbles it never panics and never attaches to
+//! geometry it cannot serve.
+//!
+//! Linux-only: corrupting a live slab requires the memfd backend.
+
+#![cfg(target_os = "linux")]
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::fd::AsRawFd;
+use std::sync::Arc;
+
+use arc_register::shm::{SLAB_LAYOUT_VERSION, SLAB_MAGIC, SUPERBLOCK_LEN};
+use arc_register::{ArcGroup, SlabBackend, SlabError};
+use proptest::prelude::*;
+
+// Word offsets within the superblock (struct `Superblock`: eight u64s,
+// then reserve). Validation order: magic, version, geometry word-size,
+// checksum, layout computation, total-vs-mapped.
+const OFF_MAGIC: u64 = 0;
+const OFF_VERSION_FLAGS: u64 = 8;
+const OFF_REGISTERS: u64 = 16;
+const OFF_N_SLOTS: u64 = 24;
+const OFF_CAPACITY: u64 = 32;
+const OFF_MAX_READERS: u64 = 40;
+const OFF_CHECKSUM: u64 = 48;
+
+const K: usize = 2;
+const CAP: usize = 48;
+
+fn plane() -> Arc<ArcGroup> {
+    ArcGroup::builder(K, 4, CAP)
+        .backend(SlabBackend::Shm)
+        .initial(&[7u8; CAP])
+        .build()
+        .expect("shm plane")
+}
+
+/// Reopen the plane's memfd as a read-write `File` so tests can corrupt
+/// the slab bytes exactly as an external process could.
+fn slab_file(g: &ArcGroup) -> File {
+    let raw = g.memfd().expect("shm plane has a memfd").as_raw_fd();
+    OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(format!("/proc/self/fd/{raw}"))
+        .expect("reopen memfd")
+}
+
+fn read_word(f: &mut File, off: u64) -> u64 {
+    let mut b = [0u8; 8];
+    f.seek(SeekFrom::Start(off)).unwrap();
+    f.read_exact(&mut b).unwrap();
+    u64::from_le_bytes(b)
+}
+
+fn write_word(f: &mut File, off: u64, w: u64) {
+    f.seek(SeekFrom::Start(off)).unwrap();
+    f.write_all(&w.to_le_bytes()).unwrap();
+}
+
+/// The superblock checksum (FNV-1a over magic..max_readers), recomputed
+/// independently so tests can forge *checksum-consistent* corruption and
+/// reach the validation stages behind it.
+fn fnv1a_words(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Recompute and store a checksum consistent with the current header
+/// words, so validation proceeds past the checksum stage.
+fn fix_checksum(f: &mut File) {
+    let words = [
+        read_word(f, OFF_MAGIC),
+        read_word(f, OFF_VERSION_FLAGS),
+        read_word(f, OFF_REGISTERS),
+        read_word(f, OFF_N_SLOTS),
+        read_word(f, OFF_CAPACITY),
+        read_word(f, OFF_MAX_READERS),
+    ];
+    write_word(f, OFF_CHECKSUM, fnv1a_words(&words));
+}
+
+fn attach(g: &ArcGroup) -> Result<Arc<ArcGroup>, SlabError> {
+    ArcGroup::attach_fd(g.memfd().expect("memfd"))
+}
+
+// ---------------------------------------------------------------------
+// Each corruption shape is its own typed error
+// ---------------------------------------------------------------------
+
+#[test]
+fn wrong_magic_is_refused() {
+    let g = plane();
+    let mut f = slab_file(&g);
+    write_word(&mut f, OFF_MAGIC, 0xdead_beef_dead_beef);
+    assert_eq!(attach(&g).unwrap_err(), SlabError::BadMagic { found: 0xdead_beef_dead_beef });
+}
+
+#[test]
+fn torn_superblock_reads_as_unpublished() {
+    // A builder that died before the final Release store of the magic
+    // leaves magic = 0: the slab was never published and must not attach.
+    let g = plane();
+    let mut f = slab_file(&g);
+    write_word(&mut f, OFF_MAGIC, 0);
+    assert_eq!(attach(&g).unwrap_err(), SlabError::BadMagic { found: 0 });
+}
+
+#[test]
+fn incompatible_layout_generation_is_refused() {
+    let g = plane();
+    let mut f = slab_file(&g);
+    let vf = read_word(&mut f, OFF_VERSION_FLAGS);
+    let future = ((SLAB_LAYOUT_VERSION as u64 + 1) << 32) | (vf & 0xffff_ffff);
+    write_word(&mut f, OFF_VERSION_FLAGS, future);
+    // Version is checked before the checksum, so no fixup is needed.
+    assert_eq!(
+        attach(&g).unwrap_err(),
+        SlabError::LayoutVersion { found: SLAB_LAYOUT_VERSION + 1, expected: SLAB_LAYOUT_VERSION }
+    );
+}
+
+#[test]
+fn geometry_tampering_fails_the_checksum() {
+    let g = plane();
+    let mut f = slab_file(&g);
+    let r = read_word(&mut f, OFF_REGISTERS);
+    write_word(&mut f, OFF_REGISTERS, r + 1);
+    assert!(
+        matches!(attach(&g), Err(SlabError::BadChecksum { .. })),
+        "a flipped geometry word must be caught by the checksum"
+    );
+}
+
+#[test]
+fn scribbled_checksum_is_refused() {
+    let g = plane();
+    let mut f = slab_file(&g);
+    let c = read_word(&mut f, OFF_CHECKSUM);
+    write_word(&mut f, OFF_CHECKSUM, c ^ 1);
+    assert!(matches!(attach(&g), Err(SlabError::BadChecksum { .. })));
+}
+
+#[test]
+fn checksum_consistent_zero_registers_is_still_bad_geometry() {
+    // Past the checksum, the geometry must still make sense on its own.
+    let g = plane();
+    let mut f = slab_file(&g);
+    write_word(&mut f, OFF_REGISTERS, 0);
+    fix_checksum(&mut f);
+    assert!(matches!(attach(&g), Err(SlabError::BadGeometry { .. })));
+}
+
+#[test]
+fn checksum_consistent_wrong_size_is_a_size_mismatch() {
+    // Self-consistent geometry that simply doesn't fit the mapping.
+    let g = plane();
+    let mut f = slab_file(&g);
+    let r = read_word(&mut f, OFF_REGISTERS);
+    write_word(&mut f, OFF_REGISTERS, r * 2);
+    fix_checksum(&mut f);
+    assert!(matches!(attach(&g), Err(SlabError::SizeMismatch { .. })));
+}
+
+#[test]
+fn truncated_mapping_is_refused() {
+    let g = plane();
+    let f = slab_file(&g);
+    let total = f.metadata().unwrap().len();
+
+    // Below the superblock: too small to even inspect.
+    f.set_len(SUPERBLOCK_LEN as u64 / 2).unwrap();
+    assert!(matches!(attach(&g), Err(SlabError::TooSmall { .. })));
+
+    // Superblock intact but the body cut off: geometry vs length.
+    f.set_len(total - 64).unwrap();
+    assert!(matches!(attach(&g), Err(SlabError::SizeMismatch { .. })));
+
+    // NOTE: `g` itself must not be touched after the truncation — its
+    // mapping now extends past EOF. Restoring the length heals it.
+    f.set_len(total).unwrap();
+    assert!(attach(&g).is_ok());
+}
+
+#[test]
+fn corruption_roundtrip_heals() {
+    // Refusal is about the bytes, not sticky state: restoring the
+    // original words makes the same fd attachable again.
+    let g = plane();
+    let mut f = slab_file(&g);
+    write_word(&mut f, OFF_MAGIC, 1);
+    assert!(attach(&g).is_err());
+    write_word(&mut f, OFF_MAGIC, SLAB_MAGIC);
+    let g2 = attach(&g).expect("restored superblock attaches");
+    assert_eq!(
+        (g2.registers(), g2.capacity(), g2.n_slots(), g2.max_readers()),
+        (g.registers(), g.capacity(), g.n_slots(), g.max_readers()),
+    );
+}
+
+// ---------------------------------------------------------------------
+// Properties over arbitrary corruption
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Arbitrary byte scribbles over the superblock never panic the
+    // attacher, and an attach that *does* succeed (scribbles can be
+    // no-ops) serves exactly the original geometry. Each scribble word
+    // encodes offset (low byte, mod SUPERBLOCK_LEN) and value (high byte).
+    #[test]
+    fn scribbled_superblock_never_panics(
+        scribbles in proptest::collection::vec(any::<u16>(), 1..12),
+    ) {
+        let g = plane();
+        let mut f = slab_file(&g);
+        for &s in &scribbles {
+            let off = (s as usize & 0xff) % SUPERBLOCK_LEN;
+            let byte = (s >> 8) as u8;
+            f.seek(SeekFrom::Start(off as u64)).unwrap();
+            f.write_all(&[byte]).unwrap();
+        }
+        match attach(&g) {
+            Ok(g2) => prop_assert_eq!(
+                (g2.registers(), g2.capacity(), g2.n_slots(), g2.max_readers()),
+                (g.registers(), g.capacity(), g.n_slots(), g.max_readers()),
+            ),
+            // Any refusal is fine — as long as it is typed and printable.
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+
+    // Forged geometry with a *correct* checksum still cannot smuggle in
+    // an inconsistent or wrong-sized layout.
+    #[test]
+    fn checksum_consistent_forgeries_never_panic(
+        registers in any::<u64>(),
+        n_slots in any::<u64>(),
+        capacity in any::<u64>(),
+        max_readers in any::<u64>(),
+    ) {
+        let g = plane();
+        let mut f = slab_file(&g);
+        write_word(&mut f, OFF_REGISTERS, registers);
+        write_word(&mut f, OFF_N_SLOTS, n_slots);
+        write_word(&mut f, OFF_CAPACITY, capacity);
+        write_word(&mut f, OFF_MAX_READERS, max_readers);
+        fix_checksum(&mut f);
+        match attach(&g) {
+            // Random geometry that validates must be the original one
+            // (anything else would have a different total size).
+            Ok(g2) => prop_assert_eq!(
+                (g2.registers(), g2.capacity(), g2.n_slots(), g2.max_readers() as u64),
+                (registers as usize, capacity as usize, n_slots as usize, max_readers),
+            ),
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+
+    // Arbitrary truncation (or growth) of the backing file is always a
+    // typed refusal, never a crash — except restoring the exact length.
+    #[test]
+    fn arbitrary_lengths_never_panic(new_len in 0u64..1 << 20) {
+        let g = plane();
+        let f = slab_file(&g);
+        let total = f.metadata().unwrap().len();
+        f.set_len(new_len).unwrap();
+        match attach(&g) {
+            Ok(_) => prop_assert_eq!(new_len, total),
+            Err(e) => {
+                prop_assert_ne!(new_len, total);
+                let _ = e.to_string();
+            }
+        }
+        f.set_len(total).unwrap();
+    }
+}

@@ -37,6 +37,7 @@ pub mod mn_model;
 pub mod mn_slab_model;
 pub mod notify_model;
 pub mod peterson_model;
+pub mod recovery_model;
 pub mod rf_model;
 pub mod spec;
 
@@ -47,5 +48,6 @@ pub use mn_model::{MnDefect, MnModel};
 pub use mn_slab_model::{MnSlabConfig, MnSlabDefect, MnSlabModel};
 pub use notify_model::{NotifyDefect, NotifyModel};
 pub use peterson_model::PetersonModel;
+pub use recovery_model::{RecoveryDefect, RecoveryModel, RecoveryModelConfig};
 pub use rf_model::RfModel;
 pub use spec::{ModelConfig, ObsChecker};

@@ -1,0 +1,568 @@
+//! Writer-death + recovery model (DESIGN.md §3.9), one shared access per
+//! step, with the *moment of death* itself a nondeterministic step.
+//!
+//! Thread layout: thread 0 is the (journalled) writer, thread 1 is the
+//! **crash daemon** — a one-shot thread whose single step kills the writer
+//! wherever it happens to stand, so the explorer enumerates death at
+//! *every* instruction boundary of the publication protocol — thread 2 is
+//! the recovery pass, and threads `3..3+readers` are readers.
+//!
+//! The writer mirrors the implementation's journalled W1–W3 sequence
+//! (`arc_register::raw::publish_on`): select, journal `FILLING`, two data
+//! stores, journal `PUB_PREV` (previous slot), ledger reset, the W2 swap,
+//! journal `PUB_RAW` (the displaced word), the W3 freeze, journal clear.
+//! Death therefore leaves exactly one of the §3.9 journal shapes, and the
+//! recovery thread classifies it the way the implementation does:
+//!
+//! * `IDLE`/`FILLING` — nothing published: clean clear (pre-W2 discard);
+//! * `PUB_PREV`, `current ≠ journalled slot` — swap not reached: discard;
+//! * `PUB_PREV`, `current = journalled slot` — **at-W2**: the displaced
+//!   counter died with the writer; rebuild the previous slot's freeze by
+//!   census over standing reader pins;
+//! * `PUB_RAW` — **post-W2**: replay the freeze exactly from the
+//!   journalled displaced word.
+//!
+//! Recovery honours the quiescent-window contract: its first step is only
+//! enabled once every reader is between operations (standing pins very
+//! much allowed — they are what the census is *for*), and readers stay
+//! parked until the pass finishes. Reads before death, between death and
+//! recovery (the poisoned window), and after the resurrected writer
+//! resumes are all explored and checked for tears, staleness, inversion
+//! and slot exclusion; the writer is checked for bounded selection.
+//!
+//! [`RecoveryDefect`] seeds the two natural recovery bugs — adopting an
+//! at-W2 publication *without* the census, and clearing a post-W2 journal
+//! *without* replaying the freeze. Both leave the displaced slot's ledger
+//! reading "free" under a standing pin, so a resurrected writer recycles
+//! a pinned slot; the explorer catches each (see the tests).
+
+use crate::explorer::Model;
+use crate::spec::{ObsChecker, ReadObs};
+
+/// Which recovery variant to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryDefect {
+    /// Faithful §3.9 recovery.
+    None,
+    /// At-W2: adopt the published slot but skip the census that rebuilds
+    /// the previous slot's freeze (incorrect; must be caught).
+    SkipAdoption,
+    /// Post-W2: clear the journal without replaying the W3 freeze from
+    /// the captured displaced word (incorrect; must be caught).
+    SkipFreezeReplay,
+}
+
+/// Model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecoveryModelConfig {
+    /// Number of reader threads.
+    pub readers: usize,
+    /// Writes the doomed writer attempts before/at the crash.
+    pub pre_writes: u8,
+    /// Writes the resurrected writer performs after recovery.
+    pub post_writes: u8,
+    /// Reads each reader performs (spread freely across the whole run).
+    pub reads_each: u8,
+}
+
+impl RecoveryModelConfig {
+    /// A small default that exhausts quickly.
+    pub const fn small() -> Self {
+        Self { readers: 1, pre_writes: 1, post_writes: 2, reads_each: 2 }
+    }
+}
+
+/// Journal stages (mirroring `arc_register::raw`).
+const J_IDLE: u8 = 0;
+const J_FILLING: u8 = 1;
+const J_PUB_PREV: u8 = 2;
+const J_PUB_RAW: u8 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SlotM {
+    r_start: u8,
+    r_end: u8,
+    w0: u8,
+    w1: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum WPc {
+    Idle,
+    /// W1 rotating scan: one ledger probe per step.
+    Probe {
+        probe: u8,
+        probed: u8,
+    },
+    /// Journal `FILLING|slot`.
+    JourFill {
+        chosen: u8,
+    },
+    Data0 {
+        chosen: u8,
+    },
+    Data1 {
+        chosen: u8,
+    },
+    /// Journal the previous slot and advance to `PUB_PREV`.
+    JourPrev {
+        chosen: u8,
+    },
+    /// Reset the chosen slot's ledger (race-free: the slot is free).
+    Reset {
+        chosen: u8,
+    },
+    /// The W2 swap.
+    Swap {
+        chosen: u8,
+    },
+    /// Journal the displaced word and advance to `PUB_RAW`.
+    JourRaw {
+        chosen: u8,
+        old_index: u8,
+        old_counter: u8,
+    },
+    /// The W3 freeze of the displaced slot.
+    Freeze {
+        chosen: u8,
+        old_index: u8,
+        old_counter: u8,
+    },
+    /// Retire the journal and complete the write.
+    JourClear {
+        chosen: u8,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RPc {
+    Idle,
+    /// R1: load `current`.
+    Current,
+    /// R3: release the previously pinned slot.
+    Release,
+    /// R4: fetch_add on `current` (pin the current slot).
+    FetchAdd,
+    Data0 {
+        target: u8,
+    },
+    Data1 {
+        target: u8,
+        w0: u8,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ReaderM {
+    pc: RPc,
+    reads_left: u8,
+    /// Slot pinned since this reader's last R4; released by its *next*
+    /// read's R3 — the standing pin the at-W2 census must count.
+    pinned: Option<u8>,
+    obs: ReadObs,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RecPc {
+    /// Recovery not yet begun (readers may still roam).
+    NotStarted,
+    /// Load and classify the journal.
+    Classify,
+    /// `PUB_PREV`: load `current`, decide swapped-or-not.
+    CheckCurrent,
+    /// At-W2: census standing pins, rebuild the previous slot's freeze.
+    Census,
+    /// Post-W2: replay the freeze from the journalled displaced word.
+    Replay,
+    /// Retire the journal, release the claim, resurrect the writer.
+    Clear,
+    Done,
+}
+
+/// The writer-death + recovery model (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RecoveryModel {
+    cfg: RecoveryModelConfig,
+    defect: RecoveryDefect,
+    checker: ObsChecker,
+    // shared memory
+    cur_index: u8,
+    cur_counter: u8,
+    slots: Vec<SlotM>,
+    j_stage: u8,
+    j_slot: u8,
+    /// `PUB_PREV`: previous slot index. `PUB_RAW`: unused (the displaced
+    /// word lives in `j_old_*`).
+    j_prev: u8,
+    j_old_index: u8,
+    j_old_counter: u8,
+    // writer
+    wpc: WPc,
+    writes_left: u8,
+    next_seq: u8,
+    last_slot: u8,
+    writer_dead: bool,
+    // crash daemon
+    crashed: bool,
+    // recovery
+    rec_pc: RecPc,
+    recovered: bool,
+    // readers
+    readers: Vec<ReaderM>,
+}
+
+impl RecoveryModel {
+    /// A model with `cfg.readers + 2` slots, slot 0 holding the initial
+    /// value (seq 0).
+    pub fn new(cfg: RecoveryModelConfig, defect: RecoveryDefect) -> Self {
+        let n_slots = cfg.readers + 2;
+        Self {
+            cfg,
+            defect,
+            checker: ObsChecker::default(),
+            cur_index: 0,
+            cur_counter: 0,
+            slots: vec![SlotM { r_start: 0, r_end: 0, w0: 0, w1: 0 }; n_slots],
+            j_stage: J_IDLE,
+            j_slot: 0,
+            j_prev: 0,
+            j_old_index: 0,
+            j_old_counter: 0,
+            wpc: WPc::Idle,
+            writes_left: cfg.pre_writes,
+            next_seq: 1,
+            last_slot: 0,
+            writer_dead: false,
+            crashed: false,
+            rec_pc: RecPc::NotStarted,
+            recovered: false,
+            readers: vec![
+                ReaderM {
+                    pc: RPc::Idle,
+                    reads_left: cfg.reads_each,
+                    pinned: None,
+                    obs: ReadObs::default(),
+                };
+                cfg.readers
+            ],
+        }
+    }
+
+    fn n_slots(&self) -> u8 {
+        self.slots.len() as u8
+    }
+
+    /// Slot exclusion: the writer (or recovery) must never mutate a slot
+    /// some reader holds a presence unit on — from its R4 pin until the
+    /// R3 of that reader's next read.
+    fn check_exclusion(&self, slot: u8, what: &str) -> Result<(), String> {
+        for (i, r) in self.readers.iter().enumerate() {
+            if r.pinned == Some(slot) {
+                return Err(format!(
+                    "exclusion violated: {what} slot {slot} while reader {i} pins it"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn writer_step(&mut self) -> Result<(), String> {
+        match self.wpc {
+            WPc::Idle => {
+                debug_assert!(self.writes_left > 0);
+                self.checker.on_write_start(self.next_seq);
+                self.wpc = WPc::Probe { probe: (self.last_slot + 1) % self.n_slots(), probed: 0 };
+            }
+            WPc::Probe { probe, probed } => {
+                if probed > 2 * self.n_slots() {
+                    return Err(format!("writer starvation: {probed} probes without a free slot"));
+                }
+                let s = &self.slots[probe as usize];
+                if probe != self.last_slot && s.r_start == s.r_end {
+                    self.wpc = WPc::JourFill { chosen: probe };
+                } else {
+                    self.wpc =
+                        WPc::Probe { probe: (probe + 1) % self.n_slots(), probed: probed + 1 };
+                }
+            }
+            WPc::JourFill { chosen } => {
+                self.j_stage = J_FILLING;
+                self.j_slot = chosen;
+                self.wpc = WPc::Data0 { chosen };
+            }
+            WPc::Data0 { chosen } => {
+                self.check_exclusion(chosen, "writer stores into")?;
+                self.slots[chosen as usize].w0 = self.next_seq;
+                self.wpc = WPc::Data1 { chosen };
+            }
+            WPc::Data1 { chosen } => {
+                self.check_exclusion(chosen, "writer stores into")?;
+                self.slots[chosen as usize].w1 = self.next_seq;
+                self.wpc = WPc::JourPrev { chosen };
+            }
+            WPc::JourPrev { chosen } => {
+                self.j_prev = self.last_slot;
+                self.j_stage = J_PUB_PREV;
+                self.wpc = WPc::Reset { chosen };
+            }
+            WPc::Reset { chosen } => {
+                self.check_exclusion(chosen, "writer resets the ledger of")?;
+                self.slots[chosen as usize].r_start = 0;
+                self.slots[chosen as usize].r_end = 0;
+                self.wpc = WPc::Swap { chosen };
+            }
+            WPc::Swap { chosen } => {
+                let (old_index, old_counter) = (self.cur_index, self.cur_counter);
+                self.cur_index = chosen;
+                self.cur_counter = 0;
+                self.wpc = WPc::JourRaw { chosen, old_index, old_counter };
+            }
+            WPc::JourRaw { chosen, old_index, old_counter } => {
+                self.j_old_index = old_index;
+                self.j_old_counter = old_counter;
+                self.j_stage = J_PUB_RAW;
+                self.wpc = WPc::Freeze { chosen, old_index, old_counter };
+            }
+            WPc::Freeze { chosen, old_index, old_counter } => {
+                self.slots[old_index as usize].r_start = old_counter;
+                self.wpc = WPc::JourClear { chosen };
+            }
+            WPc::JourClear { chosen } => {
+                self.j_stage = J_IDLE;
+                self.checker.on_write_complete(self.next_seq);
+                self.last_slot = chosen;
+                self.next_seq += 1;
+                self.writes_left -= 1;
+                self.wpc = WPc::Idle;
+            }
+        }
+        Ok(())
+    }
+
+    /// Count presence units standing on `slot`: released acquisitions are
+    /// in `r_end`; unreleased ones are exactly the reader pins (legal to
+    /// read coherently here because the quiescent window holds).
+    fn standing_pins(&self, slot: u8) -> u8 {
+        self.readers.iter().filter(|r| r.pinned == Some(slot)).count() as u8
+    }
+
+    fn recovery_step(&mut self) -> Result<(), String> {
+        match self.rec_pc {
+            RecPc::NotStarted => {
+                debug_assert!(self.readers.iter().all(|r| r.pc == RPc::Idle));
+                self.rec_pc = RecPc::Classify;
+            }
+            RecPc::Classify => {
+                self.rec_pc = match self.j_stage {
+                    J_PUB_PREV => RecPc::CheckCurrent,
+                    J_PUB_RAW => RecPc::Replay,
+                    // IDLE or FILLING: nothing (or only an unpublished
+                    // fill) to discard.
+                    _ => RecPc::Clear,
+                };
+            }
+            RecPc::CheckCurrent => {
+                // W1 forbids selecting `last_slot`, so `current` naming
+                // the journalled slot proves the dead writer's swap ran.
+                self.rec_pc =
+                    if self.cur_index == self.j_slot { RecPc::Census } else { RecPc::Clear };
+            }
+            RecPc::Census => {
+                if self.defect != RecoveryDefect::SkipAdoption {
+                    let prev = self.j_prev;
+                    let total =
+                        self.slots[prev as usize].r_end.wrapping_add(self.standing_pins(prev));
+                    self.slots[prev as usize].r_start = total;
+                }
+                self.rec_pc = RecPc::Clear;
+            }
+            RecPc::Replay => {
+                if self.defect != RecoveryDefect::SkipFreezeReplay {
+                    self.slots[self.j_old_index as usize].r_start = self.j_old_counter;
+                }
+                self.rec_pc = RecPc::Clear;
+            }
+            RecPc::Clear => {
+                self.j_stage = J_IDLE;
+                self.recovered = true;
+                self.rec_pc = RecPc::Done;
+                // Resurrect the writer as a fresh claimant: it re-derives
+                // `last_slot` from `current` and continues the sequence
+                // numbering (an adopted in-flight write keeps its seq).
+                self.writer_dead = false;
+                self.wpc = WPc::Idle;
+                self.writes_left = self.cfg.post_writes;
+                self.last_slot = self.cur_index;
+                self.next_seq = self.checker.started_write + 1;
+            }
+            RecPc::Done => unreachable!("recovery stepped after completion"),
+        }
+        Ok(())
+    }
+
+    fn reader_step(&mut self, r: usize) -> Result<(), String> {
+        let m = self.readers[r];
+        match m.pc {
+            RPc::Idle => {
+                debug_assert!(m.reads_left > 0);
+                self.readers[r].obs = self.checker.on_read_start();
+                self.readers[r].pc = RPc::Current;
+            }
+            // R1's load only feeds the fast-path decision; model the slow
+            // path unconditionally (the superset of shared accesses).
+            RPc::Current => self.readers[r].pc = RPc::Release,
+            RPc::Release => {
+                if let Some(last) = m.pinned {
+                    self.slots[last as usize].r_end =
+                        self.slots[last as usize].r_end.wrapping_add(1);
+                    self.readers[r].pinned = None;
+                }
+                self.readers[r].pc = RPc::FetchAdd;
+            }
+            RPc::FetchAdd => {
+                let target = self.cur_index;
+                self.cur_counter = self.cur_counter.wrapping_add(1);
+                self.readers[r].pinned = Some(target);
+                self.readers[r].pc = RPc::Data0 { target };
+            }
+            RPc::Data0 { target } => {
+                let w0 = self.slots[target as usize].w0;
+                self.readers[r].pc = RPc::Data1 { target, w0 };
+            }
+            RPc::Data1 { target, w0 } => {
+                let w1 = self.slots[target as usize].w1;
+                let obs = self.readers[r].obs;
+                self.checker.on_read_complete(obs, w0, w1)?;
+                self.readers[r].reads_left -= 1;
+                self.readers[r].pc = RPc::Idle;
+            }
+        }
+        Ok(())
+    }
+
+    fn recovery_active(&self) -> bool {
+        !matches!(self.rec_pc, RecPc::NotStarted | RecPc::Done)
+    }
+
+    fn writer_enabled(&self) -> bool {
+        !self.writer_dead && (self.wpc != WPc::Idle || self.writes_left > 0)
+    }
+
+    fn recovery_enabled(&self) -> bool {
+        match self.rec_pc {
+            // The quiescent window: the pass may only begin once every
+            // reader is between operations.
+            RecPc::NotStarted => self.writer_dead && self.readers.iter().all(|r| r.pc == RPc::Idle),
+            RecPc::Done => false,
+            _ => true,
+        }
+    }
+
+    fn reader_enabled(&self, r: usize) -> bool {
+        let m = &self.readers[r];
+        if m.pc != RPc::Idle {
+            return true;
+        }
+        // Parked for the duration of a recovery pass; free to read on the
+        // poisoned (dead-writer, pre-recovery) plane otherwise.
+        m.reads_left > 0 && !self.recovery_active()
+    }
+}
+
+impl Model for RecoveryModel {
+    fn enabled(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.writer_enabled() {
+            out.push(0);
+        }
+        if !self.crashed {
+            out.push(1);
+        }
+        if self.recovery_enabled() {
+            out.push(2);
+        }
+        for r in 0..self.readers.len() {
+            if self.reader_enabled(r) {
+                out.push(3 + r);
+            }
+        }
+        out
+    }
+
+    fn step(&mut self, tid: usize) -> Result<(), String> {
+        match tid {
+            0 => self.writer_step(),
+            1 => {
+                // The crash daemon: kill the writer wherever it stands.
+                // Its journal, lease and half-done stores stay exactly as
+                // they are — that is the whole point.
+                debug_assert!(!self.crashed);
+                self.crashed = true;
+                self.writer_dead = true;
+                Ok(())
+            }
+            2 => self.recovery_step(),
+            r => self.reader_step(r - 3),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.crashed
+            && self.recovered
+            && self.wpc == WPc::Idle
+            && self.writes_left == 0
+            && self.readers.iter().all(|r| r.pc == RPc::Idle && r.reads_left == 0)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // The journal slot is always in range (the implementation bounds-
+        // checks; the model never writes garbage, so equality suffices).
+        if self.j_stage != J_IDLE && self.j_slot >= self.n_slots() {
+            return Err(format!("journal names slot {} of {}", self.j_slot, self.n_slots()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{explore, ExploreLimits, Outcome};
+
+    fn run(cfg: RecoveryModelConfig, defect: RecoveryDefect) -> Outcome {
+        explore(RecoveryModel::new(cfg, defect), ExploreLimits::default())
+    }
+
+    #[test]
+    fn faithful_recovery_is_safe_exhaustively() {
+        let out = run(RecoveryModelConfig::small(), RecoveryDefect::None);
+        assert!(out.is_ok(), "faithful recovery model failed: {out:?}");
+    }
+
+    #[test]
+    fn faithful_recovery_is_safe_with_two_readers() {
+        let cfg = RecoveryModelConfig { readers: 2, pre_writes: 1, post_writes: 2, reads_each: 2 };
+        let out = run(cfg, RecoveryDefect::None);
+        assert!(out.is_ok(), "two-reader recovery model failed: {out:?}");
+    }
+
+    #[test]
+    fn skip_adoption_is_caught() {
+        let out = run(RecoveryModelConfig::small(), RecoveryDefect::SkipAdoption);
+        let msg = out.violation().expect("skip-adoption defect must be caught");
+        assert!(
+            msg.contains("exclusion") || msg.contains("torn") || msg.contains("starvation"),
+            "unexpected violation class: {msg}"
+        );
+    }
+
+    #[test]
+    fn skip_freeze_replay_is_caught() {
+        let out = run(RecoveryModelConfig::small(), RecoveryDefect::SkipFreezeReplay);
+        let msg = out.violation().expect("skip-freeze-replay defect must be caught");
+        assert!(
+            msg.contains("exclusion") || msg.contains("torn") || msg.contains("starvation"),
+            "unexpected violation class: {msg}"
+        );
+    }
+}

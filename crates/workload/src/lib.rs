@@ -24,6 +24,9 @@
 //!   and aligned-text/CSV reporting.
 //! * [`histogram`] — log-bucketed latency histograms for the tail-latency
 //!   experiment (wait-freedom is a statement about tails, not means).
+//! * [`procs`] — fork/waitpid helpers for the crash-recovery harness:
+//!   children that die for real (`SIGABRT` at a seeded crash point) so
+//!   recovery is exercised against genuine corpses, not simulations.
 
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -33,6 +36,7 @@ pub mod histogram;
 pub mod modes;
 pub mod multi;
 pub mod notify;
+pub mod procs;
 pub mod stats;
 pub mod steal;
 pub mod table;

@@ -1,0 +1,126 @@
+//! Minimal process-control helpers for the crash-recovery harness
+//! (`tests/crash_recovery.rs`): fork a child that is *expected to die*,
+//! and decode how it died.
+//!
+//! The point of forking — rather than simulating death with a liveness
+//! oracle — is that nothing cleans up: no destructors, no unwinding, no
+//! poisoned-lock recovery. The child's writer lease, journal words, and
+//! pinned slots are left exactly as a real `SIGKILL`/`SIGABRT` victim
+//! leaves them, and the parent's recovery path has to cope with the real
+//! thing.
+//!
+//! # Fork discipline
+//!
+//! The test runner is multi-threaded, so a forked child may hold copies
+//! of arbitrary locks (including the allocator's). Child closures must
+//! therefore be **allocation-free and lock-free**: pre-compute buffers
+//! before forking, and end in [`child_exit`] or `std::process::abort` —
+//! never by returning into the test harness. The closure *is* run on the
+//! copied address space, so `MAP_SHARED` slabs created before the fork
+//! are shared with the parent; everything else is a private copy.
+//!
+//! Unix-only (as is the crash harness); the declarations are direct
+//! `extern "C"` — this workspace takes no external dependencies.
+
+use std::io;
+
+/// How an awaited child terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildExit {
+    /// Normal exit with this status code.
+    Exited(i32),
+    /// Killed by this signal (6 = `SIGABRT`, the crash harness's norm).
+    Signaled(i32),
+}
+
+impl ChildExit {
+    /// Whether the child died by `SIGABRT` — what `std::process::abort`
+    /// (and an armed `arc_register::crash` point) raises.
+    pub fn aborted(self) -> bool {
+        matches!(self, ChildExit::Signaled(6))
+    }
+}
+
+#[cfg(unix)]
+mod ffi {
+    #![allow(missing_docs)]
+    use std::ffi::c_int;
+
+    extern "C" {
+        pub fn fork() -> i32;
+        pub fn waitpid(pid: i32, status: *mut c_int, options: c_int) -> i32;
+        pub fn _exit(code: c_int) -> !;
+    }
+}
+
+/// Run `child` in a forked process, returning its pid to the parent.
+///
+/// The closure runs only in the child and must terminate the process
+/// itself ([`child_exit`] / `std::process::abort`); if it returns, the
+/// child exits cleanly with status 0. See the module docs for what the
+/// closure is allowed to do.
+#[cfg(unix)]
+pub fn fork_child(child: impl FnOnce()) -> io::Result<u32> {
+    // SAFETY: fork is always callable; the child path below obeys the
+    // async-signal-safety discipline documented on the module.
+    let pid = unsafe { ffi::fork() };
+    match pid {
+        -1 => Err(io::Error::last_os_error()),
+        0 => {
+            child();
+            child_exit(0);
+        }
+        pid => Ok(pid as u32),
+    }
+}
+
+/// Terminate the calling (child) process immediately: no destructors, no
+/// atexit handlers, no buffer flushes — the library-call analogue of
+/// dying.
+#[cfg(unix)]
+pub fn child_exit(code: i32) -> ! {
+    // SAFETY: _exit is async-signal-safe and diverges.
+    unsafe { ffi::_exit(code) }
+}
+
+/// Block until child `pid` terminates and decode how.
+#[cfg(unix)]
+pub fn wait_child(pid: u32) -> io::Result<ChildExit> {
+    let mut status: i32 = 0;
+    // SAFETY: plain waitpid on a pid this process forked; the status
+    // pointer is a live stack slot.
+    let r = unsafe { ffi::waitpid(pid as i32, &mut status, 0) };
+    if r < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // Classic wait-status decoding (see wait(2)).
+    if status & 0x7f == 0 {
+        Ok(ChildExit::Exited((status >> 8) & 0xff))
+    } else {
+        Ok(ChildExit::Signaled(status & 0x7f))
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_child_reports_exit_code() {
+        let pid = fork_child(|| child_exit(7)).unwrap();
+        assert_eq!(wait_child(pid).unwrap(), ChildExit::Exited(7));
+    }
+
+    #[test]
+    fn aborting_child_reports_sigabrt() {
+        let pid = fork_child(|| std::process::abort()).unwrap();
+        let exit = wait_child(pid).unwrap();
+        assert!(exit.aborted(), "expected SIGABRT, got {exit:?}");
+    }
+
+    #[test]
+    fn falling_off_the_closure_exits_zero() {
+        let pid = fork_child(|| {}).unwrap();
+        assert_eq!(wait_child(pid).unwrap(), ChildExit::Exited(0));
+    }
+}

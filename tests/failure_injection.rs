@@ -8,12 +8,17 @@
 //!    regime, miniature);
 //! 3. **random reader pauses** — readers sleep at random points *between*
 //!    pin and release, maximizing the time slots stay pinned.
+//!
+//! Each regime runs against the standalone register families *and* (the
+//! regimes that stress pinning) against the shared-slab [`ArcGroup`]
+//! plane, where all registers' ledgers live in one relocatable mapping —
+//! the layout the crash-recovery harness shares across processes.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
-use arc_register::ArcFamily;
+use arc_register::{ArcFamily, ArcGroup, SlabBackend};
 use baseline_registers::{PetersonFamily, RfFamily};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -90,6 +95,98 @@ fn verified_run<F: RegisterFamily>(
     assert!(counts.iter().all(|&c| c > 0), "{}: a worker made no progress", F::NAME);
 }
 
+/// The same verified regime against the shared-slab plane: one batch
+/// writer cycling all K registers of an [`ArcGroup`], `readers_per_reg`
+/// readers per register holding zero-copy guards (optionally napping while
+/// pinned). Every payload is verified and every register's stamped
+/// sequence must be monotone. Not expressible through `verified_run`'s
+/// [`RegisterFamily`] bound — the group is a table, and the point here is
+/// exercising the *shared slab* (on Linux, the same memfd backend the
+/// cross-process harness uses).
+fn verified_group_run(
+    registers: usize,
+    readers_per_reg: usize,
+    size: usize,
+    window: Duration,
+    steal: Option<StealConfig>,
+    reader_pause: Option<Duration>,
+    seed: u64,
+) {
+    let mut initial = vec![0u8; size];
+    stamp(&mut initial, 0);
+    let backend = if cfg!(target_os = "linux") { SlabBackend::Shm } else { SlabBackend::Heap };
+    let group = ArcGroup::builder(registers, readers_per_reg as u32 + 1, size)
+        .backend(backend)
+        .initial(&initial)
+        .build()
+        .expect("slab plane");
+    let injector = steal.map(StealInjector::start);
+
+    let n_readers = registers * readers_per_reg;
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(n_readers + 2));
+    let mut handles = Vec::new();
+
+    for k in 0..registers {
+        for i in 0..readers_per_reg {
+            let mut reader = group.reader(k).expect("reader slot");
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_add((k * 31 + i) as u64));
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let mut last = 0u64;
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let guard = reader.read_ref();
+                    let seq = verify(guard.bytes())
+                        .unwrap_or_else(|e| panic!("group[{k}]: torn under injection: {e}"));
+                    assert!(seq >= last, "group[{k}]: regression {last} -> {seq}");
+                    last = seq;
+                    reads += 1;
+                    if let Some(pause) = reader_pause {
+                        if rng.random_range(0..100u32) == 0 {
+                            // Nap while the guard still pins its slot.
+                            std::thread::sleep(pause);
+                        }
+                    }
+                    drop(guard);
+                }
+                reads
+            }));
+        }
+    }
+    {
+        let mut writer = group.writer_set().expect("writer plane");
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut buf = vec![0u8; size];
+            barrier.wait();
+            let mut seq = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                seq += 1;
+                stamp(&mut buf, seq);
+                for k in 0..registers {
+                    writer.write(k, &buf);
+                }
+            }
+            seq
+        }));
+    }
+
+    barrier.wait();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let counts: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    if let Some(inj) = injector {
+        inj.stop();
+    }
+    assert!(counts.iter().all(|&c| c > 0), "group: a worker made no progress");
+    // A clean run must leave nothing for recovery to find.
+    assert!(!group.needs_recovery(), "healthy plane reports recovery state");
+}
+
 fn steal_cfg(seed: u64) -> StealConfig {
     let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
     StealConfig {
@@ -139,6 +236,18 @@ fn arc_correct_with_sleeping_pinned_readers() {
 #[test]
 fn rf_correct_with_sleeping_pinned_readers() {
     verified_run::<RfFamily>(4, 2 << 10, WINDOW, None, Some(Duration::from_millis(5)), 7);
+}
+
+#[test]
+fn group_slab_correct_with_sleeping_pinned_readers() {
+    // Guards napping while pinned, on the shared slab: every register's
+    // writer must rotate around standing pins that live in one mapping.
+    verified_group_run(4, 2, 2 << 10, WINDOW, None, Some(Duration::from_millis(5)), 9);
+}
+
+#[test]
+fn group_slab_correct_under_cpu_steal() {
+    verified_group_run(4, 2, 1 << 10, WINDOW, Some(steal_cfg(23)), None, 10);
 }
 
 #[test]
