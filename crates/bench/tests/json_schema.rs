@@ -341,4 +341,40 @@ fn bench_latency_sections_conform() {
             "{file}: recovery section lacks the {point:?} crash point"
         );
     }
+
+    // The supervision section (E14): kill→detection latency, auto-recover
+    // end-to-end time, and per-cycle scrub cost. Every metric must carry a
+    // real (non-zero) latency distribution, the scrub sweep must reach the
+    // K = 1M acceptance point, and healing can never be faster than the
+    // detection it starts from.
+    check_rows(
+        &doc,
+        file,
+        "supervision",
+        &["metric", "registers", "trials", "p50_ns", "max_ns", "per_register_ns"],
+    );
+    let Some(arc_bench::Json::Arr(rows)) = doc.get("supervision") else { unreachable!() };
+    let p50_of = |metric: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.get("metric") == Some(&Json::str(metric)))
+            .unwrap_or_else(|| panic!("{file}: supervision lacks the {metric:?} metric"))
+            .get("p50_ns")
+            .and_then(Json::as_f64)
+            .expect("supervision p50 numeric")
+    };
+    for (i, row) in rows.iter().enumerate() {
+        let p50 = row.get("p50_ns").and_then(Json::as_f64).expect("p50 numeric");
+        assert!(p50 > 0.0, "{file}: supervision[{i}] has an empty latency distribution");
+    }
+    let detect = p50_of("kill_to_detect");
+    let healed = p50_of("kill_to_healed");
+    assert!(
+        healed >= detect,
+        "{file}: supervision healed p50 {healed} ns beat its own detection p50 {detect} ns"
+    );
+    let scrub_at_1m = rows.iter().any(|r| {
+        r.get("metric") == Some(&Json::str("scrub_cycle"))
+            && r.get("registers").and_then(Json::as_f64).is_some_and(|k| k >= 1_000_000.0)
+    });
+    assert!(scrub_at_1m, "{file}: supervision scrub sweep never reached K = 1M");
 }

@@ -22,6 +22,12 @@ pub enum HandleError {
     /// [`recover`](crate::ArcGroup::recover) before handles can be issued;
     /// surviving readers keep reading wait-free in the meantime.
     NeedsRecovery,
+    /// The register was quarantined (§3.10): a scrub or an in-protocol
+    /// check found one of its ledger words scribbled beyond repair. Writer
+    /// handles are refused for the life of the mapping; reads degrade to
+    /// the last known-good publication. Other registers of the same plane
+    /// are unaffected.
+    Quarantined,
 }
 
 impl fmt::Display for HandleError {
@@ -39,6 +45,9 @@ impl fmt::Display for HandleError {
             HandleError::NeedsRecovery => {
                 write!(f, "a dead process left the register mid-operation; run recovery first")
             }
+            HandleError::Quarantined => {
+                write!(f, "the register is quarantined: a scrub found its ledger scribbled")
+            }
         }
     }
 }
@@ -55,5 +64,6 @@ mod tests {
         assert!(HandleError::ReadersExhausted { max_readers: 4 }.to_string().contains('4'));
         assert!(HandleError::ChurnExhausted.to_string().contains("churn"));
         assert!(HandleError::NeedsRecovery.to_string().contains("recovery"));
+        assert!(HandleError::Quarantined.to_string().contains("quarantined"));
     }
 }

@@ -21,6 +21,8 @@
 //! versions   : [AtomicU64; K * n_slots]     slot publication stamps
 //! pins       : [AtomicU64; K * max_readers] reader pin registry (§3.9;
 //!                                           shm slabs — heap opts in)
+//! lease-ext  : [AtomicU64; K * 4]           birth token, heartbeat,
+//!                                           health, last-good (§3.10)
 //! arena      : [u8; K * n_slots * capacity] only when capacity > INLINE_CAP
 //! ```
 //!
@@ -92,12 +94,14 @@ use register_common::traits::{validate_spec, BuildError, RegisterSpec};
 use register_common::OpMetrics;
 use sync_primitives::WaitSet;
 
-use crate::current::{Current, MAX_READERS};
+use crate::current::{index_of, Current, MAX_READERS};
 use crate::errors::HandleError;
 use crate::raw::{
-    guard_created_on, guard_drop_on, outstanding_units_on, publish_on, read_acquire_on,
-    reader_join_on, reader_leave_on, select_slot_on, writer_claim_on, writer_release_on, ArcCells,
-    ArcWriterMem, RawOptions, RawReader, NO_HINT,
+    guard_created_on, guard_drop_on, outstanding_units_on, publish_on, quarantine_on,
+    read_acquire_on, reader_join_on, reader_leave_on, select_slot_on, wip_slot, wip_stage,
+    writer_claim_on, writer_release_on, ArcCells, ArcWriterMem, RawOptions, RawReader,
+    HEALTH_BAD_CURRENT, HEALTH_BAD_JOURNAL, HEALTH_BAD_LEN, HEALTH_OK, NO_HINT, STAGE_IDLE,
+    STAGE_PUB_RAW,
 };
 use crate::recovery::{self, RecoveryReport};
 use crate::register::{GuardBackend, ReadGuard, Snapshot, INLINE_CAP};
@@ -136,6 +140,112 @@ pub mod layout {
     pub const fn arena_range(k: usize, n_slots: usize, capacity: usize) -> Range<usize> {
         arena_offset(k, n_slots, capacity, 0)..arena_offset(k + 1, n_slots, capacity, 0)
     }
+}
+
+/// Why a register was quarantined (§3.10). Mirrors the slab's sticky
+/// `HEALTH_*` health-word codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The `current` word (or the word W2 displaced from it) named an
+    /// out-of-range slot — the synchronization word was scribbled.
+    BadCurrent,
+    /// The publication journal held an impossible stage or an
+    /// out-of-range slot.
+    BadJournal,
+    /// A slot recorded a payload length above the register's capacity.
+    BadLength,
+}
+
+impl QuarantineReason {
+    fn from_code(code: u64) -> Option<Self> {
+        match code {
+            HEALTH_BAD_CURRENT => Some(Self::BadCurrent),
+            HEALTH_BAD_JOURNAL => Some(Self::BadJournal),
+            HEALTH_BAD_LEN => Some(Self::BadLength),
+            _ => None,
+        }
+    }
+}
+
+/// Health of one register of a group (§3.10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterHealth {
+    /// All scrubbed invariants hold.
+    Healthy,
+    /// A scrub or an in-protocol check found this register's ledger
+    /// scribbled. Writer handles are refused ([`HandleError::Quarantined`])
+    /// for the life of the plane; reads degrade to the last publication
+    /// completed before quarantine. The rest of the plane is unaffected.
+    Quarantined {
+        /// What the detector found.
+        reason: QuarantineReason,
+        /// The published version at the moment of quarantine: degraded
+        /// reads serve at most this publication, which bounds their
+        /// staleness.
+        last_good_version: u64,
+    },
+}
+
+/// One quarantined register in a [`HealthReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinedRegister {
+    /// Register index.
+    pub register: usize,
+    /// What the detector found.
+    pub reason: QuarantineReason,
+    /// Published version at the moment of quarantine (staleness bound of
+    /// degraded reads).
+    pub last_good_version: u64,
+}
+
+/// Plane-wide health survey ([`ArcGroup::health_report`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Registers surveyed (the whole plane).
+    pub registers: usize,
+    /// Every quarantined register, ascending by index.
+    pub quarantined: Vec<QuarantinedRegister>,
+}
+
+impl HealthReport {
+    /// Whether every register is healthy.
+    pub fn all_healthy(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+/// What one [`ArcGroup::scrub`] pass found (§3.10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Registers whose invariants were re-validated (the whole plane).
+    pub registers_scrubbed: usize,
+    /// Registers this pass newly quarantined.
+    pub newly_quarantined: usize,
+    /// Total quarantined registers after the pass (including older ones).
+    pub quarantined_total: usize,
+    /// Whether the superblock still validates (magic, version, checksum,
+    /// geometry). A scribbled superblock cannot be quarantined away — it
+    /// taints the plane and is surfaced here for the supervisor to report.
+    pub superblock_ok: bool,
+}
+
+/// Point-in-time probe of one register's writer-liveness signals
+/// ([`ArcGroup::writer_probe`]), consumed by the §3.10 stall watchdog —
+/// see [`crate::supervise::classify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriterProbe {
+    /// The writer lease (claimant pid; 0 = role free).
+    pub lease: u64,
+    /// The writer-progress odometer (ticked at publication start and
+    /// completion; meaningless as a number, meaningful when it stops).
+    pub heartbeat: u64,
+    /// Whether the publication journal shows an operation in flight. Only
+    /// a *mid-publication* writer can stall anything worth flagging — a
+    /// writer suspended between operations holds no protocol resource.
+    pub mid_publication: bool,
+    /// Whether the lease belongs to a corpse: dead pid, or live pid whose
+    /// birth token names a different incarnation (pid reuse).
+    pub lease_dead: bool,
 }
 
 /// One register's hot coordination words, packed into a single
@@ -238,6 +348,10 @@ struct GroupCells<'a> {
     /// This register's pin-registry run: `max_readers` entries recording
     /// which slot each reader currently pins (§3.9 reader-death sweep).
     pins: &'a [AtomicU64],
+    /// This register's lease-extension run (§3.10): exactly four words —
+    /// `[birth, heartbeat, health, last_good]` — always present (the
+    /// region exists on every layout-v2 slab, heap or shm).
+    ext: &'a [AtomicU64],
 }
 
 impl<'a> GroupCells<'a> {
@@ -312,6 +426,22 @@ impl ArcCells for GroupCells<'_> {
         &self.header.lease
     }
     #[inline]
+    fn birth_word(&self) -> &AtomicU64 {
+        &self.ext[0]
+    }
+    #[inline]
+    fn heartbeat_word(&self) -> &AtomicU64 {
+        &self.ext[1]
+    }
+    #[inline]
+    fn health_word(&self) -> &AtomicU64 {
+        &self.ext[2]
+    }
+    #[inline]
+    fn last_good_word(&self) -> &AtomicU64 {
+        &self.ext[3]
+    }
+    #[inline]
     fn pin_entries(&self) -> u32 {
         // With a registry, every group reader gets an entry: the region
         // holds `max_readers` entries and dead readers keep their join
@@ -363,6 +493,14 @@ struct PackedWriterMem {
     /// Candidate slots (`NO_CAND` = empty); bit 31 tags hint origin.
     cand: [u32; 2],
 }
+
+/// How long a [`ArcGroup::recover`] call that lost the cross-process
+/// arbitration waits for the winning claimant to release the token before
+/// giving up and returning `lost_arbitration`. Long enough for any real
+/// repair pass (microseconds per register); short enough that a claimant
+/// that died mid-recovery (its successor steals the token on the *next*
+/// call) cannot wedge the loser forever.
+const RECOVERY_WAIT: std::time::Duration = std::time::Duration::from_secs(5);
 
 /// Empty-candidate sentinel (slot indices are bounded by `n_slots`, which
 /// the builder caps well below 2^31).
@@ -756,12 +894,37 @@ impl ArcGroup {
     /// dead readers' pinned slots, and free their roles. Bumps the slab's
     /// recovery [`epoch`](ArcGroup::epoch) if anything was repaired.
     ///
+    /// **Arbitrated across attachers** (§3.10): concurrent `recover` calls
+    /// from several mappings of the same plane race for the superblock's
+    /// recovery token; exactly one wins and repairs, the others wait
+    /// (bounded) for the winner to release and return a report with
+    /// [`RecoveryReport::lost_arbitration`] set. A token held by a dead
+    /// process is stolen, so a claimant crashing mid-recovery cannot wedge
+    /// the plane — the repairs are idempotent and the next claimant
+    /// re-runs them.
+    ///
     /// Caller contract: no *live* process is mid-operation on the damaged
     /// registers while this runs (live handles may exist, parked between
     /// operations). Surviving readers stay wait-free — recovery writes
     /// only words the dead writer would have written.
     pub fn recover(&self) -> RecoveryReport {
-        self.recover_with(pid_alive)
+        let me = crate::shm::self_pid();
+        if self.slab.superblock().try_claim_recovery(me, pid_alive) {
+            let report = self.recover_with(pid_alive);
+            self.slab.superblock().release_recovery(me);
+            return report;
+        }
+        // Lost the race: wait for the winner to finish (or die — its
+        // successor steals the token), then report having repaired
+        // nothing ourselves.
+        let deadline = std::time::Instant::now() + RECOVERY_WAIT;
+        let mut backoff = sync_primitives::Backoff::new();
+        while self.slab.superblock().recovery_claimant() != 0
+            && std::time::Instant::now() < deadline
+        {
+            backoff.snooze();
+        }
+        RecoveryReport { lost_arbitration: true, ..RecoveryReport::default() }
     }
 
     /// [`ArcGroup::recover`] with a custom liveness oracle.
@@ -779,6 +942,171 @@ impl ArcGroup {
             self.slab.superblock().bump_epoch();
         }
         report
+    }
+
+    /// Health of register `k` (§3.10): healthy, or quarantined with the
+    /// reason and the staleness bound of degraded reads. Wait-free (two
+    /// loads); safe from any thread without a handle.
+    pub fn register_health(&self, k: usize) -> RegisterHealth {
+        self.check_index(k);
+        let cells = self.cells(k);
+        let code = cells.health_word().load(Ordering::Acquire);
+        match QuarantineReason::from_code(code) {
+            None => RegisterHealth::Healthy,
+            Some(reason) => RegisterHealth::Quarantined {
+                reason,
+                last_good_version: cells.last_good_word().load(Ordering::Acquire),
+            },
+        }
+    }
+
+    /// Survey the whole plane's register health (§3.10).
+    pub fn health_report(&self) -> HealthReport {
+        let mut report = HealthReport { registers: self.registers, quarantined: Vec::new() };
+        for k in 0..self.registers {
+            if let RegisterHealth::Quarantined { reason, last_good_version } =
+                self.register_health(k)
+            {
+                report.quarantined.push(QuarantinedRegister {
+                    register: k,
+                    reason,
+                    last_good_version,
+                });
+            }
+        }
+        report
+    }
+
+    /// Re-validate the plane's invariants on a *live* mapping (§3.10):
+    /// the superblock (magic, layout version, checksum, geometry) and,
+    /// per register, that `current` names an in-range slot, that the
+    /// publication journal holds a possible stage and slot, and that no
+    /// slot records a payload length above the register's capacity.
+    ///
+    /// A register failing a check is quarantined — sticky, first reason
+    /// wins — never repaired: scrubbing detects scribbles (which
+    /// [`ArcGroup::attach_fd`] only catches at attach time), it does not
+    /// pretend to undo them. Readers and writers of healthy registers are
+    /// unaffected by a concurrent scrub: every check is a plain atomic
+    /// load.
+    pub fn scrub(&self) -> ScrubReport {
+        let superblock_ok = self.slab.superblock().validate(self.slab.len()).is_ok();
+        let mut newly = 0;
+        let mut total = 0;
+        for k in 0..self.registers {
+            let cells = self.cells(k);
+            let before = cells.health_word().load(Ordering::Acquire);
+            if before == HEALTH_OK {
+                self.scrub_register(&cells);
+            }
+            let after = cells.health_word().load(Ordering::Acquire);
+            if after != HEALTH_OK {
+                total += 1;
+                if before == HEALTH_OK {
+                    newly += 1;
+                }
+            }
+        }
+        ScrubReport {
+            registers_scrubbed: self.registers,
+            newly_quarantined: newly,
+            quarantined_total: total,
+            superblock_ok,
+        }
+    }
+
+    /// One register's scrub checks (quarantines on first violation).
+    fn scrub_register(&self, cells: &GroupCells<'_>) {
+        // `current` must name an in-range slot.
+        let cur = cells.current_word().load(Ordering::SeqCst);
+        if index_of(cur) as usize >= self.n_slots {
+            quarantine_on(cells, HEALTH_BAD_CURRENT);
+            return;
+        }
+        // The journal must hold a possible stage, and any non-idle stage
+        // an in-range slot.
+        let w = cells.wip_word().load(Ordering::Acquire);
+        let stage = wip_stage(w);
+        if stage > STAGE_PUB_RAW || (stage != STAGE_IDLE && wip_slot(w) >= self.n_slots) {
+            quarantine_on(cells, HEALTH_BAD_JOURNAL);
+            return;
+        }
+        // No slot may claim more bytes than the register's capacity. The
+        // length word is protocol-protected plain memory; the scrub reads
+        // it through an atomic view (same size and alignment) so a racing
+        // writer's store merely yields either value, never a tear.
+        for slot in 0..self.n_slots {
+            // SAFETY: AtomicUsize is layout-compatible with usize and the
+            // cell lives in the always-mapped slot region; the atomic view
+            // only loads.
+            let len = unsafe { &*(cells.slot(slot).len.get() as *const AtomicUsize) }
+                .load(Ordering::Relaxed);
+            if len > self.capacity {
+                quarantine_on(cells, HEALTH_BAD_LEN);
+                return;
+            }
+        }
+    }
+
+    /// Probe register `k`'s writer-liveness signals for the §3.10 stall
+    /// watchdog: the lease, the heartbeat odometer, whether a publication
+    /// is in flight, and whether the lease belongs to a corpse. Wait-free;
+    /// classification (with history) is [`crate::supervise::classify`].
+    pub fn writer_probe(&self, k: usize) -> WriterProbe {
+        self.check_index(k);
+        let cells = self.cells(k);
+        let lease = cells.lease_word().load(Ordering::Acquire);
+        WriterProbe {
+            lease,
+            heartbeat: cells.heartbeat_word().load(Ordering::Acquire),
+            mid_publication: wip_stage(cells.wip_word().load(Ordering::Acquire)) != STAGE_IDLE,
+            lease_dead: recovery::lease_dead(&cells, lease, &mut pid_alive),
+        }
+    }
+
+    /// Fault injection: forge register `k`'s writer lease (pid + birth
+    /// token) without claiming the role — simulates a claimant that
+    /// vanished, or (with a live pid and a stale token) a recycled pid.
+    /// Same philosophy as [`crate::crash`]: the harness drives the shipped
+    /// bytes, so the hook ships. Not part of the supported API.
+    #[doc(hidden)]
+    pub fn fault_forge_lease(&self, k: usize, pid: u64, birth: u64) {
+        self.check_index(k);
+        let cells = self.cells(k);
+        cells.birth_word().store(birth, Ordering::Relaxed);
+        cells.lease_word().store(pid, Ordering::Release);
+    }
+
+    /// Fault injection: scribble register `k`'s `current` word with an
+    /// arbitrary slot `index` (the §3.10 scrub/quarantine target). Not
+    /// part of the supported API.
+    #[doc(hidden)]
+    pub fn fault_scribble_current(&self, k: usize, index: u64) {
+        self.check_index(k);
+        let cells = self.cells(k);
+        let cur = cells.current_word().load(Ordering::SeqCst);
+        cells.current_word().store(index << 32 | (cur & 0xFFFF_FFFF), Ordering::SeqCst);
+    }
+
+    /// Fault injection: scribble register `k`'s publication journal word.
+    /// Not part of the supported API.
+    #[doc(hidden)]
+    pub fn fault_scribble_journal(&self, k: usize, word: u64) {
+        self.check_index(k);
+        self.cells(k).wip_word().store(word, Ordering::Release);
+    }
+
+    /// Fault injection: scribble the length word of slot `slot` of
+    /// register `k`. Not part of the supported API.
+    #[doc(hidden)]
+    pub fn fault_scribble_len(&self, k: usize, slot: usize, len: usize) {
+        self.check_index(k);
+        assert!(slot < self.n_slots, "slot out of range");
+        let cells = self.cells(k);
+        // SAFETY: same atomic view as the scrubber's read — size- and
+        // alignment-compatible, store-only.
+        unsafe { &*(cells.slot(slot).len.get() as *const AtomicUsize) }
+            .store(len, Ordering::Relaxed);
     }
 
     /// Live reader handles of register `k`.
@@ -881,10 +1209,14 @@ impl ArcGroup {
     ///
     /// Fails with [`HandleError::NeedsRecovery`] if a dead process left
     /// this register's writer lease or a reader pin behind — run
-    /// [`ArcGroup::recover`] first.
+    /// [`ArcGroup::recover`] first — and with [`HandleError::Quarantined`]
+    /// if the register's ledger was found scribbled (§3.10; permanent).
     pub fn writer(self: &Arc<Self>, k: usize) -> Result<GroupWriter, HandleError> {
         self.check_index(k);
         let cells = self.cells(k);
+        if cells.health_word().load(Ordering::Acquire) != HEALTH_OK {
+            return Err(HandleError::Quarantined);
+        }
         if recovery::register_needs_recovery(&cells, &mut pid_alive) {
             return Err(HandleError::NeedsRecovery);
         }
@@ -908,13 +1240,17 @@ impl ArcGroup {
     ///
     /// Fails (claiming nothing) with
     /// [`HandleError::WriterAlreadyClaimed`] if any register's writer is
-    /// already out, or [`HandleError::NeedsRecovery`] if any register was
-    /// damaged by a dead process (run [`ArcGroup::recover`] first).
+    /// already out, [`HandleError::NeedsRecovery`] if any register was
+    /// damaged by a dead process (run [`ArcGroup::recover`] first), or
+    /// [`HandleError::Quarantined`] if a scrub pass benched any register
+    /// (§3.10 — sticky for the life of the mapping).
     pub fn writer_set(self: &Arc<Self>) -> Result<GroupWriterSet, HandleError> {
         let mut mems = Vec::with_capacity(self.registers);
         for k in 0..self.registers {
             let cells = self.cells(k);
-            let claimed = if recovery::register_needs_recovery(&cells, &mut pid_alive) {
+            let claimed = if cells.health_word().load(Ordering::Acquire) != HEALTH_OK {
+                Err(HandleError::Quarantined)
+            } else if recovery::register_needs_recovery(&cells, &mut pid_alive) {
                 Err(HandleError::NeedsRecovery)
             } else {
                 writer_claim_on(&cells)
@@ -1026,6 +1362,12 @@ impl ArcGroup {
                     // run with NO_PIN and every stamp is skipped.
                     &[]
                 },
+                // Four words per register (EXT_BYTES / 8), always present
+                // on a layout-v2 slab.
+                ext: std::slice::from_raw_parts(
+                    slab.add(self.layout.ext_off).cast::<AtomicU64>().add(k * 4),
+                    4,
+                ),
             }
         }
     }
@@ -1049,8 +1391,11 @@ impl ArcGroup {
         // SAFETY: per the function contract the slot is stable; `len` was
         // written before the publication the caller's unit pins, and
         // deterministically selects the same placement the writer used.
+        // Clamping to capacity turns a scribbled length word (§3.10) into
+        // a short read instead of an out-of-bounds slice — free on the
+        // fast path, and the scrubber quarantines the register besides.
         unsafe {
-            let len = *cell.len.get();
+            let len = (*cell.len.get()).min(self.capacity);
             if self.stored_inline(len) {
                 let inline: &[u8; INLINE_CAP] = &*cell.inline.get();
                 &inline[..len]
@@ -1712,11 +2057,12 @@ mod tests {
     #[test]
     fn small_capacity_group_has_no_arena() {
         let g = ArcGroup::builder(100, 1, INLINE_CAP).build().unwrap();
-        // header + slots + version stamps: 64 + 3*(64 + 8) per register
-        // (no pin registry on a heap slab), plus the superblock and the
-        // struct amortized (≤ 8 B/register at K = 100).
+        // header + slots + version stamps + lease extension: 64 +
+        // 3*(64 + 8) + 32 per register (no pin registry on a heap slab),
+        // plus the superblock and the struct amortized (≤ 8 B/register at
+        // K = 100).
         let per_reg = g.heap_bytes() / 100;
-        assert!(per_reg <= 64 + 3 * (64 + 8) + 8, "per-register {per_reg} bytes too high");
+        assert!(per_reg <= 64 + 3 * (64 + 8) + 32 + 8, "per-register {per_reg} bytes too high");
     }
 
     #[test]
@@ -2149,6 +2495,129 @@ mod tests {
         assert!(!g.needs_recovery());
         assert_eq!(g.epoch(), 1);
         let _w = g.writer(0).expect("recovered register is claimable");
+    }
+
+    #[test]
+    fn forged_live_pid_with_stale_birth_token_counts_as_dead() {
+        // The §3.10 pid-reuse regression: a lease naming a pid that is
+        // *alive right now* but whose recorded birth token belongs to a
+        // different incarnation must be treated as a corpse — before
+        // lease v2 this deferred recovery forever.
+        let g = small(2);
+        let me = crate::shm::self_pid();
+        g.fault_forge_lease(0, me, u64::MAX); // live pid, impossible birth
+        assert!(g.needs_recovery(), "a recycled pid (birth mismatch) must read as a dead writer");
+        let report = g.recover();
+        assert_eq!(report.writers_recovered, 1);
+        assert!(!report.lost_arbitration);
+        assert!(!g.needs_recovery());
+
+        // Control: a forged lease with *our* true birth token is a live
+        // claimant — no recovery (pid-only semantics preserved).
+        g.fault_forge_lease(1, me, crate::shm::self_birth());
+        assert!(!g.needs_recovery(), "a matching birth token means the same incarnation");
+    }
+
+    #[test]
+    fn scrub_detects_scribbled_journal_and_len() {
+        let g = small(3);
+        let clean = g.scrub();
+        assert_eq!(clean.newly_quarantined, 0);
+        assert_eq!(clean.quarantined_total, 0);
+        assert!(clean.superblock_ok);
+        assert_eq!(clean.registers_scrubbed, 3);
+
+        // An impossible journal stage on register 0.
+        g.fault_scribble_journal(0, (7u64 << 32) | 1);
+        // A length above capacity on register 2.
+        g.fault_scribble_len(2, 1, 1 << 40);
+        let report = g.scrub();
+        assert_eq!(report.newly_quarantined, 2);
+        assert_eq!(report.quarantined_total, 2);
+        assert!(report.superblock_ok);
+        assert_eq!(
+            g.register_health(0),
+            RegisterHealth::Quarantined {
+                reason: QuarantineReason::BadJournal,
+                last_good_version: 0
+            }
+        );
+        assert!(matches!(
+            g.register_health(2),
+            RegisterHealth::Quarantined { reason: QuarantineReason::BadLength, .. }
+        ));
+        assert_eq!(g.register_health(1), RegisterHealth::Healthy);
+
+        // Quarantine is sticky and first-reason-wins; a second pass finds
+        // nothing new.
+        let again = g.scrub();
+        assert_eq!(again.newly_quarantined, 0);
+        assert_eq!(again.quarantined_total, 2);
+
+        // Quarantined registers refuse writers; healthy ones don't.
+        assert!(matches!(g.writer(0), Err(HandleError::Quarantined)));
+        assert!(matches!(g.writer_set(), Err(HandleError::Quarantined)));
+        let _w1 = g.writer(1).expect("healthy register stays claimable");
+        let health = g.health_report();
+        assert_eq!(health.registers, 3);
+        assert_eq!(health.quarantined.len(), 2);
+        assert!(!health.all_healthy());
+    }
+
+    #[test]
+    fn quarantined_register_reads_degrade_to_last_known_good() {
+        let g = small(2);
+        let mut w = g.writer(0).unwrap();
+        let mut r = g.reader(0).unwrap();
+        w.write(b"good-1");
+        w.write(b"good-2");
+        let snap = r.read();
+        assert_eq!(&*snap, b"good-2");
+        assert_eq!(snap.version(), 2);
+        drop(w);
+
+        // Scribble the synchronization word with an out-of-range index:
+        // the next slow-path read must detect it, quarantine the register,
+        // and serve the last successfully acquired slot instead of
+        // faulting.
+        g.fault_scribble_current(0, 999);
+        let snap = r.read();
+        assert_eq!(&*snap, b"good-2", "degraded read serves last-known-good bytes");
+        assert_eq!(snap.version(), 2, "staleness is bounded by the last good version");
+        assert!(matches!(
+            g.register_health(0),
+            RegisterHealth::Quarantined { reason: QuarantineReason::BadCurrent, .. }
+        ));
+        // Repeated reads stay serviceable (and memory-safe).
+        let snap = r.read();
+        assert_eq!(&*snap, b"good-2");
+
+        // The other register is untouched: no plane-wide poisoning.
+        assert_eq!(g.register_health(1), RegisterHealth::Healthy);
+        let mut w1 = g.writer(1).unwrap();
+        w1.write(b"neighbor");
+        let mut r1 = g.reader(1).unwrap();
+        assert_eq!(&*r1.read(), b"neighbor");
+    }
+
+    #[test]
+    fn writer_probe_reports_lease_and_heartbeat_motion() {
+        let g = small(2);
+        let p = g.writer_probe(0);
+        assert_eq!(p.lease, 0);
+        assert!(!p.mid_publication);
+        assert!(!p.lease_dead);
+
+        let mut w = g.writer(0).unwrap();
+        let p1 = g.writer_probe(0);
+        assert_eq!(p1.lease, crate::shm::self_pid());
+        assert!(!p1.lease_dead, "our own live lease");
+        w.write(b"tick");
+        let p2 = g.writer_probe(0);
+        assert!(p2.heartbeat > p1.heartbeat, "publication must move the heartbeat");
+        assert!(!p2.mid_publication, "journal is idle between publications");
+        drop(w);
+        assert_eq!(g.writer_probe(0).lease, 0, "release clears the lease");
     }
 
     #[test]

@@ -73,6 +73,11 @@
 //!   classify an interrupted publication from its journal, adopt or
 //!   discard the in-flight slot, and sweep dead readers' pins
 //!   ([`ArcGroup::recover`]).
+//! * [`supervise`] — the §3.10 self-healing layer: a stall watchdog
+//!   (lease + birth token + heartbeat ⇒ `Live`/`Stalled`/`Dead`),
+//!   arbitrated auto-recovery with backoff, and a runtime scrubber that
+//!   quarantines scribbled registers instead of poisoning the plane
+//!   ([`PlaneSupervisor`]).
 //! * [`crash`] — seeded abort points for the process-kill fault-injection
 //!   harness.
 //! * [`current`] — the packed synchronization word.
@@ -98,19 +103,24 @@ pub mod raw;
 pub mod recovery;
 pub mod register;
 pub mod shm;
+pub mod supervise;
 pub mod typed;
 pub mod watch;
 
 pub use crash::CrashPoint;
 pub use errors::HandleError;
 pub use family::{ArcFamily, GroupTableFamily, IndependentTableFamily};
-pub use group::{ArcGroup, GroupBuilder, GroupReader, GroupReaderSet, GroupWriter, GroupWriterSet};
+pub use group::{
+    ArcGroup, GroupBuilder, GroupReader, GroupReaderSet, GroupWriter, GroupWriterSet, HealthReport,
+    QuarantineReason, QuarantinedRegister, RegisterHealth, ScrubReport, WriterProbe,
+};
 pub use raw::{RawArc, RawOptions, ReadOutcome};
 pub use recovery::RecoveryReport;
 pub use register::{
     ArcBuilder, ArcReader, ArcRegister, ArcWriter, ReadGuard, Snapshot, INLINE_CAP,
 };
 pub use shm::{SlabBackend, SlabError};
+pub use supervise::{PlaneSupervisor, SupervisorConfig, SupervisorEvent, WriterHealth};
 pub use typed::{TypedArc, TypedReadGuard, TypedReader, TypedWriter, Versioned};
 #[cfg(feature = "async")]
 pub use watch::VersionStream;

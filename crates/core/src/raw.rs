@@ -74,6 +74,10 @@
 //! | `version` (event word) | watcher loads | `Acquire` | pairs with the bump; the watch layer's lost-wakeup fence discipline lives in `sync_primitives::WaitSet` (and is model-checked by `interleave::notify_model`) |
 //! | `wip` (journal stage) | writer stores | `Relaxed`/`Release` | the publication journal (DESIGN.md §3.9) is consumed only by *recovery*, after the writer is dead and the slab quiescent; the one load-bearing edge is `PUB_RAW` released **after** the `wip_old` capture, so a recovery that reads the stage also sees the captured word |
 //! | `wip_old` / `lease` | writer stores | `Relaxed` | same quiescent-consumer argument; the lease pid additionally gates new claims (checked before the claim CAS) |
+//! | `birth` (lease ext) | claim/release stores | `Relaxed` | same quiescent-consumer argument as `lease`: consumed by recovery and the watchdog probe, both off the hot paths |
+//! | `heartbeat` (lease ext) | writer bump (load + store) | `Relaxed` | single-writer-owned progress odometer; the stall watchdog only compares successive snapshots, no data is published through it |
+//! | `health` (lease ext) | quarantine `CAS` / recovery clear | `AcqRel` / `Release` | sticky first-reason-wins quarantine word; consumed by probes and the writer gate, never on the R2 fast path |
+//! | `last_good` (lease ext) | scrub store / probe load | `Release` / `Acquire` | staleness bookkeeping for quarantined registers; advisory only |
 //! | pin registry entry | join `CAS` / pin stores | `AcqRel` / `Release` | claims hand the entry between readers; pin stores are ordered **before** the unit release they describe, so a sweep can over-count (leak until next sweep) but never double-release |
 //!
 //! The version bump is the **watch edge**: one release store per write,
@@ -139,7 +143,7 @@ use sync_primitives::WaitSet;
 use crate::crash::{maybe_crash, CrashPoint};
 use crate::current::{counter_of, index_of, Current, MAX_READERS};
 use crate::errors::HandleError;
-use crate::shm::self_pid;
+use crate::shm::{self_birth, self_pid};
 
 /// Sentinel for "no hint posted".
 pub(crate) const NO_HINT: usize = usize::MAX;
@@ -201,6 +205,43 @@ pub(crate) fn wip_slot(w: u64) -> usize {
 // The one un-closable window is a reader dying between its R4 fetch_add
 // and the pin store — that unit is uncounted and leaks (documented in
 // DESIGN.md §3.9; bounded by one unit per crashed reader).
+
+// ---------------------------------------------------------------------
+// Register health (the lease-extension health word, §3.10)
+// ---------------------------------------------------------------------
+//
+// 0 = healthy. A non-zero value is a sticky quarantine reason, stored
+// with a 0→reason CAS so the *first* detected corruption wins. Nothing
+// clears it — a scribbled ledger cannot be attested sound again, so the
+// quarantine outlives even recovery (§3.10 accepted residue). Quarantine
+// is per register — the rest of the plane keeps running wait-free.
+
+/// Health word value: the register is healthy.
+pub(crate) const HEALTH_OK: u64 = 0;
+/// Quarantine reason: `current` (or the word W2 displaced from it) named
+/// an out-of-range slot index — the synchronization word was scribbled.
+pub(crate) const HEALTH_BAD_CURRENT: u64 = 1;
+/// Quarantine reason: the publication journal held an impossible stage
+/// or an out-of-range slot.
+pub(crate) const HEALTH_BAD_JOURNAL: u64 = 2;
+/// Quarantine reason: a packed slot recorded a payload length above the
+/// register's capacity.
+pub(crate) const HEALTH_BAD_LEN: u64 = 3;
+
+/// Quarantine a register: store `reason` into its health word iff it is
+/// still healthy (first reason wins; sticky — nothing clears it). The
+/// winner also stamps the published version at quarantine time into the
+/// last-good word, so health reports can bound the staleness of degraded
+/// reads.
+#[inline]
+pub(crate) fn quarantine_on<C: ArcCells>(c: &C, reason: u64) {
+    if c.health_word()
+        .compare_exchange(HEALTH_OK, reason, Ordering::AcqRel, Ordering::Relaxed)
+        .is_ok()
+    {
+        c.last_good_word().store(c.version_word().load(Ordering::Acquire), Ordering::Release);
+    }
+}
 
 /// Pin-registry index meaning "this layout has no registry" (single-
 /// register layout, or registry exhausted — handle works, unsweepable).
@@ -329,6 +370,21 @@ pub(crate) trait ArcCells {
     fn wip_old_word(&self) -> &AtomicU64;
     /// Writer-lease word: pid of the claiming process (0 = unclaimed).
     fn lease_word(&self) -> &AtomicU64;
+    /// Lease v2 birth token: the claimant's process start time (0 =
+    /// unknown / off-Linux). Paired with `lease_word` so a recycled pid
+    /// cannot masquerade as the live lease holder.
+    fn birth_word(&self) -> &AtomicU64;
+    /// Writer progress odometer: bumped at W1 and again at publication
+    /// completion. The stall watchdog compares successive snapshots — a
+    /// mid-publication journal whose heartbeat stops moving is a stalled
+    /// (not dead) writer.
+    fn heartbeat_word(&self) -> &AtomicU64;
+    /// Register health word: [`HEALTH_OK`] or a sticky `HEALTH_*`
+    /// quarantine reason (never cleared — §3.10 accepted residue).
+    fn health_word(&self) -> &AtomicU64;
+    /// Version of the last publication known good before quarantine
+    /// (stamped when the register is quarantined, for staleness reports).
+    fn last_good_word(&self) -> &AtomicU64;
     /// Number of reader pin-registry entries (0 = no registry: single-
     /// register layout; reader death then leaks at most one unit).
     fn pin_entries(&self) -> u32 {
@@ -408,7 +464,7 @@ pub(crate) fn reader_join_on<C: ArcCells>(c: &C) -> Result<RawReader, HandleErro
             break;
         }
     }
-    Ok(RawReader { last_index: None, last_version: 0, pin_idx, owner })
+    Ok(RawReader { last_index: None, last_version: 0, last_good: 0, pin_idx, owner })
 }
 
 /// Perform the coordination part of a read (Algorithm 2), returning the
@@ -450,11 +506,24 @@ pub(crate) fn read_acquire_on<C: ArcCells>(c: &C, rd: &mut RawReader) -> ReadOut
     let raw = c.current_word().fetch_add(1, Ordering::SeqCst);
     bump!(c, read_rmws, 1);
     let index = index_of(raw);
+    if index as usize >= c.n_slots() {
+        // `current` no longer names a real slot: the word was scribbled
+        // (it is never legally stored with an out-of-range index).
+        // Quarantine the register — sticky, first reason wins — and
+        // degrade this read to the handle's last good slot (stale but
+        // memory-safe) instead of faulting the whole plane. The unit the
+        // fetch_add registered lives in the scribbled word and is
+        // unrecoverable; acceptable on a quarantined register.
+        quarantine_on(c, HEALTH_BAD_CURRENT);
+        rd.last_index = None;
+        return ReadOutcome { slot: rd.last_good as usize, fast: false, version: rd.last_version };
+    }
     debug_assert!(
         counter_of(raw) < u32::MAX,
         "presence counter about to carry into the index field"
     );
     rd.last_index = Some(index);
+    rd.last_good = index;
     // Record the new pin. A crash between the fetch_add above and this
     // store leaks one uncounted unit — the documented un-closable window.
     pin_record(c, rd, Some(index as usize));
@@ -571,7 +640,10 @@ pub(crate) fn writer_claim_on<C: ArcCells>(c: &C) -> Result<usize, HandleError> 
     // Lease the register to this process so recovery can tell a crashed
     // claimant from a live one. Relaxed: consumed either by the pre-claim
     // dead-lease gate (advisory — the swap above is the real lock) or by
-    // quiescent recovery.
+    // quiescent recovery. The birth token lands first so a probe that
+    // sees our pid sees our incarnation too (a pid with birth 0 is
+    // treated as "no birth evidence", i.e. v1 pid-only semantics).
+    c.birth_word().store(self_birth(), Ordering::Relaxed);
     c.lease_word().store(self_pid(), Ordering::Relaxed);
     // Invariant: last_slot always equals current.index between writes,
     // so a re-claimed writer reconstructs it from `current`.
@@ -586,9 +658,19 @@ pub(crate) fn writer_release_on<C: ArcCells>(c: &C) {
     c.wip_word().store(STAGE_IDLE, Ordering::Relaxed);
     c.wip_old_word().store(0, Ordering::Relaxed);
     c.lease_word().store(0, Ordering::Relaxed);
+    c.birth_word().store(0, Ordering::Relaxed);
     // Release: other half of the writer_claim_on handoff (also orders the
     // journal clears above before the next claimant's reads).
     c.writer_claimed_word().store(false, Ordering::Release);
+}
+
+/// Bump the writer progress odometer. Single-writer-owned, so a Relaxed
+/// load + store bump avoids paying an RMW on the write path; the stall
+/// watchdog only compares successive snapshots for movement.
+#[inline]
+pub(crate) fn heartbeat_tick_on<C: ArcCells>(c: &C) {
+    let hb = c.heartbeat_word().load(Ordering::Relaxed);
+    c.heartbeat_word().store(hb.wrapping_add(1), Ordering::Relaxed);
 }
 
 /// W1: select a free slot different from the last written one.
@@ -602,6 +684,10 @@ pub(crate) fn writer_release_on<C: ArcCells>(c: &C) {
 /// scan retries with backoff, which is where wait-freedom is lost.
 pub(crate) fn select_slot_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W) -> usize {
     bump!(c, writes, 1);
+    // The watchdog's stall classifier keys on "journal mid-publication,
+    // heartbeat not moving": tick once as the operation starts so a
+    // writer that wedges *while filling* reads as stalled, not idle.
+    heartbeat_tick_on(c);
 
     if c.opts().hint {
         // Drain the shared hint word into the local FIFO (the one RMW
@@ -713,18 +799,25 @@ pub(crate) fn publish_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: 
     c.wip_word().store(wip_pack(STAGE_PUB_RAW, slot), Ordering::Release);
     maybe_crash(CrashPoint::PostW2);
     // W3: freeze the superseded slot's presence count. Release pairs
-    // with the Acquire load in readers' hint check.
+    // with the Acquire load in readers' hint check. The displaced word
+    // is validated first: `current` can only legally hold an in-range
+    // index, so an out-of-range `old_slot` proves a scribble — freeze
+    // nothing (the store would be out of bounds) and quarantine instead.
     let old_slot = index_of(old) as usize;
     let old_count = counter_of(old);
-    c.r_start(old_slot).store(old_count, Ordering::Release);
-    // Lazy reclamation: if the frozen count is already matched by
-    // releases (or zero — the "never read" generation, which no reader
-    // will ever post as a hint), the old slot is free *now*. Queue it
-    // in the writer-local FIFO — zero shared-memory traffic, and the
-    // next W1 is served in O(1). The Acquire on r_end orders the
-    // releasing readers' payload loads before our next stores there.
-    if c.opts().hint && old_count == c.r_end(old_slot).load(Ordering::Acquire) {
-        wr.push_candidate(old_slot as u32, false);
+    if old_slot < c.n_slots() {
+        c.r_start(old_slot).store(old_count, Ordering::Release);
+        // Lazy reclamation: if the frozen count is already matched by
+        // releases (or zero — the "never read" generation, which no reader
+        // will ever post as a hint), the old slot is free *now*. Queue it
+        // in the writer-local FIFO — zero shared-memory traffic, and the
+        // next W1 is served in O(1). The Acquire on r_end orders the
+        // releasing readers' payload loads before our next stores there.
+        if c.opts().hint && old_count == c.r_end(old_slot).load(Ordering::Acquire) {
+            wr.push_candidate(old_slot as u32, false);
+        }
+    } else {
+        quarantine_on(c, HEALTH_BAD_CURRENT);
     }
     wr.set_last_slot(slot);
     // The watch edge: bump the event word strictly AFTER W2, so any
@@ -741,6 +834,10 @@ pub(crate) fn publish_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: 
     // clean register, which it is.
     c.wip_word().store(STAGE_IDLE, Ordering::Relaxed);
     c.wip_old_word().store(0, Ordering::Relaxed);
+    // Second watchdog tick: the publication finished — a writer that
+    // keeps completing operations never trips the stall threshold, no
+    // matter how slowly it fills.
+    heartbeat_tick_on(c);
     c.watch().notify_all();
 }
 
@@ -911,6 +1008,22 @@ impl ArcCells for RawArc {
         &self.journal.lease
     }
     #[inline]
+    fn birth_word(&self) -> &AtomicU64 {
+        &self.journal.birth
+    }
+    #[inline]
+    fn heartbeat_word(&self) -> &AtomicU64 {
+        &self.journal.heartbeat
+    }
+    #[inline]
+    fn health_word(&self) -> &AtomicU64 {
+        &self.journal.health
+    }
+    #[inline]
+    fn last_good_word(&self) -> &AtomicU64 {
+        &self.journal.last_good
+    }
+    #[inline]
     fn max_readers(&self) -> u32 {
         self.max_readers
     }
@@ -925,8 +1038,9 @@ impl ArcCells for RawArc {
     }
 }
 
-/// The per-register publication journal + writer lease (§3.9) — the
-/// words crash recovery reads to classify a dead writer's progress.
+/// The per-register publication journal + writer lease (§3.9, lease v2
+/// words per §3.10) — what crash recovery and the watchdog probe read to
+/// classify a writer's progress. Seven words: still one padded line.
 #[derive(Debug)]
 struct Journal {
     /// `(STAGE_* << 32) | slot`.
@@ -935,11 +1049,27 @@ struct Journal {
     wip_old: AtomicU64,
     /// Pid of the process holding the writer claim (0 = none).
     lease: AtomicU64,
+    /// Birth token of the lease holder (0 = unknown).
+    birth: AtomicU64,
+    /// Writer progress odometer (stall watchdog).
+    heartbeat: AtomicU64,
+    /// Register health: `HEALTH_OK` or a sticky quarantine reason.
+    health: AtomicU64,
+    /// Last-known-good version at quarantine time.
+    last_good: AtomicU64,
 }
 
 impl Journal {
     fn new() -> Self {
-        Self { wip: AtomicU64::new(0), wip_old: AtomicU64::new(0), lease: AtomicU64::new(0) }
+        Self {
+            wip: AtomicU64::new(0),
+            wip_old: AtomicU64::new(0),
+            lease: AtomicU64::new(0),
+            birth: AtomicU64::new(0),
+            heartbeat: AtomicU64::new(0),
+            health: AtomicU64::new(0),
+            last_good: AtomicU64::new(0),
+        }
     }
 }
 
@@ -952,6 +1082,10 @@ pub struct RawReader {
     /// Version of the publication this handle pins — cached so the R2
     /// fast path reports a version without touching the slot line.
     last_version: u64,
+    /// Slot of this handle's last successful acquire: the degraded-read
+    /// target if the register is quarantined (slot 0 — the initial
+    /// value — before the first read).
+    last_good: u32,
     /// Pin-registry entry owned by this handle (NO_PIN = layout has no
     /// registry; the handle works but a crash of its process leaks its
     /// unit until the slot is never reusable — single-register layouts

@@ -39,17 +39,23 @@
 //!   on one slot (that slot is never reused; everything else proceeds).
 //!   Closing the gap would put an RMW on the read fast path — the wrong
 //!   trade for a crash window of two instructions.
-//! * **Pid reuse.** Liveness is `kill(pid, 0)`; a recycled pid makes a
-//!   corpse look alive (delaying recovery), never the reverse race that
-//!   would corrupt state — unknown counts as alive.
+//! * **Pid reuse** (closed for writer leases in §3.10). Liveness is
+//!   `kill(pid, 0)`; for *reader pins* a recycled pid still makes a
+//!   corpse look alive (delaying the sweep), never the reverse race that
+//!   would corrupt state — unknown counts as alive. Writer leases carry
+//!   a birth token (the claimant's `/proc` start time): a live pid whose
+//!   incarnation no longer matches the recorded token is a corpse wearing
+//!   a recycled pid and counts as **dead**, so recovery is no longer
+//!   deferred indefinitely by reuse.
 
 use std::sync::atomic::Ordering;
 
 use crate::current::{counter_of, index_of};
 use crate::raw::{
-    pin_owner, pin_pinned_slot, release_unit_on, wip_slot, wip_stage, ArcCells, STAGE_FILLING,
-    STAGE_IDLE, STAGE_PUB_PREV, STAGE_PUB_RAW,
+    pin_owner, pin_pinned_slot, quarantine_on, release_unit_on, wip_slot, wip_stage, ArcCells,
+    HEALTH_BAD_JOURNAL, STAGE_FILLING, STAGE_IDLE, STAGE_PUB_PREV, STAGE_PUB_RAW,
 };
+use crate::shm::process_birth;
 
 /// What a [`recover`](crate::ArcGroup::recover) pass found and repaired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,6 +73,11 @@ pub struct RecoveryReport {
     pub pins_swept: usize,
     /// Orphaned presence units released while sweeping those pins.
     pub units_released: usize,
+    /// Whether this pass lost the cross-process recovery arbitration
+    /// (§3.10): another attacher held the superblock recovery token, so
+    /// this pass repaired nothing itself and instead waited for the
+    /// winner to finish. All repair counters are zero when set.
+    pub lost_arbitration: bool,
 }
 
 impl RecoveryReport {
@@ -76,6 +87,30 @@ impl RecoveryReport {
     }
 }
 
+/// Whether the writer lease of this register belongs to a corpse: the
+/// pid is dead, or the pid is alive but the recorded birth token names a
+/// *different incarnation* (pid reuse — lease v2, §3.10). Either side of
+/// the birth comparison reading 0 means "no evidence" and falls back to
+/// pid-only semantics, so the check can delay but never falsify.
+pub(crate) fn lease_dead<C: ArcCells>(
+    c: &C,
+    lease: u64,
+    alive: &mut impl FnMut(u64) -> bool,
+) -> bool {
+    if lease == 0 {
+        return false;
+    }
+    if !alive(lease) {
+        return true;
+    }
+    let recorded = c.birth_word().load(Ordering::Acquire);
+    if recorded == 0 {
+        return false;
+    }
+    let actual = process_birth(lease);
+    actual != 0 && actual != recorded
+}
+
 /// Whether this register holds state only recovery may clear: a writer
 /// lease or a pin-registry entry owned by a process `alive` reports dead.
 pub(crate) fn register_needs_recovery<C: ArcCells>(
@@ -83,7 +118,7 @@ pub(crate) fn register_needs_recovery<C: ArcCells>(
     alive: &mut impl FnMut(u64) -> bool,
 ) -> bool {
     let lease = c.lease_word().load(Ordering::Acquire);
-    if lease != 0 && !alive(lease) {
+    if lease_dead(c, lease, alive) {
         return true;
     }
     for i in 0..c.pin_entries() {
@@ -111,7 +146,7 @@ pub(crate) fn recover_register<C: ArcCells>(
     report: &mut RecoveryReport,
 ) {
     let lease = c.lease_word().load(Ordering::Acquire);
-    if lease != 0 && !alive(lease) {
+    if lease_dead(c, lease, alive) {
         recover_dead_writer(c, report);
     }
     // Sweep AFTER any at-W2 census: the census counts every registry pin
@@ -180,16 +215,24 @@ fn recover_dead_writer<C: ArcCells>(c: &C, report: &mut RecoveryReport) {
             roll_forward_version(c, slot);
         }
         // STAGE_IDLE: died between operations — only the claim to clear.
-        // Out-of-range slots (a scribbled journal) fall through to the
-        // same clean clear: adopting garbage would be worse than a
-        // discarded publication.
-        _ => {}
+        // Out-of-range slots and impossible stages (a scribbled journal)
+        // fall through to the same clean clear — adopting garbage would
+        // be worse than a discarded publication — but additionally
+        // quarantine the register: something wrote through its header,
+        // so its other words cannot be trusted either.
+        _ => {
+            if wip_stage(w) > STAGE_PUB_RAW || (wip_stage(w) != STAGE_IDLE && slot >= c.n_slots()) {
+                quarantine_on(c, HEALTH_BAD_JOURNAL);
+            }
+        }
     }
-    // Retire the journal, the lease, and the claim, in that order; the
-    // Release on the claim publishes the repairs to the next claimant.
+    // Retire the journal, the lease (both words), and the claim, in that
+    // order; the Release on the claim publishes the repairs to the next
+    // claimant.
     c.wip_word().store(STAGE_IDLE, Ordering::Relaxed);
     c.wip_old_word().store(0, Ordering::Relaxed);
     c.lease_word().store(0, Ordering::Relaxed);
+    c.birth_word().store(0, Ordering::Relaxed);
     c.writer_claimed_word().store(false, Ordering::Release);
 }
 

@@ -8,11 +8,13 @@
 //!
 //! ```text
 //! offset 0    superblock   128 B   magic, layout version, geometry,
-//!                                  checksum, recovery epoch
+//!                                  checksum, recovery epoch + claim
 //!      128    headers      K × 64 B        one line per register
 //!         …   packed slots K × n_slots × 64 B
 //!         …   slot versions K × n_slots × 8 B
 //!         …   pin registry K × max_readers × 8 B   (reader-death sweep)
+//!         …   lease ext    K × 32 B   (birth token, heartbeat, health,
+//!                                      last-good version — §3.10)
 //!         …   arena        K × n_slots × capacity  (only when needed)
 //! ```
 //!
@@ -55,7 +57,12 @@ pub const SLAB_MAGIC: u64 = u64::from_le_bytes(*b"ARCSLAB1");
 
 /// The slab layout generation this build reads and writes. Bumped whenever
 /// the byte layout of any region changes incompatibly.
-pub const SLAB_LAYOUT_VERSION: u32 = 1;
+///
+/// * v1 — PR 6: superblock + headers + slots + versions + pin registry.
+/// * v2 — PR 7: per-register lease-extension region (birth token,
+///   heartbeat, health word, last-good version) and the superblock
+///   recovery-claim word.
+pub const SLAB_LAYOUT_VERSION: u32 = 2;
 
 /// Reserved bytes at offset 0 for the superblock (128 = two cache
 /// lines; the second line is the mutable epoch + reserve, so epoch bumps
@@ -139,6 +146,10 @@ pub(crate) struct SlabLayout {
     pub ver_off: usize,
     /// Start of the `[AtomicU64; K * max_readers]` pin-registry region.
     pub pin_off: usize,
+    /// Start of the `[LeaseExt; K]` lease-extension region (§3.10): four
+    /// words per register — writer birth token, heartbeat, health,
+    /// last-good version.
+    pub ext_off: usize,
     /// Start of the arena region (equals `total` when there is no arena).
     pub arena_off: usize,
     /// Arena length in bytes (0 for all-inline slabs).
@@ -151,6 +162,9 @@ pub(crate) struct SlabLayout {
 /// struct sizes in `crate::group`).
 pub(crate) const HDR_BYTES: usize = 64;
 pub(crate) const SLOT_BYTES: usize = 64;
+/// Bytes per register in the lease-extension region: birth token,
+/// heartbeat, health word, last-good version — four `u64` words.
+pub(crate) const EXT_BYTES: usize = 32;
 
 const OVERFLOW: SlabError = SlabError::BadGeometry { reason: "slab size overflows usize" };
 
@@ -205,14 +219,30 @@ impl SlabLayout {
         } else {
             pin_off
         };
-        let arena_off = align_up_64(pin_end)?;
+        let ext_off = pin_end;
+        let ext_end = geometry
+            .registers
+            .checked_mul(EXT_BYTES)
+            .and_then(|b| b.checked_add(ext_off))
+            .ok_or(OVERFLOW)?;
+        let arena_off = align_up_64(ext_end)?;
         let arena_len = if geometry.needs_arena() {
             total_slots.checked_mul(geometry.capacity).ok_or(OVERFLOW)?
         } else {
             0
         };
         let total = arena_off.checked_add(arena_len).ok_or(OVERFLOW)?;
-        Ok(Self { geometry, hdr_off, slot_off, ver_off, pin_off, arena_off, arena_len, total })
+        Ok(Self {
+            geometry,
+            hdr_off,
+            slot_off,
+            ver_off,
+            pin_off,
+            ext_off,
+            arena_off,
+            arena_len,
+            total,
+        })
     }
 }
 
@@ -245,8 +275,12 @@ pub(crate) struct Superblock {
     /// Writer-liveness epoch: bumped once per completed recovery, so
     /// attachers can tell "this plane has been repaired `epoch` times".
     epoch: AtomicU64,
+    /// Cross-process recovery arbitration token (§3.10): the pid of the
+    /// mapping currently running `recover()`, 0 when free. CAS-claimed so
+    /// exactly one attacher repairs; a claim held by a dead pid is stolen.
+    recovery_claim: AtomicU64,
     /// Reserve for future layout generations (second cache line).
-    _reserved: [u64; 8],
+    _reserved: [u64; 7],
 }
 
 const _: () = assert!(std::mem::size_of::<Superblock>() == SUPERBLOCK_LEN);
@@ -290,6 +324,7 @@ impl Superblock {
         self.max_readers.store(g.max_readers as u64, Ordering::Relaxed);
         self.checksum.store(Self::expected_checksum(SLAB_MAGIC, vf, g), Ordering::Relaxed);
         self.epoch.store(0, Ordering::Relaxed);
+        self.recovery_claim.store(0, Ordering::Relaxed);
         self.magic.store(SLAB_MAGIC, Ordering::Release);
     }
 
@@ -348,6 +383,36 @@ impl Superblock {
     /// Bump the recovery epoch (one completed recovery).
     pub fn bump_epoch(&self) -> u64 {
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Try to claim the cross-process recovery token for `pid`. Succeeds
+    /// when the token is free, already ours, or held by a pid that
+    /// `alive` reports dead (a claimant that crashed mid-repair must not
+    /// wedge the plane forever — its journal-driven repair is idempotent,
+    /// so the stealer simply redoes it).
+    pub fn try_claim_recovery(&self, pid: u64, alive: impl Fn(u64) -> bool) -> bool {
+        match self.recovery_claim.compare_exchange(0, pid, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => true,
+            Err(holder) => {
+                holder == pid
+                    || (!alive(holder)
+                        && self
+                            .recovery_claim
+                            .compare_exchange(holder, pid, Ordering::AcqRel, Ordering::Relaxed)
+                            .is_ok())
+            }
+        }
+    }
+
+    /// Release the recovery token if `pid` holds it (a stale release by a
+    /// claimant that already lost the token to a stealer is a no-op).
+    pub fn release_recovery(&self, pid: u64) {
+        let _ = self.recovery_claim.compare_exchange(pid, 0, Ordering::Release, Ordering::Relaxed);
+    }
+
+    /// The pid currently holding the recovery token (0 = free).
+    pub fn recovery_claimant(&self) -> u64 {
+        self.recovery_claim.load(Ordering::Acquire)
     }
 }
 
@@ -560,6 +625,39 @@ pub(crate) fn self_pid() -> u64 {
     std::process::id() as u64
 }
 
+/// The birth token of `pid`: its start time in clock ticks since boot,
+/// field 22 of `/proc/<pid>/stat`. Pid × birth uniquely names a process
+/// *incarnation*, closing the pid-reuse hole in lease-death probes: a
+/// recycled pid is alive but carries a different birth, so a lease
+/// stamped by the corpse no longer masquerades as live.
+///
+/// Returns 0 ("unknown") off-Linux or when `/proc` cannot be read — the
+/// caller must treat 0 as "no birth evidence", never as a mismatch.
+pub(crate) fn process_birth(pid: u64) -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            return 0;
+        };
+        // The comm field may itself contain spaces and parentheses; every
+        // field after it is numeric, so parse from the *last* ')'.
+        let Some(rest) = stat.rfind(')').map(|i| &stat[i + 1..]) else { return 0 };
+        // `rest` starts at field 3 (state); starttime is field 22.
+        rest.split_ascii_whitespace().nth(19).and_then(|t| t.parse::<u64>().ok()).unwrap_or(0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        0
+    }
+}
+
+/// This process's own birth token (0 where `/proc` is unavailable).
+#[inline]
+pub(crate) fn self_birth() -> u64 {
+    process_birth(self_pid())
+}
+
 // ---------------------------------------------------------------------
 // FFI (no libc crate: the toolchain links libc anyway; declare what we use)
 // ---------------------------------------------------------------------
@@ -615,12 +713,13 @@ mod tests {
         let l = SlabLayout::compute(geom()).unwrap();
         assert_eq!(l.hdr_off, SUPERBLOCK_LEN);
         assert!(l.hdr_off < l.slot_off && l.slot_off < l.ver_off && l.ver_off < l.pin_off);
-        assert!(l.pin_off <= l.arena_off && l.arena_off <= l.total);
+        assert!(l.pin_off <= l.ext_off && l.ext_off < l.arena_off && l.arena_off <= l.total);
         for off in [l.hdr_off, l.slot_off, l.arena_off] {
             assert_eq!(off % 64, 0, "region at {off} not 64-byte aligned");
         }
         assert_eq!(l.ver_off % 8, 0);
         assert_eq!(l.pin_off % 8, 0);
+        assert_eq!(l.ext_off % 8, 0);
         // Inline geometry at capacity <= INLINE_CAP: no arena.
         assert_eq!(l.arena_len, 0);
         assert_eq!(l.total, l.arena_off);
@@ -628,17 +727,32 @@ mod tests {
 
     #[test]
     fn pin_registry_region_is_sized_only_when_flagged() {
-        // geom() carries no FLAG_PINS: the region is empty.
-        let bare = SlabLayout::compute(geom()).unwrap();
-        assert_eq!(bare.arena_off, align_up_64(bare.pin_off).unwrap());
-        // Flagged: K * max_readers entries of 8 bytes.
+        // geom() carries no FLAG_PINS: the region is empty and the lease
+        // extension begins right at pin_off.
+        let g = geom();
+        let bare = SlabLayout::compute(g).unwrap();
+        assert_eq!(bare.ext_off, bare.pin_off);
+        assert_eq!(bare.arena_off, align_up_64(bare.ext_off + g.registers * EXT_BYTES).unwrap());
+        // Flagged: K * max_readers entries of 8 bytes ahead of the lease
+        // extension.
         let flagged =
             SlabLayout::compute(SlabGeometry { flags: geom().flags | FLAG_PINS, ..geom() })
                 .unwrap();
-        let g = geom();
         let pin_bytes = g.registers * g.max_readers as usize * 8;
-        assert_eq!(flagged.arena_off, align_up_64(flagged.pin_off + pin_bytes).unwrap());
+        assert_eq!(flagged.ext_off, flagged.pin_off + pin_bytes);
+        assert_eq!(
+            flagged.arena_off,
+            align_up_64(flagged.ext_off + g.registers * EXT_BYTES).unwrap()
+        );
         assert_eq!(flagged.total, bare.total + (flagged.arena_off - bare.arena_off));
+    }
+
+    #[test]
+    fn lease_extension_region_is_always_present() {
+        // Every layout generation-2 slab carries the extension: the stall
+        // watchdog and quarantine words must exist even on heap planes.
+        let l = SlabLayout::compute(geom()).unwrap();
+        assert!(l.arena_off - l.ext_off >= geom().registers * EXT_BYTES);
     }
 
     #[test]
@@ -717,6 +831,39 @@ mod tests {
     fn self_is_alive_and_pid_zero_is_not() {
         assert!(pid_alive(self_pid()));
         assert!(!pid_alive(0));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn birth_token_is_stable_and_nonzero_for_self() {
+        let b = self_birth();
+        assert_ne!(b, 0, "own /proc stat must parse");
+        assert_eq!(b, process_birth(self_pid()), "birth token must be stable");
+        // A pid that cannot exist has no birth evidence.
+        assert_eq!(process_birth(u64::MAX), 0);
+    }
+
+    #[test]
+    fn recovery_token_claims_releases_and_steals_from_the_dead() {
+        let l = SlabLayout::compute(geom()).unwrap();
+        let slab = Slab::heap(l.total).unwrap();
+        slab.superblock().initialize(&l);
+        let sb = slab.superblock();
+        assert_eq!(sb.recovery_claimant(), 0);
+        // First claim wins; re-claim by the same pid is idempotent.
+        assert!(sb.try_claim_recovery(100, |_| true));
+        assert!(sb.try_claim_recovery(100, |_| true));
+        // A live holder blocks others.
+        assert!(!sb.try_claim_recovery(200, |_| true));
+        assert_eq!(sb.recovery_claimant(), 100);
+        // A dead holder is stolen from.
+        assert!(sb.try_claim_recovery(200, |pid| pid != 100));
+        assert_eq!(sb.recovery_claimant(), 200);
+        // Stale release by the former holder is a no-op.
+        sb.release_recovery(100);
+        assert_eq!(sb.recovery_claimant(), 200);
+        sb.release_recovery(200);
+        assert_eq!(sb.recovery_claimant(), 0);
     }
 
     #[cfg(target_os = "linux")]

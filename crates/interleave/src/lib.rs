@@ -48,6 +48,6 @@ pub use mn_model::{MnDefect, MnModel};
 pub use mn_slab_model::{MnSlabConfig, MnSlabDefect, MnSlabModel};
 pub use notify_model::{NotifyDefect, NotifyModel};
 pub use peterson_model::PetersonModel;
-pub use recovery_model::{RecoveryDefect, RecoveryModel, RecoveryModelConfig};
+pub use recovery_model::{FaultKind, RecoveryDefect, RecoveryModel, RecoveryModelConfig};
 pub use rf_model::RfModel;
 pub use spec::{ModelConfig, ObsChecker};

@@ -35,14 +35,36 @@
 //! *without* replaying the freeze. Both leave the displaced slot's ledger
 //! reading "free" under a standing pin, so a resurrected writer recycles
 //! a pinned slot; the explorer catches each (see the tests).
+//!
+//! §3.10 extends the fault menu beyond death. [`FaultKind`] picks what
+//! the daemon injects:
+//!
+//! * [`FaultKind::Stall`] — the writer is *suspended* (memory intact,
+//!   resumable) at an arbitrary boundary and later resumed; the explorer
+//!   thereby enumerates the **moment of stall** the way it enumerates the
+//!   moment of death, and checks that readers never notice (wait-freedom)
+//!   and that nothing mistakes the stall for damage.
+//! * [`FaultKind::KillRecyclePid`] — the writer dies *and its pid is
+//!   immediately recycled* by an unrelated live process. Faithful
+//!   recovery still fires (the birth token unmasks the recycled pid);
+//!   the [`RecoveryDefect::SkipBirthCheck`] watchdog never does — the
+//!   dead lease looks alive forever and the plane wedges, which the model
+//!   reports as writer starvation.
+//!
+//! [`RecoveryDefect::HeartbeatFalsePositive`] seeds the complementary
+//! watchdog bug: a *stalled* (alive) writer is judged dead and recovery
+//! runs against it. When the suspended incarnation resumes, it finishes
+//! its interrupted publication with stale state against a repaired plane
+//! — two writers on one register — and the explorer catches the wreck
+//! (exclusion, torn or inverted reads).
 
 use crate::explorer::Model;
 use crate::spec::{ObsChecker, ReadObs};
 
-/// Which recovery variant to model.
+/// Which recovery/watchdog variant to model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RecoveryDefect {
-    /// Faithful §3.9 recovery.
+    /// Faithful §3.9 recovery + §3.10 watchdog.
     None,
     /// At-W2: adopt the published slot but skip the census that rebuilds
     /// the previous slot's freeze (incorrect; must be caught).
@@ -50,6 +72,28 @@ pub enum RecoveryDefect {
     /// Post-W2: clear the journal without replaying the W3 freeze from
     /// the captured displaced word (incorrect; must be caught).
     SkipFreezeReplay,
+    /// §3.10 watchdog that trusts pid liveness alone, skipping the birth
+    /// token: a dead writer whose pid was recycled passes for alive and
+    /// recovery never fires (incorrect; must be caught as starvation).
+    SkipBirthCheck,
+    /// §3.10 watchdog that escalates a stalled-but-alive writer to dead
+    /// (a heartbeat false positive): recovery runs against a live writer
+    /// that later resumes (incorrect; must be caught).
+    HeartbeatFalsePositive,
+}
+
+/// What the fault daemon (thread 1) injects into the writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Kill the writer outright (§3.9: journal, lease and half-done
+    /// stores stay exactly as they are).
+    Kill,
+    /// Kill the writer, with its pid instantly recycled by an unrelated
+    /// live process — the hole the §3.10 birth token closes.
+    KillRecyclePid,
+    /// Suspend the writer (memory intact), resume it later — the paper's
+    /// preempted-lock-holder regime, §3.10's stall.
+    Stall,
 }
 
 /// Model configuration.
@@ -57,18 +101,25 @@ pub enum RecoveryDefect {
 pub struct RecoveryModelConfig {
     /// Number of reader threads.
     pub readers: usize,
-    /// Writes the doomed writer attempts before/at the crash.
+    /// Writes the doomed writer attempts before/at the fault.
     pub pre_writes: u8,
     /// Writes the resurrected writer performs after recovery.
     pub post_writes: u8,
     /// Reads each reader performs (spread freely across the whole run).
     pub reads_each: u8,
+    /// What the fault daemon injects.
+    pub fault: FaultKind,
 }
 
 impl RecoveryModelConfig {
     /// A small default that exhausts quickly.
     pub const fn small() -> Self {
-        Self { readers: 1, pre_writes: 1, post_writes: 2, reads_each: 2 }
+        Self { readers: 1, pre_writes: 1, post_writes: 2, reads_each: 2, fault: FaultKind::Kill }
+    }
+
+    /// [`RecoveryModelConfig::small`] with a different fault kind.
+    pub const fn small_with(fault: FaultKind) -> Self {
+        Self { fault, ..Self::small() }
     }
 }
 
@@ -202,13 +253,34 @@ pub struct RecoveryModel {
     next_seq: u8,
     last_slot: u8,
     writer_dead: bool,
-    // crash daemon
+    // fault daemon
     crashed: bool,
+    /// `KillRecyclePid`: the corpse's pid is worn by a live process.
+    pid_recycled: bool,
+    /// `Stall`: the daemon has fired its suspend step.
+    stall_fired: bool,
+    /// `Stall`: the writer is currently suspended.
+    stalled: bool,
+    /// The suspended incarnation displaced by a false-positive recovery:
+    /// it resumes (driven by the daemon) and finishes its interrupted
+    /// publication with stale state. Only a defective watchdog creates
+    /// one.
+    zombie: Option<ZombieM>,
     // recovery
     rec_pc: RecPc,
     recovered: bool,
     // readers
     readers: Vec<ReaderM>,
+}
+
+/// The displaced writer incarnation a heartbeat false positive leaves
+/// behind: its program counter and the per-incarnation registers it was
+/// running with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ZombieM {
+    pc: WPc,
+    seq: u8,
+    last_slot: u8,
 }
 
 impl RecoveryModel {
@@ -234,6 +306,10 @@ impl RecoveryModel {
             last_slot: 0,
             writer_dead: false,
             crashed: false,
+            pid_recycled: false,
+            stall_fired: false,
+            stalled: false,
+            zombie: None,
             rec_pc: RecPc::NotStarted,
             recovered: false,
             readers: vec![
@@ -386,6 +462,19 @@ impl RecoveryModel {
                 self.j_stage = J_IDLE;
                 self.recovered = true;
                 self.rec_pc = RecPc::Done;
+                // A false-positive recovery ran against a writer that is
+                // still alive: its incarnation survives as a zombie that
+                // will finish its interrupted publication with stale
+                // state once resumed. (Only mid-publication state is
+                // worth keeping — an idle/probing incarnation holds
+                // nothing and simply evaporates when it loses the lease.)
+                if !self.writer_dead && !matches!(self.wpc, WPc::Idle | WPc::Probe { .. }) {
+                    self.zombie = Some(ZombieM {
+                        pc: self.wpc,
+                        seq: self.next_seq,
+                        last_slot: self.last_slot,
+                    });
+                }
                 // Resurrect the writer as a fresh claimant: it re-derives
                 // `last_slot` from `current` and continues the sequence
                 // numbering (an adopted in-flight write keeps its seq).
@@ -440,21 +529,142 @@ impl RecoveryModel {
         Ok(())
     }
 
+    /// One step of the displaced (zombie) incarnation: the writer-step
+    /// semantics of its saved program counter, with its own registers —
+    /// no checker bookkeeping (its lease is gone; whatever it scribbles
+    /// is pure harm, which the observation checks surface).
+    fn zombie_step(&mut self) -> Result<(), String> {
+        let z = self.zombie.expect("zombie stepped while absent");
+        let next = |pc| Some(ZombieM { pc, ..z });
+        self.zombie = match z.pc {
+            WPc::Idle | WPc::Probe { .. } => {
+                unreachable!("idle/probing incarnations are never captured")
+            }
+            WPc::JourFill { chosen } => {
+                self.j_stage = J_FILLING;
+                self.j_slot = chosen;
+                next(WPc::Data0 { chosen })
+            }
+            WPc::Data0 { chosen } => {
+                self.check_exclusion(chosen, "a stale writer incarnation stores into")?;
+                self.slots[chosen as usize].w0 = z.seq;
+                next(WPc::Data1 { chosen })
+            }
+            WPc::Data1 { chosen } => {
+                self.check_exclusion(chosen, "a stale writer incarnation stores into")?;
+                self.slots[chosen as usize].w1 = z.seq;
+                next(WPc::JourPrev { chosen })
+            }
+            WPc::JourPrev { chosen } => {
+                self.j_prev = z.last_slot;
+                self.j_stage = J_PUB_PREV;
+                self.j_slot = chosen;
+                next(WPc::Reset { chosen })
+            }
+            WPc::Reset { chosen } => {
+                self.check_exclusion(chosen, "a stale writer incarnation resets the ledger of")?;
+                self.slots[chosen as usize].r_start = 0;
+                self.slots[chosen as usize].r_end = 0;
+                next(WPc::Swap { chosen })
+            }
+            WPc::Swap { chosen } => {
+                let (old_index, old_counter) = (self.cur_index, self.cur_counter);
+                self.cur_index = chosen;
+                self.cur_counter = 0;
+                next(WPc::JourRaw { chosen, old_index, old_counter })
+            }
+            WPc::JourRaw { chosen, old_index, old_counter } => {
+                self.j_old_index = old_index;
+                self.j_old_counter = old_counter;
+                self.j_stage = J_PUB_RAW;
+                next(WPc::Freeze { chosen, old_index, old_counter })
+            }
+            WPc::Freeze { chosen, old_index, old_counter } => {
+                self.slots[old_index as usize].r_start = old_counter;
+                next(WPc::JourClear { chosen })
+            }
+            WPc::JourClear { .. } => {
+                self.j_stage = J_IDLE;
+                None
+            }
+        };
+        Ok(())
+    }
+
     fn recovery_active(&self) -> bool {
         !matches!(self.rec_pc, RecPc::NotStarted | RecPc::Done)
     }
 
     fn writer_enabled(&self) -> bool {
-        !self.writer_dead && (self.wpc != WPc::Idle || self.writes_left > 0)
+        !self.writer_dead && !self.stalled && (self.wpc != WPc::Idle || self.writes_left > 0)
+    }
+
+    /// What the §3.10 watchdog under the configured defect believes about
+    /// the writer — the gate on starting a recovery pass.
+    fn judged_dead(&self) -> bool {
+        if self.writer_dead {
+            // A recycled pid passes a liveness-only check for alive; the
+            // birth token (faithful watchdog) unmasks it.
+            !(self.pid_recycled && self.defect == RecoveryDefect::SkipBirthCheck)
+        } else {
+            // A heartbeat false positive escalates a suspended
+            // mid-publication writer to dead.
+            self.defect == RecoveryDefect::HeartbeatFalsePositive
+                && self.stalled
+                && self.j_stage != J_IDLE
+        }
     }
 
     fn recovery_enabled(&self) -> bool {
         match self.rec_pc {
             // The quiescent window: the pass may only begin once every
             // reader is between operations.
-            RecPc::NotStarted => self.writer_dead && self.readers.iter().all(|r| r.pc == RPc::Idle),
+            RecPc::NotStarted => {
+                self.judged_dead() && self.readers.iter().all(|r| r.pc == RPc::Idle)
+            }
             RecPc::Done => false,
             _ => true,
+        }
+    }
+
+    /// The fault daemon's next duty, if any: kill once, or (stall mode)
+    /// suspend once, resume, then drive the zombie incarnation to its end.
+    fn daemon_enabled(&self) -> bool {
+        match self.cfg.fault {
+            FaultKind::Kill | FaultKind::KillRecyclePid => !self.crashed,
+            FaultKind::Stall => !self.stall_fired || self.stalled || self.zombie.is_some(),
+        }
+    }
+
+    fn daemon_step(&mut self) -> Result<(), String> {
+        match self.cfg.fault {
+            FaultKind::Kill | FaultKind::KillRecyclePid => {
+                // Kill the writer wherever it stands. Its journal, lease
+                // and half-done stores stay exactly as they are — that is
+                // the whole point.
+                debug_assert!(!self.crashed);
+                self.crashed = true;
+                self.writer_dead = true;
+                self.pid_recycled = self.cfg.fault == FaultKind::KillRecyclePid;
+                Ok(())
+            }
+            FaultKind::Stall => {
+                if !self.stall_fired {
+                    // Suspend the writer wherever it stands: memory
+                    // intact, journal as-is, resumable.
+                    self.stall_fired = true;
+                    self.stalled = true;
+                    Ok(())
+                } else if self.stalled {
+                    // Resume it (the explorer places this at every later
+                    // boundary, including mid-recovery for the
+                    // false-positive defect).
+                    self.stalled = false;
+                    Ok(())
+                } else {
+                    self.zombie_step()
+                }
+            }
         }
     }
 
@@ -475,7 +685,7 @@ impl Model for RecoveryModel {
         if self.writer_enabled() {
             out.push(0);
         }
-        if !self.crashed {
+        if self.daemon_enabled() {
             out.push(1);
         }
         if self.recovery_enabled() {
@@ -492,23 +702,28 @@ impl Model for RecoveryModel {
     fn step(&mut self, tid: usize) -> Result<(), String> {
         match tid {
             0 => self.writer_step(),
-            1 => {
-                // The crash daemon: kill the writer wherever it stands.
-                // Its journal, lease and half-done stores stay exactly as
-                // they are — that is the whole point.
-                debug_assert!(!self.crashed);
-                self.crashed = true;
-                self.writer_dead = true;
-                Ok(())
-            }
+            1 => self.daemon_step(),
             2 => self.recovery_step(),
             r => self.reader_step(r - 3),
         }
     }
 
     fn is_done(&self) -> bool {
-        self.crashed
-            && self.recovered
+        let fault_settled = match self.cfg.fault {
+            // Death must have been recovered from.
+            FaultKind::Kill | FaultKind::KillRecyclePid => self.crashed && self.recovered,
+            // A stall must have run its course: suspended, resumed, any
+            // zombie drained, no recovery pass left hanging. (Recovery
+            // itself is *not* required: a faithful watchdog never fires
+            // for a mere stall.)
+            FaultKind::Stall => {
+                self.stall_fired
+                    && !self.stalled
+                    && self.zombie.is_none()
+                    && !self.recovery_active()
+            }
+        };
+        fault_settled
             && self.wpc == WPc::Idle
             && self.writes_left == 0
             && self.readers.iter().all(|r| r.pc == RPc::Idle && r.reads_left == 0)
@@ -519,6 +734,21 @@ impl Model for RecoveryModel {
         // checks; the model never writes garbage, so equality suffices).
         if self.j_stage != J_IDLE && self.j_slot >= self.n_slots() {
             return Err(format!("journal names slot {} of {}", self.j_slot, self.n_slots()));
+        }
+        // Liveness: a dead writer whose recycled pid fools the watchdog
+        // wedges the plane — once the readers have drained there is no
+        // step left that could ever complete the run. Detect the wedge at
+        // the moment it becomes permanent and call it what it is.
+        if self.crashed
+            && !self.recovered
+            && !self.judged_dead()
+            && self.readers.iter().all(|r| r.pc == RPc::Idle && r.reads_left == 0)
+        {
+            return Err(
+                "writer starvation: dead writer's recycled pid passes the liveness check, \
+                 recovery never fires, and the plane is wedged"
+                    .into(),
+            );
         }
         Ok(())
     }
@@ -541,9 +771,70 @@ mod tests {
 
     #[test]
     fn faithful_recovery_is_safe_with_two_readers() {
-        let cfg = RecoveryModelConfig { readers: 2, pre_writes: 1, post_writes: 2, reads_each: 2 };
+        let cfg = RecoveryModelConfig {
+            readers: 2,
+            pre_writes: 1,
+            post_writes: 2,
+            reads_each: 2,
+            fault: FaultKind::Kill,
+        };
         let out = run(cfg, RecoveryDefect::None);
         assert!(out.is_ok(), "two-reader recovery model failed: {out:?}");
+    }
+
+    #[test]
+    fn faithful_stall_at_every_boundary_is_safe() {
+        // The moment-of-stall sweep: the writer is suspended and resumed
+        // at every instruction boundary; readers roam throughout. Nothing
+        // may tear, invert, or mistake the stall for damage.
+        let cfg = RecoveryModelConfig {
+            pre_writes: 2,
+            ..RecoveryModelConfig::small_with(FaultKind::Stall)
+        };
+        let out = run(cfg, RecoveryDefect::None);
+        assert!(out.is_ok(), "faithful stall model failed: {out:?}");
+    }
+
+    #[test]
+    fn faithful_recovery_survives_pid_reuse() {
+        // The birth token unmasks a recycled pid: recovery still fires
+        // and the run completes exactly like a plain kill.
+        let out =
+            run(RecoveryModelConfig::small_with(FaultKind::KillRecyclePid), RecoveryDefect::None);
+        assert!(out.is_ok(), "pid-reuse recovery model failed: {out:?}");
+    }
+
+    #[test]
+    fn skip_birth_check_is_caught_as_starvation() {
+        // A watchdog trusting pid liveness alone never recovers a corpse
+        // wearing a recycled pid: the plane wedges.
+        let out = run(
+            RecoveryModelConfig::small_with(FaultKind::KillRecyclePid),
+            RecoveryDefect::SkipBirthCheck,
+        );
+        let msg = out.violation().expect("skip-birth-check defect must be caught");
+        assert!(msg.contains("starvation"), "unexpected violation class: {msg}");
+    }
+
+    #[test]
+    fn heartbeat_false_positive_is_caught() {
+        // Recovery fired against a stalled-but-alive writer: when the
+        // suspended incarnation resumes it finishes its publication with
+        // stale state against the repaired plane — two writers on one
+        // register, and the explorer finds the wreck.
+        let out = run(
+            RecoveryModelConfig::small_with(FaultKind::Stall),
+            RecoveryDefect::HeartbeatFalsePositive,
+        );
+        let msg = out.violation().expect("heartbeat false positive must be caught");
+        assert!(
+            msg.contains("exclusion")
+                || msg.contains("torn")
+                || msg.contains("inversion")
+                || msg.contains("regularity")
+                || msg.contains("starvation"),
+            "unexpected violation class: {msg}"
+        );
     }
 
     #[test]

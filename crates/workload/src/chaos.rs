@@ -1,0 +1,161 @@
+//! Seed-replayable chaos schedules for the supervised-plane torture
+//! harness (`tests/torture.rs`, DESIGN.md §3.10).
+//!
+//! A torture run is a *schedule*: a deterministic sequence of
+//! interruptions — writer kills, writer stalls (`SIGSTOP`/`SIGCONT`),
+//! and out-of-protocol scribbles — derived from one seed. The harness
+//! executes the schedule against a live shared-memory plane while a
+//! supervisor heals it; replaying a failing seed replays the exact same
+//! interruption sequence, which is what makes torture failures
+//! debuggable instead of anecdotal.
+//!
+//! The schedule generator lives here (seed → actions, pure data, no
+//! processes) so the harness, the CI smoke step, and the bench can share
+//! it; the process wrangling itself stays in the test, which is the only
+//! place that owns a plane.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which ledger word a [`ChaosAction::Scribble`] step corrupts. Each maps
+/// to one of the plane's fault-injection hooks and to one §3.10
+/// quarantine reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScribbleTarget {
+    /// The `current` synchronization word (out-of-range slot index).
+    Current,
+    /// The publication journal word (impossible stage).
+    Journal,
+    /// A slot's length word (above the register's capacity).
+    Length,
+}
+
+/// One scheduled interruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// `SIGKILL` the writer process mid-flight: its claims, lease, and
+    /// possibly a mid-publication journal become residue the supervisor
+    /// must auto-recover.
+    Kill,
+    /// `SIGSTOP` the writer, hold it for `hold_ms`, then `SIGCONT`: the
+    /// paper's preempted-lock-holder — alive, stalled, and *not* a
+    /// recovery trigger. Readers must stay wait-free throughout.
+    Stall {
+        /// Milliseconds the writer stays suspended.
+        hold_ms: u32,
+    },
+    /// Scribble `target` of a sacrificial register from outside the
+    /// protocol: the supervisor's scrubber must quarantine exactly that
+    /// register, never the plane.
+    Scribble {
+        /// The word to corrupt.
+        target: ScribbleTarget,
+        /// Index into the harness's *sacrificial* register range (kept
+        /// disjoint from the working registers so the no-torn/monotone
+        /// read invariants stay checkable on the rest of the plane).
+        victim: usize,
+    },
+}
+
+/// One step of a schedule: wait `delay_ms`, then perform `action`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosStep {
+    /// Milliseconds to let the plane run before this interruption.
+    pub delay_ms: u32,
+    /// The interruption.
+    pub action: ChaosAction,
+}
+
+/// A full seed-replayable schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    /// The seed that generated (and regenerates) this schedule.
+    pub seed: u64,
+    /// The interruptions, in execution order.
+    pub steps: Vec<ChaosStep>,
+}
+
+impl ChaosSchedule {
+    /// Generate the schedule for `seed`: `steps` interruptions, scribbles
+    /// confined to `sacrificial` victim indices (0 disables scribbles).
+    ///
+    /// The action mix is roughly half kills (the event the §3.9/§3.10
+    /// recovery machinery exists for), a third stalls, and the rest
+    /// scribbles; delays are short and jittered so interruptions land at
+    /// arbitrary points of the publication protocol.
+    pub fn generate(seed: u64, steps: usize, sacrificial: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let steps = (0..steps)
+            .map(|_| {
+                let roll: f64 = rng.random_range(0.0..1.0);
+                let action = if roll < 0.5 || (sacrificial == 0 && roll >= 0.85) {
+                    ChaosAction::Kill
+                } else if roll < 0.85 {
+                    ChaosAction::Stall { hold_ms: rng.random_range(1..=25) }
+                } else {
+                    let target = match rng.random_range(0..3u8) {
+                        0 => ScribbleTarget::Current,
+                        1 => ScribbleTarget::Journal,
+                        _ => ScribbleTarget::Length,
+                    };
+                    ChaosAction::Scribble { target, victim: rng.random_range(0..sacrificial) }
+                };
+                ChaosStep { delay_ms: rng.random_range(0..=8), action }
+            })
+            .collect();
+        Self { seed, steps }
+    }
+
+    /// How many steps are kills / stalls / scribbles, in that order.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut kills = 0;
+        let mut stalls = 0;
+        let mut scribbles = 0;
+        for step in &self.steps {
+            match step.action {
+                ChaosAction::Kill => kills += 1,
+                ChaosAction::Stall { .. } => stalls += 1,
+                ChaosAction::Scribble { .. } => scribbles += 1,
+            }
+        }
+        (kills, stalls, scribbles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = ChaosSchedule::generate(42, 80, 4);
+        let b = ChaosSchedule::generate(42, 80, 4);
+        assert_eq!(a, b, "schedules must replay exactly from the seed");
+        let c = ChaosSchedule::generate(43, 80, 4);
+        assert_ne!(a, c, "different seeds must explore different schedules");
+    }
+
+    #[test]
+    fn mix_covers_every_action_kind_and_respects_bounds() {
+        let s = ChaosSchedule::generate(7, 200, 3);
+        assert_eq!(s.steps.len(), 200);
+        let (kills, stalls, scribbles) = s.census();
+        assert!(kills > 0 && stalls > 0 && scribbles > 0, "{kills}/{stalls}/{scribbles}");
+        assert_eq!(kills + stalls + scribbles, 200);
+        for step in &s.steps {
+            assert!(step.delay_ms <= 8);
+            match step.action {
+                ChaosAction::Stall { hold_ms } => assert!((1..=25).contains(&hold_ms)),
+                ChaosAction::Scribble { victim, .. } => assert!(victim < 3),
+                ChaosAction::Kill => {}
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sacrificial_registers_means_no_scribbles() {
+        let s = ChaosSchedule::generate(11, 150, 0);
+        let (_, _, scribbles) = s.census();
+        assert_eq!(scribbles, 0, "no victims, no scribbles");
+    }
+}

@@ -24,13 +24,17 @@
 //!   and aligned-text/CSV reporting.
 //! * [`histogram`] — log-bucketed latency histograms for the tail-latency
 //!   experiment (wait-freedom is a statement about tails, not means).
-//! * [`procs`] — fork/waitpid helpers for the crash-recovery harness:
-//!   children that die for real (`SIGABRT` at a seeded crash point) so
-//!   recovery is exercised against genuine corpses, not simulations.
+//! * [`procs`] — fork/waitpid/kill helpers for the crash-recovery and
+//!   torture harnesses: children that die (or stall) for real (`SIGABRT`
+//!   at a seeded crash point, `SIGKILL`/`SIGSTOP` from a chaos schedule)
+//!   so recovery is exercised against genuine corpses, not simulations.
+//! * [`chaos`] — seed-replayable interruption schedules (kill / stall /
+//!   scribble) for the §3.10 supervised-plane torture harness.
 
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod chaos;
 pub mod driver;
 pub mod histogram;
 pub mod modes;
@@ -41,6 +45,7 @@ pub mod stats;
 pub mod steal;
 pub mod table;
 
+pub use chaos::{ChaosAction, ChaosSchedule, ChaosStep, ScribbleTarget};
 pub use driver::{run_register, RunConfig, RunResult};
 pub use histogram::LatencyHistogram;
 pub use modes::WorkloadMode;

@@ -50,6 +50,26 @@ mod ffi {
         pub fn fork() -> i32;
         pub fn waitpid(pid: i32, status: *mut c_int, options: c_int) -> i32;
         pub fn _exit(code: c_int) -> !;
+        pub fn kill(pid: i32, sig: c_int) -> c_int;
+    }
+}
+
+/// `SIGKILL`: the chaos harness's "writer dies instantly, no cleanup".
+pub const SIGKILL: i32 = 9;
+/// `SIGSTOP`: suspend a process — alive but making no progress (the
+/// paper's preempted-lock-holder regime, §1 Figs. 2–3).
+pub const SIGSTOP: i32 = 19;
+/// `SIGCONT`: resume a `SIGSTOP`ped process.
+pub const SIGCONT: i32 = 18;
+
+/// Send `sig` to child `pid` (see the `SIG*` constants above).
+#[cfg(unix)]
+pub fn send_signal(pid: u32, sig: i32) -> io::Result<()> {
+    // SAFETY: plain kill(2) on a pid this harness forked.
+    if unsafe { ffi::kill(pid as i32, sig) } == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
     }
 }
 
@@ -122,5 +142,18 @@ mod tests {
     fn falling_off_the_closure_exits_zero() {
         let pid = fork_child(|| {}).unwrap();
         assert_eq!(wait_child(pid).unwrap(), ChildExit::Exited(0));
+    }
+
+    #[test]
+    fn sigkill_and_stop_cont_round_trip() {
+        // A child that spins until killed.
+        let pid = fork_child(|| loop {
+            std::hint::spin_loop();
+        })
+        .unwrap();
+        send_signal(pid, SIGSTOP).unwrap();
+        send_signal(pid, SIGCONT).unwrap();
+        send_signal(pid, SIGKILL).unwrap();
+        assert_eq!(wait_child(pid).unwrap(), ChildExit::Signaled(SIGKILL));
     }
 }

@@ -28,7 +28,7 @@
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use arc_register::{crash, ArcGroup, CrashPoint, HandleError, RecoveryReport, SlabBackend};
-use workload_harness::procs::{child_exit, fork_child, wait_child};
+use workload_harness::procs::{child_exit, fork_child, wait_child, ChildExit};
 
 const CAP: usize = 64;
 /// Registers in the plane; crashes target register 1 so the tests also
@@ -296,6 +296,87 @@ fn recovery_heals_every_mapping_of_the_slab() {
     w.write(&[0x5A; CAP]);
     let s2 = r2.read();
     assert_eq!(untorn(s2.bytes(), s2.version()), 0x5A);
+}
+
+#[test]
+fn concurrent_recover_from_two_processes_repairs_exactly_once() {
+    let _s = serial();
+    let g = plane();
+
+    // Leave a corpse: a writer child dies post-W2 on register 1.
+    let gc = Arc::clone(&g);
+    let pid = fork_child(move || {
+        let mut w = match gc.writer(1) {
+            Ok(w) => w,
+            Err(_) => child_exit(101),
+        };
+        w.write(&[3; CAP]);
+        crash::arm(CrashPoint::PostW2);
+        w.write(&[FATAL; CAP]);
+        child_exit(102);
+    })
+    .expect("fork");
+    assert!(wait_child(pid).expect("waitpid").aborted());
+    assert!(g.needs_recovery());
+
+    // Two racing attachers: each parks on a GO flag (the first byte of
+    // healthy register 0, polled through the zero-copy guard so the spin
+    // is allocation-free), then calls `recover()` the instant the parent
+    // raises it — exercising the superblock's CAS-claimed arbitration
+    // token across real process boundaries. Exit codes encode what each
+    // observed.
+    const GO: u8 = 0x60;
+    let spawn_recoverer = |g: &Arc<ArcGroup>| {
+        let gc = Arc::clone(g);
+        fork_child(move || {
+            let mut r = match gc.reader(0) {
+                Ok(r) => r,
+                Err(_) => child_exit(101),
+            };
+            loop {
+                let raised = r.read_ref().bytes().first() == Some(&GO);
+                if raised {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            // `child_exit` skips destructors: retire the reader handle by
+            // hand or its registry entry would itself poison the plane.
+            drop(r);
+            let report = gc.recover();
+            if report.lost_arbitration {
+                child_exit(20); // waited out the winner, repaired nothing
+            }
+            if report.writers_recovered == 1 {
+                child_exit(10); // won the token and did the repair
+            }
+            child_exit(30); // won the token after the repair: nothing left
+        })
+        .expect("fork recoverer")
+    };
+    let pid_a = spawn_recoverer(&g);
+    let pid_b = spawn_recoverer(&g);
+    g.writer(0).expect("healthy register 0").write(&[GO; CAP]);
+
+    let mut codes = [wait_child(pid_a).expect("waitpid"), wait_child(pid_b).expect("waitpid")].map(
+        |e| match e {
+            ChildExit::Exited(c) => c,
+            other => panic!("recoverer died: {other:?}"),
+        },
+    );
+    codes.sort_unstable();
+    assert_eq!(codes[0], 10, "exactly one process must repair: {codes:?}");
+    assert!(codes[1] == 20 || codes[1] == 30, "the other must stand aside: {codes:?}");
+
+    // One repair, not two: the epoch moved exactly once and the plane is
+    // fully healed through the parent's mapping as well.
+    assert_eq!(g.epoch(), 1);
+    assert!(!g.needs_recovery());
+    let mut r = g.reader(1).expect("reader after arbitrated recovery");
+    let snap = r.read();
+    assert_eq!(untorn(snap.bytes(), snap.version()), FATAL);
+    let mut w = g.writer(1).expect("writer claim after arbitrated recovery");
+    w.write(&[0x77; CAP]);
 }
 
 #[test]

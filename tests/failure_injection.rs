@@ -1,13 +1,18 @@
 //! Failure injection: correctness must survive hostile scheduling.
 //!
-//! Three interference regimes, each with full payload verification:
+//! Four interference regimes, each with full payload verification:
 //!
 //! 1. **CPU steal** — stealer threads burn cores in bursts (the Figure-2
 //!    regime);
 //! 2. **oversubscription** — 4× more workers than cores (the Figure-3
 //!    regime, miniature);
 //! 3. **random reader pauses** — readers sleep at random points *between*
-//!    pin and release, maximizing the time slots stay pinned.
+//!    pin and release, maximizing the time slots stay pinned;
+//! 4. **a `SIGSTOP`'d writer process** (Linux) — the paper's preempted
+//!    lock-holder made literal: the writer is suspended *mid-publication*
+//!    while readers keep going and the §3.10 watchdog must flag the stall
+//!    without ever mistaking it (or a slow-but-progressing writer) for
+//!    death.
 //!
 //! Each regime runs against the standalone register families *and* (the
 //! regimes that stress pinning) against the shared-slab [`ArcGroup`]
@@ -248,6 +253,160 @@ fn group_slab_correct_with_sleeping_pinned_readers() {
 #[test]
 fn group_slab_correct_under_cpu_steal() {
     verified_group_run(4, 2, 1 << 10, WINDOW, Some(steal_cfg(23)), None, 10);
+}
+
+/// Regime 4: a real `SIGSTOP`'d writer process. The child publishes
+/// verified stamped payloads, then suspends itself *inside* a fill (the
+/// one moment a stall holds a protocol resource). The §3.10 watchdog must
+/// flag `Stalled` — never `Dead`, never a recovery — readers must stay
+/// wait-free and version-monotone straight through the suspension, and a
+/// merely slow-but-progressing writer must never be flagged at all.
+#[test]
+#[cfg(target_os = "linux")]
+fn group_slab_correct_with_sigstopped_writer() {
+    use arc_register::{PlaneSupervisor, SupervisorConfig, SupervisorEvent};
+    use std::sync::atomic::AtomicU64;
+    use std::time::Instant;
+    use workload_harness::procs::{child_exit, fork_child, send_signal, wait_child, SIGCONT};
+
+    const SIZE: usize = 1 << 10;
+    /// The write whose fill the child suspends itself inside — late
+    /// enough that the watchdog first observes a long healthy (and
+    /// flag-free) progressing phase.
+    const STALL_SEQ: u64 = 400;
+
+    let mut initial = vec![0u8; SIZE];
+    stamp(&mut initial, 0);
+    let group = ArcGroup::builder(1, 4, SIZE)
+        .backend(SlabBackend::Shm)
+        .initial(&initial)
+        .build()
+        .expect("shm plane");
+
+    // The writer child: paced stamped writes through the in-place fill
+    // path (allocation-free after the claim), one self-SIGSTOP mid-fill.
+    let gc = Arc::clone(&group);
+    let pid = fork_child(move || {
+        let mut w = match gc.writer(0) {
+            Ok(w) => w,
+            Err(_) => child_exit(101),
+        };
+        for seq in 1.. {
+            w.write_with(SIZE, |buf| {
+                stamp(buf, seq);
+                if seq == STALL_SEQ {
+                    // Suspend with the journal mid-publication: the
+                    // exact regime the stall watchdog exists for.
+                    let _ = send_signal(std::process::id(), workload_harness::procs::SIGSTOP);
+                }
+            });
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    })
+    .expect("fork writer");
+
+    let (sup, rx) = PlaneSupervisor::spawn_channel(
+        Arc::clone(&group),
+        SupervisorConfig {
+            probe_interval: Duration::from_millis(2),
+            stall_threshold: Duration::from_millis(30),
+            ..SupervisorConfig::default()
+        },
+    );
+
+    // Readers hammer the register with full verification throughout.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let group = Arc::clone(&group);
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            std::thread::spawn(move || {
+                let mut r = group.reader(0).expect("reader");
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let guard = r.read_ref();
+                    let seq = verify(guard.bytes())
+                        .unwrap_or_else(|e| panic!("torn under writer stall: {e}"));
+                    assert!(seq >= last, "regression under writer stall: {last} -> {seq}");
+                    last = seq;
+                    drop(guard);
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // Any hint of "damage" is a watchdog false positive: the writer is
+    // alive (if suspended) for this entire phase.
+    let damage = |e: &SupervisorEvent| {
+        matches!(
+            e,
+            SupervisorEvent::WriterDead { .. }
+                | SupervisorEvent::RecoveryStarted { .. }
+                | SupervisorEvent::RecoveryCompleted { .. }
+                | SupervisorEvent::RecoveryLostArbitration
+                | SupervisorEvent::RecoveryFailed { .. }
+                | SupervisorEvent::RegisterQuarantined { .. }
+                | SupervisorEvent::ScrubAnomaly { .. }
+        )
+    };
+
+    // Phase 1+2: several hundred healthy writes (no events allowed),
+    // then the mid-fill suspension, which the watchdog must flag.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "watchdog never flagged the suspended writer");
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(SupervisorEvent::WriterStalled { register: 0, pid: p, .. }) => {
+                assert_eq!(p, pid as u64);
+                break;
+            }
+            Ok(e) if damage(&e) => panic!("false positive on a live writer: {e:?}"),
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    // The writer is frozen mid-publication; readers must not be.
+    let before = reads.load(Ordering::Relaxed);
+    std::thread::sleep(Duration::from_millis(50));
+    let during = reads.load(Ordering::Relaxed);
+    assert!(during > before, "readers stopped making progress during the writer stall");
+
+    // Resume; the watchdog must close the episode.
+    send_signal(pid, SIGCONT).expect("SIGCONT");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "watchdog never reported the resume");
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(SupervisorEvent::WriterResumed { register: 0 }) => break,
+            Ok(e) if damage(&e) => panic!("false positive after resume: {e:?}"),
+            Ok(_) | Err(_) => {}
+        }
+    }
+    // Let the resumed writer publish a while longer under observation.
+    std::thread::sleep(Duration::from_millis(100));
+
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader survived the stall regime");
+    }
+    sup.stop();
+    assert!(
+        !rx.try_iter().any(|e| damage(&e)),
+        "a live (stalled or slow) writer was treated as damage"
+    );
+    assert!(!group.needs_recovery(), "a stall left recovery state behind");
+    assert!(reads.load(Ordering::Relaxed) > 0);
+
+    // Teardown: the child loops forever by design; kill and repair.
+    send_signal(pid, workload_harness::procs::SIGKILL).expect("SIGKILL");
+    wait_child(pid).expect("waitpid");
+    assert!(group.needs_recovery());
+    let report = group.recover();
+    assert_eq!(report.writers_recovered, 1, "{report:?}");
+    assert!(!group.needs_recovery());
 }
 
 #[test]

@@ -1,0 +1,364 @@
+//! Supervised-plane torture harness (DESIGN.md §3.10, EXPERIMENTS.md E14).
+//!
+//! One seed → one [`ChaosSchedule`] → one deterministic sequence of real
+//! interruptions against a live shared-memory plane:
+//!
+//! * **Kill** — `SIGKILL` the forked writer child mid-flight. The
+//!   [`PlaneSupervisor`] (and *only* the supervisor: the test never calls
+//!   `recover()` by hand) must detect the corpse and auto-repair, after
+//!   which a respawned child re-claims the writer role.
+//! * **Stall** — `SIGSTOP` the child for a bounded hold, then `SIGCONT`.
+//!   Readers must not notice: wait-freedom is exactly the property that a
+//!   suspended writer stalls nobody (the paper's Figs. 2–3 regime).
+//! * **Scribble** — corrupt a ledger word (`current` / journal / length)
+//!   of a *sacrificial* register from outside the protocol. The scrubber
+//!   must quarantine exactly that register; the victim register's
+//!   invariants keep holding on the rest of the plane.
+//!
+//! Throughout the run, parent reader threads hammer the victim register
+//! through the zero-copy guard path and assert every read is **untorn**
+//! (all bytes from one write) and **version-monotone** — including while
+//! the plane holds a corpse and across every auto-repair.
+//!
+//! Seeds and step counts come from `ARC_TORTURE_SEEDS` /
+//! `ARC_TORTURE_STEPS` (comma list / integer); CI pins a fixed smoke set.
+//! Replaying a failing seed replays the exact interruption sequence.
+//!
+//! Linux-only, like the crash harness: the plane must be genuinely shared
+//! across `fork`, and the chaos actions are signals.
+
+#![cfg(target_os = "linux")]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use arc_register::supervise::{PlaneSupervisor, SupervisorConfig, SupervisorEvent};
+use arc_register::{ArcGroup, RegisterHealth, SlabBackend};
+use workload_harness::chaos::{ChaosAction, ChaosSchedule, ScribbleTarget};
+use workload_harness::procs::{
+    child_exit, fork_child, send_signal, wait_child, SIGCONT, SIGKILL, SIGSTOP,
+};
+
+const CAP: usize = 64;
+/// The register the writer child publishes to (and the kills/stalls hit).
+const VICTIM: usize = 0;
+/// Registers reserved for scribbles, disjoint from the victim so the
+/// untorn/monotone invariants stay checkable on a register that chaos
+/// only ever touches *through* the protocol.
+const SACRIFICIAL: usize = 2;
+const K: usize = 1 + SACRIFICIAL;
+/// Concurrent reader threads on the victim register.
+const READERS: usize = 2;
+
+/// Forking from a threaded test runner: one torture scenario at a time.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Schedule seeds (`ARC_TORTURE_SEEDS` overrides; CI pins a smoke set).
+fn seeds() -> Vec<u64> {
+    match std::env::var("ARC_TORTURE_SEEDS") {
+        Ok(s) => {
+            let v: Vec<u64> = s.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+            assert!(!v.is_empty(), "ARC_TORTURE_SEEDS set but unparseable: {s:?}");
+            v
+        }
+        Err(_) => vec![5, 29],
+    }
+}
+
+/// Interruptions per schedule (`ARC_TORTURE_STEPS` overrides). The
+/// default satisfies the §3.10 acceptance floor of ≥ 50.
+fn steps() -> usize {
+    std::env::var("ARC_TORTURE_STEPS").ok().and_then(|s| s.trim().parse().ok()).unwrap_or(60)
+}
+
+fn plane() -> Arc<ArcGroup> {
+    ArcGroup::builder(K, 8, CAP)
+        .backend(SlabBackend::Shm)
+        .initial(&[0u8; CAP])
+        .build()
+        .expect("shm-backed plane")
+}
+
+/// Fork the victim writer: claim the role (retrying while the supervisor
+/// clears a predecessor's corpse), then publish stamped values forever —
+/// the child only ever leaves by signal. The claim-retry loop is the
+/// harness's "no manual recovery" probe: the child can only make progress
+/// once the supervisor has repaired the plane.
+fn spawn_victim_writer(g: &Arc<ArcGroup>) -> u32 {
+    let gc = Arc::clone(g);
+    fork_child(move || {
+        let mut w = loop {
+            match gc.writer(VICTIM) {
+                Ok(w) => break w,
+                // Predecessor's corpse not yet cleared; the supervisor in
+                // the parent is the only thing that can unblock us.
+                Err(_) => std::thread::sleep(Duration::from_micros(200)),
+            }
+        };
+        let mut stamp: u8 = 1;
+        loop {
+            w.write(&[stamp; CAP]);
+            stamp = if stamp == u8::MAX { 1 } else { stamp + 1 };
+        }
+    })
+    .expect("fork victim writer")
+}
+
+/// Reap a killed child, then wait for the supervisor to clear its lease
+/// (or confirm it died before claiming). No `recover()` here — that is
+/// the point.
+fn await_auto_recovery(g: &ArcGroup, dead_pid: u32) {
+    assert_eq!(
+        wait_child(dead_pid).expect("waitpid"),
+        workload_harness::procs::ChildExit::Signaled(SIGKILL),
+    );
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let lease = g.writer_probe(VICTIM).lease;
+        if lease != dead_pid as u64 && !g.needs_recovery() {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "supervisor failed to auto-recover pid {dead_pid} (lease now {lease})"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Execute one seeded schedule end to end and return the drained
+/// supervisor events plus the total reads the reader threads performed.
+fn run_schedule(seed: u64, steps: usize) -> (Vec<SupervisorEvent>, u64) {
+    let schedule = ChaosSchedule::generate(seed, steps, SACRIFICIAL);
+    let (kills, stalls, scribbles) = schedule.census();
+    assert_eq!(kills + stalls + scribbles, steps);
+
+    let g = plane();
+    let cfg = SupervisorConfig {
+        probe_interval: Duration::from_millis(1),
+        scrub_interval: Duration::from_millis(5),
+        stall_threshold: Duration::from_millis(20),
+        ..SupervisorConfig::default()
+    };
+    let (sup, rx) = PlaneSupervisor::spawn_channel(Arc::clone(&g), cfg);
+
+    // Readers: zero-copy guards on the victim register, asserting untorn
+    // + version-monotone on every single read for the whole run.
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_reads = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let g = Arc::clone(&g);
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total_reads);
+            std::thread::spawn(move || {
+                let mut r = g.reader(VICTIM).expect("torture reader");
+                let mut last_version = 0u64;
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let guard = r.read_ref();
+                    let (bytes, version) = (guard.bytes(), guard.version());
+                    assert_eq!(bytes.len(), CAP, "short read at version {version}");
+                    let stamp = bytes[0];
+                    assert!(
+                        bytes.iter().all(|&b| b == stamp),
+                        "torn read at version {version}: {bytes:?}"
+                    );
+                    assert!(
+                        version >= last_version,
+                        "version regressed: {last_version} -> {version}"
+                    );
+                    last_version = version;
+                    drop(guard);
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    let mut child = spawn_victim_writer(&g);
+    let mut auto_recoveries = 0usize;
+    for step in &schedule.steps {
+        std::thread::sleep(Duration::from_millis(step.delay_ms as u64));
+        match step.action {
+            ChaosAction::Kill => {
+                send_signal(child, SIGKILL).expect("SIGKILL");
+                await_auto_recovery(&g, child);
+                auto_recoveries += 1;
+                child = spawn_victim_writer(&g);
+            }
+            ChaosAction::Stall { hold_ms } => {
+                send_signal(child, SIGSTOP).expect("SIGSTOP");
+                std::thread::sleep(Duration::from_millis(hold_ms as u64));
+                send_signal(child, SIGCONT).expect("SIGCONT");
+            }
+            ChaosAction::Scribble { target, victim } => {
+                let k = 1 + (victim % SACRIFICIAL);
+                match target {
+                    ScribbleTarget::Current => {
+                        g.fault_scribble_current(k, (g.n_slots() + 7) as u64);
+                    }
+                    ScribbleTarget::Journal => g.fault_scribble_journal(k, (7u64 << 32) | 1),
+                    ScribbleTarget::Length => g.fault_scribble_len(k, 0, 1 << 40),
+                }
+            }
+        }
+    }
+
+    // Retire the last child the same way every other one went.
+    send_signal(child, SIGKILL).expect("final SIGKILL");
+    await_auto_recovery(&g, child);
+    auto_recoveries += 1;
+
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader thread must survive the whole schedule");
+    }
+    sup.stop();
+    let events: Vec<_> = rx.try_iter().collect();
+
+    // -- Post-mortem: the §3.10 acceptance gauntlet. -------------------
+
+    // Every interruption was healed without a manual recover().
+    assert!(!g.needs_recovery(), "plane still damaged after {auto_recoveries} kills");
+    assert!(
+        !events.iter().any(|e| matches!(e, SupervisorEvent::RecoveryFailed { .. })),
+        "supervisor gave up at least once: {events:?}"
+    );
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            SupervisorEvent::RecoveryCompleted { report } if report.writers_recovered > 0
+        )),
+        "no auto-recovery ever repaired a writer across {kills} kills"
+    );
+    assert!(g.epoch() >= 1, "repairs must have bumped the slab epoch");
+
+    // Quarantine stayed confined to the sacrificial range — never the
+    // victim, never the plane.
+    let health = g.health_report();
+    assert!(
+        health.quarantined.iter().all(|q| (1..K).contains(&q.register)),
+        "quarantine escaped the sacrificial range: {health:?}"
+    );
+    assert_eq!(g.register_health(VICTIM), RegisterHealth::Healthy);
+    if scribbles > 0 {
+        assert!(!health.quarantined.is_empty(), "{scribbles} scribbles but nothing quarantined");
+    }
+
+    // The healthy part of the plane is fully live: the writer role is
+    // claimable and a fresh write round-trips.
+    let mut w = g.writer(VICTIM).expect("victim register claimable after the gauntlet");
+    w.write(&[0xEE; CAP]);
+    let mut r = g.reader(VICTIM).expect("reader after the gauntlet");
+    let snap = r.read();
+    assert!(snap.bytes().iter().all(|&b| b == 0xEE), "post-run write torn");
+
+    let reads = total_reads.load(Ordering::Relaxed);
+    assert!(reads > 0, "readers never completed a read");
+    (events, reads)
+}
+
+#[test]
+fn supervised_plane_survives_seeded_chaos_schedules() {
+    let _s = serial();
+    let steps = steps();
+    assert!(steps >= 50, "the §3.10 acceptance floor is 50 interruptions, got {steps}");
+    for seed in seeds() {
+        let (events, reads) = run_schedule(seed, steps);
+        eprintln!(
+            "torture seed {seed}: {steps} interruptions survived, {reads} clean reads, \
+             {} supervisor events",
+            events.len()
+        );
+    }
+}
+
+#[test]
+fn stalled_writer_is_flagged_and_resumed_without_recovery() {
+    let _s = serial();
+    let g = plane();
+
+    // A child that SIGSTOPs *itself mid-publication*: the stop lands
+    // between slot selection and publication, so the journal shows an
+    // operation in flight with a frozen heartbeat — the one regime the
+    // watchdog must flag (a writer suspended between publications holds
+    // nothing and must stay unflagged; see `supervise::classify`).
+    let gc = Arc::clone(&g);
+    let pid = fork_child(move || {
+        let mut w = match gc.writer(VICTIM) {
+            Ok(w) => w,
+            Err(_) => child_exit(101),
+        };
+        w.write(&[1; CAP]);
+        w.write_with(CAP, |buf| {
+            buf.fill(2);
+            // Suspend inside the fill: journal stage FILLING, heartbeat
+            // frozen until a SIGCONT lets the publication finish.
+            let _ = send_signal(std::process::id(), SIGSTOP);
+        });
+        w.write(&[3; CAP]);
+        // Fall off the closure: the writer drops (releasing the lease)
+        // before the child exits — a stall must leave zero residue.
+    })
+    .expect("fork stalling writer");
+
+    let cfg = SupervisorConfig {
+        probe_interval: Duration::from_millis(1),
+        stall_threshold: Duration::from_millis(10),
+        ..SupervisorConfig::default()
+    };
+    let (sup, rx) = PlaneSupervisor::spawn_channel(Arc::clone(&g), cfg);
+
+    // Readers stay wait-free while the writer is wedged mid-publication.
+    let mut r = g.reader(VICTIM).expect("reader");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let stalled = loop {
+        assert!(Instant::now() < deadline, "watchdog never flagged the stall");
+        let snap = r.read();
+        assert!(snap.bytes().iter().all(|&b| b == snap.bytes()[0]), "torn read during stall");
+        if let Ok(e) = rx.try_recv() {
+            match e {
+                SupervisorEvent::WriterStalled { register, pid: p, .. } => {
+                    assert_eq!(register, VICTIM);
+                    assert_eq!(p, pid as u64);
+                    break e;
+                }
+                // A stall is *not* damage: nothing may try to repair it.
+                SupervisorEvent::RecoveryStarted { .. }
+                | SupervisorEvent::RecoveryCompleted { .. }
+                | SupervisorEvent::WriterDead { .. } => {
+                    panic!("stall misclassified as damage: {e:?}")
+                }
+                _ => {}
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    assert!(matches!(stalled, SupervisorEvent::WriterStalled { .. }));
+
+    // Wake the writer; the watchdog must close the episode with a
+    // Resumed event and the publication must complete untorn.
+    send_signal(pid, SIGCONT).expect("SIGCONT");
+    assert_eq!(wait_child(pid).expect("waitpid"), workload_harness::procs::ChildExit::Exited(0));
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        assert!(Instant::now() < deadline, "watchdog never reported the resume");
+        if let Ok(SupervisorEvent::WriterResumed { register }) = rx.try_recv() {
+            assert_eq!(register, VICTIM);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    sup.stop();
+
+    assert!(!g.needs_recovery(), "a clean stall/resume cycle is not damage");
+    let snap = r.read();
+    assert!(snap.bytes().iter().all(|&b| b == 3), "final write lost: {:?}", snap.bytes());
+    assert_eq!(g.epoch(), 0, "no repair may have run for a mere stall");
+}
