@@ -35,6 +35,7 @@ fn main() {
             mode: WorkloadMode::Hold,
             steal: None,
             stack_size: 1 << 20,
+            pin: true,
         };
         let variants: Vec<(&str, workload_harness::RunResult)> = vec![
             ("arc", run_register::<ArcFamily>(&cfg)),

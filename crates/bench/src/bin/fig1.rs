@@ -39,6 +39,7 @@ fn main() {
                 mode: WorkloadMode::Hold,
                 steal: None,
                 stack_size: 1 << 20,
+                pin: true,
             },
         };
         let table = sweep_algos(&spec);
@@ -52,6 +53,7 @@ fn main() {
             // ops/sec field the report schema promises.
             let mops = row.get("mops").and_then(Json::as_f64).unwrap_or(0.0);
             row.set("ops_per_sec", Json::num(mops * 1e6));
+            row.set("pinned", Json::Bool(spec.base.pin));
             row
         }));
     }

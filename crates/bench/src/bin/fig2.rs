@@ -54,6 +54,8 @@ fn main() {
                 mode: WorkloadMode::Hold,
                 steal: Some(steal),
                 stack_size: 1 << 20,
+                // Steal injection needs floating workers the stealers can displace.
+                pin: false,
             },
         };
         let table = sweep_algos(&spec);

@@ -39,6 +39,8 @@ fn main() {
                 // 4000 threads × default 8 MB stacks would exhaust memory;
                 // 256 KB suffices for these workers.
                 stack_size: 256 << 10,
+                // 4000 threads on a handful of cores: pinning would serialize.
+                pin: false,
             },
         };
         let table = sweep_algos(&spec);

@@ -87,6 +87,7 @@ fn point_row(
     j.set("write_p50_ns", Json::int(wp50));
     j.set("write_p99_ns", Json::int(wp99));
     j.set("bytes_per_register", bytes_per_reg.map_or(Json::Null, |b| Json::int(b as u64)));
+    j.set("pinned", Json::Bool(cfg.pin));
     j
 }
 
@@ -241,6 +242,7 @@ fn main() {
                 read_burst: 256,
                 dist,
                 seed: 0xE10 ^ k as u64,
+                pin: true,
             };
             let res = run_table::<GroupTableFamily>(&cfg);
             points.push(point_row(&mut table, k, dist, &cfg, &res));

@@ -252,6 +252,7 @@ fn contended_hold(table: &mut Table, profile: BenchProfile) {
             mode: WorkloadMode::Hold,
             steal: None,
             stack_size: 1 << 20,
+            pin: true,
         };
         let res = run_register::<F>(&cfg);
         let ns_per_op = if res.mops() > 0.0 { 1e3 / res.mops() } else { 0.0 };

@@ -1,0 +1,200 @@
+//! **E15** — topology-aware scaling: the NUMA-sharded table under every
+//! placement (local / remote / interleaved shard binding × huge / base
+//! pages), swept over reader-thread counts at up-to-1M-register scale.
+//!
+//! ```text
+//! ARC_BENCH_PROFILE=quick|standard|full cargo run -p arc-bench --release --bin numa_scaling
+//! ```
+//!
+//! Shape to reproduce (multi-node hardware): **local** shard binding
+//! beats **remote** (all shards forced onto one node, so most reads pay
+//! a cross-socket hop), with **interleave** in between; huge pages beat
+//! base pages once the register table outgrows the TLB reach of 4 KB
+//! pages. On a single-node machine (CI) every placement degrades to the
+//! same memory and the rows document that honestly: `nodes: 1`,
+//! `fallback: true`, and local ≈ remote ≈ interleave — the bench still
+//! *runs* every code path (sharding, routing, mbind fallback, hugepage
+//! fallback), which is what the smoke gate checks.
+//!
+//! Every row records both the *requested* page policy and the
+//! *effective* page mode (`hugetlb` / `thp` / `base`), so an empty
+//! hugepage pool shows up as `pages: "huge", pages_effective: "thp"`
+//! instead of silently measuring the wrong thing.
+
+use std::time::Duration;
+
+use arc_bench::{json_dir, merge_section, out_dir, BenchProfile, Json};
+use arc_register::{
+    PagePolicy, ShardNodes, ShardPlan, ShardedTable, ShardedTableBuilder, ShardedTableFamily,
+    SlabBackend, Topology,
+};
+use workload_harness::{run_table, write_csv, KeyDist, MultiConfig, Table};
+
+/// One placement variant: shard-slab node policy × page policy, shm
+/// backend (placement needs real mappings, not heap Vecs).
+macro_rules! plan {
+    ($ty:ident, $name:literal, $pages:expr, $nodes:expr) => {
+        struct $ty;
+        impl ShardPlan for $ty {
+            const NAME: &'static str = $name;
+            fn configure(b: ShardedTableBuilder) -> ShardedTableBuilder {
+                b.backend(SlabBackend::Shm).pages($pages).nodes($nodes)
+            }
+        }
+    };
+}
+
+plan!(LocalBase, "numa-local-base", PagePolicy::Base, ShardNodes::NodeLocal);
+plan!(LocalHuge, "numa-local-huge", PagePolicy::Huge, ShardNodes::NodeLocal);
+plan!(RemoteBase, "numa-remote-base", PagePolicy::Base, remote_node());
+plan!(RemoteHuge, "numa-remote-huge", PagePolicy::Huge, remote_node());
+plan!(InterleaveBase, "numa-interleave-base", PagePolicy::Base, ShardNodes::Interleave);
+plan!(InterleaveHuge, "numa-interleave-huge", PagePolicy::Huge, ShardNodes::Interleave);
+
+/// The "remote" placement: every shard bound to the topology's *last*
+/// node, so on a multi-node machine threads spread over all nodes read
+/// mostly cross-socket. On one node this is the same as local — which is
+/// the honest single-node degradation, recorded via `nodes: 1`.
+fn remote_node() -> ShardNodes {
+    let topo = Topology::system();
+    ShardNodes::AllOn(topo.node_id(topo.node_count() - 1))
+}
+
+/// Probe a tiny table built under plan `P` for what placement the OS
+/// actually granted: effective page mode of shard 0 and the local-key
+/// fraction a reader on this thread would see.
+fn probe<P: ShardPlan + 'static>() -> (String, f64, usize) {
+    let table = P::configure(ShardedTable::builder(64, 1, 48)).build().expect("probe table");
+    let pages = table.groups()[0].placement().pages.label().to_string();
+    let reader = table.reader_set().expect("probe reader");
+    (pages, reader.local_key_fraction(), table.shards())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure<P: ShardPlan + 'static>(
+    placement: &str,
+    pages: &str,
+    registers: usize,
+    thread_counts: &[usize],
+    duration: Duration,
+    table: &mut Table,
+    rows: &mut Vec<Json>,
+) {
+    let topo = Topology::system();
+    let (pages_effective, local_key_fraction, shards) = probe::<P>();
+    for &threads in thread_counts {
+        let cfg = MultiConfig {
+            registers,
+            reader_threads: threads,
+            value_size: 48,
+            duration,
+            write_batch: 64,
+            read_burst: 256,
+            dist: KeyDist::Uniform,
+            seed: 0xE15 ^ registers as u64 ^ (threads as u64) << 32,
+            pin: true,
+        };
+        let res = run_table::<ShardedTableFamily<P>>(&cfg);
+        println!(
+            "  {placement:<10} pages={pages:<4} (got {pages_effective:<7}) t={threads:<2} \
+             {:>8.2} Mops/s  ({:.2} read / {:.2} write)",
+            res.mops(),
+            res.read_mops(),
+            (res.writes as f64) / res.secs / 1e6,
+        );
+        table.row(vec![
+            placement.to_string(),
+            pages.to_string(),
+            pages_effective.clone(),
+            threads.to_string(),
+            registers.to_string(),
+            shards.to_string(),
+            format!("{:.3}", res.mops()),
+            format!("{:.3}", res.read_mops()),
+        ]);
+        let mut j = Json::obj();
+        j.set("plan", Json::str(P::NAME));
+        j.set("placement", Json::str(placement));
+        j.set("pages", Json::str(pages));
+        j.set("pages_effective", Json::str(&pages_effective));
+        j.set("threads", Json::int(threads as u64));
+        j.set("registers", Json::int(registers as u64));
+        j.set("shards", Json::int(shards as u64));
+        j.set("nodes", Json::int(topo.node_count() as u64));
+        j.set("fallback", Json::Bool(topo.is_fallback()));
+        j.set("local_key_fraction", Json::num(local_key_fraction));
+        j.set("ops_per_sec", Json::num(res.mops() * 1e6));
+        j.set("read_mops", Json::num(res.read_mops()));
+        j.set("write_mops", Json::num(res.writes as f64 / res.secs / 1e6));
+        j.set("pinned", Json::Bool(cfg.pin));
+        rows.push(j);
+    }
+}
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    let topo = Topology::system();
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let registers = match profile {
+        BenchProfile::Quick => 20_000,
+        BenchProfile::Standard => 200_000,
+        BenchProfile::Full => 1_000_000,
+    };
+    // Reader-thread sweep: 1 up to the core count, powers of two.
+    let mut threads = vec![1usize];
+    while *threads.last().expect("non-empty") * 2 <= cores {
+        threads.push(threads.last().expect("non-empty") * 2);
+    }
+    let threads = profile.thin(&threads);
+    let duration = profile.duration().max(Duration::from_millis(60));
+
+    println!("# E15 — NUMA-sharded table: placement x pages x threads");
+    println!(
+        "# profile={profile:?}, K={registers}, threads={threads:?}, nodes={} (fallback={})\n",
+        topo.node_count(),
+        topo.is_fallback(),
+    );
+
+    let mut table = Table::new(vec![
+        "placement",
+        "pages",
+        "pages_effective",
+        "threads",
+        "registers",
+        "shards",
+        "mops",
+        "read_mops",
+    ]);
+    let mut rows = Vec::new();
+    measure::<LocalBase>("local", "base", registers, &threads, duration, &mut table, &mut rows);
+    measure::<LocalHuge>("local", "huge", registers, &threads, duration, &mut table, &mut rows);
+    measure::<RemoteBase>("remote", "base", registers, &threads, duration, &mut table, &mut rows);
+    measure::<RemoteHuge>("remote", "huge", registers, &threads, duration, &mut table, &mut rows);
+    measure::<InterleaveBase>(
+        "interleave",
+        "base",
+        registers,
+        &threads,
+        duration,
+        &mut table,
+        &mut rows,
+    );
+    measure::<InterleaveHuge>(
+        "interleave",
+        "huge",
+        registers,
+        &threads,
+        duration,
+        &mut table,
+        &mut rows,
+    );
+
+    let path = out_dir().join("numa_scaling.csv");
+    write_csv(&table, &path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+
+    let json_path = json_dir().join("BENCH_ops.json");
+    merge_section(&json_path, "arc-bench/ops/v1", "numa", Json::Arr(rows))
+        .expect("write BENCH_ops.json");
+    println!("merged numa into {}", json_path.display());
+}

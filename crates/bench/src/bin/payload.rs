@@ -36,6 +36,7 @@ fn main() {
                 mode: WorkloadMode::Processing,
                 steal: None,
                 stack_size: 1 << 20,
+                pin: true,
             },
         };
         let table = sweep_algos(&spec);

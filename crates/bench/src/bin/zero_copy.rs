@@ -19,8 +19,14 @@ use arc_bench::{
 fn main() {
     let profile = BenchProfile::from_env();
     let sizes = figure_sizes(profile);
+    // Single-threaded probe: pin the measuring thread so the guard and
+    // copy loops compare on one core's caches, not wherever the
+    // scheduler migrates us between runs.
+    let pinned = workload_harness::available_cpus()
+        .first()
+        .is_some_and(|&c| workload_harness::pin_to_cpu(c).is_ok());
     println!("# Zero-copy guard reads — guard vs copy at fig1 sizes");
-    println!("# profile={profile:?}, sizes={sizes:?}\n");
+    println!("# profile={profile:?}, sizes={sizes:?}, pinned={pinned}\n");
 
     let points = zero_copy_run(profile, &sizes);
     println!(
@@ -66,7 +72,16 @@ fn main() {
         &json_path,
         "arc-bench/ops/v1",
         "zero_copy",
-        Json::Arr(points.iter().map(|p| p.to_json()).collect()),
+        Json::Arr(
+            points
+                .iter()
+                .map(|p| {
+                    let mut row = p.to_json();
+                    row.set("pinned", Json::Bool(pinned));
+                    row
+                })
+                .collect(),
+        ),
     )
     .expect("write BENCH_ops.json");
     merge_section(&json_path, "arc-bench/ops/v1", "ablations", ablations)

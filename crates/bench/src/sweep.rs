@@ -138,6 +138,7 @@ mod tests {
                 mode: WorkloadMode::Hold,
                 steal: None,
                 stack_size: 1 << 20,
+                pin: false,
             },
         };
         let t = sweep_algos(&spec);
@@ -158,6 +159,7 @@ mod tests {
                 mode: WorkloadMode::Hold,
                 steal: None,
                 stack_size: 1 << 20,
+                pin: false,
             },
         };
         let t = sweep_algos(&spec);

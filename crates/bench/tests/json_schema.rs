@@ -216,6 +216,101 @@ fn bench_ops_sections_conform() {
             "{file}: group fast path at {parity_ratio}x of the single register (floor 0.8)"
         );
     }
+
+    // The topology section (E15): the NUMA-sharded table under every
+    // placement × page policy. Every row must record both what was
+    // *requested* (placement, pages) and what the machine actually
+    // *granted* (pages_effective, nodes, fallback) — a refactor that
+    // silently drops the fallback accounting would make single-node CI
+    // numbers indistinguishable from real multi-node ones.
+    check_rows(
+        &doc,
+        file,
+        "numa",
+        &[
+            "plan",
+            "placement",
+            "pages",
+            "pages_effective",
+            "threads",
+            "registers",
+            "shards",
+            "nodes",
+            "fallback",
+            "local_key_fraction",
+            "ops_per_sec",
+            "read_mops",
+            "write_mops",
+            "pinned",
+        ],
+    );
+    let Some(Json::Arr(numa_rows)) = doc.get("numa") else { unreachable!() };
+    let placements: Vec<&str> = numa_rows
+        .iter()
+        .filter_map(|r| match r.get("placement") {
+            Some(Json::Str(s)) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    for placement in ["local", "remote", "interleave"] {
+        assert!(
+            placements.contains(&placement),
+            "{file}: numa section lacks the {placement:?} placement"
+        );
+    }
+    let pages_of = |r: &Json| match r.get("pages") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => String::new(),
+    };
+    for pages in ["base", "huge"] {
+        assert!(
+            numa_rows.iter().any(|r| pages_of(r) == pages),
+            "{file}: numa section lacks the {pages:?} page policy"
+        );
+    }
+    for (i, row) in numa_rows.iter().enumerate() {
+        let ops = row.get("ops_per_sec").and_then(Json::as_f64).expect("ops numeric");
+        assert!(ops > 0.0, "{file}: numa[{i}] carries flat-zero throughput");
+        // Honest degradation: a "huge" request may fall back, but the
+        // effective mode must then say so (thp or base, never hugetlb
+        // unless requested and granted).
+        let effective = match row.get("pages_effective") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => panic!("{file}: numa[{i}] pages_effective missing"),
+        };
+        assert!(
+            matches!(effective, "base" | "thp" | "hugetlb"),
+            "{file}: numa[{i}] unknown effective page mode {effective:?}"
+        );
+        if pages_of(row) == "base" {
+            assert_eq!(
+                effective, "base",
+                "{file}: numa[{i}] base request cannot escalate to {effective:?}"
+            );
+        }
+    }
+    // The acceptance shape — local placement at least matching remote at
+    // the top thread count — only exists on real multi-node hardware;
+    // single-node rows record nodes = 1 and every placement degrades to
+    // the same memory. Timing-sensitive, so committed reports only.
+    let nodes = numa_rows[0].get("nodes").and_then(Json::as_f64).expect("nodes numeric");
+    if nodes > 1.0 && std::env::var_os("ARC_SCHEMA_LENIENT").is_none() {
+        let best = |placement: &str| -> f64 {
+            numa_rows
+                .iter()
+                .filter(|r| {
+                    r.get("placement") == Some(&Json::str(placement)) && pages_of(r) == "base"
+                })
+                .filter_map(|r| r.get("ops_per_sec").and_then(Json::as_f64))
+                .fold(0.0, f64::max)
+        };
+        let (local, remote) = (best("local"), best("remote"));
+        assert!(
+            local >= remote * 0.9,
+            "{file}: local placement ({local} ops/s) lost to remote ({remote} ops/s) on a \
+             {nodes}-node machine"
+        );
+    }
 }
 
 #[test]

@@ -14,6 +14,7 @@ use register_common::traits::{
 use crate::current::MAX_READERS;
 use crate::group::{ArcGroup, GroupReaderSet, GroupWriterSet};
 use crate::register::{ArcReader, ArcRegister, ArcWriter, ReadGuard};
+use crate::sharded::{ShardedReaderSet, ShardedTable, ShardedTableBuilder, ShardedWriterSet};
 
 /// Type-level handle for the ARC algorithm.
 pub struct ArcFamily;
@@ -264,6 +265,99 @@ impl TableFamily for IndependentTableFamily {
     }
 }
 
+/// Compile-time configuration of a [`ShardedTableFamily`]: the table
+/// drivers are monomorphized per family, so placement variants (bench
+/// plans, the CI split plan) are expressed as zero-sized plan types
+/// rather than runtime parameters.
+pub trait ShardPlan {
+    /// Algorithm label reported in bench/conformance output.
+    const NAME: &'static str;
+
+    /// Apply this plan's shard count / backend / placement to the
+    /// builder. The default is the builder untouched: topology-driven
+    /// shard count, heap backend, first-touch placement.
+    fn configure(builder: ShardedTableBuilder) -> ShardedTableBuilder {
+        builder
+    }
+}
+
+/// The production plan: one shard per NUMA node (one shard total on
+/// single-node machines), first-touch placement.
+pub struct LocalPlan;
+
+impl ShardPlan for LocalPlan {
+    const NAME: &'static str = "arc-sharded";
+}
+
+/// A forced two-shard plan so the routing/translation layer is exercised
+/// even on single-node CI runners, where [`LocalPlan`] collapses to one
+/// shard and the cross-shard paths would otherwise go untested.
+pub struct SplitPlan;
+
+impl ShardPlan for SplitPlan {
+    const NAME: &'static str = "arc-sharded2";
+
+    fn configure(builder: ShardedTableBuilder) -> ShardedTableBuilder {
+        builder.shards(2)
+    }
+}
+
+/// Table family over [`ShardedTable`], parameterized by a [`ShardPlan`].
+pub struct ShardedTableFamily<P: ShardPlan>(std::marker::PhantomData<P>);
+
+impl TableWriteHandle for ShardedWriterSet {
+    #[inline]
+    fn write(&mut self, k: usize, value: &[u8]) {
+        ShardedWriterSet::write(self, k, value);
+    }
+
+    #[inline]
+    fn write_batch(&mut self, ops: &[(usize, &[u8])]) {
+        ShardedWriterSet::write_batch(self, ops);
+    }
+}
+
+impl TableReadHandle for ShardedReaderSet {
+    #[inline]
+    fn read_with<R, F: FnOnce(&[u8]) -> R>(&mut self, k: usize, f: F) -> R {
+        f(&self.read(k))
+    }
+
+    #[inline]
+    fn read_many<F: FnMut(usize, &[u8])>(&mut self, keys: &[usize], f: F) {
+        ShardedReaderSet::read_many(self, keys, f);
+    }
+}
+
+impl<P: ShardPlan + 'static> TableFamily for ShardedTableFamily<P> {
+    type Writer = ShardedWriterSet;
+    type Reader = ShardedReaderSet;
+
+    const NAME: &'static str = P::NAME;
+
+    fn build(
+        registers: usize,
+        spec: RegisterSpec,
+        initial: &[u8],
+    ) -> Result<(Self::Writer, Vec<Self::Reader>), BuildError> {
+        let readers = u32::try_from(spec.readers).ok().filter(|&r| r <= MAX_READERS).ok_or(
+            BuildError::TooManyReaders { requested: spec.readers, limit: MAX_READERS as usize },
+        )?;
+        let table = P::configure(ShardedTable::builder(registers, readers, spec.capacity))
+            .initial(initial)
+            .build()?;
+        let writer = table.writer_set().expect("fresh table has no writer");
+        let readers = (0..spec.readers)
+            .map(|_| table.reader_set().expect("within the configured reader cap"))
+            .collect();
+        Ok((writer, readers))
+    }
+
+    fn heap_bytes(writer: &Self::Writer) -> Option<usize> {
+        Some(writer.table().heap_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +431,31 @@ mod tests {
         let g = GroupTableFamily::heap_bytes(&gw).unwrap();
         let i = IndependentTableFamily::heap_bytes(&iw).unwrap();
         assert!(i >= 4 * g, "independent {i} B vs group {g} B: expected ≥ 4x density win");
+    }
+
+    #[test]
+    fn sharded_table_family_roundtrip() {
+        let (mut w, mut readers) =
+            ShardedTableFamily::<SplitPlan>::build(16, RegisterSpec::new(2, 64), b"seed").unwrap();
+        assert_eq!(readers.len(), 2);
+        for r in readers.iter_mut() {
+            r.read_with(9, |v| assert_eq!(v, b"seed"));
+        }
+        w.write_batch(&[(1, b"one".as_slice()), (13, b"thirteen".as_slice())]);
+        let mut seen = Vec::new();
+        readers[0].read_many(&[13, 1], |k, v| seen.push((k, v.to_vec())));
+        seen.sort();
+        assert_eq!(seen, vec![(1, b"one".to_vec()), (13, b"thirteen".to_vec())]);
+        assert!(ShardedTableFamily::<SplitPlan>::heap_bytes(&w).unwrap() > 0);
+        assert_eq!(ShardedTableFamily::<SplitPlan>::NAME, "arc-sharded2");
+        assert_eq!(ShardedTableFamily::<LocalPlan>::NAME, "arc-sharded");
+    }
+
+    #[test]
+    fn sharded_table_family_rejects_bad_specs() {
+        assert!(ShardedTableFamily::<LocalPlan>::build(0, RegisterSpec::new(1, 16), b"").is_err());
+        assert!(ShardedTableFamily::<LocalPlan>::build(2, RegisterSpec::new(0, 16), b"").is_err());
+        assert!(ShardedTableFamily::<LocalPlan>::build(2, RegisterSpec::new(1, 0), b"").is_err());
     }
 
     #[test]

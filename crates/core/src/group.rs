@@ -106,8 +106,8 @@ use crate::raw::{
 use crate::recovery::{self, RecoveryReport};
 use crate::register::{GuardBackend, ReadGuard, Snapshot, INLINE_CAP};
 use crate::shm::{
-    pid_alive, Slab, SlabBackend, SlabError, SlabGeometry, SlabLayout, FLAG_FAST_PATH, FLAG_HINT,
-    FLAG_INLINE, FLAG_PINS, HDR_BYTES, SLOT_BYTES,
+    pid_alive, PlacementInfo, Slab, SlabBackend, SlabError, SlabGeometry, SlabLayout,
+    SlabPlacement, FLAG_FAST_PATH, FLAG_HINT, FLAG_INLINE, FLAG_PINS, HDR_BYTES, SLOT_BYTES,
 };
 
 pub mod layout {
@@ -568,6 +568,7 @@ pub struct GroupBuilder {
     opts: RawOptions,
     inline: bool,
     backend: SlabBackend,
+    placement: SlabPlacement,
     pin_registry: Option<bool>,
     initial: Vec<u8>,
 }
@@ -585,6 +586,7 @@ impl GroupBuilder {
             opts: RawOptions::default(),
             inline: true,
             backend: SlabBackend::Heap,
+            placement: SlabPlacement::default(),
             pin_registry: None,
             initial: Vec::new(),
         }
@@ -629,6 +631,15 @@ impl GroupBuilder {
     /// processes can map the same registers via [`ArcGroup::attach_fd`].
     pub fn backend(mut self, backend: SlabBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Request a page-size / NUMA placement for the slab (§3.11). Only
+    /// meaningful with [`SlabBackend::Shm`]; heap slabs ignore it. Every
+    /// part of the request is best-effort with a transparent fallback —
+    /// check [`ArcGroup::placement`] for what actually materialized.
+    pub fn placement(mut self, placement: SlabPlacement) -> Self {
+        self.placement = placement;
         self
     }
 
@@ -690,7 +701,7 @@ impl GroupBuilder {
         let slab = match self.backend {
             SlabBackend::Heap => Slab::heap(layout.total)?,
             #[cfg(target_os = "linux")]
-            SlabBackend::Shm => Slab::shm(layout.total)?,
+            SlabBackend::Shm => Slab::shm(layout.total, self.placement)?,
             #[cfg(not(target_os = "linux"))]
             SlabBackend::Shm => {
                 return Err(BuildError::Slab(SlabError::Unsupported {
@@ -738,7 +749,7 @@ impl GroupBuilder {
         }
         // Stamp the superblock last: the Release store of the magic
         // publishes a fully initialized slab to any attacher.
-        group.slab.superblock().initialize(&group.layout);
+        group.slab.superblock().initialize(&group.layout, group.slab.placement());
         Ok(Arc::new(group))
     }
 }
@@ -812,6 +823,14 @@ impl ArcGroup {
     /// The storage backend this group's slab lives on.
     pub fn backend(&self) -> SlabBackend {
         self.backend
+    }
+
+    /// The slab's *effective* placement (§3.11): page rounding quantum,
+    /// the page mode that materialized (hugetlb / THP-advised / base),
+    /// and the node policy that actually applied. Read from the
+    /// superblock, so an attacher sees the creator's placement.
+    pub fn placement(&self) -> PlacementInfo {
+        self.slab.superblock().placement_info()
     }
 
     /// The slab's recovery epoch: how many completed [`ArcGroup::recover`]
@@ -2322,12 +2341,19 @@ mod tests {
             let mut r = g.reader(k).unwrap();
             let stop = Arc::clone(&stop);
             handles.push(std::thread::spawn(move || {
+                // One unconditional read before honoring `stop`: on a
+                // single-core box the writer can finish and set `stop`
+                // before this thread is first scheduled, and the
+                // total-reads assertion below must not race the scheduler.
                 let mut reads = 0u64;
-                while !stop.load(Ordering::Relaxed) {
+                loop {
                     let snap = r.read();
                     let first = snap.first().copied().unwrap_or(0);
                     assert!(snap.iter().all(|&b| b == first), "torn read on register {k}");
                     reads += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
                 }
                 reads
             }));

@@ -68,7 +68,14 @@
 //! * [`shm`] — the relocatable slab: [`ArcGroup`] stores all K registers
 //!   in one offset-addressed mapping, on heap memory or (Linux) on a
 //!   shareable `memfd` ([`SlabBackend::Shm`]) that other processes attach
-//!   with [`ArcGroup::attach_fd`] after superblock validation.
+//!   with [`ArcGroup::attach_fd`] after superblock validation. Slab pages
+//!   can be placed deliberately ([`SlabPlacement`]): huge pages with a
+//!   transparent THP fallback, and per-NUMA-node binding or interleaving.
+//! * [`topology`] — NUMA discovery (`/sys/devices/system/node`) with a
+//!   single-node fallback, feeding placement and sharding decisions.
+//! * [`sharded`] — [`ShardedTable`]: K registers hash-partitioned across
+//!   per-node [`ArcGroup`] shards with per-shard writers and
+//!   locality-aware readers (§3.11).
 //! * [`recovery`] — writer-death recovery and reader-pin reclamation:
 //!   classify an interrupted publication from its journal, adopt or
 //!   discard the in-flight slot, and sweep dead readers' pins
@@ -102,14 +109,19 @@ pub mod group;
 pub mod raw;
 pub mod recovery;
 pub mod register;
+pub mod sharded;
 pub mod shm;
 pub mod supervise;
+pub mod topology;
 pub mod typed;
 pub mod watch;
 
 pub use crash::CrashPoint;
 pub use errors::HandleError;
-pub use family::{ArcFamily, GroupTableFamily, IndependentTableFamily};
+pub use family::{
+    ArcFamily, GroupTableFamily, IndependentTableFamily, LocalPlan, ShardPlan, ShardedTableFamily,
+    SplitPlan,
+};
 pub use group::{
     ArcGroup, GroupBuilder, GroupReader, GroupReaderSet, GroupWriter, GroupWriterSet, HealthReport,
     QuarantineReason, QuarantinedRegister, RegisterHealth, ScrubReport, WriterProbe,
@@ -119,8 +131,15 @@ pub use recovery::RecoveryReport;
 pub use register::{
     ArcBuilder, ArcReader, ArcRegister, ArcWriter, ReadGuard, Snapshot, INLINE_CAP,
 };
-pub use shm::{SlabBackend, SlabError};
+pub use sharded::{
+    shard_of, ShardNodes, ShardRoute, ShardedReaderSet, ShardedTable, ShardedTableBuilder,
+    ShardedWriterSet,
+};
+pub use shm::{
+    NodePolicy, PageMode, PagePolicy, PlacementInfo, SlabBackend, SlabError, SlabPlacement,
+};
 pub use supervise::{PlaneSupervisor, SupervisorConfig, SupervisorEvent, WriterHealth};
+pub use topology::{NumaNode, Topology};
 pub use typed::{TypedArc, TypedReadGuard, TypedReader, TypedWriter, Versioned};
 #[cfg(feature = "async")]
 pub use watch::VersionStream;

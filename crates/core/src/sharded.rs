@@ -1,0 +1,544 @@
+//! [`ShardedTable`]: K registers hash-partitioned across per-NUMA-node
+//! [`ArcGroup`] shards (DESIGN.md §3.11).
+//!
+//! One big slab is dense but *flat*: at the 1M-register scale every
+//! cross-socket reader pays remote-memory latency for every key. This
+//! module splits the key space across one slab **per NUMA node** so that
+//! a reader's accesses to keys homed on its own socket stay local, and
+//! only keys homed elsewhere forward cross-socket — the on-box analogue
+//! of the replica-locality tradeoff in the distributed MWMR register
+//! literature (PAPERS.md: Nicolaou & Georgiou; Huang et al.).
+//!
+//! * **Routing** is a pure function: [`shard_of`] mixes the key
+//!   (SplitMix64 finalizer) and reduces modulo the shard count, so the
+//!   assignment is *stable* (same key → same shard, forever), *total*
+//!   (every key routed), and *balanced* (hash-spread, so Zipf-hot keys
+//!   do not clump on one shard the way range partitioning would clump
+//!   them). Property-tested in `tests/conformance.rs`.
+//! * **Each shard is a full [`ArcGroup`]**: per-shard writer sets keep
+//!   the (1,N) single-writer discipline per register, recovery and
+//!   supervision machinery work per shard unchanged, and shard slabs
+//!   take independent [`crate::SlabPlacement`]s (node-bound, interleaved,
+//!   hugepage-backed).
+//! * **The wait-free protocol is untouched** — sharding only decides
+//!   *which* slab a key's slots live in. Every read/write is one shard
+//!   lookup (two array indexes) ahead of the normal group path.
+//!
+//! On a single-node machine ([`crate::Topology`] fallback) the table
+//! degrades to one shard and behaves exactly like a plain group — the
+//! code path every machine exercises, not a special case.
+
+use std::sync::Arc;
+
+use register_common::traits::BuildError;
+
+use crate::errors::HandleError;
+use crate::group::{ArcGroup, GroupReaderSet, GroupWriterSet};
+use crate::register::Snapshot;
+use crate::shm::{NodePolicy, PagePolicy, SlabBackend, SlabPlacement};
+use crate::topology::Topology;
+
+/// The shard a key belongs to: SplitMix64-finalized hash of the key,
+/// reduced modulo `shards`. Pure, stable, total for `shards >= 1`.
+#[inline]
+pub fn shard_of(key: usize, shards: usize) -> usize {
+    debug_assert!(shards >= 1);
+    let mut x = (key as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// The key→shard assignment of one table: for every key, its shard and
+/// its dense index *within* that shard, plus the inverse map. Built once
+/// at table construction; all lookups are O(1) array reads.
+#[derive(Debug, Clone)]
+pub struct ShardRoute {
+    /// `route[key] = (shard, local index)`.
+    route: Vec<(u32, u32)>,
+    /// `locals[shard][local index] = key` (the inverse of `route`).
+    locals: Vec<Vec<u32>>,
+}
+
+impl ShardRoute {
+    /// Assign `registers` keys across up to `shards` shards. The shard
+    /// count is clamped to the register count, and shards the hash
+    /// leaves empty are compacted away (tiny tables), so every shard of
+    /// the result holds at least one key.
+    pub fn new(registers: usize, shards: usize) -> Self {
+        assert!(registers >= 1, "need at least one register");
+        assert!(shards >= 1, "need at least one shard");
+        let shards = shards.min(registers);
+        let mut remap = vec![u32::MAX; shards];
+        let mut route = Vec::with_capacity(registers);
+        let mut locals: Vec<Vec<u32>> = Vec::with_capacity(shards);
+        for key in 0..registers {
+            let raw = shard_of(key, shards);
+            if remap[raw] == u32::MAX {
+                remap[raw] = locals.len() as u32;
+                locals.push(Vec::new());
+            }
+            let s = remap[raw] as usize;
+            route.push((s as u32, locals[s].len() as u32));
+            locals[s].push(key as u32);
+        }
+        Self { route, locals }
+    }
+
+    /// Number of (non-empty) shards.
+    pub fn shards(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Number of keys routed (the table's register count).
+    pub fn registers(&self) -> usize {
+        self.route.len()
+    }
+
+    /// The shard and within-shard index of `key`.
+    ///
+    /// # Panics
+    /// Panics when `key >= registers()` (same contract as indexing a
+    /// group out of range).
+    #[inline]
+    pub fn locate(&self, key: usize) -> (usize, usize) {
+        let (s, l) = self.route[key];
+        (s as usize, l as usize)
+    }
+
+    /// How many keys shard `shard` holds.
+    pub fn count(&self, shard: usize) -> usize {
+        self.locals[shard].len()
+    }
+
+    /// The keys of `shard`, in within-shard index order.
+    pub fn keys_of(&self, shard: usize) -> &[u32] {
+        &self.locals[shard]
+    }
+}
+
+/// How shard slabs are spread over NUMA nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardNodes {
+    /// No explicit policy: first-touch faulting (the single-node
+    /// default, and the fallback whenever `mbind` is unavailable).
+    #[default]
+    FirstTouch,
+    /// Shard `i` binds to the topology's `i`-th node (round-robin when
+    /// there are more shards than nodes): the **local-read** layout.
+    NodeLocal,
+    /// Every shard binds to the one given node — the **remote-read**
+    /// bench mode (all memory one hop away from every other socket).
+    AllOn(u32),
+    /// Every shard's pages interleave round-robin across all nodes: the
+    /// uniform-average-latency baseline placement.
+    Interleave,
+}
+
+/// Builder for [`ShardedTable`].
+#[derive(Debug, Clone)]
+pub struct ShardedTableBuilder {
+    registers: usize,
+    max_readers: u32,
+    capacity: usize,
+    shards: Option<usize>,
+    backend: SlabBackend,
+    pages: PagePolicy,
+    nodes: ShardNodes,
+    initial: Vec<u8>,
+}
+
+impl ShardedTableBuilder {
+    /// Start building a sharded table of `registers` registers, each
+    /// admitting up to `max_readers` concurrent readers and values of up
+    /// to `capacity` bytes.
+    pub fn new(registers: usize, max_readers: u32, capacity: usize) -> Self {
+        Self {
+            registers,
+            max_readers,
+            capacity,
+            shards: None,
+            backend: SlabBackend::Heap,
+            pages: PagePolicy::default(),
+            nodes: ShardNodes::default(),
+            initial: Vec::new(),
+        }
+    }
+
+    /// Initial value of every register; empty by default.
+    pub fn initial(mut self, value: &[u8]) -> Self {
+        self.initial = value.to_vec();
+        self
+    }
+
+    /// Override the shard count (default: one per NUMA node). Clamped to
+    /// the register count at build.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Storage backend of every shard slab (default heap; placement
+    /// policies need [`SlabBackend::Shm`]).
+    pub fn backend(mut self, backend: SlabBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Page sizing of every shard slab (default base pages).
+    pub fn pages(mut self, pages: PagePolicy) -> Self {
+        self.pages = pages;
+        self
+    }
+
+    /// NUMA spread of the shard slabs (default first-touch).
+    pub fn nodes(mut self, nodes: ShardNodes) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Build the table: route the key space, then build one
+    /// [`ArcGroup`] per shard with its computed placement.
+    pub fn build(self) -> Result<Arc<ShardedTable>, BuildError> {
+        if self.registers == 0 {
+            return Err(BuildError::ZeroRegisters);
+        }
+        let topo = Topology::system();
+        let route = ShardRoute::new(self.registers, self.shards.unwrap_or(topo.node_count()));
+        let mut groups = Vec::with_capacity(route.shards());
+        let mut nodes = Vec::with_capacity(route.shards());
+        for s in 0..route.shards() {
+            let node_policy = match self.nodes {
+                ShardNodes::FirstTouch => NodePolicy::FirstTouch,
+                ShardNodes::NodeLocal => NodePolicy::Bind(topo.node_id(s)),
+                ShardNodes::AllOn(node) => NodePolicy::Bind(node),
+                ShardNodes::Interleave => NodePolicy::Interleave,
+            };
+            let group = ArcGroup::builder(route.count(s), self.max_readers, self.capacity)
+                .backend(self.backend)
+                .placement(SlabPlacement { pages: self.pages, nodes: node_policy })
+                .initial(&self.initial)
+                .build()?;
+            nodes.push(match group.placement().nodes {
+                NodePolicy::Bind(n) => Some(n),
+                _ => None,
+            });
+            groups.push(group);
+        }
+        Ok(Arc::new(ShardedTable { groups, route, nodes }))
+    }
+}
+
+/// K wait-free (1,N) registers hash-partitioned across per-node
+/// [`ArcGroup`] shards (module docs). Create with
+/// [`ShardedTable::builder`], then hand out one [`ShardedWriterSet`] and
+/// any number of [`ShardedReaderSet`]s.
+pub struct ShardedTable {
+    groups: Vec<Arc<ArcGroup>>,
+    route: ShardRoute,
+    /// The node each shard's slab is actually bound to (`None` =
+    /// first-touch / unbound), for home-shard selection and reporting.
+    nodes: Vec<Option<u32>>,
+}
+
+impl ShardedTable {
+    /// Start building a sharded table.
+    pub fn builder(registers: usize, max_readers: u32, capacity: usize) -> ShardedTableBuilder {
+        ShardedTableBuilder::new(registers, max_readers, capacity)
+    }
+
+    /// Total registers across all shards.
+    pub fn registers(&self) -> usize {
+        self.route.registers()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The per-shard groups, shard order. Each is a normal [`ArcGroup`]:
+    /// recovery, supervision, and placement introspection all apply.
+    pub fn groups(&self) -> &[Arc<ArcGroup>] {
+        &self.groups
+    }
+
+    /// The key→shard assignment.
+    pub fn route(&self) -> &ShardRoute {
+        &self.route
+    }
+
+    /// The node each shard is bound to (`None` = first-touch).
+    pub fn shard_nodes(&self) -> &[Option<u32>] {
+        &self.nodes
+    }
+
+    /// Aggregate heap/slab footprint of all shards plus the routing
+    /// tables.
+    pub fn heap_bytes(&self) -> usize {
+        let groups: usize = self.groups.iter().map(|g| g.heap_bytes()).sum();
+        let route = self.route.route.len() * std::mem::size_of::<(u32, u32)>()
+            + self.route.locals.iter().map(|l| l.len() * 4).sum::<usize>();
+        std::mem::size_of::<Self>() + groups + route
+    }
+
+    /// Claim the writer role on **every** shard and return the combined
+    /// write handle. Fails (releasing any shards already claimed) if any
+    /// shard's writer is taken or needs recovery — same contract as
+    /// [`ArcGroup::writer_set`], extended across shards.
+    pub fn writer_set(self: &Arc<Self>) -> Result<ShardedWriterSet, HandleError> {
+        let writers = self.groups.iter().map(|g| g.writer_set()).collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedWriterSet { table: Arc::clone(self), writers })
+    }
+
+    /// A whole-table read handle. The reader's **home shard** is the
+    /// shard bound to the NUMA node the calling thread runs on (shard 0
+    /// when unbound / single-node): reads of keys homed there are local,
+    /// everything else forwards cross-socket — counted, not failed.
+    pub fn reader_set(self: &Arc<Self>) -> Result<ShardedReaderSet, HandleError> {
+        let readers = self.groups.iter().map(|g| g.reader_set()).collect::<Result<Vec<_>, _>>()?;
+        let home = self.home_shard();
+        Ok(ShardedReaderSet { table: Arc::clone(self), readers, home, local: 0, remote: 0 })
+    }
+
+    /// The shard a thread on the current CPU should call home: the shard
+    /// bound to this thread's node, else the current node's index
+    /// round-robined over the shard count (covers unbound shards and
+    /// mbind fallbacks).
+    fn home_shard(&self) -> usize {
+        let topo = Topology::system();
+        let node = topo.current_node();
+        if let Some(i) = self.nodes.iter().position(|&n| n == Some(node)) {
+            return i;
+        }
+        let idx = topo.nodes().iter().position(|n| n.id == node).unwrap_or(0);
+        idx % self.groups.len()
+    }
+}
+
+impl std::fmt::Debug for ShardedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedTable")
+            .field("registers", &self.registers())
+            .field("shards", &self.shards())
+            .field("nodes", &self.nodes)
+            .finish()
+    }
+}
+
+/// Write handle over the whole sharded table: one [`GroupWriterSet`] per
+/// shard, routed per key. Exactly one exists per table (the (1,N)
+/// single-writer discipline, plane-wide).
+pub struct ShardedWriterSet {
+    table: Arc<ShardedTable>,
+    writers: Vec<GroupWriterSet>,
+}
+
+impl ShardedWriterSet {
+    /// Write `value` to register `key` (routed to its shard).
+    #[inline]
+    pub fn write(&mut self, key: usize, value: &[u8]) {
+        let (s, l) = self.table.route.locate(key);
+        self.writers[s].write(l, value);
+    }
+
+    /// Write a batch of `(key, value)` ops: split by shard, then one
+    /// per-shard [`GroupWriterSet::write_batch`] each — shard-local
+    /// slab traversal instead of ping-ponging between shards per op.
+    pub fn write_batch(&mut self, ops: &[(usize, &[u8])]) {
+        if ops.len() == 1 {
+            return self.write(ops[0].0, ops[0].1);
+        }
+        let mut per_shard: Vec<Vec<(usize, &[u8])>> = vec![Vec::new(); self.writers.len()];
+        for &(key, value) in ops {
+            let (s, l) = self.table.route.locate(key);
+            per_shard[s].push((l, value));
+        }
+        for (s, batch) in per_shard.iter().enumerate() {
+            if !batch.is_empty() {
+                self.writers[s].write_batch(batch);
+            }
+        }
+    }
+
+    /// The table this handle writes.
+    pub fn table(&self) -> &Arc<ShardedTable> {
+        &self.table
+    }
+}
+
+/// Read handle over the whole sharded table: one [`GroupReaderSet`] per
+/// shard, a home shard for locality accounting, and local/remote read
+/// counters (§3.11: "read your socket's shard, pay cross-socket only on
+/// miss" — a *miss* is a key homed on another node's shard).
+pub struct ShardedReaderSet {
+    table: Arc<ShardedTable>,
+    readers: Vec<GroupReaderSet>,
+    home: usize,
+    local: u64,
+    remote: u64,
+}
+
+impl ShardedReaderSet {
+    /// Read register `key` (wait-free; routed to its shard).
+    #[inline]
+    pub fn read(&mut self, key: usize) -> Snapshot<'_> {
+        let (s, l) = self.table.route.locate(key);
+        if s == self.home {
+            self.local += 1;
+        } else {
+            self.remote += 1;
+        }
+        self.readers[s].read(l)
+    }
+
+    /// Read many keys in one pass, **home shard first**, then the other
+    /// shards: local keys are served before any cross-socket traffic is
+    /// issued. Within each shard the group's sorted slab-order traversal
+    /// applies, so callback order is (home shard's keys, then per-shard)
+    /// ascending — not input order. `f` runs once per key *occurrence*.
+    pub fn read_many(&mut self, keys: &[usize], mut f: impl FnMut(usize, &[u8])) {
+        let shards = self.readers.len();
+        if shards == 1 {
+            self.local += keys.len() as u64;
+            return self.readers[0].read_many(keys, f);
+        }
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for &key in keys {
+            let (s, l) = self.table.route.locate(key);
+            per_shard[s].push(l);
+        }
+        let home = self.home;
+        for i in 0..shards {
+            let s = (home + i) % shards;
+            let locals = &per_shard[s];
+            if locals.is_empty() {
+                continue;
+            }
+            if s == home {
+                self.local += locals.len() as u64;
+            } else {
+                self.remote += locals.len() as u64;
+            }
+            let keys_of = self.table.route.keys_of(s);
+            self.readers[s].read_many(locals, |l, v| f(keys_of[l] as usize, v));
+        }
+    }
+
+    /// `(local, remote)` read counts so far: reads of keys homed on this
+    /// handle's home shard vs. reads that forwarded to another shard.
+    pub fn locality(&self) -> (u64, u64) {
+        (self.local, self.remote)
+    }
+
+    /// The fraction of the key space homed on this handle's home shard —
+    /// the expected local-read fraction under a uniform key distribution.
+    pub fn local_key_fraction(&self) -> f64 {
+        self.table.route.count(self.home) as f64 / self.table.registers() as f64
+    }
+
+    /// This handle's home shard index.
+    pub fn home_shard(&self) -> usize {
+        self.home
+    }
+
+    /// The table this handle reads.
+    pub fn table(&self) -> &Arc<ShardedTable> {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_total_and_dense() {
+        let route = ShardRoute::new(1000, 4);
+        assert_eq!(route.registers(), 1000);
+        assert!(route.shards() >= 1 && route.shards() <= 4);
+        let mut seen = vec![false; 1000];
+        for s in 0..route.shards() {
+            assert!(route.count(s) >= 1, "compaction leaves no empty shard");
+            for (l, &key) in route.keys_of(s).iter().enumerate() {
+                assert_eq!(route.locate(key as usize), (s, l), "inverse map agrees");
+                assert!(!seen[key as usize], "key routed twice");
+                seen[key as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every key routed");
+        // Stability: an identical route assigns identically.
+        let again = ShardRoute::new(1000, 4);
+        for k in 0..1000 {
+            assert_eq!(route.locate(k), again.locate(k));
+        }
+    }
+
+    #[test]
+    fn routing_clamps_shards_to_registers() {
+        let route = ShardRoute::new(3, 64);
+        assert!(route.shards() <= 3);
+        assert_eq!((0..3).map(|k| route.locate(k).0).filter(|&s| s < route.shards()).count(), 3);
+    }
+
+    #[test]
+    fn four_shard_table_roundtrips_across_shards() {
+        let table = ShardedTable::builder(64, 2, 32)
+            .shards(4)
+            .initial(b"seed")
+            .build()
+            .expect("sharded table");
+        assert_eq!(table.shards(), 4);
+        assert_eq!(table.registers(), 64);
+        let mut w = table.writer_set().expect("writer");
+        let mut r = table.reader_set().expect("reader");
+        for k in 0..64 {
+            assert_eq!(&*r.read(k), b"seed");
+        }
+        for k in 0..64 {
+            w.write(k, format!("v{k}").as_bytes());
+        }
+        for k in (0..64).rev() {
+            assert_eq!(&*r.read(k), format!("v{k}").as_bytes());
+        }
+        let (local, remote) = r.locality();
+        assert_eq!(local + remote, 128, "every read counted exactly once");
+        assert!(r.local_key_fraction() > 0.0 && r.local_key_fraction() < 1.0);
+    }
+
+    #[test]
+    fn batch_write_and_read_many_translate_keys() {
+        let table = ShardedTable::builder(40, 1, 16).shards(3).build().unwrap();
+        let mut w = table.writer_set().unwrap();
+        let mut r = table.reader_set().unwrap();
+        let vals: Vec<Vec<u8>> = (0..40usize).map(|k| vec![k as u8; 3]).collect();
+        let ops: Vec<(usize, &[u8])> = vals.iter().enumerate().map(|(k, v)| (k, &v[..])).collect();
+        w.write_batch(&ops);
+        let keys: Vec<usize> = vec![7, 31, 2, 2, 19];
+        let mut seen = Vec::new();
+        r.read_many(&keys, |k, v| seen.push((k, v.to_vec())));
+        assert_eq!(seen.len(), keys.len(), "once per occurrence, duplicates included");
+        for (k, v) in seen {
+            assert_eq!(v, vals[k], "callback key matches the payload it carries");
+        }
+    }
+
+    #[test]
+    fn second_writer_set_is_refused() {
+        let table = ShardedTable::builder(8, 1, 16).shards(2).build().unwrap();
+        let _w = table.writer_set().unwrap();
+        assert!(table.writer_set().is_err(), "one writer per plane, across all shards");
+    }
+
+    #[test]
+    fn default_shard_count_follows_topology() {
+        let table = ShardedTable::builder(128, 1, 16).build().unwrap();
+        assert_eq!(table.shards(), Topology::system().node_count().min(128));
+    }
+
+    #[test]
+    fn zero_registers_is_a_typed_error() {
+        assert!(matches!(ShardedTable::builder(0, 1, 16).build(), Err(BuildError::ZeroRegisters)));
+    }
+}

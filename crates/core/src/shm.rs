@@ -62,7 +62,11 @@ pub const SLAB_MAGIC: u64 = u64::from_le_bytes(*b"ARCSLAB1");
 /// * v2 — PR 7: per-register lease-extension region (birth token,
 ///   heartbeat, health word, last-good version) and the superblock
 ///   recovery-claim word.
-pub const SLAB_LAYOUT_VERSION: u32 = 2;
+/// * v3 — PR 8: placement words (page quantum + page/node policy) join
+///   the checksummed geometry, and shm mapping lengths are explicitly
+///   rounded up to the page quantum (so `mapped_len` is validated
+///   against the *rounded* total, not the raw layout total).
+pub const SLAB_LAYOUT_VERSION: u32 = 3;
 
 /// Reserved bytes at offset 0 for the superblock (128 = two cache
 /// lines; the second line is the mutable epoch + reserve, so epoch bumps
@@ -80,6 +84,152 @@ pub enum SlabBackend {
     /// be re-mapped by other processes (or again in this one) via
     /// [`crate::ArcGroup::memfd`] / [`crate::ArcGroup::attach_fd`].
     Shm,
+}
+
+// ---------------------------------------------------------------------
+// Placement: page sizing and NUMA node policy
+// ---------------------------------------------------------------------
+
+/// Requested page sizing for a shm slab mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PagePolicy {
+    /// Base (4 KiB) pages — the default.
+    #[default]
+    Base,
+    /// Prefer huge pages: try a `MFD_HUGETLB` memfd (2 MiB pages from
+    /// the kernel's reserved pool) and fall back transparently to base
+    /// pages + `madvise(MADV_HUGEPAGE)` (THP) when the pool is empty or
+    /// the kernel refuses. The fallback never changes semantics — only
+    /// TLB pressure (DESIGN.md §3.11).
+    Huge,
+}
+
+/// Requested NUMA placement for a shm slab's pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodePolicy {
+    /// No explicit policy: first-touch faulting places each page on the
+    /// node of the CPU that first writes it (the default, and the only
+    /// behavior on single-node machines).
+    #[default]
+    FirstTouch,
+    /// `mbind(MPOL_BIND)` the whole mapping to one node. Best-effort:
+    /// when the syscall is unavailable or refuses, the slab records
+    /// [`NodePolicy::FirstTouch`] as its effective policy.
+    Bind(u32),
+    /// `mbind(MPOL_INTERLEAVE)` the mapping round-robin across all
+    /// probed nodes. On a 1-node machine this degrades to the identity
+    /// placement (recorded as such).
+    Interleave,
+}
+
+/// A requested slab placement: page sizing × node policy. What actually
+/// happened is recorded as a [`PlacementInfo`] in the superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlabPlacement {
+    /// Page sizing request.
+    pub pages: PagePolicy,
+    /// NUMA node request.
+    pub nodes: NodePolicy,
+}
+
+/// How a slab's pages actually ended up (request + fallbacks applied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageMode {
+    /// Base pages, no THP advice.
+    Base,
+    /// Base pages with `madvise(MADV_HUGEPAGE)` applied (the THP
+    /// fallback of [`PagePolicy::Huge`]).
+    ThpAdvised,
+    /// A real `MFD_HUGETLB` mapping on reserved 2 MiB pages.
+    HugeTlb,
+}
+
+impl PageMode {
+    /// Stable lowercase label for benchmark JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            PageMode::Base => "base",
+            PageMode::ThpAdvised => "thp",
+            PageMode::HugeTlb => "hugetlb",
+        }
+    }
+}
+
+/// The *effective* placement of a slab, recorded in its superblock at
+/// initialization and validated (alongside the geometry) at attach: the
+/// byte quantum its mapping length is rounded to, the page mode that
+/// actually materialized, and the node policy that actually applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementInfo {
+    /// Rounding quantum of the mapping length in bytes: 1 for heap
+    /// slabs (unrounded), the system page size for base-page shm slabs,
+    /// the huge page size (2 MiB) when huge pages were requested —
+    /// *whether or not* the hugetlb path succeeded, so the recorded
+    /// length invariant is independent of the fallback taken.
+    pub quantum: usize,
+    /// Effective page mode.
+    pub pages: PageMode,
+    /// Effective node policy ([`NodePolicy::FirstTouch`] when a bind or
+    /// interleave request could not be applied).
+    pub nodes: NodePolicy,
+}
+
+impl PlacementInfo {
+    /// The placement of a heap slab: unrounded, base pages, first-touch.
+    pub fn heap() -> Self {
+        Self { quantum: 1, pages: PageMode::Base, nodes: NodePolicy::FirstTouch }
+    }
+
+    /// Encode into the superblock's placement word: page mode in bits
+    /// 0..8, node-policy kind in bits 8..16, bound node id in bits
+    /// 32..64. (The quantum travels in its own word.)
+    fn encode(self) -> u64 {
+        let pages = match self.pages {
+            PageMode::Base => 0u64,
+            PageMode::ThpAdvised => 1,
+            PageMode::HugeTlb => 2,
+        };
+        let (kind, node) = match self.nodes {
+            NodePolicy::FirstTouch => (0u64, 0u64),
+            NodePolicy::Bind(n) => (1, n as u64),
+            NodePolicy::Interleave => (2, 0),
+        };
+        pages | kind << 8 | node << 32
+    }
+
+    /// Decode a placement word; `None` on unknown bits (validation
+    /// rejects such superblocks as corrupt).
+    fn decode(word: u64, quantum: u64) -> Option<Self> {
+        let pages = match word & 0xff {
+            0 => PageMode::Base,
+            1 => PageMode::ThpAdvised,
+            2 => PageMode::HugeTlb,
+            _ => return None,
+        };
+        let node = (word >> 32) as u32;
+        let nodes = match (word >> 8) & 0xff {
+            0 => NodePolicy::FirstTouch,
+            1 => NodePolicy::Bind(node),
+            2 => NodePolicy::Interleave,
+            _ => return None,
+        };
+        if word & 0xffff_0000 != 0 {
+            return None; // reserved bits 16..32 must be zero
+        }
+        let quantum = usize::try_from(quantum).ok()?;
+        Some(Self { quantum, pages, nodes })
+    }
+}
+
+/// Huge page size assumed by [`PagePolicy::Huge`] (the x86-64/aarch64
+/// default hugetlb size; a mapping rounded to this is also ideally
+/// aligned for THP).
+pub const HUGE_PAGE_LEN: usize = 2 << 20;
+
+/// Round `len` up to a multiple of `quantum` (a power of two).
+fn round_up(len: usize, quantum: usize) -> Result<usize, SlabError> {
+    debug_assert!(quantum.is_power_of_two());
+    len.checked_add(quantum - 1).map(|v| v & !(quantum - 1)).ok_or(OVERFLOW)
 }
 
 // ---------------------------------------------------------------------
@@ -270,7 +420,8 @@ pub(crate) struct Superblock {
     capacity: AtomicU64,
     /// Reader cap `N` per register.
     max_readers: AtomicU64,
-    /// FNV-1a over the six geometry words above.
+    /// FNV-1a over the six geometry words above plus `page_quantum` and
+    /// `placement` below.
     checksum: AtomicU64,
     /// Writer-liveness epoch: bumped once per completed recovery, so
     /// attachers can tell "this plane has been repaired `epoch` times".
@@ -279,8 +430,16 @@ pub(crate) struct Superblock {
     /// mapping currently running `recover()`, 0 when free. CAS-claimed so
     /// exactly one attacher repairs; a claim held by a dead pid is stolen.
     recovery_claim: AtomicU64,
+    /// Rounding quantum of the mapping length (v3): 1 for heap slabs,
+    /// the page size (base) or [`HUGE_PAGE_LEN`] (huge) for shm slabs.
+    /// Checksummed with the geometry; `validate` checks the mapped
+    /// length against `round_up(layout.total, quantum)`.
+    page_quantum: AtomicU64,
+    /// Effective placement word (v3): [`PlacementInfo::encode`].
+    /// Checksummed with the geometry.
+    placement: AtomicU64,
     /// Reserve for future layout generations (second cache line).
-    _reserved: [u64; 7],
+    _reserved: [u64; 5],
 }
 
 const _: () = assert!(std::mem::size_of::<Superblock>() == SUPERBLOCK_LEN);
@@ -300,7 +459,13 @@ fn fnv1a(words: &[u64]) -> u64 {
 }
 
 impl Superblock {
-    fn expected_checksum(magic: u64, version_flags: u64, g: &SlabGeometry) -> u64 {
+    fn expected_checksum(
+        magic: u64,
+        version_flags: u64,
+        g: &SlabGeometry,
+        quantum: u64,
+        placement: u64,
+    ) -> u64 {
         fnv1a(&[
             magic,
             version_flags,
@@ -308,21 +473,29 @@ impl Superblock {
             g.n_slots as u64,
             g.capacity as u64,
             g.max_readers as u64,
+            quantum,
+            placement,
         ])
     }
 
-    /// Record `layout`'s geometry. Called exactly once, after every other
-    /// region of the slab is initialized; the `Release` store of the magic
-    /// is what publishes the whole slab to attachers.
-    pub fn initialize(&self, layout: &SlabLayout) {
+    /// Record `layout`'s geometry and the slab's effective `placement`.
+    /// Called exactly once, after every other region of the slab is
+    /// initialized; the `Release` store of the magic is what publishes
+    /// the whole slab to attachers.
+    pub fn initialize(&self, layout: &SlabLayout, placement: PlacementInfo) {
         let g = &layout.geometry;
         let vf = (SLAB_LAYOUT_VERSION as u64) << 32 | g.flags as u64;
+        let quantum = placement.quantum as u64;
+        let pword = placement.encode();
         self.version_flags.store(vf, Ordering::Relaxed);
         self.registers.store(g.registers as u64, Ordering::Relaxed);
         self.n_slots.store(g.n_slots as u64, Ordering::Relaxed);
         self.capacity.store(g.capacity as u64, Ordering::Relaxed);
         self.max_readers.store(g.max_readers as u64, Ordering::Relaxed);
-        self.checksum.store(Self::expected_checksum(SLAB_MAGIC, vf, g), Ordering::Relaxed);
+        self.page_quantum.store(quantum, Ordering::Relaxed);
+        self.placement.store(pword, Ordering::Relaxed);
+        self.checksum
+            .store(Self::expected_checksum(SLAB_MAGIC, vf, g, quantum, pword), Ordering::Relaxed);
         self.epoch.store(0, Ordering::Relaxed);
         self.recovery_claim.store(0, Ordering::Relaxed);
         self.magic.store(SLAB_MAGIC, Ordering::Release);
@@ -363,16 +536,39 @@ impl Superblock {
             max_readers: max_readers as u32,
             flags: vf as u32,
         };
+        let quantum = self.page_quantum.load(Ordering::Relaxed);
+        let pword = self.placement.load(Ordering::Relaxed);
         let found = self.checksum.load(Ordering::Relaxed);
-        let expected = Self::expected_checksum(magic, vf, &geometry);
+        let expected = Self::expected_checksum(magic, vf, &geometry, quantum, pword);
         if found != expected {
             return Err(SlabError::BadChecksum { found, expected });
         }
+        if quantum == 0 || quantum > usize::MAX as u64 || !quantum.is_power_of_two() {
+            return Err(SlabError::BadGeometry { reason: "page quantum not a power of two" });
+        }
+        if PlacementInfo::decode(pword, quantum).is_none() {
+            return Err(SlabError::BadGeometry { reason: "unknown placement word" });
+        }
         let layout = SlabLayout::compute(geometry)?;
-        if layout.total != mapped_len {
-            return Err(SlabError::SizeMismatch { expected: layout.total, mapped: mapped_len });
+        // The mapping is exactly the layout total rounded up to the page
+        // quantum the creator recorded — shm slabs are rounded explicitly
+        // at creation (never left to the kernel's implicit rounding), so
+        // a mismatch here is truncation or a forged quantum, not noise.
+        let rounded = round_up(layout.total, quantum as usize)?;
+        if rounded != mapped_len {
+            return Err(SlabError::SizeMismatch { expected: rounded, mapped: mapped_len });
         }
         Ok(layout)
+    }
+
+    /// The effective placement recorded at initialization. Meaningful
+    /// only after [`Superblock::validate`] has accepted the superblock
+    /// (defaults to the heap placement on undecodable words, which
+    /// validation refuses anyway).
+    pub fn placement_info(&self) -> PlacementInfo {
+        let quantum = self.page_quantum.load(Ordering::Relaxed);
+        let pword = self.placement.load(Ordering::Relaxed);
+        PlacementInfo::decode(pword, quantum.max(1)).unwrap_or_else(PlacementInfo::heap)
     }
 
     /// The recovery epoch (number of completed recoveries on this slab).
@@ -426,6 +622,9 @@ pub(crate) struct Slab {
     base: std::ptr::NonNull<u8>,
     len: usize,
     kind: SlabKind,
+    /// Effective placement (request + fallbacks), recorded into the
+    /// superblock at initialization.
+    placement: PlacementInfo,
 }
 
 enum SlabKind {
@@ -464,27 +663,59 @@ impl Slab {
         let Some(base) = std::ptr::NonNull::new(ptr) else {
             std::alloc::handle_alloc_error(layout);
         };
-        Ok(Self { base, len, kind: SlabKind::Heap(layout) })
+        Ok(Self { base, len, kind: SlabKind::Heap(layout), placement: PlacementInfo::heap() })
     }
 
-    /// Create a zeroed, shareable slab of `len` bytes on a fresh `memfd`.
+    /// Create a zeroed, shareable slab of at least `len` bytes on a fresh
+    /// `memfd`, with the requested `placement` applied best-effort.
+    ///
+    /// The mapping length is `len` rounded up to the placement's page
+    /// quantum **explicitly** (never left to the kernel's implicit
+    /// per-page rounding): the system page size for base pages,
+    /// [`HUGE_PAGE_LEN`] when huge pages are requested — the huge
+    /// quantum is kept even when the hugetlb pool is empty and the THP
+    /// fallback is taken, so the recorded length invariant does not
+    /// depend on which path succeeded. The effective placement is
+    /// recorded on the slab (and later in the superblock).
     #[cfg(target_os = "linux")]
-    pub fn shm(len: usize) -> Result<Self, SlabError> {
-        use std::os::fd::FromRawFd;
-        let raw = unsafe { ffi::memfd_create(c"arc-slab".as_ptr(), ffi::MFD_CLOEXEC) };
-        if raw < 0 {
-            return Err(os_err("memfd_create"));
-        }
-        // SAFETY: raw is a fresh, owned descriptor.
-        let fd = unsafe { std::os::fd::OwnedFd::from_raw_fd(raw) };
-        let file = std::fs::File::from(fd);
-        file.set_len(len as u64).map_err(|e| SlabError::Os {
-            call: "ftruncate",
-            errno: e.raw_os_error().unwrap_or(0),
-        })?;
-        let fd = std::os::fd::OwnedFd::from(file);
-        let base = map_shared(&fd, len)?;
-        Ok(Self { base, len, kind: SlabKind::Shm { fd } })
+    pub fn shm(len: usize, placement: SlabPlacement) -> Result<Self, SlabError> {
+        let (fd, base, rounded, pages) = match placement.pages {
+            PagePolicy::Huge => {
+                let rounded = round_up(len, HUGE_PAGE_LEN)?;
+                match shm_create(rounded, ffi::MFD_CLOEXEC | ffi::MFD_HUGETLB) {
+                    Ok((fd, base)) => (fd, base, rounded, PageMode::HugeTlb),
+                    Err(_) => {
+                        // Hugetlb pool empty or unsupported: same rounded
+                        // length on base pages, THP advised. madvise is
+                        // itself best-effort (THP for shmem is a sysctl
+                        // away on many kernels) — semantics never change,
+                        // only TLB pressure.
+                        let (fd, base) = shm_create(rounded, ffi::MFD_CLOEXEC)?;
+                        // SAFETY: advises the exact mapping created above.
+                        unsafe { ffi::madvise(base.as_ptr().cast(), rounded, ffi::MADV_HUGEPAGE) };
+                        (fd, base, rounded, PageMode::ThpAdvised)
+                    }
+                }
+            }
+            PagePolicy::Base => {
+                let rounded = round_up(len, page_len())?;
+                let (fd, base) = shm_create(rounded, ffi::MFD_CLOEXEC)?;
+                (fd, base, rounded, PageMode::Base)
+            }
+        };
+        // Node policy before anything faults the pages: placement is
+        // decided at bind time, materialized by first touch.
+        let nodes = apply_node_policy(base.as_ptr(), rounded, placement.nodes);
+        let quantum = match pages {
+            PageMode::Base => page_len(),
+            _ => HUGE_PAGE_LEN,
+        };
+        Ok(Self {
+            base,
+            len: rounded,
+            kind: SlabKind::Shm { fd },
+            placement: PlacementInfo { quantum, pages, nodes },
+        })
     }
 
     /// Map an existing slab fd (shared) without validating its contents —
@@ -508,7 +739,15 @@ impl Slab {
         }
         let fd = std::os::fd::OwnedFd::from(file);
         let base = map_shared(&fd, len)?;
-        Ok(Self { base, len, kind: SlabKind::Shm { fd } })
+        // An attacher inherits whatever placement the creator recorded;
+        // the real info is read from the validated superblock (this
+        // field is a placeholder until then).
+        Ok(Self { base, len, kind: SlabKind::Shm { fd }, placement: PlacementInfo::heap() })
+    }
+
+    /// The effective placement of this mapping (request + fallbacks).
+    pub fn placement(&self) -> PlacementInfo {
+        self.placement
     }
 
     /// The slab's base address in this process. Valid for `len()` bytes.
@@ -560,6 +799,82 @@ impl Drop for Slab {
     }
 }
 
+/// `memfd_create` + `ftruncate` + `mmap(MAP_SHARED)`: one zeroed shared
+/// mapping of exactly `len` bytes (the caller has already rounded).
+#[cfg(target_os = "linux")]
+fn shm_create(
+    len: usize,
+    mfd_flags: std::ffi::c_uint,
+) -> Result<(std::os::fd::OwnedFd, std::ptr::NonNull<u8>), SlabError> {
+    use std::os::fd::FromRawFd;
+    // SAFETY: plain memfd_create; a negative return is decoded as errno.
+    let raw = unsafe { ffi::memfd_create(c"arc-slab".as_ptr(), mfd_flags) };
+    if raw < 0 {
+        return Err(os_err("memfd_create"));
+    }
+    // SAFETY: raw is a fresh, owned descriptor.
+    let fd = unsafe { std::os::fd::OwnedFd::from_raw_fd(raw) };
+    let file = std::fs::File::from(fd);
+    file.set_len(len as u64)
+        .map_err(|e| SlabError::Os { call: "ftruncate", errno: e.raw_os_error().unwrap_or(0) })?;
+    let fd = std::os::fd::OwnedFd::from(file);
+    let base = map_shared(&fd, len)?;
+    Ok((fd, base))
+}
+
+/// The system base page size (cached; `getpagesize` cannot fail).
+#[cfg(target_os = "linux")]
+fn page_len() -> usize {
+    use std::sync::atomic::AtomicUsize;
+    static CACHE: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHE.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    // SAFETY: getpagesize takes no arguments and has no failure mode.
+    let raw = unsafe { ffi::getpagesize() };
+    let len = if raw > 0 && (raw as usize).is_power_of_two() { raw as usize } else { 4096 };
+    CACHE.store(len, Ordering::Relaxed);
+    len
+}
+
+/// Apply `policy` to `[addr, addr+len)` via `mbind(2)` and report what
+/// actually took effect. Best-effort by design: the syscall is gated on
+/// architectures whose number we know, a refusal (EPERM in tight
+/// seccomp sandboxes, ENOSYS, EINVAL on CONFIG_NUMA=n kernels) records
+/// [`NodePolicy::FirstTouch`] — the pages still exist and still zero-
+/// fault correctly, they are just placed by first touch instead.
+#[cfg(target_os = "linux")]
+fn apply_node_policy(addr: *mut u8, len: usize, policy: NodePolicy) -> NodePolicy {
+    let (mode, mask) = match policy {
+        NodePolicy::FirstTouch => return NodePolicy::FirstTouch,
+        NodePolicy::Bind(node) => {
+            if node >= 64 {
+                return NodePolicy::FirstTouch; // beyond one mask word: skip
+            }
+            (ffi::MPOL_BIND, [1u64 << node, 0u64])
+        }
+        NodePolicy::Interleave => {
+            let mut mask = [0u64; 2];
+            for node in crate::topology::Topology::system().nodes() {
+                if node.id < 64 {
+                    mask[0] |= 1 << node.id;
+                }
+            }
+            if mask[0].count_ones() < 2 {
+                // One node (or none probeable): interleaving is the
+                // identity placement; record the truth.
+                return NodePolicy::FirstTouch;
+            }
+            (ffi::MPOL_INTERLEAVE, mask)
+        }
+    };
+    match ffi::mbind(addr.cast(), len, mode, &mask) {
+        Some(0) => policy,
+        _ => NodePolicy::FirstTouch,
+    }
+}
+
 #[cfg(target_os = "linux")]
 fn map_shared(fd: &std::os::fd::OwnedFd, len: usize) -> Result<std::ptr::NonNull<u8>, SlabError> {
     use std::os::fd::AsRawFd;
@@ -578,7 +893,9 @@ fn map_shared(fd: &std::os::fd::OwnedFd, len: usize) -> Result<std::ptr::NonNull
     if ptr as isize == -1 {
         return Err(os_err("mmap"));
     }
-    std::ptr::NonNull::new(ptr.cast::<u8>()).ok_or(SlabError::Os { call: "mmap", errno: 0 })
+    // A null return that is not MAP_FAILED is out-of-spec but must still
+    // carry the real errno, not a fabricated 0.
+    std::ptr::NonNull::new(ptr.cast::<u8>()).ok_or_else(|| os_err("mmap"))
 }
 
 #[cfg(target_os = "linux")]
@@ -675,6 +992,18 @@ mod ffi {
     pub const MAP_SHARED: c_int = 0x01;
     #[cfg(target_os = "linux")]
     pub const MFD_CLOEXEC: c_uint = 0x1;
+    /// `memfd_create` flag: back the fd with the default hugetlb size.
+    #[cfg(target_os = "linux")]
+    pub const MFD_HUGETLB: c_uint = 0x4;
+    /// `madvise` advice: fold this range into transparent huge pages.
+    #[cfg(target_os = "linux")]
+    pub const MADV_HUGEPAGE: c_int = 14;
+    /// `mbind` mode: strict allocation from the nodemask.
+    #[cfg(target_os = "linux")]
+    pub const MPOL_BIND: c_int = 2;
+    /// `mbind` mode: round-robin pages across the nodemask.
+    #[cfg(target_os = "linux")]
+    pub const MPOL_INTERLEAVE: c_int = 3;
 
     extern "C" {
         pub fn kill(pid: c_int, sig: c_int) -> c_int;
@@ -691,6 +1020,52 @@ mod ffi {
         ) -> *mut c_void;
         #[cfg(target_os = "linux")]
         pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn getpagesize() -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn syscall(num: std::ffi::c_long, ...) -> std::ffi::c_long;
+    }
+
+    /// `mbind(2)` has no glibc wrapper (it lives in libnuma, which this
+    /// dependency-free workspace does not link), so it goes through
+    /// `syscall(2)` with per-architecture numbers. `None` means "number
+    /// unknown on this architecture" — callers treat that as a refusal
+    /// and fall back to first-touch placement.
+    #[cfg(target_os = "linux")]
+    pub fn mbind(
+        addr: *mut c_void,
+        len: usize,
+        mode: c_int,
+        nodemask: &[u64; 2],
+    ) -> Option<std::ffi::c_long> {
+        #[cfg(target_arch = "x86_64")]
+        const SYS_MBIND: std::ffi::c_long = 237;
+        #[cfg(target_arch = "aarch64")]
+        const SYS_MBIND: std::ffi::c_long = 235;
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        return {
+            let _ = (addr, len, mode, nodemask);
+            None
+        };
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        {
+            let maxnode: std::ffi::c_ulong = 128; // bits in the mask buffer
+                                                  // SAFETY: the nodemask buffer holds maxnode/64 live words; the
+                                                  // address range was just mapped by us; flags = 0.
+            Some(unsafe {
+                syscall(
+                    SYS_MBIND,
+                    addr,
+                    len as std::ffi::c_ulong,
+                    mode as std::ffi::c_long,
+                    nodemask.as_ptr(),
+                    maxnode,
+                    0 as std::ffi::c_uint,
+                )
+            })
+        }
     }
 }
 
@@ -799,9 +1174,10 @@ mod tests {
             slab.superblock().validate(l.total),
             Err(SlabError::BadMagic { found: 0 })
         ));
-        slab.superblock().initialize(&l);
+        slab.superblock().initialize(&l, slab.placement());
         let read_back = slab.superblock().validate(l.total).unwrap();
         assert_eq!(read_back, l);
+        assert_eq!(slab.superblock().placement_info(), PlacementInfo::heap());
         assert_eq!(slab.superblock().epoch(), 0);
         assert_eq!(slab.superblock().bump_epoch(), 1);
         assert_eq!(slab.superblock().epoch(), 1);
@@ -811,7 +1187,7 @@ mod tests {
     fn validate_rejects_wrong_length() {
         let l = SlabLayout::compute(geom()).unwrap();
         let slab = Slab::heap(l.total).unwrap();
-        slab.superblock().initialize(&l);
+        slab.superblock().initialize(&l, slab.placement());
         match slab.superblock().validate(l.total - 64) {
             Err(SlabError::SizeMismatch { expected, mapped }) => {
                 assert_eq!(expected, l.total);
@@ -847,7 +1223,7 @@ mod tests {
     fn recovery_token_claims_releases_and_steals_from_the_dead() {
         let l = SlabLayout::compute(geom()).unwrap();
         let slab = Slab::heap(l.total).unwrap();
-        slab.superblock().initialize(&l);
+        slab.superblock().initialize(&l, slab.placement());
         let sb = slab.superblock();
         assert_eq!(sb.recovery_claimant(), 0);
         // First claim wins; re-claim by the same pid is idempotent.
@@ -870,17 +1246,128 @@ mod tests {
     #[test]
     fn shm_slab_roundtrips_through_attach() {
         let l = SlabLayout::compute(geom()).unwrap();
-        let slab = Slab::shm(l.total).unwrap();
-        slab.superblock().initialize(&l);
+        let slab = Slab::shm(l.total, SlabPlacement::default()).unwrap();
+        slab.superblock().initialize(&l, slab.placement());
         // Scribble a recognizable byte pattern into the header region.
         // SAFETY: we own the only view; offsets are in-bounds.
         unsafe { slab.base().add(l.hdr_off).write(0xAB) };
         let other = Slab::attach(slab.fd().unwrap()).unwrap();
-        assert_eq!(other.len(), l.total);
+        assert_eq!(other.len(), slab.len());
         assert_ne!(other.base(), slab.base(), "second mapping must relocate");
         assert_eq!(other.superblock().validate(other.len()).unwrap(), l);
+        assert_eq!(other.superblock().placement_info(), slab.placement());
         // Same physical bytes through the other base address.
         // SAFETY: in-bounds read of the attached mapping.
         assert_eq!(unsafe { other.base().add(l.hdr_off).read() }, 0xAB);
+    }
+
+    /// Satellite: shm lengths are rounded to the page quantum by us, not
+    /// by the kernel — the invariant `len == round_up(total, quantum)`
+    /// holds on the mapping, the memfd, and through validation.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn shm_lengths_are_explicitly_page_rounded() {
+        let l = SlabLayout::compute(geom()).unwrap();
+        let slab = Slab::shm(l.total, SlabPlacement::default()).unwrap();
+        let info = slab.placement();
+        assert!(info.quantum >= 4096 && info.quantum.is_power_of_two());
+        assert_eq!(slab.len() % info.quantum, 0, "mapping length not quantum-rounded");
+        assert_eq!(slab.len(), round_up(l.total, info.quantum).unwrap());
+        assert_eq!(info.pages, PageMode::Base);
+        assert_eq!(info.nodes, NodePolicy::FirstTouch);
+        // The *file* is the rounded length too (explicit ftruncate, not
+        // kernel courtesy).
+        use std::os::fd::AsRawFd;
+        let file = std::fs::File::from(slab.fd().unwrap().try_clone_to_owned().unwrap());
+        assert_eq!(file.metadata().unwrap().len(), slab.len() as u64);
+        let _ = file.as_raw_fd(); // keep the dup alive to here
+                                  // Validation accepts the rounded length and rejects the raw one
+                                  // whenever rounding actually changed it.
+        slab.superblock().initialize(&l, info);
+        assert!(slab.superblock().validate(slab.len()).is_ok());
+        if slab.len() != l.total {
+            assert!(matches!(
+                slab.superblock().validate(l.total),
+                Err(SlabError::SizeMismatch { .. })
+            ));
+        }
+    }
+
+    /// Huge-page request on a machine with an empty hugetlb pool (CI's
+    /// norm): the fallback path must produce a working slab, keep the
+    /// 2 MiB rounding quantum, and record what actually happened.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn huge_request_falls_back_without_changing_semantics() {
+        let l = SlabLayout::compute(geom()).unwrap();
+        let placement = SlabPlacement { pages: PagePolicy::Huge, nodes: NodePolicy::Bind(0) };
+        let slab = Slab::shm(l.total, placement).unwrap();
+        let info = slab.placement();
+        assert_eq!(info.quantum, HUGE_PAGE_LEN, "huge quantum survives any fallback");
+        assert_eq!(slab.len(), round_up(l.total, HUGE_PAGE_LEN).unwrap());
+        assert!(
+            matches!(info.pages, PageMode::HugeTlb | PageMode::ThpAdvised),
+            "huge request resolves to hugetlb or the THP fallback, got {:?}",
+            info.pages
+        );
+        // Whatever materialized, the slab is a normal slab: initialize,
+        // validate, attach, and read bytes through a second mapping.
+        slab.superblock().initialize(&l, info);
+        // SAFETY: in-bounds write to our own fresh mapping.
+        unsafe { slab.base().add(l.hdr_off).write(0x5A) };
+        let other = Slab::attach(slab.fd().unwrap()).unwrap();
+        assert_eq!(other.superblock().validate(other.len()).unwrap(), l);
+        assert_eq!(other.superblock().placement_info(), info);
+        // SAFETY: in-bounds read of the attached mapping.
+        assert_eq!(unsafe { other.base().add(l.hdr_off).read() }, 0x5A);
+    }
+
+    /// Interleave on a 1-node machine records the truthful effective
+    /// policy (first-touch), and node binds beyond the mask are skipped.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn node_policy_degrades_honestly() {
+        let l = SlabLayout::compute(geom()).unwrap();
+        let slab = Slab::shm(
+            l.total,
+            SlabPlacement { pages: PagePolicy::Base, nodes: NodePolicy::Interleave },
+        )
+        .unwrap();
+        let nodes = crate::topology::Topology::system().node_count();
+        match slab.placement().nodes {
+            NodePolicy::Interleave => assert!(nodes > 1, "interleave must not stick on 1 node"),
+            NodePolicy::FirstTouch => {} // the honest single-node outcome
+            other => panic!("unexpected effective policy {other:?}"),
+        }
+        let bound = Slab::shm(
+            l.total,
+            SlabPlacement { pages: PagePolicy::Base, nodes: NodePolicy::Bind(9999) },
+        )
+        .unwrap();
+        assert_eq!(bound.placement().nodes, NodePolicy::FirstTouch);
+    }
+
+    #[test]
+    fn placement_word_roundtrips_and_rejects_junk() {
+        for info in [
+            PlacementInfo::heap(),
+            PlacementInfo { quantum: 4096, pages: PageMode::Base, nodes: NodePolicy::FirstTouch },
+            PlacementInfo {
+                quantum: HUGE_PAGE_LEN,
+                pages: PageMode::HugeTlb,
+                nodes: NodePolicy::Bind(3),
+            },
+            PlacementInfo {
+                quantum: HUGE_PAGE_LEN,
+                pages: PageMode::ThpAdvised,
+                nodes: NodePolicy::Interleave,
+            },
+        ] {
+            let decoded = PlacementInfo::decode(info.encode(), info.quantum as u64);
+            assert_eq!(decoded, Some(info));
+        }
+        assert_eq!(PlacementInfo::decode(0xFF, 1), None, "unknown page mode");
+        assert_eq!(PlacementInfo::decode(0xFF00, 1), None, "unknown node kind");
+        assert_eq!(PlacementInfo::decode(0x1_0000, 1), None, "reserved bits set");
     }
 }

@@ -1,0 +1,125 @@
+//! Properties of the key→shard assignment (DESIGN.md §3.11): the route
+//! must be **stable** (a pure function of `(registers, shards)` — the
+//! same key maps to the same shard in every process, forever, or two
+//! attachers of the same plane would disagree about where a register
+//! lives), **total** (every key routed, exactly once), and **balanced**
+//! (hash-spread, so neither uniform key ranges nor Zipf-hot subsets
+//! clump onto one shard the way range partitioning would clump them).
+
+use arc_register::{shard_of, ShardRoute};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Total + dense: every key is routed to exactly one (shard, local)
+    // pair, local indices are contiguous per shard, and the inverse map
+    // agrees with the forward map.
+    #[test]
+    fn route_is_a_bijection_onto_dense_shards(
+        registers in 1usize..3000,
+        shards in 1usize..64,
+    ) {
+        let route = ShardRoute::new(registers, shards);
+        prop_assert_eq!(route.registers(), registers);
+        prop_assert!(route.shards() >= 1);
+        prop_assert!(route.shards() <= shards.min(registers));
+        let mut seen = vec![false; registers];
+        let mut total = 0usize;
+        for s in 0..route.shards() {
+            prop_assert!(route.count(s) >= 1, "shard {} empty after compaction", s);
+            prop_assert_eq!(route.count(s), route.keys_of(s).len());
+            for (local, &key) in route.keys_of(s).iter().enumerate() {
+                prop_assert_eq!(route.locate(key as usize), (s, local));
+                prop_assert!(!seen[key as usize], "key {} routed twice", key);
+                seen[key as usize] = true;
+                total += 1;
+            }
+        }
+        prop_assert_eq!(total, registers, "every key routed exactly once");
+    }
+
+    // Stable: the route is a pure function of its inputs — rebuilt
+    // routes and the raw `shard_of` hash agree call after call.
+    #[test]
+    fn route_is_stable_across_rebuilds(
+        registers in 1usize..2000,
+        shards in 1usize..32,
+        key in 0usize..2000,
+    ) {
+        let a = ShardRoute::new(registers, shards);
+        let b = ShardRoute::new(registers, shards);
+        let key = key % registers;
+        prop_assert_eq!(a.locate(key), b.locate(key));
+        prop_assert_eq!(shard_of(key, shards), shard_of(key, shards));
+    }
+
+    // Balanced under uniform keys: with many keys per shard, no shard
+    // holds more than ~2x its fair share (hash spread, not range split).
+    #[test]
+    fn uniform_keyspace_is_balanced(shards in 2usize..17) {
+        let registers = shards * 512;
+        let route = ShardRoute::new(registers, shards);
+        prop_assert_eq!(route.shards(), shards, "plenty of keys: no shard empties");
+        let fair = registers / shards;
+        for s in 0..route.shards() {
+            let c = route.count(s);
+            prop_assert!(
+                c * 2 > fair && c < fair * 2,
+                "shard {} holds {} of fair {}",
+                s, c, fair
+            );
+        }
+    }
+
+    // Balanced under skew: take the Zipf-style hot set (the lowest key
+    // ranks — after the workload's rank permutation any fixed subset
+    // looks like this) and check no shard hoards it. A range
+    // partitioner would put ALL hot keys on shard 0; the hash route
+    // must spread them like any other subset.
+    #[test]
+    fn hot_key_subsets_spread_across_shards(
+        shards in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        let registers = shards * 1024;
+        let route = ShardRoute::new(registers, shards);
+        // A pseudo-random "hot" subset of 64 keys (Zipf mass concentrates
+        // on few keys; which ones is workload-dependent, so sample).
+        let mut hot = std::collections::HashSet::new();
+        let mut x = seed | 1;
+        while hot.len() < 64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            hot.insert((x >> 33) as usize % registers);
+        }
+        let mut per_shard = vec![0usize; route.shards()];
+        for &k in &hot {
+            per_shard[route.locate(k).0] += 1;
+        }
+        let max = per_shard.iter().copied().max().unwrap_or(0);
+        prop_assert!(
+            max < 64,
+            "one shard hoards the entire hot set: {:?}",
+            per_shard
+        );
+        let populated = per_shard.iter().filter(|&&c| c > 0).count();
+        prop_assert!(
+            populated >= 2,
+            "hot keys all landed on one shard: {:?}",
+            per_shard
+        );
+    }
+}
+
+/// The degenerate corners, pinned exactly (not property-sampled).
+#[test]
+fn corner_cases_route_sanely() {
+    // One key: one shard, whatever was requested.
+    let r = ShardRoute::new(1, 64);
+    assert_eq!((r.shards(), r.locate(0)), (1, (0, 0)));
+    // One shard: identity local indices.
+    let r = ShardRoute::new(100, 1);
+    for k in 0..100 {
+        assert_eq!(r.locate(k), (0, k));
+    }
+}

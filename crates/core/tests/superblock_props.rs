@@ -22,9 +22,10 @@ use arc_register::shm::{SLAB_LAYOUT_VERSION, SLAB_MAGIC, SUPERBLOCK_LEN};
 use arc_register::{ArcGroup, SlabBackend, SlabError};
 use proptest::prelude::*;
 
-// Word offsets within the superblock (struct `Superblock`: eight u64s,
+// Word offsets within the superblock (struct `Superblock`: eleven u64s,
 // then reserve). Validation order: magic, version, geometry word-size,
-// checksum, layout computation, total-vs-mapped.
+// checksum, quantum/placement sanity, layout computation,
+// total-vs-mapped.
 const OFF_MAGIC: u64 = 0;
 const OFF_VERSION_FLAGS: u64 = 8;
 const OFF_REGISTERS: u64 = 16;
@@ -32,6 +33,8 @@ const OFF_N_SLOTS: u64 = 24;
 const OFF_CAPACITY: u64 = 32;
 const OFF_MAX_READERS: u64 = 40;
 const OFF_CHECKSUM: u64 = 48;
+const OFF_PAGE_QUANTUM: u64 = 72;
+const OFF_PLACEMENT: u64 = 80;
 
 const K: usize = 2;
 const CAP: usize = 48;
@@ -67,9 +70,10 @@ fn write_word(f: &mut File, off: u64, w: u64) {
     f.write_all(&w.to_le_bytes()).unwrap();
 }
 
-/// The superblock checksum (FNV-1a over magic..max_readers), recomputed
-/// independently so tests can forge *checksum-consistent* corruption and
-/// reach the validation stages behind it.
+/// The superblock checksum (FNV-1a over magic..max_readers plus the v3
+/// page-quantum and placement words), recomputed independently so tests
+/// can forge *checksum-consistent* corruption and reach the validation
+/// stages behind it.
 fn fnv1a_words(words: &[u64]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for w in words {
@@ -91,6 +95,8 @@ fn fix_checksum(f: &mut File) {
         read_word(f, OFF_N_SLOTS),
         read_word(f, OFF_CAPACITY),
         read_word(f, OFF_MAX_READERS),
+        read_word(f, OFF_PAGE_QUANTUM),
+        read_word(f, OFF_PLACEMENT),
     ];
     write_word(f, OFF_CHECKSUM, fnv1a_words(&words));
 }
@@ -168,32 +174,113 @@ fn checksum_consistent_zero_registers_is_still_bad_geometry() {
 
 #[test]
 fn checksum_consistent_wrong_size_is_a_size_mismatch() {
-    // Self-consistent geometry that simply doesn't fit the mapping.
+    // Self-consistent geometry that doesn't fit the mapping. The forge
+    // must overflow the *rounded* length: since v3, any geometry whose
+    // layout rounds to the same page-aligned total as the original is
+    // indistinguishable from it by length (that's what rounding means),
+    // so this forges a layout thousands of registers larger.
     let g = plane();
     let mut f = slab_file(&g);
     let r = read_word(&mut f, OFF_REGISTERS);
-    write_word(&mut f, OFF_REGISTERS, r * 2);
+    write_word(&mut f, OFF_REGISTERS, r + 4096);
     fix_checksum(&mut f);
     assert!(matches!(attach(&g), Err(SlabError::SizeMismatch { .. })));
 }
 
 #[test]
-fn truncated_mapping_is_refused() {
+fn checksum_consistent_bad_quantum_is_bad_geometry() {
+    // v3: the rounding quantum must be a power of two; a forged non-pow2
+    // quantum (even checksum-consistent) is refused before any layout
+    // math uses it.
     let g = plane();
-    let f = slab_file(&g);
+    let mut f = slab_file(&g);
+    for forged in [0u64, 3, 4097] {
+        write_word(&mut f, OFF_PAGE_QUANTUM, forged);
+        fix_checksum(&mut f);
+        assert!(
+            matches!(attach(&g), Err(SlabError::BadGeometry { .. })),
+            "quantum {forged} must be refused"
+        );
+    }
+}
+
+#[test]
+fn checksum_consistent_junk_placement_is_bad_geometry() {
+    // v3: reserved placement-word bits must be zero; a future (or
+    // scribbled) placement encoding is a typed refusal, not a guess.
+    let g = plane();
+    let mut f = slab_file(&g);
+    write_word(&mut f, OFF_PLACEMENT, 0xffff_ffff_ffff_ffff);
+    fix_checksum(&mut f);
+    assert!(matches!(attach(&g), Err(SlabError::BadGeometry { .. })));
+}
+
+/// Satellite invariant: shm slab lengths are *explicitly* rounded to the
+/// page quantum — the backing file's length equals
+/// `round_up(layout_total, quantum)` exactly, for base and huge requests
+/// alike, and the quantum the superblock records is a power of two no
+/// smaller than a base page.
+#[test]
+fn slab_file_length_is_explicitly_quantum_rounded() {
+    use arc_register::SlabPlacement;
+
+    for pages in [arc_register::PagePolicy::Base, arc_register::PagePolicy::Huge] {
+        let g = ArcGroup::builder(K, 4, CAP)
+            .backend(SlabBackend::Shm)
+            .placement(SlabPlacement { pages, nodes: arc_register::NodePolicy::FirstTouch })
+            .initial(&[7u8; CAP])
+            .build()
+            .expect("shm plane");
+        let info = g.placement();
+        let quantum = info.quantum as u64;
+        assert!(quantum.is_power_of_two(), "{pages:?}: quantum {quantum} not a power of two");
+        assert!(quantum >= 4096, "{pages:?}: quantum {quantum} below a base page");
+        let len = slab_file(&g).metadata().unwrap().len();
+        assert_eq!(len % quantum, 0, "{pages:?}: file length {len} not quantum-aligned");
+        // The length is the *minimal* rounded length: exactly one quantum
+        // window contains the layout total.
+        let g2 = attach(&g).expect("self-attach");
+        assert_eq!(g2.placement().quantum as u64, quantum);
+        drop(g2);
+        let f = slab_file(&g);
+        // One quantum less must no longer fit (minimality) — restore after.
+        if len > quantum {
+            f.set_len(len - quantum).unwrap();
+            assert!(matches!(attach(&g), Err(SlabError::SizeMismatch { .. })));
+            f.set_len(len).unwrap();
+        }
+    }
+}
+
+#[test]
+fn truncated_mapping_is_refused() {
+    use std::io::Write;
+
+    let g = plane();
+    let mut f = slab_file(&g);
     let total = f.metadata().unwrap().len();
 
-    // Below the superblock: too small to even inspect.
-    f.set_len(SUPERBLOCK_LEN as u64 / 2).unwrap();
-    assert!(matches!(attach(&g), Err(SlabError::TooSmall { .. })));
+    // Save the superblock: truncating below it destroys the upper words
+    // (quantum, placement — both checksum-covered since v3), and growing
+    // the file back only zero-fills them.
+    let mut superblock = vec![0u8; SUPERBLOCK_LEN];
+    f.seek(SeekFrom::Start(0)).unwrap();
+    f.read_exact(&mut superblock).unwrap();
 
     // Superblock intact but the body cut off: geometry vs length.
     f.set_len(total - 64).unwrap();
     assert!(matches!(attach(&g), Err(SlabError::SizeMismatch { .. })));
 
+    // Below the superblock: too small to even inspect.
+    f.set_len(SUPERBLOCK_LEN as u64 / 2).unwrap();
+    assert!(matches!(attach(&g), Err(SlabError::TooSmall { .. })));
+
     // NOTE: `g` itself must not be touched after the truncation — its
-    // mapping now extends past EOF. Restoring the length heals it.
+    // mapping now extends past EOF. Restoring the length AND the saved
+    // superblock bytes heals it.
     f.set_len(total).unwrap();
+    f.seek(SeekFrom::Start(0)).unwrap();
+    f.write_all(&superblock).unwrap();
     assert!(attach(&g).is_ok());
 }
 

@@ -31,6 +31,12 @@ pub struct RunConfig {
     pub steal: Option<StealConfig>,
     /// Worker stack size — shrink for the 4000-thread Figure-3 runs.
     pub stack_size: usize,
+    /// Pin worker threads round-robin over [`crate::available_cpus`]
+    /// (writer first), so thread placement is an experimental constant
+    /// instead of scheduler noise. Best-effort: a failed pin leaves the
+    /// thread floating. Off by default (unit tests, oversubscribed
+    /// figure-3 runs); the figure benches turn it on.
+    pub pin: bool,
 }
 
 impl RunConfig {
@@ -44,7 +50,14 @@ impl RunConfig {
             mode: WorkloadMode::Hold,
             steal: None,
             stack_size: 1 << 20,
+            pin: false,
         }
+    }
+
+    /// Enable round-robin worker pinning (see [`RunConfig::pin`]).
+    pub fn pinned(mut self) -> Self {
+        self.pin = true;
+        self
     }
 }
 
@@ -76,6 +89,16 @@ impl RunResult {
 pub fn run_register<F: RegisterFamily>(cfg: &RunConfig) -> RunResult {
     assert!(cfg.threads >= 2, "need at least one writer and one reader");
     let n_readers = cfg.threads - 1;
+    // Worker slot → CPU when pinning: writer takes slot 0, reader i takes
+    // slot i+1, round-robin over the allowed set.
+    let cpus = if cfg.pin { crate::procs::available_cpus() } else { Vec::new() };
+    let cpu_of = |slot: usize| -> Option<usize> {
+        if cpus.is_empty() {
+            None
+        } else {
+            Some(cpus[slot % cpus.len()])
+        }
+    };
 
     let mut throughput = Vec::with_capacity(cfg.runs);
     let mut reads_per_run = Vec::with_capacity(cfg.runs);
@@ -99,11 +122,15 @@ pub fn run_register<F: RegisterFamily>(cfg: &RunConfig) -> RunResult {
             let mode = cfg.mode;
             let size = cfg.value_size;
             let mut writer = writer;
+            let pin_cpu = cpu_of(0);
             handles.push(
                 std::thread::Builder::new()
                     .name("reg-writer".into())
                     .stack_size(cfg.stack_size)
                     .spawn(move || {
+                        if let Some(c) = pin_cpu {
+                            let _ = crate::procs::pin_to_cpu(c);
+                        }
                         let mut buf = vec![0u8; size];
                         let mut round = 0u64;
                         barrier.wait();
@@ -127,11 +154,15 @@ pub fn run_register<F: RegisterFamily>(cfg: &RunConfig) -> RunResult {
             let stop = Arc::clone(&stop);
             let barrier = Arc::clone(&barrier);
             let mode = cfg.mode;
+            let pin_cpu = cpu_of(i + 1);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("reg-reader-{i}"))
                     .stack_size(cfg.stack_size)
                     .spawn(move || {
+                        if let Some(c) = pin_cpu {
+                            let _ = crate::procs::pin_to_cpu(c);
+                        }
                         barrier.wait();
                         let mut ops = 0u64;
                         let mut sink = 0u64;
@@ -227,6 +258,7 @@ mod tests {
             mode: WorkloadMode::Hold,
             steal: None,
             stack_size: 1 << 20,
+            pin: false,
         };
         let res = run_register::<MutexFamily>(&cfg);
         assert_eq!(res.throughput.samples.len(), 2);
@@ -245,6 +277,7 @@ mod tests {
             mode: WorkloadMode::Processing,
             steal: None,
             stack_size: 1 << 20,
+            pin: false,
         };
         let res = run_register::<MutexFamily>(&cfg);
         assert!(res.mops() > 0.0);
@@ -265,6 +298,7 @@ mod tests {
                 seed: 3,
             }),
             stack_size: 1 << 20,
+            pin: false,
         };
         let res = run_register::<MutexFamily>(&cfg);
         assert!(res.mops() > 0.0);

@@ -53,6 +53,7 @@ pub use multi::{
     run_mw_table, run_table, KeyDist, KeySampler, MultiConfig, MultiResult, MwMultiConfig,
 };
 pub use notify::{run_notify, NotifyConfig, NotifyResult};
+pub use procs::{available_cpus, pin_to_cpu};
 pub use stats::Summary;
 pub use steal::{StealConfig, StealInjector};
 pub use table::{write_csv, Table};

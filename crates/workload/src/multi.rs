@@ -129,6 +129,10 @@ pub struct MultiConfig {
     pub dist: KeyDist,
     /// Base RNG seed (each thread derives its own stream).
     pub seed: u64,
+    /// Pin worker threads round-robin over [`crate::available_cpus`]
+    /// (writer first, then readers) — see
+    /// [`RunConfig::pin`](crate::RunConfig::pin). Best-effort.
+    pub pin: bool,
 }
 
 /// Result of one multi-register run.
@@ -184,13 +188,28 @@ pub fn run_table<F: TableFamily>(cfg: &MultiConfig) -> MultiResult {
     let barrier = Arc::new(Barrier::new(cfg.reader_threads + 2)); // workers + coordinator
     let mut handles = Vec::new();
 
+    // Worker slot → CPU when pinning: writer slot 0, reader t slot t+1,
+    // round-robin over the allowed set.
+    let cpus = if cfg.pin { crate::procs::available_cpus() } else { Vec::new() };
+    let cpu_of = |slot: usize| -> Option<usize> {
+        if cpus.is_empty() {
+            None
+        } else {
+            Some(cpus[slot % cpus.len()])
+        }
+    };
+
     // Writer thread: batched writes over sampled keys.
     {
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&barrier);
         let cfg = cfg.clone();
         let mut writer = writer;
+        let pin_cpu = cpu_of(0);
         handles.push(std::thread::spawn(move || {
+            if let Some(c) = pin_cpu {
+                let _ = crate::procs::pin_to_cpu(c);
+            }
             let mut sampler = KeySampler::new(cfg.registers, cfg.dist, cfg.seed ^ 0xA5A5);
             let value = vec![1u8; cfg.value_size];
             let mut keys: Vec<usize> = Vec::with_capacity(cfg.write_batch);
@@ -225,7 +244,11 @@ pub fn run_table<F: TableFamily>(cfg: &MultiConfig) -> MultiResult {
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&barrier);
         let cfg = cfg.clone();
+        let pin_cpu = cpu_of(t + 1);
         handles.push(std::thread::spawn(move || {
+            if let Some(c) = pin_cpu {
+                let _ = crate::procs::pin_to_cpu(c);
+            }
             let mut sampler =
                 KeySampler::new(cfg.registers, cfg.dist, cfg.seed ^ (t as u64 * 7919 + 13));
             let mut keys: Vec<usize> = Vec::with_capacity(cfg.read_burst);
@@ -499,6 +522,7 @@ mod tests {
             read_burst: 16,
             dist,
             seed: 42,
+            pin: false,
         }
     }
 

@@ -1,6 +1,8 @@
-//! Minimal process-control helpers for the crash-recovery harness
-//! (`tests/crash_recovery.rs`): fork a child that is *expected to die*,
-//! and decode how it died.
+//! Minimal process-control helpers: fork a child that is *expected to
+//! die* for the crash-recovery harness (`tests/crash_recovery.rs`), and
+//! CPU-affinity pinning ([`pin_to_cpu`] / [`available_cpus`]) so bench
+//! threads sit where the topology says instead of where the scheduler
+//! happens to drop them.
 //!
 //! The point of forking — rather than simulating death with a liveness
 //! oracle — is that nothing cleans up: no destructors, no unwinding, no
@@ -52,6 +54,73 @@ mod ffi {
         pub fn _exit(code: c_int) -> !;
         pub fn kill(pid: i32, sig: c_int) -> c_int;
     }
+
+    #[cfg(target_os = "linux")]
+    extern "C" {
+        // pid 0 = the calling thread. The mask is an opaque byte blob to
+        // the kernel; 128 bytes covers 1024 CPUs (glibc's cpu_set_t).
+        pub fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> c_int;
+        pub fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut u64) -> c_int;
+    }
+}
+
+/// Width of the affinity masks below: 16 × 64 = 1024 CPUs, glibc's
+/// `cpu_set_t` size.
+#[cfg(target_os = "linux")]
+const CPU_MASK_WORDS: usize = 16;
+
+/// Pin the **calling thread** to `cpu`. Used by the bench drivers so
+/// thread→CPU (and therefore thread→NUMA-node) placement is a recorded
+/// experimental variable instead of scheduler noise.
+///
+/// Errors (CPU offline, not in the cgroup's cpuset, > 1023) are returned,
+/// not panicked: benches treat pinning as best-effort and record whether
+/// it took.
+#[cfg(target_os = "linux")]
+pub fn pin_to_cpu(cpu: usize) -> io::Result<()> {
+    if cpu >= CPU_MASK_WORDS * 64 {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "cpu beyond mask width"));
+    }
+    let mut mask = [0u64; CPU_MASK_WORDS];
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    // SAFETY: the mask is a live 128-byte stack buffer of the size passed.
+    if unsafe { ffi::sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) } == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Pinning is Linux-only; elsewhere it reports unsupported and the bench
+/// records `pinned: false`.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_to_cpu(_cpu: usize) -> io::Result<()> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "thread pinning requires Linux"))
+}
+
+/// The CPUs the calling thread may run on, ascending — the pool bench
+/// drivers pin worker threads into (round-robin over this list). Falls
+/// back to `0..available_parallelism` when the affinity probe is
+/// unavailable; never empty.
+pub fn available_cpus() -> Vec<usize> {
+    #[cfg(target_os = "linux")]
+    {
+        let mut mask = [0u64; CPU_MASK_WORDS];
+        // SAFETY: the mask is a live 128-byte stack buffer of the size
+        // passed; the kernel writes at most that many bytes.
+        let r =
+            unsafe { ffi::sched_getaffinity(0, std::mem::size_of_val(&mask), mask.as_mut_ptr()) };
+        if r == 0 {
+            let cpus: Vec<usize> = (0..CPU_MASK_WORDS * 64)
+                .filter(|&c| mask[c / 64] & (1u64 << (c % 64)) != 0)
+                .collect();
+            if !cpus.is_empty() {
+                return cpus;
+            }
+        }
+    }
+    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    (0..n).collect()
 }
 
 /// `SIGKILL`: the chaos harness's "writer dies instantly, no cleanup".
@@ -142,6 +211,26 @@ mod tests {
     fn falling_off_the_closure_exits_zero() {
         let pid = fork_child(|| {}).unwrap();
         assert_eq!(wait_child(pid).unwrap(), ChildExit::Exited(0));
+    }
+
+    /// Pin a scratch thread (not the test runner's) to the first allowed
+    /// CPU and observe the narrowed affinity from inside it.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_round_trips_on_an_available_cpu() {
+        let cpus = available_cpus();
+        assert!(!cpus.is_empty());
+        std::thread::spawn(move || {
+            pin_to_cpu(cpus[0]).expect("pin to an allowed CPU");
+            assert_eq!(available_cpus(), vec![cpus[0]], "affinity reflects the pin");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn out_of_range_cpu_is_rejected() {
+        assert!(pin_to_cpu(1 << 20).is_err());
     }
 
     #[test]

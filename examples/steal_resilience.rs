@@ -32,6 +32,8 @@ fn measure<F: RegisterFamily>(steal: Option<StealConfig>) -> (f64, f64) {
         mode: WorkloadMode::Hold,
         steal,
         stack_size: 1 << 20,
+        // Steal injection needs floating workers the stealers can displace.
+        pin: false,
     };
     let res = run_register::<F>(&cfg);
     let secs = cfg.duration.as_secs_f64() * cfg.runs as f64;

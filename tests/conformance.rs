@@ -2,7 +2,9 @@
 //! the same sequential specification and basic concurrent sanity, so the
 //! figure benches compare like with like.
 
-use arc_register::{ArcFamily, GroupTableFamily, IndependentTableFamily};
+use arc_register::{
+    ArcFamily, GroupTableFamily, IndependentTableFamily, LocalPlan, ShardedTableFamily, SplitPlan,
+};
 use baseline_registers::{LockFamily, PetersonFamily, RfFamily, SeqlockFamily};
 use mn_register::{MnFamily1, MnTableFamily};
 use register_common::payload::{stamp, verify, MIN_PAYLOAD_LEN};
@@ -292,6 +294,12 @@ macro_rules! table_conformance {
 table_conformance!(table_group, GroupTableFamily);
 table_conformance!(table_independent, IndependentTableFamily);
 table_conformance!(table_mn, MnTableFamily);
+// The NUMA-sharded table through the identical battery: LocalPlan is the
+// production topology-driven sharding (one shard on single-node CI),
+// SplitPlan forces two shards so the cross-shard routing/translation
+// paths are conformance-tested even where the topology has one node.
+table_conformance!(table_sharded, ShardedTableFamily<LocalPlan>);
+table_conformance!(table_sharded_split, ShardedTableFamily<SplitPlan>);
 
 // ---------------------------------------------------------------------
 // Mid-write panic safety: the families whose write path runs user code
