@@ -1,0 +1,32 @@
+//! Clean fixture: every atomic budgeted, every `unsafe` covered.
+//! (Never compiled — read as data by `tests/fixtures.rs`.)
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub struct Reg {
+    version: AtomicU64,
+    current: AtomicUsize,
+    cell: UnsafeCell<u64>,
+}
+
+impl Reg {
+    pub fn publish(&self, v: u64) {
+        // SAFETY: the writer holds exclusive access to the cell between
+        // select and publish; no reader dereferences it until the swap.
+        unsafe { *self.cell.get() = v };
+        self.current.swap(1, Ordering::SeqCst);
+        self.version.store(v, Ordering::Release);
+    }
+
+    pub fn watch(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// # Safety
+    ///
+    /// Caller must hold a standing presence unit on the slot.
+    pub unsafe fn peek(&self) -> u64 {
+        // analysis: allow(undocumented-unsafe): fixture exercises the reasoned marker path
+        unsafe { *self.cell.get() }
+    }
+}

@@ -1,0 +1,21 @@
+//! Defect fixture 1: the publication store was silently downgraded from
+//! `Release` to `Relaxed` — the budget still says `Release`, so the
+//! checker must report **drift** at the store site.
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub struct Reg {
+    version: AtomicU64,
+    current: AtomicUsize,
+}
+
+impl Reg {
+    pub fn publish(&self, v: u64) {
+        self.current.swap(1, Ordering::SeqCst);
+        // The seeded defect: this must be Release to pair with `watch`.
+        self.version.store(v, Ordering::Relaxed);
+    }
+
+    pub fn watch(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}

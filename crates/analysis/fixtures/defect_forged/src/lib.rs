@@ -1,0 +1,14 @@
+//! Defect fixture 3: the code is clean but the manifest carries a forged
+//! entry describing a site that does not exist — the checker must report
+//! **stale** for it (a budget that cannot rot is the point of the gate).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Reg {
+    version: AtomicU64,
+}
+
+impl Reg {
+    pub fn publish(&self, v: u64) {
+        self.version.store(v, Ordering::Release);
+    }
+}

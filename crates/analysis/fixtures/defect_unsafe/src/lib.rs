@@ -1,0 +1,16 @@
+//! Defect fixture 2: an `unsafe` block with no `// SAFETY:` comment and
+//! no allow-marker — the checker must report **undocumented-unsafe**.
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Reg {
+    version: AtomicU64,
+    cell: UnsafeCell<u64>,
+}
+
+impl Reg {
+    pub fn publish(&self, v: u64) {
+        unsafe { *self.cell.get() = v };
+        self.version.store(v, Ordering::Release);
+    }
+}

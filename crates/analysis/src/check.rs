@@ -1,0 +1,406 @@
+//! The check itself: walk the tree, scan every Rust file, diff the atomic
+//! sites against `ORDERINGS.toml`, and gate `unsafe` coverage.
+//!
+//! Failure classes (each is a hard failure — CI treats any as fatal):
+//!
+//! * **unlisted** — an atomic site no budget entry matches;
+//! * **drift** — an entry matches the site's place but the site's ordering
+//!   differs from the budgeted one (stronger *and* weaker both fail:
+//!   stronger hides a missing justification, weaker breaks an edge);
+//! * **seqcst** — a site spends `SeqCst` but its atomic is not in the
+//!   manifest's `policy.seqcst` list (budget entries alone cannot grant
+//!   `SeqCst`: the global spend set stays visible in one place);
+//! * **stale** — a budget entry matches zero live sites (the code it
+//!   described moved or died; the manifest must follow);
+//! * **undocumented-unsafe** — an `unsafe` with no `// SAFETY:` comment
+//!   (or `# Safety` doc section for `unsafe fn`) and no reasoned
+//!   allow-marker;
+//! * **reasonless-allow** — an allow-marker without a reason string.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::manifest::{self, Entry, Manifest};
+use crate::scan::{self, AtomicSite, UnsafeCoverage};
+
+/// Directory names never scanned (vendored shims are offline stand-ins
+/// for crates.io and carry no atomics or unsafe; fixtures contain seeded
+/// defects by design; the rest is build/VCS noise).
+pub const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures", ".git", "results"];
+
+/// One check failure.
+#[derive(Debug, Clone)]
+pub struct Issue {
+    /// Failure class (stable machine-readable tag).
+    pub class: &'static str,
+    /// `file:line` location (manifest line for stale entries).
+    pub at: String,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.class, self.at, self.msg)
+    }
+}
+
+/// The outcome of a full check.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All failures found.
+    pub issues: Vec<Issue>,
+    /// Total atomic sites scanned.
+    pub atomic_sites: usize,
+    /// Total `unsafe` occurrences scanned.
+    pub unsafe_sites: usize,
+    /// Files scanned.
+    pub files: usize,
+    /// Sites with no matching budget entry (for `dump`).
+    pub unlisted: Vec<AtomicSite>,
+}
+
+impl Report {
+    /// True when the tree passes every gate.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "analysis: {} files, {} atomic sites, {} unsafe sites, {} issue(s)",
+            self.files,
+            self.atomic_sites,
+            self.unsafe_sites,
+            self.issues.len()
+        )?;
+        for i in &self.issues {
+            writeln!(f, "  {i}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Recursively collect `.rs` files under `root`, skipping [`SKIP_DIRS`],
+/// sorted for deterministic reports.
+pub fn rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scan every Rust file under `root` (minus [`SKIP_DIRS`]).
+pub fn scan_tree(root: &Path) -> std::io::Result<(Vec<AtomicSite>, Vec<scan::UnsafeSite>, usize)> {
+    let mut atomics = Vec::new();
+    let mut unsafes = Vec::new();
+    let files = rust_files(root)?;
+    let n = files.len();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        let s = scan::scan_file(&rel, &src);
+        atomics.extend(s.atomics);
+        unsafes.extend(s.unsafes);
+    }
+    Ok((atomics, unsafes, n))
+}
+
+/// Run the full check of `root` against the manifest text.
+pub fn check_tree(root: &Path, manifest_src: &str) -> std::io::Result<Report> {
+    let manifest = match manifest::parse(manifest_src) {
+        Ok(m) => m,
+        Err(e) => {
+            return Ok(Report {
+                issues: vec![Issue {
+                    class: "manifest-parse",
+                    at: format!("ORDERINGS.toml:{}", e.line),
+                    msg: e.msg,
+                }],
+                ..Report::default()
+            })
+        }
+    };
+    let (atomics, unsafes, files) = scan_tree(root)?;
+    Ok(check_scanned(&manifest, atomics, unsafes, files))
+}
+
+/// The pure checking core (separated so tests can feed synthetic scans).
+pub fn check_scanned(
+    manifest: &Manifest,
+    atomics: Vec<AtomicSite>,
+    unsafes: Vec<scan::UnsafeSite>,
+    files: usize,
+) -> Report {
+    let mut report = Report {
+        files,
+        atomic_sites: atomics.len(),
+        unsafe_sites: unsafes.len(),
+        ..Report::default()
+    };
+    let mut matched = vec![false; manifest.entries.len()];
+
+    for site in &atomics {
+        let at = format!("{}:{}", site.file, site.line);
+        let full: Vec<usize> = manifest
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.matches(site))
+            .map(|(i, _)| i)
+            .collect();
+        if full.is_empty() {
+            // Near-miss: same place, different ordering → drift.
+            if let Some(e) = manifest.entries.iter().find(|e| e.matches_place(site)) {
+                report.issues.push(Issue {
+                    class: "drift",
+                    at: at.clone(),
+                    msg: format!(
+                        "`{}.{}` uses {} but the budget (ORDERINGS.toml:{}) says {} — {}",
+                        site.atomic, site.op, site.ordering, e.line, e.ordering,
+                        "amend ORDERINGS.toml with a new justification if the change is intentional"
+                    ),
+                });
+            } else {
+                report.issues.push(Issue {
+                    class: "unlisted",
+                    at: at.clone(),
+                    msg: format!(
+                        "`{}.{}({})` in fn `{}` has no budget entry — run `cargo run -p analysis -- dump` for a skeleton",
+                        site.atomic, site.op, site.ordering, site.func
+                    ),
+                });
+                report.unlisted.push(site.clone());
+            }
+        } else {
+            for i in full {
+                matched[i] = true;
+            }
+        }
+        // SeqCst policy is global and independent of entry matching —
+        // but only for production code: test code deliberately reads
+        // with SeqCst for exactness and is exempt (still budgeted).
+        if !site.in_test
+            && site.ordering.split('/').any(|o| o == "SeqCst")
+            && !manifest.seqcst_allowed(&site.atomic, &site.file)
+        {
+            report.issues.push(Issue {
+                class: "seqcst",
+                at,
+                msg: format!(
+                    "`{}.{}` spends SeqCst but `{}@{}` is not in policy.seqcst — the SeqCst set is declared in one place by design",
+                    site.atomic, site.op, site.atomic, site.file
+                ),
+            });
+        }
+    }
+
+    for (i, e) in manifest.entries.iter().enumerate() {
+        if !matched[i] {
+            report.issues.push(Issue {
+                class: "stale",
+                at: format!("ORDERINGS.toml:{}", e.line),
+                msg: format!(
+                    "entry `{} {} {} {}` matches no live site — the code moved or died; remove or update the entry",
+                    e.file, e.atomic, e.op, e.ordering
+                ),
+            });
+        }
+    }
+
+    for u in &unsafes {
+        let at = format!("{}:{}", u.file, u.line);
+        match u.coverage {
+            UnsafeCoverage::Documented | UnsafeCoverage::Allowed => {}
+            UnsafeCoverage::AllowedWithoutReason => report.issues.push(Issue {
+                class: "reasonless-allow",
+                at,
+                msg: format!(
+                    "{} in fn `{}` carries `{}` with no reason — the marker requires one",
+                    u.kind.noun(),
+                    u.func,
+                    scan::ALLOW_MARKER
+                ),
+            }),
+            UnsafeCoverage::Undocumented => report.issues.push(Issue {
+                class: "undocumented-unsafe",
+                at,
+                msg: format!(
+                    "{} in fn `{}` has no `// SAFETY:` comment{}",
+                    u.kind.noun(),
+                    u.func,
+                    if u.kind == scan::UnsafeKind::Fn { " or `# Safety` doc section" } else { "" }
+                ),
+            }),
+        }
+    }
+
+    report
+}
+
+/// Group unlisted sites into suggested manifest entries for `dump`:
+/// one entry per (file, atomic, op, ordering), function collapsed to the
+/// single enclosing fn when unique, omitted otherwise.
+pub fn suggest_entries(unlisted: &[AtomicSite]) -> Vec<Entry> {
+    let mut out: Vec<(Entry, Vec<&str>)> = Vec::new();
+    for s in unlisted {
+        if let Some((_, funcs)) = out.iter_mut().find(|(e, _)| {
+            e.file == s.file && e.atomic == s.atomic && e.op == s.op && e.ordering == s.ordering
+        }) {
+            funcs.push(&s.func);
+        } else {
+            out.push((
+                Entry {
+                    file: s.file.clone(),
+                    atomic: s.atomic.clone(),
+                    op: s.op.clone(),
+                    ordering: s.ordering.clone(),
+                    func: None,
+                    why: if s.in_test { "TODO (test code)".into() } else { "TODO".into() },
+                    line: 0,
+                },
+                vec![&s.func],
+            ));
+        }
+    }
+    out.into_iter()
+        .map(|(mut e, funcs)| {
+            if funcs.len() == 1 && funcs[0] != "?" {
+                e.func = Some(funcs[0].to_string());
+            }
+            e
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::parse;
+
+    fn site(file: &str, atomic: &str, op: &str, ordering: &str, func: &str) -> AtomicSite {
+        AtomicSite {
+            file: file.into(),
+            line: 1,
+            func: func.into(),
+            atomic: atomic.into(),
+            op: op.into(),
+            ordering: ordering.into(),
+            in_test: false,
+        }
+    }
+
+    const M: &str = r#"
+[policy]
+seqcst = ["current@a.rs"]
+
+[[site]]
+file = "a.rs"
+atomic = "current"
+op = "swap"
+ordering = "SeqCst"
+why = "W2"
+
+[[site]]
+file = "a.rs"
+atomic = "r_end"
+op = "fetch_add"
+ordering = "Release"
+why = "pairs with Acquire"
+"#;
+
+    #[test]
+    fn clean_tree_is_clean() {
+        let m = parse(M).unwrap();
+        let r = check_scanned(
+            &m,
+            vec![
+                site("a.rs", "current", "swap", "SeqCst", "publish"),
+                site("a.rs", "r_end", "fetch_add", "Release", "read"),
+            ],
+            vec![],
+            1,
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn ordering_drift_is_caught_both_directions() {
+        let m = parse(M).unwrap();
+        for weaker_or_stronger in ["Relaxed", "AcqRel"] {
+            let r = check_scanned(
+                &m,
+                vec![
+                    site("a.rs", "current", "swap", "SeqCst", "publish"),
+                    site("a.rs", "r_end", "fetch_add", weaker_or_stronger, "read"),
+                ],
+                vec![],
+                1,
+            );
+            assert_eq!(r.issues.len(), 2, "{r}"); // drift + the now-stale entry
+            assert!(r.issues.iter().any(|i| i.class == "drift"), "{r}");
+            assert!(r.issues.iter().any(|i| i.class == "stale"), "{r}");
+        }
+    }
+
+    #[test]
+    fn unlisted_and_seqcst_policy() {
+        let m = parse(M).unwrap();
+        let r = check_scanned(
+            &m,
+            vec![
+                site("a.rs", "current", "swap", "SeqCst", "publish"),
+                site("a.rs", "r_end", "fetch_add", "Release", "read"),
+                site("b.rs", "sneaky", "store", "SeqCst", "f"),
+            ],
+            vec![],
+            2,
+        );
+        assert!(r.issues.iter().any(|i| i.class == "unlisted"), "{r}");
+        assert!(r.issues.iter().any(|i| i.class == "seqcst"), "{r}");
+    }
+
+    #[test]
+    fn stale_entry_fails() {
+        let m = parse(M).unwrap();
+        let r = check_scanned(
+            &m,
+            vec![site("a.rs", "current", "swap", "SeqCst", "publish")],
+            vec![],
+            1,
+        );
+        assert_eq!(r.issues.iter().filter(|i| i.class == "stale").count(), 1, "{r}");
+    }
+
+    #[test]
+    fn suggest_entries_groups_and_records_unique_fn() {
+        let sites = vec![
+            site("a.rs", "x", "load", "Acquire", "f"),
+            site("a.rs", "x", "load", "Acquire", "g"),
+            site("a.rs", "y", "store", "Release", "h"),
+        ];
+        let es = suggest_entries(&sites);
+        assert_eq!(es.len(), 2);
+        assert_eq!(es[0].func, None); // two fns → collapsed
+        assert_eq!(es[1].func.as_deref(), Some("h"));
+    }
+}

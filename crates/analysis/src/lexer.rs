@@ -1,0 +1,272 @@
+//! A minimal hand-rolled Rust lexer — just enough fidelity for the
+//! ordering-budget scanner and the unsafe-coverage gate.
+//!
+//! The build environment is offline (no `syn`, no `proc-macro2`), so the
+//! scanner works at the token level: this lexer strips comments, string
+//! literals, char literals and lifetimes (the constructs that would
+//! otherwise produce false `unsafe`/`Ordering` hits), and emits
+//! identifier/punctuation tokens tagged with their 1-based source line.
+//!
+//! Deliberate simplifications, all safe for this repo's code style:
+//!
+//! * numeric literals consume trailing identifier characters (`0x1f`,
+//!   `64u64`) and a decimal point only when followed by a digit — so a
+//!   tuple-field access like `pair.0.load(..)` keeps its `.` punct;
+//! * float exponents with signs (`1e-3`) split into two tokens, which no
+//!   consumer of this lexer cares about;
+//! * attributes are not parsed — `#`, `[`, `]` come out as punctuation.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `fn`, `Ordering`, `current`, …).
+    Ident,
+    /// A numeric literal (value not interpreted).
+    Num,
+    /// A single punctuation character (`.`, `(`, `:`, `{`, …).
+    Punct(char),
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The token text (empty for punctuation — use [`TokKind::Punct`]).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lex `src` into a token stream, discarding comments, strings, chars and
+/// lifetimes. Never fails: unterminated constructs simply consume to EOF,
+/// which is the forgiving behaviour a repo-wide scanner wants (the compiler
+/// is the authority on well-formedness, not this pass).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                // Line comment (incl. doc comments): skip to end of line.
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                // Block comment, nested per Rust rules.
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = skip_string(&b, i, &mut line),
+            'r' | 'b' if raw_string_start(&b, i).is_some() => {
+                // r"..", r#".."#, br".." , b".." — skip the whole literal.
+                let (hashes, start) = raw_string_start(&b, i).unwrap();
+                i = skip_raw_string(&b, start, hashes, &mut line);
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                if i + 1 < b.len() && b[i + 1] == '\\' {
+                    // Escaped char literal: skip to closing quote.
+                    i += 2;
+                    while i < b.len() && b[i] != '\'' {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < b.len() && b[i + 2] == '\'' {
+                    // Plain char literal 'x' (incl. quotes, braces, digits).
+                    i += 3;
+                } else {
+                    // Lifetime: consume the tick and the identifier.
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Ident, text: b[start..i].iter().collect(), line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() {
+                    // `1.0` is one token; `pair.0.load` keeps its dots
+                    // (the char before the dot being a digit is not
+                    // enough — the char *after* must be one too, and a
+                    // `1.0.0` chain can't appear in valid Rust).
+                    let float_dot = b[i] == '.'
+                        && i + 1 < b.len()
+                        && b[i + 1].is_ascii_digit()
+                        && !b[start..i].contains(&'.');
+                    if b[i].is_alphanumeric() || b[i] == '_' || float_dot {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Num, text: b[start..i].iter().collect(), line });
+            }
+            c => {
+                toks.push(Tok { kind: TokKind::Punct(c), text: String::new(), line });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// If position `i` starts a raw/byte string literal (`r"`, `r#"`, `br"`,
+/// `b"`, …), return `(n_hashes, index_of_opening_quote + 1)`.
+fn raw_string_start(b: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    // Optional `b`/`r`/`br` prefix (we are called with b[i] in {r, b}).
+    if b[j] == 'b' {
+        j += 1;
+    }
+    let raw = j < b.len() && b[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == '"' && (raw || hashes == 0) {
+        // `b"…"` (no r, no hashes) is a plain byte string — also a literal
+        // we want to skip; hashes without `r` is not a string start.
+        if !raw && hashes == 0 && j == i {
+            return None; // bare '"' — handled by the normal string path
+        }
+        Some((if raw { hashes } else { 0 }, j + 1))
+    } else {
+        None
+    }
+}
+
+/// Skip a normal (escaped) string literal starting at the opening quote.
+/// Returns the index just past the closing quote.
+fn skip_string(b: &[char], open: usize, line: &mut u32) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string body (no escapes) until `"` followed by `hashes`
+/// `#` characters. `i` is the index just past the opening quote.
+fn skip_raw_string(b: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"'
+            && b[i + 1..].iter().take(hashes).filter(|&&c| c == '#').count() == hashes
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r###"
+            // unsafe in a line comment
+            /* unsafe in a /* nested */ block */
+            let s = "unsafe in a string";
+            let r = r#"unsafe in a raw string"#;
+            let c = '{'; let q = '\''; let lt: &'static str = "x";
+            real_ident
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+        // `'static` is a lifetime — its name must be consumed, not emitted.
+        assert!(!ids.contains(&"static".to_string()));
+    }
+
+    #[test]
+    fn tuple_field_access_keeps_its_dot() {
+        let toks = lex("pair.0.load(Ordering::Relaxed)");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+        assert!(toks.iter().any(|t| t.is_ident("load")));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_literals() {
+        let src = "a\n\"two\nline string\"\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 4);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_string()));
+        // The lifetime names are consumed, not emitted as stray tokens.
+        assert!(!ids.contains(&"a".to_string()));
+    }
+}

@@ -1,0 +1,55 @@
+//! Concurrency static-analysis plane: the memory-ordering budget checker
+//! and the unsafe-coverage gate (DESIGN.md §3.12).
+//!
+//! The ARC protocol's wait-freedom argument rests on exact memory-ordering
+//! discipline — PR 1 justified every `Ordering` in a doc-comment table in
+//! `crates/core/src/raw.rs`, but prose cannot stop drift. This crate makes
+//! the budget *machine-checked*:
+//!
+//! * [`scan`] extracts every atomic operation call site (and every
+//!   `unsafe` occurrence) from the workspace with a hand-rolled lexer —
+//!   the environment is offline, so no `syn`;
+//! * [`manifest`] parses `ORDERINGS.toml`, the checked-in budget: one
+//!   entry per site pattern with its allowed ordering and a one-line
+//!   justification, plus the global `SeqCst` spend policy;
+//! * [`check`] diffs the two. Unlisted sites, ordering drift (stronger
+//!   *or* weaker), out-of-policy `SeqCst`, stale manifest entries,
+//!   undocumented `unsafe`, and reasonless allow-markers are all hard
+//!   failures.
+//!
+//! CI runs `cargo run -p analysis -- check` as a must-pass step, and the
+//! `self_check` integration test keeps `cargo test` failing whenever the
+//! tree and the manifest disagree. To amend the budget when an ordering
+//! legitimately changes, edit the site *and* its `ORDERINGS.toml` entry
+//! (with a new justification) in the same commit; `-- dump` prints
+//! skeleton entries for any unlisted sites.
+
+pub mod check;
+pub mod lexer;
+pub mod manifest;
+pub mod scan;
+
+use std::path::{Path, PathBuf};
+
+/// Name of the budget manifest at the workspace root.
+pub const MANIFEST_NAME: &str = "ORDERINGS.toml";
+
+/// Run the full check of the workspace at `root` (which must contain
+/// [`MANIFEST_NAME`]).
+pub fn run_check(root: &Path) -> std::io::Result<check::Report> {
+    let manifest_src = std::fs::read_to_string(root.join(MANIFEST_NAME))?;
+    check::check_tree(root, &manifest_src)
+}
+
+/// Find the workspace root by walking up from `start` until a directory
+/// containing [`MANIFEST_NAME`] appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join(MANIFEST_NAME).is_file() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,77 @@
+//! `cargo run -p analysis -- <check|dump>` — the CI entry point for the
+//! concurrency static-analysis plane (see the crate docs / DESIGN.md
+//! §3.12).
+//!
+//! * `check [--root PATH]` — scan the tree, diff against `ORDERINGS.toml`,
+//!   gate unsafe coverage; exit 1 on any issue.
+//! * `dump [--root PATH]` — print skeleton `[[site]]` entries (TOML) for
+//!   every atomic site the manifest does not yet cover, ready to paste and
+//!   justify.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "dump" if cmd.is_none() => cmd = Some(a.clone()),
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(cmd) = cmd else { return usage("missing subcommand") };
+
+    let root =
+        match root.or_else(|| std::env::current_dir().ok().and_then(|d| analysis::find_root(&d))) {
+            Some(r) => r,
+            None => {
+                eprintln!(
+                    "analysis: no {} found from the current directory upward (use --root)",
+                    analysis::MANIFEST_NAME
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+
+    let report = match analysis::run_check(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => {
+            print!("{report}");
+            if report.is_clean() {
+                println!("analysis: OK — every atomic site matched the budget, every unsafe site is covered");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            // dump
+            if report.unlisted.is_empty() {
+                eprintln!("analysis: nothing unlisted — {} is complete", analysis::MANIFEST_NAME);
+            }
+            for e in analysis::check::suggest_entries(&report.unlisted) {
+                println!("{}", analysis::manifest::format_entry(&e));
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("analysis: {msg}\nusage: cargo run -p analysis -- <check|dump> [--root PATH]");
+    ExitCode::FAILURE
+}

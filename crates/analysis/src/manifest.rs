@@ -1,0 +1,402 @@
+//! `ORDERINGS.toml` — the machine-readable memory-ordering budget.
+//!
+//! The build environment is offline, so this is a hand-rolled parser for
+//! the small TOML subset the manifest uses (and `cargo run -p analysis --
+//! dump` emits): comments, one `[policy]` table, and `[[site]]` arrays of
+//! tables whose values are strings or (possibly multi-line) arrays of
+//! strings. Anything outside that subset is a parse error — the manifest
+//! is checked in, so failing loudly beats guessing.
+//!
+//! # Manifest semantics
+//!
+//! ```toml
+//! [policy]
+//! # Atomics allowed to spend SeqCst, as "<atomic>@<file>" entries.
+//! seqcst = ["current@crates/core/src/raw.rs"]
+//!
+//! [[site]]
+//! file = "crates/core/src/raw.rs"   # exact repo-relative path
+//! atomic = "current"                # receiver name; "*" matches any
+//! op = "swap"                       # atomic op name; "*" matches any
+//! ordering = "SeqCst"               # exact; "A/B" for compare-exchange
+//! fn = "publish"                    # optional: exact enclosing fn
+//! why = "W2 linearization point"    # mandatory, non-empty
+//! ```
+//!
+//! A scanned site is **budgeted** iff some entry matches its file exactly
+//! and its atomic/op/fn fields (wildcards allowed), *and* that entry's
+//! `ordering` equals the site's literally. An entry matching on everything
+//! but `ordering` is a *drift* diagnostic (stronger or weaker both fail);
+//! an entry matching zero sites is *stale* and fails the check, so the
+//! budget cannot rot as code moves.
+
+use std::fmt;
+
+/// One budget entry (`[[site]]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Exact repo-relative file path.
+    pub file: String,
+    /// Receiver name pattern (exact or `*`).
+    pub atomic: String,
+    /// Op name pattern (exact or `*`).
+    pub op: String,
+    /// Required ordering string (exact, `/`-joined for multi-ordering ops).
+    pub ordering: String,
+    /// Optional exact enclosing-function name.
+    pub func: Option<String>,
+    /// Mandatory human justification.
+    pub why: String,
+    /// 1-based line in the manifest (for error reporting).
+    pub line: u32,
+}
+
+impl Entry {
+    /// Does this entry's `file` pattern match the site's path? Exact, or
+    /// a prefix when the pattern ends in `*` (used sparingly, for test
+    /// and bench-harness boilerplate like stop flags).
+    pub fn file_matches(&self, file: &str) -> bool {
+        match self.file.strip_suffix('*') {
+            Some(prefix) => file.starts_with(prefix),
+            None => self.file == file,
+        }
+    }
+
+    /// Does this entry match the site's location (file/atomic/op/fn),
+    /// ignoring the ordering?
+    pub fn matches_place(&self, site: &crate::scan::AtomicSite) -> bool {
+        self.file_matches(&site.file)
+            && (self.atomic == "*" || self.atomic == site.atomic)
+            && (self.op == "*" || self.op == site.op)
+            && self.func.as_ref().is_none_or(|f| *f == site.func)
+    }
+
+    /// Full match: place plus exact ordering.
+    pub fn matches(&self, site: &crate::scan::AtomicSite) -> bool {
+        self.matches_place(site) && self.ordering == site.ordering
+    }
+}
+
+/// The parsed manifest.
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    /// `policy.seqcst`: `"<atomic>@<file>"` strings naming the atomics
+    /// allowed to spend `SeqCst`.
+    pub seqcst: Vec<String>,
+    /// The budget entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Manifest {
+    /// Is `atomic` at `file` allowed to use `SeqCst`?
+    pub fn seqcst_allowed(&self, atomic: &str, file: &str) -> bool {
+        let key = format!("{atomic}@{file}");
+        self.seqcst.contains(&key)
+    }
+}
+
+/// A manifest parse error with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ORDERINGS.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+fn err(line: u32, msg: impl Into<String>) -> ParseError {
+    ParseError { line, msg: msg.into() }
+}
+
+/// Parse the manifest text.
+pub fn parse(src: &str) -> Result<Manifest, ParseError> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Policy,
+        Site,
+    }
+    let mut m = Manifest::default();
+    let mut section = Section::None;
+    let mut cur: Option<Entry> = None;
+    let finish = |cur: &mut Option<Entry>, m: &mut Manifest| -> Result<(), ParseError> {
+        if let Some(e) = cur.take() {
+            for (field, val) in [
+                ("file", &e.file),
+                ("atomic", &e.atomic),
+                ("op", &e.op),
+                ("ordering", &e.ordering),
+                ("why", &e.why),
+            ] {
+                if val.is_empty() {
+                    return Err(err(e.line, format!("[[site]] missing required key `{field}`")));
+                }
+            }
+            m.entries.push(e);
+        }
+        Ok(())
+    };
+
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((i, raw)) = lines.next() {
+        let lno = i as u32 + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[policy]" {
+            finish(&mut cur, &mut m)?;
+            section = Section::Policy;
+        } else if line == "[[site]]" {
+            finish(&mut cur, &mut m)?;
+            section = Section::Site;
+            cur = Some(Entry {
+                file: String::new(),
+                atomic: String::new(),
+                op: String::new(),
+                ordering: String::new(),
+                func: None,
+                why: String::new(),
+                line: lno,
+            });
+        } else if line.starts_with('[') {
+            return Err(err(lno, format!("unknown section {line}")));
+        } else {
+            let Some((key, val)) = line.split_once('=') else {
+                return Err(err(lno, format!("expected `key = value`, got `{line}`")));
+            };
+            let key = key.trim();
+            let mut val = val.trim().to_string();
+            // Multi-line array: keep consuming lines until the `]`.
+            if val.starts_with('[') && !balanced_array(&val) {
+                for (_, cont) in lines.by_ref() {
+                    val.push(' ');
+                    val.push_str(strip_comment(cont).trim());
+                    if balanced_array(&val) {
+                        break;
+                    }
+                }
+                if !balanced_array(&val) {
+                    return Err(err(lno, "unterminated array"));
+                }
+            }
+            match section {
+                Section::Policy => match key {
+                    "seqcst" => m.seqcst = parse_array(&val, lno)?,
+                    _ => return Err(err(lno, format!("unknown [policy] key `{key}`"))),
+                },
+                Section::Site => {
+                    let e = cur.as_mut().expect("in [[site]] section");
+                    let s = parse_string(&val, lno)?;
+                    match key {
+                        "file" => e.file = s,
+                        "atomic" => e.atomic = s,
+                        "op" => e.op = s,
+                        "ordering" => e.ordering = s,
+                        "fn" => e.func = Some(s),
+                        "why" => e.why = s,
+                        _ => return Err(err(lno, format!("unknown [[site]] key `{key}`"))),
+                    }
+                }
+                Section::None => return Err(err(lno, "key outside any section")),
+            }
+        }
+    }
+    finish(&mut cur, &mut m)?;
+    Ok(m)
+}
+
+/// Strip a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escape => escape = false,
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn balanced_array(val: &str) -> bool {
+    // Arrays of strings only — a `]` outside quotes closes it.
+    let mut in_str = false;
+    let mut escape = false;
+    for c in val.chars() {
+        match c {
+            _ if escape => escape = false,
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            ']' if !in_str => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn parse_string(val: &str, line: u32) -> Result<String, ParseError> {
+    let v = val.trim();
+    if v.len() < 2 || !v.starts_with('"') || !v.ends_with('"') {
+        return Err(err(line, format!("expected a \"string\", got `{v}`")));
+    }
+    let body = &v[1..v.len() - 1];
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => return Err(err(line, format!("unsupported escape `\\{other}`"))),
+                None => return Err(err(line, "dangling escape")),
+            }
+        } else if c == '"' {
+            return Err(err(line, "unescaped quote inside string"));
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_array(val: &str, line: u32) -> Result<Vec<String>, ParseError> {
+    let v = val.trim();
+    let Some(body) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+        return Err(err(line, format!("expected an array, got `{v}`")));
+    };
+    let mut out = Vec::new();
+    // Split on commas outside quotes.
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escape = false;
+    for c in body.chars() {
+        match c {
+            _ if escape => {
+                cur.push(c);
+                escape = false;
+            }
+            '\\' if in_str => {
+                cur.push(c);
+                escape = true;
+            }
+            '"' => {
+                cur.push(c);
+                in_str = !in_str;
+            }
+            ',' if !in_str => {
+                if !cur.trim().is_empty() {
+                    out.push(parse_string(&cur, line)?);
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(parse_string(&cur, line)?);
+    }
+    Ok(out)
+}
+
+/// Serialize one entry in the canonical `dump` format.
+pub fn format_entry(e: &Entry) -> String {
+    let mut s = String::from("[[site]]\n");
+    s.push_str(&format!("file = {}\n", quote(&e.file)));
+    s.push_str(&format!("atomic = {}\n", quote(&e.atomic)));
+    s.push_str(&format!("op = {}\n", quote(&e.op)));
+    s.push_str(&format!("ordering = {}\n", quote(&e.ordering)));
+    if let Some(f) = &e.func {
+        s.push_str(&format!("fn = {}\n", quote(f)));
+    }
+    s.push_str(&format!("why = {}\n", quote(&e.why)));
+    s
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# The ordering budget.
+[policy]
+seqcst = [
+    "current@crates/core/src/raw.rs",   # W2/R4 pair
+    "gen_joins@crates/core/src/raw.rs",
+]
+
+[[site]]
+file = "crates/core/src/raw.rs"
+atomic = "current"
+op = "swap"
+ordering = "SeqCst"
+fn = "publish"
+why = "W2 linearization point"
+
+[[site]]
+file = "crates/core/src/raw.rs"
+atomic = "r_end"
+op = "fetch_add"
+ordering = "Release"
+why = "pairs with slot_free Acquire"
+"#;
+
+    #[test]
+    fn parses_the_sample() {
+        let m = parse(SAMPLE).unwrap();
+        assert_eq!(m.seqcst.len(), 2);
+        assert!(m.seqcst_allowed("current", "crates/core/src/raw.rs"));
+        assert!(!m.seqcst_allowed("r_end", "crates/core/src/raw.rs"));
+        assert_eq!(m.entries.len(), 2);
+        assert_eq!(m.entries[0].func.as_deref(), Some("publish"));
+        assert_eq!(m.entries[1].func, None);
+    }
+
+    #[test]
+    fn round_trips_through_format_entry() {
+        let m = parse(SAMPLE).unwrap();
+        let text: String = m.entries.iter().map(format_entry).collect::<Vec<_>>().join("\n");
+        let again = parse(&text).unwrap();
+        // Lines differ; everything else round-trips.
+        for (a, b) in m.entries.iter().zip(&again.entries) {
+            assert_eq!(
+                (&a.file, &a.atomic, &a.op, &a.ordering, &a.func, &a.why),
+                (&b.file, &b.atomic, &b.op, &b.ordering, &b.func, &b.why)
+            );
+        }
+    }
+
+    #[test]
+    fn missing_required_key_is_an_error() {
+        let bad =
+            "[[site]]\nfile = \"a.rs\"\natomic = \"x\"\nop = \"load\"\nordering = \"Relaxed\"\n";
+        let e = parse(bad).unwrap_err();
+        assert!(e.msg.contains("why"), "{e}");
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_fail() {
+        assert!(parse("[nope]\n").is_err());
+        assert!(parse("[policy]\nbogus = [\"x\"]\n").is_err());
+        assert!(parse("[[site]]\nbogus = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let m = parse("[policy]\nseqcst = [\"a#b@f.rs\"] # trailing\n").unwrap();
+        assert_eq!(m.seqcst, vec!["a#b@f.rs"]);
+    }
+}

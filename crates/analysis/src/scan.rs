@@ -1,0 +1,663 @@
+//! Site extraction: atomic operations (with their `Ordering`s) and
+//! `unsafe` occurrences (with their SAFETY-comment coverage).
+//!
+//! Works on the token stream from [`crate::lexer`] plus the raw source
+//! lines (the coverage gate reasons about comments, which the lexer
+//! deliberately strips).
+//!
+//! # What counts as an atomic site
+//!
+//! An identifier from the atomic-op set (`load`, `store`, `swap`,
+//! `compare_exchange[_weak]`, `fetch_*`, `fence`) immediately followed by
+//! `(`, whose argument list contains at least one literal
+//! `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` path. Requiring a
+//! literal ordering is what screens out same-named non-atomic methods
+//! (`Vec::swap`, serde-style `load`s): the atomic APIs *require* an
+//! ordering argument, and this repo passes them literally at every call
+//! site (checked: no function in the tree takes `Ordering` as a
+//! parameter, so no call site can smuggle an ordering through a wrapper —
+//! the self-check test keeps that true by failing on any new wrapper).
+//!
+//! Orderings inside *nested* atomic calls are attributed to the innermost
+//! call, so `x.store(y.load(Acquire), Release)` yields two sites with one
+//! ordering each.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// The atomic operations the scanner recognizes.
+pub const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "fence",
+];
+
+/// The five memory orderings.
+pub const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Receiver name used for free-standing `fence(...)` calls, which have no
+/// atomic variable.
+pub const FENCE_RECEIVER: &str = "(fence)";
+
+/// One atomic operation call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicSite {
+    /// Repo-relative path of the file.
+    pub file: String,
+    /// 1-based line of the operation identifier.
+    pub line: u32,
+    /// Enclosing function name (`?` at module scope, e.g. in statics).
+    pub func: String,
+    /// Receiver identifier: the atomic's field/variable name, the method
+    /// producing it (`pin_entry`), or [`FENCE_RECEIVER`] for fences.
+    pub atomic: String,
+    /// Operation name (`load`, `swap`, `fetch_add`, …).
+    pub op: String,
+    /// The literal orderings at the site, in argument order, joined with
+    /// `/` — `"SeqCst"`, or `"AcqRel/Relaxed"` for compare-exchange.
+    pub ordering: String,
+    /// True when the site lives in test code: a `#[cfg(test)]` item, or a
+    /// file under `tests/`, `examples/` or a `src/bin/` harness. Test
+    /// sites still need budget entries, but are exempt from the global
+    /// `SeqCst` policy (tests deliberately use `SeqCst` for exactness).
+    pub in_test: bool,
+}
+
+/// How an `unsafe` occurrence is introduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe { … }` block.
+    Block,
+    /// `unsafe fn …` declaration.
+    Fn,
+    /// `unsafe impl …` (Send/Sync and friends).
+    Impl,
+    /// `unsafe trait …` declaration.
+    Trait,
+}
+
+impl UnsafeKind {
+    /// Human-readable noun for reports.
+    pub fn noun(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "unsafe block",
+            UnsafeKind::Fn => "unsafe fn",
+            UnsafeKind::Impl => "unsafe impl",
+            UnsafeKind::Trait => "unsafe trait",
+        }
+    }
+}
+
+/// Coverage verdict for one `unsafe` occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnsafeCoverage {
+    /// A `// SAFETY:` comment (or `# Safety` doc section for `unsafe fn`)
+    /// directly covers the site.
+    Documented,
+    /// An `// analysis: allow(undocumented-unsafe): <reason>` marker with a
+    /// non-empty reason covers the site.
+    Allowed,
+    /// An allow marker was found but carries no reason text.
+    AllowedWithoutReason,
+    /// Nothing covers the site.
+    Undocumented,
+}
+
+/// One `unsafe` occurrence with its coverage verdict.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Repo-relative path of the file.
+    pub file: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Enclosing function name (`?` at module/impl scope).
+    pub func: String,
+    /// What the `unsafe` introduces.
+    pub kind: UnsafeKind,
+    /// Coverage verdict.
+    pub coverage: UnsafeCoverage,
+}
+
+/// Everything extracted from one source file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Atomic operation call sites.
+    pub atomics: Vec<AtomicSite>,
+    /// `unsafe` occurrences.
+    pub unsafes: Vec<UnsafeSite>,
+}
+
+/// Scan one file's source text. `file` is the repo-relative path recorded
+/// on every site.
+pub fn scan_file(file: &str, src: &str) -> FileScan {
+    let toks = lex(src);
+    let funcs = FnContext::build(&toks);
+    let lines: Vec<&str> = src.lines().collect();
+    let test_spans = if test_file(file) { vec![(0, u32::MAX)] } else { cfg_test_spans(&toks) };
+    FileScan {
+        atomics: scan_atomics(file, &toks, &funcs, &test_spans),
+        unsafes: scan_unsafes(file, &toks, &funcs, &lines),
+    }
+}
+
+/// Is the whole file test/harness code by its path?
+fn test_file(file: &str) -> bool {
+    file.starts_with("tests/")
+        || file.starts_with("examples/")
+        || file.contains("/tests/")
+        || file.contains("/examples/")
+        || file.contains("/bin/")
+}
+
+/// Line spans (1-based, inclusive) of `#[cfg(test)]` items: the braced
+/// body following the attribute (skipping any further attributes). Items
+/// without a body (`#[cfg(test)] use …;`) contribute no span.
+fn cfg_test_spans(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 4 < toks.len() {
+        // Match `# [ cfg ( test ) ]` exactly.
+        let is_cfg_test = toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct('(')
+            && toks[i + 4].is_ident("test")
+            && toks.get(i + 5).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(']'));
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the item body: the next `{` before any top-level `;`.
+        let mut j = i + 7;
+        let mut depth = 0i32;
+        let mut open = None;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct('{') => {
+                    open = Some(j);
+                    break;
+                }
+                TokKind::Punct(';') if depth == 0 => break,
+                TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(o) = open {
+            let mut d = 0i32;
+            let mut k = o;
+            while k < toks.len() {
+                match toks[k].kind {
+                    TokKind::Punct('{') => d += 1,
+                    TokKind::Punct('}') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let end = toks.get(k).map_or(u32::MAX, |t| t.line);
+            spans.push((toks[i].line, end));
+            i = k + 1;
+        } else {
+            i = j + 1;
+        }
+    }
+    spans
+}
+
+// ---------------------------------------------------------------------------
+// Function-context tracking
+// ---------------------------------------------------------------------------
+
+/// Maps token indices to enclosing function names via brace-depth
+/// tracking: `fn name … {` pushes, the matching `}` pops. Closures and
+/// nested items behave correctly because inner frames shadow outer ones.
+struct FnContext {
+    /// For each token index, the enclosing function name index in `names`
+    /// (`usize::MAX` = none).
+    at: Vec<usize>,
+    names: Vec<String>,
+}
+
+impl FnContext {
+    fn build(toks: &[Tok]) -> Self {
+        let mut at = vec![usize::MAX; toks.len()];
+        let mut names: Vec<String> = Vec::new();
+        // Stack of (name index, brace depth at which the body opened).
+        let mut stack: Vec<(usize, i32)> = Vec::new();
+        let mut depth = 0i32;
+        // A `fn` whose body has not opened yet: (name index, paren depth).
+        let mut pending: Option<usize> = None;
+        let mut paren = 0i32;
+        for (i, t) in toks.iter().enumerate() {
+            if let Some((n, _)) = stack.last() {
+                at[i] = *n;
+            }
+            match t.kind {
+                TokKind::Ident if t.text == "fn" => {
+                    if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        names.push(name.text.clone());
+                        pending = Some(names.len() - 1);
+                        paren = 0;
+                    }
+                }
+                TokKind::Punct('(') => paren += 1,
+                TokKind::Punct(')') => paren -= 1,
+                TokKind::Punct(';') if paren == 0 => {
+                    // Trait-method declaration or fn-pointer type: the
+                    // pending fn never gets a body.
+                    pending = None;
+                }
+                TokKind::Punct('{') => {
+                    depth += 1;
+                    if paren == 0 {
+                        if let Some(n) = pending.take() {
+                            stack.push((n, depth));
+                        }
+                    }
+                }
+                TokKind::Punct('}') => {
+                    if let Some((_, d)) = stack.last() {
+                        if depth == *d {
+                            stack.pop();
+                        }
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        FnContext { at, names }
+    }
+
+    fn name(&self, tok_idx: usize) -> String {
+        match self.at.get(tok_idx) {
+            Some(&n) if n != usize::MAX => self.names[n].clone(),
+            _ => "?".to_string(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic sites
+// ---------------------------------------------------------------------------
+
+fn scan_atomics(
+    file: &str,
+    toks: &[Tok],
+    funcs: &FnContext,
+    test_spans: &[(u32, u32)],
+) -> Vec<AtomicSite> {
+    // Pass 1: find candidate op calls and their paren spans.
+    struct Call {
+        op_idx: usize,
+        open: usize,
+        close: usize,
+        orderings: Vec<&'static str>,
+    }
+    let mut calls: Vec<Call> = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !ATOMIC_OPS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let Some(open) = toks.get(i + 1).filter(|n| n.is_punct('(')).map(|_| i + 1) else {
+            continue;
+        };
+        // Method ops need a `.` receiver; `fence` is a free function.
+        if t.text != "fence" && !(i > 0 && toks[i - 1].is_punct('.')) {
+            continue;
+        }
+        let Some(close) = matching_paren(toks, open) else { continue };
+        calls.push(Call { op_idx: i, open, close, orderings: Vec::new() });
+    }
+
+    // Pass 2: attribute each literal `Ordering::X` to the innermost
+    // enclosing candidate call.
+    for j in 0..toks.len().saturating_sub(3) {
+        if !(toks[j].is_ident("Ordering")
+            && toks[j + 1].is_punct(':')
+            && toks[j + 2].is_punct(':')
+            && toks[j + 3].kind == TokKind::Ident)
+        {
+            continue;
+        }
+        let Some(&ord) = ORDERINGS.iter().find(|&&o| toks[j + 3].text == o) else { continue };
+        // Innermost = largest `open` among calls whose span contains j.
+        if let Some(c) =
+            calls.iter_mut().filter(|c| c.open < j && j < c.close).max_by_key(|c| c.open)
+        {
+            c.orderings.push(ord);
+        }
+    }
+
+    calls
+        .into_iter()
+        .filter(|c| !c.orderings.is_empty())
+        .map(|c| AtomicSite {
+            file: file.to_string(),
+            line: toks[c.op_idx].line,
+            func: funcs.name(c.op_idx),
+            atomic: if toks[c.op_idx].text == "fence" {
+                FENCE_RECEIVER.to_string()
+            } else {
+                receiver_name(toks, c.op_idx)
+            },
+            op: toks[c.op_idx].text.clone(),
+            ordering: c.orderings.join("/"),
+            in_test: {
+                let l = toks[c.op_idx].line;
+                test_spans.iter().any(|&(a, b)| a <= l && l <= b)
+            },
+        })
+        .collect()
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Name of the receiver expression of the method call at `op_idx`
+/// (`self.hdr.current.swap(..)` → `current`;
+/// `c.pin_entry(i).compare_exchange(..)` → `pin_entry`;
+/// `self.slots[i].load(..)` → `slots`).
+fn receiver_name(toks: &[Tok], op_idx: usize) -> String {
+    // toks[op_idx - 1] is the `.`; walk left over one postfix expression.
+    let mut i = op_idx.checked_sub(2);
+    while let Some(j) = i {
+        match toks[j].kind {
+            TokKind::Ident => return toks[j].text.clone(),
+            TokKind::Punct(')') | TokKind::Punct(']') => {
+                // Skip the bracketed group, then continue left (handles
+                // `f(x).op`, `arr[i].op`).
+                let open = match toks[j].kind {
+                    TokKind::Punct(')') => '(',
+                    _ => '[',
+                };
+                let close = match toks[j].kind {
+                    TokKind::Punct(')') => ')',
+                    _ => ']',
+                };
+                let mut depth = 0i32;
+                let mut k = j;
+                loop {
+                    if toks[k].is_punct(close) {
+                        depth += 1;
+                    } else if toks[k].is_punct(open) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if k == 0 {
+                        return "?".into();
+                    }
+                    k -= 1;
+                }
+                i = k.checked_sub(1);
+            }
+            TokKind::Num => {
+                // Tuple field: `pair.0.load(..)` → keep walking to `pair`.
+                i = j.checked_sub(2).filter(|_| j >= 1 && toks[j - 1].is_punct('.'));
+                if i.is_none() {
+                    return "?".into();
+                }
+            }
+            _ => return "?".into(),
+        }
+    }
+    "?".into()
+}
+
+// ---------------------------------------------------------------------------
+// Unsafe sites
+// ---------------------------------------------------------------------------
+
+/// The allow-marker prefix. The text after it (same comment) is the
+/// mandatory reason.
+pub const ALLOW_MARKER: &str = "analysis: allow(undocumented-unsafe)";
+
+fn scan_unsafes(file: &str, toks: &[Tok], funcs: &FnContext, lines: &[&str]) -> Vec<UnsafeSite> {
+    let mut out = Vec::new();
+    let mut seen_lines: Vec<u32> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let kind = match toks.get(i + 1) {
+            Some(n) if n.is_ident("fn") => UnsafeKind::Fn,
+            Some(n) if n.is_ident("impl") => UnsafeKind::Impl,
+            Some(n) if n.is_ident("trait") => UnsafeKind::Trait,
+            _ => UnsafeKind::Block,
+        };
+        // One comment covers all `unsafe` tokens on one line (chained
+        // expressions); report each line once.
+        if seen_lines.contains(&t.line) {
+            continue;
+        }
+        seen_lines.push(t.line);
+        out.push(UnsafeSite {
+            file: file.to_string(),
+            line: t.line,
+            func: funcs.name(i),
+            kind,
+            coverage: coverage_at(lines, t.line as usize - 1, kind),
+        });
+    }
+    out
+}
+
+/// Decide coverage for an `unsafe` on 0-based line `idx`.
+///
+/// Accepted, in the house style (matching `clippy::undocumented_unsafe_blocks`
+/// placement rules so the two nets agree):
+///
+/// * a trailing `// SAFETY: …` on the same line;
+/// * a `SAFETY:` anywhere in the contiguous comment/attribute block
+///   directly above the line;
+/// * for `unsafe fn` only, a `# Safety` doc heading in that block;
+/// * an [`ALLOW_MARKER`] with a non-empty reason, same placement.
+fn coverage_at(lines: &[&str], idx: usize, kind: UnsafeKind) -> UnsafeCoverage {
+    let mut best = UnsafeCoverage::Undocumented;
+    let mut consider = |s: &str| {
+        if let Some(rest) = s.split(ALLOW_MARKER).nth(1) {
+            let reason = rest.trim_start_matches(':').trim();
+            if reason.is_empty() {
+                if best == UnsafeCoverage::Undocumented {
+                    best = UnsafeCoverage::AllowedWithoutReason;
+                }
+            } else {
+                best = UnsafeCoverage::Allowed;
+            }
+        }
+        if s.contains("SAFETY:") || (kind == UnsafeKind::Fn && s.contains("# Safety")) {
+            best = UnsafeCoverage::Documented;
+        }
+    };
+    // Same-line trailing comment.
+    if let Some(c) = lines.get(idx).and_then(|l| l.split_once("//").map(|(_, c)| c)) {
+        consider(c);
+    }
+    // Contiguous comment/attribute block directly above.
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let s = lines[j].trim_start();
+        let is_annotation = s.starts_with("//")
+            || s.starts_with("#[")
+            || s.starts_with("#!")
+            || s.starts_with("/*")
+            || s.starts_with('*')
+            || s.ends_with("*/")
+            || s == "]"; // tail of a multi-line attribute
+        if !is_annotation {
+            break;
+        }
+        consider(s);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_receiver_op_ordering_and_fn() {
+        let src = "
+            impl R {
+                fn publish(&self) {
+                    self.hdr.current.swap(1, Ordering::SeqCst);
+                    self.r_end.fetch_add(1, Ordering::Release);
+                }
+            }
+            fn probe(c: &C) -> bool {
+                c.pin_entry(3).compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed).is_ok()
+            }
+        ";
+        let s = scan_file("t.rs", src);
+        assert_eq!(s.atomics.len(), 3);
+        let a = &s.atomics[0];
+        assert_eq!(
+            (a.atomic.as_str(), a.op.as_str(), a.ordering.as_str()),
+            ("current", "swap", "SeqCst")
+        );
+        assert_eq!(a.func, "publish");
+        let c = &s.atomics[2];
+        assert_eq!(c.atomic, "pin_entry");
+        assert_eq!(c.ordering, "AcqRel/Relaxed");
+        assert_eq!(c.func, "probe");
+    }
+
+    #[test]
+    fn nested_calls_attribute_orderings_innermost() {
+        let src = "fn f(a: &A, b: &A) { a.store(b.load(Ordering::Acquire), Ordering::Release); }";
+        let s = scan_file("t.rs", src);
+        assert_eq!(s.atomics.len(), 2);
+        let load = s.atomics.iter().find(|x| x.op == "load").unwrap();
+        let store = s.atomics.iter().find(|x| x.op == "store").unwrap();
+        assert_eq!(load.ordering, "Acquire");
+        assert_eq!(store.ordering, "Release");
+    }
+
+    #[test]
+    fn non_atomic_same_named_methods_are_ignored() {
+        let src = "fn f(v: &mut Vec<u8>) { v.swap(0, 1); let _ = config.load(path); }";
+        let s = scan_file("t.rs", src);
+        assert!(s.atomics.is_empty());
+    }
+
+    #[test]
+    fn fence_sites_use_the_fence_receiver() {
+        let src = "fn f() { std::sync::atomic::fence(Ordering::SeqCst); }";
+        let s = scan_file("t.rs", src);
+        assert_eq!(s.atomics.len(), 1);
+        assert_eq!(s.atomics[0].atomic, FENCE_RECEIVER);
+    }
+
+    #[test]
+    fn unsafe_coverage_verdicts() {
+        let src = "
+fn a() {
+    // SAFETY: checked above.
+    unsafe { core::hint::unreachable_unchecked() }
+}
+fn b() {
+    unsafe { undocumented() }
+}
+fn c() {
+    // analysis: allow(undocumented-unsafe): fixture exercises the gate.
+    unsafe { allowed() }
+}
+fn d() {
+    // analysis: allow(undocumented-unsafe):
+    unsafe { reasonless() }
+}
+/// Does things.
+///
+/// # Safety
+/// Caller must hold the claim.
+unsafe fn e() {}
+// SAFETY: no shared mutation; see module docs.
+unsafe impl Send for X {}
+";
+        let s = scan_file("t.rs", src);
+        let cov: Vec<_> = s.unsafes.iter().map(|u| (u.line, u.coverage.clone(), u.kind)).collect();
+        assert_eq!(cov.len(), 6, "{cov:?}");
+        assert_eq!(cov[0].1, UnsafeCoverage::Documented);
+        assert_eq!(cov[1].1, UnsafeCoverage::Undocumented);
+        assert_eq!(cov[2].1, UnsafeCoverage::Allowed);
+        assert_eq!(cov[3].1, UnsafeCoverage::AllowedWithoutReason);
+        assert_eq!(cov[4].1, UnsafeCoverage::Documented);
+        assert_eq!(cov[4].2, UnsafeKind::Fn);
+        assert_eq!(cov[5].1, UnsafeCoverage::Documented);
+        assert_eq!(cov[5].2, UnsafeKind::Impl);
+    }
+
+    #[test]
+    fn cfg_test_items_and_test_paths_are_tagged() {
+        let src = "
+            fn lib_site(a: &A) { a.load(Ordering::Acquire); }
+            #[cfg(test)]
+            mod tests {
+                fn t(a: &A) { a.load(Ordering::SeqCst); }
+            }
+            fn after(a: &A) { a.store(1, Ordering::Release); }
+        ";
+        let s = scan_file("crates/x/src/lib.rs", src);
+        let tags: Vec<bool> = s.atomics.iter().map(|a| a.in_test).collect();
+        assert_eq!(tags, vec![false, true, false]);
+        // Whole-file tagging by path.
+        let s = scan_file("tests/conformance.rs", "fn f(a: &A) { a.load(Ordering::SeqCst); }");
+        assert!(s.atomics[0].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_bodyless_item_has_no_span() {
+        let src = "
+            #[cfg(test)]
+            use std::sync::atomic::Ordering;
+            fn f(a: &A) { a.load(Ordering::Acquire); }
+        ";
+        let s = scan_file("crates/x/src/lib.rs", src);
+        assert!(!s.atomics[0].in_test);
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_strings_is_ignored() {
+        let src = "fn f() { let s = \"unsafe\"; } // unsafe\n/* unsafe */\n";
+        let s = scan_file("t.rs", src);
+        assert!(s.unsafes.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! The live gate: `cargo test` fails whenever the workspace tree and
+//! `ORDERINGS.toml` disagree — same verdict as CI's
+//! `cargo run -p analysis -- check`, reached through the library so the
+//! failure lands in a normal test report.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/analysis/ → workspace root, confirmed by the manifest.
+    let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    analysis::find_root(&here).expect("ORDERINGS.toml above crates/analysis")
+}
+
+#[test]
+fn workspace_matches_the_ordering_budget() {
+    let r = analysis::run_check(&workspace_root()).expect("scan workspace");
+    assert!(r.is_clean(), "tree/manifest out of sync:\n{r}");
+    // The scanner saw the real tree, not an empty directory.
+    assert!(r.files > 50, "suspiciously few files scanned: {}", r.files);
+    assert!(r.atomic_sites > 300, "suspiciously few atomic sites: {}", r.atomic_sites);
+}
+
+#[test]
+fn live_manifest_round_trips_through_the_formatter() {
+    let root = workspace_root();
+    let src = std::fs::read_to_string(root.join(analysis::MANIFEST_NAME)).unwrap();
+    let m = analysis::manifest::parse(&src).expect("live manifest parses");
+    assert!(!m.entries.is_empty() && !m.seqcst.is_empty());
+    let text: String =
+        m.entries.iter().map(analysis::manifest::format_entry).collect::<Vec<_>>().join("\n");
+    let again = analysis::manifest::parse(&text).expect("formatted manifest reparses");
+    assert_eq!(m.entries.len(), again.entries.len());
+    for (a, b) in m.entries.iter().zip(&again.entries) {
+        assert_eq!(
+            (&a.file, &a.atomic, &a.op, &a.ordering, &a.func, &a.why),
+            (&b.file, &b.atomic, &b.op, &b.ordering, &b.func, &b.why)
+        );
+    }
+}
+
+#[test]
+fn every_seqcst_policy_key_is_spent() {
+    // A policy entry nobody uses is as stale as a dead [[site]] entry.
+    let root = workspace_root();
+    let (atomics, _, _) = analysis::check::scan_tree(&root).unwrap();
+    let src = std::fs::read_to_string(root.join(analysis::MANIFEST_NAME)).unwrap();
+    let m = analysis::manifest::parse(&src).unwrap();
+    for key in &m.seqcst {
+        let (atomic, file) = key.split_once('@').expect("policy key shape");
+        assert!(
+            atomics.iter().any(|s| {
+                s.atomic == atomic
+                    && s.file == file
+                    && s.ordering.split('/').any(|o| o == "SeqCst")
+                    && !s.in_test
+            }),
+            "policy.seqcst entry `{key}` matches no production SeqCst site"
+        );
+    }
+}

@@ -64,6 +64,8 @@ struct Buffer {
 // protected by their presence bit / trace entry. Happens-before edges run
 // through the SeqCst RMWs on `word` (see module docs).
 unsafe impl Sync for Buffer {}
+// SAFETY: buffer contents are plain `u64` words; ownership moves between
+// threads only through the protocol serialization described above.
 unsafe impl Send for Buffer {}
 
 /// The shared RF register state.

@@ -326,6 +326,8 @@ const _: () = assert!(std::mem::size_of::<RegHeader>() == HDR_BYTES);
 // between select_slot and publish, shared under a standing presence unit
 // otherwise (module docs).
 unsafe impl Sync for PackedSlot {}
+// SAFETY: the cells hold plain bytes/words; moving the slot between
+// threads carries no thread-affine state.
 unsafe impl Send for PackedSlot {}
 
 /// View of one register's protocol words inside the slab: the

@@ -56,7 +56,18 @@
 //!
 //! `SeqCst` is spent **only on `current`** — every other atomic in this
 //! module carries the weakest ordering the proof sketch above needs, with
-//! the justification at each site. The budget, in one table:
+//! the justification at each site.
+//!
+//! > **Source of truth:** since the static-analysis plane landed
+//! > (DESIGN.md §3.12), the machine-checked budget lives in
+//! > `ORDERINGS.toml` at the workspace root — every atomic site in the
+//! > workspace is diffed against it by `cargo run -p analysis -- check`
+//! > (CI must-pass) and the `self_check` test. The table below is a
+//! > human-readable rendering of this module's rows; when amending an
+//! > ordering, change the site and `ORDERINGS.toml` in the same commit,
+//! > then keep this table in step.
+//!
+//! The budget, in one table:
 //!
 //! | atomic | op | ordering | why it suffices |
 //! |--------|----|----------|-----------------|

@@ -73,6 +73,8 @@ struct SlotBuf {
 // select_slot and publish; readers have shared access while pinned, with
 // happens-before edges through `current` / `r_end` (module docs).
 unsafe impl Sync for SlotBuf {}
+// SAFETY: a slot buffer is plain bytes plus atomics; it has no
+// thread-affine state, so moving it between threads is sound.
 unsafe impl Send for SlotBuf {}
 
 /// The large-payload byte arena: one `capacity`-sized region per slot
@@ -104,6 +106,8 @@ impl Arena {
 // written only by the writer between select_slot and publish, and read only
 // under a standing presence unit.
 unsafe impl Sync for Arena {}
+// SAFETY: the arena owns a plain byte allocation with no thread-affine
+// state; transferring ownership between threads is sound.
 unsafe impl Send for Arena {}
 
 /// Builder for [`ArcRegister`].

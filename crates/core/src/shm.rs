@@ -640,6 +640,9 @@ enum SlabKind {
 // and the mapping itself is freed only at drop (with the owner's usual
 // uniqueness guarantees).
 unsafe impl Send for Slab {}
+// SAFETY: shared references to the slab only ever yield the base pointer
+// and geometry; all mutation of the mapped region goes through the
+// protocol-protected cells described above.
 unsafe impl Sync for Slab {}
 
 impl std::fmt::Debug for Slab {

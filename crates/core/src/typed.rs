@@ -43,6 +43,8 @@ pub struct TypedArc<T> {
 // move from the writer thread and drop on it later; `T: Sync` because
 // readers share `&T` across threads.
 unsafe impl<T: Send + Sync> Sync for TypedArc<T> {}
+// SAFETY: moving the register between threads moves the stored `T`s with
+// it, which `T: Send` permits; no other thread-affine state exists.
 unsafe impl<T: Send + Sync> Send for TypedArc<T> {}
 
 impl<T: Send + Sync> TypedArc<T> {

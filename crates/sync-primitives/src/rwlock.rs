@@ -38,6 +38,8 @@ pub struct SpinRwLock<T: ?Sized> {
 // SAFETY: the lock protocol guarantees exclusive access for writers and
 // shared access for readers, exactly like std's RwLock.
 unsafe impl<T: ?Sized + Send> Send for SpinRwLock<T> {}
+// SAFETY: shared access hands out `&T` to readers (needs `T: Sync`) and
+// `&mut T` to at most one writer (needs `T: Send`), mirroring std.
 unsafe impl<T: ?Sized + Send + Sync> Sync for SpinRwLock<T> {}
 
 impl<T> SpinRwLock<T> {

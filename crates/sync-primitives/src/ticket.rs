@@ -21,6 +21,8 @@ pub struct TicketLock<T: ?Sized> {
 
 // SAFETY: standard mutex reasoning — exclusive access enforced by tickets.
 unsafe impl<T: ?Sized + Send> Send for TicketLock<T> {}
+// SAFETY: sharing the lock only ever grants exclusive `&mut T` to the
+// holder, so `T: Send` suffices (same bound std::sync::Mutex uses).
 unsafe impl<T: ?Sized + Send> Sync for TicketLock<T> {}
 
 impl<T> TicketLock<T> {

@@ -106,10 +106,10 @@ pub fn available_cpus() -> Vec<usize> {
     #[cfg(target_os = "linux")]
     {
         let mut mask = [0u64; CPU_MASK_WORDS];
+        let len = std::mem::size_of_val(&mask);
         // SAFETY: the mask is a live 128-byte stack buffer of the size
         // passed; the kernel writes at most that many bytes.
-        let r =
-            unsafe { ffi::sched_getaffinity(0, std::mem::size_of_val(&mask), mask.as_mut_ptr()) };
+        let r = unsafe { ffi::sched_getaffinity(0, len, mask.as_mut_ptr()) };
         if r == 0 {
             let cpus: Vec<usize> = (0..CPU_MASK_WORDS * 64)
                 .filter(|&c| mask[c / 64] & (1u64 << (c % 64)) != 0)
