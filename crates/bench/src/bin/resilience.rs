@@ -1,0 +1,135 @@
+//! **E17** — failure-containment cost: panic→role-reclaimable latency
+//! and the fault-injection hook ablation.
+//!
+//! ```text
+//! ARC_BENCH_PROFILE=quick|standard|full cargo run -p arc-bench --release --bin resilience
+//! ```
+//!
+//! Two questions, one table:
+//!
+//! * `panic_reclaim_{pre_w2,at_w2,post_w2}` — a writer panics at the
+//!   named protocol point (`crash::arm_panic`); the clock runs from just
+//!   before the doomed write until the unwound handle has been dropped,
+//!   the role re-claimed with `ArcGroup::writer`, and a fresh publication
+//!   completed. This is the §3.13 in-process containment path end to end:
+//!   guard classification + repair during the unwind, then an ordinary
+//!   claim — no `recover()`, no supervisor, no cross-process round-trip.
+//! * `build_hooks_{disarmed,armed}` — the deterministic fault-injection
+//!   plane's tax on a real fallible path (a full heap plane build). The
+//!   `disarmed` row is the production configuration (one relaxed atomic
+//!   load per site); the `armed` row keeps a never-firing schedule
+//!   loaded, forcing every site hit through the locked slow path. The
+//!   disarmed row is the one the acceptance criterion binds: hook
+//!   overhead must be unmeasurable when the registry is off.
+//!
+//! Shape to expect: reclaim latency is a few microseconds (journal
+//! classification + one claim CAS + one publication), identical across
+//! the three points to within noise — the repair work differs by one
+//! freeze store. The two build rows should be indistinguishable: even
+//! armed, the slow path runs once per site hit on a path that does a
+//! memfd/mmap or a zeroed allocation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use arc_bench::json::table_to_json;
+use arc_bench::{json_dir, merge_section, out_dir, BenchProfile};
+use arc_register::crash::{self, CrashPoint};
+use arc_register::{faults, ArcGroup, FaultSite};
+use workload_harness::{write_csv, Table};
+
+const CAP: usize = 64;
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// One panic→reclaim trial: arm the point, let the write unwind (the
+/// guard repairs the plane during the unwind), drop the handle, re-claim
+/// the role and publish. Returns the wall time of the whole containment
+/// path.
+fn reclaim_trial(point: CrashPoint) -> u64 {
+    let group = ArcGroup::builder(1, 2, CAP).initial(&[1u8; CAP]).build().expect("heap plane");
+    let mut w = group.writer(0).expect("claim");
+    w.write(&[2u8; CAP]);
+
+    crash::arm_panic(point);
+    let t0 = Instant::now();
+    let unwound = catch_unwind(AssertUnwindSafe(|| w.write(&[3u8; CAP])));
+    crash::disarm();
+    assert!(unwound.is_err(), "armed write must unwind");
+    drop(w);
+    let mut w = group.writer(0).expect("role must be re-claimable after the panic");
+    w.write(&[4u8; CAP]);
+    let ns = t0.elapsed().as_nanos() as u64;
+
+    // The plane must be clean, not merely writable.
+    let mut r = group.reader(0).expect("join");
+    assert_eq!(&*r.read(), &[4u8; CAP]);
+    ns
+}
+
+/// One full heap plane build+teardown, the fallible path the fault hooks
+/// guard (`HeapAlloc` fires once per slab).
+fn build_trial() -> u64 {
+    let t0 = Instant::now();
+    let group = ArcGroup::builder(16, 2, CAP).build().expect("heap plane");
+    drop(group);
+    t0.elapsed().as_nanos() as u64
+}
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    println!("# E17 — resilience: panic→reclaim latency, fault-hook ablation");
+    let trials = match profile {
+        BenchProfile::Quick => 50,
+        BenchProfile::Standard => 500,
+        BenchProfile::Full => 5000,
+    };
+    println!("# {trials} trials per point\n");
+
+    let mut table = Table::new(vec!["metric", "trials", "p50_ns", "max_ns"]);
+    let mut row = |metric: &str, xs: Vec<u64>| {
+        let n = xs.len();
+        let max = *xs.iter().max().expect("trials > 0");
+        let p50 = median(xs);
+        println!("  {metric:<22} n={n:>5}  p50={p50:>8} ns  max={max:>10} ns");
+        table.row(vec![metric.to_string(), n.to_string(), p50.to_string(), max.to_string()]);
+    };
+
+    // The default panic hook prints a message + backtrace per unwind —
+    // thousands of stderr writes that would dominate the clock. Measure
+    // the containment path, not the logger.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let reclaims: Vec<(&str, Vec<u64>)> = [
+        ("panic_reclaim_pre_w2", CrashPoint::PreW2),
+        ("panic_reclaim_at_w2", CrashPoint::AtW2),
+        ("panic_reclaim_post_w2", CrashPoint::PostW2),
+    ]
+    .map(|(metric, point)| (metric, (0..trials).map(|_| reclaim_trial(point)).collect()))
+    .into();
+    std::panic::set_hook(hook);
+    for (metric, xs) in reclaims {
+        row(metric, xs);
+    }
+
+    // Ablation: the production configuration (registry disarmed — one
+    // relaxed load per site) vs a loaded-but-never-firing schedule
+    // (every hit takes the locked slow path).
+    faults::disarm();
+    row("build_hooks_disarmed", (0..trials).map(|_| build_trial()).collect());
+    faults::arm(FaultSite::HeapAlloc, u32::MAX, faults::EIO);
+    row("build_hooks_armed", (0..trials).map(|_| build_trial()).collect());
+    faults::disarm();
+
+    let path = out_dir().join("resilience.csv");
+    write_csv(&table, &path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+
+    let json_path = json_dir().join("BENCH_latency.json");
+    merge_section(&json_path, "arc-bench/latency/v1", "resilience", table_to_json(&table))
+        .expect("write BENCH_latency.json");
+    println!("merged resilience into {}", json_path.display());
+}

@@ -472,4 +472,30 @@ fn bench_latency_sections_conform() {
             && r.get("registers").and_then(Json::as_f64).is_some_and(|k| k >= 1_000_000.0)
     });
     assert!(scrub_at_1m, "{file}: supervision scrub sweep never reached K = 1M");
+
+    // The resilience section (E17): in-process panic→role-reclaimable
+    // latency at every protocol point, plus the fault-hook ablation.
+    // Every row must carry a real latency distribution, all three panic
+    // points must have been exercised, and both ablation arms must be
+    // present — a refactor that silently stops measuring the disarmed
+    // (production) configuration would hide a fault-plane regression.
+    check_rows(&doc, file, "resilience", &["metric", "trials", "p50_ns", "max_ns"]);
+    let Some(arc_bench::Json::Arr(rows)) = doc.get("resilience") else { unreachable!() };
+    for (i, row) in rows.iter().enumerate() {
+        let p50 = row.get("p50_ns").and_then(Json::as_f64).expect("p50 numeric");
+        assert!(p50 > 0.0, "{file}: resilience[{i}] has an empty latency distribution");
+    }
+    let metrics: Vec<&Json> = rows.iter().filter_map(|r| r.get("metric")).collect();
+    for metric in [
+        "panic_reclaim_pre_w2",
+        "panic_reclaim_at_w2",
+        "panic_reclaim_post_w2",
+        "build_hooks_disarmed",
+        "build_hooks_armed",
+    ] {
+        assert!(
+            metrics.contains(&&Json::str(metric)),
+            "{file}: resilience section lacks the {metric:?} metric"
+        );
+    }
 }

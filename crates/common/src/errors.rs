@@ -104,6 +104,74 @@ impl fmt::Display for SlabError {
 
 impl std::error::Error for SlabError {}
 
+impl SlabError {
+    /// Whether this error is a *transient* OS condition (`EINTR`,
+    /// `EAGAIN`) that a bounded retry with backoff may clear, as opposed
+    /// to a deterministic refusal (bad geometry, corrupt superblock,
+    /// `ENOSYS`) that will fail identically on every attempt.
+    pub fn is_transient(&self) -> bool {
+        // EINTR = 4, EAGAIN/EWOULDBLOCK = 11 on every Linux ABI we build.
+        matches!(self, SlabError::Os { errno: 4 | 11, .. })
+    }
+}
+
+/// Why a register/group/table *configuration* is unusable: geometry the
+/// protocol cannot run on. Historically these were `assert!`s in the
+/// constructors; the `try_`/builder paths return them typed so a bad
+/// config degrades into an error instead of aborting the process. The
+/// `Display` strings are byte-for-byte the old panic messages — the
+/// preserved panicking wrappers forward them, so `should_panic`
+/// expectations and log greps keep working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A reader cap of zero was requested (ARC is a (1,N) register with
+    /// N ≥ 1).
+    ZeroReaders,
+    /// The requested reader cap exceeds the protocol's 2³² − 2 ceiling.
+    TooManyReaders {
+        /// Readers requested.
+        requested: u64,
+    },
+    /// Fewer than the protocol minimum of 3 slots (N + 2 with N ≥ 1).
+    TooFewSlots {
+        /// Slots requested.
+        n_slots: usize,
+    },
+    /// The slot count does not fit the packed slot-index field.
+    SlotIndexWidth {
+        /// Slots requested.
+        n_slots: usize,
+        /// Width of the index field in bits (32 standalone, 31 for
+        /// groups, whose hint word spends the top bit).
+        bits: u32,
+    },
+    /// A register table of zero registers was requested.
+    ZeroRegisters,
+    /// A sharded table of zero shards was requested.
+    ZeroShards,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroReaders => write!(f, "ARC needs at least one reader"),
+            ConfigError::TooManyReaders { requested } => {
+                write!(f, "ARC admits at most 2^32 - 2 readers, got {requested}")
+            }
+            ConfigError::TooFewSlots { n_slots } => {
+                write!(f, "ARC needs at least 3 slots (got {n_slots})")
+            }
+            ConfigError::SlotIndexWidth { n_slots, bits } => {
+                write!(f, "slot index must fit {bits} bits (got {n_slots} slots)")
+            }
+            ConfigError::ZeroRegisters => write!(f, "need at least one register"),
+            ConfigError::ZeroShards => write!(f, "need at least one shard"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +186,33 @@ mod tests {
         assert!(SlabError::SizeMismatch { expected: 640, mapped: 64 }.to_string().contains("640"));
         assert!(SlabError::Unsupported { what: "memfd" }.to_string().contains("memfd"));
         assert!(SlabError::Os { call: "mmap", errno: 22 }.to_string().contains("mmap"));
+    }
+
+    #[test]
+    fn transient_errnos_are_exactly_eintr_and_eagain() {
+        assert!(SlabError::Os { call: "mmap", errno: 4 }.is_transient());
+        assert!(SlabError::Os { call: "mmap", errno: 11 }.is_transient());
+        assert!(!SlabError::Os { call: "mmap", errno: 12 }.is_transient()); // ENOMEM
+        assert!(!SlabError::BadGeometry { reason: "zero registers" }.is_transient());
+    }
+
+    #[test]
+    fn config_error_messages_match_the_legacy_asserts() {
+        // The panicking constructor wrappers forward these Display
+        // strings; `should_panic(expected = ...)` tests key on the
+        // substrings asserted here.
+        assert_eq!(ConfigError::ZeroReaders.to_string(), "ARC needs at least one reader");
+        assert!(ConfigError::TooManyReaders { requested: 5_000_000_000 }
+            .to_string()
+            .contains("at most 2^32 - 2 readers"));
+        assert_eq!(
+            ConfigError::TooFewSlots { n_slots: 2 }.to_string(),
+            "ARC needs at least 3 slots (got 2)"
+        );
+        assert!(ConfigError::SlotIndexWidth { n_slots: 1 << 31, bits: 31 }
+            .to_string()
+            .contains("slot index must fit 31 bits"));
+        assert_eq!(ConfigError::ZeroRegisters.to_string(), "need at least one register");
+        assert_eq!(ConfigError::ZeroShards.to_string(), "need at least one shard");
     }
 }

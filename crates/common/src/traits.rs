@@ -56,6 +56,10 @@ pub enum BuildError {
     ZeroRegisters,
     /// The storage backend could not produce (or validate) the shared slab.
     Slab(crate::errors::SlabError),
+    /// The requested geometry is one the protocol cannot run on (slot
+    /// count below the minimum, index width overflow, ...). Formerly an
+    /// `assert!` inside the builders; see [`crate::errors::ConfigError`].
+    Config(crate::errors::ConfigError),
 }
 
 impl fmt::Display for BuildError {
@@ -73,6 +77,7 @@ impl fmt::Display for BuildError {
                 write!(f, "register group must hold at least one register")
             }
             BuildError::Slab(e) => write!(f, "slab backend error: {e}"),
+            BuildError::Config(e) => write!(f, "register configuration error: {e}"),
         }
     }
 }
@@ -80,6 +85,12 @@ impl fmt::Display for BuildError {
 impl From<crate::errors::SlabError> for BuildError {
     fn from(e: crate::errors::SlabError) -> Self {
         BuildError::Slab(e)
+    }
+}
+
+impl From<crate::errors::ConfigError> for BuildError {
+    fn from(e: crate::errors::ConfigError) -> Self {
+        BuildError::Config(e)
     }
 }
 

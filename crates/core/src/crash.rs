@@ -37,24 +37,54 @@ pub enum CrashPoint {
 /// 0 = disarmed; otherwise the `CrashPoint` discriminant.
 static ARMED: AtomicU8 = AtomicU8::new(0);
 
+/// 0 = an armed point aborts (the process-death harness); 1 = an armed
+/// point panics instead (the in-process unwind harness — same injection
+/// sites, same W1–W3 boundaries, but the failure stays catchable so the
+/// panic-safe publication guard can be exercised without forking).
+static MODE: AtomicU8 = AtomicU8::new(0);
+
 /// Arm `point`: the next time the write path reaches it, the process
 /// aborts. Intended for forked test children; affects the whole process.
 pub fn arm(point: CrashPoint) {
+    MODE.store(0, Ordering::Relaxed);
+    ARMED.store(point as u8, Ordering::Relaxed);
+}
+
+/// Arm `point` in *panic* mode: the next time the write path reaches it,
+/// the writing thread panics (unwinds) instead of aborting, and the
+/// point disarms itself — one injected unwind per arm. This drives the
+/// publication guard (DESIGN.md §3.13) through the exact same W1–W3
+/// boundaries the crash harness kills processes at.
+pub fn arm_panic(point: CrashPoint) {
+    MODE.store(1, Ordering::Relaxed);
     ARMED.store(point as u8, Ordering::Relaxed);
 }
 
 /// Disarm any armed crash point.
 pub fn disarm() {
     ARMED.store(0, Ordering::Relaxed);
+    MODE.store(0, Ordering::Relaxed);
 }
 
-/// Abort the process if `point` is armed. Called by the write path at
-/// each instrumented step.
+/// Abort (or, in panic mode, unwind) if `point` is armed. Called by the
+/// write path at each instrumented step.
 #[inline(always)]
 pub(crate) fn maybe_crash(point: CrashPoint) {
     if ARMED.load(Ordering::Relaxed) == point as u8 {
-        std::process::abort();
+        crash_now(point);
     }
+}
+
+/// The armed branch, kept out of the inlined fast path.
+#[cold]
+fn crash_now(point: CrashPoint) {
+    if MODE.load(Ordering::Relaxed) == 1 {
+        // Self-disarm first: the unwind repair and every subsequent
+        // write must run the normal path, not re-trigger the injection.
+        disarm();
+        panic!("injected panic at crash point {point:?}");
+    }
+    std::process::abort();
 }
 
 #[cfg(test)]

@@ -54,6 +54,40 @@ impl fmt::Display for HandleError {
 
 impl std::error::Error for HandleError {}
 
+/// Errors returned by the fallible write paths (`try_write`,
+/// `try_write_with`, `try_write_batch`).
+///
+/// The plain `write` methods remain thin wrappers that panic with the
+/// same message — oversize payloads are usually a programming error —
+/// but long-lived services that size payloads from external input can
+/// use the `try_` forms to degrade instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteError {
+    /// The payload does not fit the register's build-time capacity (the
+    /// slot's inline line, or its arena slice — both are sized to
+    /// exactly `capacity` bytes).
+    PayloadTooLarge {
+        /// Length of the rejected payload.
+        len: usize,
+        /// The register's build-time capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Byte-for-byte the legacy assert message: the panicking
+            // `write` wrappers forward this string.
+            WriteError::PayloadTooLarge { len, capacity } => {
+                write!(f, "value of {len} bytes exceeds register capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +99,13 @@ mod tests {
         assert!(HandleError::ChurnExhausted.to_string().contains("churn"));
         assert!(HandleError::NeedsRecovery.to_string().contains("recovery"));
         assert!(HandleError::Quarantined.to_string().contains("quarantined"));
+    }
+
+    #[test]
+    fn write_error_display_matches_the_legacy_panic_message() {
+        assert_eq!(
+            WriteError::PayloadTooLarge { len: 100, capacity: 64 }.to_string(),
+            "value of 100 bytes exceeds register capacity 64"
+        );
     }
 }

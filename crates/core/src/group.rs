@@ -94,14 +94,15 @@ use register_common::traits::{validate_spec, BuildError, RegisterSpec};
 use register_common::OpMetrics;
 use sync_primitives::WaitSet;
 
+use register_common::errors::ConfigError;
+
 use crate::current::{index_of, Current, MAX_READERS};
-use crate::errors::HandleError;
+use crate::errors::{HandleError, WriteError};
 use crate::raw::{
-    guard_created_on, guard_drop_on, outstanding_units_on, publish_on, quarantine_on,
-    read_acquire_on, reader_join_on, reader_leave_on, select_slot_on, wip_slot, wip_stage,
-    writer_claim_on, writer_release_on, ArcCells, ArcWriterMem, RawOptions, RawReader,
-    HEALTH_BAD_CURRENT, HEALTH_BAD_JOURNAL, HEALTH_BAD_LEN, HEALTH_OK, NO_HINT, STAGE_IDLE,
-    STAGE_PUB_RAW,
+    guard_created_on, guard_drop_on, outstanding_units_on, quarantine_on, read_acquire_on,
+    reader_join_on, reader_leave_on, wip_slot, wip_stage, writer_claim_on, writer_release_on,
+    ArcCells, ArcWriterMem, PublishGuard, RawOptions, RawReader, HEALTH_BAD_CURRENT,
+    HEALTH_BAD_JOURNAL, HEALTH_BAD_LEN, HEALTH_OK, NO_HINT, STAGE_IDLE, STAGE_PUB_RAW,
 };
 use crate::recovery::{self, RecoveryReport};
 use crate::register::{GuardBackend, ReadGuard, Snapshot, INLINE_CAP};
@@ -677,8 +678,12 @@ impl GroupBuilder {
         let spec = RegisterSpec::new(self.max_readers as usize, self.capacity);
         validate_spec(spec, &self.initial, Some(MAX_READERS as usize))?;
         let n_slots = self.n_slots.unwrap_or(self.max_readers as usize + 2);
-        assert!(n_slots >= 3, "ARC needs at least 3 slots (got {n_slots})");
-        assert!(n_slots < CAND_HINT_BIT as usize, "slot index must fit 31 bits");
+        if n_slots < 3 {
+            return Err(ConfigError::TooFewSlots { n_slots }.into());
+        }
+        if n_slots >= CAND_HINT_BIT as usize {
+            return Err(ConfigError::SlotIndexWidth { n_slots, bits: 31 }.into());
+        }
         let mut flags = 0;
         if self.inline {
             flags |= FLAG_INLINE;
@@ -1518,27 +1523,33 @@ impl ArcGroup {
 
     /// One write against register `k` using writer memory `mem`
     /// (W1 + copy + W2/W3); shared by all writer handle types.
+    ///
+    /// The W1→W3 window runs under a [`PublishGuard`]: if `fill` (or an
+    /// injected crash point in panic mode) unwinds, the guard classifies
+    /// the journal and completes or discards the publication, so a
+    /// panicking writer closure leaves the register consistent and the
+    /// handle immediately writable again.
     fn write_one(
         &self,
         k: usize,
         mem: &mut PackedWriterMem,
         len: usize,
         fill: impl FnOnce(&mut [u8]),
-    ) {
-        assert!(
-            len <= self.capacity,
-            "value of {len} bytes exceeds register capacity {}",
-            self.capacity
-        );
+    ) -> Result<(), WriteError> {
+        if len > self.capacity {
+            return Err(WriteError::PayloadTooLarge { len, capacity: self.capacity });
+        }
         let cells = self.cells(k);
-        let slot = select_slot_on(&cells, mem);
+        let guard = PublishGuard::select(&cells, mem);
+        let slot = guard.slot();
         // SAFETY: select_slot grants exclusive access to `(k, slot)` until
         // publish; the Acquire edge on r_end ordered all prior readers'
         // loads before these stores.
         unsafe {
             self.fill_slot_in(cells.slot(slot), k, slot, len, fill);
         }
-        publish_on(&cells, mem, slot);
+        guard.publish();
+        Ok(())
     }
 }
 
@@ -1569,7 +1580,9 @@ impl GroupWriter {
     ///
     /// Panics if `value.len()` exceeds the group capacity.
     pub fn write(&mut self, value: &[u8]) {
-        self.group.write_one(self.k, &mut self.mem, value.len(), |buf| buf.copy_from_slice(value));
+        if let Err(e) = self.try_write(value) {
+            panic!("{e}");
+        }
     }
 
     /// Store a new value by filling the slot buffer in place.
@@ -1578,7 +1591,26 @@ impl GroupWriter {
     ///
     /// Panics if `len` exceeds the group capacity.
     pub fn write_with(&mut self, len: usize, fill: impl FnOnce(&mut [u8])) {
-        self.group.write_one(self.k, &mut self.mem, len, fill);
+        if let Err(e) = self.try_write_with(len, fill) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`GroupWriter::write`]: rejects an oversized value
+    /// with [`WriteError::PayloadTooLarge`] instead of panicking, without
+    /// consuming a slot or publishing anything.
+    pub fn try_write(&mut self, value: &[u8]) -> Result<(), WriteError> {
+        self.try_write_with(value.len(), |buf| buf.copy_from_slice(value))
+    }
+
+    /// Fallible form of [`GroupWriter::write_with`]; see
+    /// [`GroupWriter::try_write`].
+    pub fn try_write_with(
+        &mut self,
+        len: usize,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> Result<(), WriteError> {
+        self.group.write_one(self.k, &mut self.mem, len, fill)
     }
 
     /// Index of the register this writer owns.
@@ -1688,8 +1720,9 @@ impl GroupWriterSet {
     /// Panics if `k` is out of range or `value.len()` exceeds the capacity.
     #[inline]
     pub fn write(&mut self, k: usize, value: &[u8]) {
-        self.group.check_index(k);
-        self.group.write_one(k, &mut self.mems[k], value.len(), |buf| buf.copy_from_slice(value));
+        if let Err(e) = self.try_write(k, value) {
+            panic!("{e}");
+        }
     }
 
     /// Store a new value into register `k` by filling the slot in place.
@@ -1698,8 +1731,29 @@ impl GroupWriterSet {
     ///
     /// Panics if `k` is out of range or `len` exceeds the capacity.
     pub fn write_with(&mut self, k: usize, len: usize, fill: impl FnOnce(&mut [u8])) {
+        if let Err(e) = self.try_write_with(k, len, fill) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`GroupWriterSet::write`]: an oversized value
+    /// returns [`WriteError::PayloadTooLarge`] without consuming a slot.
+    /// An out-of-range `k` still panics — it is an indexing bug, not a
+    /// runtime capacity condition.
+    pub fn try_write(&mut self, k: usize, value: &[u8]) -> Result<(), WriteError> {
+        self.try_write_with(k, value.len(), |buf| buf.copy_from_slice(value))
+    }
+
+    /// Fallible form of [`GroupWriterSet::write_with`]; see
+    /// [`GroupWriterSet::try_write`].
+    pub fn try_write_with(
+        &mut self,
+        k: usize,
+        len: usize,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> Result<(), WriteError> {
         self.group.check_index(k);
-        self.group.write_one(k, &mut self.mems[k], len, fill);
+        self.group.write_one(k, &mut self.mems[k], len, fill)
     }
 
     /// Apply a batch of `(register, value)` writes in one pass.
@@ -1714,9 +1768,22 @@ impl GroupWriterSet {
     ///
     /// Panics if any index is out of range or any value exceeds capacity.
     pub fn write_batch(&mut self, ops: &[(usize, &[u8])]) {
-        for &(k, value) in ops {
-            self.write(k, value);
+        if let Err(e) = self.try_write_batch(ops) {
+            panic!("{e}");
         }
+    }
+
+    /// Fallible form of [`GroupWriterSet::write_batch`]: stops at the
+    /// first oversized value and returns its [`WriteError`]. Writes before
+    /// the failing op are already published (each is individually
+    /// linearizable — there is no batch atomicity to undo); the failing op
+    /// and everything after it are untouched, so a caller can fix the
+    /// offending value and resubmit the remaining suffix.
+    pub fn try_write_batch(&mut self, ops: &[(usize, &[u8])]) -> Result<(), WriteError> {
+        for &(k, value) in ops {
+            self.try_write(k, value)?;
+        }
+        Ok(())
     }
 
     /// The group this writer set belongs to.

@@ -87,6 +87,9 @@
 //!   ([`PlaneSupervisor`]).
 //! * [`crash`] — seeded abort points for the process-kill fault-injection
 //!   harness.
+//! * [`faults`] — deterministic resource-fault injection (fail any
+//!   syscall/allocation on the slab setup/attach/placement paths) and
+//!   the unified transient-error [`RetryPolicy`].
 //! * [`current`] — the packed synchronization word.
 //! * [`family`] — adapter to the cross-algorithm bench/test interface.
 //!
@@ -105,6 +108,7 @@ pub mod crash;
 pub mod current;
 pub mod errors;
 pub mod family;
+pub mod faults;
 pub mod group;
 pub mod raw;
 pub mod recovery;
@@ -117,11 +121,12 @@ pub mod typed;
 pub mod watch;
 
 pub use crash::CrashPoint;
-pub use errors::HandleError;
+pub use errors::{HandleError, WriteError};
 pub use family::{
     ArcFamily, GroupTableFamily, IndependentTableFamily, LocalPlan, ShardPlan, ShardedTableFamily,
     SplitPlan,
 };
+pub use faults::{FaultSite, RetryPolicy};
 pub use group::{
     ArcGroup, GroupBuilder, GroupReader, GroupReaderSet, GroupWriter, GroupWriterSet, HealthReport,
     QuarantineReason, QuarantinedRegister, RegisterHealth, ScrubReport, WriterProbe,
@@ -131,6 +136,8 @@ pub use recovery::RecoveryReport;
 pub use register::{
     ArcBuilder, ArcReader, ArcRegister, ArcWriter, ReadGuard, Snapshot, INLINE_CAP,
 };
+pub use register_common::errors::ConfigError;
+pub use register_common::traits::BuildError;
 pub use sharded::{
     shard_of, ShardNodes, ShardRoute, ShardedReaderSet, ShardedTable, ShardedTableBuilder,
     ShardedWriterSet,

@@ -146,6 +146,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
+use register_common::errors::ConfigError;
 use register_common::pad::CachePadded;
 #[cfg(feature = "metrics")]
 use register_common::OpMetrics;
@@ -768,6 +769,17 @@ pub(crate) fn select_slot_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W) ->
 /// `slot` must come from [`select_slot_on`] with the same writer memory,
 /// and the caller must have completed all payload stores to it.
 pub(crate) fn publish_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: usize) {
+    let mut displaced = NOT_SWAPPED;
+    publish_core(c, wr, slot, &mut displaced);
+}
+
+/// [`publish_on`] with the displaced-word mirror the panic-safe
+/// [`PublishGuard`] needs: immediately after the W2 swap — before any
+/// injection point — the displaced `current` word is stored through
+/// `displaced`, a place in the *caller's* frame. An in-process unwind
+/// preserves outer frames, so the guard can always finish W3 exactly;
+/// the lossy at-W2 census repair is for cross-process crashes only.
+fn publish_core<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: usize, displaced: &mut u64) {
     debug_assert_ne!(slot, wr.last_slot(), "W1 forbids reusing the current slot");
     debug_assert!(slot_free_on(c, slot), "publishing a slot with standing readers");
     // Journal the publication intent (§3.9): capture the previous slot,
@@ -799,6 +811,7 @@ pub(crate) fn publish_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: 
     maybe_crash(CrashPoint::PreW2);
     // W2: publish atomically with a zeroed presence counter.
     let old = c.current_word().swap(Current::fresh(slot as u32), Ordering::SeqCst);
+    *displaced = old;
     bump!(c, write_rmws, 1);
     maybe_crash(CrashPoint::AtW2);
     // Capture the displaced word, then advance the journal stage. The
@@ -850,6 +863,232 @@ pub(crate) fn publish_on<C: ArcCells, W: ArcWriterMem>(c: &C, wr: &mut W, slot: 
     // matter how slowly it fills.
     heartbeat_tick_on(c);
     c.watch().notify_all();
+}
+
+/// Sentinel for "the W2 swap has not executed": not a legal `current`
+/// word (its index half would be `u32::MAX`, always out of range).
+const NOT_SWAPPED: u64 = u64::MAX;
+
+/// How a mid-publication journal was classified and repaired — the shared
+/// vocabulary of cross-process crash recovery ([`crate::recovery`]) and
+/// the in-process unwind repair ([`PublishGuard`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JournalVerdict {
+    /// No publication was in flight.
+    Idle,
+    /// Pre-W2: the selected slot was never published — discarded.
+    PreW2,
+    /// At-W2: the publication was adopted and the previous slot's ledger
+    /// rebuilt (exactly, if the displaced word was available; by census
+    /// otherwise).
+    AtW2 {
+        /// The adopted publication's slot.
+        published: usize,
+    },
+    /// Post-W2: the publication was rolled forward exactly.
+    PostW2 {
+        /// The adopted publication's slot.
+        published: usize,
+    },
+    /// The journal was scribbled; the register was quarantined.
+    BadJournal,
+}
+
+impl JournalVerdict {
+    /// The slot of an adopted (completed) publication, if any.
+    pub(crate) fn published(self) -> Option<usize> {
+        match self {
+            JournalVerdict::AtW2 { published } | JournalVerdict::PostW2 { published } => {
+                Some(published)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Classify a mid-publication journal and complete (or discard) the
+/// interrupted publication — the §3.9 classification, shared verbatim by
+/// crash recovery (dead writer, quiescent slab, `displaced = None`) and
+/// the panic-safe publication guard (same process, same thread, with the
+/// displaced word preserved across the unwind). Clears nothing: journal,
+/// lease, and claim retirement stay with the caller, because recovery
+/// frees the role while the guard's handle keeps it.
+///
+/// The at-W2 census (`displaced = None`) counts the previous slot's
+/// standing pins from the registry; on registry-less layouts it
+/// conservatively over-freezes with the live-reader count — a possible
+/// one-slot leak, never a torn read. In-process this branch is
+/// unreachable (the guard always has the displaced word); it exists for
+/// the cross-process path and as defense in depth.
+pub(crate) fn classify_and_complete_on<C: ArcCells>(
+    c: &C,
+    displaced: Option<u64>,
+) -> JournalVerdict {
+    let w = c.wip_word().load(Ordering::Acquire);
+    let slot = wip_slot(w);
+    match wip_stage(w) {
+        // W1 reached, W2 not journalled: the slot was (at most) being
+        // filled and was never published — discard by doing nothing; its
+        // ledger still reads free.
+        STAGE_FILLING if slot < c.n_slots() => JournalVerdict::PreW2,
+        STAGE_PUB_PREV if slot < c.n_slots() => {
+            // The swap may or may not have executed. W1 forbids selecting
+            // `last_slot`, so `current` pointing at the journalled slot
+            // can only mean the interrupted writer's own swap ran.
+            let cur = c.current_word().load(Ordering::SeqCst);
+            if index_of(cur) as usize == slot {
+                match displaced {
+                    // The displaced word survived (in-process unwind):
+                    // replay the W3 freeze exactly, like post-W2.
+                    Some(old) => {
+                        let old_slot = index_of(old) as usize;
+                        if old_slot < c.n_slots() {
+                            c.r_start(old_slot).store(counter_of(old), Ordering::Release);
+                        } else {
+                            quarantine_on(c, HEALTH_BAD_CURRENT);
+                        }
+                    }
+                    // At-W2 proper: published, but the displaced word (and
+                    // with it the previous slot's acquisition count) died
+                    // with the writer. Rebuild the W3 freeze by census:
+                    // frozen count := releases so far + standing pins on
+                    // the previous slot. Exact with a registry under the
+                    // quiescent-recovery contract; conservative (possible
+                    // one-slot leak, never a torn read) without one.
+                    None => {
+                        let prev = c.wip_old_word().load(Ordering::Acquire) as usize;
+                        if prev < c.n_slots() {
+                            let standing = if c.pin_entries() > 0 {
+                                let mut standing = 0u32;
+                                for i in 0..c.pin_entries() {
+                                    let e = c.pin_entry(i).load(Ordering::Acquire);
+                                    if pin_pinned_slot(e) == Some(prev) {
+                                        standing += 1;
+                                    }
+                                }
+                                standing
+                            } else {
+                                c.live_readers_word().load(Ordering::Acquire)
+                            };
+                            let released = c.r_end(prev).load(Ordering::Acquire);
+                            c.r_start(prev)
+                                .store(released.wrapping_add(standing), Ordering::Release);
+                        }
+                    }
+                }
+                roll_forward_version_on(c, slot);
+                JournalVerdict::AtW2 { published: slot }
+            } else {
+                // Swap not reached: pre-W2 discard (the counter resets and
+                // version stamp on the never-published slot are inert).
+                JournalVerdict::PreW2
+            }
+        }
+        STAGE_PUB_RAW if slot < c.n_slots() => {
+            // Post-W2: the displaced word was captured, so the W3 freeze
+            // can be replayed *exactly* (idempotent — storing the same
+            // frozen count the writer would have stored).
+            let old = c.wip_old_word().load(Ordering::Acquire);
+            let old_slot = index_of(old) as usize;
+            if old_slot < c.n_slots() {
+                c.r_start(old_slot).store(counter_of(old), Ordering::Release);
+            }
+            roll_forward_version_on(c, slot);
+            JournalVerdict::PostW2 { published: slot }
+        }
+        // Died/unwound between operations — nothing in flight.
+        STAGE_IDLE => JournalVerdict::Idle,
+        // Out-of-range slots and impossible stages (a scribbled journal):
+        // adopt nothing — garbage would be worse than a discarded
+        // publication — and quarantine: something wrote through this
+        // header, so its other words cannot be trusted either.
+        _ => {
+            quarantine_on(c, HEALTH_BAD_JOURNAL);
+            JournalVerdict::BadJournal
+        }
+    }
+}
+
+/// Finish an adopted publication's version bump: the stamp the writer
+/// wrote into the slot pre-W2 becomes the register's published version
+/// (skipped if the writer already got that far), and watchers are woken.
+pub(crate) fn roll_forward_version_on<C: ArcCells>(c: &C, slot: usize) {
+    let v = c.slot_version(slot).load(Ordering::Acquire);
+    if c.version_word().load(Ordering::Acquire) < v {
+        c.version_word().store(v, Ordering::Release);
+        c.watch().notify_all();
+    }
+}
+
+/// Panic-safe publication window (DESIGN.md §3.13): W1 + arm on
+/// construction, fill while live, W2 + W3 + disarm in [`publish`].
+///
+/// Any unwind between construction and `publish` returning — the caller's
+/// fill closure (a `write_with` or typed-serializer panic), or an
+/// injected protocol-point panic ([`crate::crash::arm_panic`]) — runs the
+/// shared §3.9 classification *in place* on the writing thread: pre-W2
+/// states discard the selected slot, at/post-W2 states complete the
+/// publication (exact W3 replay — the displaced word is mirrored into
+/// this guard before any injection point). Either way the journal is
+/// retired and the writer handle remains valid: the same handle writes
+/// again immediately, or its drop releases the role cleanly — a panicking
+/// writer closure can no longer wedge the register until process exit.
+///
+/// [`publish`]: PublishGuard::publish
+pub(crate) struct PublishGuard<'g, C: ArcCells, W: ArcWriterMem> {
+    c: &'g C,
+    wr: &'g mut W,
+    slot: usize,
+    /// The word the W2 swap displaced ([`NOT_SWAPPED`] until it runs).
+    displaced: u64,
+    armed: bool,
+}
+
+impl<'g, C: ArcCells, W: ArcWriterMem> PublishGuard<'g, C, W> {
+    /// W1: select a free slot and arm the unwind repair.
+    pub(crate) fn select(c: &'g C, wr: &'g mut W) -> Self {
+        let slot = select_slot_on(c, wr);
+        PublishGuard { c, wr, slot, displaced: NOT_SWAPPED, armed: true }
+    }
+
+    /// The selected slot the caller may fill until [`publish`].
+    ///
+    /// [`publish`]: PublishGuard::publish
+    pub(crate) fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// W2 + W3: publish the filled slot and disarm.
+    pub(crate) fn publish(mut self) {
+        let slot = self.slot;
+        publish_core(self.c, &mut *self.wr, slot, &mut self.displaced);
+        self.armed = false;
+    }
+}
+
+impl<C: ArcCells, W: ArcWriterMem> Drop for PublishGuard<'_, C, W> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.armed = false;
+        let displaced = (self.displaced != NOT_SWAPPED).then_some(self.displaced);
+        if let Some(published) = classify_and_complete_on(self.c, displaced).published() {
+            // An adopted publication is a completed write: the invariant
+            // `last_slot == current.index` must be restored before the
+            // handle's next W1 (which forbids re-selecting it).
+            self.wr.set_last_slot(published);
+        }
+        // Retire the journal only. Unlike recovery, the claim, lease, and
+        // birth words stay: the handle survives the unwind, so the role is
+        // still (correctly) held — re-claimable the instant the handle
+        // drops, writable immediately through the same handle.
+        self.c.wip_word().store(STAGE_IDLE, Ordering::Relaxed);
+        self.c.wip_old_word().store(0, Ordering::Relaxed);
+        // The operation ended (however abnormally): tick the odometer so
+        // the watchdog sees a live writer, not a mid-publication stall.
+        heartbeat_tick_on(self.c);
+    }
 }
 
 /// The published version: the number of completed writes (0 = only the
@@ -1238,15 +1477,36 @@ impl RawArc {
     /// # Panics
     ///
     /// Panics if `max_readers` is 0 or exceeds [`MAX_READERS`], or if
-    /// `n_slots < 3` or `n_slots > u32::MAX as usize`.
+    /// `n_slots < 3` or `n_slots > u32::MAX as usize` — the messages of
+    /// the [`RawArc::try_new`] errors this wrapper forwards.
     pub fn new(max_readers: u32, n_slots: usize, opts: RawOptions) -> Self {
-        assert!(max_readers >= 1, "ARC needs at least one reader");
-        assert!(
-            max_readers <= MAX_READERS,
-            "ARC admits at most 2^32 - 2 readers, got {max_readers}"
-        );
-        assert!(n_slots >= 3, "ARC needs at least 3 slots (got {n_slots})");
-        assert!(n_slots <= u32::MAX as usize, "slot index must fit 32 bits");
+        match Self::try_new(max_readers, n_slots, opts) {
+            Ok(arc) => arc,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`RawArc::new`]: geometry the protocol cannot run on
+    /// degrades into a typed [`ConfigError`] instead of a panic.
+    ///
+    /// [`ConfigError`]: register_common::errors::ConfigError
+    pub fn try_new(
+        max_readers: u32,
+        n_slots: usize,
+        opts: RawOptions,
+    ) -> Result<Self, ConfigError> {
+        if max_readers < 1 {
+            return Err(ConfigError::ZeroReaders);
+        }
+        if max_readers > MAX_READERS {
+            return Err(ConfigError::TooManyReaders { requested: max_readers as u64 });
+        }
+        if n_slots < 3 {
+            return Err(ConfigError::TooFewSlots { n_slots });
+        }
+        if n_slots > u32::MAX as usize {
+            return Err(ConfigError::SlotIndexWidth { n_slots, bits: 32 });
+        }
         let meta = (0..n_slots)
             .map(|_| {
                 CachePadded::new(SlotMeta {
@@ -1256,7 +1516,7 @@ impl RawArc {
                 })
             })
             .collect();
-        Self {
+        Ok(Self {
             // I1 (adapted): index 0 published, zero standing readers; reader
             // handles acquire their first unit lazily (DESIGN.md §3.2).
             current: CachePadded::new(AtomicU64::new(Current::fresh(0))),
@@ -1272,7 +1532,7 @@ impl RawArc {
             opts,
             #[cfg(feature = "metrics")]
             metrics: OpMetrics::new(),
-        }
+        })
     }
 
     /// Number of slots.

@@ -50,10 +50,9 @@
 
 use std::sync::atomic::Ordering;
 
-use crate::current::{counter_of, index_of};
 use crate::raw::{
-    pin_owner, pin_pinned_slot, quarantine_on, release_unit_on, wip_slot, wip_stage, ArcCells,
-    HEALTH_BAD_JOURNAL, STAGE_FILLING, STAGE_IDLE, STAGE_PUB_PREV, STAGE_PUB_RAW,
+    classify_and_complete_on, pin_owner, pin_pinned_slot, release_unit_on, ArcCells,
+    JournalVerdict, STAGE_IDLE,
 };
 use crate::shm::process_birth;
 
@@ -158,73 +157,20 @@ pub(crate) fn recover_register<C: ArcCells>(
     sweep_dead_pins(c, alive, report);
 }
 
-/// Classify a dead writer's journal and repair the register (module docs;
-/// the full crash-point table is DESIGN.md §3.9).
+/// Classify a dead writer's journal and repair the register. The
+/// classification itself ([`classify_and_complete_on`] — the full
+/// crash-point table is DESIGN.md §3.9) is shared with the in-process
+/// panic-safe publication guard; this wrapper adds what is specific to a
+/// *dead* writer: the displaced word is gone (`None` — at-W2 repairs by
+/// census), and the journal retirement also frees the lease and the
+/// claim, because no handle survives to hold the role.
 fn recover_dead_writer<C: ArcCells>(c: &C, report: &mut RecoveryReport) {
     report.writers_recovered += 1;
-    let w = c.wip_word().load(Ordering::Acquire);
-    let slot = wip_slot(w);
-    match wip_stage(w) {
-        // W1 reached, W2 not journalled: the slot was (at most) being
-        // filled and was never published — discard by doing nothing; its
-        // ledger still reads free.
-        STAGE_FILLING if slot < c.n_slots() => report.pre_w2 += 1,
-        STAGE_PUB_PREV if slot < c.n_slots() => {
-            // The swap may or may not have executed. W1 forbids selecting
-            // `last_slot`, so `current` pointing at the journalled slot
-            // can only mean the dead writer's own swap ran.
-            let cur = c.current_word().load(Ordering::SeqCst);
-            if index_of(cur) as usize == slot {
-                // At-W2: published, but the displaced word (and with it
-                // the previous slot's acquisition count) died with the
-                // writer. Rebuild the W3 freeze by census: frozen count
-                // := releases so far + standing registry pins on the
-                // previous slot. Exact because every group reader records
-                // its pinned slot in the registry (and the recovery
-                // window is quiescent).
-                report.at_w2 += 1;
-                let prev = c.wip_old_word().load(Ordering::Acquire) as usize;
-                if prev < c.n_slots() {
-                    let mut standing = 0u32;
-                    for i in 0..c.pin_entries() {
-                        let e = c.pin_entry(i).load(Ordering::Acquire);
-                        if pin_pinned_slot(e) == Some(prev) {
-                            standing += 1;
-                        }
-                    }
-                    let released = c.r_end(prev).load(Ordering::Acquire);
-                    c.r_start(prev).store(released.wrapping_add(standing), Ordering::Release);
-                }
-                roll_forward_version(c, slot);
-            } else {
-                // Swap not reached: pre-W2 discard (the counter resets and
-                // version stamp on the never-published slot are inert).
-                report.pre_w2 += 1;
-            }
-        }
-        STAGE_PUB_RAW if slot < c.n_slots() => {
-            // Post-W2: the displaced word was captured, so the W3 freeze
-            // can be replayed *exactly* (idempotent — storing the same
-            // frozen count the writer would have stored).
-            report.post_w2 += 1;
-            let old = c.wip_old_word().load(Ordering::Acquire);
-            let old_slot = index_of(old) as usize;
-            if old_slot < c.n_slots() {
-                c.r_start(old_slot).store(counter_of(old), Ordering::Release);
-            }
-            roll_forward_version(c, slot);
-        }
-        // STAGE_IDLE: died between operations — only the claim to clear.
-        // Out-of-range slots and impossible stages (a scribbled journal)
-        // fall through to the same clean clear — adopting garbage would
-        // be worse than a discarded publication — but additionally
-        // quarantine the register: something wrote through its header,
-        // so its other words cannot be trusted either.
-        _ => {
-            if wip_stage(w) > STAGE_PUB_RAW || (wip_stage(w) != STAGE_IDLE && slot >= c.n_slots()) {
-                quarantine_on(c, HEALTH_BAD_JOURNAL);
-            }
-        }
+    match classify_and_complete_on(c, None) {
+        JournalVerdict::PreW2 => report.pre_w2 += 1,
+        JournalVerdict::AtW2 { .. } => report.at_w2 += 1,
+        JournalVerdict::PostW2 { .. } => report.post_w2 += 1,
+        JournalVerdict::Idle | JournalVerdict::BadJournal => {}
     }
     // Retire the journal, the lease (both words), and the claim, in that
     // order; the Release on the claim publishes the repairs to the next
@@ -234,17 +180,6 @@ fn recover_dead_writer<C: ArcCells>(c: &C, report: &mut RecoveryReport) {
     c.lease_word().store(0, Ordering::Relaxed);
     c.birth_word().store(0, Ordering::Relaxed);
     c.writer_claimed_word().store(false, Ordering::Release);
-}
-
-/// Finish the adopted publication's version bump: the stamp the writer
-/// wrote into the slot pre-W2 becomes the register's published version
-/// (skipped if the writer already got that far), and watchers are woken.
-fn roll_forward_version<C: ArcCells>(c: &C, slot: usize) {
-    let v = c.slot_version(slot).load(Ordering::Acquire);
-    if c.version_word().load(Ordering::Acquire) < v {
-        c.version_word().store(v, Ordering::Release);
-        c.watch().notify_all();
-    }
 }
 
 /// Release the presence units of dead readers: each registry entry owned

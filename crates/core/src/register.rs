@@ -44,9 +44,11 @@ use register_common::pad::CachePadded;
 use register_common::traits::{validate_spec, BuildError, RegisterSpec};
 
 use crate::current::MAX_READERS;
-use crate::errors::HandleError;
+use crate::errors::{HandleError, WriteError};
 use crate::group::ArcGroup;
-use crate::raw::{guard_created_on, guard_drop_on, RawArc, RawOptions, RawReader, RawWriter};
+use crate::raw::{
+    guard_created_on, guard_drop_on, PublishGuard, RawArc, RawOptions, RawReader, RawWriter,
+};
 use crate::typed::Versioned;
 
 /// Largest payload (bytes) stored inline in the slot header cache line.
@@ -386,15 +388,12 @@ impl ArcWriter {
     ///
     /// # Panics
     ///
-    /// Panics if `value.len()` exceeds the register capacity.
+    /// Panics if `value.len()` exceeds the register capacity (the
+    /// [`ArcWriter::try_write`] error message).
     pub fn write(&mut self, value: &[u8]) {
-        assert!(
-            value.len() <= self.reg.capacity,
-            "value of {} bytes exceeds register capacity {}",
-            value.len(),
-            self.reg.capacity
-        );
-        self.write_with(value.len(), |buf| buf.copy_from_slice(value));
+        if let Err(e) = self.try_write(value) {
+            panic!("{e}");
+        }
     }
 
     /// Store a new value by filling the slot buffer in place (avoids the
@@ -404,21 +403,45 @@ impl ArcWriter {
     ///
     /// Panics if `len` exceeds the register capacity.
     pub fn write_with(&mut self, len: usize, fill: impl FnOnce(&mut [u8])) {
-        assert!(
-            len <= self.reg.capacity,
-            "value of {len} bytes exceeds register capacity {}",
-            self.reg.capacity
-        );
+        if let Err(e) = self.try_write_with(len, fill) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`ArcWriter::write`]: an oversize payload is rejected
+    /// with [`WriteError::PayloadTooLarge`] instead of a panic, and the
+    /// register is untouched (no slot consumed, no version bumped).
+    pub fn try_write(&mut self, value: &[u8]) -> Result<(), WriteError> {
+        self.try_write_with(value.len(), |buf| buf.copy_from_slice(value))
+    }
+
+    /// Fallible [`ArcWriter::write_with`]; see [`ArcWriter::try_write`].
+    ///
+    /// A `fill` that panics unwinds through the panic-safe publication
+    /// guard (DESIGN.md §3.13): the selected slot is discarded, the
+    /// journal retired, and this handle stays valid — the next write
+    /// proceeds normally.
+    pub fn try_write_with(
+        &mut self,
+        len: usize,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> Result<(), WriteError> {
+        if len > self.reg.capacity {
+            return Err(WriteError::PayloadTooLarge { len, capacity: self.reg.capacity });
+        }
         let wr = self.wr.as_mut().expect("writer state present until drop");
-        // W1: select a free slot.
-        let slot = self.reg.raw.select_slot(wr);
-        // SAFETY: select_slot grants exclusive access to `slot` until
-        // publish; the Acquire edge on r_end ordered all prior readers'
-        // loads before these stores.
+        // W1: select a free slot; the guard repairs any unwind from here
+        // until publish returns.
+        let guard = PublishGuard::select(&self.reg.raw, wr);
+        let slot = guard.slot();
+        // SAFETY: select granted exclusive access to `slot` until publish;
+        // the Acquire edge on r_end ordered all prior readers' loads
+        // before these stores.
         unsafe {
             self.reg.fill_slot(slot, len, fill);
         }
-        self.reg.raw.publish(wr, slot); // W2 + W3
+        guard.publish(); // W2 + W3
+        Ok(())
     }
 
     /// The register this writer belongs to.

@@ -30,6 +30,7 @@
 
 use std::sync::Arc;
 
+use register_common::errors::ConfigError;
 use register_common::traits::BuildError;
 
 use crate::errors::HandleError;
@@ -66,9 +67,27 @@ impl ShardRoute {
     /// count is clamped to the register count, and shards the hash
     /// leaves empty are compacted away (tiny tables), so every shard of
     /// the result holds at least one key.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero register or shard count; [`ShardRoute::try_new`]
+    /// is the fallible form.
     pub fn new(registers: usize, shards: usize) -> Self {
-        assert!(registers >= 1, "need at least one register");
-        assert!(shards >= 1, "need at least one shard");
+        match Self::try_new(registers, shards) {
+            Ok(route) => route,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`ShardRoute::new`]: a zero register or shard
+    /// count is a typed [`ConfigError`] instead of a panic.
+    pub fn try_new(registers: usize, shards: usize) -> Result<Self, ConfigError> {
+        if registers == 0 {
+            return Err(ConfigError::ZeroRegisters);
+        }
+        if shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
         let shards = shards.min(registers);
         let mut remap = vec![u32::MAX; shards];
         let mut route = Vec::with_capacity(registers);
@@ -83,7 +102,7 @@ impl ShardRoute {
             route.push((s as u32, locals[s].len() as u32));
             locals[s].push(key as u32);
         }
-        Self { route, locals }
+        Ok(Self { route, locals })
     }
 
     /// Number of (non-empty) shards.
@@ -205,7 +224,7 @@ impl ShardedTableBuilder {
             return Err(BuildError::ZeroRegisters);
         }
         let topo = Topology::system();
-        let route = ShardRoute::new(self.registers, self.shards.unwrap_or(topo.node_count()));
+        let route = ShardRoute::try_new(self.registers, self.shards.unwrap_or(topo.node_count()))?;
         let mut groups = Vec::with_capacity(route.shards());
         let mut nodes = Vec::with_capacity(route.shards());
         for s in 0..route.shards() {

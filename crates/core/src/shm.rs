@@ -49,6 +49,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub use register_common::errors::SlabError;
 
 use crate::current::MAX_READERS;
+#[cfg(target_os = "linux")]
+use crate::faults::RetryPolicy;
+use crate::faults::{self, FaultSite};
 use crate::register::INLINE_CAP;
 
 /// Identifies a mapping as an ARC slab: `b"ARCSLAB1"` as a little-endian
@@ -657,14 +660,21 @@ impl std::fmt::Debug for Slab {
 }
 
 impl Slab {
-    /// Allocate a zeroed, process-private slab of `len` bytes.
+    /// Allocate a zeroed, process-private slab of `len` bytes. An
+    /// allocator refusal is a typed [`SlabError::Os`] (`ENOMEM`), not an
+    /// abort: slab sizes scale with `K × n_slots × capacity`, so running
+    /// out of memory here is a *capacity* condition the caller chose, and
+    /// it must be able to degrade (smaller table, shm backend, …).
     pub fn heap(len: usize) -> Result<Self, SlabError> {
         let layout = std::alloc::Layout::from_size_align(len, 64)
             .map_err(|_| SlabError::BadGeometry { reason: "slab size overflows usize" })?;
+        if let Some(errno) = faults::fail_errno(FaultSite::HeapAlloc) {
+            return Err(SlabError::Os { call: "alloc_zeroed", errno });
+        }
         // SAFETY: len >= SUPERBLOCK_LEN > 0 for every computed layout.
         let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
         let Some(base) = std::ptr::NonNull::new(ptr) else {
-            std::alloc::handle_alloc_error(layout);
+            return Err(SlabError::Os { call: "alloc_zeroed", errno: faults::ENOMEM });
         };
         Ok(Self { base, len, kind: SlabKind::Heap(layout), placement: PlacementInfo::heap() })
     }
@@ -694,8 +704,12 @@ impl Slab {
                         // away on many kernels) — semantics never change,
                         // only TLB pressure.
                         let (fd, base) = shm_create(rounded, ffi::MFD_CLOEXEC)?;
-                        // SAFETY: advises the exact mapping created above.
-                        unsafe { ffi::madvise(base.as_ptr().cast(), rounded, ffi::MADV_HUGEPAGE) };
+                        if faults::fail_errno(FaultSite::Madvise).is_none() {
+                            // SAFETY: advises the exact mapping created above.
+                            unsafe {
+                                ffi::madvise(base.as_ptr().cast(), rounded, ffi::MADV_HUGEPAGE)
+                            };
+                        }
                         (fd, base, rounded, PageMode::ThpAdvised)
                     }
                 }
@@ -723,12 +737,29 @@ impl Slab {
 
     /// Map an existing slab fd (shared) without validating its contents —
     /// the caller validates the superblock before deriving anything.
+    ///
+    /// Transient errnos (`EINTR`/`EAGAIN`) on the dup/fstat/mmap chain are
+    /// retried under [`RetryPolicy::transient_syscalls`]; each attempt is
+    /// self-contained (its dup'd fd and mapping are released on failure),
+    /// so retrying never accumulates resources.
     #[cfg(target_os = "linux")]
     pub fn attach(fd: std::os::fd::BorrowedFd<'_>) -> Result<Self, SlabError> {
+        RetryPolicy::transient_syscalls().run(SlabError::is_transient, |_| Self::attach_once(fd))
+    }
+
+    /// One attach attempt (the body [`Slab::attach`] retries).
+    #[cfg(target_os = "linux")]
+    fn attach_once(fd: std::os::fd::BorrowedFd<'_>) -> Result<Self, SlabError> {
+        if let Some(errno) = faults::fail_errno(FaultSite::DupFd) {
+            return Err(SlabError::Os { call: "dup", errno });
+        }
         let fd = fd
             .try_clone_to_owned()
             .map_err(|e| SlabError::Os { call: "dup", errno: e.raw_os_error().unwrap_or(0) })?;
         let file = std::fs::File::from(fd);
+        if let Some(errno) = faults::fail_errno(FaultSite::Fstat) {
+            return Err(SlabError::Os { call: "fstat", errno });
+        }
         let len = file
             .metadata()
             .map_err(|e| SlabError::Os { call: "fstat", errno: e.raw_os_error().unwrap_or(0) })?
@@ -810,6 +841,9 @@ fn shm_create(
     mfd_flags: std::ffi::c_uint,
 ) -> Result<(std::os::fd::OwnedFd, std::ptr::NonNull<u8>), SlabError> {
     use std::os::fd::FromRawFd;
+    if let Some(errno) = faults::fail_errno(FaultSite::MemfdCreate) {
+        return Err(SlabError::Os { call: "memfd_create", errno });
+    }
     // SAFETY: plain memfd_create; a negative return is decoded as errno.
     let raw = unsafe { ffi::memfd_create(c"arc-slab".as_ptr(), mfd_flags) };
     if raw < 0 {
@@ -818,6 +852,11 @@ fn shm_create(
     // SAFETY: raw is a fresh, owned descriptor.
     let fd = unsafe { std::os::fd::OwnedFd::from_raw_fd(raw) };
     let file = std::fs::File::from(fd);
+    // An injected or real ftruncate failure drops `file` on the way out —
+    // the fresh memfd closes, nothing leaks.
+    if let Some(errno) = faults::fail_errno(FaultSite::Ftruncate) {
+        return Err(SlabError::Os { call: "ftruncate", errno });
+    }
     file.set_len(len as u64)
         .map_err(|e| SlabError::Os { call: "ftruncate", errno: e.raw_os_error().unwrap_or(0) })?;
     let fd = std::os::fd::OwnedFd::from(file);
@@ -872,6 +911,11 @@ fn apply_node_policy(addr: *mut u8, len: usize, policy: NodePolicy) -> NodePolic
             (ffi::MPOL_INTERLEAVE, mask)
         }
     };
+    // An injected refusal behaves exactly like a kernel refusal: the
+    // policy degrades to first-touch and is recorded as such.
+    if faults::fail_errno(FaultSite::Mbind).is_some() {
+        return NodePolicy::FirstTouch;
+    }
     match ffi::mbind(addr.cast(), len, mode, &mask) {
         Some(0) => policy,
         _ => NodePolicy::FirstTouch,
@@ -881,6 +925,9 @@ fn apply_node_policy(addr: *mut u8, len: usize, policy: NodePolicy) -> NodePolic
 #[cfg(target_os = "linux")]
 fn map_shared(fd: &std::os::fd::OwnedFd, len: usize) -> Result<std::ptr::NonNull<u8>, SlabError> {
     use std::os::fd::AsRawFd;
+    if let Some(errno) = faults::fail_errno(FaultSite::Mmap) {
+        return Err(SlabError::Os { call: "mmap", errno });
+    }
     // SAFETY: plain mmap of an owned fd; failure is reported, success gives
     // a page-aligned (hence 64-byte-aligned) mapping of `len` bytes.
     let ptr = unsafe {
@@ -956,6 +1003,11 @@ pub(crate) fn self_pid() -> u64 {
 pub(crate) fn process_birth(pid: u64) -> u64 {
     #[cfg(target_os = "linux")]
     {
+        // An injected /proc failure is indistinguishable from an
+        // unreadable stat file: no birth evidence, pid-only semantics.
+        if faults::fail_errno(FaultSite::ProcRead).is_some() {
+            return 0;
+        }
         let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
             return 0;
         };

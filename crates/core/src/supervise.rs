@@ -59,6 +59,7 @@ use std::time::{Duration, Instant};
 
 use sync_primitives::Backoff;
 
+use crate::faults::{self, FaultSite, RetryPolicy};
 use crate::group::{ArcGroup, ScrubReport, WriterProbe};
 use crate::recovery::RecoveryReport;
 
@@ -119,9 +120,24 @@ pub struct SupervisorConfig {
     /// [`SupervisorEvent::RecoveryFailed`] and stands down (until the
     /// next probe finds the plane still damaged).
     pub max_recovery_attempts: u32,
-    /// Base delay between recovery retries; doubles per attempt
-    /// (exponential backoff, on top of the [`Backoff`] spin phase).
+    /// Base delay between recovery retries; doubles per attempt under
+    /// the unified [`RetryPolicy`] (exponential backoff with
+    /// deterministic jitter, on top of the [`Backoff`] spin phase).
     pub recovery_backoff: Duration,
+}
+
+impl SupervisorConfig {
+    /// The [`RetryPolicy`] these knobs describe: `max_recovery_attempts`
+    /// attempts, `recovery_backoff` base delay, doubling to a cap of
+    /// 1024× base (the saturation point of the historical ad-hoc
+    /// backoff this policy replaced).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::new(
+            self.max_recovery_attempts,
+            self.recovery_backoff,
+            self.recovery_backoff.saturating_mul(1024),
+        )
+    }
 }
 
 impl Default for SupervisorConfig {
@@ -219,18 +235,40 @@ pub struct PlaneSupervisor {
 impl PlaneSupervisor {
     /// Start supervising `group`, delivering [`SupervisorEvent`]s to
     /// `on_event` from the supervisor thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supervisor thread cannot be spawned;
+    /// [`PlaneSupervisor::try_spawn`] is the fallible form.
     pub fn spawn(
         group: Arc<ArcGroup>,
         config: SupervisorConfig,
         on_event: impl FnMut(SupervisorEvent) + Send + 'static,
     ) -> Self {
+        match Self::try_spawn(group, config, on_event) {
+            Ok(sup) => sup,
+            Err(e) => panic!("spawn supervisor thread: {e}"),
+        }
+    }
+
+    /// Fallible form of [`PlaneSupervisor::spawn`]: a thread-spawn
+    /// refusal (resource exhaustion) surfaces as the `io::Error` the OS
+    /// reported instead of panicking — the plane itself is untouched and
+    /// the caller can run unsupervised or retry.
+    pub fn try_spawn(
+        group: Arc<ArcGroup>,
+        config: SupervisorConfig,
+        on_event: impl FnMut(SupervisorEvent) + Send + 'static,
+    ) -> std::io::Result<Self> {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        if let Some(errno) = faults::fail_errno(FaultSite::ThreadSpawn) {
+            return Err(std::io::Error::from_raw_os_error(errno));
+        }
         let thread = std::thread::Builder::new()
             .name("arc-supervisor".into())
-            .spawn(move || run(group, config, on_event, &stop2))
-            .expect("spawn supervisor thread");
-        Self { stop, thread: Some(thread) }
+            .spawn(move || run(group, config, on_event, &stop2))?;
+        Ok(Self { stop, thread: Some(thread) })
     }
 
     /// [`PlaneSupervisor::spawn`] delivering events through a channel
@@ -352,14 +390,15 @@ fn run(
     }
 }
 
-/// Run [`ArcGroup::recover`] with bounded retries and exponential backoff
-/// until the plane is clean (or attempts run out).
+/// Run [`ArcGroup::recover`] with bounded retries under the unified
+/// [`RetryPolicy`] until the plane is clean (or attempts run out).
 fn auto_recover(
     group: &Arc<ArcGroup>,
     config: &SupervisorConfig,
     on_event: &mut impl FnMut(SupervisorEvent),
     stop: &AtomicBool,
 ) {
+    let policy = config.retry_policy();
     for attempt in 1..=config.max_recovery_attempts {
         if stop.load(Ordering::Relaxed) {
             return;
@@ -375,12 +414,13 @@ fn auto_recover(
             return;
         }
         // Still damaged (a racing claimant died mid-repair, or a corpse
-        // appeared between passes): back off exponentially, then retry.
+        // appeared between passes): spin briefly, then take the policy's
+        // jittered exponential delay before the next attempt.
         let mut backoff = Backoff::new();
         while !backoff.is_saturated() {
             backoff.snooze();
         }
-        spin_sleep(config.recovery_backoff * (1 << (attempt - 1).min(10)), stop);
+        spin_sleep(policy.delay_before(attempt + 1), stop);
     }
     on_event(SupervisorEvent::RecoveryFailed { attempts: config.max_recovery_attempts });
 }

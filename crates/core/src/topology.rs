@@ -19,6 +19,8 @@
 use std::path::Path;
 use std::sync::OnceLock;
 
+use crate::faults::{self, FaultSite};
+
 /// One NUMA node: its kernel id and the CPUs it hosts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NumaNode {
@@ -58,6 +60,11 @@ impl Topology {
     /// the fallback). Returns `None` when the directory is missing or
     /// holds no parseable node — the caller falls back.
     pub fn from_sysfs(root: &Path) -> Option<Self> {
+        // An injected sysfs failure is a masked-/sys container: the probe
+        // degrades to the single-node fallback, never errors.
+        if faults::fail_errno(FaultSite::SysfsRead).is_some() {
+            return None;
+        }
         let entries = std::fs::read_dir(root).ok()?;
         let mut nodes = Vec::new();
         for entry in entries.flatten() {
@@ -158,7 +165,10 @@ pub fn parse_cpu_list(s: &str) -> Vec<u32> {
 /// `/proc` is unreadable (non-Linux). Never empty.
 pub fn allowed_cpus() -> Vec<u32> {
     #[cfg(target_os = "linux")]
-    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+    if faults::fail_errno(FaultSite::ProcRead).is_some() {
+        // Injected /proc failure: same degradation as an unreadable
+        // status file — fall through to available_parallelism.
+    } else if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
         for line in status.lines() {
             if let Some(list) = line.strip_prefix("Cpus_allowed_list:") {
                 let cpus = parse_cpu_list(list.trim());

@@ -13,7 +13,9 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 use crate::errors::HandleError;
-use crate::raw::{guard_created_on, guard_drop_on, RawArc, RawOptions, RawReader, RawWriter};
+use crate::raw::{
+    guard_created_on, guard_drop_on, PublishGuard, RawArc, RawOptions, RawReader, RawWriter,
+};
 
 /// A value paired with the publication version it was read at.
 ///
@@ -116,10 +118,13 @@ impl<T: Send + Sync> TypedWriter<T> {
     /// can recycle expensive allocations this way.
     pub fn write(&mut self, value: T) -> Option<T> {
         let wr = self.wr.as_mut().expect("writer state present until drop");
-        let slot = self.reg.raw.select_slot(wr);
-        // SAFETY: exclusive slot access between select_slot and publish.
+        // The publication guard repairs any unwind between W1 and the end
+        // of publish (injected protocol-point panics; DESIGN.md §3.13).
+        let guard = PublishGuard::select(&self.reg.raw, wr);
+        let slot = guard.slot();
+        // SAFETY: exclusive slot access between select and publish.
         let displaced = unsafe { (*self.reg.slots[slot].get()).replace(value) };
-        self.reg.raw.publish(wr, slot);
+        guard.publish();
         displaced
     }
 }

@@ -57,6 +57,30 @@
 //! its interrupted publication with stale state against a repaired plane
 //! — two writers on one register — and the explorer catches the wreck
 //! (exclusion, torn or inverted reads).
+//!
+//! §3.13 adds the **in-process panic axis**, [`FaultKind::Panic`]: the
+//! writer *unwinds* at an arbitrary instruction boundary and the
+//! publication guard's `Drop` runs the §3.9 classification synchronously
+//! on the writer's own thread (`arc_register::raw::PublishGuard`). Two
+//! properties distinguish it from cross-process recovery, and both are
+//! model-checked here:
+//!
+//! * **no quiescent window** — readers keep running through the repair
+//!   (the guard only touches the journal and the displaced slot's
+//!   freeze, both of which the live protocol already races with);
+//! * **frame-exact at-W2 repair** — the swap's displaced word was
+//!   mirrored into the writer's frame *before* the panic point, so the
+//!   at-W2 shape replays the W3 freeze exactly instead of running the
+//!   reader census.
+//!
+//! [`RecoveryDefect::SkipRollback`] and [`RecoveryDefect::SkipCompletion`]
+//! seed the two natural guard bugs — completing a publication whose swap
+//! never ran, and clearing an at/post-W2 journal without replaying the
+//! freeze. The first makes the checker believe a value was published
+//! that readers can never observe (caught as a regularity violation);
+//! the second leaves the displaced slot's ledger reading "free" under a
+//! standing pin, so the resumed writer recycles a pinned slot (caught as
+//! an exclusion violation).
 
 use crate::explorer::Model;
 use crate::spec::{ObsChecker, ReadObs};
@@ -80,6 +104,14 @@ pub enum RecoveryDefect {
     /// (a heartbeat false positive): recovery runs against a live writer
     /// that later resumes (incorrect; must be caught).
     HeartbeatFalsePositive,
+    /// §3.13 in-process guard that misclassifies a pre-W2 `PUB_PREV`
+    /// unwind as published — it "completes" a write whose swap never ran
+    /// instead of rolling it back (incorrect; must be caught).
+    SkipRollback,
+    /// §3.13 in-process guard that clears an at/post-W2 journal without
+    /// replaying the W3 freeze of the displaced slot (incorrect; must be
+    /// caught).
+    SkipCompletion,
 }
 
 /// What the fault daemon (thread 1) injects into the writer.
@@ -94,6 +126,11 @@ pub enum FaultKind {
     /// Suspend the writer (memory intact), resume it later — the paper's
     /// preempted-lock-holder regime, §3.10's stall.
     Stall,
+    /// Unwind the writer in-process (§3.13): the publication guard's
+    /// `Drop` runs the journal classification synchronously on the
+    /// writer's own thread — readers are *not* parked — and the writer
+    /// resumes immediately afterwards.
+    Panic,
 }
 
 /// Model configuration.
@@ -213,6 +250,24 @@ struct ReaderM {
     obs: ReadObs,
 }
 
+/// The in-process guard repair (§3.13), run step-by-step on the writer's
+/// own thread after a [`FaultKind::Panic`] unwind — readers keep running
+/// throughout (there is no quiescent window in-process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum GPc {
+    /// Load and classify the journal (same shapes as [`RecPc::Classify`]).
+    Classify,
+    /// `PUB_PREV`: load `current`, decide swapped-or-not.
+    CheckCurrent,
+    /// Replay the W3 freeze — from the journalled displaced word
+    /// (post-W2) or the frame-mirrored one (at-W2; no census needed
+    /// in-process).
+    Replay { index: u8, counter: u8 },
+    /// Retire the journal; if the publication happened, complete the
+    /// write's bookkeeping; resume the writer either way.
+    Clear { published: bool },
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum RecPc {
     /// Recovery not yet begun (readers may still roam).
@@ -266,6 +321,12 @@ pub struct RecoveryModel {
     /// publication with stale state. Only a defective watchdog creates
     /// one.
     zombie: Option<ZombieM>,
+    /// `Panic`: the daemon has unwound the writer.
+    panicked: bool,
+    /// `Panic`: the guard repair in progress on the writer's thread.
+    /// While `Some`, `wpc` is frozen as the *unwound frame* — the guard
+    /// reads its registers (the at-W2 displaced word) from it.
+    guard: Option<GPc>,
     // recovery
     rec_pc: RecPc,
     recovered: bool,
@@ -310,6 +371,8 @@ impl RecoveryModel {
             stall_fired: false,
             stalled: false,
             zombie: None,
+            panicked: false,
+            guard: None,
             rec_pc: RecPc::NotStarted,
             recovered: false,
             readers: vec![
@@ -342,7 +405,76 @@ impl RecoveryModel {
         Ok(())
     }
 
+    /// One step of the in-process guard repair (§3.13), running on the
+    /// writer's thread with readers free to interleave. Mirrors
+    /// `PublishGuard::drop` → `classify_and_complete_on`: discard below
+    /// W2, complete at/above it — with the at-W2 displaced word taken
+    /// from the unwound frame (`self.wpc`), not a census.
+    fn guard_step(&mut self) -> Result<(), String> {
+        let g = self.guard.expect("guard stepped while absent");
+        self.guard = Some(match g {
+            GPc::Classify => match self.j_stage {
+                J_PUB_PREV => GPc::CheckCurrent,
+                J_PUB_RAW => {
+                    if self.defect == RecoveryDefect::SkipCompletion {
+                        GPc::Clear { published: true }
+                    } else {
+                        GPc::Replay { index: self.j_old_index, counter: self.j_old_counter }
+                    }
+                }
+                // IDLE or FILLING: nothing (or only an unpublished fill)
+                // to discard.
+                _ => GPc::Clear { published: false },
+            },
+            GPc::CheckCurrent => {
+                if self.cur_index == self.j_slot {
+                    // The swap ran: at-W2. In-process the displaced word
+                    // was mirrored into the frame before the panic point
+                    // — replay the freeze exactly, no census.
+                    if self.defect == RecoveryDefect::SkipCompletion {
+                        GPc::Clear { published: true }
+                    } else if let WPc::JourRaw { old_index, old_counter, .. } = self.wpc {
+                        GPc::Replay { index: old_index, counter: old_counter }
+                    } else {
+                        return Err(format!(
+                            "at-W2 unwind without a JourRaw frame: {:?}",
+                            self.wpc
+                        ));
+                    }
+                } else if self.defect == RecoveryDefect::SkipRollback {
+                    // Misclassified as published: "complete" a write
+                    // whose swap never ran.
+                    GPc::Clear { published: true }
+                } else {
+                    GPc::Clear { published: false }
+                }
+            }
+            GPc::Replay { index, counter } => {
+                self.slots[index as usize].r_start = counter;
+                GPc::Clear { published: true }
+            }
+            GPc::Clear { published } => {
+                self.j_stage = J_IDLE;
+                if published {
+                    self.checker.on_write_complete(self.next_seq);
+                    self.last_slot = self.j_slot;
+                }
+                // The handle survives the unwind in-process: the same
+                // claimant resumes immediately (no lease hand-off).
+                self.guard = None;
+                self.wpc = WPc::Idle;
+                self.writes_left = self.cfg.post_writes;
+                self.next_seq = self.checker.started_write + 1;
+                return Ok(());
+            }
+        });
+        Ok(())
+    }
+
     fn writer_step(&mut self) -> Result<(), String> {
+        if self.guard.is_some() {
+            return self.guard_step();
+        }
         match self.wpc {
             WPc::Idle => {
                 debug_assert!(self.writes_left > 0);
@@ -596,6 +728,10 @@ impl RecoveryModel {
     }
 
     fn writer_enabled(&self) -> bool {
+        // A guard repair in progress is writer-thread work.
+        if self.guard.is_some() {
+            return true;
+        }
         !self.writer_dead && !self.stalled && (self.wpc != WPc::Idle || self.writes_left > 0)
     }
 
@@ -633,6 +769,7 @@ impl RecoveryModel {
         match self.cfg.fault {
             FaultKind::Kill | FaultKind::KillRecyclePid => !self.crashed,
             FaultKind::Stall => !self.stall_fired || self.stalled || self.zombie.is_some(),
+            FaultKind::Panic => !self.panicked,
         }
     }
 
@@ -664,6 +801,17 @@ impl RecoveryModel {
                 } else {
                     self.zombie_step()
                 }
+            }
+            FaultKind::Panic => {
+                // Unwind the writer wherever it stands: the stack is
+                // gone, the journal and half-done stores stay, and the
+                // guard's Drop begins on the writer's own thread. `wpc`
+                // is kept frozen as the unwound frame — the guard reads
+                // the at-W2 displaced word from it.
+                debug_assert!(!self.panicked);
+                self.panicked = true;
+                self.guard = Some(GPc::Classify);
+                Ok(())
             }
         }
     }
@@ -722,6 +870,8 @@ impl Model for RecoveryModel {
                     && self.zombie.is_none()
                     && !self.recovery_active()
             }
+            // The unwind must have happened and the guard repair drained.
+            FaultKind::Panic => self.panicked && self.guard.is_none(),
         };
         fault_settled
             && self.wpc == WPc::Idle
@@ -833,6 +983,65 @@ mod tests {
                 || msg.contains("inversion")
                 || msg.contains("regularity")
                 || msg.contains("starvation"),
+            "unexpected violation class: {msg}"
+        );
+    }
+
+    #[test]
+    fn panic_guard_at_every_boundary_is_safe() {
+        // The §3.13 moment-of-panic sweep: the writer unwinds at every
+        // instruction boundary, the guard repair runs on its thread with
+        // readers roaming throughout (no quiescent window), and the
+        // writer resumes. Nothing may tear, invert, go stale, or starve.
+        let cfg = RecoveryModelConfig {
+            pre_writes: 2,
+            ..RecoveryModelConfig::small_with(FaultKind::Panic)
+        };
+        let out = run(cfg, RecoveryDefect::None);
+        assert!(out.is_ok(), "faithful panic-guard model failed: {out:?}");
+    }
+
+    #[test]
+    fn panic_guard_is_safe_with_two_readers() {
+        let cfg = RecoveryModelConfig {
+            readers: 2,
+            pre_writes: 1,
+            post_writes: 2,
+            reads_each: 2,
+            fault: FaultKind::Panic,
+        };
+        let out = run(cfg, RecoveryDefect::None);
+        assert!(out.is_ok(), "two-reader panic-guard model failed: {out:?}");
+    }
+
+    #[test]
+    fn skip_rollback_is_caught() {
+        // A guard that "completes" a pre-W2 unwind publishes a value no
+        // reader can ever load: the checker sees the phantom completion
+        // the first time a read returns the (still-current) older seq —
+        // or the broken last_slot bookkeeping recycles the live slot.
+        let out =
+            run(RecoveryModelConfig::small_with(FaultKind::Panic), RecoveryDefect::SkipRollback);
+        let msg = out.violation().expect("skip-rollback defect must be caught");
+        assert!(
+            msg.contains("regularity")
+                || msg.contains("inversion")
+                || msg.contains("exclusion")
+                || msg.contains("torn"),
+            "unexpected violation class: {msg}"
+        );
+    }
+
+    #[test]
+    fn skip_completion_is_caught() {
+        // A guard that clears an at/post-W2 journal without the freeze
+        // replay leaves the displaced slot's ledger reading "free" under
+        // a standing pin — the resumed writer recycles a pinned slot.
+        let out =
+            run(RecoveryModelConfig::small_with(FaultKind::Panic), RecoveryDefect::SkipCompletion);
+        let msg = out.violation().expect("skip-completion defect must be caught");
+        assert!(
+            msg.contains("exclusion") || msg.contains("torn") || msg.contains("starvation"),
             "unexpected violation class: {msg}"
         );
     }

@@ -12,9 +12,9 @@
 //! sanity configurations always run in the crates' unit tests.
 
 use interleave::{
-    explore, random_walks, ArcModel, Defect, ExploreLimits, MnDefect, MnModel, MnSlabConfig,
-    MnSlabDefect, MnSlabModel, ModelConfig, NotifyDefect, NotifyModel, Outcome, PetersonModel,
-    RfModel,
+    explore, random_walks, ArcModel, Defect, ExploreLimits, FaultKind, MnDefect, MnModel,
+    MnSlabConfig, MnSlabDefect, MnSlabModel, ModelConfig, NotifyDefect, NotifyModel, Outcome,
+    PetersonModel, RecoveryDefect, RecoveryModel, RecoveryModelConfig, RfModel,
 };
 
 fn assert_ok(out: Outcome, what: &str) {
@@ -191,6 +191,27 @@ fn mn_slab_overlap_defect_caught_at_depth() {
     let cfg = MnSlabConfig { writes_each: 3, reads_each: 2 };
     let out = explore(MnSlabModel::new(cfg, MnSlabDefect::SlabOverlap), ExploreLimits::default());
     assert!(!out.is_ok(), "overlapping MN slab bases must be caught at depth too");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive exploration: run with --release")]
+fn recovery_panic_guard_two_readers_exhaustive() {
+    // §3.13 in-process panic axis at depth: the writer unwinds at every
+    // instruction boundary of two pre-panic writes, the guard repair
+    // interleaves freely with two roaming readers (no quiescent window),
+    // and the resumed writer publishes two more — every interleaving
+    // must stay tear-free, regular, inversion-free and exclusion-clean.
+    let cfg = RecoveryModelConfig {
+        readers: 2,
+        pre_writes: 2,
+        post_writes: 2,
+        reads_each: 2,
+        fault: FaultKind::Panic,
+    };
+    assert_ok(
+        explore(RecoveryModel::new(cfg, RecoveryDefect::None), ExploreLimits::default()),
+        "recovery+panic 2r/2+2w/2x",
+    );
 }
 
 // ---------------------------------------------------------------------
